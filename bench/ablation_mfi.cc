@@ -1,0 +1,82 @@
+// Ablation of the MaxFreqItemSets solver's design choices (Sec IV.C),
+// swept over the query-log size at fixed m:
+//
+//  * mining engine: the paper's two-phase random walk vs the exact
+//    GenMax-style DFS. The walk stays cheap as the complemented log grows
+//    denser; the exhaustive miner blows past its node budget ('-' in the
+//    table) — precisely the explosion argument of Sec IV.C;
+//  * threshold schedule: greedy-seeded single pass (this library's
+//    improvement) vs the paper's halving schedule.
+//
+// Flags: --cars=N (default 2), --m=N (default 5).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "bench/figure_runner.h"
+#include "core/mfi_solver.h"
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  using namespace soc::bench;
+  Flags flags(argc, argv);
+  const int num_cars = static_cast<int>(flags.GetInt("cars", 2));
+  const int m = static_cast<int>(flags.GetInt("m", 5));
+
+  const BooleanTable dataset = MakePaperDataset(5000);
+  std::vector<DynamicBitset> tuples;
+  for (int row : datagen::PickAdvertisedTuples(dataset, num_cars, 3)) {
+    tuples.push_back(dataset.row(row));
+  }
+
+  auto entry = [](std::string name, MfiSocOptions options) {
+    auto solver = std::make_shared<MfiSocSolver>(options);
+    return SolverEntry{std::move(name),
+                       [solver](const QueryLog& l, const DynamicBitset& t,
+                                int m_) { return solver->Solve(l, t, m_); },
+                       /*requires_proof=*/false};
+  };
+
+  std::vector<SolverEntry> solvers;
+  {
+    MfiSocOptions options;  // Random walk + greedy-seeded threshold.
+    solvers.push_back(entry("walk+greedy-seed", options));
+  }
+  {
+    MfiSocOptions options;
+    options.seed_threshold_with_greedy = false;  // Paper's halving schedule.
+    solvers.push_back(entry("walk+halving", options));
+  }
+  {
+    MfiSocOptions options;
+    options.engine = MfiEngine::kExactDfs;
+    options.dfs.max_nodes = 300'000;  // DNF beyond this budget.
+    solvers.push_back(entry("exact-dfs+greedy-seed", options));
+  }
+
+  const std::vector<int> sizes = {30, 60, 90, 120};
+  std::vector<std::vector<SweepCell>> matrix(
+      solvers.size(), std::vector<SweepCell>(sizes.size()));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    datagen::RealLikeWorkloadOptions workload;
+    workload.num_queries = sizes[i];
+    workload.seed = 7 + i;
+    const QueryLog log = datagen::MakeRealLikeWorkload(dataset, workload);
+    const SweepMatrix column = RunBudgetSweep(log, tuples, solvers, {m});
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      matrix[s][i] = column[s][0];
+    }
+  }
+
+  std::printf(
+      "# MFI ablation: engine and threshold schedule — real-like "
+      "workloads, m=%d, avg over %d cars\n",
+      m, num_cars);
+  PrintTimeTable("|Q|", sizes, solvers, matrix);
+  std::printf(
+      "\nAll finishing variants return the same objective; '-' marks the "
+      "exact DFS exhausting its node budget on the dense complemented log "
+      "— the explosion the paper's random walk avoids.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quality/time comparison for the disjunctive problem variant (Sec II.B):
+// exact brute force, exact ILP, and the (1-1/e)-approximate max-coverage
+// greedy, on the real-like workload.
+//
+// Flags: --cars=N (default 5).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/variants.h"
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  using namespace soc::bench;
+  Flags flags(argc, argv);
+  const int num_cars = static_cast<int>(flags.GetInt("cars", 5));
+
+  const BooleanTable dataset = MakePaperDataset(5000);
+  const QueryLog log = datagen::MakeRealLikeWorkload(dataset);
+  std::vector<DynamicBitset> tuples;
+  for (int row : datagen::PickAdvertisedTuples(dataset, num_cars, 11)) {
+    tuples.push_back(dataset.row(row));
+  }
+
+  const std::vector<int> budgets = {1, 2, 3, 4, 5};
+  struct Algo {
+    const char* name;
+    StatusOr<SocSolution> (*run)(const QueryLog&, const DynamicBitset&, int);
+  };
+  const Algo algos[] = {
+      {"BruteForce",
+       [](const QueryLog& l, const DynamicBitset& t, int m) {
+         return SolveDisjunctiveBruteForce(l, t, m);
+       }},
+      {"ILP",
+       [](const QueryLog& l, const DynamicBitset& t, int m) {
+         return SolveDisjunctiveIlp(l, t, m);
+       }},
+      {"MaxCoverageGreedy",
+       [](const QueryLog& l, const DynamicBitset& t, int m) {
+         return SolveDisjunctiveGreedy(l, t, m);
+       }},
+  };
+
+  std::printf(
+      "# Disjunctive variant: satisfied queries (and time) vs m — "
+      "real-like workload (%d queries), avg over %d cars\n",
+      log.size(), num_cars);
+  std::vector<std::string> columns;
+  for (int m : budgets) columns.push_back(StrFormat("%d", m));
+  ResultTable quality("satisfied \\ m", columns);
+  ResultTable time("time(s) \\ m", columns);
+  for (const Algo& algo : algos) {
+    std::vector<std::string> qcells, tcells;
+    for (int m : budgets) {
+      double satisfied = 0.0, seconds = 0.0;
+      bool ok = true;
+      for (const DynamicBitset& tuple : tuples) {
+        WallTimer timer;
+        auto solution = algo.run(log, tuple, m);
+        seconds += timer.ElapsedSeconds();
+        if (!solution.ok()) {
+          ok = false;
+          break;
+        }
+        satisfied += solution->satisfied_queries;
+      }
+      qcells.push_back(
+          ResultTable::Cell(ok ? satisfied / num_cars : -1.0, "%.2f"));
+      tcells.push_back(ResultTable::Cell(ok ? seconds / num_cars : -1.0));
+    }
+    quality.AddRow(algo.name, qcells);
+    time.AddRow(algo.name, tcells);
+  }
+  quality.Print();
+  std::printf("\n");
+  time.Print();
+  return 0;
+}

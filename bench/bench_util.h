@@ -1,0 +1,108 @@
+// Shared plumbing for the figure-reproduction harnesses (fig06..fig11):
+// flag parsing, the paper's dataset/workloads, and aligned table printing.
+//
+// Each figNN binary regenerates one figure of the paper's Sec VII and
+// prints the series as a markdown table (solver x sweep-parameter, cell =
+// avg seconds or avg satisfied queries). Absolute times will differ from
+// the paper's 2008 hardware; the *shape* (orderings, crossovers, scaling)
+// is the reproduction target. See EXPERIMENTS.md.
+
+#ifndef SOC_BENCH_BENCH_UTIL_H_
+#define SOC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "boolean/table.h"
+#include "common/string_util.h"
+#include "datagen/car_dataset.h"
+#include "datagen/workload.h"
+
+namespace soc::bench {
+
+// Minimal --key=value flag parsing (integers only).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  long long GetInt(const std::string& name, long long default_value) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) {
+        return std::atoll(arg.c_str() + prefix.size());
+      }
+    }
+    return default_value;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// A results table: rows = series (solver names), columns = sweep values.
+class ResultTable {
+ public:
+  ResultTable(std::string corner, std::vector<std::string> column_labels)
+      : corner_(std::move(corner)), columns_(std::move(column_labels)) {}
+
+  void AddRow(const std::string& label, const std::vector<std::string>& cells) {
+    rows_.push_back({label, cells});
+  }
+
+  // Formats a numeric cell; negative values render as "-" (did not finish).
+  static std::string Cell(double value, const char* format = "%.4f") {
+    if (value < 0) return "-";
+    return StrFormat(format, value);
+  }
+
+  void Print() const {
+    std::vector<std::size_t> widths;
+    widths.push_back(corner_.size());
+    for (const auto& [label, cells] : rows_) {
+      widths[0] = std::max(widths[0], label.size());
+    }
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::size_t w = columns_[c].size();
+      for (const auto& [label, cells] : rows_) {
+        if (c < cells.size()) w = std::max(w, cells[c].size());
+      }
+      widths.push_back(w);
+    }
+    auto print_row = [&widths](const std::string& head,
+                               const std::vector<std::string>& cells) {
+      std::printf("| %-*s |", static_cast<int>(widths[0]), head.c_str());
+      for (std::size_t c = 0; c + 1 < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %*s |", static_cast<int>(widths[c + 1]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(corner_, columns_);
+    std::printf("|");
+    for (std::size_t w : widths) {
+      std::printf("%s|", std::string(w + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& [label, cells] : rows_) print_row(label, cells);
+  }
+
+ private:
+  std::string corner_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+// The evaluation dataset (synthetic stand-in for the Yahoo autos crawl).
+inline BooleanTable MakePaperDataset(int num_cars) {
+  datagen::CarDatasetOptions options;
+  options.num_cars = num_cars;
+  return datagen::GenerateCarDataset(options);
+}
+
+}  // namespace soc::bench
+
+#endif  // SOC_BENCH_BENCH_UTIL_H_

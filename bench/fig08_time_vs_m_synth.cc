@@ -1,0 +1,42 @@
+// Fig 8: execution times for SOC-CB-QL for varying m on the synthetic
+// workload of 2000 queries (M = 32). As in the paper, ILP is excluded —
+// it is "very slow for more than 1000 queries" (see fig10).
+//
+// Flags: --cars=N (default 10), --queries=N (default 2000).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/figure_runner.h"
+#include "bench/solver_set.h"
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  using namespace soc::bench;
+  Flags flags(argc, argv);
+  const int num_cars = static_cast<int>(flags.GetInt("cars", 10));
+  const int num_queries = static_cast<int>(flags.GetInt("queries", 2000));
+
+  const BooleanTable dataset = MakePaperDataset(datagen::kPaperCarCount);
+  datagen::SyntheticWorkloadOptions workload;
+  workload.num_queries = num_queries;
+  const QueryLog log = MakeSyntheticWorkload(dataset.schema(), workload);
+  std::vector<DynamicBitset> tuples;
+  for (int row : datagen::PickAdvertisedTuples(dataset, num_cars, 1)) {
+    tuples.push_back(dataset.row(row));
+  }
+
+  SolverSetOptions options;
+  options.include_ilp = false;  // Infeasible at this log size (paper, Fig 8).
+  options.include_mfi_preprocessed = true;
+  const std::vector<SolverEntry> solvers = MakePaperSolverSet(options);
+  const std::vector<int> budgets = {1, 2, 3, 4, 5, 6, 7};
+
+  std::printf(
+      "# Fig 8: execution time (s) vs m — synthetic workload (%d queries, "
+      "M=32), avg over %d cars (ILP excluded as in the paper)\n",
+      log.size(), num_cars);
+  const SweepMatrix matrix = RunBudgetSweep(log, tuples, solvers, budgets);
+  PrintTimeTable("m", budgets, solvers, matrix);
+  return 0;
+}

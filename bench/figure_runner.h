@@ -1,0 +1,107 @@
+// Sweep driver shared by the fig06..fig09 harnesses: run each solver over
+// each to-be-advertised tuple for each budget m, averaging wall time and
+// satisfied-query counts (the paper averages over 100 randomly selected
+// cars; --cars overrides the default here).
+
+#ifndef SOC_BENCH_FIGURE_RUNNER_H_
+#define SOC_BENCH_FIGURE_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "boolean/query_log.h"
+#include "common/timer.h"
+#include "core/solver.h"
+
+namespace soc::bench {
+
+struct SolverEntry {
+  std::string name;
+  // Returns the solution, or an error for DNF (deadline/resource guard).
+  std::function<StatusOr<SocSolution>(const QueryLog&, const DynamicBitset&,
+                                      int)>
+      solve;
+  // Exact solvers must prove optimality for the run to count (the paper
+  // omits ILP data points where the solver cannot finish).
+  bool requires_proof = false;
+};
+
+struct SweepCell {
+  double avg_seconds = -1.0;    // -1 = did not finish.
+  double avg_satisfied = -1.0;  // -1 = did not finish.
+};
+
+// result[solver][m_index]
+using SweepMatrix = std::vector<std::vector<SweepCell>>;
+
+inline SweepMatrix RunBudgetSweep(const QueryLog& log,
+                                  const std::vector<DynamicBitset>& tuples,
+                                  const std::vector<SolverEntry>& solvers,
+                                  const std::vector<int>& budgets) {
+  SweepMatrix matrix(solvers.size(),
+                     std::vector<SweepCell>(budgets.size()));
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      double total_seconds = 0.0;
+      double total_satisfied = 0.0;
+      bool ok = true;
+      for (const DynamicBitset& tuple : tuples) {
+        WallTimer timer;
+        const auto solution = solvers[s].solve(log, tuple, budgets[b]);
+        const double seconds = timer.ElapsedSeconds();
+        if (!solution.ok() ||
+            (solvers[s].requires_proof && !solution->proved_optimal)) {
+          ok = false;
+          break;
+        }
+        total_seconds += seconds;
+        total_satisfied += solution->satisfied_queries;
+      }
+      if (ok && !tuples.empty()) {
+        matrix[s][b].avg_seconds = total_seconds / tuples.size();
+        matrix[s][b].avg_satisfied = total_satisfied / tuples.size();
+      }
+    }
+  }
+  return matrix;
+}
+
+inline void PrintTimeTable(const std::string& sweep_label,
+                           const std::vector<int>& sweep_values,
+                           const std::vector<SolverEntry>& solvers,
+                           const SweepMatrix& matrix) {
+  std::vector<std::string> columns;
+  for (int v : sweep_values) columns.push_back(StrFormat("%d", v));
+  ResultTable table("time(s) \\ " + sweep_label, columns);
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    std::vector<std::string> cells;
+    for (const SweepCell& cell : matrix[s]) {
+      cells.push_back(ResultTable::Cell(cell.avg_seconds));
+    }
+    table.AddRow(solvers[s].name, cells);
+  }
+  table.Print();
+}
+
+inline void PrintQualityTable(const std::string& sweep_label,
+                              const std::vector<int>& sweep_values,
+                              const std::vector<SolverEntry>& solvers,
+                              const SweepMatrix& matrix) {
+  std::vector<std::string> columns;
+  for (int v : sweep_values) columns.push_back(StrFormat("%d", v));
+  ResultTable table("satisfied \\ " + sweep_label, columns);
+  for (std::size_t s = 0; s < solvers.size(); ++s) {
+    std::vector<std::string> cells;
+    for (const SweepCell& cell : matrix[s]) {
+      cells.push_back(ResultTable::Cell(cell.avg_satisfied, "%.2f"));
+    }
+    table.AddRow(solvers[s].name, cells);
+  }
+  table.Print();
+}
+
+}  // namespace soc::bench
+
+#endif  // SOC_BENCH_FIGURE_RUNNER_H_

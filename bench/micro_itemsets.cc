@@ -1,0 +1,66 @@
+// Microbenchmarks of the itemset-mining engines on the workload shape that
+// matters for SOC: dense complemented query logs.
+
+#include <benchmark/benchmark.h>
+
+#include "boolean/query_log.h"
+#include "datagen/workload.h"
+#include "itemsets/maximal_dfs.h"
+#include "itemsets/random_walk.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc {
+namespace {
+
+itemsets::TransactionDatabase MakeComplementedLog(int num_queries,
+                                                  int num_attrs) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+  datagen::SyntheticWorkloadOptions options;
+  options.num_queries = num_queries;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, options);
+  return itemsets::TransactionDatabase::FromComplementedQueryLog(log);
+}
+
+void BM_TwoPhaseRandomWalk(benchmark::State& state) {
+  const auto db = MakeComplementedLog(static_cast<int>(state.range(0)), 32);
+  const int min_support = std::max(1, db.num_transactions() / 20);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        itemsets::TwoPhaseRandomWalk(db, min_support, rng));
+  }
+}
+BENCHMARK(BM_TwoPhaseRandomWalk)->Arg(185)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RandomWalkMining(benchmark::State& state) {
+  const auto db = MakeComplementedLog(static_cast<int>(state.range(0)), 32);
+  const int min_support = std::max(1, db.num_transactions() / 20);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    itemsets::RandomWalkOptions options;
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(
+        itemsets::MineMaximalItemsetsRandomWalk(db, min_support, options));
+  }
+}
+BENCHMARK(BM_RandomWalkMining)->Arg(185)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaximalDfsMining(benchmark::State& state) {
+  // Keep the log small: exhaustive maximal mining on dense data explodes
+  // (the very argument of Sec IV.C).
+  const auto db = MakeComplementedLog(static_cast<int>(state.range(0)), 24);
+  const int min_support = std::max(1, db.num_transactions() / 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        itemsets::MineMaximalItemsetsDfs(db, min_support));
+  }
+}
+BENCHMARK(BM_MaximalDfsMining)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace soc
+
+BENCHMARK_MAIN();

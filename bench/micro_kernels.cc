@@ -1,0 +1,125 @@
+// Microbenchmarks of the library's hot kernels: bitset algebra, the
+// conjunctive evaluator, tidset support counting, and the simplex solver.
+
+#include <benchmark/benchmark.h>
+
+#include "boolean/evaluator.h"
+#include "common/bitset.h"
+#include "common/random.h"
+#include "datagen/car_dataset.h"
+#include "datagen/workload.h"
+#include "itemsets/transaction_db.h"
+#include "lp/simplex.h"
+
+namespace soc {
+namespace {
+
+DynamicBitset RandomBitset(Rng& rng, int size, double density) {
+  DynamicBitset b(size);
+  for (int i = 0; i < size; ++i) {
+    if (rng.NextBernoulli(density)) b.Set(i);
+  }
+  return b;
+}
+
+void BM_BitsetAnd(benchmark::State& state) {
+  Rng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  DynamicBitset a = RandomBitset(rng, bits, 0.5);
+  const DynamicBitset b = RandomBitset(rng, bits, 0.5);
+  for (auto _ : state) {
+    a &= b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_BitsetAnd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BitsetSubsetTest(benchmark::State& state) {
+  Rng rng(2);
+  const int bits = static_cast<int>(state.range(0));
+  const DynamicBitset small = RandomBitset(rng, bits, 0.1);
+  const DynamicBitset big = small | RandomBitset(rng, bits, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(small.IsSubsetOf(big));
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_BitsetSubsetTest)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BitsetPopcount(benchmark::State& state) {
+  Rng rng(3);
+  const DynamicBitset b = RandomBitset(rng, 16384, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.Count());
+  }
+}
+BENCHMARK(BM_BitsetPopcount);
+
+void BM_ConjunctiveEvaluator(benchmark::State& state) {
+  const int num_queries = static_cast<int>(state.range(0));
+  const AttributeSchema schema = AttributeSchema::Anonymous(32);
+  datagen::SyntheticWorkloadOptions options;
+  options.num_queries = num_queries;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, options);
+  Rng rng(4);
+  const DynamicBitset tuple = RandomBitset(rng, 32, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountSatisfiedQueries(log, tuple));
+  }
+  state.SetItemsProcessed(state.iterations() * num_queries);
+}
+BENCHMARK(BM_ConjunctiveEvaluator)->Arg(185)->Arg(2000)->Arg(20000);
+
+void BM_TidsetSupport(benchmark::State& state) {
+  const int num_queries = static_cast<int>(state.range(0));
+  const AttributeSchema schema = AttributeSchema::Anonymous(32);
+  datagen::SyntheticWorkloadOptions options;
+  options.num_queries = num_queries;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, options);
+  const auto db = itemsets::TransactionDatabase::FromComplementedQueryLog(log);
+  Rng rng(5);
+  const DynamicBitset itemset = RandomBitset(rng, 32, 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Support(itemset));
+  }
+  state.SetItemsProcessed(state.iterations() * num_queries);
+}
+BENCHMARK(BM_TidsetSupport)->Arg(185)->Arg(2000)->Arg(20000);
+
+void BM_SimplexLp(benchmark::State& state) {
+  // A dense-ish random LP with n variables and n/2 constraints.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  lp::LinearModel model(lp::ObjectiveSense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    model.AddVariable("x", 0, 1, rng.NextDouble());
+  }
+  for (int i = 0; i < n / 2; ++i) {
+    const int row = model.AddConstraint(
+        "c", lp::ConstraintSense::kLessEqual, 1.0 + 3.0 * rng.NextDouble());
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBernoulli(0.3)) model.AddTerm(row, j, rng.NextDouble());
+    }
+  }
+  for (auto _ : state) {
+    auto result = lp::SolveLp(model);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_CarDatasetGeneration(benchmark::State& state) {
+  datagen::CarDatasetOptions options;
+  options.num_cars = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::GenerateCarDataset(options));
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_cars);
+}
+BENCHMARK(BM_CarDatasetGeneration)->Arg(1000)->Arg(15211);
+
+}  // namespace
+}  // namespace soc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+#include "boolean/schema.h"
+
+#include "common/string_util.h"
+
+namespace soc {
+
+StatusOr<AttributeSchema> AttributeSchema::Create(
+    std::vector<std::string> names) {
+  AttributeSchema schema;
+  schema.names_ = std::move(names);
+  for (std::size_t i = 0; i < schema.names_.size(); ++i) {
+    const bool inserted =
+        schema.index_
+            .emplace(schema.names_[i], static_cast<AttributeId>(i))
+            .second;
+    if (!inserted) {
+      return InvalidArgumentError("duplicate attribute name: " +
+                                  schema.names_[i]);
+    }
+  }
+  return schema;
+}
+
+AttributeSchema AttributeSchema::Anonymous(int count) {
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (int i = 0; i < count; ++i) names.push_back(StrFormat("a%d", i));
+  auto schema = Create(std::move(names));
+  SOC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+AttributeId AttributeSchema::Find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace soc

@@ -1,0 +1,46 @@
+// AttributeSchema: ordered, named Boolean attributes shared by tables,
+// query logs and solvers.
+
+#ifndef SOC_BOOLEAN_SCHEMA_H_
+#define SOC_BOOLEAN_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soc {
+
+// An attribute index into a schema; -1 means "not found".
+using AttributeId = int;
+
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+
+  // Builds a schema with the given attribute names (must be unique).
+  static StatusOr<AttributeSchema> Create(std::vector<std::string> names);
+
+  // Builds a schema of `count` attributes named "a0".."a<count-1>".
+  static AttributeSchema Anonymous(int count);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(AttributeId id) const { return names_.at(id); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  // Index of `name`, or -1.
+  AttributeId Find(const std::string& name) const;
+
+  friend bool operator==(const AttributeSchema& a, const AttributeSchema& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttributeId> index_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_BOOLEAN_SCHEMA_H_

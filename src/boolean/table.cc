@@ -1,0 +1,89 @@
+#include "boolean/table.h"
+
+#include "common/csv.h"
+
+namespace soc {
+
+void BooleanTable::AddRow(DynamicBitset row) {
+  SOC_CHECK_EQ(static_cast<int>(row.size()), num_attributes());
+  rows_.push_back(std::move(row));
+}
+
+void BooleanTable::AddRowFromIndices(const std::vector<int>& attribute_ids) {
+  AddRow(DynamicBitset::FromIndices(num_attributes(), attribute_ids));
+}
+
+bool BooleanTable::Dominates(const DynamicBitset& candidate, int index) const {
+  return row(index).IsSubsetOf(candidate);
+}
+
+int BooleanTable::CountDominatedBy(const DynamicBitset& candidate) const {
+  int count = 0;
+  for (const DynamicBitset& row : rows_) {
+    if (row.IsSubsetOf(candidate)) ++count;
+  }
+  return count;
+}
+
+std::vector<int> BooleanTable::AttributeFrequencies() const {
+  std::vector<int> freq(num_attributes(), 0);
+  for (const DynamicBitset& row : rows_) {
+    row.ForEachSetBit([&freq](int attr) { ++freq[attr]; });
+  }
+  return freq;
+}
+
+std::string BooleanTable::ToCsv() const {
+  CsvTable csv;
+  csv.header = schema_.names();
+  csv.rows.reserve(rows_.size());
+  for (const DynamicBitset& row : rows_) {
+    std::vector<std::string> fields(num_attributes());
+    for (int a = 0; a < num_attributes(); ++a) {
+      fields[a] = row.Test(a) ? "1" : "0";
+    }
+    csv.rows.push_back(std::move(fields));
+  }
+  return WriteCsv(csv);
+}
+
+StatusOr<BooleanTable> BooleanTable::FromCsv(const std::string& text) {
+  SOC_ASSIGN_OR_RETURN(CsvTable csv, ParseCsv(text, /*has_header=*/true));
+  SOC_ASSIGN_OR_RETURN(AttributeSchema schema,
+                       AttributeSchema::Create(csv.header));
+  BooleanTable table(std::move(schema));
+  for (std::size_t r = 0; r < csv.rows.size(); ++r) {
+    DynamicBitset row(table.num_attributes());
+    for (int a = 0; a < table.num_attributes(); ++a) {
+      const std::string& cell = csv.rows[r][a];
+      if (cell == "1") {
+        row.Set(a);
+      } else if (cell != "0") {
+        return InvalidArgumentError("non-Boolean cell '" + cell + "' in row " +
+                                    std::to_string(r));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Status BooleanTable::SaveCsvFile(const std::string& path) const {
+  CsvTable csv;
+  csv.header = schema_.names();
+  for (const DynamicBitset& row : rows_) {
+    std::vector<std::string> fields(num_attributes());
+    for (int a = 0; a < num_attributes(); ++a) {
+      fields[a] = row.Test(a) ? "1" : "0";
+    }
+    csv.rows.push_back(std::move(fields));
+  }
+  return WriteCsvFile(csv, path);
+}
+
+StatusOr<BooleanTable> BooleanTable::LoadCsvFile(const std::string& path) {
+  SOC_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(path, /*has_header=*/true));
+  return FromCsv(WriteCsv(csv));
+}
+
+}  // namespace soc

@@ -1,0 +1,58 @@
+// BooleanTable: the paper's database D — N Boolean tuples over M attributes.
+// Each tuple is a DynamicBitset ("a tuple may also be considered as a subset
+// of A", Sec II.A).
+
+#ifndef SOC_BOOLEAN_TABLE_H_
+#define SOC_BOOLEAN_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "boolean/schema.h"
+#include "common/bitset.h"
+#include "common/status.h"
+
+namespace soc {
+
+class BooleanTable {
+ public:
+  BooleanTable() = default;
+  explicit BooleanTable(AttributeSchema schema) : schema_(std::move(schema)) {}
+
+  const AttributeSchema& schema() const { return schema_; }
+  int num_attributes() const { return schema_.size(); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  const DynamicBitset& row(int index) const { return rows_.at(index); }
+  const std::vector<DynamicBitset>& rows() const { return rows_; }
+
+  // Appends a tuple; its size must equal the schema width.
+  void AddRow(DynamicBitset row);
+
+  // Appends a tuple given the set attribute ids.
+  void AddRowFromIndices(const std::vector<int>& attribute_ids);
+
+  // True iff `candidate` dominates row `index`: every attribute set in the
+  // row is also set in the candidate (Sec II.A, Tuple Domination).
+  bool Dominates(const DynamicBitset& candidate, int index) const;
+
+  // Number of rows dominated by `candidate` — the SOC-CB-D objective.
+  int CountDominatedBy(const DynamicBitset& candidate) const;
+
+  // Per-attribute number of rows with the attribute set.
+  std::vector<int> AttributeFrequencies() const;
+
+  // CSV persistence: header = attribute names, cells = 0/1.
+  std::string ToCsv() const;
+  static StatusOr<BooleanTable> FromCsv(const std::string& text);
+  Status SaveCsvFile(const std::string& path) const;
+  static StatusOr<BooleanTable> LoadCsvFile(const std::string& path);
+
+ private:
+  AttributeSchema schema_;
+  std::vector<DynamicBitset> rows_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_BOOLEAN_TABLE_H_

@@ -1,0 +1,149 @@
+#include "categorical/categorical.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace soc::categorical {
+
+StatusOr<CategoricalSchema> CategoricalSchema::Create(
+    std::vector<std::string> attribute_names,
+    std::vector<std::vector<std::string>> domains) {
+  if (attribute_names.size() != domains.size()) {
+    return InvalidArgumentError("attribute_names and domains sizes differ");
+  }
+  std::unordered_set<std::string> seen_names;
+  for (const std::string& name : attribute_names) {
+    if (!seen_names.insert(name).second) {
+      return InvalidArgumentError("duplicate attribute name: " + name);
+    }
+  }
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (domains[i].empty()) {
+      return InvalidArgumentError("empty domain for attribute " +
+                                  attribute_names[i]);
+    }
+    std::unordered_set<std::string> seen_values;
+    for (const std::string& value : domains[i]) {
+      if (!seen_values.insert(value).second) {
+        return InvalidArgumentError("duplicate value '" + value +
+                                    "' in domain of " + attribute_names[i]);
+      }
+    }
+  }
+  CategoricalSchema schema;
+  schema.names_ = std::move(attribute_names);
+  schema.domains_ = std::move(domains);
+  return schema;
+}
+
+int CategoricalSchema::ValueIndex(int attr, const std::string& value) const {
+  const std::vector<std::string>& domain = domains_.at(attr);
+  const auto it = std::find(domain.begin(), domain.end(), value);
+  return it == domain.end() ? -1 : static_cast<int>(it - domain.begin());
+}
+
+Status CategoricalTable::AddRow(CategoricalTuple row) {
+  if (static_cast<int>(row.size()) != schema_.num_attributes()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    if (row[a] < 0 || row[a] >= schema_.domain_size(a)) {
+      return OutOfRangeError(StrFormat("value index %d out of range for %s",
+                                       row[a],
+                                       schema_.attribute_name(a).c_str()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+bool QueryMatchesTuple(const CategoricalQuery& query,
+                       const CategoricalTuple& tuple) {
+  for (const CategoricalCondition& condition : query) {
+    if (tuple.at(condition.attribute) != condition.value) return false;
+  }
+  return true;
+}
+
+StatusOr<CategoricalReduction> ReduceCategoricalToBoolean(
+    const CategoricalSchema& schema,
+    const std::vector<CategoricalQuery>& queries,
+    const CategoricalTuple& tuple) {
+  if (static_cast<int>(tuple.size()) != schema.num_attributes()) {
+    return InvalidArgumentError("tuple width mismatch");
+  }
+  std::vector<std::string> names;
+  names.reserve(schema.num_attributes());
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    names.push_back(schema.attribute_name(a));
+  }
+  SOC_ASSIGN_OR_RETURN(AttributeSchema boolean_schema,
+                       AttributeSchema::Create(std::move(names)));
+
+  CategoricalReduction reduction{QueryLog(std::move(boolean_schema)),
+                                 DynamicBitset(schema.num_attributes()), 0};
+  reduction.boolean_tuple.SetAll();
+
+  for (const CategoricalQuery& query : queries) {
+    for (const CategoricalCondition& condition : query) {
+      if (condition.attribute < 0 ||
+          condition.attribute >= schema.num_attributes() ||
+          condition.value < 0 ||
+          condition.value >= schema.domain_size(condition.attribute)) {
+        return OutOfRangeError("query condition out of range");
+      }
+    }
+    if (!QueryMatchesTuple(query, tuple)) {
+      ++reduction.dropped_queries;
+      continue;
+    }
+    DynamicBitset boolean_query(schema.num_attributes());
+    for (const CategoricalCondition& condition : query) {
+      boolean_query.Set(condition.attribute);
+    }
+    reduction.boolean_log.AddQuery(std::move(boolean_query));
+  }
+  return reduction;
+}
+
+StatusOr<CategoricalSolution> SolveCategoricalSoc(
+    const SocSolver& base, const CategoricalSchema& schema,
+    const std::vector<CategoricalQuery>& queries,
+    const CategoricalTuple& tuple, int m) {
+  SOC_ASSIGN_OR_RETURN(CategoricalReduction reduction,
+                       ReduceCategoricalToBoolean(schema, queries, tuple));
+  SOC_ASSIGN_OR_RETURN(
+      SocSolution boolean_solution,
+      base.Solve(reduction.boolean_log, reduction.boolean_tuple, m));
+  CategoricalSolution solution;
+  solution.selected_attributes = boolean_solution.selected.SetBits();
+  solution.satisfied_queries = boolean_solution.satisfied_queries;
+  return solution;
+}
+
+BooleanTable OneHotEncode(const CategoricalTable& table) {
+  const CategoricalSchema& schema = table.schema();
+  std::vector<std::string> names;
+  std::vector<int> offsets(schema.num_attributes());
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    offsets[a] = static_cast<int>(names.size());
+    for (const std::string& value : schema.domain(a)) {
+      names.push_back(schema.attribute_name(a) + "=" + value);
+    }
+  }
+  auto boolean_schema = AttributeSchema::Create(std::move(names));
+  SOC_CHECK(boolean_schema.ok());
+  BooleanTable encoded(std::move(boolean_schema).value());
+  for (int r = 0; r < table.num_rows(); ++r) {
+    DynamicBitset row(encoded.num_attributes());
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      row.Set(offsets[a] + table.row(r)[a]);
+    }
+    encoded.AddRow(std::move(row));
+  }
+  return encoded;
+}
+
+}  // namespace soc::categorical

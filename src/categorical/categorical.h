@@ -1,0 +1,112 @@
+// Categorical databases (Sec II.B / Sec V): each attribute a_i takes one
+// value from a finite domain Dom_i; queries specify (attribute = value)
+// conditions. Compressing a new tuple means choosing which m attributes to
+// advertise (each with its fixed value), so a query is satisfiable iff all
+// of its conditions match the tuple's values — and the problem reduces to
+// SOC-CB-QL over the original attribute indices ("a straightforward
+// generalization of Boolean data", Sec V).
+
+#ifndef SOC_CATEGORICAL_CATEGORICAL_H_
+#define SOC_CATEGORICAL_CATEGORICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "boolean/query_log.h"
+#include "boolean/table.h"
+#include "common/status.h"
+#include "core/solver.h"
+
+namespace soc::categorical {
+
+// Schema: named attributes with explicit value domains.
+class CategoricalSchema {
+ public:
+  // `domains[i]` lists the allowed values of attribute i (non-empty,
+  // unique). Attribute names must be unique.
+  static StatusOr<CategoricalSchema> Create(
+      std::vector<std::string> attribute_names,
+      std::vector<std::vector<std::string>> domains);
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+  const std::string& attribute_name(int attr) const { return names_.at(attr); }
+  const std::vector<std::string>& domain(int attr) const {
+    return domains_.at(attr);
+  }
+  int domain_size(int attr) const {
+    return static_cast<int>(domains_.at(attr).size());
+  }
+
+  // Index of `value` in attribute `attr`'s domain, or -1.
+  int ValueIndex(int attr, const std::string& value) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> domains_;
+};
+
+// A tuple assigns each attribute one value index into its domain.
+using CategoricalTuple = std::vector<int>;
+
+// One (attribute = value-index) condition.
+struct CategoricalCondition {
+  int attribute = 0;
+  int value = 0;
+};
+
+using CategoricalQuery = std::vector<CategoricalCondition>;
+
+class CategoricalTable {
+ public:
+  explicit CategoricalTable(CategoricalSchema schema)
+      : schema_(std::move(schema)) {}
+
+  const CategoricalSchema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const CategoricalTuple& row(int i) const { return rows_.at(i); }
+
+  // Validates value indices against the schema.
+  Status AddRow(CategoricalTuple row);
+
+ private:
+  CategoricalSchema schema_;
+  std::vector<CategoricalTuple> rows_;
+};
+
+// True iff every condition of `query` matches `tuple`'s values.
+bool QueryMatchesTuple(const CategoricalQuery& query,
+                       const CategoricalTuple& tuple);
+
+// The reduction: winnable queries (all conditions match `tuple`) become
+// Boolean queries over attribute indices; the Boolean new tuple has every
+// attribute set. Boolean schema reuses the categorical attribute names.
+struct CategoricalReduction {
+  QueryLog boolean_log;
+  DynamicBitset boolean_tuple;
+  int dropped_queries = 0;  // Unwinnable (value-mismatched) queries.
+};
+
+StatusOr<CategoricalReduction> ReduceCategoricalToBoolean(
+    const CategoricalSchema& schema,
+    const std::vector<CategoricalQuery>& queries,
+    const CategoricalTuple& tuple);
+
+// End-to-end: picks the best m attributes of `tuple` to advertise.
+struct CategoricalSolution {
+  std::vector<int> selected_attributes;  // Ascending attribute ids.
+  int satisfied_queries = 0;
+};
+
+StatusOr<CategoricalSolution> SolveCategoricalSoc(
+    const SocSolver& base, const CategoricalSchema& schema,
+    const std::vector<CategoricalQuery>& queries,
+    const CategoricalTuple& tuple, int m);
+
+// One-hot encoding of a categorical table: one Boolean attribute per
+// (attribute, value) pair, named "<attr>=<value>". Useful for domination
+// analysis (SOC-CB-D) over categorical data.
+BooleanTable OneHotEncode(const CategoricalTable& table);
+
+}  // namespace soc::categorical
+
+#endif  // SOC_CATEGORICAL_CATEGORICAL_H_

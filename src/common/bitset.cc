@@ -1,0 +1,180 @@
+#include "common/bitset.h"
+
+#include <algorithm>
+
+namespace soc {
+
+DynamicBitset DynamicBitset::FromIndices(std::size_t size,
+                                         const std::vector<int>& indices) {
+  DynamicBitset result(size);
+  for (int index : indices) {
+    SOC_CHECK_GE(index, 0);
+    result.Set(static_cast<std::size_t>(index));
+  }
+  return result;
+}
+
+DynamicBitset DynamicBitset::FromString(const std::string& bits) {
+  DynamicBitset result(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    SOC_CHECK(bits[i] == '0' || bits[i] == '1');
+    if (bits[i] == '1') result.Set(i);
+  }
+  return result;
+}
+
+void DynamicBitset::ResetAll() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void DynamicBitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  ClearTrailingBits();
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t count = 0;
+  for (std::uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+bool DynamicBitset::Any() const {
+  for (std::uint64_t word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+DynamicBitset DynamicBitset::Complement() const {
+  DynamicBitset result(*this);
+  for (std::uint64_t& word : result.words_) word = ~word;
+  result.ClearTrailingBits();
+  return result;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsProperSubsetOf(const DynamicBitset& other) const {
+  return IsSubsetOf(other) && *this != other;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  SOC_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  SOC_CHECK_EQ(size_, other.size_);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(words_[i] & other.words_[i]);
+  }
+  return count;
+}
+
+std::size_t DynamicBitset::FindFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) return w * 64 + std::countr_zero(words_[w]);
+  }
+  return npos;
+}
+
+std::size_t DynamicBitset::FindNext(std::size_t pos) const {
+  if (pos + 1 >= size_) return npos;
+  std::size_t start = pos + 1;
+  std::size_t w = start >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (start & 63));
+  while (true) {
+    if (word != 0) return w * 64 + std::countr_zero(word);
+    if (++w >= words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+std::vector<int> DynamicBitset::SetBits() const {
+  std::vector<int> result;
+  result.reserve(Count());
+  ForEachSetBit([&result](int index) { result.push_back(index); });
+  return result;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string result(size_, '0');
+  ForEachSetBit([&result](int index) { result[index] = '1'; });
+  return result;
+}
+
+void DynamicBitset::Resize(std::size_t new_size) {
+  size_ = new_size;
+  words_.resize((new_size + 63) / 64, 0);
+  ClearTrailingBits();
+}
+
+std::size_t DynamicBitset::Hash() const {
+  // FNV-1a over the words plus the size.
+  std::uint64_t hash = 14695981039346656037ull;
+  auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  mix(size_);
+  for (std::uint64_t word : words_) mix(word);
+  return static_cast<std::size_t>(hash);
+}
+
+void DynamicBitset::ClearTrailingBits() {
+  const std::size_t used = size_ & 63;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << used) - 1;
+  }
+}
+
+DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+  a &= b;
+  return a;
+}
+
+DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+  a |= b;
+  return a;
+}
+
+DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b) {
+  a ^= b;
+  return a;
+}
+
+}  // namespace soc

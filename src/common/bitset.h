@@ -1,0 +1,169 @@
+// DynamicBitset: a runtime-sized bitset used throughout the library to
+// represent tuples, queries and itemsets (as attribute sets) as well as
+// transaction-id sets in the itemset miners.
+//
+// The representation is an array of 64-bit words; unused high bits of the
+// last word are kept zero as a class invariant, so whole-word operations
+// (popcount, subset tests, hashing) need no per-call masking.
+
+#ifndef SOC_COMMON_BITSET_H_
+#define SOC_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace soc {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  // Creates a bitset with `size` bits, all zero.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  DynamicBitset(const DynamicBitset&) = default;
+  DynamicBitset& operator=(const DynamicBitset&) = default;
+  DynamicBitset(DynamicBitset&&) = default;
+  DynamicBitset& operator=(DynamicBitset&&) = default;
+
+  // Builds a bitset of `size` bits with the given bit indices set.
+  static DynamicBitset FromIndices(std::size_t size,
+                                   const std::vector<int>& indices);
+
+  // Parses a string of '0'/'1' characters, index 0 first.
+  static DynamicBitset FromString(const std::string& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Test(std::size_t pos) const {
+    SOC_CHECK_LT(pos, size_);
+    return (words_[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  void Set(std::size_t pos, bool value = true) {
+    SOC_CHECK_LT(pos, size_);
+    const std::uint64_t mask = std::uint64_t{1} << (pos & 63);
+    if (value) {
+      words_[pos >> 6] |= mask;
+    } else {
+      words_[pos >> 6] &= ~mask;
+    }
+  }
+
+  void Reset(std::size_t pos) { Set(pos, false); }
+
+  void Flip(std::size_t pos) {
+    SOC_CHECK_LT(pos, size_);
+    words_[pos >> 6] ^= std::uint64_t{1} << (pos & 63);
+  }
+
+  // Sets all bits to zero / one.
+  void ResetAll();
+  void SetAll();
+
+  // Number of set bits.
+  std::size_t Count() const;
+
+  bool Any() const;
+  bool None() const { return !Any(); }
+  bool All() const { return Count() == size_; }
+
+  // In-place logical operations. Both operands must have equal size.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+  // this &= ~other
+  DynamicBitset& AndNot(const DynamicBitset& other);
+
+  // Returns ~(*this) with trailing bits kept zero.
+  DynamicBitset Complement() const;
+
+  // True iff every set bit of *this is also set in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  // True iff *this is a subset of `other` and the two differ.
+  bool IsProperSubsetOf(const DynamicBitset& other) const;
+
+  // True iff the two bitsets share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  // popcount(*this & other) without materializing the intersection.
+  std::size_t IntersectionCount(const DynamicBitset& other) const;
+
+  // True iff (*this & other) is empty, i.e. *this ⊆ ~other.
+  bool DisjointWith(const DynamicBitset& other) const {
+    return !Intersects(other);
+  }
+
+  // Index of the first set bit, or npos if none.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindFirst() const;
+  // Index of the first set bit strictly after `pos`, or npos.
+  std::size_t FindNext(std::size_t pos) const;
+
+  // Indices of all set bits, ascending.
+  std::vector<int> SetBits() const;
+
+  // Calls `fn(index)` for each set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<int>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // "0101..." with index 0 first.
+  std::string ToString() const;
+
+  // Grows or shrinks to `new_size` bits; new bits are zero.
+  void Resize(std::size_t new_size);
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const DynamicBitset& a, const DynamicBitset& b) {
+    return !(a == b);
+  }
+  // Arbitrary-but-total order so bitsets can key std::map / be sorted.
+  friend bool operator<(const DynamicBitset& a, const DynamicBitset& b) {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  std::size_t Hash() const;
+
+  // Raw word access for performance-critical kernels (miners, evaluators).
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
+ private:
+  // Zeroes bits at positions >= size_ in the last word.
+  void ClearTrailingBits();
+
+  std::size_t size_;
+  std::vector<std::uint64_t> words_;
+};
+
+DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b);
+DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b);
+DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b);
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_BITSET_H_

@@ -1,0 +1,48 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace soc {
+
+std::uint64_t BinomialSaturating(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    const std::uint64_t numerator = static_cast<std::uint64_t>(n - k + i);
+    // result = result * numerator / i, detecting overflow of the product.
+    if (result > kMax / numerator) return kMax;
+    result = result * numerator / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+CombinationEnumerator::CombinationEnumerator(int n, int k) : n_(n), k_(k) {
+  SOC_CHECK_GE(n, 0);
+  SOC_CHECK_GE(k, 0);
+  has_value_ = k <= n;
+  indices_.resize(k);
+  for (int i = 0; i < k; ++i) indices_[i] = i;
+}
+
+void CombinationEnumerator::Advance() {
+  SOC_CHECK(has_value_);
+  if (k_ == 0) {
+    has_value_ = false;
+    return;
+  }
+  // Find the rightmost index that can still move right.
+  int i = k_ - 1;
+  while (i >= 0 && indices_[i] == n_ - k_ + i) --i;
+  if (i < 0) {
+    has_value_ = false;
+    return;
+  }
+  ++indices_[i];
+  for (int j = i + 1; j < k_; ++j) indices_[j] = indices_[j - 1] + 1;
+}
+
+}  // namespace soc

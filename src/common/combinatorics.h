@@ -1,0 +1,58 @@
+// Combination enumeration and counting helpers used by the brute-force
+// solver and the maximal-frequent-itemset subset scan.
+
+#ifndef SOC_COMMON_COMBINATORICS_H_
+#define SOC_COMMON_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace soc {
+
+// C(n, k), saturating at std::uint64_t max instead of overflowing.
+std::uint64_t BinomialSaturating(int n, int k);
+
+// Enumerates k-subsets of {0..n-1} in lexicographic order.
+//
+//   CombinationEnumerator combos(n, k);
+//   while (combos.HasValue()) {
+//     const std::vector<int>& indices = combos.Value();
+//     ...
+//     combos.Advance();
+//   }
+//
+// k == 0 yields exactly one (empty) combination.
+class CombinationEnumerator {
+ public:
+  CombinationEnumerator(int n, int k);
+
+  bool HasValue() const { return has_value_; }
+  const std::vector<int>& Value() const { return indices_; }
+  void Advance();
+
+ private:
+  int n_;
+  int k_;
+  bool has_value_;
+  std::vector<int> indices_;
+};
+
+// Calls `fn(const std::vector<int>&)` for every k-subset of `pool`
+// (a vector of distinct values); the argument holds pool values, not
+// positions. Returns early if `fn` returns false.
+template <typename Fn>
+void ForEachCombination(const std::vector<int>& pool, int k, Fn&& fn) {
+  if (k < 0 || k > static_cast<int>(pool.size())) return;
+  CombinationEnumerator combos(static_cast<int>(pool.size()), k);
+  std::vector<int> selected(k);
+  while (combos.HasValue()) {
+    const std::vector<int>& positions = combos.Value();
+    for (int i = 0; i < k; ++i) selected[i] = pool[positions[i]];
+    if (!fn(static_cast<const std::vector<int>&>(selected))) return;
+    combos.Advance();
+  }
+}
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_COMBINATORICS_H_

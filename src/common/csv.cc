@@ -1,0 +1,125 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace soc {
+
+namespace {
+
+// Parses one CSV line into fields, honoring double-quote escaping.
+Status ParseLine(const std::string& line, int line_number,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError(
+        StrFormat("unterminated quote on CSV line %d", line_number));
+  }
+  fields->push_back(current);
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace
+
+StatusOr<CsvTable> ParseCsv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  std::size_t expected_fields = 0;
+  bool saw_first_record = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    SOC_RETURN_IF_ERROR(ParseLine(line, line_number, &fields));
+    if (!saw_first_record) {
+      expected_fields = fields.size();
+      saw_first_record = true;
+      if (has_header) {
+        table.header = std::move(fields);
+        continue;
+      }
+    } else if (fields.size() != expected_fields) {
+      return InvalidArgumentError(
+          StrFormat("CSV line %d has %zu fields, expected %zu", line_number,
+                    fields.size(), expected_fields));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFoundError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::ostringstream out;
+  auto write_record = [&out](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ',';
+      out << QuoteField(fields[i]);
+    }
+    out << '\n';
+  };
+  if (!table.header.empty()) write_record(table.header);
+  for (const auto& row : table.rows) write_record(row);
+  return out.str();
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return InvalidArgumentError("cannot open file for write: " + path);
+  file << WriteCsv(table);
+  if (!file) return InternalError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace soc

@@ -1,0 +1,38 @@
+// A small CSV reader/writer for persisting datasets and workloads.
+//
+// Supports RFC-4180-style quoting ("field with, comma", doubled quotes).
+// This is sufficient for the library's own data files; it is not a general
+// purpose CSV implementation (no embedded newlines inside quoted fields).
+
+#ifndef SOC_COMMON_CSV_H_
+#define SOC_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soc {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// Parses CSV text. If `has_header` the first record populates `header`.
+// Every record must have the same number of fields.
+StatusOr<CsvTable> ParseCsv(const std::string& text, bool has_header);
+
+// Reads and parses a CSV file.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path, bool has_header);
+
+// Serializes a table to CSV text (header first when non-empty). Fields
+// containing commas, quotes or spaces are quoted.
+std::string WriteCsv(const CsvTable& table);
+
+// Writes `table` to `path`.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_CSV_H_

@@ -1,0 +1,153 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace soc {
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_value_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_value_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(long long value) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_value_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_value_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  SOC_CHECK(kind_ == Kind::kObject);
+  for (const auto& [existing, unused] : object_) {
+    SOC_CHECK(existing != key);
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out = "\"";
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonValue::AppendTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_value_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (std::isfinite(number_value_)) {
+        *out += StrFormat("%.17g", number_value_);
+      } else {
+        *out += "null";
+      }
+      break;
+    case Kind::kInt:
+      *out += StrFormat("%lld", int_value_);
+      break;
+    case Kind::kString:
+      *out += JsonEscape(string_value_);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : array_) {
+        if (!first) out->push_back(',');
+        item.AppendTo(out);
+        first = false;
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        *out += JsonEscape(key);
+        out->push_back(':');
+        value.AppendTo(out);
+        first = false;
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+}  // namespace soc

@@ -1,0 +1,51 @@
+// A minimal JSON value builder for machine-readable tool output
+// (socvis_solve --json). Write-only: no parsing.
+
+#ifndef SOC_COMMON_JSON_WRITER_H_
+#define SOC_COMMON_JSON_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace soc {
+
+// An owned JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  static JsonValue Null();
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Int(long long value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> items);
+
+  // Object construction: keys keep insertion order; duplicate keys are a
+  // checked programmer error.
+  static JsonValue Object();
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  // Serializes compactly (no insignificant whitespace). Strings are
+  // escaped per RFC 8259; non-finite numbers render as null.
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInt, kString, kArray, kObject };
+
+  Kind kind_ = Kind::kNull;
+  bool bool_value_ = false;
+  double number_value_ = 0.0;
+  long long int_value_ = 0;
+  std::string string_value_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  void AppendTo(std::string* out) const;
+};
+
+// Escapes `text` as a JSON string literal (with quotes).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_JSON_WRITER_H_

@@ -1,0 +1,35 @@
+// Minimal CHECK-style assertion macros.
+//
+// The library follows the Google C++ style: exceptions are not used, and
+// violations of API preconditions (programmer errors, as opposed to bad
+// input data, which is reported through soc::Status) abort the process with
+// a diagnostic message.
+
+#ifndef SOC_COMMON_LOGGING_H_
+#define SOC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message if `condition` is false. Active in all build modes:
+// the checks guard invariants whose violation would lead to memory errors or
+// silently wrong results, so we keep them in release builds too (they are on
+// cold paths).
+#define SOC_CHECK(condition)                                                 \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "SOC_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SOC_CHECK_OP(a, op, b) SOC_CHECK((a)op(b))
+#define SOC_CHECK_EQ(a, b) SOC_CHECK_OP(a, ==, b)
+#define SOC_CHECK_NE(a, b) SOC_CHECK_OP(a, !=, b)
+#define SOC_CHECK_LT(a, b) SOC_CHECK_OP(a, <, b)
+#define SOC_CHECK_LE(a, b) SOC_CHECK_OP(a, <=, b)
+#define SOC_CHECK_GT(a, b) SOC_CHECK_OP(a, >, b)
+#define SOC_CHECK_GE(a, b) SOC_CHECK_OP(a, >=, b)
+
+#endif  // SOC_COMMON_LOGGING_H_

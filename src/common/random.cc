@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace soc {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotateLeft(std::uint64_t value, int amount) {
+  return (value << amount) | (value >> (64 - amount));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm_state = seed;
+  for (auto& word : state_) word = SplitMix64(sm_state);
+}
+
+std::uint64_t Rng::Next() {
+  // Xoshiro256** step.
+  const std::uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextUint64(std::uint64_t bound) {
+  SOC_CHECK_GT(bound, 0u);
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  while (true) {
+    const std::uint64_t value = Next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+int Rng::NextInt(int lo, int hi) {
+  SOC_CHECK_LE(lo, hi);
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(NextUint64(range));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  SOC_CHECK_GE(n, 0);
+  SOC_CHECK_GE(k, 0);
+  SOC_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // For dense samples, partial Fisher-Yates over 0..n-1; for sparse samples,
+  // rejection via a hash set. The threshold keeps both paths O(k) in memory
+  // when k << n.
+  if (k * 3 >= n) {
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    for (int i = 0; i < k; ++i) {
+      const int j = i + static_cast<int>(NextUint64(n - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<int> seen;
+  std::vector<int> result;
+  result.reserve(k);
+  while (static_cast<int>(result.size()) < k) {
+    const int value = static_cast<int>(NextUint64(n));
+    if (seen.insert(value).second) result.push_back(value);
+  }
+  return result;
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  SOC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SOC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SOC_CHECK_GT(total, 0.0);
+  double target = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point drift.
+}
+
+ZipfDistribution::ZipfDistribution(int n, double exponent) {
+  SOC_CHECK_GT(n, 0);
+  SOC_CHECK_GT(exponent, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (int rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), exponent);
+    cdf_[rank] = total;
+  }
+  for (double& value : cdf_) value /= total;
+}
+
+int ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int>(cdf_.size()) - 1;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+}  // namespace soc

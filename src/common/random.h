@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation.
+//
+// We do not use std::mt19937 because its distributions
+// (std::uniform_int_distribution etc.) are not guaranteed to produce the
+// same streams across standard-library implementations; benchmarks and
+// property tests depend on reproducible workloads. Rng is a Xoshiro256**
+// generator seeded via SplitMix64, with hand-written distribution helpers.
+
+#ifndef SOC_COMMON_RANDOM_H_
+#define SOC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace soc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Raw 64 random bits.
+  std::uint64_t Next();
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  // Uses rejection sampling, so the result is unbiased.
+  std::uint64_t NextUint64(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = NextUint64(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  // k distinct integers sampled uniformly from [0, n), in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Index in [0, weights.size()) drawn proportionally to `weights`
+  // (non-negative, not all zero).
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+// Precomputed Zipf(s) distribution over ranks 0..n-1 (rank 0 most likely).
+// Draws are O(log n) via binary search on the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double exponent);
+
+  int Sample(Rng& rng) const;
+  int size() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_RANDOM_H_

@@ -1,0 +1,129 @@
+// Status and StatusOr<T>: the library's error-reporting model.
+//
+// Modeled after absl::Status / arrow::Result. Functions that can fail on
+// bad *input data* (malformed CSV, infeasible models, out-of-range
+// parameters supplied by a caller) return Status or StatusOr<T>.
+// Programmer errors (violated preconditions) use SOC_CHECK instead.
+
+#ifndef SOC_COMMON_STATUS_H_
+#define SOC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace soc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kDeadlineExceeded,
+};
+
+// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    SOC_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+// Either a value of type T or an error Status. Accessing the value of a
+// non-OK StatusOr is a checked programmer error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return value;` and `return SomeError(...);` from the same function.
+  StatusOr(T value) : value_(std::move(value)) {}             // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    SOC_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SOC_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SOC_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SOC_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status from an expression to the caller.
+#define SOC_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::soc::Status soc_status_tmp_ = (expr);        \
+    if (!soc_status_tmp_.ok()) return soc_status_tmp_; \
+  } while (0)
+
+// Evaluates `rexpr` (a StatusOr<T>), propagating an error or assigning the
+// value into `lhs`. `lhs` may include a declaration, e.g.
+// SOC_ASSIGN_OR_RETURN(auto x, Foo());
+#define SOC_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  SOC_ASSIGN_OR_RETURN_IMPL_(                                  \
+      SOC_STATUS_CONCAT_(soc_statusor_, __LINE__), lhs, rexpr)
+
+#define SOC_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (!statusor.ok()) return statusor.status();          \
+  lhs = std::move(statusor).value()
+
+#define SOC_STATUS_CONCAT_(a, b) SOC_STATUS_CONCAT_IMPL_(a, b)
+#define SOC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string helpers (join/split/trim/printf-style formatting).
+
+#ifndef SOC_COMMON_STRING_UTIL_H_
+#define SOC_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace soc {
+
+// Joins the elements of `parts` with `separator`, using operator<<.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& separator) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << separator;
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& text);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Lowercases ASCII letters.
+std::string AsciiToLower(const std::string& text);
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_STRING_UTIL_H_

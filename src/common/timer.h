@@ -1,0 +1,57 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef SOC_COMMON_TIMER_H_
+#define SOC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace soc {
+
+// Measures elapsed wall time from construction (or the last Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A wall-clock deadline; never expires when constructed with Infinite().
+class Deadline {
+ public:
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline AfterSeconds(double seconds) {
+    Deadline deadline;
+    deadline.has_deadline_ = true;
+    deadline.expiry_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return deadline;
+  }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= expiry_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline() = default;
+
+  bool has_deadline_ = false;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_TIMER_H_

@@ -1,0 +1,75 @@
+#include "core/attribute_analysis.h"
+
+#include <algorithm>
+
+namespace soc {
+
+namespace {
+
+// Forcing attribute `a` into the ad reduces to plain SOC-CB-QL: clear bit
+// a from every query (queries that required it now require the rest) and
+// solve with tuple t \ {a} and budget m-1. For any selection S containing
+// a, q ⊆ S iff (q \ {a}) ⊆ (S \ {a}), so objectives coincide.
+StatusOr<int> ForcedInValue(const SocSolver& base, const QueryLog& log,
+                            const DynamicBitset& tuple, int m, int attr) {
+  QueryLog transformed(log.schema());
+  for (const DynamicBitset& q : log.queries()) {
+    DynamicBitset reduced = q;
+    if (reduced.Test(attr)) reduced.Reset(attr);
+    transformed.AddQuery(std::move(reduced));
+  }
+  DynamicBitset without = tuple;
+  without.Reset(attr);
+  SOC_ASSIGN_OR_RETURN(SocSolution solution,
+                       base.Solve(transformed, without, m - 1));
+  return solution.satisfied_queries;
+}
+
+// Forbidding `a` is simply SOC-CB-QL over t \ {a}.
+StatusOr<int> ForcedOutValue(const SocSolver& base, const QueryLog& log,
+                             const DynamicBitset& tuple, int m, int attr) {
+  DynamicBitset without = tuple;
+  without.Reset(attr);
+  SOC_ASSIGN_OR_RETURN(SocSolution solution, base.Solve(log, without, m));
+  return solution.satisfied_queries;
+}
+
+}  // namespace
+
+StatusOr<std::vector<AttributeValue>> AnalyzeAttributeValues(
+    const SocSolver& base, const QueryLog& log, const DynamicBitset& tuple,
+    int m) {
+  if (m < 1) {
+    return InvalidArgumentError("attribute analysis needs a budget >= 1");
+  }
+  std::vector<AttributeValue> values;
+  Status failure = Status::OK();
+  tuple.ForEachSetBit([&](int attr) {
+    if (!failure.ok()) return;
+    AttributeValue value;
+    value.attribute = attr;
+    auto forced_in = ForcedInValue(base, log, tuple, m, attr);
+    if (!forced_in.ok()) {
+      failure = forced_in.status();
+      return;
+    }
+    auto forced_out = ForcedOutValue(base, log, tuple, m, attr);
+    if (!forced_out.ok()) {
+      failure = forced_out.status();
+      return;
+    }
+    value.forced_in = *forced_in;
+    value.forced_out = *forced_out;
+    value.marginal = value.forced_in - value.forced_out;
+    values.push_back(value);
+  });
+  SOC_RETURN_IF_ERROR(failure);
+  std::sort(values.begin(), values.end(),
+            [](const AttributeValue& a, const AttributeValue& b) {
+              if (a.marginal != b.marginal) return a.marginal > b.marginal;
+              return a.attribute < b.attribute;
+            });
+  return values;
+}
+
+}  // namespace soc

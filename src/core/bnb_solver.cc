@@ -1,0 +1,132 @@
+#include "core/bnb_solver.h"
+
+#include <algorithm>
+
+#include "core/greedy.h"
+
+namespace soc {
+
+namespace {
+
+class BnbSearch {
+ public:
+  BnbSearch(std::vector<DynamicBitset> queries, std::vector<int> candidates,
+            int num_attrs, int budget, std::int64_t max_nodes)
+      : queries_(std::move(queries)),
+        candidates_(std::move(candidates)),
+        budget_(budget),
+        max_nodes_(max_nodes),
+        chosen_(num_attrs),
+        rejected_(num_attrs),
+        best_selection_(num_attrs) {}
+
+  void SeedIncumbent(const DynamicBitset& selection, int count) {
+    best_selection_ = selection;
+    best_count_ = count;
+  }
+
+  Status Run() { return Visit(0, 0); }
+
+  const DynamicBitset& best_selection() const { return best_selection_; }
+  std::int64_t nodes() const { return nodes_; }
+
+ private:
+  Status Visit(std::size_t index, int num_chosen) {
+    if (max_nodes_ > 0 && ++nodes_ > max_nodes_) {
+      return ResourceExhaustedError("branch-and-bound node budget exhausted");
+    }
+
+    // Bound: queries already satisfied plus queries that still fit.
+    int satisfied = 0;
+    int potential = 0;
+    const int slack = budget_ - num_chosen;
+    for (const DynamicBitset& q : queries_) {
+      if (q.IsSubsetOf(chosen_)) {
+        ++satisfied;
+      } else if (!q.Intersects(rejected_) &&
+                 static_cast<int>(q.Count() - q.IntersectionCount(chosen_)) <=
+                     slack) {
+        ++potential;
+      }
+    }
+    if (satisfied > best_count_) {
+      best_count_ = satisfied;
+      best_selection_ = chosen_;
+    }
+    if (satisfied + potential <= best_count_) return Status::OK();
+    if (num_chosen == budget_ || index == candidates_.size()) {
+      return Status::OK();
+    }
+
+    const int attr = candidates_[index];
+    // Include-first: frequency ordering makes this the promising branch.
+    chosen_.Set(attr);
+    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen + 1));
+    chosen_.Reset(attr);
+
+    rejected_.Set(attr);
+    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen));
+    rejected_.Reset(attr);
+    return Status::OK();
+  }
+
+  const std::vector<DynamicBitset> queries_;
+  const std::vector<int> candidates_;
+  const int budget_;
+  const std::int64_t max_nodes_;
+
+  DynamicBitset chosen_;
+  DynamicBitset rejected_;
+  DynamicBitset best_selection_;
+  int best_count_ = -1;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SocSolution> BnbSocSolver::Solve(const QueryLog& log,
+                                          const DynamicBitset& tuple,
+                                          int m) const {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const int num_attrs = log.num_attributes();
+
+  // Queries that a size-m_eff compression of t could ever satisfy.
+  std::vector<DynamicBitset> relevant;
+  DynamicBitset candidate_union(num_attrs);
+  for (const DynamicBitset& q : log.queries()) {
+    if (static_cast<int>(q.Count()) <= m_eff && q.IsSubsetOf(tuple)) {
+      relevant.push_back(q);
+      candidate_union |= q;
+    }
+  }
+  candidate_union &= tuple;
+
+  // Candidates ordered by descending log frequency (ties: index).
+  const std::vector<int> freq = log.AttributeFrequencies();
+  std::vector<int> candidates = candidate_union.SetBits();
+  std::sort(candidates.begin(), candidates.end(), [&freq](int a, int b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+
+  BnbSearch search(std::move(relevant), std::move(candidates), num_attrs,
+                   m_eff, options_.max_nodes);
+
+  // Greedy incumbent (restricted to candidate attributes for a valid seed).
+  const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
+  SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
+  DynamicBitset seed_selection = seed.selected & candidate_union;
+  search.SeedIncumbent(seed_selection,
+                       CountSatisfiedQueries(log, seed_selection));
+
+  SOC_RETURN_IF_ERROR(search.Run());
+
+  DynamicBitset selected = search.best_selection();
+  internal::PadSelection(log, tuple, m_eff, &selected);
+  SocSolution solution =
+      internal::FinishSolution(log, std::move(selected), /*proved=*/true);
+  solution.metrics.emplace_back("nodes", static_cast<double>(search.nodes()));
+  return solution;
+}
+
+}  // namespace soc

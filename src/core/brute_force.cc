@@ -1,0 +1,65 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+#include "common/combinatorics.h"
+
+namespace soc {
+
+StatusOr<SocSolution> BruteForceSolver::Solve(const QueryLog& log,
+                                              const DynamicBitset& tuple,
+                                              int m) const {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const int num_attrs = log.num_attributes();
+  const SatisfiableQueryView view(log, tuple);
+
+  // Enumeration pool. Only queries with q ⊆ t and |q| <= m can ever be
+  // satisfied by an m-attribute compression, so attributes outside their
+  // union can never change the objective and are left to padding.
+  std::vector<int> pool;
+  if (options_.prune_candidates) {
+    DynamicBitset useful(num_attrs);
+    for (const DynamicBitset& q : view.queries()) {
+      if (static_cast<int>(q.Count()) <= m_eff) useful |= q;
+    }
+    useful &= tuple;
+    pool = useful.SetBits();
+  } else {
+    pool = tuple.SetBits();
+  }
+
+  const int k = std::min<int>(m_eff, static_cast<int>(pool.size()));
+  const std::uint64_t combinations =
+      BinomialSaturating(static_cast<int>(pool.size()), k);
+  if (options_.max_combinations > 0 &&
+      combinations > options_.max_combinations) {
+    return ResourceExhaustedError(
+        "brute force would enumerate " + std::to_string(combinations) +
+        " combinations; raise max_combinations or use another solver");
+  }
+
+  DynamicBitset best(num_attrs);
+  int best_count = -1;
+  DynamicBitset candidate(num_attrs);
+  ForEachCombination(pool, k, [&](const std::vector<int>& combo) {
+    candidate.ResetAll();
+    for (int attr : combo) candidate.Set(attr);
+    const int count = view.CountSatisfied(candidate);
+    if (count > best_count) {
+      best_count = count;
+      best = candidate;
+    }
+    return true;
+  });
+  if (best_count < 0) best_count = 0;  // k == 0: empty selection.
+
+  internal::PadSelection(log, tuple, m_eff, &best);
+  SocSolution solution =
+      internal::FinishSolution(log, std::move(best), /*proved_optimal=*/true);
+  solution.metrics.emplace_back("combinations",
+                                static_cast<double>(combinations));
+  solution.metrics.emplace_back("pool_size", static_cast<double>(pool.size()));
+  return solution;
+}
+
+}  // namespace soc

@@ -1,0 +1,128 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace soc {
+
+namespace {
+
+// Top-m attributes of `tuple` by query-log frequency (ties: lower index).
+DynamicBitset ConsumeAttr(const QueryLog& log, const DynamicBitset& tuple,
+                          int m_eff) {
+  const std::vector<int> freq = log.AttributeFrequencies();
+  std::vector<int> attrs = tuple.SetBits();
+  std::sort(attrs.begin(), attrs.end(), [&freq](int a, int b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+  DynamicBitset selected(log.num_attributes());
+  for (int i = 0; i < m_eff; ++i) selected.Set(attrs[i]);
+  return selected;
+}
+
+DynamicBitset ConsumeAttrCumul(const QueryLog& log, const DynamicBitset& tuple,
+                               int m_eff) {
+  const std::vector<int> freq = log.AttributeFrequencies();
+  DynamicBitset selected(log.num_attributes());
+  std::vector<int> remaining = tuple.SetBits();
+
+  for (int step = 0; step < m_eff; ++step) {
+    int best_attr = -1;
+    int best_cooccur = -1;
+    int best_freq = -1;
+    for (int attr : remaining) {
+      DynamicBitset with_attr = selected;
+      with_attr.Set(attr);
+      const int cooccur = log.CountQueriesContainingAll(with_attr);
+      if (cooccur > best_cooccur ||
+          (cooccur == best_cooccur && freq[attr] > best_freq)) {
+        best_attr = attr;
+        best_cooccur = cooccur;
+        best_freq = freq[attr];
+      }
+    }
+    if (best_cooccur == 0) {
+      // No query contains the selection plus any candidate: fall back to
+      // individual frequency for the remaining picks.
+      std::sort(remaining.begin(), remaining.end(), [&freq](int a, int b) {
+        if (freq[a] != freq[b]) return freq[a] > freq[b];
+        return a < b;
+      });
+      for (int attr : remaining) {
+        if (static_cast<int>(selected.Count()) >= m_eff) break;
+        selected.Set(attr);
+      }
+      return selected;
+    }
+    selected.Set(best_attr);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best_attr));
+  }
+  return selected;
+}
+
+DynamicBitset ConsumeQueries(const QueryLog& log, const DynamicBitset& tuple,
+                             int m_eff) {
+  const SatisfiableQueryView view(log, tuple);
+  DynamicBitset selected(log.num_attributes());
+  std::vector<bool> used(view.size(), false);
+
+  while (static_cast<int>(selected.Count()) < m_eff) {
+    // The satisfiable query with the fewest new attributes that still fits.
+    int best_query = -1;
+    std::size_t best_new = std::numeric_limits<std::size_t>::max();
+    const int slack = m_eff - static_cast<int>(selected.Count());
+    for (int i = 0; i < view.size(); ++i) {
+      if (used[i]) continue;
+      DynamicBitset new_attrs = view.query(i);
+      new_attrs.AndNot(selected);
+      const std::size_t added = new_attrs.Count();
+      if (added > static_cast<std::size_t>(slack)) continue;
+      if (added < best_new) {
+        best_new = added;
+        best_query = i;
+      }
+    }
+    if (best_query < 0) break;  // Nothing fits: fill by frequency below.
+    used[best_query] = true;
+    selected |= view.query(best_query);
+  }
+  return selected;
+}
+
+}  // namespace
+
+const char* GreedyKindToString(GreedyKind kind) {
+  switch (kind) {
+    case GreedyKind::kConsumeAttr:
+      return "ConsumeAttr";
+    case GreedyKind::kConsumeAttrCumul:
+      return "ConsumeAttrCumul";
+    case GreedyKind::kConsumeQueries:
+      return "ConsumeQueries";
+  }
+  return "Greedy";
+}
+
+StatusOr<SocSolution> GreedySolver::Solve(const QueryLog& log,
+                                          const DynamicBitset& tuple,
+                                          int m) const {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  DynamicBitset selected(log.num_attributes());
+  switch (kind_) {
+    case GreedyKind::kConsumeAttr:
+      selected = ConsumeAttr(log, tuple, m_eff);
+      break;
+    case GreedyKind::kConsumeAttrCumul:
+      selected = ConsumeAttrCumul(log, tuple, m_eff);
+      break;
+    case GreedyKind::kConsumeQueries:
+      selected = ConsumeQueries(log, tuple, m_eff);
+      break;
+  }
+  internal::PadSelection(log, tuple, m_eff, &selected);
+  return internal::FinishSolution(log, std::move(selected),
+                                  /*proved_optimal=*/false);
+}
+
+}  // namespace soc

@@ -1,0 +1,249 @@
+#include "core/mfi_solver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <cstdlib>
+
+#include "common/combinatorics.h"
+#include "common/csv.h"
+#include "core/greedy.h"
+
+namespace soc {
+
+MfiPreprocessedIndex::MfiPreprocessedIndex(const QueryLog& log,
+                                           MfiSocOptions options)
+    : db_(itemsets::TransactionDatabase::FromComplementedQueryLog(log)),
+      log_size_(log.size()),
+      options_(options) {}
+
+StatusOr<const std::vector<itemsets::FrequentItemset>*>
+MfiPreprocessedIndex::MaximalItemsets(int threshold) {
+  auto it = cache_.find(threshold);
+  if (it == cache_.end()) {
+    StatusOr<std::vector<itemsets::FrequentItemset>> mined =
+        options_.engine == MfiEngine::kRandomWalk
+            ? itemsets::MineMaximalItemsetsRandomWalk(db_, threshold,
+                                                      options_.walk)
+            : itemsets::MineMaximalItemsetsDfs(db_, threshold, options_.dfs);
+    if (!mined.ok()) return mined.status();
+    it = cache_.emplace(threshold, std::move(mined).value()).first;
+  }
+  return &it->second;
+}
+
+std::string MfiPreprocessedIndex::SerializeCache() const {
+  CsvTable csv;
+  csv.header = {"threshold", "support", "itemset"};
+  for (const auto& [threshold, itemsets] : cache_) {
+    for (const itemsets::FrequentItemset& f : itemsets) {
+      csv.rows.push_back({std::to_string(threshold),
+                          std::to_string(f.support), f.items.ToString()});
+    }
+    if (itemsets.empty()) {
+      // Record thresholds that legitimately mined nothing, so a reload
+      // does not re-mine them.
+      csv.rows.push_back({std::to_string(threshold), "-1", ""});
+    }
+  }
+  return WriteCsv(csv);
+}
+
+Status MfiPreprocessedIndex::LoadCache(const std::string& serialized) {
+  SOC_ASSIGN_OR_RETURN(CsvTable csv, ParseCsv(serialized, /*has_header=*/true));
+  std::map<int, std::vector<itemsets::FrequentItemset>> loaded;
+  for (const auto& row : csv.rows) {
+    if (row.size() != 3) return InvalidArgumentError("bad MFI cache row");
+    const int threshold = std::atoi(row[0].c_str());
+    const int support = std::atoi(row[1].c_str());
+    if (threshold < 1) return InvalidArgumentError("bad cache threshold");
+    auto& bucket = loaded[threshold];
+    if (support < 0) continue;  // Empty-threshold marker.
+    if (static_cast<int>(row[2].size()) != db_.num_items()) {
+      return InvalidArgumentError(
+          "cached itemset width does not match this log");
+    }
+    itemsets::FrequentItemset f;
+    f.items = DynamicBitset::FromString(row[2]);
+    f.support = support;
+    if (db_.Support(f.items) != support) {
+      return InvalidArgumentError(
+          "cached support mismatch: cache was built for a different log");
+    }
+    bucket.push_back(std::move(f));
+  }
+  for (auto& [threshold, itemsets] : loaded) {
+    cache_[threshold] = std::move(itemsets);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Scans the size-`level` subsets I with not_t ⊆ I ⊆ F over all maximal
+// itemsets F, returning the most frequent one (Fig 4 of the paper).
+// Returns support -1 when no candidate exists at this threshold.
+struct SubsetScanResult {
+  DynamicBitset best_itemset;
+  int best_support = -1;
+  std::uint64_t candidates = 0;
+};
+
+StatusOr<SubsetScanResult> ScanLevelSubsets(
+    const itemsets::TransactionDatabase& db,
+    const std::vector<itemsets::FrequentItemset>& mfis,
+    const DynamicBitset& not_t, const DynamicBitset& tuple, int level,
+    std::uint64_t max_candidates) {
+  SubsetScanResult result;
+  const std::size_t base_size = not_t.Count();
+  const int need = level - static_cast<int>(base_size);
+  SOC_CHECK_GE(need, 0);
+  const DynamicBitset base_tids = db.Tids(not_t);
+
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> seen;
+  for (const itemsets::FrequentItemset& mfi : mfis) {
+    if (static_cast<int>(mfi.items.Count()) < level) continue;
+    if (!not_t.IsSubsetOf(mfi.items)) continue;
+    // Items of F we may add to ~t: F \ ~t = F ∩ t.
+    const std::vector<int> pool = (mfi.items & tuple).SetBits();
+    const std::uint64_t combos =
+        BinomialSaturating(static_cast<int>(pool.size()), need);
+    if (max_candidates > 0 && result.candidates + combos > max_candidates) {
+      return ResourceExhaustedError(
+          "level-(M-m) subset scan exceeds max_subset_candidates");
+    }
+    ForEachCombination(pool, need, [&](const std::vector<int>& combo) {
+      ++result.candidates;
+      DynamicBitset itemset = not_t;
+      for (int item : combo) itemset.Set(item);
+      if (!seen.insert(itemset).second) return true;  // Duplicate.
+      DynamicBitset tids = base_tids;
+      for (int item : combo) tids &= db.item_tids(item);
+      const int support = static_cast<int>(tids.Count());
+      if (support > result.best_support) {
+        result.best_support = support;
+        result.best_itemset = std::move(itemset);
+      }
+      return true;
+    });
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SocSolution> MfiSocSolver::Solve(const QueryLog& log,
+                                          const DynamicBitset& tuple,
+                                          int m) const {
+  MfiPreprocessedIndex index(log, options_);
+  return SolveWithIndex(index, log, tuple, m);
+}
+
+StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
+                                                   const QueryLog& log,
+                                                   const DynamicBitset& tuple,
+                                                   int m) const {
+  SOC_CHECK_EQ(index.log_size(), log.size());
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const int num_attrs = log.num_attributes();
+  const int level = num_attrs - m_eff;
+  const DynamicBitset not_t = tuple.Complement();
+  const itemsets::TransactionDatabase& db = index.complemented_db();
+  const bool exact_engine = options_.engine == MfiEngine::kExactDfs;
+
+  // Degenerate log: nothing to satisfy.
+  if (log.empty()) {
+    DynamicBitset selected(num_attrs);
+    internal::PadSelection(log, tuple, m_eff, &selected);
+    return internal::FinishSolution(log, std::move(selected), exact_engine);
+  }
+
+  // Only queries with q ⊆ t and |q| <= m can ever be satisfied by a
+  // size-m compression, so their count bounds both the optimum and any
+  // useful mining threshold. In particular a zero count means the optimum
+  // is 0 and no mining is needed at all.
+  int satisfiable = 0;
+  for (const DynamicBitset& q : log.queries()) {
+    if (static_cast<int>(q.Count()) <= m_eff && q.IsSubsetOf(tuple)) {
+      ++satisfiable;
+    }
+  }
+  if (satisfiable == 0) {
+    DynamicBitset selected(num_attrs);
+    internal::PadSelection(log, tuple, m_eff, &selected);
+    SocSolution solution =
+        internal::FinishSolution(log, std::move(selected), exact_engine);
+    solution.metrics.emplace_back("satisfiable", 0.0);
+    return solution;
+  }
+
+  // Threshold schedule (Sec IV.C).
+  std::vector<int> thresholds;
+  if (options_.adaptive_threshold) {
+    int r = std::max(1, std::min(log.size() / 2, satisfiable));
+    if (options_.seed_threshold_with_greedy) {
+      // Greedy lower bound L: mining at r = L always succeeds (the greedy
+      // selection's complement is itself a frequent level-(M-m) itemset),
+      // so the first pass is usually the only one.
+      const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
+      SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
+      if (seed.satisfied_queries >= 1) {
+        r = std::min(r, seed.satisfied_queries);
+      }
+    }
+    while (true) {
+      thresholds.push_back(r);
+      if (r == 1) break;
+      r = std::max(1, r / 2);
+    }
+  } else {
+    const int r = std::max(
+        1, static_cast<int>(options_.fixed_threshold_fraction * log.size()));
+    thresholds.push_back(r);
+  }
+
+  std::uint64_t total_candidates = 0;
+  for (const int threshold : thresholds) {
+    SOC_ASSIGN_OR_RETURN(const std::vector<itemsets::FrequentItemset>* mfis,
+                         index.MaximalItemsets(threshold));
+    SOC_ASSIGN_OR_RETURN(
+        SubsetScanResult scan,
+        ScanLevelSubsets(db, *mfis, not_t, tuple, level,
+                         options_.max_subset_candidates));
+    total_candidates += scan.candidates;
+    if (scan.best_support >= 0) {
+      // Success at this threshold: the complement of the best level-(M-m)
+      // itemset is the optimal compression (its frequency >= threshold, and
+      // every compression at least this visible was scanned).
+      DynamicBitset selected = scan.best_itemset.Complement();
+      internal::PadSelection(log, tuple, m_eff, &selected);
+      SocSolution solution = internal::FinishSolution(
+          log, std::move(selected), /*proved_optimal=*/exact_engine);
+      solution.metrics.emplace_back("threshold",
+                                    static_cast<double>(threshold));
+      solution.metrics.emplace_back("maximal_itemsets",
+                                    static_cast<double>(mfis->size()));
+      solution.metrics.emplace_back("subset_candidates",
+                                    static_cast<double>(total_candidates));
+      return solution;
+    }
+    // Fixed-threshold mode mirrors the paper: report "empty" via NotFound.
+    if (!options_.adaptive_threshold) {
+      return NotFoundError(
+          "no compression satisfies the fixed support threshold " +
+          std::to_string(threshold));
+    }
+  }
+
+  // Even r = 1 produced no candidate: no compression satisfies any query.
+  DynamicBitset selected(num_attrs);
+  internal::PadSelection(log, tuple, m_eff, &selected);
+  SocSolution solution =
+      internal::FinishSolution(log, std::move(selected), exact_engine);
+  solution.metrics.emplace_back("threshold", 1.0);
+  solution.metrics.emplace_back("subset_candidates",
+                                static_cast<double>(total_candidates));
+  return solution;
+}
+
+}  // namespace soc

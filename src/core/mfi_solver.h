@@ -1,0 +1,119 @@
+// MaxFreqItemSets-SOC-CB-QL (Sec IV.C).
+//
+// The query log is complemented (~Q); a query q retrieves t' iff q ⊆ t',
+// which in complement space reads ~t' ⊇ ... equivalently
+// freq_{~Q}(I) = |{q : q ∩ I = ∅}| for I = ~t', so the best compression
+// retaining m attributes is the complement of the *frequent itemset of
+// size M - m containing ~t with maximum frequency*.
+//
+// The solver mines the maximal frequent itemsets of ~Q at a support
+// threshold r, scans every maximal set F ⊇ ~t with |F| >= M - m for its
+// size-(M - m) subsets containing ~t (Fig 4), and returns the complement
+// of the most frequent such subset. Thresholding (Sec IV.C, "Setting of
+// the Threshold Parameter"):
+//
+//  * fixed r: one mining pass; if the optimum satisfies fewer than r
+//    queries the solver reports NotFound (the paper's "returns empty");
+//  * adaptive (default): start at max(1, |Q|/2) and halve until a feasible
+//    subset appears; r = 1 is guaranteed to succeed, so the result is the
+//    true optimum (modulo random-walk completeness, below).
+//
+// Mining engines: the paper's two-phase random walk (complete only with
+// high probability) or the exact DFS miner. Tests cross-check both against
+// brute force; bench/ablation_mfi compares them.
+//
+// Preprocessing (Sec IV.C "Preprocessing Opportunities"): an
+// MfiPreprocessedIndex mines the maximal itemsets of ~Q once per threshold
+// and can be shared across many new tuples; the per-tuple runtime is then
+// just the superset scan, which Fig 6 of the paper reports as ~constant.
+
+#ifndef SOC_CORE_MFI_SOLVER_H_
+#define SOC_CORE_MFI_SOLVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/solver.h"
+#include "itemsets/maximal_dfs.h"
+#include "itemsets/random_walk.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc {
+
+enum class MfiEngine {
+  kRandomWalk,  // The paper's algorithm.
+  kExactDfs,    // Deterministic GenMax-style miner.
+};
+
+struct MfiSocOptions {
+  MfiEngine engine = MfiEngine::kRandomWalk;
+  itemsets::RandomWalkOptions walk;
+  itemsets::MaximalDfsOptions dfs;
+  // Adaptive threshold halving (true) or a single fixed threshold (false).
+  bool adaptive_threshold = true;
+  // Seed the adaptive schedule with a greedy lower bound (beyond-paper
+  // improvement): the ConsumeAttrCumul solution satisfies L queries, and
+  // mining once at threshold r = L is guaranteed to find a candidate —
+  // whose best scan result is the true optimum (opt >= L). This usually
+  // collapses the halving schedule to a single, cheaper mining pass;
+  // bench/ablation_mfi quantifies the effect.
+  bool seed_threshold_with_greedy = true;
+  // Used only when adaptive_threshold is false; as a fraction of |Q|,
+  // e.g. 0.01 = "at least 1% of the queries must still retrieve t'".
+  double fixed_threshold_fraction = 0.01;
+  // Guard on the level-(M-m) subset scan per threshold.
+  std::uint64_t max_subset_candidates = 5'000'000;
+};
+
+// Shared preprocessing: ~Q as a transaction database plus memoized maximal
+// itemsets per threshold.
+class MfiPreprocessedIndex {
+ public:
+  MfiPreprocessedIndex(const QueryLog& log, MfiSocOptions options);
+
+  const itemsets::TransactionDatabase& complemented_db() const { return db_; }
+  int log_size() const { return log_size_; }
+  const MfiSocOptions& options() const { return options_; }
+
+  // Maximal frequent itemsets of ~Q at `threshold` (mined on first use).
+  StatusOr<const std::vector<itemsets::FrequentItemset>*> MaximalItemsets(
+      int threshold);
+
+  // Persistence for the paper's offline-preprocessing workflow: the mined
+  // itemsets of every threshold touched so far are written as CSV
+  // (threshold, support, itemset bitstring) and can be loaded into a fresh
+  // index built over the same log. Loading validates widths and supports.
+  std::string SerializeCache() const;
+  Status LoadCache(const std::string& serialized);
+
+ private:
+  itemsets::TransactionDatabase db_;
+  int log_size_;
+  MfiSocOptions options_;
+  std::map<int, std::vector<itemsets::FrequentItemset>> cache_;
+};
+
+class MfiSocSolver : public SocSolver {
+ public:
+  explicit MfiSocSolver(MfiSocOptions options = {}) : options_(options) {}
+
+  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
+                              int m) const override;
+
+  // As Solve, but reuses a prebuilt index (must stem from the same log).
+  StatusOr<SocSolution> SolveWithIndex(MfiPreprocessedIndex& index,
+                                       const QueryLog& log,
+                                       const DynamicBitset& tuple,
+                                       int m) const;
+
+  std::string name() const override { return "MaxFreqItemSets"; }
+
+ private:
+  MfiSocOptions options_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_CORE_MFI_SOLVER_H_

@@ -1,0 +1,47 @@
+#include "core/solver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace soc::internal {
+
+int EffectiveBudget(const QueryLog& log, const DynamicBitset& tuple, int m) {
+  SOC_CHECK_EQ(static_cast<int>(tuple.size()), log.num_attributes());
+  SOC_CHECK_GE(m, 0);
+  return std::min<int>(m, static_cast<int>(tuple.Count()));
+}
+
+void PadSelection(const QueryLog& log, const DynamicBitset& tuple,
+                  int target_size, DynamicBitset* selected) {
+  SOC_CHECK(selected->IsSubsetOf(tuple));
+  int have = static_cast<int>(selected->Count());
+  if (have >= target_size) return;
+
+  const std::vector<int> freq = log.AttributeFrequencies();
+  std::vector<int> spare;
+  tuple.ForEachSetBit([&](int attr) {
+    if (!selected->Test(attr)) spare.push_back(attr);
+  });
+  std::sort(spare.begin(), spare.end(), [&freq](int a, int b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+  for (int attr : spare) {
+    if (have >= target_size) break;
+    selected->Set(attr);
+    ++have;
+  }
+  SOC_CHECK_EQ(have, target_size);
+}
+
+SocSolution FinishSolution(const QueryLog& log, DynamicBitset selected,
+                           bool proved_optimal) {
+  SocSolution solution;
+  solution.satisfied_queries = CountSatisfiedQueries(log, selected);
+  solution.selected = std::move(selected);
+  solution.proved_optimal = proved_optimal;
+  return solution;
+}
+
+}  // namespace soc::internal

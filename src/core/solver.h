@@ -1,0 +1,77 @@
+// The SOC-CB-QL problem interface (Sec II.A):
+//
+//   Given a query log Q (conjunctive Boolean retrieval), a new tuple t and
+//   a budget m, compute t' ⊆ t with |t'| = m maximizing the number of
+//   queries q ∈ Q with q ⊆ t'.
+//
+// All solvers implement SocSolver. Exact solvers: BruteForceSolver
+// (Sec IV.A), IlpSocSolver (Sec IV.B), MfiSocSolver (Sec IV.C). Heuristics:
+// GreedySolver (Sec IV.D).
+//
+// Conventions shared by every solver:
+//  * The effective budget is m_eff = min(m, |t|): a tuple with |t| set
+//    attributes cannot retain more than |t|.
+//  * Returned selections have exactly m_eff attributes; when fewer useful
+//    attributes exist the selection is padded (deterministically, by
+//    descending query-log frequency then index) with other attributes of t,
+//    which never changes the objective.
+//  * `satisfied_queries` is always recomputed with the reference evaluator,
+//    so a buggy solver cannot over-report itself.
+
+#ifndef SOC_CORE_SOLVER_H_
+#define SOC_CORE_SOLVER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "boolean/evaluator.h"
+#include "boolean/query_log.h"
+#include "common/bitset.h"
+#include "common/status.h"
+
+namespace soc {
+
+struct SocSolution {
+  DynamicBitset selected;      // t': exactly min(m, |t|) attributes, ⊆ t.
+  int satisfied_queries = 0;   // Number of log queries with q ⊆ t'.
+  bool proved_optimal = false;  // True iff the solver certifies optimality.
+  // Solver-specific counters (nodes, walks, thresholds, ...) for benches.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class SocSolver {
+ public:
+  virtual ~SocSolver() = default;
+
+  // Solves SOC-CB-QL for (log, t, m). `t` must have the log's width and
+  // m must be >= 0.
+  virtual StatusOr<SocSolution> Solve(const QueryLog& log,
+                                      const DynamicBitset& tuple,
+                                      int m) const = 0;
+
+  // Solver name as used in the paper's figures (e.g. "ILP",
+  // "MaxFreqItemSets", "ConsumeAttr").
+  virtual std::string name() const = 0;
+};
+
+namespace internal {
+
+// min(m, |t|); checks argument sanity.
+int EffectiveBudget(const QueryLog& log, const DynamicBitset& tuple, int m);
+
+// Pads `selected` (⊆ tuple) up to `target_size` attributes with further
+// attributes of `tuple`, chosen by descending query-log frequency then
+// ascending index. Callers guarantee target_size <= |tuple|.
+void PadSelection(const QueryLog& log, const DynamicBitset& tuple,
+                  int target_size, DynamicBitset* selected);
+
+// Builds a SocSolution from a selection: recomputes the objective with the
+// reference evaluator and attaches the optimality flag.
+SocSolution FinishSolution(const QueryLog& log, DynamicBitset selected,
+                           bool proved_optimal);
+
+}  // namespace internal
+}  // namespace soc
+
+#endif  // SOC_CORE_SOLVER_H_

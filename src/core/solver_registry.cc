@@ -1,0 +1,53 @@
+#include "core/solver_registry.h"
+
+#include "common/string_util.h"
+#include "core/bnb_solver.h"
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "core/ilp_solver.h"
+#include "core/mfi_solver.h"
+
+namespace soc {
+
+std::vector<std::string> RegisteredSolverNames() {
+  return {"BruteForce",      "BranchAndBound",      "ILP",
+          "MaxFreqItemSets", "MaxFreqItemSets-dfs", "ConsumeAttr",
+          "ConsumeAttrCumul", "ConsumeQueries"};
+}
+
+StatusOr<std::unique_ptr<SocSolver>> CreateSolverByName(
+    const std::string& name) {
+  if (name == "BruteForce") {
+    return std::unique_ptr<SocSolver>(new BruteForceSolver());
+  }
+  if (name == "BranchAndBound") {
+    return std::unique_ptr<SocSolver>(new BnbSocSolver());
+  }
+  if (name == "ILP") {
+    return std::unique_ptr<SocSolver>(new IlpSocSolver());
+  }
+  if (name == "MaxFreqItemSets") {
+    return std::unique_ptr<SocSolver>(new MfiSocSolver());
+  }
+  if (name == "MaxFreqItemSets-dfs") {
+    MfiSocOptions options;
+    options.engine = MfiEngine::kExactDfs;
+    return std::unique_ptr<SocSolver>(new MfiSocSolver(options));
+  }
+  if (name == "ConsumeAttr") {
+    return std::unique_ptr<SocSolver>(
+        new GreedySolver(GreedyKind::kConsumeAttr));
+  }
+  if (name == "ConsumeAttrCumul") {
+    return std::unique_ptr<SocSolver>(
+        new GreedySolver(GreedyKind::kConsumeAttrCumul));
+  }
+  if (name == "ConsumeQueries") {
+    return std::unique_ptr<SocSolver>(
+        new GreedySolver(GreedyKind::kConsumeQueries));
+  }
+  return NotFoundError("unknown solver '" + name + "'; valid: " +
+                       Join(RegisteredSolverNames(), ", "));
+}
+
+}  // namespace soc

@@ -1,0 +1,113 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace soc {
+
+namespace {
+
+double AttributeCountNewScore(int m_eff) { return m_eff; }
+
+// MakeStaticScoring normalizes database scores so the new tuple's score is
+// exactly zero, keeping GlobalScoring a plain function pointer (no state).
+double StaticNewScoreZero(int) { return 0.0; }
+
+}  // namespace
+
+GlobalScoring MakeAttributeCountScoring(const BooleanTable& database) {
+  GlobalScoring scoring;
+  scoring.database_scores.reserve(database.num_rows());
+  for (const DynamicBitset& row : database.rows()) {
+    scoring.database_scores.push_back(static_cast<double>(row.Count()));
+  }
+  scoring.new_tuple_score = &AttributeCountNewScore;
+  return scoring;
+}
+
+GlobalScoring MakeStaticScoring(std::vector<double> database_values,
+                                double new_tuple_value) {
+  GlobalScoring scoring;
+  scoring.database_scores = std::move(database_values);
+  scoring.new_tuple_score = &StaticNewScoreZero;
+  // Shift all scores so the new tuple sits at zero; order is preserved and
+  // the score stays independent of the selection.
+  for (double& v : scoring.database_scores) v -= new_tuple_value;
+  return scoring;
+}
+
+bool TopkRetrieves(const BooleanTable& database, const GlobalScoring& scoring,
+                   const DynamicBitset& q, const DynamicBitset& t_prime,
+                   int k) {
+  SOC_CHECK_EQ(static_cast<int>(scoring.database_scores.size()),
+               database.num_rows());
+  if (!q.IsSubsetOf(t_prime)) return false;
+  const double new_score =
+      scoring.new_tuple_score(static_cast<int>(t_prime.Count()));
+  int better = 0;
+  for (int i = 0; i < database.num_rows(); ++i) {
+    if (!q.IsSubsetOf(database.row(i))) continue;
+    // Pessimistic tie-break: equal scores rank above the new tuple.
+    if (scoring.database_scores[i] >= new_score) ++better;
+    if (better >= k) return false;
+  }
+  return true;
+}
+
+int CountTopkSatisfied(const BooleanTable& database,
+                       const GlobalScoring& scoring, const QueryLog& log,
+                       const DynamicBitset& t_prime, int k) {
+  int count = 0;
+  for (const DynamicBitset& q : log.queries()) {
+    if (TopkRetrieves(database, scoring, q, t_prime, k)) ++count;
+  }
+  return count;
+}
+
+QueryLog ReduceTopkToConjunctive(const BooleanTable& database,
+                                 const GlobalScoring& scoring,
+                                 const QueryLog& log,
+                                 const DynamicBitset& tuple, int m_eff,
+                                 int k) {
+  SOC_CHECK_EQ(static_cast<int>(scoring.database_scores.size()),
+               database.num_rows());
+  SOC_CHECK_GT(k, 0);
+  QueryLog reduced(log.schema());
+  const double new_score = scoring.new_tuple_score(m_eff);
+  for (const DynamicBitset& q : log.queries()) {
+    if (!q.IsSubsetOf(tuple)) continue;  // Unwinnable regardless of ranking.
+    int better = 0;
+    for (int i = 0; i < database.num_rows(); ++i) {
+      if (!q.IsSubsetOf(database.row(i))) continue;
+      if (scoring.database_scores[i] >= new_score) ++better;
+      if (better >= k) break;
+    }
+    if (better < k) reduced.AddQuery(q);
+  }
+  return reduced;
+}
+
+StatusOr<SocSolution> SolveTopk(const SocSolver& base,
+                                const BooleanTable& database,
+                                const GlobalScoring& scoring,
+                                const QueryLog& log,
+                                const DynamicBitset& tuple, int m, int k) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const QueryLog reduced =
+      ReduceTopkToConjunctive(database, scoring, log, tuple, m_eff, k);
+  SOC_ASSIGN_OR_RETURN(SocSolution solution,
+                       base.Solve(reduced, tuple, m_eff));
+  // Replace the reduced-log objective with the true top-k objective; they
+  // agree because the kept queries are retrieved iff q ⊆ t' and the dropped
+  // ones are never retrieved by a size-m_eff compression.
+  const int topk_satisfied =
+      CountTopkSatisfied(database, scoring, log, solution.selected, k);
+  SOC_CHECK_EQ(topk_satisfied, solution.satisfied_queries);
+  solution.satisfied_queries = topk_satisfied;
+  solution.metrics.emplace_back("reduced_queries",
+                                static_cast<double>(reduced.size()));
+  return solution;
+}
+
+}  // namespace soc

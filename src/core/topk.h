@@ -1,0 +1,78 @@
+// SOC-Topk (Sec II.B / Sec V): queries retrieve the k best matching tuples
+// under a scoring function; maximize the number of log queries whose top-k
+// result includes the compressed tuple t'.
+//
+// As in the paper, exact algorithms are available for *global* scoring
+// functions — score(t) depends on the tuple only, not on the query.
+// Supported scores must additionally be selection-independent given the
+// budget: the compressed tuple's score may depend on how many attributes
+// are kept (m_eff) but not on which ones. Both examples the paper gives
+// have this property: "number of available features" (score = m_eff) and
+// "order by a numeric attribute such as Price" (score = constant).
+//
+// Under such a score the problem *reduces* to SOC-CB-QL: query q can
+// retrieve t' iff q ⊆ t' AND fewer than k database tuples matching q beat
+// the new tuple's score. The beat-counts are selection-independent, so
+// unwinnable queries are dropped up front and any SOC-CB-QL solver
+// (including the exact ones) finishes the job. Ties are broken against the
+// new tuple (pessimistically): an existing tuple with an equal score is
+// assumed to be ranked above the newcomer.
+
+#ifndef SOC_CORE_TOPK_H_
+#define SOC_CORE_TOPK_H_
+
+#include <vector>
+
+#include "boolean/table.h"
+#include "core/solver.h"
+
+namespace soc {
+
+// A global scoring function over Boolean tuples.
+struct GlobalScoring {
+  // Score of each existing database tuple.
+  std::vector<double> database_scores;
+  // Score of the compressed new tuple as a function of how many attributes
+  // it retains.
+  double (*new_tuple_score)(int m_eff) = nullptr;
+};
+
+// score(t) = number of set attributes ("ordered by decreasing number of
+// available features", Sec V).
+GlobalScoring MakeAttributeCountScoring(const BooleanTable& database);
+
+// score(t) = a fixed external value per tuple (e.g. negated price so that
+// cheaper ranks higher); `new_tuple_value` is the new tuple's value.
+GlobalScoring MakeStaticScoring(std::vector<double> database_values,
+                                double new_tuple_value);
+
+// True iff query q retrieves t' in the top-k of database ∪ {t'} under the
+// scoring (reference evaluator used by tests and benches).
+bool TopkRetrieves(const BooleanTable& database, const GlobalScoring& scoring,
+                   const DynamicBitset& q, const DynamicBitset& t_prime,
+                   int k);
+
+// Number of log queries whose top-k result includes t'.
+int CountTopkSatisfied(const BooleanTable& database,
+                       const GlobalScoring& scoring, const QueryLog& log,
+                       const DynamicBitset& t_prime, int k);
+
+// The reduction described above: keeps exactly the queries that the
+// compressed tuple could still win, as a plain query log.
+QueryLog ReduceTopkToConjunctive(const BooleanTable& database,
+                                 const GlobalScoring& scoring,
+                                 const QueryLog& log,
+                                 const DynamicBitset& tuple, int m_eff,
+                                 int k);
+
+// Solves SOC-Topk by reduction + `base` (any SOC-CB-QL solver).
+// `satisfied_queries` in the returned solution is the top-k objective.
+StatusOr<SocSolution> SolveTopk(const SocSolver& base,
+                                const BooleanTable& database,
+                                const GlobalScoring& scoring,
+                                const QueryLog& log,
+                                const DynamicBitset& tuple, int m, int k);
+
+}  // namespace soc
+
+#endif  // SOC_CORE_TOPK_H_

@@ -1,0 +1,126 @@
+#include "core/topk_general.h"
+
+#include <algorithm>
+
+#include "common/combinatorics.h"
+
+namespace soc {
+
+QueryScoreFn MakeSpecificityScore() {
+  return [](const DynamicBitset& query, const DynamicBitset& t) {
+    return static_cast<double>(query.Count()) / (1.0 + t.Count());
+  };
+}
+
+QueryScoreFn MakeWeightedOverlapScore(std::vector<double> weights) {
+  return [weights = std::move(weights)](const DynamicBitset& query,
+                                        const DynamicBitset& t) {
+    double score = 0.0;
+    query.ForEachSetBit([&](int attr) {
+      if (t.Test(attr)) score += weights.at(attr);
+    });
+    return score;
+  };
+}
+
+bool TopkRetrievesGeneral(const BooleanTable& database,
+                          const QueryScoreFn& score, const DynamicBitset& q,
+                          const DynamicBitset& t_prime, int k) {
+  SOC_CHECK_GT(k, 0);
+  if (!q.IsSubsetOf(t_prime)) return false;
+  const double own_score = score(q, t_prime);
+  int better = 0;
+  for (int i = 0; i < database.num_rows(); ++i) {
+    if (!q.IsSubsetOf(database.row(i))) continue;
+    if (score(q, database.row(i)) >= own_score) {
+      if (++better >= k) return false;
+    }
+  }
+  return true;
+}
+
+int CountTopkSatisfiedGeneral(const BooleanTable& database,
+                              const QueryScoreFn& score, const QueryLog& log,
+                              const DynamicBitset& t_prime, int k) {
+  int count = 0;
+  for (const DynamicBitset& q : log.queries()) {
+    if (TopkRetrievesGeneral(database, score, q, t_prime, k)) ++count;
+  }
+  return count;
+}
+
+StatusOr<SocSolution> SolveTopkGeneralBruteForce(
+    const BooleanTable& database, const QueryScoreFn& score,
+    const QueryLog& log, const DynamicBitset& tuple, int m, int k,
+    const TopkGeneralBruteForceOptions& options) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const std::vector<int> pool = tuple.SetBits();
+  const std::uint64_t combos =
+      BinomialSaturating(static_cast<int>(pool.size()), m_eff);
+  if (options.max_combinations > 0 && combos > options.max_combinations) {
+    return ResourceExhaustedError("top-k brute force too large");
+  }
+  DynamicBitset best(log.num_attributes());
+  int best_count = -1;
+  DynamicBitset candidate(log.num_attributes());
+  ForEachCombination(pool, m_eff, [&](const std::vector<int>& combo) {
+    candidate.ResetAll();
+    for (int attr : combo) candidate.Set(attr);
+    const int count =
+        CountTopkSatisfiedGeneral(database, score, log, candidate, k);
+    if (count > best_count) {
+      best_count = count;
+      best = candidate;
+    }
+    return true;
+  });
+
+  SocSolution solution;
+  solution.selected = std::move(best);
+  solution.satisfied_queries = std::max(best_count, 0);
+  solution.proved_optimal = true;
+  return solution;
+}
+
+StatusOr<SocSolution> SolveTopkGeneralGreedy(const BooleanTable& database,
+                                             const QueryScoreFn& score,
+                                             const QueryLog& log,
+                                             const DynamicBitset& tuple,
+                                             int m, int k) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  const std::vector<int> freq = log.AttributeFrequencies();
+  DynamicBitset selected(log.num_attributes());
+  std::vector<int> remaining = tuple.SetBits();
+
+  int current = CountTopkSatisfiedGeneral(database, score, log, selected, k);
+  for (int step = 0; step < m_eff; ++step) {
+    int best_attr = -1;
+    int best_count = -1;
+    int best_freq = -1;
+    for (int attr : remaining) {
+      selected.Set(attr);
+      const int count =
+          CountTopkSatisfiedGeneral(database, score, log, selected, k);
+      selected.Reset(attr);
+      if (count > best_count ||
+          (count == best_count && freq[attr] > best_freq)) {
+        best_attr = attr;
+        best_count = count;
+        best_freq = freq[attr];
+      }
+    }
+    SOC_CHECK_GE(best_attr, 0);
+    selected.Set(best_attr);
+    current = best_count;
+    remaining.erase(
+        std::find(remaining.begin(), remaining.end(), best_attr));
+  }
+
+  SocSolution solution;
+  solution.satisfied_queries = current;
+  solution.selected = std::move(selected);
+  solution.proved_optimal = false;
+  return solution;
+}
+
+}  // namespace soc

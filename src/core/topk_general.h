@@ -1,0 +1,70 @@
+// SOC-Topk with *query-dependent* scoring functions (Sec V): when
+// score(q, t) depends on the query, the global-scoring reduction of
+// core/topk.h no longer applies and, per the paper, the problem "can be
+// formulated as a non-linear integer program" — so the practical route is
+// extending the Sec IV.D greedies. This module provides the general
+// top-k evaluator, an exhaustive reference solver, and a marginal-gain
+// greedy with a frequency fallback on zero-gain plateaus.
+
+#ifndef SOC_CORE_TOPK_GENERAL_H_
+#define SOC_CORE_TOPK_GENERAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "boolean/table.h"
+#include "core/solver.h"
+
+namespace soc {
+
+// A (possibly query-dependent) scoring function over tuples. Must be
+// evaluable for both database tuples and compressed candidates.
+using QueryScoreFn =
+    std::function<double(const DynamicBitset& query, const DynamicBitset& t)>;
+
+// Example scoring functions.
+//
+// Specificity: among tuples matching q, shorter (more specific) listings
+// rank first — score = |q| / (1 + |t|). Selection-dependent: retaining
+// fewer attributes *raises* the new tuple's rank, a trade-off none of the
+// exact reductions capture.
+QueryScoreFn MakeSpecificityScore();
+
+// Query overlap weighted by a per-attribute weight vector:
+// score = Σ_{a ∈ q ∩ t} weights[a].
+QueryScoreFn MakeWeightedOverlapScore(std::vector<double> weights);
+
+// True iff q ⊆ t' and fewer than k database tuples matching q score
+// >= score(q, t') (pessimistic ties, as in core/topk.h).
+bool TopkRetrievesGeneral(const BooleanTable& database,
+                          const QueryScoreFn& score, const DynamicBitset& q,
+                          const DynamicBitset& t_prime, int k);
+
+// Number of log queries whose top-k includes t'.
+int CountTopkSatisfiedGeneral(const BooleanTable& database,
+                              const QueryScoreFn& score, const QueryLog& log,
+                              const DynamicBitset& t_prime, int k);
+
+struct TopkGeneralBruteForceOptions {
+  std::uint64_t max_combinations = 2'000'000;
+};
+
+// Exhaustive reference: tries every m-subset of t (exponential; tests and
+// small instances only).
+StatusOr<SocSolution> SolveTopkGeneralBruteForce(
+    const BooleanTable& database, const QueryScoreFn& score,
+    const QueryLog& log, const DynamicBitset& tuple, int m, int k,
+    const TopkGeneralBruteForceOptions& options = {});
+
+// Marginal-gain greedy: grows t' one attribute at a time, maximizing the
+// top-k objective; on all-zero gains falls back to query-log frequency
+// (like ConsumeAttr). `satisfied_queries` holds the top-k objective.
+StatusOr<SocSolution> SolveTopkGeneralGreedy(const BooleanTable& database,
+                                             const QueryScoreFn& score,
+                                             const QueryLog& log,
+                                             const DynamicBitset& tuple,
+                                             int m, int k);
+
+}  // namespace soc
+
+#endif  // SOC_CORE_TOPK_GENERAL_H_

@@ -1,0 +1,178 @@
+#include "core/variants.h"
+
+#include <algorithm>
+
+#include "common/combinatorics.h"
+#include "common/string_util.h"
+
+namespace soc {
+
+StatusOr<PerAttributeSolution> SolvePerAttribute(const SocSolver& base,
+                                                 const QueryLog& log,
+                                                 const DynamicBitset& tuple) {
+  const int max_m = static_cast<int>(tuple.Count());
+  if (max_m == 0) {
+    return InvalidArgumentError(
+        "per-attribute variant needs a tuple with at least one attribute");
+  }
+  PerAttributeSolution best;
+  best.ratio = -1.0;
+  for (int m = 1; m <= max_m; ++m) {
+    SOC_ASSIGN_OR_RETURN(SocSolution candidate, base.Solve(log, tuple, m));
+    const double ratio =
+        static_cast<double>(candidate.satisfied_queries) / m;
+    if (ratio > best.ratio + 1e-12) {
+      best.ratio = ratio;
+      best.chosen_m = m;
+      best.solution = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+QueryLog DatabaseAsQueryLog(const BooleanTable& database) {
+  QueryLog log(database.schema());
+  for (const DynamicBitset& row : database.rows()) {
+    log.AddQuery(row);
+  }
+  return log;
+}
+
+StatusOr<SocSolution> SolveSocCbD(const SocSolver& base,
+                                  const BooleanTable& database,
+                                  const DynamicBitset& tuple, int m) {
+  const QueryLog log = DatabaseAsQueryLog(database);
+  SOC_ASSIGN_OR_RETURN(SocSolution solution, base.Solve(log, tuple, m));
+  // The objective is identical by construction; double-check the adapter.
+  SOC_CHECK_EQ(solution.satisfied_queries,
+               database.CountDominatedBy(solution.selected));
+  return solution;
+}
+
+namespace {
+
+// Pads and evaluates a disjunctive selection.
+SocSolution FinishDisjunctive(const QueryLog& log, const DynamicBitset& tuple,
+                              int m_eff, DynamicBitset selected,
+                              bool proved_optimal) {
+  internal::PadSelection(log, tuple, m_eff, &selected);
+  SocSolution solution;
+  solution.satisfied_queries = CountSatisfiedQueries(
+      log, selected, RetrievalSemantics::kDisjunctive);
+  solution.selected = std::move(selected);
+  solution.proved_optimal = proved_optimal;
+  return solution;
+}
+
+}  // namespace
+
+StatusOr<SocSolution> SolveDisjunctiveBruteForce(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    const DisjunctiveBruteForceOptions& options) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  // Only attributes of t that appear in some query can contribute.
+  DynamicBitset useful(log.num_attributes());
+  for (const DynamicBitset& q : log.queries()) useful |= q;
+  useful &= tuple;
+  const std::vector<int> pool = useful.SetBits();
+
+  const int k = std::min<int>(m_eff, static_cast<int>(pool.size()));
+  const std::uint64_t combos =
+      BinomialSaturating(static_cast<int>(pool.size()), k);
+  if (options.max_combinations > 0 && combos > options.max_combinations) {
+    return ResourceExhaustedError("disjunctive brute force too large");
+  }
+
+  DynamicBitset best(log.num_attributes());
+  int best_count = -1;
+  DynamicBitset candidate(log.num_attributes());
+  ForEachCombination(pool, k, [&](const std::vector<int>& combo) {
+    candidate.ResetAll();
+    for (int attr : combo) candidate.Set(attr);
+    const int count = CountSatisfiedQueries(log, candidate,
+                                            RetrievalSemantics::kDisjunctive);
+    if (count > best_count) {
+      best_count = count;
+      best = candidate;
+    }
+    return true;
+  });
+  return FinishDisjunctive(log, tuple, m_eff, std::move(best),
+                           /*proved_optimal=*/true);
+}
+
+StatusOr<SocSolution> SolveDisjunctiveGreedy(const QueryLog& log,
+                                             const DynamicBitset& tuple,
+                                             int m) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  DynamicBitset selected(log.num_attributes());
+  DynamicBitset covered(log.size());
+  const std::vector<int> attrs = tuple.SetBits();
+
+  for (int step = 0; step < m_eff; ++step) {
+    int best_attr = -1;
+    int best_gain = 0;
+    for (int attr : attrs) {
+      if (selected.Test(attr)) continue;
+      int gain = 0;
+      for (int i = 0; i < log.size(); ++i) {
+        if (!covered.Test(i) && log.query(i).Test(attr)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_attr = attr;
+      }
+    }
+    if (best_attr < 0) break;  // No attribute covers anything new.
+    selected.Set(best_attr);
+    for (int i = 0; i < log.size(); ++i) {
+      if (log.query(i).Test(best_attr)) covered.Set(i);
+    }
+  }
+  return FinishDisjunctive(log, tuple, m_eff, std::move(selected),
+                           /*proved_optimal=*/false);
+}
+
+StatusOr<SocSolution> SolveDisjunctiveIlp(const QueryLog& log,
+                                          const DynamicBitset& tuple, int m,
+                                          const lp::MipOptions& mip) {
+  const int m_eff = internal::EffectiveBudget(log, tuple, m);
+  lp::LinearModel model(lp::ObjectiveSense::kMaximize);
+
+  std::vector<int> attr_to_x(log.num_attributes(), -1);
+  std::vector<int> x_attrs;
+  tuple.ForEachSetBit([&](int attr) {
+    attr_to_x[attr] = model.AddBinaryVariable(StrFormat("x_%d", attr), 0.0);
+    x_attrs.push_back(attr);
+  });
+  const int budget =
+      model.AddConstraint("budget", lp::ConstraintSense::kLessEqual, m_eff);
+  for (std::size_t j = 0; j < x_attrs.size(); ++j) {
+    model.AddTerm(budget, static_cast<int>(j), 1.0);
+  }
+  for (int i = 0; i < log.size(); ++i) {
+    // Skip queries t cannot touch at all: y would be forced to 0.
+    if (!log.query(i).Intersects(tuple)) continue;
+    const int y = model.AddBinaryVariable(StrFormat("y_%d", i), 1.0);
+    const int row = model.AddConstraint(StrFormat("cover_%d", i),
+                                        lp::ConstraintSense::kLessEqual, 0.0);
+    model.AddTerm(row, y, 1.0);
+    log.query(i).ForEachSetBit([&](int attr) {
+      if (attr_to_x[attr] >= 0) model.AddTerm(row, attr_to_x[attr], -1.0);
+    });
+  }
+
+  SOC_ASSIGN_OR_RETURN(lp::MipResult result, lp::SolveMip(model, mip));
+  if (!result.has_solution) {
+    return DeadlineExceededError("disjunctive ILP stopped early");
+  }
+  DynamicBitset selected(log.num_attributes());
+  for (std::size_t j = 0; j < x_attrs.size(); ++j) {
+    if (result.x[j] > 0.5) selected.Set(x_attrs[j]);
+  }
+  return FinishDisjunctive(
+      log, tuple, m_eff, std::move(selected),
+      /*proved_optimal=*/result.status == lp::SolveStatus::kOptimal);
+}
+
+}  // namespace soc

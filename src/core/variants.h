@@ -1,0 +1,77 @@
+// Problem variants of Sec II.B / Sec V built on top of the SOC-CB-QL
+// solvers:
+//
+//  * Per-attribute SOC-CB-QL: no budget is given; maximize
+//    (satisfied queries) / |t'| by trying every m in 1..|t| (Sec V).
+//  * SOC-CB-D: maximize the number of *database tuples dominated* by t';
+//    solved by feeding the database rows to any SOC-CB-QL solver in place
+//    of the query log (Sec II.B: "replacing the query log with the
+//    database").
+//  * Disjunctive retrieval: q retrieves t' iff q ∩ t' ≠ ∅; exact brute
+//    force and ILP plus the classic weighted max-coverage greedy
+//    (1 - 1/e guarantee).
+
+#ifndef SOC_CORE_VARIANTS_H_
+#define SOC_CORE_VARIANTS_H_
+
+#include <cstdint>
+
+#include "boolean/table.h"
+#include "core/solver.h"
+#include "lp/branch_and_bound.h"
+
+namespace soc {
+
+// ---------------------------------------------------------------------------
+// Per-attribute variant.
+
+struct PerAttributeSolution {
+  SocSolution solution;
+  int chosen_m = 0;        // |t'| of the best trade-off.
+  double ratio = 0.0;      // satisfied / |t'|.
+};
+
+// Maximizes satisfied(t') / |t'| over m = 1..|t| with `base` as the
+// per-budget solver. Ties prefer smaller m (cheaper ads).
+StatusOr<PerAttributeSolution> SolvePerAttribute(const SocSolver& base,
+                                                 const QueryLog& log,
+                                                 const DynamicBitset& tuple);
+
+// ---------------------------------------------------------------------------
+// SOC-CB-D.
+
+// Converts a database into the equivalent query log (each tuple becomes a
+// conjunctive query; t' dominates the tuple iff the "query" retrieves t').
+QueryLog DatabaseAsQueryLog(const BooleanTable& database);
+
+// Maximizes the number of database tuples dominated by t' (|t'| = m).
+StatusOr<SocSolution> SolveSocCbD(const SocSolver& base,
+                                  const BooleanTable& database,
+                                  const DynamicBitset& tuple, int m);
+
+// ---------------------------------------------------------------------------
+// Disjunctive retrieval.
+
+struct DisjunctiveBruteForceOptions {
+  std::uint64_t max_combinations = 50'000'000;
+};
+
+// Exact: enumerates m-subsets of t.
+StatusOr<SocSolution> SolveDisjunctiveBruteForce(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    const DisjunctiveBruteForceOptions& options = {});
+
+// Greedy weighted max-coverage: repeatedly adds the attribute of t hitting
+// the most still-uncovered queries. (1 - 1/e)-approximate.
+StatusOr<SocSolution> SolveDisjunctiveGreedy(const QueryLog& log,
+                                             const DynamicBitset& tuple,
+                                             int m);
+
+// Exact ILP:  max Σ y_i  s.t.  Σ x <= m,  y_i <= Σ_{j ∈ q_i} x_j.
+StatusOr<SocSolution> SolveDisjunctiveIlp(const QueryLog& log,
+                                          const DynamicBitset& tuple, int m,
+                                          const lp::MipOptions& mip = {});
+
+}  // namespace soc
+
+#endif  // SOC_CORE_VARIANTS_H_

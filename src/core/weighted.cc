@@ -1,0 +1,271 @@
+#include "core/weighted.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/combinatorics.h"
+
+namespace soc {
+
+namespace {
+
+// Weighted per-attribute frequencies: Σ weight over queries containing a.
+std::vector<long long> WeightedAttributeFrequencies(
+    const WeightedSocInstance& instance) {
+  std::vector<long long> freq(instance.queries.num_attributes(), 0);
+  for (int i = 0; i < instance.queries.size(); ++i) {
+    const long long w = instance.weights[i];
+    instance.queries.query(i).ForEachSetBit(
+        [&freq, w](int attr) { freq[attr] += w; });
+  }
+  return freq;
+}
+
+// Pads selection to m_eff attributes of tuple by descending weighted
+// frequency.
+void PadWeighted(const WeightedSocInstance& instance,
+                 const DynamicBitset& tuple, int m_eff,
+                 DynamicBitset* selected) {
+  int have = static_cast<int>(selected->Count());
+  if (have >= m_eff) return;
+  const std::vector<long long> freq = WeightedAttributeFrequencies(instance);
+  std::vector<int> spare;
+  tuple.ForEachSetBit([&](int attr) {
+    if (!selected->Test(attr)) spare.push_back(attr);
+  });
+  std::sort(spare.begin(), spare.end(), [&freq](int a, int b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+  for (int attr : spare) {
+    if (have >= m_eff) break;
+    selected->Set(attr);
+    ++have;
+  }
+}
+
+WeightedSolution Finish(const WeightedSocInstance& instance,
+                        const DynamicBitset& tuple, int m_eff,
+                        DynamicBitset selected, bool proved) {
+  PadWeighted(instance, tuple, m_eff, &selected);
+  WeightedSolution solution;
+  solution.satisfied_weight = CountSatisfiedWeight(instance, selected);
+  solution.selected = std::move(selected);
+  solution.proved_optimal = proved;
+  return solution;
+}
+
+}  // namespace
+
+WeightedSocInstance WeightedSocInstance::FromLog(const QueryLog& log) {
+  WeightedSocInstance instance;
+  instance.queries = CollapseDuplicateQueries(log, &instance.weights);
+  instance.total_weight = log.size();
+  return instance;
+}
+
+long long CountSatisfiedWeight(const WeightedSocInstance& instance,
+                               const DynamicBitset& tuple) {
+  return CountSatisfiedWeighted(instance.queries, instance.weights, tuple);
+}
+
+StatusOr<WeightedSolution> SolveWeightedBruteForce(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    const WeightedBruteForceOptions& options) {
+  const int m_eff =
+      internal::EffectiveBudget(instance.queries, tuple, m);
+  const int num_attrs = instance.queries.num_attributes();
+
+  DynamicBitset useful(num_attrs);
+  std::vector<int> relevant;
+  for (int i = 0; i < instance.queries.size(); ++i) {
+    const DynamicBitset& q = instance.queries.query(i);
+    if (static_cast<int>(q.Count()) <= m_eff && q.IsSubsetOf(tuple)) {
+      useful |= q;
+      relevant.push_back(i);
+    }
+  }
+  useful &= tuple;
+  const std::vector<int> pool = useful.SetBits();
+  const int pick = std::min<int>(m_eff, static_cast<int>(pool.size()));
+  const std::uint64_t combos =
+      BinomialSaturating(static_cast<int>(pool.size()), pick);
+  if (options.max_combinations > 0 && combos > options.max_combinations) {
+    return ResourceExhaustedError("weighted brute force too large");
+  }
+
+  DynamicBitset best(num_attrs);
+  long long best_weight = -1;
+  DynamicBitset candidate(num_attrs);
+  ForEachCombination(pool, pick, [&](const std::vector<int>& combo) {
+    candidate.ResetAll();
+    for (int attr : combo) candidate.Set(attr);
+    long long weight = 0;
+    for (int i : relevant) {
+      if (instance.queries.query(i).IsSubsetOf(candidate)) {
+        weight += instance.weights[i];
+      }
+    }
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = candidate;
+    }
+    return true;
+  });
+  return Finish(instance, tuple, m_eff, std::move(best), /*proved=*/true);
+}
+
+namespace {
+
+class WeightedBnb {
+ public:
+  WeightedBnb(std::vector<DynamicBitset> queries, std::vector<long long> w,
+              std::vector<int> candidates, int num_attrs, int budget,
+              std::int64_t max_nodes)
+      : queries_(std::move(queries)),
+        weights_(std::move(w)),
+        candidates_(std::move(candidates)),
+        budget_(budget),
+        max_nodes_(max_nodes),
+        chosen_(num_attrs),
+        rejected_(num_attrs),
+        best_selection_(num_attrs) {}
+
+  Status Run() { return Visit(0, 0); }
+  const DynamicBitset& best_selection() const { return best_selection_; }
+
+ private:
+  Status Visit(std::size_t index, int num_chosen) {
+    if (max_nodes_ > 0 && ++nodes_ > max_nodes_) {
+      return ResourceExhaustedError("weighted B&B node budget exhausted");
+    }
+    long long satisfied = 0;
+    long long potential = 0;
+    const int slack = budget_ - num_chosen;
+    for (std::size_t i = 0; i < queries_.size(); ++i) {
+      const DynamicBitset& q = queries_[i];
+      if (q.IsSubsetOf(chosen_)) {
+        satisfied += weights_[i];
+      } else if (!q.Intersects(rejected_) &&
+                 static_cast<int>(q.Count() - q.IntersectionCount(chosen_)) <=
+                     slack) {
+        potential += weights_[i];
+      }
+    }
+    if (satisfied > best_weight_) {
+      best_weight_ = satisfied;
+      best_selection_ = chosen_;
+    }
+    if (satisfied + potential <= best_weight_) return Status::OK();
+    if (num_chosen == budget_ || index == candidates_.size()) {
+      return Status::OK();
+    }
+    const int attr = candidates_[index];
+    chosen_.Set(attr);
+    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen + 1));
+    chosen_.Reset(attr);
+    rejected_.Set(attr);
+    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen));
+    rejected_.Reset(attr);
+    return Status::OK();
+  }
+
+  const std::vector<DynamicBitset> queries_;
+  const std::vector<long long> weights_;
+  const std::vector<int> candidates_;
+  const int budget_;
+  const std::int64_t max_nodes_;
+  DynamicBitset chosen_;
+  DynamicBitset rejected_;
+  DynamicBitset best_selection_;
+  long long best_weight_ = -1;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+StatusOr<WeightedSolution> SolveWeightedBnb(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    const WeightedBnbOptions& options) {
+  const int m_eff = internal::EffectiveBudget(instance.queries, tuple, m);
+  const int num_attrs = instance.queries.num_attributes();
+
+  std::vector<DynamicBitset> relevant;
+  std::vector<long long> relevant_weights;
+  DynamicBitset candidate_union(num_attrs);
+  for (int i = 0; i < instance.queries.size(); ++i) {
+    const DynamicBitset& q = instance.queries.query(i);
+    if (static_cast<int>(q.Count()) <= m_eff && q.IsSubsetOf(tuple)) {
+      relevant.push_back(q);
+      relevant_weights.push_back(instance.weights[i]);
+      candidate_union |= q;
+    }
+  }
+  candidate_union &= tuple;
+  const std::vector<long long> freq = WeightedAttributeFrequencies(instance);
+  std::vector<int> candidates = candidate_union.SetBits();
+  std::sort(candidates.begin(), candidates.end(), [&freq](int a, int b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+
+  WeightedBnb search(std::move(relevant), std::move(relevant_weights),
+                     std::move(candidates), num_attrs, m_eff,
+                     options.max_nodes);
+  SOC_RETURN_IF_ERROR(search.Run());
+  return Finish(instance, tuple, m_eff, search.best_selection(),
+                /*proved=*/true);
+}
+
+StatusOr<WeightedSolution> SolveWeightedGreedy(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    GreedyKind kind) {
+  const int m_eff = internal::EffectiveBudget(instance.queries, tuple, m);
+  const int num_attrs = instance.queries.num_attributes();
+  const std::vector<long long> freq = WeightedAttributeFrequencies(instance);
+  DynamicBitset selected(num_attrs);
+
+  if (kind == GreedyKind::kConsumeAttr) {
+    std::vector<int> attrs = tuple.SetBits();
+    std::sort(attrs.begin(), attrs.end(), [&freq](int a, int b) {
+      if (freq[a] != freq[b]) return freq[a] > freq[b];
+      return a < b;
+    });
+    for (int i = 0; i < m_eff; ++i) selected.Set(attrs[i]);
+  } else if (kind == GreedyKind::kConsumeAttrCumul) {
+    std::vector<int> remaining = tuple.SetBits();
+    for (int step = 0; step < m_eff; ++step) {
+      int best_attr = -1;
+      long long best_joint = -1;
+      long long best_freq = -1;
+      for (int attr : remaining) {
+        DynamicBitset with_attr = selected;
+        with_attr.Set(attr);
+        long long joint = 0;
+        for (int i = 0; i < instance.queries.size(); ++i) {
+          if (with_attr.IsSubsetOf(instance.queries.query(i))) {
+            joint += instance.weights[i];
+          }
+        }
+        if (joint > best_joint ||
+            (joint == best_joint && freq[attr] > best_freq)) {
+          best_attr = attr;
+          best_joint = joint;
+          best_freq = freq[attr];
+        }
+      }
+      if (best_joint == 0) break;  // Padding (by weighted freq) fills up.
+      selected.Set(best_attr);
+      remaining.erase(
+          std::find(remaining.begin(), remaining.end(), best_attr));
+    }
+  } else {
+    return UnimplementedError(
+        "weighted ConsumeQueries is not provided; use the unweighted "
+        "solver on the raw log");
+  }
+  return Finish(instance, tuple, m_eff, std::move(selected),
+                /*proved=*/false);
+}
+
+}  // namespace soc

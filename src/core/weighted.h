@@ -1,0 +1,68 @@
+// Weighted SOC-CB-QL: real query logs repeat popular queries heavily, so
+// the practical pipeline is collapse-duplicates → solve the weighted
+// instance (objective = Σ weight over satisfied distinct queries). The
+// optimum is identical to solving the raw log (weights = multiplicities),
+// but the instance shrinks by the duplication factor.
+//
+// Provided: a weighted instance type built from a raw log, plus weighted
+// counterparts of the brute-force, branch-and-bound and greedy solvers.
+// (The ILP adapter handles weights by changing objective coefficients; the
+// MFI solver would need weighted supports — use the unweighted solvers or
+// the ones here.)
+
+#ifndef SOC_CORE_WEIGHTED_H_
+#define SOC_CORE_WEIGHTED_H_
+
+#include <cstdint>
+
+#include "boolean/log_stats.h"
+#include "core/greedy.h"
+#include "core/solver.h"
+
+namespace soc {
+
+struct WeightedSocInstance {
+  QueryLog queries;           // Distinct queries.
+  std::vector<int> weights;   // Multiplicity of each (>= 1).
+  long long total_weight = 0;
+
+  // Collapses `log` into a weighted instance.
+  static WeightedSocInstance FromLog(const QueryLog& log);
+};
+
+// Σ weights over queries retrieved by `tuple`.
+long long CountSatisfiedWeight(const WeightedSocInstance& instance,
+                               const DynamicBitset& tuple);
+
+struct WeightedSolution {
+  DynamicBitset selected;
+  long long satisfied_weight = 0;
+  bool proved_optimal = false;
+};
+
+struct WeightedBruteForceOptions {
+  std::uint64_t max_combinations = 50'000'000;
+};
+
+// Exact: candidate-pruned enumeration (weighted BruteForce-SOC-CB-QL).
+StatusOr<WeightedSolution> SolveWeightedBruteForce(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    const WeightedBruteForceOptions& options = {});
+
+// Exact: weighted variant of the combinatorial branch-and-bound.
+struct WeightedBnbOptions {
+  std::int64_t max_nodes = 100'000'000;
+};
+StatusOr<WeightedSolution> SolveWeightedBnb(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    const WeightedBnbOptions& options = {});
+
+// Heuristics: weighted ConsumeAttr / ConsumeAttrCumul (frequencies and
+// co-occurrence counts become weight sums).
+StatusOr<WeightedSolution> SolveWeightedGreedy(
+    const WeightedSocInstance& instance, const DynamicBitset& tuple, int m,
+    GreedyKind kind);
+
+}  // namespace soc
+
+#endif  // SOC_CORE_WEIGHTED_H_

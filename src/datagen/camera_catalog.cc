@@ -1,0 +1,101 @@
+#include "datagen/camera_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace soc::datagen {
+
+namespace {
+
+enum Tier { kEntry, kMidrange, kPro, kNumTiers };
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+// Per-tier value ranges, index-aligned with CameraAttributeNames().
+constexpr Range kTierRanges[kNumTiers][kNumCameraAttributes] = {
+    // Price,        Weight,       Resolution,  Zoom,       Screen,     Battery
+    {{90, 350},   {0.15, 0.40}, {10, 20},   {3, 8},    {2.5, 3.2}, {180, 350}},
+    {{350, 1200}, {0.35, 0.80}, {16, 30},   {5, 15},   {3.0, 3.5}, {250, 500}},
+    {{1200, 4500}, {0.60, 1.60}, {24, 60},  {1, 5},    {3.0, 3.8}, {350, 900}},
+};
+
+constexpr double kTierWeights[kNumTiers] = {0.45, 0.40, 0.15};
+
+double RoundTo(double value, double step) {
+  return std::round(value / step) * step;
+}
+
+}  // namespace
+
+std::vector<std::string> CameraAttributeNames() {
+  return {"Price", "WeightKg", "ResolutionMp",
+          "ZoomX", "ScreenInches", "BatteryShots"};
+}
+
+numeric::NumericTable GenerateCameraCatalog(
+    const CameraCatalogOptions& options) {
+  SOC_CHECK_GE(options.num_cameras, 0);
+  Rng rng(options.seed);
+  numeric::NumericTable catalog(CameraAttributeNames());
+  const std::vector<double> tier_weights(kTierWeights,
+                                         kTierWeights + kNumTiers);
+  for (int i = 0; i < options.num_cameras; ++i) {
+    const Tier tier = static_cast<Tier>(rng.NextWeighted(tier_weights));
+    std::vector<double> camera(kNumCameraAttributes);
+    for (int a = 0; a < kNumCameraAttributes; ++a) {
+      const Range range = kTierRanges[tier][a];
+      camera[a] = range.lo + (range.hi - range.lo) * rng.NextDouble();
+    }
+    camera[0] = RoundTo(camera[0], 10.0);   // Prices in $10 steps.
+    camera[2] = RoundTo(camera[2], 1.0);    // Whole megapixels.
+    camera[3] = RoundTo(camera[3], 1.0);    // Whole zoom factors.
+    const Status status = catalog.AddRow(std::move(camera));
+    SOC_CHECK(status.ok());
+  }
+  return catalog;
+}
+
+std::vector<numeric::RangeQuery> MakeCameraWorkload(
+    const numeric::NumericTable& catalog,
+    const CameraWorkloadOptions& options) {
+  SOC_CHECK_GT(catalog.num_rows(), 0);
+  Rng rng(options.seed);
+  // Per-attribute spread, to size plausible search windows.
+  std::vector<double> spread(catalog.num_attributes(), 1.0);
+  for (int a = 0; a < catalog.num_attributes(); ++a) {
+    double lo = catalog.row(0)[a];
+    double hi = lo;
+    for (int r = 1; r < catalog.num_rows(); ++r) {
+      lo = std::min(lo, catalog.row(r)[a]);
+      hi = std::max(hi, catalog.row(r)[a]);
+    }
+    spread[a] = std::max(hi - lo, 1e-9);
+  }
+
+  std::vector<numeric::RangeQuery> queries;
+  queries.reserve(options.num_queries);
+  for (int i = 0; i < options.num_queries; ++i) {
+    const std::vector<double>& anchor =
+        catalog.row(rng.NextUint64(catalog.num_rows()));
+    const int conditions =
+        static_cast<int>(rng.NextWeighted(options.conditions_distribution)) +
+        1;
+    numeric::RangeQuery query;
+    for (int attr : rng.SampleWithoutReplacement(catalog.num_attributes(),
+                                                 conditions)) {
+      // Window of 10-40% of the attribute's spread around the anchor.
+      const double half =
+          spread[attr] * (0.05 + 0.15 * rng.NextDouble());
+      query.push_back({attr, anchor[attr] - half, anchor[attr] + half});
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace soc::datagen

@@ -1,0 +1,47 @@
+// Synthetic digital-camera catalog with numeric attributes and a range-
+// query workload — the numeric scenario the paper sketches in Sec II.B
+// ("users browsing a database for digital cameras may specify desired
+// ranges on price, weight, resolution, etc").
+
+#ifndef SOC_DATAGEN_CAMERA_CATALOG_H_
+#define SOC_DATAGEN_CAMERA_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/numeric.h"
+
+namespace soc::datagen {
+
+// Numeric camera attributes: Price, WeightKg, ResolutionMp, ZoomX,
+// ScreenInches, BatteryShots.
+inline constexpr int kNumCameraAttributes = 6;
+std::vector<std::string> CameraAttributeNames();
+
+struct CameraCatalogOptions {
+  int num_cameras = 2000;
+  std::uint64_t seed = 555;
+};
+
+// Cameras from three latent tiers (entry / midrange / pro) with
+// correlated attribute distributions (pro = pricier, heavier, sharper).
+numeric::NumericTable GenerateCameraCatalog(
+    const CameraCatalogOptions& options = {});
+
+struct CameraWorkloadOptions {
+  int num_queries = 400;
+  std::uint64_t seed = 77;
+  // Probability that a query constrains 1, 2, 3 attributes.
+  std::vector<double> conditions_distribution = {0.35, 0.45, 0.20};
+};
+
+// Range queries anchored at real catalog tuples: a buyer "likes" a random
+// camera and searches for a window around some of its values — so queries
+// genuinely hit the catalog's dense regions.
+std::vector<numeric::RangeQuery> MakeCameraWorkload(
+    const numeric::NumericTable& catalog,
+    const CameraWorkloadOptions& options = {});
+
+}  // namespace soc::datagen
+
+#endif  // SOC_DATAGEN_CAMERA_CATALOG_H_

@@ -1,0 +1,107 @@
+#include "datagen/car_dataset.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace soc::datagen {
+
+namespace {
+
+// 32 Boolean car features, roughly ordered from common to rare.
+constexpr std::array<const char*, kNumCarAttributes> kAttributeNames = {
+    "AC",             "PowerSteering",  "AMFMRadio",      "PowerBrakes",
+    "PowerLocks",     "PowerWindows",   "TiltWheel",      "CruiseControl",
+    "FourDoor",       "AutoTrans",      "CDPlayer",       "DualAirbags",
+    "ABS",            "AlloyWheels",    "KeylessEntry",   "RearDefroster",
+    "FoldingRearSeat", "PowerMirrors",  "Sunroof",        "RoofRack",
+    "LeatherSeats",   "HeatedSeats",    "PremiumSound",   "TowPackage",
+    "FourWheelDrive", "Turbo",          "Spoiler",        "SportPackage",
+    "NavigationSystem", "ThirdRowSeat", "RemoteStart",    "ParkingSensors",
+};
+
+// Latent car types and their mixture weights.
+enum CarType { kEconomy, kFamily, kSport, kLuxury, kTruck, kNumTypes };
+constexpr std::array<double, kNumTypes> kTypeWeights = {0.30, 0.30, 0.15,
+                                                        0.15, 0.10};
+
+// Base prevalence of each attribute (index-aligned with kAttributeNames),
+// from near-universal features to rare options.
+constexpr std::array<double, kNumCarAttributes> kBasePrevalence = {
+    0.90, 0.88, 0.85, 0.85, 0.70, 0.68, 0.62, 0.60,  // comfort basics
+    0.65, 0.72, 0.55, 0.50, 0.45, 0.35, 0.40, 0.55,  // common mid-tier
+    0.30, 0.38, 0.20, 0.12, 0.18, 0.10, 0.15, 0.10,  // upscale / utility
+    0.12, 0.08, 0.07, 0.08, 0.08, 0.08, 0.06, 0.05,  // rare options
+};
+
+// Multiplicative boost applied per car type to themed feature bundles.
+double TypeBoost(CarType type, int attribute) {
+  switch (type) {
+    case kEconomy:
+      // Economy cars skip options.
+      if (attribute >= 16) return 0.3;
+      return 0.9;
+    case kFamily:
+      // FourDoor, AutoTrans, RearDefroster, FoldingRearSeat, ThirdRowSeat.
+      if (attribute == 8 || attribute == 9 || attribute == 15 ||
+          attribute == 16 || attribute == 29) {
+        return 1.4;
+      }
+      return 1.0;
+    case kSport:
+      // Turbo, Spoiler, SportPackage, AlloyWheels, PremiumSound.
+      if (attribute == 25 || attribute == 26 || attribute == 27 ||
+          attribute == 13 || attribute == 22) {
+        return 4.0;
+      }
+      if (attribute == 8 || attribute == 29) return 0.3;  // Few four-doors.
+      return 1.0;
+    case kLuxury:
+      // Leather, HeatedSeats, Sunroof, Navigation, ParkingSensors,
+      // RemoteStart, KeylessEntry, PremiumSound.
+      if (attribute == 20 || attribute == 21 || attribute == 18 ||
+          attribute == 28 || attribute == 31 || attribute == 30 ||
+          attribute == 14 || attribute == 22) {
+        return 3.5;
+      }
+      return 1.1;
+    case kTruck:
+      // TowPackage, FourWheelDrive, RoofRack.
+      if (attribute == 23 || attribute == 24 || attribute == 19) return 4.5;
+      if (attribute == 8 || attribute == 29) return 0.5;
+      return 0.9;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+AttributeSchema CarSchema() {
+  std::vector<std::string> names(kAttributeNames.begin(),
+                                 kAttributeNames.end());
+  auto schema = AttributeSchema::Create(std::move(names));
+  SOC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+BooleanTable GenerateCarDataset(const CarDatasetOptions& options) {
+  SOC_CHECK_GE(options.num_cars, 0);
+  Rng rng(options.seed);
+  const std::vector<double> type_weights(kTypeWeights.begin(),
+                                         kTypeWeights.end());
+  BooleanTable table(CarSchema());
+  for (int car = 0; car < options.num_cars; ++car) {
+    const CarType type = static_cast<CarType>(rng.NextWeighted(type_weights));
+    DynamicBitset row(kNumCarAttributes);
+    for (int a = 0; a < kNumCarAttributes; ++a) {
+      const double p =
+          std::min(0.97, kBasePrevalence[a] * TypeBoost(type, a));
+      if (rng.NextBernoulli(p)) row.Set(a);
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace soc::datagen

@@ -1,0 +1,38 @@
+// Synthetic stand-in for the paper's evaluation dataset: a crawl of 15,211
+// used cars for sale in the Dallas area with 32 Boolean attributes
+// (autos.yahoo.com; Sec VII). The crawl is not redistributable, so we
+// generate a dataset with the same shape: 32 named car features whose
+// prevalences and co-occurrences are driven by a latent car-type mixture
+// (economy / family / sport / luxury / truck). The SOC algorithms consume
+// only attribute frequencies and co-occurrences, which this generator
+// controls explicitly — see DESIGN.md, "Substitutions".
+
+#ifndef SOC_DATAGEN_CAR_DATASET_H_
+#define SOC_DATAGEN_CAR_DATASET_H_
+
+#include <cstdint>
+
+#include "boolean/table.h"
+
+namespace soc::datagen {
+
+// The number of Boolean attributes in the paper's dataset.
+inline constexpr int kNumCarAttributes = 32;
+
+// The number of cars in the paper's dataset.
+inline constexpr int kPaperCarCount = 15'211;
+
+// The 32-attribute car schema (AC, PowerLocks, ..., RoofRack).
+AttributeSchema CarSchema();
+
+struct CarDatasetOptions {
+  int num_cars = kPaperCarCount;
+  std::uint64_t seed = 2008;
+};
+
+// Generates the synthetic used-car table.
+BooleanTable GenerateCarDataset(const CarDatasetOptions& options = {});
+
+}  // namespace soc::datagen
+
+#endif  // SOC_DATAGEN_CAR_DATASET_H_

@@ -1,0 +1,83 @@
+#include "datagen/categorical_catalog.h"
+
+#include "common/random.h"
+
+namespace soc::datagen {
+
+namespace {
+
+// Popularity weights per attribute (index-aligned with the schema's
+// domains); deliberately skewed so equality queries repeat.
+const std::vector<std::vector<double>>& ValueWeights() {
+  static const auto& weights = *new std::vector<std::vector<double>>{
+      {25, 20, 15, 12, 10, 8, 6, 4},  // Make.
+      {30, 25, 18, 12, 10, 5},        // Body.
+      {22, 20, 18, 15, 12, 8, 5},     // Color.
+      {55, 25, 12, 8},                // Fuel.
+      {70, 30},                       // Transmission.
+      {60, 25, 15},                   // Drivetrain.
+  };
+  return weights;
+}
+
+}  // namespace
+
+categorical::CategoricalSchema UsedCarCategoricalSchema() {
+  auto schema = categorical::CategoricalSchema::Create(
+      {"Make", "Body", "Color", "Fuel", "Transmission", "Drivetrain"},
+      {{"Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "BMW", "Audi",
+        "Subaru"},
+       {"Sedan", "SUV", "Hatchback", "Truck", "Coupe", "Convertible"},
+       {"Black", "White", "Silver", "Gray", "Blue", "Red", "Green"},
+       {"Gasoline", "Hybrid", "Diesel", "Electric"},
+       {"Automatic", "Manual"},
+       {"FWD", "AWD", "RWD"}});
+  SOC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+categorical::CategoricalTable GenerateCategoricalCatalog(
+    const CategoricalCatalogOptions& options) {
+  Rng rng(options.seed);
+  categorical::CategoricalTable table(UsedCarCategoricalSchema());
+  const auto& weights = ValueWeights();
+  for (int i = 0; i < options.num_cars; ++i) {
+    categorical::CategoricalTuple car(weights.size());
+    for (std::size_t a = 0; a < weights.size(); ++a) {
+      car[a] = static_cast<int>(rng.NextWeighted(weights[a]));
+    }
+    // Correlation: coupes/convertibles (body 4, 5) skew manual + RWD.
+    if (car[1] >= 4) {
+      if (rng.NextBernoulli(0.6)) car[4] = 1;  // Manual.
+      if (rng.NextBernoulli(0.6)) car[5] = 2;  // RWD.
+    }
+    const Status status = table.AddRow(std::move(car));
+    SOC_CHECK(status.ok());
+  }
+  return table;
+}
+
+std::vector<categorical::CategoricalQuery> MakeCategoricalWorkload(
+    const categorical::CategoricalTable& catalog,
+    const CategoricalWorkloadOptions& options) {
+  SOC_CHECK_GT(catalog.num_rows(), 0);
+  Rng rng(options.seed);
+  const int num_attrs = catalog.schema().num_attributes();
+  std::vector<categorical::CategoricalQuery> queries;
+  queries.reserve(options.num_queries);
+  for (int i = 0; i < options.num_queries; ++i) {
+    const categorical::CategoricalTuple& anchor =
+        catalog.row(rng.NextUint64(catalog.num_rows()));
+    const int conditions =
+        static_cast<int>(rng.NextWeighted(options.conditions_distribution)) +
+        1;
+    categorical::CategoricalQuery query;
+    for (int attr : rng.SampleWithoutReplacement(num_attrs, conditions)) {
+      query.push_back({attr, anchor[attr]});
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace soc::datagen

@@ -1,0 +1,43 @@
+// Synthetic categorical used-car catalog (make / body / color / fuel /
+// transmission / drivetrain) with an equality-condition query workload —
+// the categorical scenario of Sec II.B / V.
+
+#ifndef SOC_DATAGEN_CATEGORICAL_CATALOG_H_
+#define SOC_DATAGEN_CATEGORICAL_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "categorical/categorical.h"
+
+namespace soc::datagen {
+
+// Schema: Make(8) Body(6) Color(7) Fuel(4) Transmission(2) Drivetrain(3).
+categorical::CategoricalSchema UsedCarCategoricalSchema();
+
+struct CategoricalCatalogOptions {
+  int num_cars = 3000;
+  std::uint64_t seed = 808;
+};
+
+// Cars with skewed value popularity (common makes/colors dominate) and a
+// few correlated combinations (sports bodies skew manual + RWD).
+categorical::CategoricalTable GenerateCategoricalCatalog(
+    const CategoricalCatalogOptions& options = {});
+
+struct CategoricalWorkloadOptions {
+  int num_queries = 300;
+  std::uint64_t seed = 99;
+  // Probability a query has 1, 2, 3 conditions.
+  std::vector<double> conditions_distribution = {0.4, 0.4, 0.2};
+};
+
+// Equality-condition queries anchored at catalog rows (buyers search for
+// combinations that exist).
+std::vector<categorical::CategoricalQuery> MakeCategoricalWorkload(
+    const categorical::CategoricalTable& catalog,
+    const CategoricalWorkloadOptions& options = {});
+
+}  // namespace soc::datagen
+
+#endif  // SOC_DATAGEN_CATEGORICAL_CATALOG_H_

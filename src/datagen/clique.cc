@@ -1,0 +1,89 @@
+#include "datagen/clique.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace soc::datagen {
+
+Graph::Graph(int num_vertices) : num_vertices_(num_vertices) {
+  SOC_CHECK_GE(num_vertices, 0);
+  adjacency_.assign(num_vertices, DynamicBitset(num_vertices));
+}
+
+Graph Graph::ErdosRenyi(int num_vertices, double edge_probability,
+                        std::uint64_t seed) {
+  Graph graph(num_vertices);
+  Rng rng(seed);
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      if (rng.NextBernoulli(edge_probability)) graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+void Graph::AddEdge(int u, int v) {
+  SOC_CHECK_NE(u, v);
+  SOC_CHECK(!HasEdge(u, v));
+  adjacency_[u].Set(v);
+  adjacency_[v].Set(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool Graph::HasEdge(int u, int v) const { return adjacency_[u].Test(v); }
+
+bool Graph::IsClique(const DynamicBitset& vertices) const {
+  const std::vector<int> members = vertices.SetBits();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!HasEdge(members[i], members[j])) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Classic max-clique branch and bound: extend the current clique with
+// vertices from `candidates`, pruning when |clique| + |candidates| cannot
+// beat the best.
+void MaxCliqueSearch(const std::vector<DynamicBitset>& adjacency,
+                     DynamicBitset& clique, DynamicBitset candidates,
+                     int* best) {
+  const int size = static_cast<int>(clique.Count());
+  *best = std::max(*best, size);
+  while (candidates.Any()) {
+    if (size + static_cast<int>(candidates.Count()) <= *best) return;
+    const int v = static_cast<int>(candidates.FindFirst());
+    candidates.Reset(v);
+    clique.Set(v);
+    MaxCliqueSearch(adjacency, clique, candidates & adjacency[v], best);
+    clique.Reset(v);
+  }
+}
+
+}  // namespace
+
+int Graph::MaxCliqueSize() const {
+  if (num_vertices_ == 0) return 0;
+  DynamicBitset clique(num_vertices_);
+  DynamicBitset candidates(num_vertices_);
+  candidates.SetAll();
+  int best = 0;
+  MaxCliqueSearch(adjacency_, clique, std::move(candidates), &best);
+  return best;
+}
+
+CliqueSocInstance CliqueToSoc(const Graph& graph) {
+  CliqueSocInstance instance{QueryLog(AttributeSchema::Anonymous(
+                                 graph.num_vertices())),
+                             DynamicBitset(graph.num_vertices())};
+  for (const auto& [u, v] : graph.edges()) {
+    instance.log.AddQueryFromIndices({u, v});
+  }
+  instance.tuple.SetAll();
+  return instance;
+}
+
+}  // namespace soc::datagen

@@ -1,0 +1,62 @@
+// The Theorem 1 reduction (Sec III): Clique ≤p SOC-CB-QL.
+//
+// Given a graph G = (V, E) and target r: attributes = V, one conjunctive
+// query {u, v} per edge, the new tuple t = all of V, budget m = r. Then G
+// has an r-clique iff some compression of t with r attributes satisfies
+// r(r-1)/2 queries. Used by tests to validate the solvers against a
+// brute-force clique finder, and by benches to generate adversarially hard
+// SOC instances.
+
+#ifndef SOC_DATAGEN_CLIQUE_H_
+#define SOC_DATAGEN_CLIQUE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "boolean/query_log.h"
+#include "common/bitset.h"
+
+namespace soc::datagen {
+
+// A simple undirected graph on vertices 0..n-1.
+class Graph {
+ public:
+  explicit Graph(int num_vertices);
+
+  static Graph ErdosRenyi(int num_vertices, double edge_probability,
+                          std::uint64_t seed);
+
+  int num_vertices() const { return num_vertices_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  // True iff `vertices` (as a bitset over V) induces a complete subgraph.
+  bool IsClique(const DynamicBitset& vertices) const;
+
+  // Size of a maximum clique, by branch-and-bound enumeration (exact;
+  // intended for small graphs in tests).
+  int MaxCliqueSize() const;
+
+ private:
+  int num_vertices_;
+  std::vector<DynamicBitset> adjacency_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+struct CliqueSocInstance {
+  QueryLog log;        // One 2-attribute query per edge.
+  DynamicBitset tuple;  // All vertices.
+};
+
+// Materializes the reduction for graph G.
+CliqueSocInstance CliqueToSoc(const Graph& graph);
+
+// The SOC objective value r(r-1)/2 that certifies an r-clique.
+inline int CliqueCertificate(int r) { return r * (r - 1) / 2; }
+
+}  // namespace soc::datagen
+
+#endif  // SOC_DATAGEN_CLIQUE_H_

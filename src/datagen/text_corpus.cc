@@ -1,0 +1,79 @@
+#include "datagen/text_corpus.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace soc::datagen {
+
+TextCorpus GenerateTextCorpus(const TextCorpusOptions& options) {
+  SOC_CHECK_GT(options.vocabulary_size, 0);
+  SOC_CHECK_GT(options.num_topics, 0);
+  SOC_CHECK_GE(options.max_document_length, options.min_document_length);
+  SOC_CHECK_LE(options.words_per_topic, options.vocabulary_size);
+  Rng rng(options.seed);
+  const ZipfDistribution background(options.vocabulary_size,
+                                    options.zipf_exponent);
+
+  TextCorpus corpus;
+  // Topic vocabularies: distinct mid-frequency words per topic (sampled
+  // without replacement from the whole vocabulary so topics overlap only
+  // by background usage).
+  for (int topic = 0; topic < options.num_topics; ++topic) {
+    corpus.topic_words.push_back(rng.SampleWithoutReplacement(
+        options.vocabulary_size, options.words_per_topic));
+  }
+
+  for (int d = 0; d < options.num_documents; ++d) {
+    const int topic = static_cast<int>(rng.NextUint64(options.num_topics));
+    const int length = rng.NextInt(options.min_document_length,
+                                   options.max_document_length);
+    std::vector<int> terms;
+    terms.reserve(length);
+    const std::vector<int>& topical = corpus.topic_words[topic];
+    for (int w = 0; w < length; ++w) {
+      if (rng.NextBernoulli(options.topic_word_fraction)) {
+        terms.push_back(topical[rng.NextUint64(topical.size())]);
+      } else {
+        terms.push_back(background.Sample(rng));
+      }
+    }
+    corpus.documents.push_back(std::move(terms));
+    corpus.document_topics.push_back(topic);
+  }
+  return corpus;
+}
+
+std::vector<text::SparseQuery> MakeTextWorkload(
+    const TextCorpus& corpus, const TextWorkloadOptions& options) {
+  SOC_CHECK(!corpus.topic_words.empty());
+  Rng rng(options.seed);
+  std::vector<text::SparseQuery> queries;
+  queries.reserve(options.num_queries);
+  for (int i = 0; i < options.num_queries; ++i) {
+    const std::vector<int>& topical =
+        corpus.topic_words[rng.NextUint64(corpus.topic_words.size())];
+    const int size =
+        static_cast<int>(rng.NextWeighted(options.size_distribution)) + 1;
+    text::SparseQuery query;
+    for (int pick :
+         rng.SampleWithoutReplacement(static_cast<int>(topical.size()),
+                                      std::min<int>(size, topical.size()))) {
+      query.push_back(topical[pick]);
+    }
+    std::sort(query.begin(), query.end());
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+text::TextIndex IndexCorpus(const TextCorpus& corpus) {
+  text::TextIndex index;
+  for (const std::vector<int>& document : corpus.documents) {
+    index.AddDocumentTerms(document);
+  }
+  return index;
+}
+
+}  // namespace soc::datagen

@@ -1,0 +1,60 @@
+// Synthetic classified-ads corpus for the text variant (Sec II.B / V):
+// a Zipf-distributed vocabulary (natural-language word frequencies follow
+// Zipf's law), documents mixing topic words and background words, and a
+// keyword-query workload drawn from the same topics — so queries actually
+// hit documents, as real search logs do.
+
+#ifndef SOC_DATAGEN_TEXT_CORPUS_H_
+#define SOC_DATAGEN_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/keyword_selection.h"
+#include "text/text.h"
+
+namespace soc::datagen {
+
+struct TextCorpusOptions {
+  int vocabulary_size = 5000;
+  int num_documents = 1000;
+  int min_document_length = 20;
+  int max_document_length = 80;
+  int num_topics = 25;
+  int words_per_topic = 40;
+  // Fraction of a document's words drawn from its topic (vs background
+  // Zipf draws over the whole vocabulary).
+  double topic_word_fraction = 0.5;
+  double zipf_exponent = 1.1;
+  std::uint64_t seed = 1234;
+};
+
+struct TextCorpus {
+  // Documents as term-id sequences (term ids are 0..vocabulary_size-1).
+  std::vector<std::vector<int>> documents;
+  // Topic id of each document.
+  std::vector<int> document_topics;
+  // The words of each topic (distinct term ids).
+  std::vector<std::vector<int>> topic_words;
+};
+
+TextCorpus GenerateTextCorpus(const TextCorpusOptions& options = {});
+
+struct TextWorkloadOptions {
+  int num_queries = 500;
+  // Queries have 1-3 keywords, mostly drawn from one topic.
+  std::vector<double> size_distribution = {0.3, 0.5, 0.2};
+  std::uint64_t seed = 99;
+};
+
+// Keyword queries over a corpus: each query picks a topic (uniform) and
+// draws its keywords from that topic's words.
+std::vector<text::SparseQuery> MakeTextWorkload(
+    const TextCorpus& corpus, const TextWorkloadOptions& options = {});
+
+// Builds the inverted index of the whole corpus.
+text::TextIndex IndexCorpus(const TextCorpus& corpus);
+
+}  // namespace soc::datagen
+
+#endif  // SOC_DATAGEN_TEXT_CORPUS_H_

@@ -1,0 +1,99 @@
+#include "itemsets/apriori.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace soc::itemsets {
+
+namespace {
+
+using ItemVec = std::vector<int>;
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsApriori(
+    const TransactionDatabase& db, int min_support,
+    const AprioriOptions& options) {
+  SOC_CHECK_GE(min_support, 1);
+  std::vector<FrequentItemset> result;
+
+  const int n = db.num_items();
+  // Level 1.
+  std::vector<ItemVec> level;
+  const std::vector<int> item_supports = db.ItemSupports();
+  for (int i = 0; i < n; ++i) {
+    if (item_supports[i] >= min_support) {
+      level.push_back({i});
+      result.push_back(
+          {DynamicBitset::FromIndices(n, {i}), item_supports[i]});
+    }
+  }
+
+  int k = 1;
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> previous_level_set;
+  for (const ItemVec& items : level) {
+    previous_level_set.insert(DynamicBitset::FromIndices(n, items));
+  }
+
+  while (!level.empty() && (options.max_level <= 0 || k < options.max_level)) {
+    // Candidate generation: join itemsets sharing the first k-1 items
+    // (levels are kept lexicographically sorted by construction).
+    std::vector<ItemVec> candidates;
+    for (std::size_t a = 0; a < level.size(); ++a) {
+      for (std::size_t b = a + 1; b < level.size(); ++b) {
+        if (!std::equal(level[a].begin(), level[a].end() - 1,
+                        level[b].begin())) {
+          break;  // Sorted order: no later b shares the prefix either.
+        }
+        ItemVec candidate = level[a];
+        candidate.push_back(level[b].back());
+        // Subset prune: every k-subset must be frequent.
+        bool all_frequent = true;
+        DynamicBitset bits =
+            DynamicBitset::FromIndices(n, candidate);
+        for (int drop : candidate) {
+          bits.Reset(drop);
+          if (!previous_level_set.contains(bits)) {
+            all_frequent = false;
+          }
+          bits.Set(drop);
+          if (!all_frequent) break;
+        }
+        if (all_frequent) candidates.push_back(std::move(candidate));
+        if (options.max_itemsets > 0 &&
+            static_cast<std::int64_t>(candidates.size() + result.size()) >
+                options.max_itemsets) {
+          return ResourceExhaustedError(
+              "Apriori candidate explosion at level " + std::to_string(k + 1) +
+              " (the dense complemented log defeats level-wise mining; "
+              "see Sec IV.C of the paper)");
+        }
+      }
+    }
+
+    // Support counting.
+    std::vector<ItemVec> next_level;
+    previous_level_set.clear();
+    for (ItemVec& candidate : candidates) {
+      const DynamicBitset bits = DynamicBitset::FromIndices(n, candidate);
+      const int support = db.Support(bits);
+      if (support < min_support) continue;
+      result.push_back({bits, support});
+      previous_level_set.insert(bits);
+      next_level.push_back(std::move(candidate));
+      if (options.max_itemsets > 0 &&
+          static_cast<std::int64_t>(result.size()) > options.max_itemsets) {
+        return ResourceExhaustedError(
+            "Apriori frequent-itemset explosion at level " +
+            std::to_string(k + 1));
+      }
+    }
+    level = std::move(next_level);
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace soc::itemsets

@@ -1,0 +1,36 @@
+// Apriori (Agrawal & Srikant, VLDB'94): level-wise frequent-itemset mining.
+//
+// Included as the classic baseline the paper discusses in Sec IV.C — on the
+// *complemented* (dense) query log its candidate sets explode after a few
+// levels, which is exactly why the paper develops the top-down random walk.
+// The `max_itemsets` guard turns that explosion into a clean error, and the
+// ablation bench measures where it occurs.
+
+#ifndef SOC_ITEMSETS_APRIORI_H_
+#define SOC_ITEMSETS_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+
+struct AprioriOptions {
+  // Abort with ResourceExhausted once this many frequent itemsets (or live
+  // candidates) exist; <= 0 means unlimited.
+  std::int64_t max_itemsets = 1'000'000;
+  // Stop after this level (itemset size); <= 0 means no cap.
+  int max_level = 0;
+};
+
+// All itemsets with support >= min_support (min_support >= 1), in order of
+// increasing size. The empty itemset is not reported.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsApriori(
+    const TransactionDatabase& db, int min_support,
+    const AprioriOptions& options = {});
+
+}  // namespace soc::itemsets
+
+#endif  // SOC_ITEMSETS_APRIORI_H_

@@ -1,0 +1,68 @@
+#include "itemsets/eclat.h"
+
+#include "common/logging.h"
+
+namespace soc::itemsets {
+
+namespace {
+
+class EclatMiner {
+ public:
+  EclatMiner(const TransactionDatabase& db, int min_support,
+             const EclatOptions& options)
+      : db_(db), min_support_(min_support), options_(options) {}
+
+  Status Run(std::vector<FrequentItemset>* out) {
+    out_ = out;
+    DynamicBitset prefix(db_.num_items());
+    DynamicBitset all_tids(db_.num_transactions());
+    all_tids.SetAll();
+    std::vector<int> candidates;
+    for (int i = 0; i < db_.num_items(); ++i) candidates.push_back(i);
+    return Expand(prefix, all_tids, candidates);
+  }
+
+ private:
+  // Extends `prefix` (with tidset `tids`) by each candidate item in turn;
+  // candidates are item ids strictly greater extensions in DFS order.
+  Status Expand(DynamicBitset& prefix, const DynamicBitset& tids,
+                const std::vector<int>& candidates) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const int item = candidates[c];
+      DynamicBitset extended_tids = tids & db_.item_tids(item);
+      const int support = static_cast<int>(extended_tids.Count());
+      if (support < min_support_) continue;
+      prefix.Set(item);
+      out_->push_back({prefix, support});
+      if (options_.max_itemsets > 0 &&
+          static_cast<std::int64_t>(out_->size()) > options_.max_itemsets) {
+        return ResourceExhaustedError(
+            "Eclat frequent-itemset explosion (dense data; see Sec IV.C)");
+      }
+      const std::vector<int> rest(candidates.begin() + c + 1,
+                                  candidates.end());
+      SOC_RETURN_IF_ERROR(Expand(prefix, extended_tids, rest));
+      prefix.Reset(item);
+    }
+    return Status::OK();
+  }
+
+  const TransactionDatabase& db_;
+  const int min_support_;
+  const EclatOptions options_;
+  std::vector<FrequentItemset>* out_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
+    const TransactionDatabase& db, int min_support,
+    const EclatOptions& options) {
+  SOC_CHECK_GE(min_support, 1);
+  std::vector<FrequentItemset> result;
+  EclatMiner miner(db, min_support, options);
+  SOC_RETURN_IF_ERROR(miner.Run(&result));
+  return result;
+}
+
+}  // namespace soc::itemsets

@@ -1,0 +1,31 @@
+// Eclat (Zaki): depth-first frequent-itemset mining over vertical tidsets.
+// Used as a second exact all-frequent-itemsets engine to cross-check
+// Apriori in tests, and as the support-counting workhorse for small
+// universes.
+
+#ifndef SOC_ITEMSETS_ECLAT_H_
+#define SOC_ITEMSETS_ECLAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+
+struct EclatOptions {
+  // Abort with ResourceExhausted past this many frequent itemsets;
+  // <= 0 means unlimited.
+  std::int64_t max_itemsets = 1'000'000;
+};
+
+// All itemsets with support >= min_support (DFS order). The empty itemset
+// is not reported.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsEclat(
+    const TransactionDatabase& db, int min_support,
+    const EclatOptions& options = {});
+
+}  // namespace soc::itemsets
+
+#endif  // SOC_ITEMSETS_ECLAT_H_

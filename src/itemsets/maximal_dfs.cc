@@ -1,0 +1,165 @@
+#include "itemsets/maximal_dfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace soc::itemsets {
+
+namespace {
+
+class MaximalDfsMiner {
+ public:
+  MaximalDfsMiner(const TransactionDatabase& db, int min_support,
+                  const MaximalDfsOptions& options)
+      : db_(db), min_support_(min_support), options_(options) {}
+
+  StatusOr<std::vector<FrequentItemset>> Run() {
+    const int n = db_.num_items();
+    if (db_.num_transactions() < min_support_) return mfis_;
+
+    // Root candidates: frequent single items, ordered by ascending support
+    // (least-frequent-first keeps subtrees small).
+    std::vector<int> candidates;
+    const std::vector<int> supports = db_.ItemSupports();
+    for (int i = 0; i < n; ++i) {
+      if (supports[i] >= min_support_) candidates.push_back(i);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&supports](int a, int b) {
+                if (supports[a] != supports[b]) {
+                  return supports[a] < supports[b];
+                }
+                return a < b;
+              });
+
+    if (candidates.empty()) {
+      // The empty itemset is the unique maximal frequent itemset.
+      mfis_.push_back({DynamicBitset(n), db_.num_transactions()});
+      return mfis_;
+    }
+
+    DynamicBitset prefix(n);
+    DynamicBitset all_tids(db_.num_transactions());
+    all_tids.SetAll();
+    SOC_RETURN_IF_ERROR(Expand(prefix, all_tids, candidates));
+    return mfis_;
+  }
+
+ private:
+  bool SubsumedByKnownMfi(const DynamicBitset& itemset) const {
+    for (const FrequentItemset& mfi : mfis_) {
+      if (itemset.IsSubsetOf(mfi.items)) return true;
+    }
+    return false;
+  }
+
+  Status Offer(const DynamicBitset& itemset, int support) {
+    if (SubsumedByKnownMfi(itemset)) return Status::OK();
+    mfis_.push_back({itemset, support});
+    if (options_.max_maximal > 0 &&
+        static_cast<std::int64_t>(mfis_.size()) > options_.max_maximal) {
+      return ResourceExhaustedError("too many maximal frequent itemsets");
+    }
+    return Status::OK();
+  }
+
+  Status Expand(DynamicBitset& prefix, const DynamicBitset& tids,
+                const std::vector<int>& candidates) {
+    if (options_.max_nodes > 0 && ++nodes_ > options_.max_nodes) {
+      return ResourceExhaustedError("maximal DFS node budget exhausted");
+    }
+
+    // Classify candidate extensions; PEP moves equal-support items into the
+    // prefix unconditionally (they belong to every maximal superset here).
+    struct Ext {
+      int item;
+      int support;
+    };
+    std::vector<Ext> tail;
+    std::vector<int> absorbed;
+    const int prefix_support = static_cast<int>(tids.Count());
+    for (int item : candidates) {
+      const int support = db_.ExtensionSupport(tids, item);
+      if (support < min_support_) continue;
+      if (support == prefix_support) {
+        absorbed.push_back(item);  // Parent equivalence.
+      } else {
+        tail.push_back({item, support});
+      }
+    }
+    for (int item : absorbed) prefix.Set(item);
+
+    Status status = Status::OK();
+    if (tail.empty()) {
+      status = Offer(prefix, prefix_support);
+    } else {
+      // HUT lookahead: if prefix ∪ tail is frequent, it is the unique
+      // maximal itemset of this subtree.
+      DynamicBitset hut = prefix;
+      for (const Ext& e : tail) hut.Set(e.item);
+      const int hut_support = db_.Support(hut);
+      if (hut_support >= min_support_) {
+        status = Offer(hut, hut_support);
+      } else {
+        std::sort(tail.begin(), tail.end(), [](const Ext& a, const Ext& b) {
+          if (a.support != b.support) return a.support < b.support;
+          return a.item < b.item;
+        });
+        std::vector<int> child_candidates;
+        child_candidates.reserve(tail.size());
+        for (const Ext& e : tail) child_candidates.push_back(e.item);
+        for (std::size_t i = 0; i < tail.size() && status.ok(); ++i) {
+          const int item = tail[i].item;
+          // Subtree subsumption prune: everything below is contained in
+          // prefix ∪ {item} ∪ remaining candidates.
+          DynamicBitset ceiling = prefix;
+          ceiling.Set(item);
+          for (std::size_t j = i + 1; j < tail.size(); ++j) {
+            ceiling.Set(tail[j].item);
+          }
+          if (SubsumedByKnownMfi(ceiling)) continue;
+          prefix.Set(item);
+          const DynamicBitset child_tids = tids & db_.item_tids(item);
+          const std::vector<int> rest(child_candidates.begin() + i + 1,
+                                      child_candidates.end());
+          status = Expand(prefix, child_tids, rest);
+          prefix.Reset(item);
+        }
+      }
+    }
+
+    for (int item : absorbed) prefix.Reset(item);
+    return status;
+  }
+
+  const TransactionDatabase& db_;
+  const int min_support_;
+  const MaximalDfsOptions options_;
+  std::vector<FrequentItemset> mfis_;
+  std::int64_t nodes_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsDfs(
+    const TransactionDatabase& db, int min_support,
+    const MaximalDfsOptions& options) {
+  SOC_CHECK_GE(min_support, 1);
+  MaximalDfsMiner miner(db, min_support, options);
+  return miner.Run();
+}
+
+bool IsMaximalFrequent(const TransactionDatabase& db,
+                       const DynamicBitset& itemset, int min_support) {
+  if (db.Support(itemset) < min_support) return false;
+  for (int i = 0; i < db.num_items(); ++i) {
+    if (itemset.Test(i)) continue;
+    DynamicBitset super = itemset;
+    super.Set(i);
+    if (db.Support(super) >= min_support) return false;
+  }
+  return true;
+}
+
+}  // namespace soc::itemsets

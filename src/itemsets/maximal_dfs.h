@@ -1,0 +1,47 @@
+// Exact maximal-frequent-itemset mining by depth-first search, in the
+// style of GenMax/MAFIA [Gouda & Zaki, ICDM'01; Burdick et al., ICDE'01]:
+// vertical tidsets, dynamic reordering by support, parent-equivalence
+// pruning (PEP) and HUT lookahead, with subsumption checks against the
+// already-discovered maximal sets.
+//
+// This is the deterministic counterpart of the paper's randomized two-phase
+// walk (random_walk.h); the MFI-based SOC solver can use either engine, and
+// bench/ablation_mfi compares them.
+
+#ifndef SOC_ITEMSETS_MAXIMAL_DFS_H_
+#define SOC_ITEMSETS_MAXIMAL_DFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+
+struct MaximalDfsOptions {
+  // Abort with ResourceExhausted past this many maximal itemsets;
+  // <= 0 means unlimited.
+  std::int64_t max_maximal = 1'000'000;
+  // Abort with ResourceExhausted past this many explored DFS nodes;
+  // <= 0 means unlimited.
+  std::int64_t max_nodes = 50'000'000;
+};
+
+// All maximal itemsets with support >= min_support (min_support >= 1).
+//
+// Convention for degenerate inputs: if no single item is frequent but the
+// database has >= min_support transactions, the empty itemset is the unique
+// maximal frequent itemset and is returned alone; if the database has fewer
+// than min_support transactions, the result is empty.
+StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsDfs(
+    const TransactionDatabase& db, int min_support,
+    const MaximalDfsOptions& options = {});
+
+// True iff `itemset` is frequent and none of its single-item supersets is.
+bool IsMaximalFrequent(const TransactionDatabase& db,
+                       const DynamicBitset& itemset, int min_support);
+
+}  // namespace soc::itemsets
+
+#endif  // SOC_ITEMSETS_MAXIMAL_DFS_H_

@@ -1,0 +1,102 @@
+#include "itemsets/random_walk.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace soc::itemsets {
+
+FrequentItemset TwoPhaseRandomWalk(const TransactionDatabase& db,
+                                   int min_support, Rng& rng) {
+  const int n = db.num_items();
+
+  // --- Down phase: from the lattice top, drop random items until frequent.
+  DynamicBitset itemset(n);
+  itemset.SetAll();
+  std::vector<int> members = itemset.SetBits();
+  rng.Shuffle(members);  // Pre-shuffled removal order = uniform random drops.
+  std::size_t next_removal = 0;
+  while (db.Support(itemset) < min_support) {
+    if (next_removal >= members.size()) {
+      // Even the empty itemset is infrequent: fewer than min_support
+      // transactions exist.
+      return {DynamicBitset(n), db.num_transactions()};
+    }
+    itemset.Reset(members[next_removal++]);
+  }
+
+  // --- Up phase: add random items while the itemset stays frequent.
+  DynamicBitset tids = db.Tids(itemset);
+  while (true) {
+    std::vector<int> extensions;
+    for (int item = 0; item < n; ++item) {
+      if (itemset.Test(item)) continue;
+      if (db.ExtensionSupport(tids, item) >= min_support) {
+        extensions.push_back(item);
+      }
+    }
+    if (extensions.empty()) break;
+    const int item =
+        extensions[rng.NextUint64(extensions.size())];
+    itemset.Set(item);
+    tids &= db.item_tids(item);
+  }
+  return {itemset, static_cast<int>(tids.Count())};
+}
+
+StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
+    const TransactionDatabase& db, int min_support,
+    const RandomWalkOptions& options, RandomWalkStats* stats) {
+  SOC_CHECK_GE(min_support, 1);
+  if (options.max_iterations <= 0) {
+    return InvalidArgumentError("max_iterations must be positive");
+  }
+  Rng rng(options.seed);
+
+  std::unordered_map<DynamicBitset, int, DynamicBitsetHash> times_discovered;
+  std::vector<FrequentItemset> mfis;
+
+  int walks = 0;
+  bool stopped_by_rule = false;
+  while (walks < options.max_iterations) {
+    if (options.good_turing_stop && walks >= options.min_iterations) {
+      bool any_singleton = false;
+      for (const auto& [itemset, times] : times_discovered) {
+        if (times == 1) {
+          any_singleton = true;
+          break;
+        }
+      }
+      if (!any_singleton) {
+        stopped_by_rule = true;
+        break;
+      }
+    }
+    ++walks;
+    FrequentItemset found = TwoPhaseRandomWalk(db, min_support, rng);
+    if (found.support < min_support) {
+      // min_support exceeds the transaction count: nothing is frequent.
+      if (stats != nullptr) {
+        stats->walks = walks;
+        stats->distinct_maximal = 0;
+        stats->stopped_by_rule = false;
+      }
+      return std::vector<FrequentItemset>{};
+    }
+    const auto [it, inserted] = times_discovered.emplace(found.items, 1);
+    if (inserted) {
+      mfis.push_back(std::move(found));
+    } else {
+      ++it->second;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->walks = walks;
+    stats->distinct_maximal = static_cast<int>(mfis.size());
+    stats->stopped_by_rule = stopped_by_rule;
+  }
+  return mfis;
+}
+
+}  // namespace soc::itemsets

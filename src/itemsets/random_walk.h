@@ -1,0 +1,67 @@
+// The paper's randomized maximal-frequent-itemset miner (Sec IV.C):
+// repeated two-phase random walks on the Boolean lattice.
+//
+//   Down phase: start from the full itemset A (the lattice top) and remove
+//   uniformly random items until the current itemset becomes frequent.
+//   Up phase: repeatedly add a uniformly random item that keeps the itemset
+//   frequent, until no item can be added — a maximal frequent itemset.
+//
+// Starting at the top is the paper's key twist (Fig 3): on the *dense*
+// complemented query log ~Q the maximal itemsets sit near the top of the
+// lattice, so a top-down walk crosses few levels, whereas the classic
+// bottom-up walk of Gunopulos et al. [TODS'03] would crawl through ~M
+// levels per walk.
+//
+// Stopping rule ("Number of Iterations", Sec IV.C): walks repeat until
+// every discovered maximal itemset has been discovered at least twice
+// (motivated by the Good–Turing estimate: the number of unseen objects is
+// estimated by the number seen exactly once), or until max_iterations.
+
+#ifndef SOC_ITEMSETS_RANDOM_WALK_H_
+#define SOC_ITEMSETS_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+
+struct RandomWalkOptions {
+  std::uint64_t seed = 2008;
+  // MaxNumIter in the paper's pseudo-code (Fig 5).
+  int max_iterations = 5000;
+  // Use the Good-Turing "everything seen twice" stopping rule; when false,
+  // always runs max_iterations walks.
+  bool good_turing_stop = true;
+  // Walks performed before the stopping rule may fire. The paper's bare
+  // rule can stop after two walks that happen to hit the same maximal
+  // itemset; a floor keeps the estimate meaningful.
+  int min_iterations = 64;
+};
+
+struct RandomWalkStats {
+  int walks = 0;               // Two-phase walks performed.
+  int distinct_maximal = 0;    // Distinct maximal itemsets discovered.
+  bool stopped_by_rule = false;  // True if Good-Turing fired (vs. iteration cap).
+};
+
+// Maximal frequent itemsets discovered by repeated two-phase walks.
+// Complete with high probability, not guaranteed (use MineMaximalItemsetsDfs
+// for a deterministic answer). Same degenerate-input conventions as the DFS
+// miner. `stats` may be null.
+StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
+    const TransactionDatabase& db, int min_support,
+    const RandomWalkOptions& options = {}, RandomWalkStats* stats = nullptr);
+
+// One two-phase walk (exposed for tests and the ablation bench): returns a
+// maximal frequent itemset, or the empty itemset when min_support exceeds
+// the transaction count of every reachable itemset.
+FrequentItemset TwoPhaseRandomWalk(const TransactionDatabase& db,
+                                   int min_support, Rng& rng);
+
+}  // namespace soc::itemsets
+
+#endif  // SOC_ITEMSETS_RANDOM_WALK_H_

@@ -1,0 +1,56 @@
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+
+TransactionDatabase::TransactionDatabase(
+    std::vector<DynamicBitset> transactions)
+    : num_items_(transactions.empty()
+                     ? 0
+                     : static_cast<int>(transactions.front().size())),
+      transactions_(std::move(transactions)) {
+  for (const DynamicBitset& t : transactions_) {
+    SOC_CHECK_EQ(static_cast<int>(t.size()), num_items_);
+  }
+  columns_.assign(num_items_, DynamicBitset(transactions_.size()));
+  for (std::size_t tid = 0; tid < transactions_.size(); ++tid) {
+    transactions_[tid].ForEachSetBit(
+        [this, tid](int item) { columns_[item].Set(tid); });
+  }
+}
+
+TransactionDatabase TransactionDatabase::FromComplementedQueryLog(
+    const QueryLog& log) {
+  return FromQueryLog(log.Complemented());
+}
+
+TransactionDatabase TransactionDatabase::FromQueryLog(const QueryLog& log) {
+  return TransactionDatabase(log.queries());
+}
+
+TransactionDatabase TransactionDatabase::FromBooleanTable(
+    const BooleanTable& table) {
+  return TransactionDatabase(table.rows());
+}
+
+int TransactionDatabase::Support(const DynamicBitset& itemset) const {
+  SOC_CHECK_EQ(static_cast<int>(itemset.size()), num_items_);
+  if (itemset.None()) return num_transactions();
+  return static_cast<int>(Tids(itemset).Count());
+}
+
+DynamicBitset TransactionDatabase::Tids(const DynamicBitset& itemset) const {
+  DynamicBitset tids(num_transactions());
+  tids.SetAll();
+  itemset.ForEachSetBit([this, &tids](int item) { tids &= columns_[item]; });
+  return tids;
+}
+
+std::vector<int> TransactionDatabase::ItemSupports() const {
+  std::vector<int> supports(num_items_);
+  for (int i = 0; i < num_items_; ++i) {
+    supports[i] = static_cast<int>(columns_[i].Count());
+  }
+  return supports;
+}
+
+}  // namespace soc::itemsets

@@ -1,0 +1,73 @@
+// TransactionDatabase: the Boolean table R mined for frequent itemsets
+// (Sec IV.C). Rows are transactions over a set of items; both a horizontal
+// (row bitsets) and a vertical (per-item transaction-id bitmaps)
+// representation are kept, since the miners are tidset-based.
+
+#ifndef SOC_ITEMSETS_TRANSACTION_DB_H_
+#define SOC_ITEMSETS_TRANSACTION_DB_H_
+
+#include <vector>
+
+#include "boolean/query_log.h"
+#include "boolean/table.h"
+#include "common/bitset.h"
+
+namespace soc::itemsets {
+
+struct FrequentItemset {
+  DynamicBitset items;  // Over the item universe.
+  int support = 0;
+
+  friend bool operator==(const FrequentItemset& a, const FrequentItemset& b) {
+    return a.support == b.support && a.items == b.items;
+  }
+};
+
+class TransactionDatabase {
+ public:
+  // `transactions[i]` is the item bitset of transaction i; all must share
+  // one width (the number of items).
+  explicit TransactionDatabase(std::vector<DynamicBitset> transactions);
+
+  // The complemented query log ~Q as a transaction database — the exact
+  // input of MaxFreqItemSets-SOC-CB-QL.
+  static TransactionDatabase FromComplementedQueryLog(const QueryLog& log);
+
+  // A query log / Boolean table as-is.
+  static TransactionDatabase FromQueryLog(const QueryLog& log);
+  static TransactionDatabase FromBooleanTable(const BooleanTable& table);
+
+  int num_items() const { return num_items_; }
+  int num_transactions() const {
+    return static_cast<int>(transactions_.size());
+  }
+
+  const DynamicBitset& transaction(int t) const { return transactions_.at(t); }
+
+  // Transactions containing item `i` (the item's tidset).
+  const DynamicBitset& item_tids(int i) const { return columns_.at(i); }
+
+  // Number of transactions supporting `itemset` (all items present).
+  // The empty itemset is supported by every transaction.
+  int Support(const DynamicBitset& itemset) const;
+
+  // Tidset of `itemset` (AND of its item columns).
+  DynamicBitset Tids(const DynamicBitset& itemset) const;
+
+  // |tids ∩ item_tids(item)|: support of an extension without materializing.
+  int ExtensionSupport(const DynamicBitset& tids, int item) const {
+    return static_cast<int>(tids.IntersectionCount(columns_[item]));
+  }
+
+  // Per-item supports.
+  std::vector<int> ItemSupports() const;
+
+ private:
+  int num_items_;
+  std::vector<DynamicBitset> transactions_;  // Horizontal.
+  std::vector<DynamicBitset> columns_;       // Vertical tidsets.
+};
+
+}  // namespace soc::itemsets
+
+#endif  // SOC_ITEMSETS_TRANSACTION_DB_H_

@@ -1,0 +1,269 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace soc::lp {
+
+namespace {
+
+// One bound tightening imposed by a branching decision.
+struct BoundChange {
+  int var;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  // Parent's LP objective translated to "maximize" orientation; an upper
+  // bound on every descendant.
+  double bound;
+  int depth;
+  std::vector<BoundChange> changes;  // Accumulated from the root.
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound < b.bound;  // Max-heap on bound.
+    return a.depth < b.depth;  // Prefer deeper nodes on ties (dive).
+  }
+};
+
+class MipSolver {
+ public:
+  MipSolver(const LinearModel& model, const MipOptions& options)
+      : model_(model),
+        options_(options),
+        sign_(model.sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0),
+        integral_objective_(model.HasIntegralObjective()) {}
+
+  StatusOr<MipResult> Solve();
+
+ private:
+  // Objective in internal "maximize" orientation.
+  double Score(double model_objective) const { return sign_ * model_objective; }
+
+  bool IsIntegral(double value) const {
+    return std::abs(value - std::round(value)) <=
+           options_.integrality_tolerance;
+  }
+
+  // Index of the integer variable whose LP value is farthest from integral,
+  // or -1 if the point is integer-feasible.
+  int MostFractional(const std::vector<double>& x) const;
+
+  // Tries to register `x` (already integral on integer vars) as incumbent.
+  void OfferIncumbent(const std::vector<double>& x);
+
+  // Rounds integer variables of an LP point and offers the result if it is
+  // feasible for the model.
+  void TryRounding(const std::vector<double>& x);
+
+  const LinearModel& model_;
+  const MipOptions options_;
+  const double sign_;
+  const bool integral_objective_;
+
+  bool has_incumbent_ = false;
+  double incumbent_score_ = -kInfinity;
+  std::vector<double> incumbent_;
+  std::int64_t nodes_explored_ = 0;
+  std::int64_t lp_iterations_ = 0;
+};
+
+int MipSolver::MostFractional(const std::vector<double>& x) const {
+  int best = -1;
+  double best_frac = options_.integrality_tolerance;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (!model_.variable(j).is_integer) continue;
+    // Distance from the nearest integer (in [0, 0.5]); larger = more
+    // fractional = more attractive to branch on.
+    const double frac = std::abs(x[j] - std::round(x[j]));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void MipSolver::OfferIncumbent(const std::vector<double>& x) {
+  const double score = Score(model_.ObjectiveValue(x));
+  if (!has_incumbent_ || score > incumbent_score_ + 1e-12) {
+    has_incumbent_ = true;
+    incumbent_score_ = score;
+    incumbent_ = x;
+    // Snap integer variables exactly.
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      if (model_.variable(j).is_integer) {
+        incumbent_[j] = std::round(incumbent_[j]);
+      }
+    }
+  }
+}
+
+void MipSolver::TryRounding(const std::vector<double>& x) {
+  std::vector<double> rounded = x;
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    if (model_.variable(j).is_integer) rounded[j] = std::round(rounded[j]);
+  }
+  if (model_.IsFeasible(rounded, 1e-6)) OfferIncumbent(rounded);
+}
+
+StatusOr<MipResult> MipSolver::Solve() {
+  SOC_RETURN_IF_ERROR(model_.Validate());
+  const Deadline deadline =
+      options_.time_limit_seconds > 0.0
+          ? Deadline::AfterSeconds(options_.time_limit_seconds)
+          : Deadline::Infinite();
+  const WallTimer timer;
+
+  if (options_.initial_solution.has_value()) {
+    const std::vector<double>& x0 = *options_.initial_solution;
+    SOC_CHECK_EQ(static_cast<int>(x0.size()), model_.num_variables());
+    bool integral = true;
+    for (int j = 0; j < model_.num_variables(); ++j) {
+      if (model_.variable(j).is_integer && !IsIntegral(x0[j])) {
+        integral = false;
+      }
+    }
+    if (integral && model_.IsFeasible(x0, 1e-6)) OfferIncumbent(x0);
+  }
+
+  std::vector<double> root_lower(model_.num_variables());
+  std::vector<double> root_upper(model_.num_variables());
+  for (int j = 0; j < model_.num_variables(); ++j) {
+    root_lower[j] = model_.variable(j).lower;
+    root_upper[j] = model_.variable(j).upper;
+    if (model_.variable(j).is_integer) {
+      root_lower[j] = std::ceil(root_lower[j] - 1e-9);
+      root_upper[j] = std::floor(root_upper[j] + 1e-9);
+    }
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push(Node{kInfinity, 0, {}});
+
+  double best_open_bound = kInfinity;  // For gap reporting.
+  SolveStatus final_status = SolveStatus::kOptimal;
+  std::vector<double> lower = root_lower;
+  std::vector<double> upper = root_upper;
+
+  // Sharpened cutoff: with an integral objective any improving solution
+  // scores at least incumbent + 1.
+  auto cutoff = [&]() {
+    if (!has_incumbent_) return -kInfinity;
+    return integral_objective_ ? incumbent_score_ + 1.0 - 1e-6
+                               : incumbent_score_ + 1e-9;
+  };
+
+  while (!open.empty()) {
+    if (deadline.Expired()) {
+      final_status = SolveStatus::kDeadlineExceeded;
+      break;
+    }
+    if (options_.max_nodes > 0 && nodes_explored_ >= options_.max_nodes) {
+      final_status = SolveStatus::kIterationLimit;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    best_open_bound = node.bound;
+    if (has_incumbent_ && node.bound < cutoff()) {
+      // Best-bound order: every remaining node is also dominated.
+      best_open_bound = incumbent_score_;
+      break;
+    }
+    ++nodes_explored_;
+
+    // Materialize this node's bounds.
+    lower = root_lower;
+    upper = root_upper;
+    for (const BoundChange& change : node.changes) {
+      lower[change.var] = std::max(lower[change.var], change.lower);
+      upper[change.var] = std::min(upper[change.var], change.upper);
+    }
+
+    SimplexOptions lp_options = options_.lp_options;
+    if (options_.time_limit_seconds > 0.0) {
+      const double remaining =
+          options_.time_limit_seconds - timer.ElapsedSeconds();
+      lp_options.time_limit_seconds = std::max(remaining, 1e-3);
+    }
+    SOC_ASSIGN_OR_RETURN(SimplexResult lp,
+                         SolveLpWithBounds(model_, lower, upper, lp_options));
+    lp_iterations_ += lp.iterations;
+    if (lp.status == SolveStatus::kInfeasible) continue;
+    if (lp.status == SolveStatus::kDeadlineExceeded) {
+      final_status = SolveStatus::kDeadlineExceeded;
+      break;
+    }
+    if (lp.status == SolveStatus::kIterationLimit) {
+      final_status = SolveStatus::kIterationLimit;
+      break;
+    }
+    if (lp.status == SolveStatus::kUnbounded) {
+      return InvalidArgumentError(
+          "integer program has an unbounded LP relaxation");
+    }
+
+    const double node_score = Score(lp.objective);
+    if (has_incumbent_ && node_score < cutoff()) continue;
+
+    const int branch_var = MostFractional(lp.x);
+    if (branch_var < 0) {
+      OfferIncumbent(lp.x);
+      continue;
+    }
+    TryRounding(lp.x);
+    if (has_incumbent_ && node_score < cutoff()) continue;
+
+    const double value = lp.x[branch_var];
+    Node down{node_score, node.depth + 1, node.changes};
+    down.changes.push_back(
+        {branch_var, -kInfinity, std::floor(value + 1e-9)});
+    Node up{node_score, node.depth + 1, node.changes};
+    up.changes.push_back({branch_var, std::ceil(value - 1e-9), kInfinity});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  MipResult result;
+  result.nodes_explored = nodes_explored_;
+  result.lp_iterations = lp_iterations_;
+  result.has_solution = has_incumbent_;
+  if (final_status == SolveStatus::kOptimal) {
+    // The queue drained (or the cutoff break fired, which with best-bound
+    // order dominates every remaining node): the incumbent is optimal.
+    result.status =
+        has_incumbent_ ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+    best_open_bound = has_incumbent_ ? incumbent_score_ : -kInfinity;
+  } else {
+    // Stopped early; with best-bound order the last popped node's bound
+    // (held in best_open_bound) bounds the true optimum.
+    result.status = final_status;
+    if (has_incumbent_) {
+      best_open_bound = std::max(best_open_bound, incumbent_score_);
+    }
+  }
+  if (has_incumbent_) {
+    result.x = incumbent_;
+    result.objective = sign_ * incumbent_score_;
+  }
+  result.best_bound = sign_ * best_open_bound;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<MipResult> SolveMip(const LinearModel& model,
+                             const MipOptions& options) {
+  MipSolver solver(model, options);
+  return solver.Solve();
+}
+
+}  // namespace soc::lp

@@ -1,0 +1,54 @@
+// Branch-and-bound solver for mixed 0-1 / integer linear programs, using
+// lp::SolveLpWithBounds for node relaxations.
+//
+// Features: best-bound node selection, most-fractional branching, LP
+// rounding as a primal heuristic, optional user-supplied starting
+// incumbent (e.g. from a greedy algorithm), integral-objective bound
+// sharpening, and node/time limits with best-so-far reporting.
+
+#ifndef SOC_LP_BRANCH_AND_BOUND_H_
+#define SOC_LP_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace soc::lp {
+
+struct MipOptions {
+  // Hard cap on explored nodes; <= 0 means unlimited.
+  std::int64_t max_nodes = 0;
+  // Wall-clock budget for the whole solve; <= 0 means unlimited.
+  double time_limit_seconds = 0.0;
+  // Integrality tolerance: x is integral if |x - round(x)| <= this.
+  double integrality_tolerance = 1e-6;
+  // A feasible starting solution (checked); prunes early.
+  std::optional<std::vector<double>> initial_solution;
+  // Options forwarded to each LP relaxation solve.
+  SimplexOptions lp_options;
+};
+
+struct MipResult {
+  // kOptimal: incumbent proved optimal. kInfeasible: no integer-feasible
+  // point exists. kIterationLimit / kDeadlineExceeded: search stopped
+  // early; `x` holds the best incumbent found so far (if any).
+  SolveStatus status = SolveStatus::kInfeasible;
+  bool has_solution = false;
+  double objective = 0.0;          // Incumbent objective (model sense).
+  std::vector<double> x;           // Incumbent (integral on integer vars).
+  double best_bound = 0.0;         // Proven bound on the true optimum.
+  std::int64_t nodes_explored = 0;
+  std::int64_t lp_iterations = 0;
+};
+
+// Solves `model` to optimality (or until a limit is hit).
+StatusOr<MipResult> SolveMip(const LinearModel& model,
+                             const MipOptions& options = {});
+
+}  // namespace soc::lp
+
+#endif  // SOC_LP_BRANCH_AND_BOUND_H_

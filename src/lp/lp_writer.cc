@@ -1,0 +1,137 @@
+#include "lp/lp_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace soc::lp {
+
+namespace {
+
+// LP-format identifiers: letters, digits and a few symbols; must not start
+// with a digit or 'e'/'E' (to avoid being read as a number).
+std::string Sanitize(const std::string& name, const char* fallback_prefix,
+                     int index) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '.') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) ||
+      out[0] == 'e' || out[0] == 'E' || out[0] == '.') {
+    out = StrFormat("%s%d_%s", fallback_prefix, index, out.c_str());
+  }
+  return out;
+}
+
+void AppendCoefficient(std::ostringstream& out, double coeff,
+                       const std::string& var, bool first) {
+  if (coeff >= 0) {
+    out << (first ? "" : " + ");
+  } else {
+    out << (first ? "- " : " - ");
+  }
+  const double magnitude = std::abs(coeff);
+  if (magnitude != 1.0) out << StrFormat("%.12g ", magnitude);
+  out << var;
+}
+
+}  // namespace
+
+std::string WriteLpFormat(const LinearModel& model) {
+  std::vector<std::string> var_names(model.num_variables());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    var_names[j] = Sanitize(model.variable(j).name, "x", j);
+  }
+
+  std::ostringstream out;
+  out << (model.sense() == ObjectiveSense::kMaximize ? "Maximize\n"
+                                                     : "Minimize\n");
+  out << " obj:";
+  bool first = true;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double coeff = model.variable(j).objective;
+    if (coeff == 0.0) continue;
+    if (first) out << ' ';
+    AppendCoefficient(out, coeff, var_names[j], first);
+    first = false;
+  }
+  if (first) out << " 0 " << (model.num_variables() > 0 ? var_names[0] : "");
+  out << "\nSubject To\n";
+
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const Constraint& c = model.constraint(i);
+    out << ' ' << Sanitize(c.name, "c", i) << ':';
+    bool row_first = true;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      if (c.coeffs[k] == 0.0) continue;
+      if (row_first) out << ' ';
+      AppendCoefficient(out, c.coeffs[k], var_names[c.vars[k]], row_first);
+      row_first = false;
+    }
+    if (row_first) out << " 0 " << var_names.at(0);
+    switch (c.sense) {
+      case ConstraintSense::kLessEqual:
+        out << " <= ";
+        break;
+      case ConstraintSense::kEqual:
+        out << " = ";
+        break;
+      case ConstraintSense::kGreaterEqual:
+        out << " >= ";
+        break;
+    }
+    out << StrFormat("%.12g\n", c.rhs);
+  }
+
+  out << "Bounds\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    if (v.lower == 0.0 && v.upper == kInfinity) continue;  // LP default.
+    if (v.lower == v.upper) {
+      out << StrFormat(" %s = %.12g\n", var_names[j].c_str(), v.lower);
+      continue;
+    }
+    out << ' ';
+    if (v.lower == -kInfinity) {
+      out << "-inf";
+    } else {
+      out << StrFormat("%.12g", v.lower);
+    }
+    out << " <= " << var_names[j] << " <= ";
+    if (v.upper == kInfinity) {
+      out << "+inf";
+    } else {
+      out << StrFormat("%.12g", v.upper);
+    }
+    out << '\n';
+  }
+
+  bool any_integer = false;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(j).is_integer) {
+      if (!any_integer) out << "General\n";
+      any_integer = true;
+      out << ' ' << var_names[j] << '\n';
+    }
+  }
+  out << "End\n";
+  return out.str();
+}
+
+Status WriteLpFile(const LinearModel& model, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return InvalidArgumentError("cannot open for write: " + path);
+  file << WriteLpFormat(model);
+  if (!file) return InternalError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace soc::lp

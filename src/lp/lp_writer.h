@@ -1,0 +1,25 @@
+// Serialization of a LinearModel to the CPLEX LP text format, so models
+// built by the SOC adapters can be inspected or cross-checked with
+// external solvers (lp_solve, CBC, CPLEX, Gurobi all read it).
+
+#ifndef SOC_LP_LP_WRITER_H_
+#define SOC_LP_LP_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace soc::lp {
+
+// Renders `model` in LP format. Variable/constraint names are sanitized
+// (LP format forbids several characters); unnamed entities get positional
+// names (x<j>, c<i>).
+std::string WriteLpFormat(const LinearModel& model);
+
+// Writes WriteLpFormat(model) to `path`.
+Status WriteLpFile(const LinearModel& model, const std::string& path);
+
+}  // namespace soc::lp
+
+#endif  // SOC_LP_LP_WRITER_H_

@@ -1,0 +1,134 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace soc::lp {
+
+int LinearModel::AddVariable(std::string name, double lower, double upper,
+                             double objective, bool is_integer) {
+  Variable v;
+  v.name = std::move(name);
+  v.lower = lower;
+  v.upper = upper;
+  v.objective = objective;
+  v.is_integer = is_integer;
+  variables_.push_back(std::move(v));
+  return num_variables() - 1;
+}
+
+int LinearModel::AddConstraint(std::string name, ConstraintSense sense,
+                               double rhs) {
+  Constraint c;
+  c.name = std::move(name);
+  c.sense = sense;
+  c.rhs = rhs;
+  constraints_.push_back(std::move(c));
+  return num_constraints() - 1;
+}
+
+void LinearModel::AddTerm(int row, int var, double coeff) {
+  SOC_CHECK_GE(row, 0);
+  SOC_CHECK_LT(row, num_constraints());
+  SOC_CHECK_GE(var, 0);
+  SOC_CHECK_LT(var, num_variables());
+  Constraint& c = constraints_[row];
+  c.vars.push_back(var);
+  c.coeffs.push_back(coeff);
+}
+
+Status LinearModel::Validate() const {
+  for (int j = 0; j < num_variables(); ++j) {
+    const Variable& v = variables_[j];
+    if (std::isnan(v.lower) || std::isnan(v.upper) ||
+        std::isnan(v.objective)) {
+      return InvalidArgumentError("NaN in variable " + v.name);
+    }
+    if (v.lower > v.upper) {
+      return InvalidArgumentError(
+          StrFormat("variable %s has lower %g > upper %g", v.name.c_str(),
+                    v.lower, v.upper));
+    }
+    if (v.lower == -kInfinity && v.upper == kInfinity) {
+      return UnimplementedError("free variable " + v.name +
+                                " not supported; give it a finite bound");
+    }
+    if (std::isinf(v.objective)) {
+      return InvalidArgumentError("infinite objective on " + v.name);
+    }
+  }
+  for (int i = 0; i < num_constraints(); ++i) {
+    const Constraint& c = constraints_[i];
+    if (std::isnan(c.rhs) || std::isinf(c.rhs)) {
+      return InvalidArgumentError("non-finite rhs in constraint " + c.name);
+    }
+    std::vector<bool> seen(num_variables(), false);
+    if (c.vars.size() != c.coeffs.size()) {
+      return InternalError("ragged constraint " + c.name);
+    }
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      const int var = c.vars[k];
+      if (var < 0 || var >= num_variables()) {
+        return InvalidArgumentError("bad variable index in " + c.name);
+      }
+      if (seen[var]) {
+        return InvalidArgumentError(
+            StrFormat("variable %d repeated in constraint %s", var,
+                      c.name.c_str()));
+      }
+      seen[var] = true;
+      if (std::isnan(c.coeffs[k]) || std::isinf(c.coeffs[k])) {
+        return InvalidArgumentError("non-finite coefficient in " + c.name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool LinearModel::HasIntegralObjective() const {
+  for (const Variable& v : variables_) {
+    if (v.objective == 0.0) continue;
+    if (!v.is_integer) return false;
+    if (std::abs(v.objective - std::round(v.objective)) > 1e-12) return false;
+  }
+  return true;
+}
+
+double LinearModel::ObjectiveValue(const std::vector<double>& x) const {
+  SOC_CHECK_EQ(static_cast<int>(x.size()), num_variables());
+  double value = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    value += variables_[j].objective * x[j];
+  }
+  return value;
+}
+
+bool LinearModel::IsFeasible(const std::vector<double>& x,
+                             double tolerance) const {
+  SOC_CHECK_EQ(static_cast<int>(x.size()), num_variables());
+  for (int j = 0; j < num_variables(); ++j) {
+    if (x[j] < variables_[j].lower - tolerance) return false;
+    if (x[j] > variables_[j].upper + tolerance) return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      lhs += c.coeffs[k] * x[c.vars[k]];
+    }
+    switch (c.sense) {
+      case ConstraintSense::kLessEqual:
+        if (lhs > c.rhs + tolerance) return false;
+        break;
+      case ConstraintSense::kEqual:
+        if (std::abs(lhs - c.rhs) > tolerance) return false;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        if (lhs < c.rhs - tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace soc::lp

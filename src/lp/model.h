@@ -1,0 +1,100 @@
+// LinearModel: a sparse description of a (mixed-integer) linear program.
+//
+//   maximize/minimize  c^T x
+//   subject to         lhs_i (<= | = | >=) rhs_i
+//                      l_j <= x_j <= u_j, some x_j integer
+//
+// The model is solver-agnostic; lp::Simplex solves its continuous
+// relaxation and lp::BranchAndBound solves the integer program.
+
+#ifndef SOC_LP_MODEL_H_
+#define SOC_LP_MODEL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soc::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class ObjectiveSense { kMaximize, kMinimize };
+
+enum class ConstraintSense { kLessEqual, kEqual, kGreaterEqual };
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool is_integer = false;
+};
+
+struct Constraint {
+  std::string name;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+  // Parallel arrays of (variable index, coefficient); indices are unique.
+  std::vector<int> vars;
+  std::vector<double> coeffs;
+};
+
+class LinearModel {
+ public:
+  explicit LinearModel(ObjectiveSense sense = ObjectiveSense::kMaximize)
+      : sense_(sense) {}
+
+  ObjectiveSense sense() const { return sense_; }
+  void set_sense(ObjectiveSense sense) { sense_ = sense; }
+
+  // Adds a variable and returns its index.
+  int AddVariable(std::string name, double lower, double upper,
+                  double objective, bool is_integer = false);
+
+  // Adds a binary (0/1 integer) variable.
+  int AddBinaryVariable(std::string name, double objective) {
+    return AddVariable(std::move(name), 0.0, 1.0, objective,
+                       /*is_integer=*/true);
+  }
+
+  // Adds an empty constraint and returns its row index.
+  int AddConstraint(std::string name, ConstraintSense sense, double rhs);
+
+  // Appends a term to constraint `row`. The variable must not already
+  // appear in the row.
+  void AddTerm(int row, int var, double coeff);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  const Variable& variable(int index) const { return variables_.at(index); }
+  Variable& mutable_variable(int index) { return variables_.at(index); }
+  const Constraint& constraint(int index) const {
+    return constraints_.at(index);
+  }
+
+  // Structural checks: finite bounds ordered, rhs finite, indices valid.
+  Status Validate() const;
+
+  // True iff every objective coefficient of an integer variable is integral
+  // and no continuous variable has a nonzero objective — then the optimal
+  // objective is integral, which sharpens branch-and-bound pruning.
+  bool HasIntegralObjective() const;
+
+  // Objective value of an assignment (no feasibility checking).
+  double ObjectiveValue(const std::vector<double>& x) const;
+
+  // True iff `x` satisfies all constraints and bounds within `tolerance`.
+  bool IsFeasible(const std::vector<double>& x, double tolerance) const;
+
+ private:
+  ObjectiveSense sense_;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace soc::lp
+
+#endif  // SOC_LP_MODEL_H_

@@ -1,0 +1,492 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace soc::lp {
+
+const char* SolveStatusToString(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+    case SolveStatus::kDeadlineExceeded:
+      return "DeadlineExceeded";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+enum class VarState : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+// Full-tableau bounded-variable primal simplex. One instance per solve.
+class SimplexSolver {
+ public:
+  SimplexSolver(const LinearModel& model, const std::vector<double>& lower,
+                const std::vector<double>& upper,
+                const SimplexOptions& options)
+      : model_(model),
+        options_(options),
+        num_structural_(model.num_variables()),
+        lower_(lower),
+        upper_(upper) {}
+
+  StatusOr<SimplexResult> Solve();
+
+ private:
+  double& At(int row, int col) { return tableau_[row * num_cols_ + col]; }
+  double At(int row, int col) const { return tableau_[row * num_cols_ + col]; }
+
+  // Current value of a nonbasic variable.
+  double NonbasicValue(int j) const {
+    return state_[j] == VarState::kAtUpper ? upper_[j] : lower_[j];
+  }
+
+  Status BuildTableau();
+  void ComputePhase1Costs();
+  void ComputePhase2Costs();
+  SolveStatus RunPhase(const Deadline& deadline);
+  bool DriveOutArtificials();
+  SimplexResult ExtractResult(SolveStatus status) const;
+
+  // Performs the pivot at (row, col) after the entering variable moved by
+  // `delta * step` from its bound; `entering_value` is its new value.
+  void Pivot(int row, int col, double entering_value);
+
+  const LinearModel& model_;
+  const SimplexOptions options_;
+  const int num_structural_;
+
+  // Bounds per tableau column (structural, then slack, then artificial).
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  int first_artificial_ = 0;  // Columns >= this index are artificial.
+  std::vector<double> tableau_;
+  std::vector<double> cost_;         // Reduced costs for the current phase.
+  std::vector<double> objective_;    // Phase-2 objective per column (min sense).
+  std::vector<int> basis_;           // Basic column per row.
+  std::vector<VarState> state_;      // Per column.
+  std::vector<double> basic_value_;  // Value of the basic variable per row.
+  std::int64_t iterations_ = 0;
+  std::int64_t max_iterations_ = 0;
+};
+
+Status SimplexSolver::BuildTableau() {
+  const int m = model_.num_constraints();
+  num_rows_ = m;
+
+  // Column layout: structural | one slack per <=/>= row | artificials.
+  int num_slacks = 0;
+  for (int i = 0; i < m; ++i) {
+    if (model_.constraint(i).sense != ConstraintSense::kEqual) ++num_slacks;
+  }
+  const int max_cols = num_structural_ + num_slacks + m;
+  const std::int64_t cells =
+      static_cast<std::int64_t>(m) * static_cast<std::int64_t>(max_cols);
+  if (cells > options_.max_tableau_entries) {
+    return ResourceExhaustedError(
+        "simplex tableau would exceed max_tableau_entries (" +
+        std::to_string(cells) + " cells)");
+  }
+
+  first_artificial_ = num_structural_ + num_slacks;
+  num_cols_ = first_artificial_;  // Artificials appended on demand.
+  tableau_.assign(static_cast<std::size_t>(m) * max_cols, 0.0);
+  // Temporarily use the max stride so artificial columns can be added
+  // without reshaping.
+  num_cols_ = max_cols;
+
+  lower_.resize(max_cols, 0.0);
+  upper_.resize(max_cols, kInfinity);
+  state_.assign(max_cols, VarState::kAtLower);
+  basis_.assign(m, -1);
+  basic_value_.assign(m, 0.0);
+
+  // Initial nonbasic placement for structural variables: the finite bound
+  // (prefer lower). Validation guarantees at least one is finite.
+  for (int j = 0; j < num_structural_; ++j) {
+    if (lower_[j] > -kInfinity) {
+      state_[j] = VarState::kAtLower;
+    } else {
+      state_[j] = VarState::kAtUpper;
+    }
+  }
+
+  // Fill rows; >= rows are negated into <= form before adding the slack.
+  int slack = num_structural_;
+  int next_artificial = first_artificial_;
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = model_.constraint(i);
+    const double sign =
+        c.sense == ConstraintSense::kGreaterEqual ? -1.0 : 1.0;
+    double rhs = sign * c.rhs;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      At(i, c.vars[k]) = sign * c.coeffs[k];
+    }
+    int slack_col = -1;
+    if (c.sense != ConstraintSense::kEqual) {
+      slack_col = slack++;
+      At(i, slack_col) = 1.0;
+      lower_[slack_col] = 0.0;
+      upper_[slack_col] = kInfinity;
+    }
+
+    // Residual with all structural variables at their initial bounds.
+    double residual = rhs;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      residual -= sign * c.coeffs[k] * NonbasicValue(c.vars[k]);
+    }
+
+    if (slack_col >= 0 && residual >= 0.0) {
+      basis_[i] = slack_col;
+      state_[slack_col] = VarState::kBasic;
+      basic_value_[i] = residual;
+      continue;
+    }
+    // Need an artificial. Normalize the row so the artificial column is +1
+    // and its starting value is nonnegative.
+    if (residual < 0.0) {
+      for (int j = 0; j < first_artificial_; ++j) At(i, j) = -At(i, j);
+      residual = -residual;
+    }
+    const int art = next_artificial++;
+    At(i, art) = 1.0;
+    lower_[art] = 0.0;
+    upper_[art] = kInfinity;
+    basis_[i] = art;
+    state_[art] = VarState::kBasic;
+    basic_value_[i] = residual;
+  }
+
+  // Shrink to the columns actually used.
+  const int used_cols = next_artificial;
+  if (used_cols != max_cols) {
+    std::vector<double> packed(static_cast<std::size_t>(m) * used_cols);
+    for (int i = 0; i < m; ++i) {
+      std::copy(tableau_.begin() + static_cast<std::size_t>(i) * max_cols,
+                tableau_.begin() + static_cast<std::size_t>(i) * max_cols +
+                    used_cols,
+                packed.begin() + static_cast<std::size_t>(i) * used_cols);
+    }
+    tableau_ = std::move(packed);
+    lower_.resize(used_cols);
+    upper_.resize(used_cols);
+    state_.resize(used_cols);
+  }
+  num_cols_ = used_cols;
+
+  // Phase-2 objective in minimize sense over all columns.
+  objective_.assign(num_cols_, 0.0);
+  const double obj_sign =
+      model_.sense() == ObjectiveSense::kMaximize ? -1.0 : 1.0;
+  for (int j = 0; j < num_structural_; ++j) {
+    objective_[j] = obj_sign * model_.variable(j).objective;
+  }
+
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 2000 + 50ll * (num_rows_ + num_cols_);
+  return Status::OK();
+}
+
+void SimplexSolver::ComputePhase1Costs() {
+  // Phase-1 cost: 1 on artificials. Reduced costs d = c1 - c1_B^T * T.
+  cost_.assign(num_cols_, 0.0);
+  for (int j = first_artificial_; j < num_cols_; ++j) cost_[j] = 1.0;
+  for (int i = 0; i < num_rows_; ++i) {
+    if (basis_[i] >= first_artificial_) {
+      for (int j = 0; j < num_cols_; ++j) cost_[j] -= At(i, j);
+    }
+  }
+}
+
+void SimplexSolver::ComputePhase2Costs() {
+  cost_ = objective_;
+  for (int i = 0; i < num_rows_; ++i) {
+    const double cb = objective_[basis_[i]];
+    if (cb == 0.0) continue;
+    for (int j = 0; j < num_cols_; ++j) cost_[j] -= cb * At(i, j);
+  }
+}
+
+void SimplexSolver::Pivot(int row, int col, double entering_value) {
+  const double piv = At(row, col);
+  SOC_CHECK(std::abs(piv) > 1e-12);
+  const double inv = 1.0 / piv;
+  double* prow = &tableau_[static_cast<std::size_t>(row) * num_cols_];
+  for (int j = 0; j < num_cols_; ++j) prow[j] *= inv;
+  prow[col] = 1.0;  // Exact.
+  for (int i = 0; i < num_rows_; ++i) {
+    if (i == row) continue;
+    const double factor = At(i, col);
+    if (factor == 0.0) continue;
+    double* irow = &tableau_[static_cast<std::size_t>(i) * num_cols_];
+    for (int j = 0; j < num_cols_; ++j) irow[j] -= factor * prow[j];
+    irow[col] = 0.0;  // Exact.
+  }
+  const double cfactor = cost_[col];
+  if (cfactor != 0.0) {
+    for (int j = 0; j < num_cols_; ++j) cost_[j] -= cfactor * prow[j];
+    cost_[col] = 0.0;
+  }
+  basis_[row] = col;
+  state_[col] = VarState::kBasic;
+  basic_value_[row] = entering_value;
+}
+
+SolveStatus SimplexSolver::RunPhase(const Deadline& deadline) {
+  const double tol = options_.tolerance;
+  constexpr double kPivotTol = 1e-9;
+  int degenerate_streak = 0;
+  bool bland = false;
+
+  while (true) {
+    if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
+    if ((iterations_ & 63) == 0 && deadline.Expired()) {
+      return SolveStatus::kDeadlineExceeded;
+    }
+
+    // --- Entering variable selection (Dantzig, or Bland when cycling). ---
+    int enter = -1;
+    double best_score = tol;
+    for (int j = 0; j < num_cols_; ++j) {
+      if (state_[j] == VarState::kBasic) continue;
+      if (upper_[j] - lower_[j] <= 0.0) continue;  // Fixed variable.
+      double score = 0.0;
+      if (state_[j] == VarState::kAtLower && cost_[j] < -tol) {
+        score = -cost_[j];
+      } else if (state_[j] == VarState::kAtUpper && cost_[j] > tol) {
+        score = cost_[j];
+      } else {
+        continue;
+      }
+      if (bland) {
+        enter = j;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+      }
+    }
+    if (enter == -1) return SolveStatus::kOptimal;
+
+    const double delta = state_[enter] == VarState::kAtLower ? 1.0 : -1.0;
+
+    // --- Ratio test. ---
+    double best_t = kInfinity;
+    int leave_row = -1;
+    double leave_pivot = 0.0;
+    bool leave_hits_lower = true;
+    for (int i = 0; i < num_rows_; ++i) {
+      const double alpha = At(i, enter) * delta;
+      if (std::abs(alpha) <= kPivotTol) continue;
+      const int bvar = basis_[i];
+      double limit;
+      bool hits_lower;
+      if (alpha > 0.0) {
+        if (lower_[bvar] <= -kInfinity) continue;
+        limit = (basic_value_[i] - lower_[bvar]) / alpha;
+        hits_lower = true;
+      } else {
+        if (upper_[bvar] >= kInfinity) continue;
+        limit = (basic_value_[i] - upper_[bvar]) / alpha;
+        hits_lower = false;
+      }
+      if (limit < 0.0) limit = 0.0;  // Roundoff guard.
+      bool take;
+      if (limit < best_t - 1e-12) {
+        take = true;
+      } else if (limit <= best_t + 1e-12 && leave_row != -1) {
+        // Tie-break: Bland's rule wants the smallest basis index (for the
+        // anti-cycling guarantee); otherwise prefer the numerically larger
+        // pivot element.
+        take = bland ? basis_[i] < basis_[leave_row]
+                     : std::abs(alpha) > std::abs(leave_pivot);
+      } else {
+        take = false;
+      }
+      if (take) {
+        best_t = std::min(best_t, limit);
+        leave_row = i;
+        leave_pivot = alpha;
+        leave_hits_lower = hits_lower;
+      }
+    }
+
+    const double range = upper_[enter] - lower_[enter];
+    ++iterations_;
+
+    if (range < best_t) {
+      // Bound flip: the entering variable crosses to its other bound.
+      for (int i = 0; i < num_rows_; ++i) {
+        const double a = At(i, enter);
+        if (a != 0.0) basic_value_[i] -= a * delta * range;
+      }
+      state_[enter] = state_[enter] == VarState::kAtLower
+                          ? VarState::kAtUpper
+                          : VarState::kAtLower;
+      degenerate_streak = 0;
+      continue;
+    }
+
+    if (leave_row == -1) return SolveStatus::kUnbounded;
+
+    const double t = best_t;
+    if (t <= tol) {
+      if (++degenerate_streak > 2 * (num_rows_ + 16)) bland = true;
+    } else {
+      degenerate_streak = 0;
+      bland = false;
+    }
+
+    // Update the other basic values, snap the leaving variable to the bound
+    // it reached, and pivot.
+    const int leaving = basis_[leave_row];
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == leave_row) continue;
+      const double a = At(i, enter);
+      if (a != 0.0) basic_value_[i] -= a * delta * t;
+    }
+    const double entering_value = NonbasicValue(enter) + delta * t;
+    Pivot(leave_row, enter, entering_value);
+    state_[leaving] =
+        leave_hits_lower ? VarState::kAtLower : VarState::kAtUpper;
+  }
+}
+
+bool SimplexSolver::DriveOutArtificials() {
+  for (int i = 0; i < num_rows_; ++i) {
+    if (basis_[i] < first_artificial_) continue;
+    // Try a degenerate pivot onto any usable non-artificial column.
+    int col = -1;
+    for (int j = 0; j < first_artificial_; ++j) {
+      if (state_[j] == VarState::kBasic) continue;
+      if (std::abs(At(i, j)) > 1e-7) {
+        col = j;
+        break;
+      }
+    }
+    if (col >= 0) {
+      const int art = basis_[i];
+      Pivot(i, col, NonbasicValue(col));  // Degenerate pivot (t = 0).
+      state_[art] = VarState::kAtLower;   // The artificial leaves at 0.
+    } else {
+      // Redundant row: freeze the artificial at zero.
+      upper_[basis_[i]] = 0.0;
+      basic_value_[i] = 0.0;
+    }
+  }
+  // Freeze all artificials so phase 2 cannot move them off zero.
+  for (int j = first_artificial_; j < num_cols_; ++j) {
+    if (state_[j] != VarState::kBasic) {
+      lower_[j] = 0.0;
+      upper_[j] = 0.0;
+      state_[j] = VarState::kAtLower;
+    } else {
+      upper_[j] = 0.0;
+    }
+  }
+  return true;
+}
+
+SimplexResult SimplexSolver::ExtractResult(SolveStatus status) const {
+  SimplexResult result;
+  result.status = status;
+  result.iterations = iterations_;
+  if (status != SolveStatus::kOptimal) return result;
+  result.x.assign(num_structural_, 0.0);
+  for (int j = 0; j < num_structural_; ++j) {
+    result.x[j] = NonbasicValue(j);
+  }
+  for (int i = 0; i < num_rows_; ++i) {
+    if (basis_[i] < num_structural_) result.x[basis_[i]] = basic_value_[i];
+  }
+  // Clamp tiny bound violations from roundoff.
+  for (int j = 0; j < num_structural_; ++j) {
+    result.x[j] = std::clamp(result.x[j], lower_[j], upper_[j]);
+  }
+  result.objective = model_.ObjectiveValue(result.x);
+  return result;
+}
+
+StatusOr<SimplexResult> SimplexSolver::Solve() {
+  SOC_RETURN_IF_ERROR(BuildTableau());
+  const Deadline deadline =
+      options_.time_limit_seconds > 0.0
+          ? Deadline::AfterSeconds(options_.time_limit_seconds)
+          : Deadline::Infinite();
+
+  // Phase 1 only if any artificial is in the basis.
+  bool need_phase1 = false;
+  for (int i = 0; i < num_rows_; ++i) {
+    if (basis_[i] >= first_artificial_) need_phase1 = true;
+  }
+  if (need_phase1) {
+    ComputePhase1Costs();
+    const SolveStatus phase1 = RunPhase(deadline);
+    if (phase1 == SolveStatus::kIterationLimit ||
+        phase1 == SolveStatus::kDeadlineExceeded) {
+      return ExtractResult(phase1);
+    }
+    // Unbounded cannot happen in phase 1 (objective bounded below by 0);
+    // treat defensively as infeasible.
+    double infeasibility = 0.0;
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] >= first_artificial_) infeasibility += basic_value_[i];
+    }
+    if (phase1 != SolveStatus::kOptimal || infeasibility > 1e-6) {
+      return ExtractResult(SolveStatus::kInfeasible);
+    }
+    DriveOutArtificials();
+  }
+
+  ComputePhase2Costs();
+  const SolveStatus phase2 = RunPhase(deadline);
+  return ExtractResult(phase2);
+}
+
+}  // namespace
+
+StatusOr<SimplexResult> SolveLp(const LinearModel& model,
+                                const SimplexOptions& options) {
+  std::vector<double> lower(model.num_variables());
+  std::vector<double> upper(model.num_variables());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[j] = model.variable(j).lower;
+    upper[j] = model.variable(j).upper;
+  }
+  return SolveLpWithBounds(model, lower, upper, options);
+}
+
+StatusOr<SimplexResult> SolveLpWithBounds(const LinearModel& model,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper,
+                                          const SimplexOptions& options) {
+  SOC_RETURN_IF_ERROR(model.Validate());
+  SOC_CHECK_EQ(static_cast<int>(lower.size()), model.num_variables());
+  SOC_CHECK_EQ(static_cast<int>(upper.size()), model.num_variables());
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (lower[j] > upper[j]) {
+      // Branching can create empty boxes; that is just an infeasible node.
+      SimplexResult result;
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+  SimplexSolver solver(model, lower, upper, options);
+  return solver.Solve();
+}
+
+}  // namespace soc::lp

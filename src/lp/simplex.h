@@ -1,0 +1,75 @@
+// A dense, full-tableau primal simplex solver with bounded variables and a
+// two-phase start (artificial variables drive Phase 1).
+//
+// This is the LP engine underneath lp::BranchAndBound, standing in for the
+// off-the-shelf lp_solve library the paper uses. It targets the moderate
+// model sizes where the paper's ILP approach is viable (hundreds to a few
+// thousand rows); like the paper's solver it becomes impractical for large
+// query logs, which is itself one of the results we reproduce (Fig 10).
+//
+// Supported form:
+//   max/min  c^T x
+//   s.t.     a_i^T x  (<= | = | >=)  b_i
+//            l <= x <= u   (each variable needs at least one finite bound)
+
+#ifndef SOC_LP_SIMPLEX_H_
+#define SOC_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "lp/model.h"
+
+namespace soc::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kDeadlineExceeded,
+};
+
+const char* SolveStatusToString(SolveStatus status);
+
+struct SimplexOptions {
+  // Hard cap on pivots across both phases; <= 0 means automatic
+  // (scales with model size).
+  std::int64_t max_iterations = 0;
+  // Wall-clock budget; <= 0 means unlimited.
+  double time_limit_seconds = 0.0;
+  // Feasibility / optimality tolerance.
+  double tolerance = 1e-7;
+  // Upper bound on tableau cells (rows * columns); guards against
+  // accidentally materializing a multi-GB tableau.
+  std::int64_t max_tableau_entries = 30'000'000;
+};
+
+struct SimplexResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  // Objective in the model's own sense (only meaningful for kOptimal).
+  double objective = 0.0;
+  // One value per model variable (only meaningful for kOptimal).
+  std::vector<double> x;
+  std::int64_t iterations = 0;
+};
+
+// Solves the continuous relaxation of `model` (integrality is ignored).
+// Returns a Status error only for malformed models or when resource guards
+// trip; "infeasible"/"unbounded" are reported inside SimplexResult.
+StatusOr<SimplexResult> SolveLp(const LinearModel& model,
+                                const SimplexOptions& options = {});
+
+// As SolveLp, but with per-variable bound overrides (used by branch-and-
+// bound to impose branching decisions without copying the model).
+StatusOr<SimplexResult> SolveLpWithBounds(const LinearModel& model,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper,
+                                          const SimplexOptions& options = {});
+
+}  // namespace soc::lp
+
+#endif  // SOC_LP_SIMPLEX_H_

@@ -1,0 +1,80 @@
+#include "numeric/numeric.h"
+
+#include <cmath>
+
+namespace soc::numeric {
+
+NumericTable::NumericTable(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {}
+
+Status NumericTable::AddRow(std::vector<double> values) {
+  if (static_cast<int>(values.size()) != num_attributes()) {
+    return InvalidArgumentError("row width mismatch");
+  }
+  for (double v : values) {
+    if (std::isnan(v)) return InvalidArgumentError("NaN value in row");
+  }
+  rows_.push_back(std::move(values));
+  return Status::OK();
+}
+
+bool RangeQueryMatches(const RangeQuery& query,
+                       const std::vector<double>& tuple) {
+  for (const RangeCondition& condition : query) {
+    const double value = tuple.at(condition.attribute);
+    if (value < condition.lo || value > condition.hi) return false;
+  }
+  return true;
+}
+
+StatusOr<NumericReduction> ReduceNumericToBoolean(
+    const std::vector<std::string>& attribute_names,
+    const std::vector<RangeQuery>& queries, const std::vector<double>& tuple) {
+  if (attribute_names.size() != tuple.size()) {
+    return InvalidArgumentError("tuple width mismatch");
+  }
+  const int num_attrs = static_cast<int>(attribute_names.size());
+  SOC_ASSIGN_OR_RETURN(AttributeSchema schema, AttributeSchema::Create(
+                                                   attribute_names));
+  NumericReduction reduction{QueryLog(std::move(schema)),
+                             DynamicBitset(num_attrs), 0};
+  reduction.boolean_tuple.SetAll();
+  for (const RangeQuery& query : queries) {
+    for (const RangeCondition& condition : query) {
+      if (condition.attribute < 0 || condition.attribute >= num_attrs) {
+        return OutOfRangeError("range condition attribute out of range");
+      }
+      if (condition.lo > condition.hi) {
+        return InvalidArgumentError("range with lo > hi");
+      }
+    }
+    if (!RangeQueryMatches(query, tuple)) {
+      ++reduction.dropped_queries;
+      continue;
+    }
+    DynamicBitset boolean_query(num_attrs);
+    for (const RangeCondition& condition : query) {
+      boolean_query.Set(condition.attribute);
+    }
+    reduction.boolean_log.AddQuery(std::move(boolean_query));
+  }
+  return reduction;
+}
+
+StatusOr<NumericSolution> SolveNumericSoc(
+    const SocSolver& base, const std::vector<std::string>& attribute_names,
+    const std::vector<RangeQuery>& queries, const std::vector<double>& tuple,
+    int m) {
+  SOC_ASSIGN_OR_RETURN(
+      NumericReduction reduction,
+      ReduceNumericToBoolean(attribute_names, queries, tuple));
+  SOC_ASSIGN_OR_RETURN(
+      SocSolution boolean_solution,
+      base.Solve(reduction.boolean_log, reduction.boolean_tuple, m));
+  NumericSolution solution;
+  solution.selected_attributes = boolean_solution.selected.SetBits();
+  solution.satisfied_queries = boolean_solution.satisfied_queries;
+  return solution;
+}
+
+}  // namespace soc::numeric

@@ -1,0 +1,77 @@
+// Numeric databases with range-query logs (Sec II.B / Sec V): queries
+// specify [lo, hi] ranges over a subset of attributes (e.g. desired price
+// and resolution ranges for a camera). Advertising the compressed tuple t'
+// means publishing m of its numeric values; a range query retrieves t' iff
+// every attribute it constrains is published and the published value lies
+// in the range.
+//
+// Reduction (Sec V): each query whose ranges all contain the new tuple's
+// values maps to the Boolean query of its constrained attributes; other
+// queries are unwinnable and dropped. The Boolean new tuple is all ones,
+// giving an SOC-CB-QL instance over the original attributes.
+
+#ifndef SOC_NUMERIC_NUMERIC_H_
+#define SOC_NUMERIC_NUMERIC_H_
+
+#include <string>
+#include <vector>
+
+#include "boolean/query_log.h"
+#include "common/status.h"
+#include "core/solver.h"
+
+namespace soc::numeric {
+
+class NumericTable {
+ public:
+  explicit NumericTable(std::vector<std::string> attribute_names);
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+  const std::string& attribute_name(int a) const { return names_.at(a); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<double>& row(int i) const { return rows_.at(i); }
+
+  Status AddRow(std::vector<double> values);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+};
+
+// One range condition lo <= value(attribute) <= hi (inclusive).
+struct RangeCondition {
+  int attribute = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+using RangeQuery = std::vector<RangeCondition>;
+
+// True iff every condition's range contains the tuple's value.
+bool RangeQueryMatches(const RangeQuery& query,
+                       const std::vector<double>& tuple);
+
+struct NumericReduction {
+  QueryLog boolean_log;
+  DynamicBitset boolean_tuple;  // All ones.
+  int dropped_queries = 0;      // Out-of-range (unwinnable) queries.
+};
+
+StatusOr<NumericReduction> ReduceNumericToBoolean(
+    const std::vector<std::string>& attribute_names,
+    const std::vector<RangeQuery>& queries, const std::vector<double>& tuple);
+
+struct NumericSolution {
+  std::vector<int> selected_attributes;  // Ascending attribute ids.
+  int satisfied_queries = 0;
+};
+
+// Picks the best m numeric attributes of `tuple` to publish.
+StatusOr<NumericSolution> SolveNumericSoc(
+    const SocSolver& base, const std::vector<std::string>& attribute_names,
+    const std::vector<RangeQuery>& queries, const std::vector<double>& tuple,
+    int m);
+
+}  // namespace soc::numeric
+
+#endif  // SOC_NUMERIC_NUMERIC_H_

@@ -1,0 +1,319 @@
+#include "text/keyword_selection.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace soc::text {
+
+namespace {
+
+std::unordered_set<int> ToSet(const std::vector<int>& terms) {
+  return std::unordered_set<int>(terms.begin(), terms.end());
+}
+
+// Query-log frequency of each term.
+std::unordered_map<int, int> TermFrequencies(
+    const std::vector<SparseQuery>& queries) {
+  std::unordered_map<int, int> freq;
+  for (const SparseQuery& q : queries) {
+    for (int term : q) ++freq[term];
+  }
+  return freq;
+}
+
+int FrequencyOf(const std::unordered_map<int, int>& freq, int term) {
+  const auto it = freq.find(term);
+  return it == freq.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+int CountSatisfiedConjunctive(const std::vector<SparseQuery>& queries,
+                              const std::vector<int>& selected) {
+  const std::unordered_set<int> chosen = ToSet(selected);
+  int count = 0;
+  for (const SparseQuery& q : queries) {
+    bool all = true;
+    for (int term : q) {
+      if (!chosen.contains(term)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+int CountSatisfiedDisjunctive(const std::vector<SparseQuery>& queries,
+                              const std::vector<int>& selected) {
+  const std::unordered_set<int> chosen = ToSet(selected);
+  int count = 0;
+  for (const SparseQuery& q : queries) {
+    for (int term : q) {
+      if (chosen.contains(term)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<int> SelectKeywordsConsumeAttr(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m) {
+  const std::unordered_map<int, int> freq = TermFrequencies(queries);
+  std::vector<int> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end(), [&freq](int a, int b) {
+    const int fa = FrequencyOf(freq, a);
+    const int fb = FrequencyOf(freq, b);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+  if (static_cast<int>(sorted.size()) > m) sorted.resize(std::max(m, 0));
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<int> SelectKeywordsConsumeAttrCumul(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m) {
+  const std::unordered_map<int, int> freq = TermFrequencies(queries);
+  std::vector<int> remaining = candidates;
+  std::sort(remaining.begin(), remaining.end());
+  std::vector<int> selected;
+
+  while (static_cast<int>(selected.size()) < m && !remaining.empty()) {
+    int best_term = -1;
+    int best_joint = -1;
+    int best_freq = -1;
+    for (int term : remaining) {
+      // Queries containing all selected terms plus `term`.
+      int joint = 0;
+      for (const SparseQuery& q : queries) {
+        const std::unordered_set<int> q_set = ToSet(q);
+        bool contains_all = q_set.contains(term);
+        for (int s : selected) {
+          if (!contains_all) break;
+          contains_all = q_set.contains(s);
+        }
+        if (contains_all) ++joint;
+      }
+      const int f = FrequencyOf(freq, term);
+      if (joint > best_joint || (joint == best_joint && f > best_freq)) {
+        best_term = term;
+        best_joint = joint;
+        best_freq = f;
+      }
+    }
+    if (best_joint == 0) {
+      // Fall back to plain frequency for the remaining picks.
+      std::sort(remaining.begin(), remaining.end(), [&freq](int a, int b) {
+        const int fa = FrequencyOf(freq, a);
+        const int fb = FrequencyOf(freq, b);
+        if (fa != fb) return fa > fb;
+        return a < b;
+      });
+      for (int term : remaining) {
+        if (static_cast<int>(selected.size()) >= m) break;
+        selected.push_back(term);
+      }
+      break;
+    }
+    selected.push_back(best_term);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best_term));
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<int> SelectKeywordsConsumeQueries(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m) {
+  const std::unordered_set<int> candidate_set = ToSet(candidates);
+  // Only queries made entirely of candidate keywords can ever be
+  // satisfied by the ad.
+  std::vector<const SparseQuery*> coverable;
+  for (const SparseQuery& q : queries) {
+    bool ok = !q.empty();
+    for (int term : q) {
+      if (!candidate_set.contains(term)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) coverable.push_back(&q);
+  }
+
+  std::unordered_set<int> selected;
+  std::vector<bool> used(coverable.size(), false);
+  while (static_cast<int>(selected.size()) < m) {
+    int best = -1;
+    std::size_t best_new = static_cast<std::size_t>(-1);
+    const std::size_t slack = m - selected.size();
+    for (std::size_t i = 0; i < coverable.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t added = 0;
+      for (int term : *coverable[i]) {
+        added += !selected.contains(term);
+      }
+      if (added > slack) continue;
+      if (added < best_new) {
+        best_new = added;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = true;
+    for (int term : *coverable[best]) selected.insert(term);
+  }
+
+  // Fill leftover budget by query-log frequency.
+  std::vector<int> result(selected.begin(), selected.end());
+  if (static_cast<int>(result.size()) < m) {
+    const std::unordered_map<int, int> freq = TermFrequencies(queries);
+    std::vector<int> spare;
+    for (int term : candidates) {
+      if (!selected.contains(term)) spare.push_back(term);
+    }
+    std::sort(spare.begin(), spare.end(), [&freq](int a, int b) {
+      const int fa = FrequencyOf(freq, a);
+      const int fb = FrequencyOf(freq, b);
+      if (fa != fb) return fa > fb;
+      return a < b;
+    });
+    for (int term : spare) {
+      if (static_cast<int>(result.size()) >= m) break;
+      result.push_back(term);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int> SelectKeywordsMaxCoverage(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m) {
+  std::vector<bool> covered(queries.size(), false);
+  std::vector<int> remaining = candidates;
+  std::sort(remaining.begin(), remaining.end());
+  std::vector<int> selected;
+  while (static_cast<int>(selected.size()) < m && !remaining.empty()) {
+    int best_term = -1;
+    int best_gain = 0;
+    for (int term : remaining) {
+      int gain = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (covered[i]) continue;
+        if (std::find(queries[i].begin(), queries[i].end(), term) !=
+            queries[i].end()) {
+          ++gain;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_term = term;
+      }
+    }
+    if (best_term < 0) break;
+    selected.push_back(best_term);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best_term));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (covered[i]) continue;
+      if (std::find(queries[i].begin(), queries[i].end(), best_term) !=
+          queries[i].end()) {
+        covered[i] = true;
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+int CountTopkSatisfied(const TextIndex& index,
+                       const std::vector<SparseQuery>& queries,
+                       const std::vector<int>& selected, int k) {
+  SOC_CHECK_GT(k, 0);
+  const std::unordered_set<int> chosen = ToSet(selected);
+  std::unordered_map<int, int> virtual_doc;
+  for (int term : chosen) virtual_doc[term] = 1;
+
+  int count = 0;
+  for (const SparseQuery& q : queries) {
+    bool contains_all = true;
+    for (int term : q) {
+      if (!chosen.contains(term)) {
+        contains_all = false;
+        break;
+      }
+    }
+    if (!contains_all) continue;
+    const double ad_score = index.ScoreVirtual(q, virtual_doc);
+    if (ad_score <= 0.0) continue;
+    // Pessimistic tie-break: existing documents with score >= ad_score
+    // rank above the ad.
+    const std::vector<ScoredDocument> top = index.TopK(q, k);
+    int better = 0;
+    for (const ScoredDocument& d : top) {
+      if (d.score >= ad_score) ++better;
+    }
+    if (better < k) ++count;
+  }
+  return count;
+}
+
+TopkKeywordResult SelectKeywordsTopkBm25(
+    const TextIndex& index, const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m, int k) {
+  SOC_CHECK_GT(k, 0);
+  const int m_eff = std::min<int>(m, static_cast<int>(candidates.size()));
+
+  // Reduction to the conjunctive problem: with every kept keyword at tf=1
+  // the ad's BM25 score for query q depends only on the ad length m_eff,
+  // so whether q is *winnable* (ad would enter the top-k, pessimistic
+  // ties) is selection-independent and can be decided up front.
+  const std::unordered_set<int> candidate_set = ToSet(candidates);
+  std::vector<SparseQuery> winnable;
+  for (const SparseQuery& q : queries) {
+    bool coverable = true;
+    for (int term : q) {
+      if (!candidate_set.contains(term)) {
+        coverable = false;
+        break;
+      }
+    }
+    if (!coverable) continue;
+    const double ad_score = index.ScoreHypotheticalAd(q, m_eff);
+    if (ad_score <= 0.0) continue;
+    const std::vector<ScoredDocument> top = index.TopK(q, k);
+    int better = 0;
+    for (const ScoredDocument& d : top) {
+      if (d.score >= ad_score) ++better;
+    }
+    if (better < k) winnable.push_back(q);
+  }
+
+  // Conjunctive keyword selection over the winnable queries; try both
+  // greedy flavors and keep the better one under the true objective.
+  TopkKeywordResult result;
+  const std::vector<int> cumul =
+      SelectKeywordsConsumeAttrCumul(winnable, candidates, m_eff);
+  const std::vector<int> plain =
+      SelectKeywordsConsumeAttr(winnable, candidates, m_eff);
+  const int cumul_satisfied = CountTopkSatisfied(index, queries, cumul, k);
+  const int plain_satisfied = CountTopkSatisfied(index, queries, plain, k);
+  if (cumul_satisfied >= plain_satisfied) {
+    result.selected = cumul;
+    result.satisfied_queries = cumul_satisfied;
+  } else {
+    result.selected = plain;
+    result.satisfied_queries = plain_satisfied;
+  }
+  return result;
+}
+
+}  // namespace soc::text

@@ -1,0 +1,80 @@
+// Keyword selection for a new classified ad (Sec II.B / Sec V): from the
+// candidate keywords describing the ad, pick m that maximize its
+// visibility against a keyword-query log. The keyword universe is huge, so
+// everything here runs on sparse term-id sets (no M-wide bitsets); per the
+// paper, greedy algorithms are the only feasible approach at this scale.
+
+#ifndef SOC_TEXT_KEYWORD_SELECTION_H_
+#define SOC_TEXT_KEYWORD_SELECTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "text/text.h"
+
+namespace soc::text {
+
+// A keyword query: distinct term ids.
+using SparseQuery = std::vector<int>;
+
+// Conjunctive objective: queries entirely contained in `selected`.
+int CountSatisfiedConjunctive(const std::vector<SparseQuery>& queries,
+                              const std::vector<int>& selected);
+
+// Disjunctive objective: queries sharing at least one term with `selected`.
+int CountSatisfiedDisjunctive(const std::vector<SparseQuery>& queries,
+                              const std::vector<int>& selected);
+
+// Sparse ConsumeAttr: the m candidate keywords occurring most often in the
+// query log (ties: smaller term id).
+std::vector<int> SelectKeywordsConsumeAttr(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m);
+
+// Sparse ConsumeAttrCumul: grows the selection by the keyword co-occurring
+// most often with everything selected so far; falls back to individual
+// frequency when the joint count reaches zero.
+std::vector<int> SelectKeywordsConsumeAttrCumul(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m);
+
+// Sparse ConsumeQueries: repeatedly absorbs the coverable query (all of
+// whose keywords are candidates) introducing the fewest new keywords, if
+// it fits the remaining budget; leftovers are filled by frequency.
+std::vector<int> SelectKeywordsConsumeQueries(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m);
+
+// Disjunctive max-coverage greedy ((1 - 1/e)-approximate).
+std::vector<int> SelectKeywordsMaxCoverage(
+    const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m);
+
+// SOC-Topk for text: picks m keywords so that the hypothetical ad (one
+// occurrence of each selected keyword) enters the BM25 top-k of as many
+// log queries as possible. Since every kept keyword has tf = 1, the ad's
+// score for a query depends only on the ad length, so winnability is
+// selection-independent: the problem reduces to conjunctive keyword
+// selection over the winnable queries (the text analogue of the paper's
+// global-scoring reduction), solved greedily. `index` holds the competing
+// ads.
+struct TopkKeywordResult {
+  std::vector<int> selected;
+  int satisfied_queries = 0;
+};
+
+TopkKeywordResult SelectKeywordsTopkBm25(
+    const TextIndex& index, const std::vector<SparseQuery>& queries,
+    const std::vector<int>& candidates, int m, int k);
+
+// Number of queries whose BM25 top-k would include the hypothetical ad
+// made of `selected` (each keyword once). The ad must both contain every
+// query keyword (conjunctive containment, as in SOC-CB-QL) and beat the
+// k-th existing document's score; ties go to existing documents.
+int CountTopkSatisfied(const TextIndex& index,
+                       const std::vector<SparseQuery>& queries,
+                       const std::vector<int>& selected, int k);
+
+}  // namespace soc::text
+
+#endif  // SOC_TEXT_KEYWORD_SELECTION_H_

@@ -1,0 +1,173 @@
+#include "text/text.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace soc::text {
+
+namespace {
+
+const std::unordered_set<std::string>& Stopwords() {
+  static const auto& stopwords = *new std::unordered_set<std::string>{
+      "a",   "an",  "and", "are", "as",   "at",   "be",   "by",  "for",
+      "from", "has", "he",  "in",  "is",   "it",   "its",  "of",  "on",
+      "or",  "that", "the", "to",  "was",  "were", "will", "with"};
+  return stopwords;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(const std::string& raw) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      if (!Stopwords().contains(current)) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty() && !Stopwords().contains(current)) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+int Vocabulary::Intern(const std::string& term) {
+  const auto [it, inserted] =
+      index_.emplace(term, static_cast<int>(terms_.size()));
+  if (inserted) terms_.push_back(term);
+  return it->second;
+}
+
+int Vocabulary::Find(const std::string& term) const {
+  const auto it = index_.find(term);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int TextIndex::AddDocument(const std::string& raw_text, Vocabulary& vocab) {
+  std::vector<int> term_ids;
+  for (const std::string& token : Tokenize(raw_text)) {
+    term_ids.push_back(vocab.Intern(token));
+  }
+  return AddDocumentTerms(term_ids);
+}
+
+int TextIndex::AddDocumentTerms(const std::vector<int>& term_ids) {
+  const int doc = num_documents();
+  std::unordered_map<int, int> counts;
+  for (int term : term_ids) {
+    SOC_CHECK_GE(term, 0);
+    ++counts[term];
+  }
+  for (const auto& [term, tf] : counts) {
+    postings_[term].push_back({doc, tf});
+  }
+  doc_lengths_.push_back(static_cast<int>(term_ids.size()));
+  total_length_ += static_cast<long long>(term_ids.size());
+  return doc;
+}
+
+double TextIndex::average_document_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) / doc_lengths_.size();
+}
+
+int TextIndex::DocumentFrequency(int term) const {
+  const auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+double TextIndex::Idf(int term) const {
+  const double n = num_documents();
+  const double df = DocumentFrequency(term);
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+double TextIndex::ScoreTerm(int term, int term_frequency,
+                            int doc_length) const {
+  if (term_frequency <= 0) return 0.0;
+  const double avgdl = std::max(average_document_length(), 1e-9);
+  const double tf = term_frequency;
+  const double denom =
+      tf + options_.k1 * (1.0 - options_.b + options_.b * doc_length / avgdl);
+  return Idf(term) * tf * (options_.k1 + 1.0) / denom;
+}
+
+double TextIndex::Score(const std::vector<int>& query_terms, int doc) const {
+  std::unordered_set<int> distinct(query_terms.begin(), query_terms.end());
+  double score = 0.0;
+  for (int term : distinct) {
+    const auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    for (const Posting& posting : it->second) {
+      if (posting.doc == doc) {
+        score += ScoreTerm(term, posting.term_frequency, doc_lengths_[doc]);
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+double TextIndex::ScoreVirtual(
+    const std::vector<int>& query_terms,
+    const std::unordered_map<int, int>& virtual_doc) const {
+  int length = 0;
+  for (const auto& [term, tf] : virtual_doc) length += tf;
+  std::unordered_set<int> distinct(query_terms.begin(), query_terms.end());
+  double score = 0.0;
+  for (int term : distinct) {
+    const auto it = virtual_doc.find(term);
+    if (it != virtual_doc.end()) {
+      score += ScoreTerm(term, it->second, length);
+    }
+  }
+  return score;
+}
+
+double TextIndex::ScoreHypotheticalAd(const std::vector<int>& query_terms,
+                                      int ad_length) const {
+  std::unordered_set<int> distinct(query_terms.begin(), query_terms.end());
+  double score = 0.0;
+  for (int term : distinct) {
+    score += ScoreTerm(term, 1, ad_length);
+  }
+  return score;
+}
+
+std::vector<ScoredDocument> TextIndex::TopK(
+    const std::vector<int>& query_terms, int k) const {
+  SOC_CHECK_GE(k, 0);
+  std::unordered_map<int, double> scores;
+  std::unordered_set<int> distinct(query_terms.begin(), query_terms.end());
+  for (int term : distinct) {
+    const auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    for (const Posting& posting : it->second) {
+      scores[posting.doc] +=
+          ScoreTerm(term, posting.term_frequency, doc_lengths_[posting.doc]);
+    }
+  }
+  std::vector<ScoredDocument> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    if (score > 0.0) ranked.push_back({doc, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredDocument& a, const ScoredDocument& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (static_cast<int>(ranked.size()) > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace soc::text

@@ -1,0 +1,106 @@
+// Text databases (Sec II.B / Sec V): documents are bags of words, queries
+// are keyword sets, retrieval is top-k under BM25 [Robertson & Walker,
+// SIGIR'94]. Viewing each distinct keyword as a Boolean attribute maps the
+// keyword-selection problem for a new classified ad onto SOC: the attribute
+// universe is enormous, so (as the paper argues in Sec V) only the greedy
+// approaches are feasible, and they run on a sparse representation here.
+
+#ifndef SOC_TEXT_TEXT_H_
+#define SOC_TEXT_TEXT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace soc::text {
+
+// Lowercases and splits on non-alphanumeric characters; drops empty tokens
+// and a small English stopword list.
+std::vector<std::string> Tokenize(const std::string& raw);
+
+// Interns strings to dense term ids.
+class Vocabulary {
+ public:
+  // Returns the term's id, creating one if needed.
+  int Intern(const std::string& term);
+  // Returns the term's id or -1.
+  int Find(const std::string& term) const;
+  const std::string& term(int id) const { return terms_.at(id); }
+  int size() const { return static_cast<int>(terms_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> terms_;
+};
+
+struct Bm25Options {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+struct ScoredDocument {
+  int doc = 0;
+  double score = 0.0;
+};
+
+// An inverted index with BM25 scoring over interned term ids.
+class TextIndex {
+ public:
+  explicit TextIndex(Bm25Options options = {}) : options_(options) {}
+
+  // Adds a document given its raw text; returns its id.
+  int AddDocument(const std::string& raw_text, Vocabulary& vocab);
+  // Adds a document given term ids (duplicates = term frequency).
+  int AddDocumentTerms(const std::vector<int>& term_ids);
+
+  int num_documents() const { return static_cast<int>(doc_lengths_.size()); }
+  int document_length(int doc) const { return doc_lengths_.at(doc); }
+  double average_document_length() const;
+
+  // Number of documents containing the term.
+  int DocumentFrequency(int term) const;
+
+  // BM25 idf; nonnegative (the +1 variant).
+  double Idf(int term) const;
+
+  // BM25 score of document `doc` for the query terms (a set; duplicates
+  // are ignored).
+  double Score(const std::vector<int>& query_terms, int doc) const;
+
+  // BM25 score a *hypothetical* document (term -> tf) would get; its length
+  // is the sum of tfs. Used to rank a not-yet-inserted ad.
+  double ScoreVirtual(const std::vector<int>& query_terms,
+                      const std::unordered_map<int, int>& virtual_doc) const;
+
+  // BM25 score of a hypothetical ad of `ad_length` total terms containing
+  // each query term exactly once. Because every kept keyword has tf = 1,
+  // this depends only on the ad's length — the key property that makes
+  // keyword selection under top-k retrieval reducible to the conjunctive
+  // problem (cf. the global-scoring reduction of Sec V).
+  double ScoreHypotheticalAd(const std::vector<int>& query_terms,
+                             int ad_length) const;
+
+  // Top-k documents for the query, highest score first; ties broken by
+  // ascending doc id. Documents scoring 0 are not returned.
+  std::vector<ScoredDocument> TopK(const std::vector<int>& query_terms,
+                                   int k) const;
+
+ private:
+  struct Posting {
+    int doc;
+    int term_frequency;
+  };
+
+  double ScoreTerm(int term, int term_frequency, int doc_length) const;
+
+  Bm25Options options_;
+  std::vector<int> doc_lengths_;
+  std::unordered_map<int, std::vector<Posting>> postings_;
+  long long total_length_ = 0;
+};
+
+}  // namespace soc::text
+
+#endif  // SOC_TEXT_TEXT_H_

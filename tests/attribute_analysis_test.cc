@@ -1,0 +1,121 @@
+#include "core/attribute_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+// Reference: forced-in / forced-out optima by direct enumeration.
+std::pair<int, int> BruteForceForcedValues(const QueryLog& log,
+                                           const DynamicBitset& tuple, int m,
+                                           int attr) {
+  const std::vector<int> pool = tuple.SetBits();
+  int best_in = 0;
+  int best_out = 0;
+  const int pick = std::min<int>(m, static_cast<int>(pool.size()));
+  ForEachCombination(pool, pick, [&](const std::vector<int>& combo) {
+    DynamicBitset candidate(log.num_attributes());
+    for (int a : combo) candidate.Set(a);
+    const int count = CountSatisfiedQueries(log, candidate);
+    if (candidate.Test(attr)) {
+      best_in = std::max(best_in, count);
+    } else {
+      best_out = std::max(best_out, count);
+    }
+    return true;
+  });
+  return {best_in, best_out};
+}
+
+TEST(AttributeAnalysisTest, PaperExample) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const BruteForceSolver exact;
+  auto values = AnalyzeAttributeValues(exact, log, t, 3);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), t.Count());
+  // PowerDoors participates in the optimum {AC, FourDoor, PowerDoors}
+  // (3 queries); without it the best is 1 (only q1 = {AC, FourDoor}).
+  const auto power_doors =
+      std::find_if(values->begin(), values->end(),
+                   [](const AttributeValue& v) { return v.attribute == 3; });
+  ASSERT_NE(power_doors, values->end());
+  EXPECT_EQ(power_doors->forced_in, 3);
+  EXPECT_EQ(power_doors->forced_out, 1);
+  EXPECT_EQ(power_doors->marginal, 2);
+  // The list is sorted by descending marginal value.
+  for (std::size_t i = 1; i < values->size(); ++i) {
+    EXPECT_GE((*values)[i - 1].marginal, (*values)[i].marginal);
+  }
+  // AutoTrans appears in no satisfiable query: marginal value <= 0.
+  const auto auto_trans =
+      std::find_if(values->begin(), values->end(),
+                   [](const AttributeValue& v) { return v.attribute == 4; });
+  ASSERT_NE(auto_trans, values->end());
+  EXPECT_LE(auto_trans->marginal, 0);
+  // Budget wasted on AutoTrans leaves 2 slots: any pair of useful
+  // attributes satisfies exactly one two-attribute query.
+  EXPECT_EQ(auto_trans->forced_in, 1);
+}
+
+TEST(AttributeAnalysisTest, MatchesDirectEnumeration) {
+  Rng rng(98765);
+  const BruteForceSolver exact;
+  for (int trial = 0; trial < 12; ++trial) {
+    const AttributeSchema schema = AttributeSchema::Anonymous(9);
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 40;
+    wl.seed = 4000 + trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(9);
+    for (int a = 0; a < 9; ++a) {
+      if (rng.NextBernoulli(0.7)) t.Set(a);
+    }
+    if (t.None()) t.Set(0);
+    const int m = rng.NextInt(1, 5);
+    auto values = AnalyzeAttributeValues(exact, log, t, m);
+    ASSERT_TRUE(values.ok());
+    for (const AttributeValue& value : *values) {
+      const auto [expected_in, expected_out] =
+          BruteForceForcedValues(log, t, m, value.attribute);
+      EXPECT_EQ(value.forced_in, expected_in)
+          << "trial " << trial << " attr " << value.attribute;
+      EXPECT_EQ(value.forced_out, expected_out)
+          << "trial " << trial << " attr " << value.attribute;
+    }
+  }
+}
+
+TEST(AttributeAnalysisTest, MaxForcedValueEqualsUnconstrainedOptimum) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const BruteForceSolver exact;
+  for (int m = 1; m <= 5; ++m) {
+    auto optimal = exact.Solve(log, t, m);
+    auto values = AnalyzeAttributeValues(exact, log, t, m);
+    ASSERT_TRUE(optimal.ok());
+    ASSERT_TRUE(values.ok());
+    int best = 0;
+    for (const AttributeValue& v : *values) {
+      best = std::max({best, v.forced_in, v.forced_out});
+    }
+    EXPECT_EQ(best, optimal->satisfied_queries) << "m=" << m;
+  }
+}
+
+TEST(AttributeAnalysisTest, RejectsZeroBudget) {
+  const BruteForceSolver exact;
+  auto values = AnalyzeAttributeValues(exact, testdata::PaperQueryLog(),
+                                       testdata::PaperNewTuple(), 0);
+  ASSERT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace soc

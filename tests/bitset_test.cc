@@ -1,0 +1,213 @@
+#include "common/bitset.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace soc {
+namespace {
+
+TEST(DynamicBitsetTest, DefaultIsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(DynamicBitsetTest, FlipTogglesBit) {
+  DynamicBitset b(10);
+  b.Flip(3);
+  EXPECT_TRUE(b.Test(3));
+  b.Flip(3);
+  EXPECT_FALSE(b.Test(3));
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.All());
+  b.ResetAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitsetTest, ComplementKeepsTrailingBitsZero) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(69);
+  DynamicBitset c = b.Complement();
+  EXPECT_EQ(c.Count(), 68u);
+  EXPECT_FALSE(c.Test(0));
+  EXPECT_FALSE(c.Test(69));
+  EXPECT_TRUE(c.Test(1));
+  // Complement twice is identity.
+  EXPECT_EQ(c.Complement(), b);
+}
+
+TEST(DynamicBitsetTest, LogicalOperators) {
+  DynamicBitset a = DynamicBitset::FromString("1100");
+  DynamicBitset b = DynamicBitset::FromString("1010");
+  EXPECT_EQ((a & b).ToString(), "1000");
+  EXPECT_EQ((a | b).ToString(), "1110");
+  EXPECT_EQ((a ^ b).ToString(), "0110");
+  DynamicBitset c = a;
+  c.AndNot(b);
+  EXPECT_EQ(c.ToString(), "0100");
+}
+
+TEST(DynamicBitsetTest, SubsetTests) {
+  DynamicBitset small = DynamicBitset::FromString("0100");
+  DynamicBitset big = DynamicBitset::FromString("1100");
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(big.IsSubsetOf(big));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(big.IsProperSubsetOf(big));
+  DynamicBitset empty(4);
+  EXPECT_TRUE(empty.IsSubsetOf(small));
+}
+
+TEST(DynamicBitsetTest, IntersectsAndCount) {
+  DynamicBitset a = DynamicBitset::FromString("110010");
+  DynamicBitset b = DynamicBitset::FromString("011011");
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCount(b), 2u);
+  DynamicBitset c = DynamicBitset::FromString("001100");
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.DisjointWith(c));
+}
+
+TEST(DynamicBitsetTest, FindFirstNextIteratesAllBits) {
+  DynamicBitset b(200);
+  const std::vector<int> expected = {0, 5, 63, 64, 65, 127, 128, 199};
+  for (int i : expected) b.Set(i);
+  std::vector<int> found;
+  for (std::size_t pos = b.FindFirst(); pos != DynamicBitset::npos;
+       pos = b.FindNext(pos)) {
+    found.push_back(static_cast<int>(pos));
+  }
+  EXPECT_EQ(found, expected);
+  EXPECT_EQ(b.SetBits(), expected);
+}
+
+TEST(DynamicBitsetTest, FindFirstOnEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.FindFirst(), DynamicBitset::npos);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitMatchesSetBits) {
+  Rng rng(7);
+  DynamicBitset b(300);
+  for (int i = 0; i < 300; ++i) {
+    if (rng.NextBernoulli(0.3)) b.Set(i);
+  }
+  std::vector<int> collected;
+  b.ForEachSetBit([&collected](int i) { collected.push_back(i); });
+  EXPECT_EQ(collected, b.SetBits());
+  EXPECT_EQ(collected.size(), b.Count());
+}
+
+TEST(DynamicBitsetTest, FromIndicesAndToString) {
+  DynamicBitset b = DynamicBitset::FromIndices(6, {0, 2, 5});
+  EXPECT_EQ(b.ToString(), "101001");
+  EXPECT_EQ(DynamicBitset::FromString("101001"), b);
+}
+
+TEST(DynamicBitsetTest, ResizeGrowAndShrink) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Resize(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_FALSE(b.Test(50));
+  b.Set(99);
+  b.Resize(10);
+  EXPECT_EQ(b.Count(), 1u);
+  // Growing again must not resurrect the truncated bit.
+  b.Resize(100);
+  EXPECT_FALSE(b.Test(99));
+}
+
+TEST(DynamicBitsetTest, EqualityAndOrdering) {
+  DynamicBitset a = DynamicBitset::FromString("01");
+  DynamicBitset b = DynamicBitset::FromString("01");
+  DynamicBitset c = DynamicBitset::FromString("10");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::set<DynamicBitset> ordered = {a, b, c};
+  EXPECT_EQ(ordered.size(), 2u);
+}
+
+TEST(DynamicBitsetTest, HashDistinguishesSizes) {
+  DynamicBitset a(64);
+  DynamicBitset b(65);
+  EXPECT_NE(a.Hash(), b.Hash());
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DynamicBitsetTest, WordsExposedForKernels) {
+  DynamicBitset b(65);
+  b.Set(64);
+  ASSERT_EQ(b.word_count(), 2u);
+  EXPECT_EQ(b.words()[0], 0u);
+  EXPECT_EQ(b.words()[1], 1u);
+}
+
+// Property check: randomized algebra against a std::set<int> model.
+TEST(DynamicBitsetTest, RandomizedAgainstSetModel) {
+  Rng rng(42);
+  const int n = 173;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<int> ma, mb;
+    DynamicBitset a(n), b(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(0.4)) {
+        a.Set(i);
+        ma.insert(i);
+      }
+      if (rng.NextBernoulli(0.4)) {
+        b.Set(i);
+        mb.insert(i);
+      }
+    }
+    std::set<int> m_and, m_or;
+    std::set_intersection(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                          std::inserter(m_and, m_and.begin()));
+    std::set_union(ma.begin(), ma.end(), mb.begin(), mb.end(),
+                   std::inserter(m_or, m_or.begin()));
+    EXPECT_EQ((a & b).Count(), m_and.size());
+    EXPECT_EQ((a | b).Count(), m_or.size());
+    EXPECT_EQ(a.IntersectionCount(b), m_and.size());
+    const bool subset =
+        std::includes(mb.begin(), mb.end(), ma.begin(), ma.end());
+    EXPECT_EQ(a.IsSubsetOf(b), subset);
+  }
+}
+
+}  // namespace
+}  // namespace soc

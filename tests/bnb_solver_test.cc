@@ -1,0 +1,121 @@
+#include "core/bnb_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/solver_registry.h"
+#include "datagen/clique.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+TEST(BnbSolverTest, PaperExample) {
+  const BnbSocSolver solver;
+  auto solution =
+      solver.Solve(testdata::PaperQueryLog(), testdata::PaperNewTuple(), 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->satisfied_queries, 3);
+  EXPECT_EQ(solution->selected, DynamicBitset::FromString("110100"));
+  EXPECT_TRUE(solution->proved_optimal);
+}
+
+TEST(BnbSolverTest, NodeBudgetSurfacesAsError) {
+  const datagen::Graph graph = datagen::Graph::ErdosRenyi(30, 0.6, 1);
+  const datagen::CliqueSocInstance instance = datagen::CliqueToSoc(graph);
+  BnbSocOptions options;
+  options.max_nodes = 10;
+  const BnbSocSolver solver(options);
+  auto solution = solver.Solve(instance.log, instance.tuple, 8);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BnbSolverTest, ReportsNodeMetric) {
+  const BnbSocSolver solver;
+  auto solution =
+      solver.Solve(testdata::PaperQueryLog(), testdata::PaperNewTuple(), 3);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_FALSE(solution->metrics.empty());
+  EXPECT_EQ(solution->metrics[0].first, "nodes");
+  EXPECT_GE(solution->metrics[0].second, 1.0);
+}
+
+TEST(BnbSolverTest, SolvesCliqueInstancesExactly) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const datagen::Graph graph =
+        datagen::Graph::ErdosRenyi(12, 0.5, 100 + trial);
+    const datagen::CliqueSocInstance instance = datagen::CliqueToSoc(graph);
+    const int omega = graph.MaxCliqueSize();
+    const BnbSocSolver solver;
+    for (int r = 2; r <= 5; ++r) {
+      auto solution = solver.Solve(instance.log, instance.tuple, r);
+      ASSERT_TRUE(solution.ok());
+      EXPECT_EQ(solution->satisfied_queries >= datagen::CliqueCertificate(r),
+                omega >= r)
+          << "trial " << trial << " r " << r;
+    }
+  }
+}
+
+TEST(BnbSolverTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(2468);
+  const BruteForceSolver reference;
+  const BnbSocSolver solver;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int num_attrs = rng.NextInt(5, 16);
+    const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = rng.NextInt(5, 120);
+    wl.seed = trial * 13 + 1;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(num_attrs);
+    for (int a = 0; a < num_attrs; ++a) {
+      if (rng.NextBernoulli(0.6)) t.Set(a);
+    }
+    const int m = rng.NextInt(0, num_attrs);
+    auto expected = reference.Solve(log, t, m);
+    auto actual = solver.Solve(log, t, m);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(actual->satisfied_queries, expected->satisfied_queries)
+        << "trial " << trial;
+  }
+}
+
+TEST(SolverRegistryTest, AllNamesConstruct) {
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    // The registry name round-trips through the instance (the -dfs variant
+    // reports its family name).
+    if (name != "MaxFreqItemSets-dfs") {
+      EXPECT_EQ((*solver)->name(), name);
+    }
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameIsNotFound) {
+  auto solver = CreateSolverByName("Simplex2000");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(solver.status().message().find("BruteForce"), std::string::npos);
+}
+
+TEST(SolverRegistryTest, RegistryInstancesSolve) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok());
+    auto solution = (*solver)->Solve(log, t, 3);
+    ASSERT_TRUE(solution.ok()) << name;
+    EXPECT_GE(solution->satisfied_queries, 0);
+    EXPECT_LE(solution->satisfied_queries, 3);
+  }
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,234 @@
+#include "lp/branch_and_bound.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "common/random.h"
+#include "lp/model.h"
+
+namespace soc::lp {
+namespace {
+
+// Brute-force optimum of a pure 0-1 model, for cross-checking.
+double BruteForceBinaryOptimum(const LinearModel& model) {
+  const int n = model.num_variables();
+  double best = -kInfinity;
+  const double sign =
+      model.sense() == ObjectiveSense::kMaximize ? 1.0 : -1.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = (mask >> j) & 1;
+    if (!model.IsFeasible(x, 1e-9)) continue;
+    best = std::max(best, sign * model.ObjectiveValue(x));
+  }
+  return sign * best;
+}
+
+TEST(BranchAndBoundTest, SimpleKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary.
+  // Best: a + c (weight 5, value 17)? b + c = 20 with weight 6. -> 20.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int a = model.AddBinaryVariable("a", 10);
+  const int b = model.AddBinaryVariable("b", 13);
+  const int c = model.AddBinaryVariable("c", 7);
+  int row = model.AddConstraint("w", ConstraintSense::kLessEqual, 6);
+  model.AddTerm(row, a, 3);
+  model.AddTerm(row, b, 4);
+  model.AddTerm(row, c, 2);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 20.0, 1e-6);
+  EXPECT_NEAR(result->x[a], 0.0, 1e-6);
+  EXPECT_NEAR(result->x[b], 1.0, 1e-6);
+  EXPECT_NEAR(result->x[c], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, InfeasibleIntegerProgram) {
+  // 2x = 3 with x binary.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddBinaryVariable("x", 1);
+  int row = model.AddConstraint("c", ConstraintSense::kEqual, 3);
+  model.AddTerm(row, x, 2);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(result->has_solution);
+}
+
+TEST(BranchAndBoundTest, FractionalLpButIntegerForced) {
+  // max x + y s.t. x + y <= 1.5, binary: LP gives 1.5, IP gives 1.
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddBinaryVariable("x", 1);
+  model.AddBinaryVariable("y", 1);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 1.5);
+  model.AddTerm(row, 0, 1);
+  model.AddTerm(row, 1, 1);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, GeneralIntegerVariables) {
+  // max 3x + 4y s.t. 2x + 5y <= 13, x <= 4, integer, x,y >= 0.
+  // Candidates: x=4,y=1 -> 16.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 4, 3, /*is_integer=*/true);
+  const int y = model.AddVariable("y", 0, kInfinity, 4, /*is_integer=*/true);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 13);
+  model.AddTerm(row, x, 2);
+  model.AddTerm(row, y, 5);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 16.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 4.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, MinimizationSense) {
+  // min x + y s.t. x + y >= 1.5, binary -> 2.
+  LinearModel model(ObjectiveSense::kMinimize);
+  model.AddBinaryVariable("x", 1);
+  model.AddBinaryVariable("y", 1);
+  int row = model.AddConstraint("c", ConstraintSense::kGreaterEqual, 1.5);
+  model.AddTerm(row, 0, 1);
+  model.AddTerm(row, 1, 1);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 2.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, MixedIntegerContinuous) {
+  // max 2x + y, x binary, y continuous <= 2.5, x + y <= 3.
+  // Optimum: x=1, y=2 -> 4.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddBinaryVariable("x", 2);
+  const int y = model.AddVariable("y", 0, 2.5, 1);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 3);
+  model.AddTerm(row, x, 1);
+  model.AddTerm(row, y, 1);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 4.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 2.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, InitialSolutionAccepted) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddBinaryVariable("x", 1);
+  model.AddBinaryVariable("y", 1);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 1);
+  model.AddTerm(row, 0, 1);
+  model.AddTerm(row, 1, 1);
+  MipOptions options;
+  options.initial_solution = std::vector<double>{1.0, 0.0};
+  auto result = SolveMip(model, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, InfeasibleInitialSolutionIgnored) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddBinaryVariable("x", 1);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 0);
+  model.AddTerm(row, 0, 1);
+  MipOptions options;
+  options.initial_solution = std::vector<double>{1.0};  // Violates c.
+  auto result = SolveMip(model, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 0.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, NodeLimitReportsBestSoFar) {
+  // A model needing branching, with max_nodes = 1: should stop early.
+  LinearModel model(ObjectiveSense::kMaximize);
+  for (int j = 0; j < 10; ++j) model.AddBinaryVariable("x", 1 + j % 3);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 4.5);
+  for (int j = 0; j < 10; ++j) model.AddTerm(row, j, 1);
+  MipOptions options;
+  options.max_nodes = 1;
+  auto result = SolveMip(model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kIterationLimit);
+  // Best bound must dominate any feasible solution (e.g. 4 threes = 12).
+  EXPECT_GE(result->best_bound, 12.0 - 1e-6);
+}
+
+TEST(BranchAndBoundTest, SetCover) {
+  // min cost cover: universe {0,1,2,3}, sets A={0,1} c=2, B={2,3} c=2,
+  // C={0,1,2,3} c=3, D={1,2} c=1. Optimal: C alone (3).
+  LinearModel model(ObjectiveSense::kMinimize);
+  const int A = model.AddBinaryVariable("A", 2);
+  const int B = model.AddBinaryVariable("B", 2);
+  const int C = model.AddBinaryVariable("C", 3);
+  const int D = model.AddBinaryVariable("D", 1);
+  const std::vector<std::vector<int>> covers = {
+      {A, C}, {A, C, D}, {B, C, D}, {B, C}};
+  for (int e = 0; e < 4; ++e) {
+    int row = model.AddConstraint("cover", ConstraintSense::kGreaterEqual, 1);
+    for (int s : covers[e]) model.AddTerm(row, s, 1);
+  }
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 3.0, 1e-6);
+  EXPECT_NEAR(result->x[C], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, EqualityPartition) {
+  // Pick exactly 2 of 4 items maximizing value.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const std::vector<double> values = {5, 1, 4, 3};
+  for (int j = 0; j < 4; ++j) model.AddBinaryVariable("x", values[j]);
+  int row = model.AddConstraint("pick2", ConstraintSense::kEqual, 2);
+  for (int j = 0; j < 4; ++j) model.AddTerm(row, j, 1);
+  auto result = SolveMip(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 9.0, 1e-6);
+}
+
+// Property test: B&B equals exhaustive enumeration on random 0-1 programs.
+TEST(BranchAndBoundTest, RandomizedMatchesBruteForce) {
+  Rng rng(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = rng.NextInt(2, 10);
+    const int m = rng.NextInt(1, 6);
+    const bool maximize = rng.NextBernoulli(0.5);
+    LinearModel model(maximize ? ObjectiveSense::kMaximize
+                               : ObjectiveSense::kMinimize);
+    for (int j = 0; j < n; ++j) {
+      model.AddBinaryVariable("x", rng.NextInt(-5, 10));
+    }
+    for (int i = 0; i < m; ++i) {
+      // Keep the all-zeros point feasible so the instance is never empty.
+      int row = model.AddConstraint("c", ConstraintSense::kLessEqual,
+                                    rng.NextInt(0, n));
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.6)) model.AddTerm(row, j, rng.NextInt(0, 3));
+      }
+    }
+    const double expected = BruteForceBinaryOptimum(model);
+    auto result = SolveMip(model);
+    ASSERT_TRUE(result.ok()) << "trial " << trial;
+    ASSERT_EQ(result->status, SolveStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(result->objective, expected, 1e-6) << "trial " << trial;
+    // The incumbent must itself be feasible and integral.
+    ASSERT_TRUE(model.IsFeasible(result->x, 1e-6));
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(result->x[j], std::round(result->x[j]), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soc::lp

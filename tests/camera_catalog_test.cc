@@ -1,0 +1,104 @@
+#include "datagen/camera_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace soc::datagen {
+namespace {
+
+TEST(CameraCatalogTest, ShapeAndRanges) {
+  CameraCatalogOptions options;
+  options.num_cameras = 300;
+  const numeric::NumericTable catalog = GenerateCameraCatalog(options);
+  EXPECT_EQ(catalog.num_rows(), 300);
+  EXPECT_EQ(catalog.num_attributes(), kNumCameraAttributes);
+  EXPECT_EQ(catalog.attribute_name(0), "Price");
+  for (int r = 0; r < catalog.num_rows(); ++r) {
+    const std::vector<double>& camera = catalog.row(r);
+    EXPECT_GE(camera[0], 90.0);    // Price.
+    EXPECT_LE(camera[0], 4500.0);
+    EXPECT_GE(camera[1], 0.15);    // Weight.
+    EXPECT_LE(camera[1], 1.60);
+    EXPECT_GE(camera[2], 10.0);    // Resolution (whole MP).
+    EXPECT_DOUBLE_EQ(camera[2], std::round(camera[2]));
+  }
+}
+
+TEST(CameraCatalogTest, TiersProduceCorrelation) {
+  CameraCatalogOptions options;
+  options.num_cameras = 3000;
+  const numeric::NumericTable catalog = GenerateCameraCatalog(options);
+  // Price and resolution must correlate positively across tiers: compare
+  // mean resolution of the cheapest vs the priciest third.
+  std::vector<std::pair<double, double>> cameras;
+  for (int r = 0; r < catalog.num_rows(); ++r) {
+    cameras.emplace_back(catalog.row(r)[0], catalog.row(r)[2]);
+  }
+  std::sort(cameras.begin(), cameras.end());
+  const int third = static_cast<int>(cameras.size() / 3);
+  double cheap_res = 0, pricey_res = 0;
+  for (int i = 0; i < third; ++i) {
+    cheap_res += cameras[i].second;
+    pricey_res += cameras[cameras.size() - 1 - i].second;
+  }
+  EXPECT_GT(pricey_res / third, cheap_res / third + 5.0);
+}
+
+TEST(CameraCatalogTest, DeterministicForSeed) {
+  CameraCatalogOptions options;
+  options.num_cameras = 50;
+  const auto a = GenerateCameraCatalog(options);
+  const auto b = GenerateCameraCatalog(options);
+  for (int r = 0; r < 50; ++r) EXPECT_EQ(a.row(r), b.row(r));
+}
+
+TEST(CameraWorkloadTest, QueriesAreWellFormedAndAnchored) {
+  CameraCatalogOptions catalog_options;
+  catalog_options.num_cameras = 500;
+  const numeric::NumericTable catalog =
+      GenerateCameraCatalog(catalog_options);
+  CameraWorkloadOptions options;
+  options.num_queries = 300;
+  const std::vector<numeric::RangeQuery> queries =
+      MakeCameraWorkload(catalog, options);
+  ASSERT_EQ(queries.size(), 300u);
+  int total_matches = 0;
+  for (const numeric::RangeQuery& q : queries) {
+    ASSERT_GE(q.size(), 1u);
+    ASSERT_LE(q.size(), 3u);
+    for (const numeric::RangeCondition& condition : q) {
+      EXPECT_GE(condition.attribute, 0);
+      EXPECT_LT(condition.attribute, catalog.num_attributes());
+      EXPECT_LE(condition.lo, condition.hi);
+    }
+    // Anchored windows must match at least the anchor camera.
+    bool hits = false;
+    for (int r = 0; r < catalog.num_rows() && !hits; ++r) {
+      hits = numeric::RangeQueryMatches(q, catalog.row(r));
+    }
+    total_matches += hits;
+  }
+  EXPECT_EQ(total_matches, 300);  // Every query matches something.
+}
+
+TEST(CameraWorkloadTest, EndToEndThroughReduction) {
+  CameraCatalogOptions catalog_options;
+  catalog_options.num_cameras = 400;
+  const numeric::NumericTable catalog =
+      GenerateCameraCatalog(catalog_options);
+  const std::vector<numeric::RangeQuery> queries =
+      MakeCameraWorkload(catalog);
+  const BruteForceSolver exact;
+  auto solution = numeric::SolveNumericSoc(
+      exact, CameraAttributeNames(), queries, catalog.row(7), 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->selected_attributes.size(), 3u);
+  EXPECT_GT(solution->satisfied_queries, 0);
+}
+
+}  // namespace
+}  // namespace soc::datagen

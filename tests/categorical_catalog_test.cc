@@ -1,0 +1,86 @@
+#include "datagen/categorical_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace soc::datagen {
+namespace {
+
+TEST(CategoricalCatalogTest, SchemaShape) {
+  const categorical::CategoricalSchema schema = UsedCarCategoricalSchema();
+  EXPECT_EQ(schema.num_attributes(), 6);
+  EXPECT_EQ(schema.domain_size(0), 8);  // Make.
+  EXPECT_EQ(schema.domain_size(4), 2);  // Transmission.
+  EXPECT_EQ(schema.ValueIndex(0, "Toyota"), 0);
+  EXPECT_EQ(schema.ValueIndex(5, "RWD"), 2);
+}
+
+TEST(CategoricalCatalogTest, RowsAreValidAndSkewed) {
+  CategoricalCatalogOptions options;
+  options.num_cars = 2000;
+  const categorical::CategoricalTable catalog =
+      GenerateCategoricalCatalog(options);
+  EXPECT_EQ(catalog.num_rows(), 2000);
+  // Value skew: the most popular make must clearly beat the rarest.
+  std::vector<int> make_counts(8, 0);
+  for (int r = 0; r < catalog.num_rows(); ++r) {
+    ++make_counts[catalog.row(r)[0]];
+  }
+  EXPECT_GT(make_counts[0], 3 * make_counts[7]);
+}
+
+TEST(CategoricalCatalogTest, SportsBodiesSkewManual) {
+  CategoricalCatalogOptions options;
+  options.num_cars = 4000;
+  const categorical::CategoricalTable catalog =
+      GenerateCategoricalCatalog(options);
+  int sports = 0, sports_manual = 0, sedans = 0, sedans_manual = 0;
+  for (int r = 0; r < catalog.num_rows(); ++r) {
+    const categorical::CategoricalTuple& car = catalog.row(r);
+    if (car[1] >= 4) {
+      ++sports;
+      sports_manual += car[4] == 1;
+    } else if (car[1] == 0) {
+      ++sedans;
+      sedans_manual += car[4] == 1;
+    }
+  }
+  ASSERT_GT(sports, 50);
+  ASSERT_GT(sedans, 50);
+  EXPECT_GT(static_cast<double>(sports_manual) / sports,
+            1.5 * static_cast<double>(sedans_manual) / sedans);
+}
+
+TEST(CategoricalWorkloadTest, QueriesAnchoredAndValid) {
+  const categorical::CategoricalTable catalog = GenerateCategoricalCatalog();
+  CategoricalWorkloadOptions options;
+  options.num_queries = 200;
+  const auto queries = MakeCategoricalWorkload(catalog, options);
+  ASSERT_EQ(queries.size(), 200u);
+  int matching = 0;
+  for (const categorical::CategoricalQuery& q : queries) {
+    ASSERT_GE(q.size(), 1u);
+    ASSERT_LE(q.size(), 3u);
+    bool hits = false;
+    for (int r = 0; r < catalog.num_rows() && !hits; ++r) {
+      hits = categorical::QueryMatchesTuple(q, catalog.row(r));
+    }
+    matching += hits;
+  }
+  EXPECT_EQ(matching, 200);  // Anchoring guarantees each query matches.
+}
+
+TEST(CategoricalCatalogTest, EndToEndThroughReduction) {
+  const categorical::CategoricalTable catalog = GenerateCategoricalCatalog();
+  const auto queries = MakeCategoricalWorkload(catalog);
+  const BruteForceSolver exact;
+  auto solution = categorical::SolveCategoricalSoc(
+      exact, catalog.schema(), queries, catalog.row(3), 2);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->selected_attributes.size(), 2u);
+  EXPECT_GT(solution->satisfied_queries, 0);
+}
+
+}  // namespace
+}  // namespace soc::datagen

@@ -1,0 +1,118 @@
+#include "categorical/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace soc::categorical {
+namespace {
+
+CategoricalSchema CarSchema() {
+  auto schema = CategoricalSchema::Create(
+      {"Make", "Color", "Transmission"},
+      {{"Honda", "Toyota", "BMW"},
+       {"Red", "Blue", "Black", "White"},
+       {"Manual", "Automatic"}});
+  SOC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(CategoricalSchemaTest, CreateAndLookup) {
+  CategoricalSchema schema = CarSchema();
+  EXPECT_EQ(schema.num_attributes(), 3);
+  EXPECT_EQ(schema.domain_size(1), 4);
+  EXPECT_EQ(schema.ValueIndex(0, "Toyota"), 1);
+  EXPECT_EQ(schema.ValueIndex(0, "Tesla"), -1);
+}
+
+TEST(CategoricalSchemaTest, RejectsBadSchemas) {
+  EXPECT_FALSE(CategoricalSchema::Create({"A", "A"}, {{"x"}, {"y"}}).ok());
+  EXPECT_FALSE(CategoricalSchema::Create({"A"}, {{}}).ok());
+  EXPECT_FALSE(CategoricalSchema::Create({"A"}, {{"x", "x"}}).ok());
+  EXPECT_FALSE(CategoricalSchema::Create({"A", "B"}, {{"x"}}).ok());
+}
+
+TEST(CategoricalTableTest, AddRowValidates) {
+  CategoricalTable table(CarSchema());
+  EXPECT_TRUE(table.AddRow({0, 1, 1}).ok());
+  EXPECT_FALSE(table.AddRow({0, 1}).ok());      // Wrong width.
+  EXPECT_FALSE(table.AddRow({0, 9, 1}).ok());   // Value out of range.
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+TEST(CategoricalTest, QueryMatching) {
+  // Tuple: Toyota, Black, Automatic.
+  const CategoricalTuple t = {1, 2, 1};
+  EXPECT_TRUE(QueryMatchesTuple({{0, 1}}, t));
+  EXPECT_TRUE(QueryMatchesTuple({{0, 1}, {2, 1}}, t));
+  EXPECT_FALSE(QueryMatchesTuple({{0, 0}}, t));
+  EXPECT_TRUE(QueryMatchesTuple({}, t));  // Empty query matches.
+}
+
+TEST(CategoricalTest, ReductionDropsMismatchedQueries) {
+  CategoricalSchema schema = CarSchema();
+  const CategoricalTuple t = {1, 2, 1};  // Toyota, Black, Automatic.
+  const std::vector<CategoricalQuery> queries = {
+      {{0, 1}, {1, 2}},  // Toyota + Black: winnable -> {Make, Color}.
+      {{0, 0}},          // Honda: mismatched -> dropped.
+      {{2, 1}},          // Automatic: winnable -> {Transmission}.
+  };
+  auto reduction = ReduceCategoricalToBoolean(schema, queries, t);
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_EQ(reduction->dropped_queries, 1);
+  ASSERT_EQ(reduction->boolean_log.size(), 2);
+  EXPECT_EQ(reduction->boolean_log.query(0).ToString(), "110");
+  EXPECT_EQ(reduction->boolean_log.query(1).ToString(), "001");
+  EXPECT_TRUE(reduction->boolean_tuple.All());
+}
+
+TEST(CategoricalTest, ReductionRejectsBadConditions) {
+  CategoricalSchema schema = CarSchema();
+  const CategoricalTuple t = {1, 2, 1};
+  auto bad_attr = ReduceCategoricalToBoolean(schema, {{{9, 0}}}, t);
+  EXPECT_FALSE(bad_attr.ok());
+  auto bad_value = ReduceCategoricalToBoolean(schema, {{{0, 9}}}, t);
+  EXPECT_FALSE(bad_value.ok());
+}
+
+TEST(CategoricalTest, EndToEndSolve) {
+  CategoricalSchema schema = CarSchema();
+  const CategoricalTuple t = {1, 2, 1};
+  // 3 queries need {Make}, 2 need {Color, Transmission}, 1 unwinnable.
+  std::vector<CategoricalQuery> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back({{0, 1}});
+  for (int i = 0; i < 2; ++i) queries.push_back({{1, 2}, {2, 1}});
+  queries.push_back({{1, 0}});
+  BruteForceSolver exact;
+  auto m1 = SolveCategoricalSoc(exact, schema, queries, t, 1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->satisfied_queries, 3);
+  EXPECT_EQ(m1->selected_attributes, (std::vector<int>{0}));
+  auto m2 = SolveCategoricalSoc(exact, schema, queries, t, 2);
+  ASSERT_TRUE(m2.ok());
+  // {Color, Transmission} satisfies 2; {Make, anything} satisfies 3.
+  EXPECT_EQ(m2->satisfied_queries, 3);
+  auto m3 = SolveCategoricalSoc(exact, schema, queries, t, 3);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m3->satisfied_queries, 5);
+}
+
+TEST(CategoricalTest, OneHotEncoding) {
+  CategoricalTable table(CarSchema());
+  ASSERT_TRUE(table.AddRow({0, 1, 1}).ok());  // Honda, Blue, Automatic.
+  ASSERT_TRUE(table.AddRow({2, 2, 0}).ok());  // BMW, Black, Manual.
+  BooleanTable encoded = OneHotEncode(table);
+  // 3 + 4 + 2 = 9 one-hot columns.
+  EXPECT_EQ(encoded.num_attributes(), 9);
+  EXPECT_EQ(encoded.num_rows(), 2);
+  // Each row has exactly one bit per original attribute.
+  EXPECT_EQ(encoded.row(0).Count(), 3u);
+  EXPECT_EQ(encoded.schema().Find("Make=Honda"), 0);
+  EXPECT_EQ(encoded.schema().Find("Color=Black"), 5);
+  EXPECT_TRUE(encoded.row(0).Test(0));   // Make=Honda.
+  EXPECT_TRUE(encoded.row(1).Test(5));   // Color=Black.
+  EXPECT_FALSE(encoded.row(1).Test(0));
+}
+
+}  // namespace
+}  // namespace soc::categorical

@@ -1,0 +1,124 @@
+#include "common/combinatorics.h"
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialSaturating(0, 0), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 0), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 5), 1u);
+  EXPECT_EQ(BinomialSaturating(5, 2), 10u);
+  EXPECT_EQ(BinomialSaturating(10, 3), 120u);
+  EXPECT_EQ(BinomialSaturating(32, 16), 601080390u);
+}
+
+TEST(BinomialTest, OutOfRangeIsZero) {
+  EXPECT_EQ(BinomialSaturating(3, 5), 0u);
+  EXPECT_EQ(BinomialSaturating(-1, 0), 0u);
+  EXPECT_EQ(BinomialSaturating(3, -1), 0u);
+}
+
+TEST(BinomialTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(BinomialSaturating(200, 100),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(BinomialTest, PascalIdentityHolds) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(BinomialSaturating(n, k),
+                BinomialSaturating(n - 1, k - 1) + BinomialSaturating(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CombinationEnumeratorTest, EnumeratesAllLexicographically) {
+  CombinationEnumerator combos(5, 3);
+  std::vector<std::vector<int>> all;
+  while (combos.HasValue()) {
+    all.push_back(combos.Value());
+    combos.Advance();
+  }
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all.front(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(all.back(), (std::vector<int>{2, 3, 4}));
+  // Strictly increasing lexicographic order, all distinct.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1], all[i]);
+  }
+}
+
+TEST(CombinationEnumeratorTest, KZeroYieldsOneEmptyCombination) {
+  CombinationEnumerator combos(4, 0);
+  ASSERT_TRUE(combos.HasValue());
+  EXPECT_TRUE(combos.Value().empty());
+  combos.Advance();
+  EXPECT_FALSE(combos.HasValue());
+}
+
+TEST(CombinationEnumeratorTest, KGreaterThanNIsEmpty) {
+  CombinationEnumerator combos(2, 3);
+  EXPECT_FALSE(combos.HasValue());
+}
+
+TEST(CombinationEnumeratorTest, FullSelection) {
+  CombinationEnumerator combos(3, 3);
+  ASSERT_TRUE(combos.HasValue());
+  EXPECT_EQ(combos.Value(), (std::vector<int>{0, 1, 2}));
+  combos.Advance();
+  EXPECT_FALSE(combos.HasValue());
+}
+
+TEST(CombinationEnumeratorTest, CountMatchesBinomialForSweep) {
+  for (int n = 0; n <= 12; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      CombinationEnumerator combos(n, k);
+      std::uint64_t count = 0;
+      while (combos.HasValue()) {
+        ++count;
+        combos.Advance();
+      }
+      EXPECT_EQ(count, BinomialSaturating(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ForEachCombinationTest, MapsPoolValues) {
+  const std::vector<int> pool = {10, 20, 30};
+  std::set<std::vector<int>> seen;
+  ForEachCombination(pool, 2, [&seen](const std::vector<int>& combo) {
+    seen.insert(combo);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::set<std::vector<int>>{{10, 20}, {10, 30}, {20, 30}}));
+}
+
+TEST(ForEachCombinationTest, EarlyStop) {
+  const std::vector<int> pool = {1, 2, 3, 4};
+  int calls = 0;
+  ForEachCombination(pool, 2, [&calls](const std::vector<int>&) {
+    ++calls;
+    return calls < 2;
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ForEachCombinationTest, InvalidKIsNoop) {
+  const std::vector<int> pool = {1, 2};
+  int calls = 0;
+  ForEachCombination(pool, 3, [&calls](const std::vector<int>&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace soc

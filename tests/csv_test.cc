@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(CsvTest, ParseSimpleWithHeader) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n4,5,6\n", /*has_header=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(result->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, ParseWithoutHeader) {
+  auto result = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->header.empty());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto result =
+      ParseCsv("name,desc\ncar,\"power, locks\"\nbike,\"say \"\"hi\"\"\"\n",
+               /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], "power, locks");
+  EXPECT_EQ(result->rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvTest, CrlfLineEndings) {
+  auto result = ParseCsv("a,b\r\n1,2\r\n", /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][1], "2");
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto result = ParseCsv("a,b\n\n1,2\n\n", /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto result = ParseCsv("a,b\n1,2,3\n", /*has_header=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto result = ParseCsv("a\n\"oops\n", /*has_header=*/true);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CsvTest, EmptyInput) {
+  auto result = ParseCsv("", /*has_header=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->header.empty());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST(CsvTest, WriteRoundTrips) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{"hello", "a,b"}, {"\"q\"", ""}};
+  const std::string text = WriteCsv(table);
+  auto parsed = ParseCsv(text, /*has_header=*/true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{"1"}, {"0"}};
+  const std::string path = ::testing::TempDir() + "/soc_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = ReadCsvFile(path, /*has_header=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto loaded = ReadCsvFile("/nonexistent/really/not/here.csv", true);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/car_dataset.h"
+#include "datagen/clique.h"
+#include "datagen/workload.h"
+
+namespace soc::datagen {
+namespace {
+
+TEST(CarDatasetTest, ShapeMatchesPaper) {
+  CarDatasetOptions options;
+  options.num_cars = 500;  // Keep the test fast; the default is 15,211.
+  const BooleanTable db = GenerateCarDataset(options);
+  EXPECT_EQ(db.num_rows(), 500);
+  EXPECT_EQ(db.num_attributes(), kNumCarAttributes);
+  EXPECT_EQ(db.schema().Find("AC"), 0);
+  EXPECT_NE(db.schema().Find("Turbo"), -1);
+}
+
+TEST(CarDatasetTest, DeterministicForSeed) {
+  CarDatasetOptions options;
+  options.num_cars = 50;
+  const BooleanTable a = GenerateCarDataset(options);
+  const BooleanTable b = GenerateCarDataset(options);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.row(i), b.row(i));
+  options.seed = 999;
+  const BooleanTable c = GenerateCarDataset(options);
+  int diffs = 0;
+  for (int i = 0; i < 50; ++i) diffs += (a.row(i) != c.row(i));
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(CarDatasetTest, PrevalencesAreSkewed) {
+  CarDatasetOptions options;
+  options.num_cars = 2000;
+  const BooleanTable db = GenerateCarDataset(options);
+  const std::vector<int> freq = db.AttributeFrequencies();
+  // AC should be near-universal, Turbo rare, and features correlated:
+  EXPECT_GT(freq[0], 1500);                                // AC.
+  const int turbo = db.schema().Find("Turbo");
+  EXPECT_LT(freq[turbo], 600);
+  EXPECT_GT(freq[turbo], 10);
+}
+
+TEST(CarDatasetTest, SportBundleIsCorrelated) {
+  CarDatasetOptions options;
+  options.num_cars = 4000;
+  const BooleanTable db = GenerateCarDataset(options);
+  const int turbo = db.schema().Find("Turbo");
+  const int spoiler = db.schema().Find("Spoiler");
+  int turbo_count = 0, spoiler_count = 0, both = 0;
+  for (const DynamicBitset& row : db.rows()) {
+    const bool has_turbo = row.Test(turbo);
+    const bool has_spoiler = row.Test(spoiler);
+    turbo_count += has_turbo;
+    spoiler_count += has_spoiler;
+    both += has_turbo && has_spoiler;
+  }
+  // P(both) should clearly exceed the independence baseline.
+  const double n = db.num_rows();
+  EXPECT_GT(both / n, 1.5 * (turbo_count / n) * (spoiler_count / n));
+}
+
+TEST(SyntheticWorkloadTest, SizeDistributionRespected) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(32);
+  SyntheticWorkloadOptions options;
+  options.num_queries = 5000;
+  const QueryLog log = MakeSyntheticWorkload(schema, options);
+  ASSERT_EQ(log.size(), 5000);
+  std::vector<int> size_counts(8, 0);
+  for (const DynamicBitset& q : log.queries()) {
+    ASSERT_GE(q.Count(), 1u);
+    ASSERT_LE(q.Count(), 5u);
+    ++size_counts[q.Count()];
+  }
+  // Paper's mix: 20/30/30/10/10 percent.
+  EXPECT_NEAR(size_counts[1] / 5000.0, 0.20, 0.03);
+  EXPECT_NEAR(size_counts[2] / 5000.0, 0.30, 0.03);
+  EXPECT_NEAR(size_counts[3] / 5000.0, 0.30, 0.03);
+  EXPECT_NEAR(size_counts[4] / 5000.0, 0.10, 0.03);
+  EXPECT_NEAR(size_counts[5] / 5000.0, 0.10, 0.03);
+}
+
+TEST(SyntheticWorkloadTest, DeterministicForSeed) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(16);
+  SyntheticWorkloadOptions options;
+  options.num_queries = 20;
+  const QueryLog a = MakeSyntheticWorkload(schema, options);
+  const QueryLog b = MakeSyntheticWorkload(schema, options);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.query(i), b.query(i));
+}
+
+TEST(RealLikeWorkloadTest, AllQueriesHaveAtLeastFourAttributes) {
+  // Matches the paper's Fig 7: no real query has <= 3 attributes, so m = 3
+  // satisfies nothing.
+  CarDatasetOptions car_options;
+  car_options.num_cars = 1000;
+  const BooleanTable db = GenerateCarDataset(car_options);
+  const QueryLog log = MakeRealLikeWorkload(db);
+  ASSERT_EQ(log.size(), kPaperRealWorkloadSize);
+  for (const DynamicBitset& q : log.queries()) {
+    EXPECT_GE(q.Count(), 4u);
+    EXPECT_LE(q.Count(), 6u);
+  }
+}
+
+TEST(RealLikeWorkloadTest, PopularAttributesQueriedMore) {
+  CarDatasetOptions car_options;
+  car_options.num_cars = 1000;
+  const BooleanTable db = GenerateCarDataset(car_options);
+  RealLikeWorkloadOptions options;
+  options.num_queries = 2000;
+  const QueryLog log = MakeRealLikeWorkload(db, options);
+  const std::vector<int> freq = log.AttributeFrequencies();
+  const int ac = db.schema().Find("AC");
+  const int turbo = db.schema().Find("Turbo");
+  EXPECT_GT(freq[ac], freq[turbo]);
+}
+
+TEST(PickAdvertisedTuplesTest, DistinctAndInRange) {
+  CarDatasetOptions options;
+  options.num_cars = 200;
+  const BooleanTable db = GenerateCarDataset(options);
+  const std::vector<int> picks = PickAdvertisedTuples(db, 100, 1);
+  EXPECT_EQ(picks.size(), 100u);
+  std::set<int> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (int p : picks) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 200);
+  }
+  // Asking for more than available clamps.
+  EXPECT_EQ(PickAdvertisedTuples(db, 500, 1).size(), 200u);
+}
+
+TEST(GraphTest, ErdosRenyiEdgeCount) {
+  const Graph g = Graph::ErdosRenyi(30, 0.5, 7);
+  const int max_edges = 30 * 29 / 2;
+  EXPECT_GT(static_cast<int>(g.edges().size()), max_edges / 4);
+  EXPECT_LT(static_cast<int>(g.edges().size()), 3 * max_edges / 4);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+    EXPECT_TRUE(g.HasEdge(v, u));
+    EXPECT_LT(u, v);
+  }
+}
+
+TEST(GraphTest, CliqueDetection) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  EXPECT_TRUE(g.IsClique(DynamicBitset::FromString("11100")));
+  EXPECT_FALSE(g.IsClique(DynamicBitset::FromString("11110")));
+  EXPECT_TRUE(g.IsClique(DynamicBitset::FromString("00011")));
+  EXPECT_TRUE(g.IsClique(DynamicBitset::FromString("10000")));  // Singleton.
+  EXPECT_EQ(g.MaxCliqueSize(), 3);
+}
+
+TEST(GraphTest, MaxCliqueOnCompleteAndEmptyGraphs) {
+  Graph complete(6);
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) complete.AddEdge(u, v);
+  }
+  EXPECT_EQ(complete.MaxCliqueSize(), 6);
+  Graph empty(6);
+  EXPECT_EQ(empty.MaxCliqueSize(), 1);
+  Graph zero(0);
+  EXPECT_EQ(zero.MaxCliqueSize(), 0);
+}
+
+TEST(CliqueReductionTest, InstanceShape) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  const CliqueSocInstance instance = CliqueToSoc(g);
+  EXPECT_EQ(instance.log.size(), 2);
+  EXPECT_EQ(instance.log.num_attributes(), 4);
+  EXPECT_EQ(instance.log.query(0).SetBits(), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(instance.tuple.All());
+  EXPECT_EQ(CliqueCertificate(4), 6);
+}
+
+}  // namespace
+}  // namespace soc::datagen

@@ -1,0 +1,121 @@
+// Differential soak: a wide randomized sweep cross-checking every layer of
+// the stack against every other on shared instances. Complements the
+// per-module suites with interactions those don't cover (weighted vs
+// unweighted vs ILP on one instance, variant consistency, analysis
+// consistency with the optimum).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/attribute_analysis.h"
+#include "core/bnb_solver.h"
+#include "core/brute_force.h"
+#include "core/ilp_solver.h"
+#include "core/mfi_solver.h"
+#include "core/variants.h"
+#include "core/weighted.h"
+#include "datagen/workload.h"
+
+namespace soc {
+namespace {
+
+struct Instance {
+  QueryLog log;
+  DynamicBitset tuple;
+  int m;
+};
+
+Instance MakeInstance(int seed) {
+  Rng rng(seed * 7717 + 29);
+  const int num_attrs = rng.NextInt(4, 12);
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = rng.NextInt(3, 90);
+  wl.seed = seed * 3 + 1;
+  wl.size_distribution.resize(std::min<std::size_t>(
+      wl.size_distribution.size(), static_cast<std::size_t>(num_attrs)));
+  Instance instance{datagen::MakeSyntheticWorkload(schema, wl),
+                    DynamicBitset(num_attrs), 0};
+  for (int a = 0; a < num_attrs; ++a) {
+    if (rng.NextBernoulli(0.6)) instance.tuple.Set(a);
+  }
+  instance.m = rng.NextInt(0, num_attrs);
+  return instance;
+}
+
+class SoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoakTest, AllLayersAgree) {
+  const Instance instance = MakeInstance(GetParam());
+  const QueryLog& log = instance.log;
+  const DynamicBitset& t = instance.tuple;
+  const int m = instance.m;
+
+  // Layer 1: the four exact solvers.
+  BruteForceSolver brute;
+  auto reference = brute.Solve(log, t, m);
+  ASSERT_TRUE(reference.ok());
+  const int optimum = reference->satisfied_queries;
+
+  BnbSocSolver bnb;
+  auto bnb_solution = bnb.Solve(log, t, m);
+  ASSERT_TRUE(bnb_solution.ok());
+  EXPECT_EQ(bnb_solution->satisfied_queries, optimum);
+
+  IlpSocSolver ilp;
+  auto ilp_solution = ilp.Solve(log, t, m);
+  ASSERT_TRUE(ilp_solution.ok());
+  EXPECT_EQ(ilp_solution->satisfied_queries, optimum);
+
+  MfiSocSolver mfi;
+  auto mfi_solution = mfi.Solve(log, t, m);
+  ASSERT_TRUE(mfi_solution.ok());
+  EXPECT_EQ(mfi_solution->satisfied_queries, optimum);
+
+  // Layer 2: weighted pipeline on the same instance.
+  const WeightedSocInstance weighted = WeightedSocInstance::FromLog(log);
+  auto weighted_solution = SolveWeightedBnb(weighted, t, m);
+  ASSERT_TRUE(weighted_solution.ok());
+  EXPECT_EQ(weighted_solution->satisfied_weight, optimum);
+
+  // Layer 3: the domination adapter run with the log's queries as a
+  // database must agree (the two objectives coincide by construction).
+  BooleanTable as_database(log.schema());
+  for (const DynamicBitset& q : log.queries()) as_database.AddRow(q);
+  auto dominated = SolveSocCbD(brute, as_database, t, m);
+  ASSERT_TRUE(dominated.ok());
+  EXPECT_EQ(dominated->satisfied_queries, optimum);
+
+  // Layer 4: attribute analysis must bracket the optimum.
+  if (m >= 1 && t.Any()) {
+    auto values = AnalyzeAttributeValues(bnb, log, t, m);
+    ASSERT_TRUE(values.ok());
+    int best_forced = 0;
+    for (const AttributeValue& value : *values) {
+      EXPECT_LE(value.forced_in, optimum);
+      EXPECT_LE(value.forced_out, optimum);
+      best_forced = std::max({best_forced, value.forced_in,
+                              value.forced_out});
+    }
+    if (!values->empty()) {
+      EXPECT_EQ(best_forced, optimum);
+    }
+  }
+
+  // Layer 5: per-attribute variant is consistent with a manual sweep.
+  if (t.Any()) {
+    auto per_attr = SolvePerAttribute(bnb, log, t);
+    ASSERT_TRUE(per_attr.ok());
+    for (int budget = 1; budget <= static_cast<int>(t.Count()); ++budget) {
+      auto at_budget = brute.Solve(log, t, budget);
+      ASSERT_TRUE(at_budget.ok());
+      EXPECT_GE(per_attr->ratio + 1e-9,
+                static_cast<double>(at_budget->satisfied_queries) / budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SoakTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace soc

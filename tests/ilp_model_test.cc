@@ -1,0 +1,131 @@
+// Structural tests of the Sec IV.B ILP formulation (with and without the
+// presolve improvement) and of the IlpSocSolver options.
+
+#include "core/ilp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+TEST(IlpModelTest, PresolvedModelShape) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();  // 5 attributes set.
+  const SocIlpModel built = BuildConjunctiveSocModel(log, t, 3);
+  // x variables: only the 5 attributes of t.
+  EXPECT_EQ(built.num_x, 5);
+  // y variables: only the 4 satisfiable queries (q5 needs Turbo).
+  EXPECT_EQ(built.num_y, 4);
+  EXPECT_EQ(built.model.num_variables(), 9);
+  // Constraints: 1 budget + Σ|q_i| link rows = 1 + 8.
+  EXPECT_EQ(built.model.num_constraints(), 9);
+  EXPECT_TRUE(built.model.HasIntegralObjective());
+}
+
+TEST(IlpModelTest, PaperModelShape) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const SocIlpModel built =
+      BuildConjunctiveSocModel(log, t, 3, /*presolve=*/false);
+  // The literal Sec IV.B model: one x per attribute, one y per query.
+  EXPECT_EQ(built.num_x, 6);
+  EXPECT_EQ(built.num_y, 5);
+  // Attributes outside t are bounded to zero.
+  int fixed = 0;
+  for (int j = 0; j < built.num_x; ++j) {
+    if (built.model.variable(j).upper == 0.0) ++fixed;
+  }
+  EXPECT_EQ(fixed, 1);  // Turbo.
+  // Link rows for all queries: Σ|q_i| = 10.
+  EXPECT_EQ(built.model.num_constraints(), 11);
+}
+
+TEST(IlpModelTest, BudgetRowBindsSelection) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const SocIlpModel built = BuildConjunctiveSocModel(log, t, 2);
+  const lp::Constraint& budget = built.model.constraint(0);
+  EXPECT_EQ(budget.rhs, 2.0);
+  EXPECT_EQ(budget.vars.size(), static_cast<std::size_t>(built.num_x));
+}
+
+TEST(IlpModelTest, PresolveAndPaperModelAgreeOnOptimum) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (int m = 0; m <= 6; ++m) {
+    IlpSocOptions presolved;
+    IlpSocOptions literal;
+    literal.presolve = false;
+    const IlpSocSolver a{presolved};
+    const IlpSocSolver b{literal};
+    auto sa = a.Solve(log, t, m);
+    auto sb = b.Solve(log, t, m);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(sa->satisfied_queries, sb->satisfied_queries) << "m=" << m;
+  }
+}
+
+TEST(IlpModelTest, SeedingDoesNotChangeOptimum) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(10);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 40;
+  wl.seed = 3;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset t(10);
+  t.SetAll();
+  BruteForceSolver reference;
+  for (bool seed : {false, true}) {
+    IlpSocOptions options;
+    options.seed_with_greedy = seed;
+    const IlpSocSolver solver(options);
+    auto solution = solver.Solve(log, t, 4);
+    auto expected = reference.Solve(log, t, 4);
+    ASSERT_TRUE(solution.ok());
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(solution->satisfied_queries, expected->satisfied_queries)
+        << "seed=" << seed;
+  }
+}
+
+TEST(IlpModelTest, MetricsExposed) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const IlpSocSolver solver;
+  auto solution = solver.Solve(log, t, 3);
+  ASSERT_TRUE(solution.ok());
+  bool has_nodes = false;
+  for (const auto& [key, value] : solution->metrics) {
+    if (key == "nodes") {
+      has_nodes = true;
+      EXPECT_GE(value, 1.0);
+    }
+  }
+  EXPECT_TRUE(has_nodes);
+}
+
+TEST(IlpModelTest, TimeLimitSurfacesAsDeadline) {
+  // A large adversarial instance with an absurd 1-microsecond budget: the
+  // solver must stop and report DeadlineExceeded (no incumbent proven).
+  const AttributeSchema schema = AttributeSchema::Anonymous(30);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 400;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset t(30);
+  t.SetAll();
+  IlpSocOptions options;
+  options.presolve = false;
+  options.seed_with_greedy = false;
+  options.mip.time_limit_seconds = 1e-6;
+  const IlpSocSolver solver(options);
+  auto solution = solver.Solve(log, t, 5);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,185 @@
+// Cross-module integration tests: the full advertise-a-car pipeline at
+// reduced scale, preprocessing reuse, variant consistency, and solver
+// agreement on the generated (rather than hand-built) data.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "core/ilp_solver.h"
+#include "core/mfi_solver.h"
+#include "core/topk.h"
+#include "core/variants.h"
+#include "datagen/car_dataset.h"
+#include "datagen/workload.h"
+
+namespace soc {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::CarDatasetOptions car_options;
+    car_options.num_cars = 800;
+    market_ = datagen::GenerateCarDataset(car_options);
+    datagen::RealLikeWorkloadOptions workload;
+    workload.num_queries = 90;
+    log_ = datagen::MakeRealLikeWorkload(market_, workload);
+    car_ = market_.row(datagen::PickAdvertisedTuples(market_, 1, 17)[0]);
+  }
+
+  BooleanTable market_;
+  QueryLog log_;
+  DynamicBitset car_;
+};
+
+TEST_F(PipelineTest, ExactSolversAgreeOnGeneratedData) {
+  const BruteForceSolver brute;
+  const IlpSocSolver ilp;
+  const MfiSocSolver mfi_walk;
+  MfiSocOptions dfs_options;
+  dfs_options.engine = MfiEngine::kExactDfs;
+  const MfiSocSolver mfi_dfs(dfs_options);
+  for (int m : {2, 4, 6}) {
+    auto a = brute.Solve(log_, car_, m);
+    auto b = ilp.Solve(log_, car_, m);
+    auto c = mfi_walk.Solve(log_, car_, m);
+    auto d = mfi_dfs.Solve(log_, car_, m);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+    EXPECT_EQ(a->satisfied_queries, b->satisfied_queries) << m;
+    EXPECT_EQ(a->satisfied_queries, c->satisfied_queries) << m;
+    EXPECT_EQ(a->satisfied_queries, d->satisfied_queries) << m;
+  }
+}
+
+TEST_F(PipelineTest, ObjectiveIsMonotoneInBudget) {
+  const BruteForceSolver brute;
+  int previous = -1;
+  for (int m = 0; m <= 10; ++m) {
+    auto solution = brute.Solve(log_, car_, m);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_GE(solution->satisfied_queries, previous) << "m=" << m;
+    previous = solution->satisfied_queries;
+  }
+}
+
+TEST_F(PipelineTest, GreedySandwichedBetweenZeroAndOptimal) {
+  const BruteForceSolver brute;
+  for (int m : {3, 5, 7}) {
+    auto optimal = brute.Solve(log_, car_, m);
+    ASSERT_TRUE(optimal.ok());
+    for (GreedyKind kind :
+         {GreedyKind::kConsumeAttr, GreedyKind::kConsumeAttrCumul,
+          GreedyKind::kConsumeQueries}) {
+      auto greedy = GreedySolver(kind).Solve(log_, car_, m);
+      ASSERT_TRUE(greedy.ok());
+      EXPECT_GE(greedy->satisfied_queries, 0);
+      EXPECT_LE(greedy->satisfied_queries, optimal->satisfied_queries);
+    }
+  }
+}
+
+TEST_F(PipelineTest, PreprocessedIndexMatchesFreshSolves) {
+  MfiSocOptions options;
+  MfiSocSolver solver(options);
+  MfiPreprocessedIndex index(log_, options);
+  for (int m : {3, 5, 7}) {
+    for (int row : datagen::PickAdvertisedTuples(market_, 5, 23)) {
+      const DynamicBitset& tuple = market_.row(row);
+      auto fresh = solver.Solve(log_, tuple, m);
+      auto indexed = solver.SolveWithIndex(index, log_, tuple, m);
+      ASSERT_TRUE(fresh.ok());
+      ASSERT_TRUE(indexed.ok());
+      EXPECT_EQ(fresh->satisfied_queries, indexed->satisfied_queries);
+    }
+  }
+}
+
+TEST_F(PipelineTest, SocCbDOptimumDominatesSampledSelections) {
+  const BruteForceSolver brute;
+  auto solution = SolveSocCbD(brute, market_, car_, 5);
+  ASSERT_TRUE(solution.ok());
+  // No random 5-subset of the car's attributes may dominate more rows.
+  Rng rng(3);
+  std::vector<int> attrs = car_.SetBits();
+  for (int trial = 0; trial < 50; ++trial) {
+    rng.Shuffle(attrs);
+    DynamicBitset candidate(market_.num_attributes());
+    for (int i = 0; i < 5 && i < static_cast<int>(attrs.size()); ++i) {
+      candidate.Set(attrs[i]);
+    }
+    EXPECT_LE(market_.CountDominatedBy(candidate),
+              solution->satisfied_queries);
+  }
+}
+
+TEST_F(PipelineTest, TopkReductionConsistentOnGeneratedData) {
+  const GlobalScoring scoring = MakeAttributeCountScoring(market_);
+  const BruteForceSolver brute;
+  for (int k : {1, 3, 10}) {
+    auto solution = SolveTopk(brute, market_, scoring, log_, car_, 5, k);
+    ASSERT_TRUE(solution.ok()) << "k=" << k;
+    // Direct evaluation of the returned selection must agree.
+    EXPECT_EQ(solution->satisfied_queries,
+              CountTopkSatisfied(market_, scoring, log_, solution->selected,
+                                 k));
+  }
+}
+
+TEST_F(PipelineTest, TopkObjectiveMonotoneInK) {
+  const GlobalScoring scoring = MakeAttributeCountScoring(market_);
+  const BruteForceSolver brute;
+  int previous = -1;
+  for (int k : {1, 2, 5, 20, 10000}) {
+    auto solution = SolveTopk(brute, market_, scoring, log_, car_, 5, k);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_GE(solution->satisfied_queries, previous);
+    previous = solution->satisfied_queries;
+  }
+  // At k >= |DB|+1 top-k degenerates to plain conjunctive retrieval.
+  auto plain = brute.Solve(log_, car_, 5);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(previous, plain->satisfied_queries);
+}
+
+TEST_F(PipelineTest, PerAttributeConsistentWithBudgetSweep) {
+  const BruteForceSolver brute;
+  auto best = SolvePerAttribute(brute, log_, car_);
+  ASSERT_TRUE(best.ok());
+  double best_ratio = 0;
+  for (int m = 1; m <= static_cast<int>(car_.Count()); ++m) {
+    auto solution = brute.Solve(log_, car_, m);
+    ASSERT_TRUE(solution.ok());
+    best_ratio = std::max(
+        best_ratio, static_cast<double>(solution->satisfied_queries) / m);
+  }
+  EXPECT_DOUBLE_EQ(best->ratio, best_ratio);
+}
+
+TEST_F(PipelineTest, CsvRoundTripPreservesSolverResults) {
+  // Persist the log, reload it, and confirm a solver sees the same world.
+  auto reloaded = QueryLog::FromCsv(log_.ToCsv());
+  ASSERT_TRUE(reloaded.ok());
+  const BruteForceSolver brute;
+  auto before = brute.Solve(log_, car_, 5);
+  auto after = brute.Solve(*reloaded, car_, 5);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->satisfied_queries, after->satisfied_queries);
+  EXPECT_EQ(before->selected, after->selected);
+}
+
+TEST_F(PipelineTest, SolversAreDeterministic) {
+  const MfiSocSolver mfi;  // Seeded random walk inside.
+  auto a = mfi.Solve(log_, car_, 5);
+  auto b = mfi.Solve(log_, car_, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+  EXPECT_EQ(a->satisfied_queries, b->satisfied_queries);
+}
+
+}  // namespace
+}  // namespace soc

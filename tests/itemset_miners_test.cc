@@ -1,0 +1,334 @@
+// Cross-checked tests of the four itemset miners: Apriori and Eclat must
+// agree exactly; the maximal DFS miner must equal the maximal subsets of
+// the frequent collection; the random walk must find the same maximal sets
+// on small inputs.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "itemsets/apriori.h"
+#include "itemsets/eclat.h"
+#include "itemsets/maximal_dfs.h"
+#include "itemsets/random_walk.h"
+#include "itemsets/transaction_db.h"
+#include "paper_example.h"
+
+namespace soc::itemsets {
+namespace {
+
+using ItemsetMap = std::map<DynamicBitset, int>;
+
+ItemsetMap ToMap(const std::vector<FrequentItemset>& itemsets) {
+  ItemsetMap map;
+  for (const FrequentItemset& f : itemsets) {
+    const bool inserted = map.emplace(f.items, f.support).second;
+    EXPECT_TRUE(inserted) << "duplicate itemset reported";
+  }
+  return map;
+}
+
+TransactionDatabase MakeClassicDb() {
+  // The canonical Agrawal-Srikant style example over items {0..4}:
+  std::vector<DynamicBitset> rows = {
+      DynamicBitset::FromString("11100"),  // {0,1,2}
+      DynamicBitset::FromString("01110"),  // {1,2,3}
+      DynamicBitset::FromString("11010"),  // {0,1,3}
+      DynamicBitset::FromString("01100"),  // {1,2}
+      DynamicBitset::FromString("10100"),  // {0,2}
+      DynamicBitset::FromString("01101"),  // {1,2,4}
+  };
+  return TransactionDatabase(std::move(rows));
+}
+
+// Reference miner: enumerate all 2^n itemsets (n small).
+ItemsetMap BruteForceFrequent(const TransactionDatabase& db, int min_support) {
+  ItemsetMap map;
+  const int n = db.num_items();
+  for (int mask = 1; mask < (1 << n); ++mask) {
+    DynamicBitset itemset(n);
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) itemset.Set(i);
+    }
+    const int support = db.Support(itemset);
+    if (support >= min_support) map.emplace(std::move(itemset), support);
+  }
+  return map;
+}
+
+ItemsetMap BruteForceMaximal(const TransactionDatabase& db, int min_support) {
+  ItemsetMap frequent = BruteForceFrequent(db, min_support);
+  ItemsetMap maximal;
+  for (const auto& [items, support] : frequent) {
+    bool is_maximal = true;
+    for (const auto& [other, other_support] : frequent) {
+      if (items.IsProperSubsetOf(other)) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) maximal.emplace(items, support);
+  }
+  if (maximal.empty() && db.num_transactions() >= min_support) {
+    maximal.emplace(DynamicBitset(db.num_items()), db.num_transactions());
+  }
+  return maximal;
+}
+
+TEST(AprioriTest, ClassicExample) {
+  TransactionDatabase db = MakeClassicDb();
+  auto result = MineFrequentItemsetsApriori(db, 3);
+  ASSERT_TRUE(result.ok());
+  ItemsetMap map = ToMap(*result);
+  EXPECT_EQ(map, BruteForceFrequent(db, 3));
+  // Spot values: {1} support 5, {1,2} support 4, {0,1} support 2 (absent).
+  EXPECT_EQ(map.at(DynamicBitset::FromString("01000")), 5);
+  EXPECT_EQ(map.at(DynamicBitset::FromString("01100")), 4);
+  EXPECT_FALSE(map.contains(DynamicBitset::FromString("11000")));
+}
+
+TEST(AprioriTest, ThresholdOneFindsEverything) {
+  TransactionDatabase db = MakeClassicDb();
+  auto result = MineFrequentItemsetsApriori(db, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToMap(*result), BruteForceFrequent(db, 1));
+}
+
+TEST(AprioriTest, HighThresholdYieldsNothing) {
+  TransactionDatabase db = MakeClassicDb();
+  auto result = MineFrequentItemsetsApriori(db, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(AprioriTest, MaxLevelStopsEarly) {
+  TransactionDatabase db = MakeClassicDb();
+  AprioriOptions options;
+  options.max_level = 1;
+  auto result = MineFrequentItemsetsApriori(db, 1, options);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& f : *result) {
+    EXPECT_EQ(f.items.Count(), 1u);
+  }
+}
+
+TEST(AprioriTest, ExplosionGuardTrips) {
+  // Dense database: every transaction contains every item -> 2^20 - 1
+  // frequent itemsets.
+  std::vector<DynamicBitset> rows;
+  DynamicBitset full(20);
+  full.SetAll();
+  for (int i = 0; i < 3; ++i) rows.push_back(full);
+  TransactionDatabase db(std::move(rows));
+  AprioriOptions options;
+  options.max_itemsets = 1000;
+  auto result = MineFrequentItemsetsApriori(db, 1, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EclatTest, MatchesAprioriOnClassicExample) {
+  TransactionDatabase db = MakeClassicDb();
+  for (int min_support = 1; min_support <= 6; ++min_support) {
+    auto apriori = MineFrequentItemsetsApriori(db, min_support);
+    auto eclat = MineFrequentItemsetsEclat(db, min_support);
+    ASSERT_TRUE(apriori.ok());
+    ASSERT_TRUE(eclat.ok());
+    EXPECT_EQ(ToMap(*apriori), ToMap(*eclat)) << "r=" << min_support;
+  }
+}
+
+TEST(EclatTest, ExplosionGuardTrips) {
+  std::vector<DynamicBitset> rows;
+  DynamicBitset full(25);
+  full.SetAll();
+  rows.push_back(full);
+  TransactionDatabase db(std::move(rows));
+  EclatOptions options;
+  options.max_itemsets = 500;
+  auto result = MineFrequentItemsetsEclat(db, 1, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MaximalDfsTest, ClassicExample) {
+  TransactionDatabase db = MakeClassicDb();
+  auto result = MineMaximalItemsetsDfs(db, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToMap(*result), BruteForceMaximal(db, 3));
+}
+
+TEST(MaximalDfsTest, AllThresholdsMatchBruteForce) {
+  TransactionDatabase db = MakeClassicDb();
+  for (int min_support = 1; min_support <= 6; ++min_support) {
+    auto result = MineMaximalItemsetsDfs(db, min_support);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ToMap(*result), BruteForceMaximal(db, min_support))
+        << "r=" << min_support;
+  }
+}
+
+TEST(MaximalDfsTest, DenseComplementedQueryLog) {
+  // The actual workload shape of MaxFreqItemSets-SOC-CB-QL: a dense table.
+  TransactionDatabase db =
+      TransactionDatabase::FromComplementedQueryLog(testdata::PaperQueryLog());
+  for (int min_support = 1; min_support <= 5; ++min_support) {
+    auto result = MineMaximalItemsetsDfs(db, min_support);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ToMap(*result), BruteForceMaximal(db, min_support))
+        << "r=" << min_support;
+  }
+}
+
+TEST(MaximalDfsTest, EmptyItemsetWhenNoItemFrequent) {
+  std::vector<DynamicBitset> rows = {DynamicBitset::FromString("10"),
+                                     DynamicBitset::FromString("01")};
+  TransactionDatabase db(std::move(rows));
+  auto result = MineMaximalItemsetsDfs(db, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE((*result)[0].items.None());
+  EXPECT_EQ((*result)[0].support, 2);
+}
+
+TEST(MaximalDfsTest, NothingWhenThresholdExceedsTransactions) {
+  std::vector<DynamicBitset> rows = {DynamicBitset::FromString("11")};
+  TransactionDatabase db(std::move(rows));
+  auto result = MineMaximalItemsetsDfs(db, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(MaximalDfsTest, IsMaximalFrequentHelper) {
+  TransactionDatabase db = MakeClassicDb();
+  // {1,2} has support 4 and extension {1,2,x} all below 3 except... check:
+  // {0,1,2}: t0 only -> 1; {1,2,3}: t1 -> 1; {1,2,4}: t5 -> 1. Maximal at 3.
+  EXPECT_TRUE(IsMaximalFrequent(db, DynamicBitset::FromString("01100"), 3));
+  EXPECT_FALSE(IsMaximalFrequent(db, DynamicBitset::FromString("01000"), 3));
+  EXPECT_FALSE(IsMaximalFrequent(db, DynamicBitset::FromString("10010"), 3));
+}
+
+TEST(RandomWalkTest, SingleWalkReachesMaximalItemset) {
+  TransactionDatabase db = MakeClassicDb();
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrequentItemset found = TwoPhaseRandomWalk(db, 3, rng);
+    EXPECT_GE(found.support, 3);
+    EXPECT_TRUE(IsMaximalFrequent(db, found.items, 3));
+  }
+}
+
+TEST(RandomWalkTest, FindsAllMaximalSetsOnSmallInput) {
+  TransactionDatabase db = MakeClassicDb();
+  for (int min_support = 1; min_support <= 5; ++min_support) {
+    RandomWalkOptions options;
+    options.seed = 1000 + min_support;
+    auto result = MineMaximalItemsetsRandomWalk(db, min_support, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ToMap(*result), BruteForceMaximal(db, min_support))
+        << "r=" << min_support;
+  }
+}
+
+TEST(RandomWalkTest, DenseComplementedLogMatchesDfs) {
+  TransactionDatabase db =
+      TransactionDatabase::FromComplementedQueryLog(testdata::PaperQueryLog());
+  for (int min_support = 1; min_support <= 4; ++min_support) {
+    auto walk = MineMaximalItemsetsRandomWalk(db, min_support);
+    auto dfs = MineMaximalItemsetsDfs(db, min_support);
+    ASSERT_TRUE(walk.ok());
+    ASSERT_TRUE(dfs.ok());
+    EXPECT_EQ(ToMap(*walk), ToMap(*dfs)) << "r=" << min_support;
+  }
+}
+
+TEST(RandomWalkTest, GoodTuringStopsEarly) {
+  TransactionDatabase db = MakeClassicDb();
+  RandomWalkOptions options;
+  options.max_iterations = 5000;
+  RandomWalkStats stats;
+  auto result = MineMaximalItemsetsRandomWalk(db, 3, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(stats.stopped_by_rule);
+  EXPECT_LT(stats.walks, 5000);
+  EXPECT_EQ(stats.distinct_maximal, static_cast<int>(result->size()));
+}
+
+TEST(RandomWalkTest, EmptyResultWhenThresholdTooHigh) {
+  std::vector<DynamicBitset> rows = {DynamicBitset::FromString("11")};
+  TransactionDatabase db(std::move(rows));
+  auto result = MineMaximalItemsetsRandomWalk(db, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(RandomWalkTest, RejectsNonPositiveIterations) {
+  TransactionDatabase db = MakeClassicDb();
+  RandomWalkOptions options;
+  options.max_iterations = 0;
+  auto result = MineMaximalItemsetsRandomWalk(db, 1, options);
+  EXPECT_FALSE(result.ok());
+}
+
+// Property sweep: on random databases, all miners agree.
+class MinerAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinerAgreementTest, AllMinersAgreeOnRandomDatabases) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int n = rng.NextInt(3, 9);
+  const int rows = rng.NextInt(2, 14);
+  const double density = 0.2 + 0.6 * rng.NextDouble();
+  std::vector<DynamicBitset> transactions;
+  for (int t = 0; t < rows; ++t) {
+    DynamicBitset row(n);
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBernoulli(density)) row.Set(i);
+    }
+    transactions.push_back(std::move(row));
+  }
+  TransactionDatabase db(std::move(transactions));
+  const int min_support = rng.NextInt(1, std::max(1, rows / 2));
+
+  auto apriori = MineFrequentItemsetsApriori(db, min_support);
+  auto eclat = MineFrequentItemsetsEclat(db, min_support);
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(eclat.ok());
+  const ItemsetMap expected_frequent = BruteForceFrequent(db, min_support);
+  EXPECT_EQ(ToMap(*apriori), expected_frequent);
+  EXPECT_EQ(ToMap(*eclat), expected_frequent);
+
+  auto dfs = MineMaximalItemsetsDfs(db, min_support);
+  ASSERT_TRUE(dfs.ok());
+  const ItemsetMap expected_maximal = BruteForceMaximal(db, min_support);
+  EXPECT_EQ(ToMap(*dfs), expected_maximal);
+
+  // With the Good-Turing stop the walk is complete only with high
+  // probability; every reported itemset must still be genuinely maximal.
+  RandomWalkOptions walk_options;
+  walk_options.seed = seed * 31 + 7;
+  auto walk = MineMaximalItemsetsRandomWalk(db, min_support, walk_options);
+  ASSERT_TRUE(walk.ok());
+  for (const FrequentItemset& f : *walk) {
+    EXPECT_TRUE(IsMaximalFrequent(db, f.items, min_support));
+    EXPECT_EQ(f.support, db.Support(f.items));
+    EXPECT_TRUE(expected_maximal.contains(f.items));
+  }
+
+  // With the stop disabled and a generous walk budget it finds everything.
+  walk_options.good_turing_stop = false;
+  walk_options.max_iterations = 2000;
+  auto exhaustive_walk =
+      MineMaximalItemsetsRandomWalk(db, min_support, walk_options);
+  ASSERT_TRUE(exhaustive_walk.ok());
+  EXPECT_EQ(ToMap(*exhaustive_walk), expected_maximal);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, MinerAgreementTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace soc::itemsets

@@ -1,0 +1,73 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(JsonWriterTest, Scalars) {
+  EXPECT_EQ(JsonValue::Null().ToString(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).ToString(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).ToString(), "false");
+  EXPECT_EQ(JsonValue::Int(-42).ToString(), "-42");
+  EXPECT_EQ(JsonValue::Number(1.5).ToString(), "1.5");
+  EXPECT_EQ(JsonValue::String("hi").ToString(), "\"hi\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::infinity())
+                .ToString(),
+            "null");
+  EXPECT_EQ(JsonValue::Number(std::nan("")).ToString(), "null");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(JsonValue::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue::String("back\\slash").ToString(),
+            "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue::String("line\nbreak\ttab").ToString(),
+            "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue::String(std::string(1, '\x01')).ToString(),
+            "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, ArraysAndObjects) {
+  std::vector<JsonValue> items;
+  items.push_back(JsonValue::Int(1));
+  items.push_back(JsonValue::String("two"));
+  EXPECT_EQ(JsonValue::Array(std::move(items)).ToString(), "[1,\"two\"]");
+
+  JsonValue object = JsonValue::Object();
+  object.Set("a", JsonValue::Int(1)).Set("b", JsonValue::Bool(false));
+  EXPECT_EQ(object.ToString(), "{\"a\":1,\"b\":false}");
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  JsonValue inner = JsonValue::Object();
+  inner.Set("x", JsonValue::Null());
+  std::vector<JsonValue> arr;
+  arr.push_back(std::move(inner));
+  arr.push_back(JsonValue::Array({}));
+  JsonValue outer = JsonValue::Object();
+  outer.Set("data", JsonValue::Array(std::move(arr)));
+  EXPECT_EQ(outer.ToString(), "{\"data\":[{\"x\":null},[]]}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Array({}).ToString(), "[]");
+  EXPECT_EQ(JsonValue::Object().ToString(), "{}");
+}
+
+TEST(JsonWriterTest, KeysKeepInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zulu", JsonValue::Int(1))
+      .Set("alpha", JsonValue::Int(2))
+      .Set("mike", JsonValue::Int(3));
+  EXPECT_EQ(object.ToString(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,191 @@
+// Property tests of the simplex solver on structured LP families with
+// independently-known optima:
+//
+//  * assignment problems — the LP relaxation of the assignment polytope is
+//    integral (Birkhoff–von Neumann), so the simplex optimum must equal
+//    the best permutation, found by brute force;
+//  * transportation-style problems with equality supplies/demands
+//    (exercises phase 1 / artificial variables);
+//  * fractional knapsack — closed-form greedy optimum.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace soc::lp {
+namespace {
+
+// Max-value assignment via permutation enumeration.
+double BruteForceAssignment(const std::vector<std::vector<double>>& value) {
+  const int n = static_cast<int>(value.size());
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e300;
+  do {
+    double total = 0;
+    for (int i = 0; i < n; ++i) total += value[i][perm[i]];
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+class AssignmentLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentLpTest, SimplexMatchesBruteForce) {
+  Rng rng(GetParam() * 101 + 7);
+  const int n = rng.NextInt(2, 5);
+  std::vector<std::vector<double>> value(n, std::vector<double>(n));
+  for (auto& row : value) {
+    for (double& v : row) v = rng.NextInt(0, 20);
+  }
+
+  LinearModel model(ObjectiveSense::kMaximize);
+  std::vector<std::vector<int>> x(n, std::vector<int>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[i][j] = model.AddVariable("x", 0, 1, value[i][j]);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const int row = model.AddConstraint("row", ConstraintSense::kEqual, 1);
+    for (int j = 0; j < n; ++j) model.AddTerm(row, x[i][j], 1);
+  }
+  for (int j = 0; j < n; ++j) {
+    const int col = model.AddConstraint("col", ConstraintSense::kEqual, 1);
+    for (int i = 0; i < n; ++i) model.AddTerm(col, x[i][j], 1);
+  }
+
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, BruteForceAssignment(value), 1e-6);
+  // Integrality of the assignment polytope: a vertex optimum is a
+  // permutation matrix (simplex returns vertices).
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0;
+    for (int j = 0; j < n; ++j) {
+      const double v = result->x[x[i][j]];
+      EXPECT_NEAR(v * (1 - v), 0.0, 1e-6) << "fractional vertex";
+      row_sum += v;
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAssignments, AssignmentLpTest,
+                         ::testing::Range(0, 20));
+
+TEST(TransportationLpTest, BalancedSupplyDemand) {
+  // 2 suppliers (supply 30, 20), 3 consumers (demand 10, 25, 15); cost
+  // minimization with known optimum computed by hand:
+  // costs: s0: [8, 6, 10], s1: [9, 12, 13].
+  // Cheapest: s0->c1 (6) as much as possible... optimum = 10*? compute via
+  // enumeration below instead of hand-math: LP must match min over a fine
+  // grid of the two free variables (the polytope is 2-dimensional).
+  LinearModel model(ObjectiveSense::kMinimize);
+  const double cost[2][3] = {{8, 6, 10}, {9, 12, 13}};
+  const double supply[2] = {30, 20};
+  const double demand[3] = {10, 25, 15};
+  int x[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x[i][j] = model.AddVariable("x", 0, 50, cost[i][j]);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    const int row =
+        model.AddConstraint("supply", ConstraintSense::kEqual, supply[i]);
+    for (int j = 0; j < 3; ++j) model.AddTerm(row, x[i][j], 1);
+  }
+  for (int j = 0; j < 3; ++j) {
+    const int row =
+        model.AddConstraint("demand", ConstraintSense::kEqual, demand[j]);
+    for (int i = 0; i < 2; ++i) model.AddTerm(row, x[i][j], 1);
+  }
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  // Grid reference over the two free variables (x00, x01):
+  double best = 1e300;
+  for (double a = 0; a <= 10; a += 0.5) {    // x00 <= demand0
+    for (double b = 0; b <= 25; b += 0.5) {  // x01 <= demand1
+      const double c = supply[0] - a - b;    // x02
+      if (c < 0 || c > demand[2]) continue;
+      const double d = demand[0] - a;
+      const double e = demand[1] - b;
+      const double f = demand[2] - c;
+      if (d < 0 || e < 0 || f < 0) continue;
+      best = std::min(best, 8 * a + 6 * b + 10 * c + 9 * d + 12 * e + 13 * f);
+    }
+  }
+  EXPECT_NEAR(result->objective, best, 1e-6);
+  EXPECT_TRUE(model.IsFeasible(result->x, 1e-6));
+}
+
+TEST(FractionalKnapsackTest, MatchesGreedyClosedForm) {
+  Rng rng(404);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = rng.NextInt(3, 8);
+    std::vector<double> value(n), weight(n);
+    for (int i = 0; i < n; ++i) {
+      value[i] = 1 + rng.NextInt(1, 30);
+      weight[i] = 1 + rng.NextInt(1, 10);
+    }
+    const double capacity = 1 + rng.NextInt(5, 25);
+
+    LinearModel model(ObjectiveSense::kMaximize);
+    for (int i = 0; i < n; ++i) model.AddVariable("x", 0, 1, value[i]);
+    const int cap =
+        model.AddConstraint("cap", ConstraintSense::kLessEqual, capacity);
+    for (int i = 0; i < n; ++i) model.AddTerm(cap, i, weight[i]);
+    auto result = SolveLp(model);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->status, SolveStatus::kOptimal);
+
+    // Greedy by density is optimal for fractional knapsack.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return value[a] / weight[a] > value[b] / weight[b];
+    });
+    double remaining = capacity;
+    double expected = 0;
+    for (int i : order) {
+      const double take = std::min(1.0, remaining / weight[i]);
+      expected += take * value[i];
+      remaining -= take * weight[i];
+      if (remaining <= 1e-12) break;
+    }
+    EXPECT_NEAR(result->objective, expected, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(SimplexLimitsTest, IterationLimitSurfaces) {
+  Rng rng(7);
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int n = 30;
+  for (int j = 0; j < n; ++j) {
+    model.AddVariable("x", 0, 1, rng.NextDouble());
+  }
+  for (int i = 0; i < n; ++i) {
+    const int row = model.AddConstraint("c", ConstraintSense::kLessEqual,
+                                        1 + rng.NextDouble());
+    for (int j = 0; j < n; ++j) {
+      if (rng.NextBernoulli(0.5)) model.AddTerm(row, j, rng.NextDouble());
+    }
+  }
+  SimplexOptions options;
+  options.max_iterations = 2;
+  auto result = SolveLp(model, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace soc::lp

@@ -1,0 +1,89 @@
+#include "lp/lp_writer.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/ilp_solver.h"
+#include "paper_example.h"
+
+namespace soc::lp {
+namespace {
+
+LinearModel SmallModel() {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("alpha", 0, 1, 3, /*is_integer=*/true);
+  model.AddVariable("beta", -2, kInfinity, -1.5);
+  const int row = model.AddConstraint("cap", ConstraintSense::kLessEqual, 4);
+  model.AddTerm(row, 0, 2);
+  model.AddTerm(row, 1, 1);
+  const int eq = model.AddConstraint("fix", ConstraintSense::kEqual, 1);
+  model.AddTerm(eq, 0, 1);
+  return model;
+}
+
+TEST(LpWriterTest, ContainsAllSections) {
+  const std::string text = WriteLpFormat(SmallModel());
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("General"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(LpWriterTest, ObjectiveAndRows) {
+  const std::string text = WriteLpFormat(SmallModel());
+  EXPECT_NE(text.find("3 alpha"), std::string::npos);
+  EXPECT_NE(text.find("- 1.5 beta"), std::string::npos);
+  EXPECT_NE(text.find("cap: 2 alpha + beta <= 4"), std::string::npos);
+  EXPECT_NE(text.find("fix: alpha = 1"), std::string::npos);
+}
+
+TEST(LpWriterTest, BoundsSection) {
+  const std::string text = WriteLpFormat(SmallModel());
+  // alpha in [0,1] (non-default), beta in [-2, +inf).
+  EXPECT_NE(text.find("0 <= alpha <= 1"), std::string::npos);
+  EXPECT_NE(text.find("-2 <= beta <= +inf"), std::string::npos);
+}
+
+TEST(LpWriterTest, FixedVariableRendersAsEquality) {
+  LinearModel model(ObjectiveSense::kMinimize);
+  model.AddVariable("pinned", 2, 2, 1);
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("pinned = 2"), std::string::npos);
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+}
+
+TEST(LpWriterTest, SanitizesHostileNames) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x[1]/weird name", 0, 1, 1);
+  model.AddVariable("2starts_with_digit", 0, 1, 1);
+  const std::string text = WriteLpFormat(model);
+  EXPECT_EQ(text.find('['), std::string::npos);
+  EXPECT_EQ(text.find(' '), text.find(' '));  // Trivially true; names below:
+  EXPECT_NE(text.find("x_1__weird_name"), std::string::npos);
+  EXPECT_NE(text.find("x1_2starts_with_digit"), std::string::npos);
+}
+
+TEST(LpWriterTest, SocModelRoundTripThroughFile) {
+  const SocIlpModel soc_model = BuildConjunctiveSocModel(
+      testdata::PaperQueryLog(), testdata::PaperNewTuple(), 3);
+  const std::string path = ::testing::TempDir() + "/soc_model.lp";
+  ASSERT_TRUE(WriteLpFile(soc_model.model, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 100);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(LpWriterTest, EmptyObjectiveStillValid) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", 0, 1, 0);  // Zero objective coefficient.
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("obj: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soc::lp

@@ -1,0 +1,108 @@
+// Tests of the MFI preprocessing cache persistence (offline mining, as the
+// paper suggests in "Preprocessing Opportunities", Sec IV.C).
+
+#include <gtest/gtest.h>
+
+#include "core/mfi_solver.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+QueryLog MakeLog() {
+  const AttributeSchema schema = AttributeSchema::Anonymous(12);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 80;
+  wl.seed = 11;
+  return datagen::MakeSyntheticWorkload(schema, wl);
+}
+
+TEST(MfiCacheTest, SaveAndReloadReproducesSolutions) {
+  const QueryLog log = MakeLog();
+  MfiSocOptions options;
+  MfiSocSolver solver(options);
+
+  // Warm an index by solving a few instances.
+  MfiPreprocessedIndex warm(log, options);
+  DynamicBitset t(12);
+  for (int a = 0; a < 12; a += 2) t.Set(a);
+  std::vector<int> expected;
+  for (int m = 1; m <= 5; ++m) {
+    auto solution = solver.SolveWithIndex(warm, log, t, m);
+    ASSERT_TRUE(solution.ok());
+    expected.push_back(solution->satisfied_queries);
+  }
+
+  // Persist, load into a cold index, re-solve.
+  const std::string serialized = warm.SerializeCache();
+  EXPECT_FALSE(serialized.empty());
+  MfiPreprocessedIndex cold(log, options);
+  ASSERT_TRUE(cold.LoadCache(serialized).ok());
+  for (int m = 1; m <= 5; ++m) {
+    auto solution = solver.SolveWithIndex(cold, log, t, m);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_EQ(solution->satisfied_queries, expected[m - 1]) << "m=" << m;
+  }
+}
+
+TEST(MfiCacheTest, LoadedItemsetsAreServedWithoutRemining) {
+  const QueryLog log = MakeLog();
+  MfiSocOptions options;
+  MfiPreprocessedIndex warm(log, options);
+  auto mined = warm.MaximalItemsets(3);
+  ASSERT_TRUE(mined.ok());
+  const std::size_t count = (*mined)->size();
+
+  MfiPreprocessedIndex cold(log, options);
+  ASSERT_TRUE(cold.LoadCache(warm.SerializeCache()).ok());
+  auto loaded = cold.MaximalItemsets(3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), count);
+}
+
+TEST(MfiCacheTest, RejectsCacheFromDifferentLog) {
+  const QueryLog log = MakeLog();
+  MfiSocOptions options;
+  MfiPreprocessedIndex warm(log, options);
+  ASSERT_TRUE(warm.MaximalItemsets(2).ok());
+  const std::string serialized = warm.SerializeCache();
+
+  // A different workload over the same schema: supports will not match.
+  const AttributeSchema schema = AttributeSchema::Anonymous(12);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 80;
+  wl.seed = 999;
+  const QueryLog other = datagen::MakeSyntheticWorkload(schema, wl);
+  MfiPreprocessedIndex cold(other, options);
+  const Status status = cold.LoadCache(serialized);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MfiCacheTest, RejectsWrongWidth) {
+  const QueryLog log = MakeLog();
+  MfiSocOptions options;
+  MfiPreprocessedIndex index(log, options);
+  const Status status = index.LoadCache(
+      "threshold,support,itemset\n2,1,10101\n");  // Width 5, log has 12.
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MfiCacheTest, EmptyThresholdMarkerRoundTrips) {
+  QueryLog log(AttributeSchema::Anonymous(3));
+  log.AddQueryFromIndices({0, 1, 2});  // ~q is empty: nothing frequent at 1.
+  MfiSocOptions options;
+  MfiPreprocessedIndex warm(log, options);
+  auto mined = warm.MaximalItemsets(1);
+  ASSERT_TRUE(mined.ok());
+  MfiPreprocessedIndex cold(log, options);
+  ASSERT_TRUE(cold.LoadCache(warm.SerializeCache()).ok());
+  auto loaded = cold.MaximalItemsets(1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), (*mined)->size());
+}
+
+}  // namespace
+}  // namespace soc

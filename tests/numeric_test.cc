@@ -1,0 +1,88 @@
+#include <cmath>
+
+#include "numeric/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+
+namespace soc::numeric {
+namespace {
+
+TEST(NumericTableTest, AddRowValidates) {
+  NumericTable table({"Price", "Weight"});
+  EXPECT_TRUE(table.AddRow({199.0, 1.2}).ok());
+  EXPECT_FALSE(table.AddRow({1.0}).ok());
+  EXPECT_FALSE(table.AddRow({1.0, std::nan("")}).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+  EXPECT_EQ(table.row(0)[0], 199.0);
+}
+
+TEST(NumericTest, RangeMatching) {
+  // Camera: price 300, weight 0.5, resolution 12.
+  const std::vector<double> t = {300.0, 0.5, 12.0};
+  EXPECT_TRUE(RangeQueryMatches({{0, 200, 400}}, t));
+  EXPECT_TRUE(RangeQueryMatches({{0, 300, 300}}, t));  // Inclusive bounds.
+  EXPECT_FALSE(RangeQueryMatches({{0, 0, 299.99}}, t));
+  EXPECT_TRUE(RangeQueryMatches({{0, 200, 400}, {2, 10, 20}}, t));
+  EXPECT_FALSE(RangeQueryMatches({{0, 200, 400}, {1, 0.6, 1.0}}, t));
+  EXPECT_TRUE(RangeQueryMatches({}, t));
+}
+
+TEST(NumericTest, ReductionKeepsInRangeQueries) {
+  const std::vector<std::string> names = {"Price", "Weight", "Resolution"};
+  const std::vector<double> t = {300.0, 0.5, 12.0};
+  const std::vector<RangeQuery> queries = {
+      {{0, 200, 400}},                    // winnable -> {Price}
+      {{0, 0, 100}},                      // out of range -> dropped
+      {{1, 0.3, 0.8}, {2, 10, 14}},       // winnable -> {Weight, Resolution}
+  };
+  auto reduction = ReduceNumericToBoolean(names, queries, t);
+  ASSERT_TRUE(reduction.ok());
+  EXPECT_EQ(reduction->dropped_queries, 1);
+  ASSERT_EQ(reduction->boolean_log.size(), 2);
+  EXPECT_EQ(reduction->boolean_log.query(0).ToString(), "100");
+  EXPECT_EQ(reduction->boolean_log.query(1).ToString(), "011");
+  EXPECT_TRUE(reduction->boolean_tuple.All());
+}
+
+TEST(NumericTest, ReductionRejectsMalformedQueries) {
+  const std::vector<std::string> names = {"Price"};
+  const std::vector<double> t = {10.0};
+  EXPECT_FALSE(ReduceNumericToBoolean(names, {{{5, 0, 1}}}, t).ok());
+  EXPECT_FALSE(ReduceNumericToBoolean(names, {{{0, 5, 1}}}, t).ok());
+  EXPECT_FALSE(ReduceNumericToBoolean(names, {}, {1.0, 2.0}).ok());
+}
+
+TEST(NumericTest, EndToEndSolve) {
+  // Digital-camera browsing (the paper's example): users filter on price,
+  // weight, resolution, zoom.
+  const std::vector<std::string> names = {"Price", "Weight", "Resolution",
+                                          "Zoom"};
+  const std::vector<double> camera = {299.0, 0.4, 16.0, 5.0};
+  std::vector<RangeQuery> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back({{0, 250, 350}});  // Price.
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back({{2, 12, 20}, {3, 4, 10}});  // Resolution + Zoom.
+  }
+  queries.push_back({{1, 0.0, 0.3}});  // Too heavy: unwinnable.
+
+  BruteForceSolver exact;
+  auto m1 = SolveNumericSoc(exact, names, queries, camera, 1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->satisfied_queries, 4);
+  EXPECT_EQ(m1->selected_attributes, (std::vector<int>{0}));
+
+  auto m2 = SolveNumericSoc(exact, names, queries, camera, 2);
+  ASSERT_TRUE(m2.ok());
+  // {Resolution, Zoom} -> 3 < {Price, x} -> 4.
+  EXPECT_EQ(m2->satisfied_queries, 4);
+
+  auto m3 = SolveNumericSoc(exact, names, queries, camera, 3);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m3->satisfied_queries, 7);
+  EXPECT_EQ(m3->selected_attributes, (std::vector<int>{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace soc::numeric

@@ -1,0 +1,54 @@
+// The paper's running example (Fig 1 / EXAMPLE 1): an auto-dealer database
+// of 7 cars over 6 Boolean attributes, a 5-query log, and the new tuple t.
+// Used as a fixture across test suites.
+
+#ifndef SOC_TESTS_PAPER_EXAMPLE_H_
+#define SOC_TESTS_PAPER_EXAMPLE_H_
+
+#include "boolean/query_log.h"
+#include "boolean/table.h"
+#include "common/bitset.h"
+
+namespace soc {
+namespace testdata {
+
+// Attribute order: AC, FourDoor, Turbo, PowerDoors, AutoTrans, PowerBrakes.
+inline AttributeSchema PaperSchema() {
+  auto schema = AttributeSchema::Create({"AC", "FourDoor", "Turbo",
+                                         "PowerDoors", "AutoTrans",
+                                         "PowerBrakes"});
+  SOC_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+inline BooleanTable PaperDatabase() {
+  BooleanTable db(PaperSchema());
+  db.AddRow(DynamicBitset::FromString("010100"));  // t1
+  db.AddRow(DynamicBitset::FromString("011000"));  // t2
+  db.AddRow(DynamicBitset::FromString("100111"));  // t3
+  db.AddRow(DynamicBitset::FromString("110101"));  // t4
+  db.AddRow(DynamicBitset::FromString("110000"));  // t5
+  db.AddRow(DynamicBitset::FromString("010100"));  // t6
+  db.AddRow(DynamicBitset::FromString("001100"));  // t7
+  return db;
+}
+
+inline QueryLog PaperQueryLog() {
+  QueryLog log(PaperSchema());
+  log.AddQuery(DynamicBitset::FromString("110000"));  // q1: AC, FourDoor
+  log.AddQuery(DynamicBitset::FromString("100100"));  // q2: AC, PowerDoors
+  log.AddQuery(DynamicBitset::FromString("010100"));  // q3: FourDoor, PowerDoors
+  log.AddQuery(DynamicBitset::FromString("000101"));  // q4: PowerDoors, PowerBrakes
+  log.AddQuery(DynamicBitset::FromString("001010"));  // q5: Turbo, AutoTrans
+  return log;
+}
+
+// The new car t = [1,1,0,1,1,1].
+inline DynamicBitset PaperNewTuple() {
+  return DynamicBitset::FromString("110111");
+}
+
+}  // namespace testdata
+}  // namespace soc
+
+#endif  // SOC_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,139 @@
+// Robustness sweeps: hostile and randomized inputs must produce clean
+// Status errors (or valid results), never crashes or checked aborts.
+
+#include <gtest/gtest.h>
+
+#include "boolean/query_log.h"
+#include "boolean/table.h"
+#include "common/csv.h"
+#include "common/random.h"
+#include "lp/lp_writer.h"
+#include "lp/simplex.h"
+
+namespace soc {
+namespace {
+
+// Random byte soup through the CSV parser: must return OK or a clean
+// error, and OK results must re-serialize.
+TEST(RobustnessTest, CsvParserSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    const int length = rng.NextInt(0, 120);
+    for (int i = 0; i < length; ++i) {
+      // Printable-heavy alphabet with CSV metacharacters over-represented.
+      const char alphabet[] = "abc,\"\n\r01;\t ";
+      soup.push_back(alphabet[rng.NextUint64(sizeof(alphabet) - 1)]);
+    }
+    auto parsed = ParseCsv(soup, rng.NextBernoulli(0.5));
+    if (parsed.ok()) {
+      const std::string round = WriteCsv(*parsed);
+      auto reparsed = ParseCsv(round, !parsed->header.empty());
+      EXPECT_TRUE(reparsed.ok()) << "round-trip failed for: " << soup;
+    }
+  }
+}
+
+TEST(RobustnessTest, BooleanTableParserRejectsGarbageCleanly) {
+  const std::string inputs[] = {
+      "",                      // Empty.
+      "a,b\n1\n",              // Ragged.
+      "a,a\n1,0\n",            // Duplicate attribute.
+      "a,b\nx,y\n",            // Non-Boolean.
+      "a,b\n\"1,0\n",          // Unterminated quote.
+  };
+  for (const std::string& input : inputs) {
+    auto table = BooleanTable::FromCsv(input);
+    if (table.ok()) {
+      // Only the empty input may parse (as an empty table).
+      EXPECT_EQ(table->num_rows(), 0) << input;
+    }
+  }
+}
+
+TEST(RobustnessTest, QueryLogParserMatchesTableParserBehavior) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Structurally valid CSV with occasional bad cells.
+    const int cols = rng.NextInt(1, 4);
+    const int rows = rng.NextInt(0, 5);
+    std::string csv;
+    for (int c = 0; c < cols; ++c) {
+      csv += (c ? "," : "") + std::string(1, static_cast<char>('a' + c));
+    }
+    csv += '\n';
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (c) csv += ',';
+        const int die = rng.NextInt(0, 9);
+        csv += die < 4 ? "0" : (die < 8 ? "1" : "2");  // 20% bad cells.
+      }
+      csv += '\n';
+    }
+    auto log = QueryLog::FromCsv(csv);
+    auto table = BooleanTable::FromCsv(csv);
+    EXPECT_EQ(log.ok(), table.ok());
+    if (log.ok()) EXPECT_EQ(log->size(), table->num_rows());
+  }
+}
+
+TEST(RobustnessTest, LpWriterHandlesRandomModels) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    lp::LinearModel model(rng.NextBernoulli(0.5)
+                              ? lp::ObjectiveSense::kMaximize
+                              : lp::ObjectiveSense::kMinimize);
+    const int n = rng.NextInt(1, 8);
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.NextBernoulli(0.2) ? -lp::kInfinity
+                                               : rng.NextInt(-5, 0);
+      const double hi = rng.NextBernoulli(0.2) ? lp::kInfinity
+                                               : rng.NextInt(1, 9);
+      model.AddVariable("v?" + std::to_string(j), lo, hi,
+                        rng.NextInt(-3, 3), rng.NextBernoulli(0.5));
+    }
+    for (int i = rng.NextInt(0, 4); i > 0; --i) {
+      const int row = model.AddConstraint(
+          "", static_cast<lp::ConstraintSense>(rng.NextInt(0, 2)),
+          rng.NextInt(-10, 10));
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.5)) model.AddTerm(row, j, rng.NextInt(-4, 4));
+      }
+    }
+    const std::string text = lp::WriteLpFormat(model);
+    EXPECT_NE(text.find("End"), std::string::npos);
+    EXPECT_NE(text.find("Subject To"), std::string::npos);
+  }
+}
+
+TEST(RobustnessTest, SimplexSurvivesDegenerateRandomModels) {
+  // Random models with zero rows, fixed variables and contradictory
+  // bounds must come back with a definitive status, never hang or abort.
+  Rng rng(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    lp::LinearModel model(lp::ObjectiveSense::kMaximize);
+    const int n = rng.NextInt(1, 6);
+    for (int j = 0; j < n; ++j) {
+      const int lo = rng.NextInt(-3, 3);
+      model.AddVariable("x", lo, lo + rng.NextInt(0, 4), rng.NextInt(-2, 2));
+    }
+    for (int i = rng.NextInt(0, 5); i > 0; --i) {
+      const int row = model.AddConstraint(
+          "c", static_cast<lp::ConstraintSense>(rng.NextInt(0, 2)),
+          rng.NextInt(-6, 6));
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.4)) model.AddTerm(row, j, rng.NextInt(-3, 3));
+      }
+    }
+    lp::SimplexOptions options;
+    options.max_iterations = 20000;
+    auto result = lp::SolveLp(model, options);
+    ASSERT_TRUE(result.ok());
+    if (result->status == lp::SolveStatus::kOptimal) {
+      EXPECT_TRUE(model.IsFeasible(result->x, 1e-5)) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,46 @@
+#include "boolean/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(SchemaTest, CreateAndLookup) {
+  auto schema = AttributeSchema::Create({"AC", "Turbo", "Price"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->size(), 3);
+  EXPECT_EQ(schema->name(0), "AC");
+  EXPECT_EQ(schema->name(2), "Price");
+  EXPECT_EQ(schema->Find("Turbo"), 1);
+  EXPECT_EQ(schema->Find("Missing"), -1);
+}
+
+TEST(SchemaTest, DuplicateNamesRejected) {
+  auto schema = AttributeSchema::Create({"AC", "AC"});
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, AnonymousSchema) {
+  AttributeSchema schema = AttributeSchema::Anonymous(4);
+  EXPECT_EQ(schema.size(), 4);
+  EXPECT_EQ(schema.name(0), "a0");
+  EXPECT_EQ(schema.name(3), "a3");
+  EXPECT_EQ(schema.Find("a2"), 2);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  AttributeSchema schema = AttributeSchema::Anonymous(0);
+  EXPECT_EQ(schema.size(), 0);
+}
+
+TEST(SchemaTest, Equality) {
+  AttributeSchema a = AttributeSchema::Anonymous(2);
+  AttributeSchema b = AttributeSchema::Anonymous(2);
+  AttributeSchema c = AttributeSchema::Anonymous(3);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace soc

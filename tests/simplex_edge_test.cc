@@ -1,0 +1,150 @@
+// Edge-case suite for the simplex beyond simplex_test.cc: redundant and
+// contradictory equalities, variables starting at upper bounds, negative
+// objective rows, and empty models.
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace soc::lp {
+namespace {
+
+TEST(SimplexEdgeTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice; max x with x,y in [0, 2].
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 2, 1);
+  const int y = model.AddVariable("y", 0, 2, 0);
+  for (int rep = 0; rep < 2; ++rep) {
+    const int row = model.AddConstraint("eq", ConstraintSense::kEqual, 2);
+    model.AddTerm(row, x, 1);
+    model.AddTerm(row, y, 1);
+  }
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 2.0, 1e-6);
+  EXPECT_NEAR(result->x[x] + result->x[y], 2.0, 1e-6);
+}
+
+TEST(SimplexEdgeTest, ContradictoryEqualities) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 10, 1);
+  int r1 = model.AddConstraint("a", ConstraintSense::kEqual, 2);
+  model.AddTerm(r1, x, 1);
+  int r2 = model.AddConstraint("b", ConstraintSense::kEqual, 3);
+  model.AddTerm(r2, x, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexEdgeTest, VariableStartsAtUpperBound) {
+  // Variable with (-inf, u] bounds must start at its upper bound.
+  LinearModel model(ObjectiveSense::kMinimize);
+  const int x = model.AddVariable("x", -kInfinity, 5, 1);
+  int row = model.AddConstraint("c", ConstraintSense::kGreaterEqual, -3);
+  model.AddTerm(row, x, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->x[x], -3.0, 1e-6);
+  EXPECT_NEAR(result->objective, -3.0, 1e-6);
+}
+
+TEST(SimplexEdgeTest, AllNegativeObjective) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", 0, 5, -1);
+  model.AddVariable("y", 0, 5, -2);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 0.0, 1e-9);  // Stay at the lower bounds.
+}
+
+TEST(SimplexEdgeTest, EmptyModel) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 0.0, 1e-12);
+  EXPECT_TRUE(result->x.empty());
+}
+
+TEST(SimplexEdgeTest, ConstraintWithoutVariables) {
+  // 0 <= 1: trivially satisfiable row; 0 <= -1: infeasible row.
+  LinearModel feasible(ObjectiveSense::kMaximize);
+  feasible.AddVariable("x", 0, 1, 1);
+  feasible.AddConstraint("ok", ConstraintSense::kLessEqual, 1);
+  auto result = SolveLp(feasible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 1.0, 1e-9);
+
+  LinearModel infeasible(ObjectiveSense::kMaximize);
+  infeasible.AddVariable("x", 0, 1, 1);
+  infeasible.AddConstraint("bad", ConstraintSense::kLessEqual, -1);
+  auto result2 = SolveLp(infeasible);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexEdgeTest, TinyCoefficientsStayStable) {
+  // Scale-sensitive instance: coefficients across 6 orders of magnitude.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 1e6, 1e-3);
+  const int y = model.AddVariable("y", 0, 1e6, 1.0);
+  int row = model.AddConstraint("c", ConstraintSense::kLessEqual, 1000.0);
+  model.AddTerm(row, x, 1e-3);
+  model.AddTerm(row, y, 1.0);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  // Both directions give objective 1000 (identical density); feasibility
+  // is what matters here.
+  EXPECT_TRUE(model.IsFeasible(result->x, 1e-4));
+  EXPECT_NEAR(result->objective, 1000.0, 1e-3);
+}
+
+TEST(SimplexEdgeTest, EqualityPinsFreeDirectionThroughBounds) {
+  // max x + y st x - y = 0, x <= 4, y <= 7 -> x = y = 4.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 4, 1);
+  const int y = model.AddVariable("y", 0, 7, 1);
+  int row = model.AddConstraint("tie", ConstraintSense::kEqual, 0);
+  model.AddTerm(row, x, 1);
+  model.AddTerm(row, y, -1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 8.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 4.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 4.0, 1e-6);
+}
+
+TEST(SimplexEdgeTest, MixedSenseSystem) {
+  // max 2x + y  st  x + y <= 10, x - y >= 2, x + 2y = 8.
+  // From equality: x = 8 - 2y; x - y >= 2 -> 8 - 3y >= 2 -> y <= 2;
+  // x + y <= 10 -> 8 - y <= 10 (always). obj = 16 - 3y -> y = 0, x = 8.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 100, 2);
+  const int y = model.AddVariable("y", 0, 100, 1);
+  int a = model.AddConstraint("a", ConstraintSense::kLessEqual, 10);
+  model.AddTerm(a, x, 1);
+  model.AddTerm(a, y, 1);
+  int b = model.AddConstraint("b", ConstraintSense::kGreaterEqual, 2);
+  model.AddTerm(b, x, 1);
+  model.AddTerm(b, y, -1);
+  int c = model.AddConstraint("c", ConstraintSense::kEqual, 8);
+  model.AddTerm(c, x, 1);
+  model.AddTerm(c, y, 2);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 16.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 8.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace soc::lp

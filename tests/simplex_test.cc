@@ -1,0 +1,276 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lp/model.h"
+
+namespace soc::lp {
+namespace {
+
+TEST(SimplexTest, TwoVariableMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+  // Optimum at (4, 0) with objective 12.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, kInfinity, 3);
+  const int y = model.AddVariable("y", 0, kInfinity, 2);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kLessEqual, 4);
+  model.AddTerm(c0, x, 1);
+  model.AddTerm(c0, y, 1);
+  int c1 = model.AddConstraint("c1", ConstraintSense::kLessEqual, 6);
+  model.AddTerm(c1, x, 1);
+  model.AddTerm(c1, y, 3);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 12.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 4.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 0.0, 1e-6);
+}
+
+TEST(SimplexTest, ClassicProblem) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6. Optimum (3, 1.5) -> 21.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, kInfinity, 5);
+  const int y = model.AddVariable("y", 0, kInfinity, 4);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kLessEqual, 24);
+  model.AddTerm(c0, x, 6);
+  model.AddTerm(c0, y, 4);
+  int c1 = model.AddConstraint("c1", ConstraintSense::kLessEqual, 6);
+  model.AddTerm(c1, x, 1);
+  model.AddTerm(c1, y, 2);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 21.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 3.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 1.5, 1e-6);
+}
+
+TEST(SimplexTest, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 0. Optimum (4,0) -> 8.
+  LinearModel model(ObjectiveSense::kMinimize);
+  const int x = model.AddVariable("x", 1, kInfinity, 2);
+  const int y = model.AddVariable("y", 0, kInfinity, 3);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kGreaterEqual, 4);
+  model.AddTerm(c0, x, 1);
+  model.AddTerm(c0, y, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 8.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 4.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraintNeedsPhase1) {
+  // max x + y s.t. x + 2y = 4, x <= 3, y <= 3, x,y >= 0.
+  // Optimum: x=3, y=0.5 -> 3.5.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 3, 1);
+  const int y = model.AddVariable("y", 0, 3, 1);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kEqual, 4);
+  model.AddTerm(c0, x, 1);
+  model.AddTerm(c0, y, 2);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 3.5, 1e-6);
+  EXPECT_NEAR(result->x[x], 3.0, 1e-6);
+  EXPECT_NEAR(result->x[y], 0.5, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2 simultaneously.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, kInfinity, 1);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kLessEqual, 1);
+  model.AddTerm(c0, x, 1);
+  int c1 = model.AddConstraint("c1", ConstraintSense::kGreaterEqual, 2);
+  model.AddTerm(c1, x, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, InfeasibleEqualityPair) {
+  LinearModel model(ObjectiveSense::kMinimize);
+  const int x = model.AddVariable("x", 0, 10, 1);
+  const int y = model.AddVariable("y", 0, 10, 1);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kEqual, 3);
+  model.AddTerm(c0, x, 1);
+  model.AddTerm(c0, y, 1);
+  int c1 = model.AddConstraint("c1", ConstraintSense::kEqual, 5);
+  model.AddTerm(c1, x, 1);
+  model.AddTerm(c1, y, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // max x with x >= 0 and no upper limit.
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", 0, kInfinity, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, PureBoundsModelSolvedByFlips) {
+  // No constraints: optimum picks the right bound per sign.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", -2, 5, 3);   // -> 5
+  const int y = model.AddVariable("y", -4, 1, -2);  // -> -4
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 23.0, 1e-6);
+  EXPECT_NEAR(result->x[x], 5.0, 1e-6);
+  EXPECT_NEAR(result->x[y], -4.0, 1e-6);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // min x + y s.t. x + y >= -3, bounds [-5, 5]. Optimum -3 on the line.
+  LinearModel model(ObjectiveSense::kMinimize);
+  const int x = model.AddVariable("x", -5, 5, 1);
+  const int y = model.AddVariable("y", -5, 5, 1);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kGreaterEqual, -3);
+  model.AddTerm(c0, x, 1);
+  model.AddTerm(c0, y, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, -3.0, 1e-6);
+}
+
+TEST(SimplexTest, FixedVariable) {
+  // x fixed at 2, max x + y with y <= 3.
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 2, 2, 1);
+  const int y = model.AddVariable("y", 0, 3, 1);
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->x[x], 2.0, 1e-9);
+  EXPECT_NEAR(result->x[y], 3.0, 1e-9);
+  EXPECT_NEAR(result->objective, 5.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic degenerate instance (multiple constraints meet at the origin).
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, kInfinity, 0.75);
+  const int y = model.AddVariable("y", 0, kInfinity, -150);
+  const int z = model.AddVariable("z", 0, kInfinity, 0.02);
+  const int w = model.AddVariable("w", 0, kInfinity, -6);
+  int c0 = model.AddConstraint("c0", ConstraintSense::kLessEqual, 0);
+  model.AddTerm(c0, x, 0.25);
+  model.AddTerm(c0, y, -60);
+  model.AddTerm(c0, z, -0.04);
+  model.AddTerm(c0, w, 9);
+  int c1 = model.AddConstraint("c1", ConstraintSense::kLessEqual, 0);
+  model.AddTerm(c1, x, 0.5);
+  model.AddTerm(c1, y, -90);
+  model.AddTerm(c1, z, -0.02);
+  model.AddTerm(c1, w, 3);
+  int c2 = model.AddConstraint("c2", ConstraintSense::kLessEqual, 1);
+  model.AddTerm(c2, z, 1);
+  // Beale's cycling example; optimum 0.05 at z = 1.
+  auto result = SolveLp(model);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result->objective, 0.05, 1e-6);
+}
+
+TEST(SimplexTest, SolveWithBoundsOverrides) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  const int x = model.AddVariable("x", 0, 10, 1);
+  auto base = SolveLp(model);
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(base->objective, 10.0, 1e-9);
+  auto tightened = SolveLpWithBounds(model, {0.0}, {4.0});
+  ASSERT_TRUE(tightened.ok());
+  EXPECT_NEAR(tightened->objective, 4.0, 1e-9);
+  EXPECT_NEAR(tightened->x[x], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, EmptyBoundBoxIsInfeasible) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", 0, 10, 1);
+  auto result = SolveLpWithBounds(model, {5.0}, {4.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ValidationRejectsFreeVariable) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", -kInfinity, kInfinity, 1);
+  auto result = SolveLp(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SimplexTest, ValidationRejectsBadBounds) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  model.AddVariable("x", 2, 1, 1);
+  auto result = SolveLp(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, TableauGuardTrips) {
+  LinearModel model(ObjectiveSense::kMaximize);
+  for (int j = 0; j < 100; ++j) {
+    model.AddVariable("x", 0, 1, 1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    int c = model.AddConstraint("c", ConstraintSense::kLessEqual, 50);
+    for (int j = 0; j < 100; ++j) model.AddTerm(c, j, 1);
+  }
+  SimplexOptions options;
+  options.max_tableau_entries = 100;  // Absurdly small.
+  auto result = SolveLp(model, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Property test: on random feasible-by-construction LPs, the simplex
+// objective must weakly dominate many random feasible points.
+TEST(SimplexTest, RandomizedDominatesSampledFeasiblePoints) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.NextInt(2, 6);
+    const int m = rng.NextInt(1, 5);
+    LinearModel model(ObjectiveSense::kMaximize);
+    for (int j = 0; j < n; ++j) {
+      model.AddVariable("x", 0, 1 + 4 * rng.NextDouble(),
+                        rng.NextDouble() * 4 - 2);
+    }
+    // Random <= constraints with nonnegative coefficients and positive rhs
+    // keep the origin feasible.
+    for (int i = 0; i < m; ++i) {
+      int c = model.AddConstraint("c", ConstraintSense::kLessEqual,
+                                  1 + 5 * rng.NextDouble());
+      for (int j = 0; j < n; ++j) {
+        if (rng.NextBernoulli(0.7)) model.AddTerm(c, j, rng.NextDouble() * 2);
+      }
+    }
+    auto result = SolveLp(model);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->status, SolveStatus::kOptimal) << "trial " << trial;
+    ASSERT_TRUE(model.IsFeasible(result->x, 1e-6));
+    for (int sample = 0; sample < 200; ++sample) {
+      std::vector<double> point(n);
+      for (int j = 0; j < n; ++j) {
+        point[j] = model.variable(j).upper * rng.NextDouble();
+      }
+      if (!model.IsFeasible(point, 0.0)) continue;
+      EXPECT_LE(model.ObjectiveValue(point), result->objective + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soc::lp

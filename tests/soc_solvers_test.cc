@@ -1,0 +1,361 @@
+// End-to-end tests of all SOC-CB-QL solvers: the paper's running example,
+// edge cases, the NP-hardness reduction, and randomized agreement sweeps
+// between the four exact algorithms.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/bnb_solver.h"
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "core/ilp_solver.h"
+#include "core/mfi_solver.h"
+#include "datagen/clique.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+MfiSocOptions WalkOptions(std::uint64_t seed) {
+  MfiSocOptions options;
+  options.engine = MfiEngine::kRandomWalk;
+  options.walk.seed = seed;
+  return options;
+}
+
+MfiSocOptions DfsOptions() {
+  MfiSocOptions options;
+  options.engine = MfiEngine::kExactDfs;
+  return options;
+}
+
+// All solvers under test, exact ones first.
+std::vector<std::unique_ptr<SocSolver>> AllSolvers() {
+  std::vector<std::unique_ptr<SocSolver>> solvers;
+  solvers.push_back(std::make_unique<BruteForceSolver>());
+  solvers.push_back(std::make_unique<BnbSocSolver>());
+  solvers.push_back(std::make_unique<IlpSocSolver>());
+  solvers.push_back(std::make_unique<MfiSocSolver>(WalkOptions(5)));
+  solvers.push_back(std::make_unique<MfiSocSolver>(DfsOptions()));
+  solvers.push_back(
+      std::make_unique<GreedySolver>(GreedyKind::kConsumeAttr));
+  solvers.push_back(
+      std::make_unique<GreedySolver>(GreedyKind::kConsumeAttrCumul));
+  solvers.push_back(
+      std::make_unique<GreedySolver>(GreedyKind::kConsumeQueries));
+  return solvers;
+}
+
+std::vector<std::unique_ptr<SocSolver>> ExactSolvers() {
+  std::vector<std::unique_ptr<SocSolver>> solvers;
+  solvers.push_back(std::make_unique<BruteForceSolver>());
+  solvers.push_back(std::make_unique<BnbSocSolver>());
+  solvers.push_back(std::make_unique<IlpSocSolver>());
+  solvers.push_back(std::make_unique<MfiSocSolver>(WalkOptions(11)));
+  solvers.push_back(std::make_unique<MfiSocSolver>(DfsOptions()));
+  return solvers;
+}
+
+TEST(SocSolversTest, PaperExampleOptimumIsThree) {
+  // Sec II.A: with m = 3, retaining {AC, FourDoor, PowerDoors} satisfies
+  // q1, q2, q3 and nothing does better.
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const auto& solver : ExactSolvers()) {
+    auto solution = solver->Solve(log, t, 3);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_EQ(solution->satisfied_queries, 3) << solver->name();
+    EXPECT_EQ(solution->selected, DynamicBitset::FromString("110100"))
+        << solver->name();
+    EXPECT_EQ(solution->selected.Count(), 3u);
+    EXPECT_TRUE(solution->selected.IsSubsetOf(t));
+  }
+}
+
+TEST(SocSolversTest, SolutionInvariantsHoldForAllSolvers) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const auto& solver : AllSolvers()) {
+    for (int m = 0; m <= 8; ++m) {
+      auto solution = solver->Solve(log, t, m);
+      ASSERT_TRUE(solution.ok()) << solver->name() << " m=" << m;
+      EXPECT_TRUE(solution->selected.IsSubsetOf(t))
+          << solver->name() << " m=" << m;
+      EXPECT_EQ(solution->selected.Count(),
+                static_cast<std::size_t>(std::min<int>(m, t.Count())))
+          << solver->name() << " m=" << m;
+      EXPECT_EQ(solution->satisfied_queries,
+                CountSatisfiedQueries(log, solution->selected))
+          << solver->name() << " m=" << m;
+    }
+  }
+}
+
+TEST(SocSolversTest, BudgetZeroSatisfiesNothing) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const auto& solver : AllSolvers()) {
+    auto solution = solver->Solve(log, t, 0);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_EQ(solution->satisfied_queries, 0);
+    EXPECT_TRUE(solution->selected.None());
+  }
+}
+
+TEST(SocSolversTest, BudgetAboveTupleSizeKeepsWholeTuple) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const auto& solver : AllSolvers()) {
+    auto solution = solver->Solve(log, t, 100);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_EQ(solution->selected, t) << solver->name();
+    // The full tuple satisfies 4 of the 5 queries (q5 needs Turbo).
+    EXPECT_EQ(solution->satisfied_queries, 4) << solver->name();
+  }
+}
+
+TEST(SocSolversTest, EmptyLogYieldsZero) {
+  const QueryLog log(testdata::PaperSchema());
+  const DynamicBitset t = testdata::PaperNewTuple();
+  for (const auto& solver : AllSolvers()) {
+    auto solution = solver->Solve(log, t, 3);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_EQ(solution->satisfied_queries, 0);
+    EXPECT_EQ(solution->selected.Count(), 3u);
+  }
+}
+
+TEST(SocSolversTest, EmptyTupleYieldsEmptySelection) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t(log.num_attributes());
+  for (const auto& solver : AllSolvers()) {
+    auto solution = solver->Solve(log, t, 3);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_TRUE(solution->selected.None());
+    EXPECT_EQ(solution->satisfied_queries, 0);
+  }
+}
+
+TEST(SocSolversTest, EmptyQueryAlwaysSatisfied) {
+  QueryLog log(AttributeSchema::Anonymous(4));
+  log.AddQuery(DynamicBitset(4));           // Matches anything.
+  log.AddQueryFromIndices({0, 1});
+  DynamicBitset t = DynamicBitset::FromString("1100");
+  for (const auto& solver : ExactSolvers()) {
+    auto solution = solver->Solve(log, t, 1);
+    ASSERT_TRUE(solution.ok()) << solver->name();
+    EXPECT_EQ(solution->satisfied_queries, 1) << solver->name();
+    auto solution2 = solver->Solve(log, t, 2);
+    ASSERT_TRUE(solution2.ok());
+    EXPECT_EQ(solution2->satisfied_queries, 2) << solver->name();
+  }
+}
+
+TEST(SocSolversTest, DuplicateQueriesCountMultiply) {
+  QueryLog log(AttributeSchema::Anonymous(3));
+  for (int i = 0; i < 5; ++i) log.AddQueryFromIndices({0});
+  log.AddQueryFromIndices({1});
+  DynamicBitset t = DynamicBitset::FromString("110");
+  for (const auto& solver : ExactSolvers()) {
+    auto solution = solver->Solve(log, t, 1);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_EQ(solution->satisfied_queries, 5) << solver->name();
+    EXPECT_TRUE(solution->selected.Test(0));
+  }
+}
+
+TEST(SocSolversTest, GreedyConsumeAttrPicksFrequentAttributes) {
+  // ConsumeAttr on the paper example with m=3 picks PowerDoors (freq 3),
+  // then AC and FourDoor (freq 2 each, lowest index first) — which happens
+  // to be the optimal selection here.
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  GreedySolver solver(GreedyKind::kConsumeAttr);
+  auto solution = solver.Solve(log, t, 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->selected, DynamicBitset::FromString("110100"));
+  EXPECT_EQ(solution->satisfied_queries, 3);
+}
+
+TEST(SocSolversTest, GreedyNeverBeatsOptimal) {
+  Rng rng(31337);
+  const AttributeSchema schema = AttributeSchema::Anonymous(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 40;
+    wl.seed = 1000 + trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(12);
+    for (int a = 0; a < 12; ++a) {
+      if (rng.NextBernoulli(0.7)) t.Set(a);
+    }
+    const int m = rng.NextInt(1, 6);
+    BruteForceSolver exact;
+    auto optimal = exact.Solve(log, t, m);
+    ASSERT_TRUE(optimal.ok());
+    for (GreedyKind kind :
+         {GreedyKind::kConsumeAttr, GreedyKind::kConsumeAttrCumul,
+          GreedyKind::kConsumeQueries}) {
+      GreedySolver greedy(kind);
+      auto heuristic = greedy.Solve(log, t, m);
+      ASSERT_TRUE(heuristic.ok());
+      EXPECT_LE(heuristic->satisfied_queries, optimal->satisfied_queries)
+          << GreedyKindToString(kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(SocSolversTest, CliqueReductionMatchesTheorem1) {
+  // SOC optimum on the reduced instance equals r(r-1)/2 iff the graph has
+  // an r-clique; sweep r on random graphs against an exact clique finder.
+  for (int trial = 0; trial < 8; ++trial) {
+    const datagen::Graph graph =
+        datagen::Graph::ErdosRenyi(9, 0.5, 900 + trial);
+    const datagen::CliqueSocInstance instance = datagen::CliqueToSoc(graph);
+    const int omega = graph.MaxCliqueSize();
+    BruteForceSolver brute;
+    IlpSocSolver ilp;
+    for (int r = 2; r <= 6; ++r) {
+      auto brute_solution = brute.Solve(instance.log, instance.tuple, r);
+      auto ilp_solution = ilp.Solve(instance.log, instance.tuple, r);
+      ASSERT_TRUE(brute_solution.ok());
+      ASSERT_TRUE(ilp_solution.ok());
+      EXPECT_EQ(brute_solution->satisfied_queries,
+                ilp_solution->satisfied_queries)
+          << "trial " << trial << " r=" << r;
+      const bool has_clique = omega >= r;
+      EXPECT_EQ(
+          brute_solution->satisfied_queries >= datagen::CliqueCertificate(r),
+          has_clique)
+          << "trial " << trial << " r=" << r << " omega=" << omega;
+    }
+  }
+}
+
+TEST(SocSolversTest, BruteForceGuardTrips) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(40);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 100;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset t(40);
+  t.SetAll();
+  BruteForceOptions options;
+  options.max_combinations = 1000;
+  BruteForceSolver solver(options);
+  auto solution = solver.Solve(log, t, 20);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SocSolversTest, MfiFixedThresholdReportsNotFound) {
+  // With a fixed threshold above the optimum the paper's algorithm
+  // "returns empty"; we surface that as NotFound.
+  QueryLog log(AttributeSchema::Anonymous(4));
+  for (int i = 0; i < 10; ++i) log.AddQueryFromIndices({0, 1});
+  log.AddQueryFromIndices({2, 3});
+  DynamicBitset t = DynamicBitset::FromString("0011");  // Optimum: 1 query.
+  MfiSocOptions options = DfsOptions();
+  options.adaptive_threshold = false;
+  options.fixed_threshold_fraction = 0.5;  // Requires >= 5 queries.
+  MfiSocSolver solver(options);
+  auto solution = solver.Solve(log, t, 2);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SocSolversTest, MfiFixedThresholdSucceedsWhenReachable) {
+  QueryLog log(AttributeSchema::Anonymous(4));
+  for (int i = 0; i < 10; ++i) log.AddQueryFromIndices({0, 1});
+  log.AddQueryFromIndices({2, 3});
+  DynamicBitset t = DynamicBitset::FromString("1100");
+  MfiSocOptions options = DfsOptions();
+  options.adaptive_threshold = false;
+  options.fixed_threshold_fraction = 0.5;
+  MfiSocSolver solver(options);
+  auto solution = solver.Solve(log, t, 2);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->satisfied_queries, 10);
+}
+
+TEST(SocSolversTest, MfiPreprocessedIndexReusableAcrossTuples) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(10);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 60;
+  wl.seed = 99;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  MfiSocOptions options = DfsOptions();
+  MfiSocSolver solver(options);
+  MfiPreprocessedIndex index(log, options);
+  BruteForceSolver brute;
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    DynamicBitset t(10);
+    for (int a = 0; a < 10; ++a) {
+      if (rng.NextBernoulli(0.6)) t.Set(a);
+    }
+    const int m = rng.NextInt(1, 5);
+    auto with_index = solver.SolveWithIndex(index, log, t, m);
+    auto reference = brute.Solve(log, t, m);
+    ASSERT_TRUE(with_index.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(with_index->satisfied_queries, reference->satisfied_queries)
+        << "trial " << trial;
+  }
+}
+
+// Property sweep: the four exact algorithms agree on random instances.
+class ExactAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactAgreementTest, ExactSolversAgreeOnRandomInstances) {
+  const int seed = GetParam();
+  Rng rng(seed * 7919 + 13);
+  const int num_attrs = rng.NextInt(4, 14);
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = rng.NextInt(5, 80);
+  wl.seed = seed;
+  wl.size_distribution.resize(
+      std::min<std::size_t>(wl.size_distribution.size(), num_attrs));
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset t(num_attrs);
+  for (int a = 0; a < num_attrs; ++a) {
+    if (rng.NextBernoulli(0.65)) t.Set(a);
+  }
+  const int m = rng.NextInt(0, num_attrs);
+
+  BruteForceSolver brute;
+  auto reference = brute.Solve(log, t, m);
+  ASSERT_TRUE(reference.ok());
+
+  IlpSocSolver ilp;
+  auto ilp_solution = ilp.Solve(log, t, m);
+  ASSERT_TRUE(ilp_solution.ok());
+  EXPECT_EQ(ilp_solution->satisfied_queries, reference->satisfied_queries);
+  EXPECT_TRUE(ilp_solution->proved_optimal);
+
+  MfiSocSolver mfi_walk(WalkOptions(seed + 1));
+  auto walk_solution = mfi_walk.Solve(log, t, m);
+  ASSERT_TRUE(walk_solution.ok());
+  EXPECT_EQ(walk_solution->satisfied_queries, reference->satisfied_queries);
+
+  MfiSocSolver mfi_dfs(DfsOptions());
+  auto dfs_solution = mfi_dfs.Solve(log, t, m);
+  ASSERT_TRUE(dfs_solution.ok());
+  EXPECT_EQ(dfs_solution->satisfied_queries, reference->satisfied_queries);
+  EXPECT_TRUE(dfs_solution->proved_optimal);
+
+  BnbSocSolver bnb;
+  auto bnb_solution = bnb.Solve(log, t, m);
+  ASSERT_TRUE(bnb_solution.ok());
+  EXPECT_EQ(bnb_solution->satisfied_queries, reference->satisfied_queries);
+  EXPECT_TRUE(bnb_solution->proved_optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExactAgreementTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,100 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad m");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad m");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad m");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+namespace macro_helpers {
+
+Status FailIf(bool fail) {
+  if (fail) return InternalError("boom");
+  return Status::OK();
+}
+
+Status Chain(bool fail) {
+  SOC_RETURN_IF_ERROR(FailIf(fail));
+  return Status::OK();
+}
+
+StatusOr<int> MakeValue(bool fail) {
+  if (fail) return OutOfRangeError("nope");
+  return 10;
+}
+
+StatusOr<int> UseAssign(bool fail) {
+  SOC_ASSIGN_OR_RETURN(const int v, MakeValue(fail));
+  return v * 2;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macro_helpers::Chain(false).ok());
+  EXPECT_EQ(macro_helpers::Chain(true).code(), StatusCode::kInternal);
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  auto ok = macro_helpers::UseAssign(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 20);
+  auto err = macro_helpers::UseAssign(true);
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace soc

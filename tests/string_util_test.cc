@@ -1,0 +1,57 @@
+#include "common/string_util.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(StringUtilTest, JoinStrings) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, JoinEmpty) {
+  std::vector<int> parts;
+  EXPECT_EQ(Join(parts, ","), "");
+}
+
+TEST(StringUtilTest, JoinNumbers) {
+  std::vector<int> parts = {1, 2, 3};
+  EXPECT_EQ(Join(parts, "-"), "1-2-3");
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("nowhitespace"), "nowhitespace");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("m=%d t=%.2f s=%s", 5, 1.5, "x"), "m=5 t=1.50 s=x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  const std::string long_str(500, 'z');
+  EXPECT_EQ(StrFormat("%s!", long_str.c_str()), long_str + "!");
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("Hello World 123"), "hello world 123");
+}
+
+}  // namespace
+}  // namespace soc

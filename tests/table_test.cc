@@ -1,0 +1,90 @@
+#include "boolean/table.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+TEST(BooleanTableTest, PaperExampleShape) {
+  BooleanTable db = testdata::PaperDatabase();
+  EXPECT_EQ(db.num_rows(), 7);
+  EXPECT_EQ(db.num_attributes(), 6);
+  EXPECT_TRUE(db.row(0).Test(1));   // t1 has FourDoor
+  EXPECT_FALSE(db.row(0).Test(0));  // t1 lacks AC
+}
+
+TEST(BooleanTableTest, DominationMatchesPaperExample) {
+  // Paper Sec II.B: t' = [1,1,0,1,0,1] dominates t1, t4, t5, t6 (4 tuples).
+  BooleanTable db = testdata::PaperDatabase();
+  DynamicBitset t_prime = DynamicBitset::FromString("110101");
+  EXPECT_EQ(db.CountDominatedBy(t_prime), 4);
+  EXPECT_TRUE(db.Dominates(t_prime, 0));   // t1
+  EXPECT_FALSE(db.Dominates(t_prime, 1));  // t2 has Turbo
+  EXPECT_FALSE(db.Dominates(t_prime, 2));  // t3 has AutoTrans
+  EXPECT_TRUE(db.Dominates(t_prime, 3));   // t4
+  EXPECT_TRUE(db.Dominates(t_prime, 4));   // t5
+  EXPECT_TRUE(db.Dominates(t_prime, 5));   // t6
+  EXPECT_FALSE(db.Dominates(t_prime, 6));  // t7 has Turbo
+}
+
+TEST(BooleanTableTest, EveryTupleDominatesItself) {
+  BooleanTable db = testdata::PaperDatabase();
+  for (int i = 0; i < db.num_rows(); ++i) {
+    EXPECT_TRUE(db.Dominates(db.row(i), i));
+  }
+}
+
+TEST(BooleanTableTest, AttributeFrequencies) {
+  BooleanTable db = testdata::PaperDatabase();
+  const std::vector<int> freq = db.AttributeFrequencies();
+  // AC appears in t3,t4,t5; FourDoor in t1,t2,t4,t5,t6; Turbo in t2,t7;
+  // PowerDoors in t1,t3,t4,t6,t7; AutoTrans in t3; PowerBrakes in t3,t4.
+  EXPECT_EQ(freq, (std::vector<int>{3, 5, 2, 5, 1, 2}));
+}
+
+TEST(BooleanTableTest, AddRowFromIndices) {
+  BooleanTable db(AttributeSchema::Anonymous(5));
+  db.AddRowFromIndices({0, 4});
+  EXPECT_EQ(db.row(0).ToString(), "10001");
+}
+
+TEST(BooleanTableTest, CsvRoundTrip) {
+  BooleanTable db = testdata::PaperDatabase();
+  const std::string csv = db.ToCsv();
+  auto restored = BooleanTable::FromCsv(csv);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_rows(), db.num_rows());
+  EXPECT_TRUE(restored->schema() == db.schema());
+  for (int i = 0; i < db.num_rows(); ++i) {
+    EXPECT_EQ(restored->row(i), db.row(i));
+  }
+}
+
+TEST(BooleanTableTest, FromCsvRejectsNonBooleanCell) {
+  auto result = BooleanTable::FromCsv("a,b\n1,2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BooleanTableTest, FileRoundTrip) {
+  BooleanTable db = testdata::PaperDatabase();
+  const std::string path = ::testing::TempDir() + "/soc_table_test.csv";
+  ASSERT_TRUE(db.SaveCsvFile(path).ok());
+  auto loaded = BooleanTable::LoadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 7);
+  EXPECT_EQ(loaded->row(2), db.row(2));
+  std::remove(path.c_str());
+}
+
+TEST(BooleanTableTest, EmptyTableDominatedCountIsZero) {
+  BooleanTable db(AttributeSchema::Anonymous(3));
+  DynamicBitset candidate(3);
+  candidate.SetAll();
+  EXPECT_EQ(db.CountDominatedBy(candidate), 0);
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,142 @@
+#include "datagen/text_corpus.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace soc::datagen {
+namespace {
+
+TEST(TextCorpusTest, ShapeMatchesOptions) {
+  TextCorpusOptions options;
+  options.vocabulary_size = 500;
+  options.num_documents = 50;
+  options.min_document_length = 10;
+  options.max_document_length = 30;
+  const TextCorpus corpus = GenerateTextCorpus(options);
+  EXPECT_EQ(corpus.documents.size(), 50u);
+  EXPECT_EQ(corpus.document_topics.size(), 50u);
+  EXPECT_EQ(corpus.topic_words.size(),
+            static_cast<std::size_t>(options.num_topics));
+  for (const auto& doc : corpus.documents) {
+    EXPECT_GE(doc.size(), 10u);
+    EXPECT_LE(doc.size(), 30u);
+    for (int term : doc) {
+      EXPECT_GE(term, 0);
+      EXPECT_LT(term, 500);
+    }
+  }
+  for (int topic : corpus.document_topics) {
+    EXPECT_GE(topic, 0);
+    EXPECT_LT(topic, options.num_topics);
+  }
+}
+
+TEST(TextCorpusTest, TopicWordsAreDistinct) {
+  TextCorpusOptions options;
+  options.vocabulary_size = 300;
+  options.num_documents = 5;
+  const TextCorpus corpus = GenerateTextCorpus(options);
+  for (const auto& words : corpus.topic_words) {
+    std::set<int> unique(words.begin(), words.end());
+    EXPECT_EQ(unique.size(), words.size());
+  }
+}
+
+TEST(TextCorpusTest, DeterministicForSeed) {
+  TextCorpusOptions options;
+  options.num_documents = 20;
+  options.vocabulary_size = 200;
+  const TextCorpus a = GenerateTextCorpus(options);
+  const TextCorpus b = GenerateTextCorpus(options);
+  EXPECT_EQ(a.documents, b.documents);
+  options.seed = 777;
+  const TextCorpus c = GenerateTextCorpus(options);
+  EXPECT_NE(a.documents, c.documents);
+}
+
+TEST(TextCorpusTest, DocumentsLeanTowardTheirTopic) {
+  TextCorpusOptions options;
+  options.vocabulary_size = 2000;
+  options.num_documents = 100;
+  options.topic_word_fraction = 0.6;
+  const TextCorpus corpus = GenerateTextCorpus(options);
+  int leaning = 0;
+  for (std::size_t d = 0; d < corpus.documents.size(); ++d) {
+    const std::set<int> topical(
+        corpus.topic_words[corpus.document_topics[d]].begin(),
+        corpus.topic_words[corpus.document_topics[d]].end());
+    int topical_words = 0;
+    for (int term : corpus.documents[d]) {
+      topical_words += topical.contains(term);
+    }
+    if (topical_words * 2 >= static_cast<int>(corpus.documents[d].size())) {
+      ++leaning;
+    }
+  }
+  EXPECT_GT(leaning, 50);  // Most documents are mostly topical.
+}
+
+TEST(TextWorkloadTest, QueriesDrawnFromTopics) {
+  TextCorpusOptions corpus_options;
+  corpus_options.vocabulary_size = 1000;
+  corpus_options.num_documents = 10;
+  const TextCorpus corpus = GenerateTextCorpus(corpus_options);
+  TextWorkloadOptions options;
+  options.num_queries = 200;
+  const std::vector<text::SparseQuery> queries =
+      MakeTextWorkload(corpus, options);
+  ASSERT_EQ(queries.size(), 200u);
+  // Every query's keywords must all belong to a single topic.
+  for (const text::SparseQuery& q : queries) {
+    ASSERT_GE(q.size(), 1u);
+    ASSERT_LE(q.size(), 3u);
+    bool from_one_topic = false;
+    for (const auto& words : corpus.topic_words) {
+      const std::set<int> topic_set(words.begin(), words.end());
+      bool all = true;
+      for (int term : q) {
+        if (!topic_set.contains(term)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        from_one_topic = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(from_one_topic);
+  }
+}
+
+TEST(TextWorkloadTest, QueriesHitTheCorpus) {
+  // Topic-drawn queries should retrieve documents via BM25 most of the
+  // time; a workload that misses everything would be useless.
+  TextCorpusOptions corpus_options;
+  corpus_options.vocabulary_size = 2000;
+  corpus_options.num_documents = 200;
+  const TextCorpus corpus = GenerateTextCorpus(corpus_options);
+  const text::TextIndex index = IndexCorpus(corpus);
+  TextWorkloadOptions options;
+  options.num_queries = 100;
+  int hitting = 0;
+  for (const text::SparseQuery& q : MakeTextWorkload(corpus, options)) {
+    if (!index.TopK(q, 1).empty()) ++hitting;
+  }
+  EXPECT_GT(hitting, 80);
+}
+
+TEST(IndexCorpusTest, CountsMatch) {
+  TextCorpusOptions options;
+  options.vocabulary_size = 100;
+  options.num_documents = 30;
+  const TextCorpus corpus = GenerateTextCorpus(options);
+  const text::TextIndex index = IndexCorpus(corpus);
+  EXPECT_EQ(index.num_documents(), 30);
+  EXPECT_EQ(index.document_length(0),
+            static_cast<int>(corpus.documents[0].size()));
+}
+
+}  // namespace
+}  // namespace soc::datagen

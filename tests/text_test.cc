@@ -1,0 +1,230 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "text/keyword_selection.h"
+#include "text/text.h"
+
+namespace soc::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Two-Bedroom Apartment, near TRAIN station!"),
+            (std::vector<std::string>{"two", "bedroom", "apartment", "near",
+                                      "train", "station"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsAndEmpty) {
+  EXPECT_EQ(Tokenize("the car is at the shop"),
+            (std::vector<std::string>{"car", "shop"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,,, ").empty());
+}
+
+TEST(TokenizerTest, KeepsNumbers) {
+  EXPECT_EQ(Tokenize("2 bedrooms 850sqft"),
+            (std::vector<std::string>{"2", "bedrooms", "850sqft"}));
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  const int a = vocab.Intern("car");
+  const int b = vocab.Intern("apartment");
+  EXPECT_EQ(vocab.Intern("car"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.Find("car"), a);
+  EXPECT_EQ(vocab.Find("missing"), -1);
+  EXPECT_EQ(vocab.term(b), "apartment");
+  EXPECT_EQ(vocab.size(), 2);
+}
+
+class TextIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc0_ = index_.AddDocument("sunny apartment near train station", vocab_);
+    doc1_ = index_.AddDocument("apartment with garage", vocab_);
+    doc2_ = index_.AddDocument("sunny house garage garage", vocab_);
+  }
+
+  Vocabulary vocab_;
+  TextIndex index_;
+  int doc0_, doc1_, doc2_;
+};
+
+TEST_F(TextIndexTest, DocumentStatistics) {
+  EXPECT_EQ(index_.num_documents(), 3);
+  EXPECT_EQ(index_.document_length(doc0_), 5);
+  EXPECT_EQ(index_.document_length(doc1_), 2);  // "with" is a stopword.
+  EXPECT_EQ(index_.DocumentFrequency(vocab_.Find("apartment")), 2);
+  EXPECT_EQ(index_.DocumentFrequency(vocab_.Find("garage")), 2);
+  EXPECT_EQ(index_.DocumentFrequency(vocab_.Find("train")), 1);
+  EXPECT_NEAR(index_.average_document_length(), (5 + 2 + 4) / 3.0, 1e-9);
+}
+
+TEST_F(TextIndexTest, IdfDecreasesWithDocumentFrequency) {
+  const double idf_rare = index_.Idf(vocab_.Find("train"));
+  const double idf_common = index_.Idf(vocab_.Find("apartment"));
+  EXPECT_GT(idf_rare, idf_common);
+  EXPECT_GT(idf_common, 0.0);
+}
+
+TEST_F(TextIndexTest, TopKRanksMatchingDocuments) {
+  const std::vector<int> query = {vocab_.Find("apartment")};
+  const auto top = index_.TopK(query, 10);
+  ASSERT_EQ(top.size(), 2u);
+  // doc1 is shorter, so its BM25 for "apartment" is higher than doc0's.
+  EXPECT_EQ(top[0].doc, doc1_);
+  EXPECT_EQ(top[1].doc, doc0_);
+  EXPECT_GT(top[0].score, top[1].score);
+}
+
+TEST_F(TextIndexTest, TopKTruncatesToK) {
+  const std::vector<int> query = {vocab_.Find("sunny")};
+  EXPECT_EQ(index_.TopK(query, 1).size(), 1u);
+  EXPECT_EQ(index_.TopK(query, 0).size(), 0u);
+}
+
+TEST_F(TextIndexTest, RepeatedTermsScoreHigherButSaturate) {
+  const std::vector<int> query = {vocab_.Find("garage")};
+  const double s2 = index_.Score(query, doc2_);   // tf = 2.
+  const double s1 = index_.Score(query, doc1_);   // tf = 1.
+  // doc2 is longer (4 vs 2 tokens), but tf=2 still beats tf=1 under BM25
+  // with the default parameters... verify via direct comparison of the two.
+  EXPECT_GT(s2, 0.0);
+  EXPECT_GT(s1, 0.0);
+  // tf saturation: doubling tf does not double the score.
+  EXPECT_LT(s2, 2.0 * s1);
+}
+
+TEST_F(TextIndexTest, ScoreMatchesTopKEntry) {
+  const std::vector<int> query = {vocab_.Find("sunny"),
+                                  vocab_.Find("garage")};
+  const auto top = index_.TopK(query, 3);
+  for (const ScoredDocument& d : top) {
+    EXPECT_NEAR(index_.Score(query, d.doc), d.score, 1e-9);
+  }
+}
+
+TEST_F(TextIndexTest, VirtualDocumentScoring) {
+  // A virtual ad containing exactly the query terms scores > 0 and equals
+  // an identical real document's score.
+  Vocabulary vocab2;
+  TextIndex index2;
+  index2.AddDocument("sunny apartment near train station", vocab2);
+  index2.AddDocument("apartment with garage", vocab2);
+  index2.AddDocument("sunny house garage garage", vocab2);
+  const int real = index2.AddDocument("cozy loft", vocab2);
+  const std::vector<int> query = {vocab2.Find("cozy"), vocab2.Find("loft")};
+  std::unordered_map<int, int> virtual_doc = {{vocab2.Find("cozy"), 1},
+                                              {vocab2.Find("loft"), 1}};
+  // Note: the virtual doc is *not* part of the corpus, so its idf uses the
+  // same statistics; with the real doc present both computations match.
+  EXPECT_NEAR(index2.ScoreVirtual(query, virtual_doc),
+              index2.Score(query, real), 1e-9);
+}
+
+// --- Keyword selection ---
+
+TEST(KeywordSelectionTest, ObjectivesCountCorrectly) {
+  const std::vector<SparseQuery> queries = {{1, 2}, {2}, {3, 4}, {9}};
+  EXPECT_EQ(CountSatisfiedConjunctive(queries, {1, 2}), 2);
+  EXPECT_EQ(CountSatisfiedConjunctive(queries, {2, 3}), 1);
+  EXPECT_EQ(CountSatisfiedDisjunctive(queries, {2, 3}), 3);
+  EXPECT_EQ(CountSatisfiedDisjunctive(queries, {}), 0);
+}
+
+TEST(KeywordSelectionTest, ConsumeAttrPicksFrequentTerms) {
+  // Term 2 appears 3x, term 1 2x, term 5 1x.
+  const std::vector<SparseQuery> queries = {{1, 2}, {2}, {1, 2}, {5}};
+  EXPECT_EQ(SelectKeywordsConsumeAttr(queries, {1, 2, 5}, 2),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(SelectKeywordsConsumeAttr(queries, {1, 2, 5}, 1),
+            (std::vector<int>{2}));
+  // Candidates outside the log get frequency 0.
+  EXPECT_EQ(SelectKeywordsConsumeAttr(queries, {7, 2}, 1),
+            (std::vector<int>{2}));
+}
+
+TEST(KeywordSelectionTest, ConsumeAttrCumulFollowsCooccurrence) {
+  // Term 0 most frequent; 0 co-occurs with 3 (twice), never with 9.
+  const std::vector<SparseQuery> queries = {{0, 3}, {0, 3}, {0}, {9}, {9}};
+  const auto selected = SelectKeywordsConsumeAttrCumul(queries, {0, 3, 9}, 2);
+  EXPECT_EQ(selected, (std::vector<int>{0, 3}));
+}
+
+TEST(KeywordSelectionTest, ConsumeQueriesAbsorbsCheapQueries) {
+  // Queries: {1} (x3), {2,3}, {4,5,6}. Budget 3: absorb {1} (1 new term),
+  // then {2,3} (2 new) -> {1,2,3}.
+  const std::vector<SparseQuery> queries = {{1}, {1}, {1}, {2, 3}, {4, 5, 6}};
+  const auto selected =
+      SelectKeywordsConsumeQueries(queries, {1, 2, 3, 4, 5, 6}, 3);
+  EXPECT_EQ(selected, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(CountSatisfiedConjunctive(queries, selected), 4);
+}
+
+TEST(KeywordSelectionTest, ConsumeQueriesSkipsOversizedAndFills) {
+  // Only {7,8,9} is coverable but needs 3 > budget 2; fill by frequency.
+  const std::vector<SparseQuery> queries = {{7, 8, 9}, {7}, {8}};
+  const auto selected = SelectKeywordsConsumeQueries(queries, {7, 8, 9}, 2);
+  // {7} absorbed (1 new), then {8} (1 new); {7,8,9} never fits.
+  EXPECT_EQ(selected, (std::vector<int>{7, 8}));
+}
+
+TEST(KeywordSelectionTest, ConsumeQueriesIgnoresUncoverableQueries) {
+  // Query {5} uses a non-candidate keyword: never satisfiable.
+  const std::vector<SparseQuery> queries = {{5}, {1, 2}};
+  const auto selected = SelectKeywordsConsumeQueries(queries, {1, 2}, 2);
+  EXPECT_EQ(selected, (std::vector<int>{1, 2}));
+  EXPECT_EQ(CountSatisfiedConjunctive(queries, selected), 1);
+}
+
+TEST(KeywordSelectionTest, MaxCoverageCoversDistinctQueries) {
+  // Term 1 covers queries 0-2; after that term 8 covers query 3 even
+  // though term 2 has higher raw frequency.
+  const std::vector<SparseQuery> queries = {{1, 2}, {1, 2}, {1, 2}, {8}};
+  const auto selected = SelectKeywordsMaxCoverage(queries, {1, 2, 8}, 2);
+  EXPECT_EQ(selected, (std::vector<int>{1, 8}));
+  EXPECT_EQ(CountSatisfiedDisjunctive(queries, selected), 4);
+}
+
+TEST(KeywordSelectionTest, TopkBm25SelectsWinnableKeywords) {
+  Vocabulary vocab;
+  TextIndex index;
+  // A crowded "apartment downtown" market and an uncontested "loft garden"
+  // niche.
+  for (int i = 0; i < 6; ++i) {
+    index.AddDocument(
+        "apartment downtown apartment downtown apartment downtown", vocab);
+  }
+  index.AddDocument("house suburb", vocab);
+  const int apartment = vocab.Find("apartment");
+  const int downtown = vocab.Find("downtown");
+  const int loft = vocab.Intern("loft");
+  const int garden = vocab.Intern("garden");
+
+  std::vector<SparseQuery> queries;
+  for (int i = 0; i < 4; ++i) queries.push_back({apartment, downtown});
+  for (int i = 0; i < 3; ++i) queries.push_back({loft, garden});
+
+  // With k = 2 the six heavy apartment ads outrank a thin new ad, so the
+  // loft/garden queries are the winnable ones.
+  const TopkKeywordResult result = SelectKeywordsTopkBm25(
+      index, queries, {apartment, downtown, loft, garden}, 2, 2);
+  EXPECT_EQ(result.selected, (std::vector<int>{loft, garden}));
+  EXPECT_EQ(result.satisfied_queries, 3);
+}
+
+TEST(KeywordSelectionTest, TopkCountRequiresAllQueryTerms) {
+  Vocabulary vocab;
+  TextIndex index;
+  index.AddDocument("boat", vocab);
+  const int boat = vocab.Find("boat");
+  const int trailer = vocab.Intern("trailer");
+  const std::vector<SparseQuery> queries = {{boat, trailer}};
+  // Ad containing only "boat" does not conjunctively satisfy the query.
+  EXPECT_EQ(CountTopkSatisfied(index, queries, {boat}, 5), 0);
+  EXPECT_EQ(CountTopkSatisfied(index, queries, {boat, trailer}, 5), 1);
+}
+
+}  // namespace
+}  // namespace soc::text

@@ -1,0 +1,142 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.h"
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+// Exhaustive SOC-Topk reference: try every m-subset of t, score with the
+// top-k evaluator directly (no reduction involved).
+int BruteForceTopkOptimum(const BooleanTable& db, const GlobalScoring& scoring,
+                          const QueryLog& log, const DynamicBitset& t, int m,
+                          int k) {
+  const std::vector<int> pool = t.SetBits();
+  const int m_eff = std::min<int>(m, static_cast<int>(pool.size()));
+  int best = 0;
+  ForEachCombination(pool, m_eff, [&](const std::vector<int>& combo) {
+    DynamicBitset candidate(log.num_attributes());
+    for (int attr : combo) candidate.Set(attr);
+    best = std::max(best, CountTopkSatisfied(db, scoring, log, candidate, k));
+    return true;
+  });
+  return best;
+}
+
+TEST(TopkTest, RetrievalRequiresConjunctiveMatch) {
+  const BooleanTable db = testdata::PaperDatabase();
+  const GlobalScoring scoring = MakeAttributeCountScoring(db);
+  const DynamicBitset q = DynamicBitset::FromString("100100");  // AC, PD.
+  const DynamicBitset t_prime = DynamicBitset::FromString("110000");
+  EXPECT_FALSE(TopkRetrieves(db, scoring, q, t_prime, /*k=*/10));
+}
+
+TEST(TopkTest, LargeKDegeneratesToConjunctive) {
+  // With k >= |DB|+1 every matching tuple is in the top-k.
+  const BooleanTable db = testdata::PaperDatabase();
+  const QueryLog log = testdata::PaperQueryLog();
+  const GlobalScoring scoring = MakeAttributeCountScoring(db);
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const int k = db.num_rows() + 1;
+  for (int m = 1; m <= 5; ++m) {
+    BruteForceSolver base;
+    auto topk = SolveTopk(base, db, scoring, log, t, m, k);
+    auto plain = base.Solve(log, t, m);
+    ASSERT_TRUE(topk.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(topk->satisfied_queries, plain->satisfied_queries) << m;
+  }
+}
+
+TEST(TopkTest, SmallKFiltersCrowdedQueries) {
+  // Query {FourDoor}: matched by 5 cars. With attribute-count scoring and
+  // m=1 the compressed tuple scores 1, below all five (every matching car
+  // has >= 2 attributes), so with k=3 the query is unwinnable.
+  const BooleanTable db = testdata::PaperDatabase();
+  QueryLog log(testdata::PaperSchema());
+  log.AddQueryFromIndices({1});
+  const GlobalScoring scoring = MakeAttributeCountScoring(db);
+  const DynamicBitset t = testdata::PaperNewTuple();
+  const QueryLog reduced =
+      ReduceTopkToConjunctive(db, scoring, log, t, /*m_eff=*/1, /*k=*/3);
+  EXPECT_EQ(reduced.size(), 0);
+  // With the full budget (m_eff = |t| = 5) the compressed tuple scores 5;
+  // cars matching {FourDoor} have counts 2,2,4,2,2, so none beats it and
+  // the query becomes winnable.
+  const QueryLog reduced_big =
+      ReduceTopkToConjunctive(db, scoring, log, t, /*m_eff=*/5, /*k=*/2);
+  EXPECT_EQ(reduced_big.size(), 1);
+}
+
+TEST(TopkTest, StaticScoringOrdersByPrice) {
+  // Cheaper is better: negate prices. New car is priced 10; db cars priced
+  // 8 and 15. With k=1, a query matched by the 8-priced car is unwinnable.
+  BooleanTable db(AttributeSchema::Anonymous(2));
+  db.AddRow(DynamicBitset::FromString("11"));  // price 8
+  db.AddRow(DynamicBitset::FromString("10"));  // price 15
+  QueryLog log(db.schema());
+  log.AddQueryFromIndices({0});      // Matched by both cars.
+  log.AddQueryFromIndices({1});      // Matched by the price-8 car.
+  const GlobalScoring scoring = MakeStaticScoring({-8.0, -15.0}, -10.0);
+  DynamicBitset t(2);
+  t.SetAll();
+  // k=1: both queries blocked by the price-8 car.
+  EXPECT_EQ(CountTopkSatisfied(db, scoring, log, t, 1), 0);
+  // k=2: now the new car is second for both queries... query {a0} has two
+  // matching cars but only one (price 8) beats price 10.
+  EXPECT_EQ(CountTopkSatisfied(db, scoring, log, t, 2), 2);
+}
+
+TEST(TopkTest, PessimisticTieBreak) {
+  // A db tuple with the *same* score as the new tuple outranks it.
+  BooleanTable db(AttributeSchema::Anonymous(2));
+  db.AddRow(DynamicBitset::FromString("10"));  // 1 attribute, score 1.
+  QueryLog log(db.schema());
+  log.AddQueryFromIndices({0});
+  const GlobalScoring scoring = MakeAttributeCountScoring(db);
+  DynamicBitset t = DynamicBitset::FromString("10");
+  // m=1: new tuple scores 1, tied with the db tuple -> loses with k=1.
+  EXPECT_EQ(CountTopkSatisfied(db, scoring, log, t, 1), 0);
+  EXPECT_EQ(CountTopkSatisfied(db, scoring, log, t, 2), 1);
+}
+
+TEST(TopkTest, ReductionMatchesDirectEvaluationOnRandomInstances) {
+  Rng rng(808);
+  for (int trial = 0; trial < 12; ++trial) {
+    const AttributeSchema schema = AttributeSchema::Anonymous(8);
+    BooleanTable db(schema);
+    const int rows = rng.NextInt(3, 12);
+    for (int r = 0; r < rows; ++r) {
+      DynamicBitset row(8);
+      for (int a = 0; a < 8; ++a) {
+        if (rng.NextBernoulli(0.5)) row.Set(a);
+      }
+      db.AddRow(std::move(row));
+    }
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 25;
+    wl.seed = 600 + trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(8);
+    for (int a = 0; a < 8; ++a) {
+      if (rng.NextBernoulli(0.7)) t.Set(a);
+    }
+    const GlobalScoring scoring = MakeAttributeCountScoring(db);
+    const int m = rng.NextInt(1, 5);
+    const int k = rng.NextInt(1, 4);
+
+    BruteForceSolver base;
+    auto solution = SolveTopk(base, db, scoring, log, t, m, k);
+    ASSERT_TRUE(solution.ok()) << "trial " << trial;
+    const int reference = BruteForceTopkOptimum(db, scoring, log, t, m, k);
+    EXPECT_EQ(solution->satisfied_queries, reference) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace soc

@@ -1,0 +1,96 @@
+#include "itemsets/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace soc::itemsets {
+namespace {
+
+TransactionDatabase MakeSmallDb() {
+  // 4 transactions over 5 items.
+  std::vector<DynamicBitset> rows = {
+      DynamicBitset::FromString("11010"),
+      DynamicBitset::FromString("01110"),
+      DynamicBitset::FromString("11000"),
+      DynamicBitset::FromString("00011"),
+  };
+  return TransactionDatabase(std::move(rows));
+}
+
+TEST(TransactionDbTest, Dimensions) {
+  TransactionDatabase db = MakeSmallDb();
+  EXPECT_EQ(db.num_items(), 5);
+  EXPECT_EQ(db.num_transactions(), 4);
+}
+
+TEST(TransactionDbTest, VerticalColumnsMatchRows) {
+  TransactionDatabase db = MakeSmallDb();
+  // Item 1 appears in transactions 0, 1, 2.
+  EXPECT_EQ(db.item_tids(1).SetBits(), (std::vector<int>{0, 1, 2}));
+  // Item 4 appears only in transaction 3.
+  EXPECT_EQ(db.item_tids(4).SetBits(), (std::vector<int>{3}));
+  for (int i = 0; i < db.num_items(); ++i) {
+    for (int t = 0; t < db.num_transactions(); ++t) {
+      EXPECT_EQ(db.item_tids(i).Test(t), db.transaction(t).Test(i));
+    }
+  }
+}
+
+TEST(TransactionDbTest, SupportOfItemsets) {
+  TransactionDatabase db = MakeSmallDb();
+  EXPECT_EQ(db.Support(DynamicBitset::FromString("10000")), 2);  // {0}
+  EXPECT_EQ(db.Support(DynamicBitset::FromString("11000")), 2);  // {0,1}
+  EXPECT_EQ(db.Support(DynamicBitset::FromString("01100")), 1);  // {1,2}
+  EXPECT_EQ(db.Support(DynamicBitset::FromString("10001")), 0);  // {0,4}
+}
+
+TEST(TransactionDbTest, EmptyItemsetSupportedByAll) {
+  TransactionDatabase db = MakeSmallDb();
+  EXPECT_EQ(db.Support(DynamicBitset(5)), 4);
+}
+
+TEST(TransactionDbTest, TidsIntersection) {
+  TransactionDatabase db = MakeSmallDb();
+  DynamicBitset tids = db.Tids(DynamicBitset::FromString("01000"));
+  EXPECT_EQ(tids.SetBits(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(db.ExtensionSupport(tids, 0), 2);
+  EXPECT_EQ(db.ExtensionSupport(tids, 2), 1);
+  EXPECT_EQ(db.ExtensionSupport(tids, 4), 0);
+}
+
+TEST(TransactionDbTest, ItemSupports) {
+  TransactionDatabase db = MakeSmallDb();
+  EXPECT_EQ(db.ItemSupports(), (std::vector<int>{2, 3, 1, 3, 1}));
+}
+
+TEST(TransactionDbTest, FromComplementedQueryLog) {
+  // Complementing the paper's query log: ~q1 = 001111.
+  TransactionDatabase db =
+      TransactionDatabase::FromComplementedQueryLog(testdata::PaperQueryLog());
+  EXPECT_EQ(db.num_transactions(), 5);
+  EXPECT_EQ(db.num_items(), 6);
+  EXPECT_EQ(db.transaction(0).ToString(), "001111");
+  // freq(~t) over ~Q == number of queries disjoint from ~t == number of
+  // queries contained in t.
+  DynamicBitset t = testdata::PaperNewTuple();
+  EXPECT_EQ(db.Support(t.Complement()), 4);
+}
+
+TEST(TransactionDbTest, FromBooleanTable) {
+  TransactionDatabase db =
+      TransactionDatabase::FromBooleanTable(testdata::PaperDatabase());
+  EXPECT_EQ(db.num_transactions(), 7);
+  // FourDoor (item 1) appears in 5 cars.
+  EXPECT_EQ(db.item_tids(1).Count(), 5u);
+}
+
+TEST(TransactionDbTest, EmptyDatabase) {
+  TransactionDatabase db((std::vector<DynamicBitset>()));
+  EXPECT_EQ(db.num_items(), 0);
+  EXPECT_EQ(db.num_transactions(), 0);
+  EXPECT_EQ(db.Support(DynamicBitset(0)), 0);
+}
+
+}  // namespace
+}  // namespace soc::itemsets

@@ -1,0 +1,205 @@
+#include "core/variants.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+TEST(SocCbDTest, PaperExampleDominatesFourTuples) {
+  // Sec II.B: m = 4 retaining {AC, FourDoor, PowerDoors, PowerBrakes}
+  // dominates t1, t4, t5, t6; nothing dominates more.
+  const BooleanTable db = testdata::PaperDatabase();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  BruteForceSolver exact;
+  auto solution = SolveSocCbD(exact, db, t, 4);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->satisfied_queries, 4);
+  EXPECT_EQ(solution->selected, DynamicBitset::FromString("110101"));
+}
+
+TEST(SocCbDTest, DatabaseAsQueryLogPreservesRows) {
+  const BooleanTable db = testdata::PaperDatabase();
+  const QueryLog log = DatabaseAsQueryLog(db);
+  ASSERT_EQ(log.size(), db.num_rows());
+  for (int i = 0; i < db.num_rows(); ++i) {
+    EXPECT_EQ(log.query(i), db.row(i));
+  }
+}
+
+TEST(SocCbDTest, DominationObjectiveMatchesEvaluator) {
+  const BooleanTable db = testdata::PaperDatabase();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  BruteForceSolver exact;
+  for (int m = 0; m <= 6; ++m) {
+    auto solution = SolveSocCbD(exact, db, t, m);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_EQ(solution->satisfied_queries,
+              db.CountDominatedBy(solution->selected));
+  }
+}
+
+TEST(SocCbDTest, PerAttributeVersionComposes) {
+  // Sec II.B: "SOC-CB-D also has a natural per-attribute version" — it is
+  // the per-attribute solver over the database-as-query-log.
+  const BooleanTable db = testdata::PaperDatabase();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  BruteForceSolver exact;
+  const QueryLog as_log = DatabaseAsQueryLog(db);
+  auto best = SolvePerAttribute(exact, as_log, t);
+  ASSERT_TRUE(best.ok());
+  EXPECT_GE(best->chosen_m, 1);
+  // The ratio dominates every fixed-m domination count / m.
+  for (int m = 1; m <= 5; ++m) {
+    auto fixed = SolveSocCbD(exact, db, t, m);
+    ASSERT_TRUE(fixed.ok());
+    EXPECT_GE(best->ratio + 1e-9,
+              static_cast<double>(fixed->satisfied_queries) / m);
+  }
+}
+
+TEST(PerAttributeTest, MaximizesSatisfiedPerAttribute) {
+  // Log: 10 copies of {a0}, 4 copies of {a1,a2}.
+  QueryLog log(AttributeSchema::Anonymous(3));
+  for (int i = 0; i < 10; ++i) log.AddQueryFromIndices({0});
+  for (int i = 0; i < 4; ++i) log.AddQueryFromIndices({1, 2});
+  DynamicBitset t(3);
+  t.SetAll();
+  BruteForceSolver exact;
+  auto best = SolvePerAttribute(exact, log, t);
+  ASSERT_TRUE(best.ok());
+  // m=1 -> 10/1 = 10; m=3 -> 14/3 ≈ 4.7; m=2 -> 10/2 = 5.
+  EXPECT_EQ(best->chosen_m, 1);
+  EXPECT_DOUBLE_EQ(best->ratio, 10.0);
+  EXPECT_TRUE(best->solution.selected.Test(0));
+}
+
+TEST(PerAttributeTest, PrefersSmallerMOnTies) {
+  // {a0} and {a1} each appear 3 times; every m has ratio 3.
+  QueryLog log(AttributeSchema::Anonymous(2));
+  for (int i = 0; i < 3; ++i) log.AddQueryFromIndices({0});
+  for (int i = 0; i < 3; ++i) log.AddQueryFromIndices({1});
+  DynamicBitset t(2);
+  t.SetAll();
+  BruteForceSolver exact;
+  auto best = SolvePerAttribute(exact, log, t);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->chosen_m, 1);
+}
+
+TEST(PerAttributeTest, EmptyTupleRejected) {
+  QueryLog log(AttributeSchema::Anonymous(2));
+  BruteForceSolver exact;
+  auto best = SolvePerAttribute(exact, log, DynamicBitset(2));
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PerAttributeTest, RatioIsOptimalAcrossAllBudgets) {
+  Rng rng(4242);
+  const AttributeSchema schema = AttributeSchema::Anonymous(8);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 30;
+  wl.seed = 77;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset t(8);
+  t.SetAll();
+  BruteForceSolver exact;
+  auto best = SolvePerAttribute(exact, log, t);
+  ASSERT_TRUE(best.ok());
+  for (int m = 1; m <= 8; ++m) {
+    auto solution = exact.Solve(log, t, m);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_GE(best->ratio + 1e-9,
+              static_cast<double>(solution->satisfied_queries) / m);
+  }
+}
+
+TEST(DisjunctiveTest, PaperExampleSingleAttributeCoverage) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  // PowerDoors intersects q2, q3, q4 — the best single attribute.
+  auto brute = SolveDisjunctiveBruteForce(log, t, 1);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(brute->satisfied_queries, 3);
+  EXPECT_TRUE(brute->selected.Test(3));
+}
+
+TEST(DisjunctiveTest, FullCoverageWithTwoAttributes) {
+  const QueryLog log = testdata::PaperQueryLog();
+  const DynamicBitset t = testdata::PaperNewTuple();
+  // {PowerDoors, AutoTrans} hits q2..q5 plus... q1 = {AC, FourDoor} is
+  // missed; the optimum with m=2 covers 4 queries (e.g. PowerDoors + AC
+  // hits q1,q2,q3,q4).
+  auto brute = SolveDisjunctiveBruteForce(log, t, 2);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(brute->satisfied_queries, 4);
+  auto ilp = SolveDisjunctiveIlp(log, t, 2);
+  ASSERT_TRUE(ilp.ok());
+  EXPECT_EQ(ilp->satisfied_queries, 4);
+}
+
+TEST(DisjunctiveTest, GreedyWithinConstantFactor) {
+  // Weighted max-coverage greedy achieves >= (1 - 1/e) of the optimum.
+  Rng rng(2024);
+  const AttributeSchema schema = AttributeSchema::Anonymous(10);
+  for (int trial = 0; trial < 15; ++trial) {
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 50;
+    wl.seed = trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(10);
+    for (int a = 0; a < 10; ++a) {
+      if (rng.NextBernoulli(0.7)) t.Set(a);
+    }
+    const int m = rng.NextInt(1, 5);
+    auto exact = SolveDisjunctiveBruteForce(log, t, m);
+    auto greedy = SolveDisjunctiveGreedy(log, t, m);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(greedy->satisfied_queries, exact->satisfied_queries);
+    EXPECT_GE(greedy->satisfied_queries + 1e-9,
+              (1.0 - 1.0 / 2.718281828) * exact->satisfied_queries)
+        << "trial " << trial;
+  }
+}
+
+TEST(DisjunctiveTest, IlpMatchesBruteForceOnRandomInstances) {
+  Rng rng(555);
+  const AttributeSchema schema = AttributeSchema::Anonymous(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 25;
+    wl.seed = 300 + trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    DynamicBitset t(9);
+    for (int a = 0; a < 9; ++a) {
+      if (rng.NextBernoulli(0.6)) t.Set(a);
+    }
+    const int m = rng.NextInt(0, 4);
+    auto exact = SolveDisjunctiveBruteForce(log, t, m);
+    auto ilp = SolveDisjunctiveIlp(log, t, m);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(ilp.ok());
+    EXPECT_EQ(ilp->satisfied_queries, exact->satisfied_queries)
+        << "trial " << trial;
+  }
+}
+
+TEST(DisjunctiveTest, EmptyQueryNeverCoveredDisjunctively) {
+  QueryLog log(AttributeSchema::Anonymous(3));
+  log.AddQuery(DynamicBitset(3));
+  DynamicBitset t(3);
+  t.SetAll();
+  auto exact = SolveDisjunctiveBruteForce(log, t, 3);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->satisfied_queries, 0);
+}
+
+}  // namespace
+}  // namespace soc

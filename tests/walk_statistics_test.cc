@@ -1,0 +1,116 @@
+// Statistical behavior of the two-phase random walk: coverage of all
+// maximal itemsets across repeated walks, stopping-rule behavior, and
+// seed-sensitivity.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "itemsets/maximal_dfs.h"
+#include "itemsets/random_walk.h"
+#include "itemsets/transaction_db.h"
+
+namespace soc::itemsets {
+namespace {
+
+TransactionDatabase MakeDb() {
+  // Three clearly separated maximal itemsets at support 2:
+  // {0,1,2}, {2,3}, {4,5}.
+  std::vector<DynamicBitset> rows = {
+      DynamicBitset::FromString("111000"), DynamicBitset::FromString("111000"),
+      DynamicBitset::FromString("001100"), DynamicBitset::FromString("001100"),
+      DynamicBitset::FromString("000011"), DynamicBitset::FromString("000011"),
+  };
+  return TransactionDatabase(std::move(rows));
+}
+
+TEST(WalkStatisticsTest, EveryMaximalItemsetIsReachable) {
+  const TransactionDatabase db = MakeDb();
+  auto expected = MineMaximalItemsetsDfs(db, 2);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 3u);
+
+  Rng rng(4242);
+  std::map<DynamicBitset, int> hits;
+  const int walks = 600;
+  for (int i = 0; i < walks; ++i) {
+    hits[TwoPhaseRandomWalk(db, 2, rng).items] += 1;
+  }
+  // All three maximal itemsets are hit, each a nontrivial share of times.
+  ASSERT_EQ(hits.size(), 3u);
+  for (const auto& [itemset, count] : hits) {
+    EXPECT_TRUE(IsMaximalFrequent(db, itemset, 2));
+    EXPECT_GT(count, walks / 20) << itemset.ToString();
+  }
+}
+
+TEST(WalkStatisticsTest, StoppingRuleScalesWithDiversity) {
+  // A database with many maximal itemsets requires more walks before every
+  // one has been seen twice than a database with a single one.
+  std::vector<DynamicBitset> single_rows = {DynamicBitset::FromString("1111"),
+                                            DynamicBitset::FromString("1111")};
+  TransactionDatabase single(std::move(single_rows));
+  RandomWalkStats single_stats;
+  RandomWalkOptions options;
+  options.min_iterations = 4;
+  auto single_result =
+      MineMaximalItemsetsRandomWalk(single, 1, options, &single_stats);
+  ASSERT_TRUE(single_result.ok());
+
+  const TransactionDatabase diverse = MakeDb();
+  RandomWalkStats diverse_stats;
+  auto diverse_result =
+      MineMaximalItemsetsRandomWalk(diverse, 2, options, &diverse_stats);
+  ASSERT_TRUE(diverse_result.ok());
+
+  EXPECT_EQ(single_stats.distinct_maximal, 1);
+  EXPECT_EQ(diverse_stats.distinct_maximal, 3);
+  EXPECT_GE(diverse_stats.walks, single_stats.walks);
+  EXPECT_TRUE(single_stats.stopped_by_rule);
+}
+
+TEST(WalkStatisticsTest, DifferentSeedsSameItemsets) {
+  const TransactionDatabase db = MakeDb();
+  RandomWalkOptions a_options;
+  a_options.seed = 1;
+  RandomWalkOptions b_options;
+  b_options.seed = 2;
+  auto a = MineMaximalItemsetsRandomWalk(db, 2, a_options);
+  auto b = MineMaximalItemsetsRandomWalk(db, 2, b_options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Order may differ; compare as sets.
+  std::map<DynamicBitset, int> sa, sb;
+  for (const auto& f : *a) sa[f.items] = f.support;
+  for (const auto& f : *b) sb[f.items] = f.support;
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(WalkStatisticsTest, WalkCapRespected) {
+  const TransactionDatabase db = MakeDb();
+  RandomWalkOptions options;
+  options.max_iterations = 3;
+  options.min_iterations = 1;
+  RandomWalkStats stats;
+  auto result = MineMaximalItemsetsRandomWalk(db, 2, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(stats.walks, 3);
+  EXPECT_FALSE(stats.stopped_by_rule);
+}
+
+TEST(WalkStatisticsTest, DownPhaseAloneSufficesOnUniformDb) {
+  // Every transaction identical: the only maximal itemset is the full
+  // transaction, reached regardless of randomness.
+  std::vector<DynamicBitset> rows(4, DynamicBitset::FromString("0110"));
+  TransactionDatabase db(std::move(rows));
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const FrequentItemset found = TwoPhaseRandomWalk(db, 3, rng);
+    EXPECT_EQ(found.items.ToString(), "0110");
+    EXPECT_EQ(found.support, 4);
+  }
+}
+
+}  // namespace
+}  // namespace soc::itemsets

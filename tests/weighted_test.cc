@@ -1,0 +1,133 @@
+#include "core/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "datagen/workload.h"
+#include "paper_example.h"
+
+namespace soc {
+namespace {
+
+TEST(WeightedTest, FromLogCollapsesDuplicates) {
+  QueryLog log(AttributeSchema::Anonymous(4));
+  for (int i = 0; i < 7; ++i) log.AddQueryFromIndices({0, 1});
+  for (int i = 0; i < 2; ++i) log.AddQueryFromIndices({2});
+  const WeightedSocInstance instance = WeightedSocInstance::FromLog(log);
+  EXPECT_EQ(instance.queries.size(), 2);
+  EXPECT_EQ(instance.weights, (std::vector<int>{7, 2}));
+  EXPECT_EQ(instance.total_weight, 9);
+}
+
+TEST(WeightedTest, WeightedObjectiveMatchesRawLog) {
+  Rng rng(314);
+  const AttributeSchema schema = AttributeSchema::Anonymous(10);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 300;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  const WeightedSocInstance instance = WeightedSocInstance::FromLog(log);
+  EXPECT_LT(instance.queries.size(), log.size());
+  for (int trial = 0; trial < 20; ++trial) {
+    DynamicBitset t(10);
+    for (int a = 0; a < 10; ++a) {
+      if (rng.NextBernoulli(0.5)) t.Set(a);
+    }
+    EXPECT_EQ(CountSatisfiedWeight(instance, t),
+              CountSatisfiedQueries(log, t));
+  }
+}
+
+TEST(WeightedTest, ExactSolversMatchUnweightedOptimum) {
+  Rng rng(2718);
+  const AttributeSchema schema = AttributeSchema::Anonymous(12);
+  const BruteForceSolver reference;
+  for (int trial = 0; trial < 15; ++trial) {
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 150;
+    wl.seed = trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    const WeightedSocInstance instance = WeightedSocInstance::FromLog(log);
+    DynamicBitset t(12);
+    for (int a = 0; a < 12; ++a) {
+      if (rng.NextBernoulli(0.65)) t.Set(a);
+    }
+    const int m = rng.NextInt(0, 6);
+    auto expected = reference.Solve(log, t, m);
+    ASSERT_TRUE(expected.ok());
+    auto brute = SolveWeightedBruteForce(instance, t, m);
+    ASSERT_TRUE(brute.ok());
+    EXPECT_EQ(brute->satisfied_weight, expected->satisfied_queries)
+        << "trial " << trial;
+    EXPECT_TRUE(brute->proved_optimal);
+    auto bnb = SolveWeightedBnb(instance, t, m);
+    ASSERT_TRUE(bnb.ok());
+    EXPECT_EQ(bnb->satisfied_weight, expected->satisfied_queries)
+        << "trial " << trial;
+  }
+}
+
+TEST(WeightedTest, WeightsChangeTheOptimum) {
+  // Unweighted: two distinct queries {0,1} and {2} — at m=1 only {2}
+  // (weight 1 each, {0,1} needs two attrs). Weighted: {2}'s multiplicity 1
+  // vs {3}'s 5 decides.
+  QueryLog log(AttributeSchema::Anonymous(4));
+  log.AddQueryFromIndices({2});
+  for (int i = 0; i < 5; ++i) log.AddQueryFromIndices({3});
+  const WeightedSocInstance instance = WeightedSocInstance::FromLog(log);
+  DynamicBitset t(4);
+  t.SetAll();
+  auto solution = SolveWeightedBnb(instance, t, 1);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->satisfied_weight, 5);
+  EXPECT_TRUE(solution->selected.Test(3));
+}
+
+TEST(WeightedTest, GreedyBoundedByExact) {
+  Rng rng(161803);
+  const AttributeSchema schema = AttributeSchema::Anonymous(10);
+  for (int trial = 0; trial < 10; ++trial) {
+    datagen::SyntheticWorkloadOptions wl;
+    wl.num_queries = 120;
+    wl.seed = 50 + trial;
+    const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+    const WeightedSocInstance instance = WeightedSocInstance::FromLog(log);
+    DynamicBitset t(10);
+    for (int a = 0; a < 10; ++a) {
+      if (rng.NextBernoulli(0.7)) t.Set(a);
+    }
+    const int m = rng.NextInt(1, 5);
+    auto exact = SolveWeightedBruteForce(instance, t, m);
+    ASSERT_TRUE(exact.ok());
+    for (GreedyKind kind :
+         {GreedyKind::kConsumeAttr, GreedyKind::kConsumeAttrCumul}) {
+      auto greedy = SolveWeightedGreedy(instance, t, m, kind);
+      ASSERT_TRUE(greedy.ok());
+      EXPECT_LE(greedy->satisfied_weight, exact->satisfied_weight);
+      EXPECT_EQ(greedy->selected.Count(),
+                static_cast<std::size_t>(std::min<int>(m, t.Count())));
+    }
+  }
+}
+
+TEST(WeightedTest, ConsumeQueriesUnimplemented) {
+  const WeightedSocInstance instance =
+      WeightedSocInstance::FromLog(testdata::PaperQueryLog());
+  auto result = SolveWeightedGreedy(instance, testdata::PaperNewTuple(), 2,
+                                    GreedyKind::kConsumeQueries);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(WeightedTest, PaperExampleWeighted) {
+  const WeightedSocInstance instance =
+      WeightedSocInstance::FromLog(testdata::PaperQueryLog());
+  // No duplicates in the paper log: weights all 1, optimum 3 at m=3.
+  EXPECT_EQ(instance.queries.size(), 5);
+  auto solution = SolveWeightedBnb(instance, testdata::PaperNewTuple(), 3);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->satisfied_weight, 3);
+}
+
+}  // namespace
+}  // namespace soc

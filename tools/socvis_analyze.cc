@@ -1,0 +1,120 @@
+// socvis_analyze: per-attribute marginal-visibility report for a new tuple
+// against a query log (forced-in vs forced-out optimum for each feature).
+//
+// Usage:
+//   socvis_analyze --log=log.csv --tuple=110111 --m=5 [--solver=NAME] [--json]
+//   socvis_analyze --log=log.csv --dataset=cars.csv --tuple-row=17 --m=5
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "boolean/table.h"
+#include "common/json_writer.h"
+#include "common/string_util.h"
+#include "core/attribute_analysis.h"
+#include "core/solver_registry.h"
+
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "socvis_analyze: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+
+  const std::string log_path = GetFlag(argc, argv, "log", "");
+  const std::string m_flag = GetFlag(argc, argv, "m", "");
+  if (log_path.empty() || m_flag.empty()) {
+    return Fail(
+        "usage: socvis_analyze --log=log.csv --m=N "
+        "(--tuple=BITSTRING | --dataset=cars.csv --tuple-row=R) "
+        "[--solver=NAME] [--json]");
+  }
+  std::ifstream log_file(log_path, std::ios::binary);
+  if (!log_file) return Fail("cannot open " + log_path);
+  std::ostringstream buffer;
+  buffer << log_file.rdbuf();
+  auto log = QueryLog::FromCsv(buffer.str());
+  if (!log.ok()) return Fail(log.status().ToString());
+
+  DynamicBitset tuple;
+  const std::string tuple_bits = GetFlag(argc, argv, "tuple", "");
+  const std::string dataset_path = GetFlag(argc, argv, "dataset", "");
+  if (!tuple_bits.empty()) {
+    if (static_cast<int>(tuple_bits.size()) != log->num_attributes()) {
+      return Fail("--tuple length must equal the log's attribute count");
+    }
+    tuple = DynamicBitset::FromString(tuple_bits);
+  } else if (!dataset_path.empty()) {
+    auto dataset = BooleanTable::LoadCsvFile(dataset_path);
+    if (!dataset.ok()) return Fail(dataset.status().ToString());
+    const int row = std::atoi(GetFlag(argc, argv, "tuple-row", "0").c_str());
+    if (row < 0 || row >= dataset->num_rows()) {
+      return Fail("--tuple-row out of range");
+    }
+    tuple = dataset->row(row);
+  } else {
+    return Fail("need --tuple or --dataset/--tuple-row");
+  }
+
+  const int m = std::atoi(m_flag.c_str());
+  auto solver =
+      CreateSolverByName(GetFlag(argc, argv, "solver", "BranchAndBound"));
+  if (!solver.ok()) return Fail(solver.status().ToString());
+
+  auto values = AnalyzeAttributeValues(**solver, *log, tuple, m);
+  if (!values.ok()) return Fail(values.status().ToString());
+
+  if (HasFlag(argc, argv, "json")) {
+    std::vector<JsonValue> rows;
+    for (const AttributeValue& value : *values) {
+      JsonValue row = JsonValue::Object();
+      row.Set("attribute",
+              JsonValue::String(log->schema().name(value.attribute)))
+          .Set("forced_in", JsonValue::Int(value.forced_in))
+          .Set("forced_out", JsonValue::Int(value.forced_out))
+          .Set("marginal", JsonValue::Int(value.marginal));
+      rows.push_back(std::move(row));
+    }
+    JsonValue report = JsonValue::Object();
+    report.Set("m", JsonValue::Int(m))
+        .Set("attributes", JsonValue::Array(std::move(rows)));
+    std::printf("%s\n", report.ToString().c_str());
+    return 0;
+  }
+
+  std::printf("marginal visibility at m=%d (%d queries):\n", m, log->size());
+  std::printf("%-20s %10s %10s %10s\n", "attribute", "forced-in",
+              "forced-out", "marginal");
+  for (const AttributeValue& value : *values) {
+    std::printf("%-20s %10d %10d %+10d\n",
+                log->schema().name(value.attribute).c_str(), value.forced_in,
+                value.forced_out, value.marginal);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// socvis_datagen: emit the synthetic evaluation datasets as CSV.
+//
+// Usage:
+//   socvis_datagen --what=cars               --rows=15211 --seed=2008 --out=cars.csv
+//   socvis_datagen --what=real-workload      --queries=185 --seed=7   --out=log.csv
+//   socvis_datagen --what=synthetic-workload --queries=2000 --seed=42 --out=log.csv
+//   socvis_datagen --what=synthetic-workload --attrs=64 ...
+//
+// The real-like workload needs attribute prevalences; it is generated
+// against a car dataset, either a fresh one (--rows/--dataset-seed) or a
+// previously saved CSV (--dataset=cars.csv).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/csv.h"
+#include "datagen/car_dataset.h"
+#include "datagen/workload.h"
+
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+long long GetIntFlag(int argc, char** argv, const std::string& name,
+                     long long default_value) {
+  const std::string value = GetFlag(argc, argv, name, "");
+  return value.empty() ? default_value : std::atoll(value.c_str());
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "socvis_datagen: %s\n", message.c_str());
+  return 1;
+}
+
+int WriteOut(const std::string& csv, const std::string& out) {
+  if (out.empty() || out == "-") {
+    std::fputs(csv.c_str(), stdout);
+    return 0;
+  }
+  soc::CsvTable parsed;
+  auto reparsed = soc::ParseCsv(csv, /*has_header=*/true);
+  if (!reparsed.ok()) return Fail(reparsed.status().ToString());
+  const soc::Status status = soc::WriteCsvFile(*reparsed, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  const std::string what = GetFlag(argc, argv, "what", "");
+  const std::string out = GetFlag(argc, argv, "out", "-");
+
+  if (what == "cars") {
+    datagen::CarDatasetOptions options;
+    options.num_cars =
+        static_cast<int>(GetIntFlag(argc, argv, "rows",
+                                    datagen::kPaperCarCount));
+    options.seed = GetIntFlag(argc, argv, "seed", 2008);
+    return WriteOut(datagen::GenerateCarDataset(options).ToCsv(), out);
+  }
+
+  if (what == "synthetic-workload") {
+    const int attrs = static_cast<int>(
+        GetIntFlag(argc, argv, "attrs", datagen::kNumCarAttributes));
+    const AttributeSchema schema =
+        attrs == datagen::kNumCarAttributes ? datagen::CarSchema()
+                                            : AttributeSchema::Anonymous(attrs);
+    datagen::SyntheticWorkloadOptions options;
+    options.num_queries =
+        static_cast<int>(GetIntFlag(argc, argv, "queries", 2000));
+    options.seed = GetIntFlag(argc, argv, "seed", 42);
+    return WriteOut(datagen::MakeSyntheticWorkload(schema, options).ToCsv(),
+                    out);
+  }
+
+  if (what == "real-workload") {
+    BooleanTable dataset;
+    const std::string dataset_path = GetFlag(argc, argv, "dataset", "");
+    if (!dataset_path.empty()) {
+      auto loaded = BooleanTable::LoadCsvFile(dataset_path);
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      dataset = std::move(loaded).value();
+    } else {
+      datagen::CarDatasetOptions options;
+      options.num_cars =
+          static_cast<int>(GetIntFlag(argc, argv, "rows", 15211));
+      options.seed = GetIntFlag(argc, argv, "dataset-seed", 2008);
+      dataset = datagen::GenerateCarDataset(options);
+    }
+    datagen::RealLikeWorkloadOptions options;
+    options.num_queries = static_cast<int>(
+        GetIntFlag(argc, argv, "queries", datagen::kPaperRealWorkloadSize));
+    options.seed = GetIntFlag(argc, argv, "seed", 7);
+    return WriteOut(datagen::MakeRealLikeWorkload(dataset, options).ToCsv(),
+                    out);
+  }
+
+  return Fail(
+      "usage: socvis_datagen --what=cars|real-workload|synthetic-workload "
+      "[--rows=N] [--queries=N] [--attrs=N] [--seed=N] [--dataset=path] "
+      "[--out=path]");
+}

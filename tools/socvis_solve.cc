@@ -1,0 +1,209 @@
+// socvis_solve: run SOC-CB-QL on CSV inputs from the command line.
+//
+// Usage:
+//   socvis_solve --log=log.csv --tuple=110111 --m=3 [--solver=NAME | --all]
+//   socvis_solve --log=log.csv --dataset=cars.csv --tuple-row=17 --m=6 --all
+//
+// The query log is a 0/1 CSV with an attribute-name header (as written by
+// socvis_datagen / QueryLog::ToCsv). The new tuple is either a bitstring
+// over the log's attributes or a row of a dataset CSV with a matching
+// schema. --stats additionally prints query-log analytics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "boolean/log_stats.h"
+#include "common/json_writer.h"
+#include "boolean/table.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/solver_registry.h"
+#include "core/variants.h"
+
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "socvis_solve: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  return Fail(
+      "usage: socvis_solve --log=log.csv --m=N "
+      "(--tuple=BITSTRING | --dataset=cars.csv --tuple-row=R) "
+      "[--solver=NAME] [--all] [--stats] "
+      "[--variant=conjunctive|per-attribute|disjunctive]\n  solvers: " +
+      soc::Join(soc::RegisteredSolverNames(), ", ") +
+      "\n  per-attribute ignores --m; disjunctive supports solver "
+      "BruteForce, ILP or Greedy");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+
+  const std::string log_path = GetFlag(argc, argv, "log", "");
+  if (log_path.empty()) return Usage();
+  std::ifstream log_file(log_path, std::ios::binary);
+  if (!log_file) return Fail("cannot open " + log_path);
+  std::ostringstream log_buffer;
+  log_buffer << log_file.rdbuf();
+  auto log = QueryLog::FromCsv(log_buffer.str());
+  if (!log.ok()) return Fail(log.status().ToString());
+
+  // Resolve the new tuple.
+  DynamicBitset tuple;
+  const std::string tuple_bits = GetFlag(argc, argv, "tuple", "");
+  const std::string dataset_path = GetFlag(argc, argv, "dataset", "");
+  if (!tuple_bits.empty()) {
+    if (static_cast<int>(tuple_bits.size()) != log->num_attributes()) {
+      return Fail("--tuple length must equal the log's attribute count");
+    }
+    for (char c : tuple_bits) {
+      if (c != '0' && c != '1') return Fail("--tuple must be a 0/1 string");
+    }
+    tuple = DynamicBitset::FromString(tuple_bits);
+  } else if (!dataset_path.empty()) {
+    auto dataset = BooleanTable::LoadCsvFile(dataset_path);
+    if (!dataset.ok()) return Fail(dataset.status().ToString());
+    if (!(dataset->schema() == log->schema())) {
+      return Fail("dataset and log schemas differ");
+    }
+    const int row = std::atoi(GetFlag(argc, argv, "tuple-row", "0").c_str());
+    if (row < 0 || row >= dataset->num_rows()) {
+      return Fail("--tuple-row out of range");
+    }
+    tuple = dataset->row(row);
+  } else {
+    return Usage();
+  }
+
+  const std::string variant = GetFlag(argc, argv, "variant", "conjunctive");
+  const std::string m_flag = GetFlag(argc, argv, "m", "");
+  if (m_flag.empty() && variant != "per-attribute") return Usage();
+  const int m = m_flag.empty() ? 0 : std::atoi(m_flag.c_str());
+  if (m < 0) return Fail("--m must be nonnegative");
+
+  if (HasFlag(argc, argv, "stats")) {
+    std::fputs(FormatQueryLogStats(*log, ComputeQueryLogStats(*log)).c_str(),
+               stdout);
+    std::printf("\n");
+  }
+
+  if (variant == "per-attribute") {
+    // Maximize satisfied queries per advertised attribute (Sec II.B).
+    auto solver =
+        CreateSolverByName(GetFlag(argc, argv, "solver", "BranchAndBound"));
+    if (!solver.ok()) return Fail(solver.status().ToString());
+    auto best = SolvePerAttribute(**solver, *log, tuple);
+    if (!best.ok()) return Fail(best.status().ToString());
+    std::printf(
+        "per-attribute optimum: m=%d, %.3f satisfied per attribute "
+        "(%d total) with { ",
+        best->chosen_m, best->ratio, best->solution.satisfied_queries);
+    best->solution.selected.ForEachSetBit([&](int attr) {
+      std::printf("%s ", log->schema().name(attr).c_str());
+    });
+    std::printf("}\n");
+    return 0;
+  }
+  if (variant == "disjunctive") {
+    const std::string solver = GetFlag(argc, argv, "solver", "BruteForce");
+    StatusOr<SocSolution> solution =
+        solver == "BruteForce" ? SolveDisjunctiveBruteForce(*log, tuple, m)
+        : solver == "ILP"      ? SolveDisjunctiveIlp(*log, tuple, m)
+                               : SolveDisjunctiveGreedy(*log, tuple, m);
+    if (!solution.ok()) return Fail(solution.status().ToString());
+    std::printf("disjunctive (%s): %d/%d queries touched with { ",
+                solver.c_str(), solution->satisfied_queries, log->size());
+    solution->selected.ForEachSetBit([&](int attr) {
+      std::printf("%s ", log->schema().name(attr).c_str());
+    });
+    std::printf("}\n");
+    return 0;
+  }
+  if (variant != "conjunctive") return Usage();
+
+  std::vector<std::string> solver_names;
+  if (HasFlag(argc, argv, "all")) {
+    solver_names = RegisteredSolverNames();
+  } else {
+    solver_names.push_back(
+        GetFlag(argc, argv, "solver", "MaxFreqItemSets"));
+  }
+
+  const bool as_json = HasFlag(argc, argv, "json");
+  if (!as_json) {
+    std::printf("log: %d queries over %d attributes; |t| = %d; m = %d\n",
+                log->size(), log->num_attributes(),
+                static_cast<int>(tuple.Count()), m);
+  }
+  std::vector<JsonValue> json_results;
+  for (const std::string& name : solver_names) {
+    auto solver = CreateSolverByName(name);
+    if (!solver.ok()) return Fail(solver.status().ToString());
+    WallTimer timer;
+    auto solution = (*solver)->Solve(*log, tuple, m);
+    const double ms = timer.ElapsedMillis();
+    if (!solution.ok()) {
+      if (!as_json) {
+        std::printf("%-20s FAILED: %s\n", name.c_str(),
+                    solution.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (as_json) {
+      std::vector<JsonValue> attrs;
+      solution->selected.ForEachSetBit([&](int attr) {
+        attrs.push_back(JsonValue::String(log->schema().name(attr)));
+      });
+      JsonValue entry = JsonValue::Object();
+      entry.Set("solver", JsonValue::String(name))
+          .Set("satisfied_queries",
+               JsonValue::Int(solution->satisfied_queries))
+          .Set("selected", JsonValue::Array(std::move(attrs)))
+          .Set("proved_optimal", JsonValue::Bool(solution->proved_optimal))
+          .Set("milliseconds", JsonValue::Number(ms));
+      json_results.push_back(std::move(entry));
+      continue;
+    }
+    std::printf("%-20s %4d satisfied  %9.2f ms  { ", name.c_str(),
+                solution->satisfied_queries, ms);
+    solution->selected.ForEachSetBit([&](int attr) {
+      std::printf("%s ", log->schema().name(attr).c_str());
+    });
+    std::printf("}%s\n", solution->proved_optimal ? "  [optimal]" : "");
+  }
+  if (as_json) {
+    JsonValue report = JsonValue::Object();
+    report.Set("queries", JsonValue::Int(log->size()))
+        .Set("attributes", JsonValue::Int(log->num_attributes()))
+        .Set("tuple_size", JsonValue::Int(tuple.Count()))
+        .Set("m", JsonValue::Int(m))
+        .Set("results", JsonValue::Array(std::move(json_results)));
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  return 0;
+}
