@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bruteforce"
+  "../bench/ablation_bruteforce.pdb"
+  "CMakeFiles/ablation_bruteforce.dir/ablation_bruteforce.cc.o"
+  "CMakeFiles/ablation_bruteforce.dir/ablation_bruteforce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

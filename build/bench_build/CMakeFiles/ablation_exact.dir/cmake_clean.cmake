@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_exact"
+  "../bench/ablation_exact.pdb"
+  "CMakeFiles/ablation_exact.dir/ablation_exact.cc.o"
+  "CMakeFiles/ablation_exact.dir/ablation_exact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

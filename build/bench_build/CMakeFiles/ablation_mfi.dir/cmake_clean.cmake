@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mfi"
+  "../bench/ablation_mfi.pdb"
+  "CMakeFiles/ablation_mfi.dir/ablation_mfi.cc.o"
+  "CMakeFiles/ablation_mfi.dir/ablation_mfi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

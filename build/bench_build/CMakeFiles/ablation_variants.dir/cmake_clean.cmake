@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variants"
+  "../bench/ablation_variants.pdb"
+  "CMakeFiles/ablation_variants.dir/ablation_variants.cc.o"
+  "CMakeFiles/ablation_variants.dir/ablation_variants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

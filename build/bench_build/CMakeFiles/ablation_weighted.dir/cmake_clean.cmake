@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_weighted"
+  "../bench/ablation_weighted.pdb"
+  "CMakeFiles/ablation_weighted.dir/ablation_weighted.cc.o"
+  "CMakeFiles/ablation_weighted.dir/ablation_weighted.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_time_vs_m_real"
+  "../bench/fig06_time_vs_m_real.pdb"
+  "CMakeFiles/fig06_time_vs_m_real.dir/fig06_time_vs_m_real.cc.o"
+  "CMakeFiles/fig06_time_vs_m_real.dir/fig06_time_vs_m_real.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_time_vs_m_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_quality_vs_m_real"
+  "../bench/fig07_quality_vs_m_real.pdb"
+  "CMakeFiles/fig07_quality_vs_m_real.dir/fig07_quality_vs_m_real.cc.o"
+  "CMakeFiles/fig07_quality_vs_m_real.dir/fig07_quality_vs_m_real.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_quality_vs_m_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_quality_vs_m_real.
+# This may be replaced when dependencies are built.

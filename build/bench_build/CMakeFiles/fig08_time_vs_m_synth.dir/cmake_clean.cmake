@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_time_vs_m_synth"
+  "../bench/fig08_time_vs_m_synth.pdb"
+  "CMakeFiles/fig08_time_vs_m_synth.dir/fig08_time_vs_m_synth.cc.o"
+  "CMakeFiles/fig08_time_vs_m_synth.dir/fig08_time_vs_m_synth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_time_vs_m_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_time_vs_m_synth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_quality_vs_m_synth"
+  "../bench/fig09_quality_vs_m_synth.pdb"
+  "CMakeFiles/fig09_quality_vs_m_synth.dir/fig09_quality_vs_m_synth.cc.o"
+  "CMakeFiles/fig09_quality_vs_m_synth.dir/fig09_quality_vs_m_synth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_quality_vs_m_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_time_vs_logsize"
+  "../bench/fig10_time_vs_logsize.pdb"
+  "CMakeFiles/fig10_time_vs_logsize.dir/fig10_time_vs_logsize.cc.o"
+  "CMakeFiles/fig10_time_vs_logsize.dir/fig10_time_vs_logsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_time_vs_logsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_time_vs_num_attrs"
+  "../bench/fig11_time_vs_num_attrs.pdb"
+  "CMakeFiles/fig11_time_vs_num_attrs.dir/fig11_time_vs_num_attrs.cc.o"
+  "CMakeFiles/fig11_time_vs_num_attrs.dir/fig11_time_vs_num_attrs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_time_vs_num_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

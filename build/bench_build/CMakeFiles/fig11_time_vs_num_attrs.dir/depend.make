@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_time_vs_num_attrs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_itemsets"
+  "../bench/micro_itemsets.pdb"
+  "CMakeFiles/micro_itemsets.dir/micro_itemsets.cc.o"
+  "CMakeFiles/micro_itemsets.dir/micro_itemsets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variant_categorical"
+  "../bench/variant_categorical.pdb"
+  "CMakeFiles/variant_categorical.dir/variant_categorical.cc.o"
+  "CMakeFiles/variant_categorical.dir/variant_categorical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

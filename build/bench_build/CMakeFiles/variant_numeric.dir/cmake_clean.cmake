@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variant_numeric"
+  "../bench/variant_numeric.pdb"
+  "CMakeFiles/variant_numeric.dir/variant_numeric.cc.o"
+  "CMakeFiles/variant_numeric.dir/variant_numeric.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

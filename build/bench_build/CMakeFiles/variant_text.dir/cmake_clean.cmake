@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variant_text"
+  "../bench/variant_text.pdb"
+  "CMakeFiles/variant_text.dir/variant_text.cc.o"
+  "CMakeFiles/variant_text.dir/variant_text.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

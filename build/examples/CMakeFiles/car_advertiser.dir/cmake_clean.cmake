@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_advertiser.dir/car_advertiser.cpp.o"
+  "CMakeFiles/car_advertiser.dir/car_advertiser.cpp.o.d"
+  "car_advertiser"
+  "car_advertiser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_advertiser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classified_ad_keywords.dir/classified_ad_keywords.cpp.o"
+  "CMakeFiles/classified_ad_keywords.dir/classified_ad_keywords.cpp.o.d"
+  "classified_ad_keywords"
+  "classified_ad_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classified_ad_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

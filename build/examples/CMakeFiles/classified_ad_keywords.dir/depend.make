@@ -1,0 +1,2 @@
+# Empty dependencies file for classified_ad_keywords.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_posting.dir/job_posting.cpp.o"
+  "CMakeFiles/job_posting.dir/job_posting.cpp.o.d"
+  "job_posting"
+  "job_posting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_posting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolean/evaluator.cc" "src/boolean/CMakeFiles/soc_boolean.dir/evaluator.cc.o" "gcc" "src/boolean/CMakeFiles/soc_boolean.dir/evaluator.cc.o.d"
+  "/root/repo/src/boolean/log_stats.cc" "src/boolean/CMakeFiles/soc_boolean.dir/log_stats.cc.o" "gcc" "src/boolean/CMakeFiles/soc_boolean.dir/log_stats.cc.o.d"
+  "/root/repo/src/boolean/query_log.cc" "src/boolean/CMakeFiles/soc_boolean.dir/query_log.cc.o" "gcc" "src/boolean/CMakeFiles/soc_boolean.dir/query_log.cc.o.d"
+  "/root/repo/src/boolean/schema.cc" "src/boolean/CMakeFiles/soc_boolean.dir/schema.cc.o" "gcc" "src/boolean/CMakeFiles/soc_boolean.dir/schema.cc.o.d"
+  "/root/repo/src/boolean/table.cc" "src/boolean/CMakeFiles/soc_boolean.dir/table.cc.o" "gcc" "src/boolean/CMakeFiles/soc_boolean.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_boolean.dir/evaluator.cc.o"
+  "CMakeFiles/soc_boolean.dir/evaluator.cc.o.d"
+  "CMakeFiles/soc_boolean.dir/log_stats.cc.o"
+  "CMakeFiles/soc_boolean.dir/log_stats.cc.o.d"
+  "CMakeFiles/soc_boolean.dir/query_log.cc.o"
+  "CMakeFiles/soc_boolean.dir/query_log.cc.o.d"
+  "CMakeFiles/soc_boolean.dir/schema.cc.o"
+  "CMakeFiles/soc_boolean.dir/schema.cc.o.d"
+  "CMakeFiles/soc_boolean.dir/table.cc.o"
+  "CMakeFiles/soc_boolean.dir/table.cc.o.d"
+  "libsoc_boolean.a"
+  "libsoc_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_categorical.dir/categorical.cc.o"
+  "CMakeFiles/soc_categorical.dir/categorical.cc.o.d"
+  "libsoc_categorical.a"
+  "libsoc_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

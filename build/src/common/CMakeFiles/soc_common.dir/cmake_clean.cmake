@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_common.dir/bitset.cc.o"
+  "CMakeFiles/soc_common.dir/bitset.cc.o.d"
+  "CMakeFiles/soc_common.dir/combinatorics.cc.o"
+  "CMakeFiles/soc_common.dir/combinatorics.cc.o.d"
+  "CMakeFiles/soc_common.dir/csv.cc.o"
+  "CMakeFiles/soc_common.dir/csv.cc.o.d"
+  "CMakeFiles/soc_common.dir/json_writer.cc.o"
+  "CMakeFiles/soc_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/soc_common.dir/random.cc.o"
+  "CMakeFiles/soc_common.dir/random.cc.o.d"
+  "CMakeFiles/soc_common.dir/status.cc.o"
+  "CMakeFiles/soc_common.dir/status.cc.o.d"
+  "CMakeFiles/soc_common.dir/string_util.cc.o"
+  "CMakeFiles/soc_common.dir/string_util.cc.o.d"
+  "libsoc_common.a"
+  "libsoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribute_analysis.cc" "src/core/CMakeFiles/soc_core.dir/attribute_analysis.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/attribute_analysis.cc.o.d"
+  "/root/repo/src/core/bnb_solver.cc" "src/core/CMakeFiles/soc_core.dir/bnb_solver.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/bnb_solver.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/soc_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/soc_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/ilp_solver.cc" "src/core/CMakeFiles/soc_core.dir/ilp_solver.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/ilp_solver.cc.o.d"
+  "/root/repo/src/core/mfi_solver.cc" "src/core/CMakeFiles/soc_core.dir/mfi_solver.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/mfi_solver.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/soc_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/solver_registry.cc" "src/core/CMakeFiles/soc_core.dir/solver_registry.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/solver_registry.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/soc_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/topk.cc.o.d"
+  "/root/repo/src/core/topk_general.cc" "src/core/CMakeFiles/soc_core.dir/topk_general.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/topk_general.cc.o.d"
+  "/root/repo/src/core/variants.cc" "src/core/CMakeFiles/soc_core.dir/variants.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/variants.cc.o.d"
+  "/root/repo/src/core/weighted.cc" "src/core/CMakeFiles/soc_core.dir/weighted.cc.o" "gcc" "src/core/CMakeFiles/soc_core.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/soc_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/soc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/itemsets/CMakeFiles/soc_itemsets.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_core.dir/attribute_analysis.cc.o"
+  "CMakeFiles/soc_core.dir/attribute_analysis.cc.o.d"
+  "CMakeFiles/soc_core.dir/bnb_solver.cc.o"
+  "CMakeFiles/soc_core.dir/bnb_solver.cc.o.d"
+  "CMakeFiles/soc_core.dir/brute_force.cc.o"
+  "CMakeFiles/soc_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/soc_core.dir/greedy.cc.o"
+  "CMakeFiles/soc_core.dir/greedy.cc.o.d"
+  "CMakeFiles/soc_core.dir/ilp_solver.cc.o"
+  "CMakeFiles/soc_core.dir/ilp_solver.cc.o.d"
+  "CMakeFiles/soc_core.dir/mfi_solver.cc.o"
+  "CMakeFiles/soc_core.dir/mfi_solver.cc.o.d"
+  "CMakeFiles/soc_core.dir/solver.cc.o"
+  "CMakeFiles/soc_core.dir/solver.cc.o.d"
+  "CMakeFiles/soc_core.dir/solver_registry.cc.o"
+  "CMakeFiles/soc_core.dir/solver_registry.cc.o.d"
+  "CMakeFiles/soc_core.dir/topk.cc.o"
+  "CMakeFiles/soc_core.dir/topk.cc.o.d"
+  "CMakeFiles/soc_core.dir/topk_general.cc.o"
+  "CMakeFiles/soc_core.dir/topk_general.cc.o.d"
+  "CMakeFiles/soc_core.dir/variants.cc.o"
+  "CMakeFiles/soc_core.dir/variants.cc.o.d"
+  "CMakeFiles/soc_core.dir/weighted.cc.o"
+  "CMakeFiles/soc_core.dir/weighted.cc.o.d"
+  "libsoc_core.a"
+  "libsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_datagen.dir/camera_catalog.cc.o"
+  "CMakeFiles/soc_datagen.dir/camera_catalog.cc.o.d"
+  "CMakeFiles/soc_datagen.dir/car_dataset.cc.o"
+  "CMakeFiles/soc_datagen.dir/car_dataset.cc.o.d"
+  "CMakeFiles/soc_datagen.dir/categorical_catalog.cc.o"
+  "CMakeFiles/soc_datagen.dir/categorical_catalog.cc.o.d"
+  "CMakeFiles/soc_datagen.dir/clique.cc.o"
+  "CMakeFiles/soc_datagen.dir/clique.cc.o.d"
+  "CMakeFiles/soc_datagen.dir/text_corpus.cc.o"
+  "CMakeFiles/soc_datagen.dir/text_corpus.cc.o.d"
+  "CMakeFiles/soc_datagen.dir/workload.cc.o"
+  "CMakeFiles/soc_datagen.dir/workload.cc.o.d"
+  "libsoc_datagen.a"
+  "libsoc_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

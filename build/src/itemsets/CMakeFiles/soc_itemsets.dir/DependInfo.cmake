@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itemsets/apriori.cc" "src/itemsets/CMakeFiles/soc_itemsets.dir/apriori.cc.o" "gcc" "src/itemsets/CMakeFiles/soc_itemsets.dir/apriori.cc.o.d"
+  "/root/repo/src/itemsets/eclat.cc" "src/itemsets/CMakeFiles/soc_itemsets.dir/eclat.cc.o" "gcc" "src/itemsets/CMakeFiles/soc_itemsets.dir/eclat.cc.o.d"
+  "/root/repo/src/itemsets/maximal_dfs.cc" "src/itemsets/CMakeFiles/soc_itemsets.dir/maximal_dfs.cc.o" "gcc" "src/itemsets/CMakeFiles/soc_itemsets.dir/maximal_dfs.cc.o.d"
+  "/root/repo/src/itemsets/random_walk.cc" "src/itemsets/CMakeFiles/soc_itemsets.dir/random_walk.cc.o" "gcc" "src/itemsets/CMakeFiles/soc_itemsets.dir/random_walk.cc.o.d"
+  "/root/repo/src/itemsets/transaction_db.cc" "src/itemsets/CMakeFiles/soc_itemsets.dir/transaction_db.cc.o" "gcc" "src/itemsets/CMakeFiles/soc_itemsets.dir/transaction_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/soc_boolean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

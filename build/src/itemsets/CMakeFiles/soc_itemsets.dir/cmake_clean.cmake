@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_itemsets.dir/apriori.cc.o"
+  "CMakeFiles/soc_itemsets.dir/apriori.cc.o.d"
+  "CMakeFiles/soc_itemsets.dir/eclat.cc.o"
+  "CMakeFiles/soc_itemsets.dir/eclat.cc.o.d"
+  "CMakeFiles/soc_itemsets.dir/maximal_dfs.cc.o"
+  "CMakeFiles/soc_itemsets.dir/maximal_dfs.cc.o.d"
+  "CMakeFiles/soc_itemsets.dir/random_walk.cc.o"
+  "CMakeFiles/soc_itemsets.dir/random_walk.cc.o.d"
+  "CMakeFiles/soc_itemsets.dir/transaction_db.cc.o"
+  "CMakeFiles/soc_itemsets.dir/transaction_db.cc.o.d"
+  "libsoc_itemsets.a"
+  "libsoc_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soc_itemsets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_lp.dir/branch_and_bound.cc.o"
+  "CMakeFiles/soc_lp.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/soc_lp.dir/lp_writer.cc.o"
+  "CMakeFiles/soc_lp.dir/lp_writer.cc.o.d"
+  "CMakeFiles/soc_lp.dir/model.cc.o"
+  "CMakeFiles/soc_lp.dir/model.cc.o.d"
+  "CMakeFiles/soc_lp.dir/simplex.cc.o"
+  "CMakeFiles/soc_lp.dir/simplex.cc.o.d"
+  "libsoc_lp.a"
+  "libsoc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

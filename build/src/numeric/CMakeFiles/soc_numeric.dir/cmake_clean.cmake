@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_numeric.dir/numeric.cc.o"
+  "CMakeFiles/soc_numeric.dir/numeric.cc.o.d"
+  "libsoc_numeric.a"
+  "libsoc_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_text.dir/keyword_selection.cc.o"
+  "CMakeFiles/soc_text.dir/keyword_selection.cc.o.d"
+  "CMakeFiles/soc_text.dir/text.cc.o"
+  "CMakeFiles/soc_text.dir/text.cc.o.d"
+  "libsoc_text.a"
+  "libsoc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bnb_solver_test.dir/bnb_solver_test.cc.o"
+  "CMakeFiles/bnb_solver_test.dir/bnb_solver_test.cc.o.d"
+  "bnb_solver_test"
+  "bnb_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bnb_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_catalog_test.dir/camera_catalog_test.cc.o"
+  "CMakeFiles/camera_catalog_test.dir/camera_catalog_test.cc.o.d"
+  "camera_catalog_test"
+  "camera_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

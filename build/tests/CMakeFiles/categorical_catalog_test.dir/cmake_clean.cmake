@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_catalog_test.dir/categorical_catalog_test.cc.o"
+  "CMakeFiles/categorical_catalog_test.dir/categorical_catalog_test.cc.o.d"
+  "categorical_catalog_test"
+  "categorical_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

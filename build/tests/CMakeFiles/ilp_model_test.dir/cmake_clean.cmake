@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_model_test.dir/ilp_model_test.cc.o"
+  "CMakeFiles/ilp_model_test.dir/ilp_model_test.cc.o.d"
+  "ilp_model_test"
+  "ilp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfi_cache_test.dir/mfi_cache_test.cc.o"
+  "CMakeFiles/mfi_cache_test.dir/mfi_cache_test.cc.o.d"
+  "mfi_cache_test"
+  "mfi_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfi_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_edge_test.dir/simplex_edge_test.cc.o"
+  "CMakeFiles/simplex_edge_test.dir/simplex_edge_test.cc.o.d"
+  "simplex_edge_test"
+  "simplex_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_solvers_test.dir/soc_solvers_test.cc.o"
+  "CMakeFiles/soc_solvers_test.dir/soc_solvers_test.cc.o.d"
+  "soc_solvers_test"
+  "soc_solvers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topk_general_test.cc" "tests/CMakeFiles/topk_general_test.dir/topk_general_test.cc.o" "gcc" "tests/CMakeFiles/topk_general_test.dir/topk_general_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/soc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/soc_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/soc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/soc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/categorical/CMakeFiles/soc_categorical.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/soc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/itemsets/CMakeFiles/soc_itemsets.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolean/CMakeFiles/soc_boolean.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_db_test.dir/transaction_db_test.cc.o"
+  "CMakeFiles/transaction_db_test.dir/transaction_db_test.cc.o.d"
+  "transaction_db_test"
+  "transaction_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_statistics_test.dir/walk_statistics_test.cc.o"
+  "CMakeFiles/walk_statistics_test.dir/walk_statistics_test.cc.o.d"
+  "walk_statistics_test"
+  "walk_statistics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

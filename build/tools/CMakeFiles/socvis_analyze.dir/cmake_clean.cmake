@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socvis_analyze.dir/socvis_analyze.cc.o"
+  "CMakeFiles/socvis_analyze.dir/socvis_analyze.cc.o.d"
+  "socvis_analyze"
+  "socvis_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socvis_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

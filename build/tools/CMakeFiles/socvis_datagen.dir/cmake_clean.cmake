@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socvis_datagen.dir/socvis_datagen.cc.o"
+  "CMakeFiles/socvis_datagen.dir/socvis_datagen.cc.o.d"
+  "socvis_datagen"
+  "socvis_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socvis_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socvis_solve.dir/socvis_solve.cc.o"
+  "CMakeFiles/socvis_solve.dir/socvis_solve.cc.o.d"
+  "socvis_solve"
+  "socvis_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socvis_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
