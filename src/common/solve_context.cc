@@ -1,0 +1,21 @@
+#include "common/solve_context.h"
+
+namespace soc {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kTickBudget:
+      return "tick_budget";
+    case StopReason::kResourceLimit:
+      return "resource_limit";
+  }
+  return "unknown";
+}
+
+}  // namespace soc

@@ -1,0 +1,119 @@
+// Cooperative execution control for long-running solves.
+//
+// A SolveContext carries a wall-clock Deadline, an external cancellation
+// flag and a deterministic work budget (counted in "ticks") through every
+// solver layer: subset enumeration, branch-and-bound search, itemset
+// mining loops and simplex pivots. Each unit of work calls Checkpoint()
+// once; the call bumps the tick counter and — once every
+// kStopCheckInterval ticks, the same cadence the simplex uses for its own
+// deadline check — consults the cancellation flag and the wall clock.
+// Stop conditions are sticky: once one fires, every further Checkpoint()
+// returns true immediately and stop_reason() reports why.
+//
+// Solvers react by *degrading*, not failing: they surrender their best
+// incumbent as a partial SocSolution (see core/solver.h) instead of
+// discarding completed work behind an error Status.
+//
+// Fault injection: InjectFault(reason, at_tick) forces `reason` from the
+// at_tick-th Checkpoint() call onward, which makes every degradation exit
+// path unit-testable without wall-clock flakiness.
+
+#ifndef SOC_COMMON_SOLVE_CONTEXT_H_
+#define SOC_COMMON_SOLVE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/timer.h"
+
+namespace soc {
+
+// Cooperative loops consult their expensive stop conditions (wall clock,
+// cancellation flag) once every kStopCheckInterval iterations, via
+// `(iteration & kStopCheckMask) == 0`. Shared by the simplex, the LP
+// branch-and-bound and SolveContext::Checkpoint so the cadence is tuned in
+// one place.
+inline constexpr std::int64_t kStopCheckInterval = 64;
+inline constexpr std::int64_t kStopCheckMask = kStopCheckInterval - 1;
+
+// Why a solve stopped early. kResourceLimit is stamped by solvers whose
+// own structural guards trip (max_combinations, node caps, subset-scan
+// caps, ...); the context itself only raises the first three.
+enum class StopReason {
+  kNone = 0,
+  kDeadline = 1,       // Wall-clock deadline expired.
+  kCancelled = 2,      // The external cancellation flag was set.
+  kTickBudget = 3,     // The deterministic work budget ran out.
+  kResourceLimit = 4,  // A solver-local structural cap tripped.
+};
+
+// "none", "deadline", "cancelled", "tick_budget", "resource_limit".
+const char* StopReasonToString(StopReason reason);
+
+class SolveContext {
+ public:
+  // Unlimited: Checkpoint() never stops.
+  SolveContext() = default;
+  explicit SolveContext(Deadline deadline) : deadline_(deadline) {}
+
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+  // Deterministic work budget; <= 0 means unlimited.
+  void set_tick_budget(std::int64_t ticks) { tick_budget_ = ticks; }
+  // Non-owning; typically flipped from another thread. nullptr disables.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
+  // Deterministic fault injection for tests: Checkpoint() reports `reason`
+  // from the at_tick-th call onward (at_tick >= 1, so 1 fires on the very
+  // first checkpoint). Overrides deadline/cancellation/budget.
+  void InjectFault(StopReason reason, std::int64_t at_tick) {
+    injected_reason_ = reason;
+    inject_at_tick_ = at_tick;
+  }
+
+  // One unit of cooperative work. Returns true when the solve should stop;
+  // the verdict is sticky. The cancellation flag and the wall clock are
+  // only consulted on the first tick and then every kStopCheckInterval
+  // ticks, so calling this in a tight inner loop is cheap.
+  bool Checkpoint() {
+    if (reason_ != StopReason::kNone) return true;
+    ++ticks_;
+    if (injected_reason_ != StopReason::kNone && ticks_ >= inject_at_tick_) {
+      reason_ = injected_reason_;
+      return true;
+    }
+    if (tick_budget_ > 0 && ticks_ > tick_budget_) {
+      reason_ = StopReason::kTickBudget;
+      return true;
+    }
+    if (ticks_ == 1 || (ticks_ & kStopCheckMask) == 0) {
+      if (cancel_flag_ != nullptr &&
+          cancel_flag_->load(std::memory_order_relaxed)) {
+        reason_ = StopReason::kCancelled;
+        return true;
+      }
+      if (deadline_.Expired()) {
+        reason_ = StopReason::kDeadline;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // True iff a stop condition already fired (does not tick).
+  bool stop_requested() const { return reason_ != StopReason::kNone; }
+  StopReason stop_reason() const { return reason_; }
+  std::int64_t ticks() const { return ticks_; }
+
+ private:
+  Deadline deadline_ = Deadline::Infinite();
+  std::int64_t tick_budget_ = 0;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  StopReason injected_reason_ = StopReason::kNone;
+  std::int64_t inject_at_tick_ = 0;
+  StopReason reason_ = StopReason::kNone;
+  std::int64_t ticks_ = 0;
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_SOLVE_CONTEXT_H_

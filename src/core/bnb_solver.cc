@@ -11,11 +11,13 @@ namespace {
 class BnbSearch {
  public:
   BnbSearch(std::vector<DynamicBitset> queries, std::vector<int> candidates,
-            int num_attrs, int budget, std::int64_t max_nodes)
+            int num_attrs, int budget, std::int64_t max_nodes,
+            SolveContext* context)
       : queries_(std::move(queries)),
         candidates_(std::move(candidates)),
         budget_(budget),
         max_nodes_(max_nodes),
+        context_(context),
         chosen_(num_attrs),
         rejected_(num_attrs),
         best_selection_(num_attrs) {}
@@ -25,15 +27,23 @@ class BnbSearch {
     best_count_ = count;
   }
 
-  Status Run() { return Visit(0, 0); }
+  void Run() { Visit(0, 0); }
 
   const DynamicBitset& best_selection() const { return best_selection_; }
   std::int64_t nodes() const { return nodes_; }
+  // kNone iff the search space was exhausted (incumbent proved optimal).
+  StopReason stop_reason() const { return stop_reason_; }
 
  private:
-  Status Visit(std::size_t index, int num_chosen) {
+  void Visit(std::size_t index, int num_chosen) {
+    if (stop_reason_ != StopReason::kNone) return;
     if (max_nodes_ > 0 && ++nodes_ > max_nodes_) {
-      return ResourceExhaustedError("branch-and-bound node budget exhausted");
+      stop_reason_ = StopReason::kResourceLimit;
+      return;
+    }
+    if (internal::ShouldStop(context_)) {
+      stop_reason_ = context_->stop_reason();
+      return;
     }
 
     // Bound: queries already satisfied plus queries that still fit.
@@ -53,40 +63,40 @@ class BnbSearch {
       best_count_ = satisfied;
       best_selection_ = chosen_;
     }
-    if (satisfied + potential <= best_count_) return Status::OK();
-    if (num_chosen == budget_ || index == candidates_.size()) {
-      return Status::OK();
-    }
+    if (satisfied + potential <= best_count_) return;
+    if (num_chosen == budget_ || index == candidates_.size()) return;
 
     const int attr = candidates_[index];
     // Include-first: frequency ordering makes this the promising branch.
     chosen_.Set(attr);
-    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen + 1));
+    Visit(index + 1, num_chosen + 1);
     chosen_.Reset(attr);
+    if (stop_reason_ != StopReason::kNone) return;
 
     rejected_.Set(attr);
-    SOC_RETURN_IF_ERROR(Visit(index + 1, num_chosen));
+    Visit(index + 1, num_chosen);
     rejected_.Reset(attr);
-    return Status::OK();
   }
 
   const std::vector<DynamicBitset> queries_;
   const std::vector<int> candidates_;
   const int budget_;
   const std::int64_t max_nodes_;
+  SolveContext* const context_;
 
   DynamicBitset chosen_;
   DynamicBitset rejected_;
   DynamicBitset best_selection_;
   int best_count_ = -1;
   std::int64_t nodes_ = 0;
+  StopReason stop_reason_ = StopReason::kNone;
 };
 
 }  // namespace
 
-StatusOr<SocSolution> BnbSocSolver::Solve(const QueryLog& log,
-                                          const DynamicBitset& tuple,
-                                          int m) const {
+StatusOr<SocSolution> BnbSocSolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
   const int num_attrs = log.num_attributes();
 
@@ -110,22 +120,28 @@ StatusOr<SocSolution> BnbSocSolver::Solve(const QueryLog& log,
   });
 
   BnbSearch search(std::move(relevant), std::move(candidates), num_attrs,
-                   m_eff, options_.max_nodes);
+                   m_eff, options_.max_nodes, context);
 
-  // Greedy incumbent (restricted to candidate attributes for a valid seed).
+  // Greedy incumbent (restricted to candidate attributes for a valid seed);
+  // run context-free so an already-stopped context still yields a usable
+  // anytime incumbent.
   const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
   SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
   DynamicBitset seed_selection = seed.selected & candidate_union;
   search.SeedIncumbent(seed_selection,
                        CountSatisfiedQueries(log, seed_selection));
 
-  SOC_RETURN_IF_ERROR(search.Run());
+  search.Run();
 
   DynamicBitset selected = search.best_selection();
   internal::PadSelection(log, tuple, m_eff, &selected);
-  SocSolution solution =
-      internal::FinishSolution(log, std::move(selected), /*proved=*/true);
+  SocSolution solution = internal::FinishSolution(
+      log, std::move(selected),
+      /*proved_optimal=*/search.stop_reason() == StopReason::kNone);
   solution.metrics.emplace_back("nodes", static_cast<double>(search.nodes()));
+  if (search.stop_reason() != StopReason::kNone) {
+    internal::MarkDegraded(search.stop_reason(), &solution);
+  }
   return solution;
 }
 

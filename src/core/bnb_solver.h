@@ -23,8 +23,9 @@
 namespace soc {
 
 struct BnbSocOptions {
-  // Abort with ResourceExhausted past this many search nodes; <= 0 means
-  // unlimited.
+  // Stop past this many search nodes and surrender the incumbent
+  // (StopReason::kResourceLimit, partial-result contract of
+  // core/solver.h); <= 0 means unlimited.
   std::int64_t max_nodes = 100'000'000;
 };
 
@@ -32,8 +33,9 @@ class BnbSocSolver : public SocSolver {
  public:
   explicit BnbSocSolver(BnbSocOptions options = {}) : options_(options) {}
 
-  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
-                              int m) const override;
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
 
   std::string name() const override { return "BranchAndBound"; }
 

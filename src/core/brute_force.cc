@@ -6,9 +6,9 @@
 
 namespace soc {
 
-StatusOr<SocSolution> BruteForceSolver::Solve(const QueryLog& log,
-                                              const DynamicBitset& tuple,
-                                              int m) const {
+StatusOr<SocSolution> BruteForceSolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
   const int num_attrs = log.num_attributes();
   const SatisfiableQueryView view(log, tuple);
@@ -31,34 +31,44 @@ StatusOr<SocSolution> BruteForceSolver::Solve(const QueryLog& log,
   const int k = std::min<int>(m_eff, static_cast<int>(pool.size()));
   const std::uint64_t combinations =
       BinomialSaturating(static_cast<int>(pool.size()), k);
-  if (options_.max_combinations > 0 &&
-      combinations > options_.max_combinations) {
-    return ResourceExhaustedError(
-        "brute force would enumerate " + std::to_string(combinations) +
-        " combinations; raise max_combinations or use another solver");
-  }
 
+  StopReason stop = StopReason::kNone;
   DynamicBitset best(num_attrs);
   int best_count = -1;
-  DynamicBitset candidate(num_attrs);
-  ForEachCombination(pool, k, [&](const std::vector<int>& combo) {
-    candidate.ResetAll();
-    for (int attr : combo) candidate.Set(attr);
-    const int count = view.CountSatisfied(candidate);
-    if (count > best_count) {
-      best_count = count;
-      best = candidate;
-    }
-    return true;
-  });
-  if (best_count < 0) best_count = 0;  // k == 0: empty selection.
+  std::uint64_t enumerated = 0;
+  if (options_.max_combinations > 0 &&
+      combinations > options_.max_combinations) {
+    // Refusing the blowup no longer discards the request: the frequency
+    // padding below serves the ConsumeAttr-style incumbent, degraded.
+    stop = StopReason::kResourceLimit;
+  } else {
+    DynamicBitset candidate(num_attrs);
+    ForEachCombination(pool, k, [&](const std::vector<int>& combo) {
+      if (internal::ShouldStop(context)) {
+        stop = context->stop_reason();
+        return false;
+      }
+      ++enumerated;
+      candidate.ResetAll();
+      for (int attr : combo) candidate.Set(attr);
+      const int count = view.CountSatisfied(candidate);
+      if (count > best_count) {
+        best_count = count;
+        best = candidate;
+      }
+      return true;
+    });
+  }
+  if (best_count < 0) best_count = 0;  // k == 0 or stopped before any combo.
 
   internal::PadSelection(log, tuple, m_eff, &best);
-  SocSolution solution =
-      internal::FinishSolution(log, std::move(best), /*proved_optimal=*/true);
+  SocSolution solution = internal::FinishSolution(
+      log, std::move(best), /*proved_optimal=*/stop == StopReason::kNone);
   solution.metrics.emplace_back("combinations",
                                 static_cast<double>(combinations));
+  solution.metrics.emplace_back("enumerated", static_cast<double>(enumerated));
   solution.metrics.emplace_back("pool_size", static_cast<double>(pool.size()));
+  if (stop != StopReason::kNone) internal::MarkDegraded(stop, &solution);
   return solution;
 }
 

@@ -21,8 +21,10 @@ namespace soc {
 struct BruteForceOptions {
   // Restrict enumeration to candidate attributes (see above).
   bool prune_candidates = true;
-  // Refuse instances with more combinations than this (ResourceExhausted);
-  // <= 0 means unlimited.
+  // Refuse instances with more combinations than this: instead of
+  // enumerating, the solver degrades to the frequency-padded incumbent
+  // (StopReason::kResourceLimit, partial-result contract of
+  // core/solver.h). <= 0 means unlimited.
   std::uint64_t max_combinations = 50'000'000;
 };
 
@@ -31,8 +33,9 @@ class BruteForceSolver : public SocSolver {
   explicit BruteForceSolver(BruteForceOptions options = {})
       : options_(options) {}
 
-  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
-                              int m) const override;
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
 
   std::string name() const override { return "BruteForce"; }
 

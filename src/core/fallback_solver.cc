@@ -1,0 +1,65 @@
+#include "core/fallback_solver.h"
+
+#include <utility>
+
+#include "core/bnb_solver.h"
+#include "core/greedy.h"
+
+namespace soc {
+
+namespace {
+
+// Statuses the greedy tier can recover from; anything else (bad input,
+// internal invariant failures) propagates to the caller.
+bool IsRecoverable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kNotFound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FallbackSolver::FallbackSolver(std::unique_ptr<SocSolver> exact)
+    : exact_(exact != nullptr ? std::move(exact)
+                              : std::make_unique<BnbSocSolver>()) {}
+
+StatusOr<SocSolution> FallbackSolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
+  StatusOr<SocSolution> exact = exact_->SolveWithContext(log, tuple, m, context);
+  if (exact.ok() && !IsDegraded(exact.value())) {
+    exact.value().metrics.emplace_back("fallback_tier", 0.0);
+    return exact;
+  }
+  if (!exact.ok() && !IsRecoverable(exact.status())) return exact.status();
+
+  // The exact tier stopped early or bailed: the greedy tier runs to
+  // completion regardless of the context so the caller always gets a valid
+  // selection.
+  const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
+  SOC_ASSIGN_OR_RETURN(SocSolution rescue, greedy.Solve(log, tuple, m));
+
+  if (exact.ok() &&
+      exact.value().satisfied_queries >= rescue.satisfied_queries) {
+    exact.value().metrics.emplace_back("fallback_tier", 0.0);
+    return exact;
+  }
+  StopReason reason;
+  if (exact.ok()) {
+    reason = SolutionStopReason(exact.value());
+  } else if (exact.status().code() == StatusCode::kDeadlineExceeded) {
+    reason = StopReason::kDeadline;
+  } else {
+    reason = StopReason::kResourceLimit;
+  }
+  rescue.metrics.emplace_back("fallback_tier", 1.0);
+  internal::MarkDegraded(reason, &rescue);
+  return rescue;
+}
+
+}  // namespace soc

@@ -1,0 +1,44 @@
+// Two-tier solver portfolio with graceful degradation.
+//
+// The exact tier (BranchAndBound by default, any SocSolver injectable) runs
+// under the caller's SolveContext. If it finishes cleanly its answer is
+// returned as-is. If it stops early — deadline, cancellation, tick budget,
+// or a solver-local resource cap — or fails with a recoverable status
+// (ResourceExhausted, DeadlineExceeded, NotFound), the greedy tier
+// (ConsumeAttrCumul, run without a context so it always completes) provides
+// a guaranteed answer, and the better of the two incumbents by satisfied
+// queries is returned.
+//
+// The returned solution carries a "fallback_tier" metric: 0 = the exact
+// tier's answer was used, 1 = the greedy tier's. Degraded runs keep the
+// usual ("degraded", "stop_reason") markers from core/solver.h, so callers
+// can tell a proven optimum from a deadline-shaped best effort.
+
+#ifndef SOC_CORE_FALLBACK_SOLVER_H_
+#define SOC_CORE_FALLBACK_SOLVER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/solver.h"
+
+namespace soc {
+
+class FallbackSolver : public SocSolver {
+ public:
+  // `exact` is the first tier; nullptr selects BranchAndBound.
+  explicit FallbackSolver(std::unique_ptr<SocSolver> exact = nullptr);
+
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
+
+  std::string name() const override { return "Fallback"; }
+
+ private:
+  std::unique_ptr<SocSolver> exact_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_CORE_FALLBACK_SOLVER_H_

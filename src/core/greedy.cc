@@ -22,7 +22,7 @@ DynamicBitset ConsumeAttr(const QueryLog& log, const DynamicBitset& tuple,
 }
 
 DynamicBitset ConsumeAttrCumul(const QueryLog& log, const DynamicBitset& tuple,
-                               int m_eff) {
+                               int m_eff, SolveContext* context) {
   const std::vector<int> freq = log.AttributeFrequencies();
   DynamicBitset selected(log.num_attributes());
   std::vector<int> remaining = tuple.SetBits();
@@ -32,6 +32,9 @@ DynamicBitset ConsumeAttrCumul(const QueryLog& log, const DynamicBitset& tuple,
     int best_cooccur = -1;
     int best_freq = -1;
     for (int attr : remaining) {
+      // A tick per co-occurrence count, the expensive unit of work here;
+      // on stop the partial selection is padded by the caller.
+      if (internal::ShouldStop(context)) return selected;
       DynamicBitset with_attr = selected;
       with_attr.Set(attr);
       const int cooccur = log.CountQueriesContainingAll(with_attr);
@@ -62,12 +65,13 @@ DynamicBitset ConsumeAttrCumul(const QueryLog& log, const DynamicBitset& tuple,
 }
 
 DynamicBitset ConsumeQueries(const QueryLog& log, const DynamicBitset& tuple,
-                             int m_eff) {
+                             int m_eff, SolveContext* context) {
   const SatisfiableQueryView view(log, tuple);
   DynamicBitset selected(log.num_attributes());
   std::vector<bool> used(view.size(), false);
 
   while (static_cast<int>(selected.Count()) < m_eff) {
+    if (internal::ShouldStop(context)) return selected;
     // The satisfiable query with the fewest new attributes that still fits.
     int best_query = -1;
     std::size_t best_new = std::numeric_limits<std::size_t>::max();
@@ -104,25 +108,34 @@ const char* GreedyKindToString(GreedyKind kind) {
   return "Greedy";
 }
 
-StatusOr<SocSolution> GreedySolver::Solve(const QueryLog& log,
-                                          const DynamicBitset& tuple,
-                                          int m) const {
+StatusOr<SocSolution> GreedySolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
   DynamicBitset selected(log.num_attributes());
-  switch (kind_) {
-    case GreedyKind::kConsumeAttr:
-      selected = ConsumeAttr(log, tuple, m_eff);
-      break;
-    case GreedyKind::kConsumeAttrCumul:
-      selected = ConsumeAttrCumul(log, tuple, m_eff);
-      break;
-    case GreedyKind::kConsumeQueries:
-      selected = ConsumeQueries(log, tuple, m_eff);
-      break;
+  // Entry checkpoint: a context that is already stopped (or expires
+  // immediately) skips straight to the frequency padding, which doubles as
+  // the cheapest valid heuristic.
+  if (!internal::ShouldStop(context)) {
+    switch (kind_) {
+      case GreedyKind::kConsumeAttr:
+        selected = ConsumeAttr(log, tuple, m_eff);
+        break;
+      case GreedyKind::kConsumeAttrCumul:
+        selected = ConsumeAttrCumul(log, tuple, m_eff, context);
+        break;
+      case GreedyKind::kConsumeQueries:
+        selected = ConsumeQueries(log, tuple, m_eff, context);
+        break;
+    }
   }
   internal::PadSelection(log, tuple, m_eff, &selected);
-  return internal::FinishSolution(log, std::move(selected),
-                                  /*proved_optimal=*/false);
+  SocSolution solution = internal::FinishSolution(log, std::move(selected),
+                                                  /*proved_optimal=*/false);
+  if (context != nullptr && context->stop_requested()) {
+    internal::MarkDegraded(context->stop_reason(), &solution);
+  }
+  return solution;
 }
 
 }  // namespace soc

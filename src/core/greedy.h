@@ -35,8 +35,9 @@ class GreedySolver : public SocSolver {
  public:
   explicit GreedySolver(GreedyKind kind) : kind_(kind) {}
 
-  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
-                              int m) const override;
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
 
   std::string name() const override { return GreedyKindToString(kind_); }
   GreedyKind kind() const { return kind_; }

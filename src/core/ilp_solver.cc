@@ -51,14 +51,31 @@ SocIlpModel BuildConjunctiveSocModel(const QueryLog& log,
   return out;
 }
 
-StatusOr<SocSolution> IlpSocSolver::Solve(const QueryLog& log,
-                                          const DynamicBitset& tuple,
-                                          int m) const {
+namespace {
+
+// Maps an early-stop MIP status to the degradation reason, preferring the
+// context's own verdict when it fired (so cancellation and tick budgets
+// are not misreported as deadline expiry).
+StopReason MipStopReason(lp::SolveStatus status, const SolveContext* context) {
+  if (context != nullptr && context->stop_requested()) {
+    return context->stop_reason();
+  }
+  return status == lp::SolveStatus::kDeadlineExceeded
+             ? StopReason::kDeadline
+             : StopReason::kResourceLimit;
+}
+
+}  // namespace
+
+StatusOr<SocSolution> IlpSocSolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
   SocIlpModel soc_model =
       BuildConjunctiveSocModel(log, tuple, m_eff, options_.presolve);
 
   lp::MipOptions mip_options = options_.mip;
+  mip_options.context = context;
   if (options_.seed_with_greedy) {
     const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
     SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
@@ -76,19 +93,21 @@ StatusOr<SocSolution> IlpSocSolver::Solve(const QueryLog& log,
 
   SOC_ASSIGN_OR_RETURN(lp::MipResult mip,
                        lp::SolveMip(soc_model.model, mip_options));
-  if (!mip.has_solution) {
-    if (mip.status == lp::SolveStatus::kInfeasible) {
-      // Cannot happen for this formulation (all-zeros is feasible); guard
-      // against solver regressions anyway.
-      return InternalError("SOC ILP reported infeasible");
-    }
-    return DeadlineExceededError("ILP search stopped before any incumbent");
+  if (!mip.has_solution && mip.status == lp::SolveStatus::kInfeasible) {
+    // Cannot happen for this formulation (all-zeros is feasible); guard
+    // against solver regressions anyway.
+    return InternalError("SOC ILP reported infeasible");
   }
 
   DynamicBitset selected(log.num_attributes());
-  for (int j = 0; j < soc_model.num_x; ++j) {
-    if (mip.x[j] > 0.5) selected.Set(soc_model.x_attributes[j]);
+  if (mip.has_solution) {
+    for (int j = 0; j < soc_model.num_x; ++j) {
+      if (mip.x[j] > 0.5) selected.Set(soc_model.x_attributes[j]);
+    }
   }
+  // Without an incumbent (search stopped before any integral point and no
+  // greedy seed), the frequency padding below still serves a valid
+  // selection, degraded.
   internal::PadSelection(log, tuple, m_eff, &selected);
   SocSolution solution = internal::FinishSolution(
       log, std::move(selected),
@@ -98,6 +117,9 @@ StatusOr<SocSolution> IlpSocSolver::Solve(const QueryLog& log,
   solution.metrics.emplace_back("lp_iterations",
                                 static_cast<double>(mip.lp_iterations));
   solution.metrics.emplace_back("best_bound", mip.best_bound);
+  if (mip.status != lp::SolveStatus::kOptimal) {
+    internal::MarkDegraded(MipStopReason(mip.status, context), &solution);
+  }
   return solution;
 }
 

@@ -64,8 +64,9 @@ class IlpSocSolver : public SocSolver {
   explicit IlpSocSolver(IlpSocOptions options = {})
       : options_(std::move(options)) {}
 
-  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
-                              int m) const override;
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
 
   std::string name() const override { return "ILP"; }
 

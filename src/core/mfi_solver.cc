@@ -18,15 +18,22 @@ MfiPreprocessedIndex::MfiPreprocessedIndex(const QueryLog& log,
       options_(options) {}
 
 StatusOr<const std::vector<itemsets::FrequentItemset>*>
-MfiPreprocessedIndex::MaximalItemsets(int threshold) {
+MfiPreprocessedIndex::MaximalItemsets(int threshold, SolveContext* context) {
   auto it = cache_.find(threshold);
   if (it == cache_.end()) {
     StatusOr<std::vector<itemsets::FrequentItemset>> mined =
         options_.engine == MfiEngine::kRandomWalk
-            ? itemsets::MineMaximalItemsetsRandomWalk(db_, threshold,
-                                                      options_.walk)
-            : itemsets::MineMaximalItemsetsDfs(db_, threshold, options_.dfs);
+            ? itemsets::MineMaximalItemsetsRandomWalk(
+                  db_, threshold, options_.walk, /*stats=*/nullptr, context)
+            : itemsets::MineMaximalItemsetsDfs(db_, threshold, options_.dfs,
+                                               context);
     if (!mined.ok()) return mined.status();
+    if (context != nullptr && context->stop_requested()) {
+      // Interrupted pass: usable for this solve's lower bound, but not
+      // cacheable — the collection may be incomplete.
+      partial_scratch_ = std::move(mined).value();
+      return &partial_scratch_;
+    }
     it = cache_.emplace(threshold, std::move(mined).value()).first;
   }
   return &it->second;
@@ -82,18 +89,21 @@ namespace {
 
 // Scans the size-`level` subsets I with not_t ⊆ I ⊆ F over all maximal
 // itemsets F, returning the most frequent one (Fig 4 of the paper).
-// Returns support -1 when no candidate exists at this threshold.
+// Returns support -1 when no candidate exists at this threshold. The scan
+// is cooperative and best-effort: tripping `max_candidates` or a context
+// stop truncates it, recorded in `stop` (the best-so-far stays valid).
 struct SubsetScanResult {
   DynamicBitset best_itemset;
   int best_support = -1;
   std::uint64_t candidates = 0;
+  StopReason stop = StopReason::kNone;  // kNone iff the scan completed.
 };
 
-StatusOr<SubsetScanResult> ScanLevelSubsets(
+SubsetScanResult ScanLevelSubsets(
     const itemsets::TransactionDatabase& db,
     const std::vector<itemsets::FrequentItemset>& mfis,
     const DynamicBitset& not_t, const DynamicBitset& tuple, int level,
-    std::uint64_t max_candidates) {
+    std::uint64_t max_candidates, SolveContext* context) {
   SubsetScanResult result;
   const std::size_t base_size = not_t.Count();
   const int need = level - static_cast<int>(base_size);
@@ -109,10 +119,14 @@ StatusOr<SubsetScanResult> ScanLevelSubsets(
     const std::uint64_t combos =
         BinomialSaturating(static_cast<int>(pool.size()), need);
     if (max_candidates > 0 && result.candidates + combos > max_candidates) {
-      return ResourceExhaustedError(
-          "level-(M-m) subset scan exceeds max_subset_candidates");
+      result.stop = StopReason::kResourceLimit;
+      break;
     }
     ForEachCombination(pool, need, [&](const std::vector<int>& combo) {
+      if (internal::ShouldStop(context)) {
+        result.stop = context->stop_reason();
+        return false;
+      }
       ++result.candidates;
       DynamicBitset itemset = not_t;
       for (int item : combo) itemset.Set(item);
@@ -126,23 +140,25 @@ StatusOr<SubsetScanResult> ScanLevelSubsets(
       }
       return true;
     });
+    if (result.stop != StopReason::kNone) break;
   }
   return result;
 }
 
 }  // namespace
 
-StatusOr<SocSolution> MfiSocSolver::Solve(const QueryLog& log,
-                                          const DynamicBitset& tuple,
-                                          int m) const {
+StatusOr<SocSolution> MfiSocSolver::SolveWithContext(
+    const QueryLog& log, const DynamicBitset& tuple, int m,
+    SolveContext* context) const {
   MfiPreprocessedIndex index(log, options_);
-  return SolveWithIndex(index, log, tuple, m);
+  return SolveWithIndex(index, log, tuple, m, context);
 }
 
 StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
                                                    const QueryLog& log,
                                                    const DynamicBitset& tuple,
-                                                   int m) const {
+                                                   int m,
+                                                   SolveContext* context) const {
   SOC_CHECK_EQ(index.log_size(), log.size());
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
   const int num_attrs = log.num_attributes();
@@ -177,7 +193,10 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
     return solution;
   }
 
-  // Threshold schedule (Sec IV.C).
+  // Threshold schedule (Sec IV.C). The greedy seed doubles as the degraded
+  // incumbent: if the context stops mining or scanning before any candidate
+  // surfaces, the solver falls back to it rather than failing.
+  DynamicBitset incumbent(num_attrs);
   std::vector<int> thresholds;
   if (options_.adaptive_threshold) {
     int r = std::max(1, std::min(log.size() / 2, satisfiable));
@@ -190,6 +209,7 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
       if (seed.satisfied_queries >= 1) {
         r = std::min(r, seed.satisfied_queries);
       }
+      incumbent = std::move(seed.selected);
     }
     while (true) {
       thresholds.push_back(r);
@@ -202,30 +222,61 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
     thresholds.push_back(r);
   }
 
+  // Returns the padded incumbent as a degraded partial solution.
+  const auto degrade_to_incumbent = [&](StopReason reason,
+                                        std::uint64_t candidates) {
+    DynamicBitset selected = incumbent;
+    internal::PadSelection(log, tuple, m_eff, &selected);
+    SocSolution solution = internal::FinishSolution(
+        log, std::move(selected), /*proved_optimal=*/false);
+    solution.metrics.emplace_back("subset_candidates",
+                                  static_cast<double>(candidates));
+    internal::MarkDegraded(reason, &solution);
+    return solution;
+  };
+
+  if (internal::ShouldStop(context)) {
+    return degrade_to_incumbent(context->stop_reason(), 0);
+  }
+
   std::uint64_t total_candidates = 0;
   for (const int threshold : thresholds) {
     SOC_ASSIGN_OR_RETURN(const std::vector<itemsets::FrequentItemset>* mfis,
-                         index.MaximalItemsets(threshold));
-    SOC_ASSIGN_OR_RETURN(
-        SubsetScanResult scan,
+                         index.MaximalItemsets(threshold, context));
+    const bool mining_partial =
+        context != nullptr && context->stop_requested();
+    SubsetScanResult scan =
         ScanLevelSubsets(db, *mfis, not_t, tuple, level,
-                         options_.max_subset_candidates));
+                         options_.max_subset_candidates, context);
     total_candidates += scan.candidates;
+    const bool truncated = mining_partial || scan.stop != StopReason::kNone;
+    const StopReason stop_reason =
+        context != nullptr && context->stop_requested()
+            ? context->stop_reason()
+            : scan.stop;
     if (scan.best_support >= 0) {
       // Success at this threshold: the complement of the best level-(M-m)
       // itemset is the optimal compression (its frequency >= threshold, and
-      // every compression at least this visible was scanned).
+      // every compression at least this visible was scanned) — unless the
+      // pass was truncated, in which case it is only a lower bound.
       DynamicBitset selected = scan.best_itemset.Complement();
       internal::PadSelection(log, tuple, m_eff, &selected);
       SocSolution solution = internal::FinishSolution(
-          log, std::move(selected), /*proved_optimal=*/exact_engine);
+          log, std::move(selected),
+          /*proved_optimal=*/exact_engine && !truncated);
       solution.metrics.emplace_back("threshold",
                                     static_cast<double>(threshold));
       solution.metrics.emplace_back("maximal_itemsets",
                                     static_cast<double>(mfis->size()));
       solution.metrics.emplace_back("subset_candidates",
                                     static_cast<double>(total_candidates));
+      if (truncated) internal::MarkDegraded(stop_reason, &solution);
       return solution;
+    }
+    if (truncated) {
+      // Stopped before any candidate appeared at this threshold: serve the
+      // incumbent instead of descending further.
+      return degrade_to_incumbent(stop_reason, total_candidates);
     }
     // Fixed-threshold mode mirrors the paper: report "empty" via NotFound.
     if (!options_.adaptive_threshold) {

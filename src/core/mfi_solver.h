@@ -63,7 +63,9 @@ struct MfiSocOptions {
   // Used only when adaptive_threshold is false; as a fraction of |Q|,
   // e.g. 0.01 = "at least 1% of the queries must still retrieve t'".
   double fixed_threshold_fraction = 0.01;
-  // Guard on the level-(M-m) subset scan per threshold.
+  // Guard on the level-(M-m) subset scan per threshold. Tripping it no
+  // longer fails the solve: the scan stops and the solver degrades to its
+  // best incumbent (StopReason::kResourceLimit, core/solver.h contract).
   std::uint64_t max_subset_candidates = 5'000'000;
 };
 
@@ -78,8 +80,12 @@ class MfiPreprocessedIndex {
   const MfiSocOptions& options() const { return options_; }
 
   // Maximal frequent itemsets of ~Q at `threshold` (mined on first use).
+  // `context` (optional) makes the mining pass cooperative: when it stops
+  // the pass midway, the *partial* itemset collection is returned without
+  // being cached (so a later, unconstrained solve re-mines completely) and
+  // stays valid only until the next MaximalItemsets call.
   StatusOr<const std::vector<itemsets::FrequentItemset>*> MaximalItemsets(
-      int threshold);
+      int threshold, SolveContext* context = nullptr);
 
   // Persistence for the paper's offline-preprocessing workflow: the mined
   // itemsets of every threshold touched so far are written as CSV
@@ -93,20 +99,24 @@ class MfiPreprocessedIndex {
   int log_size_;
   MfiSocOptions options_;
   std::map<int, std::vector<itemsets::FrequentItemset>> cache_;
+  // Holds the result of a mining pass a SolveContext cut short; never
+  // promoted into cache_.
+  std::vector<itemsets::FrequentItemset> partial_scratch_;
 };
 
 class MfiSocSolver : public SocSolver {
  public:
   explicit MfiSocSolver(MfiSocOptions options = {}) : options_(options) {}
 
-  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
-                              int m) const override;
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override;
 
   // As Solve, but reuses a prebuilt index (must stem from the same log).
   StatusOr<SocSolution> SolveWithIndex(MfiPreprocessedIndex& index,
                                        const QueryLog& log,
-                                       const DynamicBitset& tuple,
-                                       int m) const;
+                                       const DynamicBitset& tuple, int m,
+                                       SolveContext* context = nullptr) const;
 
   std::string name() const override { return "MaxFreqItemSets"; }
 

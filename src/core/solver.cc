@@ -4,6 +4,21 @@
 
 #include "common/logging.h"
 
+namespace soc {
+
+bool IsDegraded(const SocSolution& solution) {
+  return SolutionStopReason(solution) != StopReason::kNone;
+}
+
+StopReason SolutionStopReason(const SocSolution& solution) {
+  for (const auto& [key, value] : solution.metrics) {
+    if (key == "stop_reason") return static_cast<StopReason>(value);
+  }
+  return StopReason::kNone;
+}
+
+}  // namespace soc
+
 namespace soc::internal {
 
 int EffectiveBudget(const QueryLog& log, const DynamicBitset& tuple, int m) {
@@ -42,6 +57,13 @@ SocSolution FinishSolution(const QueryLog& log, DynamicBitset selected,
   solution.selected = std::move(selected);
   solution.proved_optimal = proved_optimal;
   return solution;
+}
+
+void MarkDegraded(StopReason reason, SocSolution* solution) {
+  SOC_CHECK(reason != StopReason::kNone);
+  solution->proved_optimal = false;
+  solution->metrics.emplace_back("degraded", 1.0);
+  solution->metrics.emplace_back("stop_reason", static_cast<double>(reason));
 }
 
 }  // namespace soc::internal

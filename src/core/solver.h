@@ -17,6 +17,14 @@
 //    which never changes the objective.
 //  * `satisfied_queries` is always recomputed with the reference evaluator,
 //    so a buggy solver cannot over-report itself.
+//  * Anytime behavior: every solver accepts an optional SolveContext
+//    (wall-clock deadline, cooperative cancellation, deterministic tick
+//    budget — common/solve_context.h). When the context stops the solve,
+//    the solver returns a *partial* SocSolution carrying its best incumbent
+//    with proved_optimal == false and a "degraded" marker in `metrics`
+//    (see IsDegraded / SolutionStopReason) instead of an error Status.
+//    Solver-local structural guards (max_combinations, node caps) degrade
+//    the same way with StopReason::kResourceLimit.
 
 #ifndef SOC_CORE_SOLVER_H_
 #define SOC_CORE_SOLVER_H_
@@ -28,6 +36,7 @@
 #include "boolean/evaluator.h"
 #include "boolean/query_log.h"
 #include "common/bitset.h"
+#include "common/solve_context.h"
 #include "common/status.h"
 
 namespace soc {
@@ -40,15 +49,31 @@ struct SocSolution {
   std::vector<std::pair<std::string, double>> metrics;
 };
 
+// True iff `solution` carries the degradation marker stamped by
+// internal::MarkDegraded (i.e. the solver stopped early and surrendered a
+// partial incumbent).
+bool IsDegraded(const SocSolution& solution);
+
+// The StopReason recorded in a degraded solution's metrics, or kNone for
+// clean solutions.
+StopReason SolutionStopReason(const SocSolution& solution);
+
 class SocSolver {
  public:
   virtual ~SocSolver() = default;
 
   // Solves SOC-CB-QL for (log, t, m). `t` must have the log's width and
-  // m must be >= 0.
-  virtual StatusOr<SocSolution> Solve(const QueryLog& log,
-                                      const DynamicBitset& tuple,
-                                      int m) const = 0;
+  // m must be >= 0. `context` is optional and non-owning (it must outlive
+  // the call); nullptr solves without deadline, cancellation or budget.
+  virtual StatusOr<SocSolution> SolveWithContext(
+      const QueryLog& log, const DynamicBitset& tuple, int m,
+      SolveContext* context) const = 0;
+
+  // Convenience: solve with an unlimited context.
+  StatusOr<SocSolution> Solve(const QueryLog& log, const DynamicBitset& tuple,
+                              int m) const {
+    return SolveWithContext(log, tuple, m, /*context=*/nullptr);
+  }
 
   // Solver name as used in the paper's figures (e.g. "ILP",
   // "MaxFreqItemSets", "ConsumeAttr").
@@ -70,6 +95,17 @@ void PadSelection(const QueryLog& log, const DynamicBitset& tuple,
 // reference evaluator and attaches the optimality flag.
 SocSolution FinishSolution(const QueryLog& log, DynamicBitset selected,
                            bool proved_optimal);
+
+// Stamps the partial-result contract onto `solution`: clears
+// proved_optimal and appends ("degraded", 1.0) and ("stop_reason",
+// static_cast<double>(reason)) to its metrics. `reason` must not be kNone.
+void MarkDegraded(StopReason reason, SocSolution* solution);
+
+// Checkpoint helper for the nullable context convention: ticks and returns
+// true iff `context` is set and requests a stop.
+inline bool ShouldStop(SolveContext* context) {
+  return context != nullptr && context->Checkpoint();
+}
 
 }  // namespace internal
 }  // namespace soc

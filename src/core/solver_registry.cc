@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "core/bnb_solver.h"
 #include "core/brute_force.h"
+#include "core/fallback_solver.h"
 #include "core/greedy.h"
 #include "core/ilp_solver.h"
 #include "core/mfi_solver.h"
@@ -10,9 +11,9 @@
 namespace soc {
 
 std::vector<std::string> RegisteredSolverNames() {
-  return {"BruteForce",      "BranchAndBound",      "ILP",
-          "MaxFreqItemSets", "MaxFreqItemSets-dfs", "ConsumeAttr",
-          "ConsumeAttrCumul", "ConsumeQueries"};
+  return {"BruteForce",       "BranchAndBound",      "ILP",
+          "MaxFreqItemSets",  "MaxFreqItemSets-dfs", "ConsumeAttr",
+          "ConsumeAttrCumul", "ConsumeQueries",      "Fallback"};
 }
 
 StatusOr<std::unique_ptr<SocSolver>> CreateSolverByName(
@@ -45,6 +46,9 @@ StatusOr<std::unique_ptr<SocSolver>> CreateSolverByName(
   if (name == "ConsumeQueries") {
     return std::unique_ptr<SocSolver>(
         new GreedySolver(GreedyKind::kConsumeQueries));
+  }
+  if (name == "Fallback") {
+    return std::unique_ptr<SocSolver>(new FallbackSolver());
   }
   return NotFoundError("unknown solver '" + name + "'; valid: " +
                        Join(RegisteredSolverNames(), ", "));

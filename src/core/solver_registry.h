@@ -15,7 +15,7 @@ namespace soc {
 
 // The registered solver names, in presentation order:
 // BruteForce, BranchAndBound, ILP, MaxFreqItemSets, MaxFreqItemSets-dfs,
-// ConsumeAttr, ConsumeAttrCumul, ConsumeQueries.
+// ConsumeAttr, ConsumeAttrCumul, ConsumeQueries, Fallback.
 std::vector<std::string> RegisteredSolverNames();
 
 // Creates a solver with default options by (case-sensitive) name; returns

@@ -11,8 +11,9 @@ namespace {
 class MaximalDfsMiner {
  public:
   MaximalDfsMiner(const TransactionDatabase& db, int min_support,
-                  const MaximalDfsOptions& options)
-      : db_(db), min_support_(min_support), options_(options) {}
+                  const MaximalDfsOptions& options, SolveContext* context)
+      : db_(db), min_support_(min_support), options_(options),
+        context_(context) {}
 
   StatusOr<std::vector<FrequentItemset>> Run() {
     const int n = db_.num_items();
@@ -69,6 +70,12 @@ class MaximalDfsMiner {
     if (options_.max_nodes > 0 && ++nodes_ > options_.max_nodes) {
       return ResourceExhaustedError("maximal DFS node budget exhausted");
     }
+    // Cooperative stop: unwind quietly, keeping the maximal sets found so
+    // far as a partial result.
+    if (stopped_ || (context_ != nullptr && context_->Checkpoint())) {
+      stopped_ = true;
+      return Status::OK();
+    }
 
     // Classify candidate extensions; PEP moves equal-support items into the
     // prefix unconditionally (they belong to every maximal superset here).
@@ -109,7 +116,8 @@ class MaximalDfsMiner {
         std::vector<int> child_candidates;
         child_candidates.reserve(tail.size());
         for (const Ext& e : tail) child_candidates.push_back(e.item);
-        for (std::size_t i = 0; i < tail.size() && status.ok(); ++i) {
+        for (std::size_t i = 0; i < tail.size() && status.ok() && !stopped_;
+             ++i) {
           const int item = tail[i].item;
           // Subtree subsumption prune: everything below is contained in
           // prefix ∪ {item} ∪ remaining candidates.
@@ -136,17 +144,19 @@ class MaximalDfsMiner {
   const TransactionDatabase& db_;
   const int min_support_;
   const MaximalDfsOptions options_;
+  SolveContext* const context_;
   std::vector<FrequentItemset> mfis_;
   std::int64_t nodes_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace
 
 StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsDfs(
     const TransactionDatabase& db, int min_support,
-    const MaximalDfsOptions& options) {
+    const MaximalDfsOptions& options, SolveContext* context) {
   SOC_CHECK_GE(min_support, 1);
-  MaximalDfsMiner miner(db, min_support, options);
+  MaximalDfsMiner miner(db, min_support, options, context);
   return miner.Run();
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/solve_context.h"
 #include "common/status.h"
 #include "itemsets/transaction_db.h"
 
@@ -34,9 +35,14 @@ struct MaximalDfsOptions {
 // database has >= min_support transactions, the empty itemset is the unique
 // maximal frequent itemset and is returned alone; if the database has fewer
 // than min_support transactions, the result is empty.
+//
+// `context` (optional, non-owning) is ticked once per DFS node; when it
+// requests a stop the miner returns the maximal itemsets discovered so far
+// — a valid but possibly incomplete set. Callers distinguish the partial
+// case via context->stop_requested().
 StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsDfs(
     const TransactionDatabase& db, int min_support,
-    const MaximalDfsOptions& options = {});
+    const MaximalDfsOptions& options = {}, SolveContext* context = nullptr);
 
 // True iff `itemset` is frequent and none of its single-item supersets is.
 bool IsMaximalFrequent(const TransactionDatabase& db,

@@ -46,7 +46,8 @@ FrequentItemset TwoPhaseRandomWalk(const TransactionDatabase& db,
 
 StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
     const TransactionDatabase& db, int min_support,
-    const RandomWalkOptions& options, RandomWalkStats* stats) {
+    const RandomWalkOptions& options, RandomWalkStats* stats,
+    SolveContext* context) {
   SOC_CHECK_GE(min_support, 1);
   if (options.max_iterations <= 0) {
     return InvalidArgumentError("max_iterations must be positive");
@@ -59,6 +60,8 @@ StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
   int walks = 0;
   bool stopped_by_rule = false;
   while (walks < options.max_iterations) {
+    // One tick per two-phase walk; a stop surrenders the walks so far.
+    if (context != nullptr && context->Checkpoint()) break;
     if (options.good_turing_stop && walks >= options.min_iterations) {
       bool any_singleton = false;
       for (const auto& [itemset, times] : times_discovered) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/solve_context.h"
 #include "common/status.h"
 #include "itemsets/transaction_db.h"
 
@@ -51,10 +52,13 @@ struct RandomWalkStats {
 // Maximal frequent itemsets discovered by repeated two-phase walks.
 // Complete with high probability, not guaranteed (use MineMaximalItemsetsDfs
 // for a deterministic answer). Same degenerate-input conventions as the DFS
-// miner. `stats` may be null.
+// miner. `stats` may be null. `context` (optional, non-owning) is ticked
+// once per walk; on a stop request the walks discovered so far are
+// returned as a partial result (context->stop_requested() distinguishes).
 StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
     const TransactionDatabase& db, int min_support,
-    const RandomWalkOptions& options = {}, RandomWalkStats* stats = nullptr);
+    const RandomWalkOptions& options = {}, RandomWalkStats* stats = nullptr,
+    SolveContext* context = nullptr);
 
 // One two-phase walk (exposed for tests and the ablation bench): returns a
 // maximal frequent itemset, or the empty itemset when min_support exceeds

@@ -166,6 +166,10 @@ StatusOr<MipResult> MipSolver::Solve() {
       final_status = SolveStatus::kDeadlineExceeded;
       break;
     }
+    if (options_.context != nullptr && options_.context->Checkpoint()) {
+      final_status = SolveStatus::kDeadlineExceeded;
+      break;
+    }
     if (options_.max_nodes > 0 && nodes_explored_ >= options_.max_nodes) {
       final_status = SolveStatus::kIterationLimit;
       break;
@@ -189,6 +193,7 @@ StatusOr<MipResult> MipSolver::Solve() {
     }
 
     SimplexOptions lp_options = options_.lp_options;
+    lp_options.context = options_.context;
     if (options_.time_limit_seconds > 0.0) {
       const double remaining =
           options_.time_limit_seconds - timer.ElapsedSeconds();

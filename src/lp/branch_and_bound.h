@@ -30,6 +30,11 @@ struct MipOptions {
   std::optional<std::vector<double>> initial_solution;
   // Options forwarded to each LP relaxation solve.
   SimplexOptions lp_options;
+  // Optional cooperative execution context (non-owning; must outlive the
+  // solve), checked once per node and forwarded to every LP relaxation.
+  // Any stop — deadline, cancellation, tick budget — surfaces as
+  // kDeadlineExceeded with the best incumbent so far in MipResult::x.
+  SolveContext* context = nullptr;
 };
 
 struct MipResult {

@@ -253,7 +253,12 @@ SolveStatus SimplexSolver::RunPhase(const Deadline& deadline) {
 
   while (true) {
     if (iterations_ >= max_iterations_) return SolveStatus::kIterationLimit;
-    if ((iterations_ & 63) == 0 && deadline.Expired()) {
+    if ((iterations_ & kStopCheckMask) == 0 && deadline.Expired()) {
+      return SolveStatus::kDeadlineExceeded;
+    }
+    // One tick per pivot; Checkpoint applies the kStopCheckInterval
+    // cadence internally.
+    if (options_.context != nullptr && options_.context->Checkpoint()) {
       return SolveStatus::kDeadlineExceeded;
     }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/solve_context.h"
 #include "common/status.h"
 #include "common/timer.h"
 #include "lp/model.h"
@@ -46,6 +47,11 @@ struct SimplexOptions {
   // Upper bound on tableau cells (rows * columns); guards against
   // accidentally materializing a multi-GB tableau.
   std::int64_t max_tableau_entries = 30'000'000;
+  // Optional cooperative execution context (non-owning; must outlive the
+  // solve). Each pivot ticks it; a stop of any kind — deadline,
+  // cancellation, tick budget — surfaces as kDeadlineExceeded, the
+  // "stopped early, partial state valid" status.
+  SolveContext* context = nullptr;
 };
 
 struct SimplexResult {

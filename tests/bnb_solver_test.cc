@@ -22,15 +22,21 @@ TEST(BnbSolverTest, PaperExample) {
   EXPECT_TRUE(solution->proved_optimal);
 }
 
-TEST(BnbSolverTest, NodeBudgetSurfacesAsError) {
+TEST(BnbSolverTest, NodeBudgetDegradesToIncumbent) {
   const datagen::Graph graph = datagen::Graph::ErdosRenyi(30, 0.6, 1);
   const datagen::CliqueSocInstance instance = datagen::CliqueToSoc(graph);
   BnbSocOptions options;
   options.max_nodes = 10;
   const BnbSocSolver solver(options);
   auto solution = solver.Solve(instance.log, instance.tuple, 8);
-  ASSERT_FALSE(solution.ok());
-  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(IsDegraded(*solution));
+  EXPECT_EQ(SolutionStopReason(*solution), StopReason::kResourceLimit);
+  EXPECT_FALSE(solution->proved_optimal);
+  EXPECT_EQ(solution->selected.Count(), 8u);
+  EXPECT_TRUE(solution->selected.IsSubsetOf(instance.tuple));
+  // The greedy incumbent seeded before the search survives the truncation.
+  EXPECT_GE(solution->satisfied_queries, 0);
 }
 
 TEST(BnbSolverTest, ReportsNodeMetric) {

@@ -3,10 +3,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "boolean/evaluator.h"
 #include "boolean/query_log.h"
 #include "boolean/table.h"
 #include "common/csv.h"
 #include "common/random.h"
+#include "common/solve_context.h"
+#include "core/brute_force.h"
+#include "core/fallback_solver.h"
+#include "core/solver_registry.h"
+#include "datagen/workload.h"
 #include "lp/lp_writer.h"
 #include "lp/simplex.h"
 
@@ -133,6 +145,201 @@ TEST(RobustnessTest, SimplexSurvivesDegenerateRandomModels) {
       EXPECT_TRUE(model.IsFeasible(result->x, 1e-5)) << "trial " << trial;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-harness sweeps: every registered solver, stopped at arbitrary
+// points via fault injection, must return a valid (if degraded) solution.
+// ---------------------------------------------------------------------------
+
+QueryLog HarnessLog() {
+  const AttributeSchema schema = AttributeSchema::Anonymous(18);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 60;
+  wl.seed = 77;
+  return datagen::MakeSyntheticWorkload(schema, wl);
+}
+
+DynamicBitset HarnessTuple() {
+  DynamicBitset t(18);
+  t.SetAll();
+  t.Reset(2);
+  t.Reset(11);
+  return t;
+}
+
+// The invariants every solution — complete or degraded — must satisfy.
+void ExpectValidSolution(const QueryLog& log, const DynamicBitset& tuple,
+                         int m, const SocSolution& solution,
+                         const std::string& label) {
+  EXPECT_TRUE(solution.selected.IsSubsetOf(tuple)) << label;
+  const int m_eff = std::min<int>(m, static_cast<int>(tuple.Count()));
+  EXPECT_EQ(static_cast<int>(solution.selected.Count()), m_eff) << label;
+  EXPECT_EQ(solution.satisfied_queries,
+            CountSatisfiedQueries(log, solution.selected))
+      << label;
+  if (IsDegraded(solution)) {
+    EXPECT_FALSE(solution.proved_optimal) << label;
+    EXPECT_NE(SolutionStopReason(solution), StopReason::kNone) << label;
+  }
+}
+
+TEST(RobustnessTest, FaultInjectedSolversDegradeToValidSolutions) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  const StopReason reasons[] = {StopReason::kDeadline, StopReason::kCancelled,
+                                StopReason::kTickBudget};
+  const std::int64_t inject_ticks[] = {1, 5, 50};
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    for (const StopReason reason : reasons) {
+      for (const std::int64_t at_tick : inject_ticks) {
+        SolveContext context;
+        context.InjectFault(reason, at_tick);
+        auto solution = (*solver)->SolveWithContext(log, tuple, 6, &context);
+        const std::string label = name + " reason=" +
+                                  StopReasonToString(reason) + " tick=" +
+                                  std::to_string(at_tick);
+        ASSERT_TRUE(solution.ok()) << label << ": "
+                                   << solution.status().ToString();
+        ExpectValidSolution(log, tuple, 6, *solution, label);
+        // A solver that was actually stopped must report the injected
+        // reason; one that finished under the wire must claim optimality
+        // honestly (proved or not, but undegraded).
+        if (IsDegraded(*solution)) {
+          EXPECT_EQ(SolutionStopReason(*solution), reason) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, PreExpiredDeadlineDegradesEverySolver) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    SolveContext context;
+    context.set_deadline(Deadline::AfterSeconds(0.0));
+    auto solution = (*solver)->SolveWithContext(log, tuple, 6, &context);
+    ASSERT_TRUE(solution.ok()) << name;
+    ExpectValidSolution(log, tuple, 6, *solution, name);
+    EXPECT_TRUE(IsDegraded(*solution)) << name;
+    EXPECT_EQ(SolutionStopReason(*solution), StopReason::kDeadline) << name;
+  }
+}
+
+TEST(RobustnessTest, PreSetCancelFlagDegradesEverySolver) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  std::atomic<bool> cancel{true};
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    SolveContext context;
+    context.set_cancel_flag(&cancel);
+    auto solution = (*solver)->SolveWithContext(log, tuple, 6, &context);
+    ASSERT_TRUE(solution.ok()) << name;
+    ExpectValidSolution(log, tuple, 6, *solution, name);
+    EXPECT_TRUE(IsDegraded(*solution)) << name;
+    EXPECT_EQ(SolutionStopReason(*solution), StopReason::kCancelled) << name;
+  }
+}
+
+TEST(RobustnessTest, ConcurrentCancellationStopsLongSolve) {
+  // A genuinely concurrent cancel on a large instance. The assertions are
+  // timing-tolerant: whichever way the race goes, the answer must be valid;
+  // a stop must be attributed to cancellation.
+  const AttributeSchema schema = AttributeSchema::Anonymous(26);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 400;
+  wl.seed = 5;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  DynamicBitset tuple(26);
+  tuple.SetAll();
+
+  std::atomic<bool> cancel{false};
+  SolveContext context;
+  context.set_cancel_flag(&cancel);
+  BruteForceOptions options;
+  options.max_combinations = 0;  // Unlimited: only the flag can stop it.
+  const BruteForceSolver solver(options);
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.store(true);
+  });
+  auto solution = solver.SolveWithContext(log, tuple, 13, &context);
+  canceller.join();
+  ASSERT_TRUE(solution.ok());
+  ExpectValidSolution(log, tuple, 13, *solution, "concurrent-cancel");
+  if (IsDegraded(*solution)) {
+    EXPECT_EQ(SolutionStopReason(*solution), StopReason::kCancelled);
+  }
+}
+
+TEST(RobustnessTest, TickBudgetBoundsWorkPerformed) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    SolveContext context;
+    context.set_tick_budget(100);
+    auto solution = (*solver)->SolveWithContext(log, tuple, 6, &context);
+    ASSERT_TRUE(solution.ok()) << name;
+    ExpectValidSolution(log, tuple, 6, *solution, name);
+    // The budget admits at most budget + 1 ticks (the trip itself).
+    EXPECT_LE(context.ticks(), 101) << name;
+    if (IsDegraded(*solution)) {
+      EXPECT_EQ(SolutionStopReason(*solution), StopReason::kTickBudget)
+          << name;
+    }
+  }
+}
+
+TEST(RobustnessTest, FallbackRescuesCappedBruteForce) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  BruteForceOptions cap;
+  cap.max_combinations = 1;
+  FallbackSolver fallback(std::make_unique<BruteForceSolver>(cap));
+  auto solution = fallback.Solve(log, tuple, 6);
+  ASSERT_TRUE(solution.ok());
+  ExpectValidSolution(log, tuple, 6, *solution, "fallback-capped");
+  EXPECT_TRUE(IsDegraded(*solution));
+  EXPECT_EQ(SolutionStopReason(*solution), StopReason::kResourceLimit);
+  double tier = -1.0;
+  for (const auto& [key, value] : solution->metrics) {
+    if (key == "fallback_tier") tier = value;
+  }
+  EXPECT_GE(tier, 0.0);
+}
+
+TEST(RobustnessTest, FallbackIsCleanWhenExactTierFinishes) {
+  const QueryLog log = HarnessLog();
+  const DynamicBitset tuple = HarnessTuple();
+  const FallbackSolver fallback;
+  auto unconstrained = fallback.Solve(log, tuple, 6);
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_FALSE(IsDegraded(*unconstrained));
+  EXPECT_TRUE(unconstrained->proved_optimal);
+  double tier = -1.0;
+  for (const auto& [key, value] : unconstrained->metrics) {
+    if (key == "fallback_tier") tier = value;
+  }
+  EXPECT_EQ(tier, 0.0);
+
+  // Under an impossible budget the portfolio still answers, and never
+  // worse than its greedy tier.
+  SolveContext context;
+  context.InjectFault(StopReason::kDeadline, 1);
+  auto degraded = fallback.SolveWithContext(log, tuple, 6, &context);
+  ASSERT_TRUE(degraded.ok());
+  ExpectValidSolution(log, tuple, 6, *degraded, "fallback-degraded");
+  EXPECT_TRUE(IsDegraded(*degraded));
+  EXPECT_LE(degraded->satisfied_queries, unconstrained->satisfied_queries);
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+#include "common/solve_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/timer.h"
+
+namespace soc {
+namespace {
+
+TEST(SolveContextTest, UnconstrainedNeverStops) {
+  SolveContext context;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(context.Checkpoint());
+  EXPECT_FALSE(context.stop_requested());
+  EXPECT_EQ(context.stop_reason(), StopReason::kNone);
+  EXPECT_EQ(context.ticks(), 1000);
+}
+
+TEST(SolveContextTest, FirstTickConsultsTheClock) {
+  // A deadline that is already over must be noticed on the very first
+  // checkpoint, not after kStopCheckInterval ticks.
+  SolveContext context;
+  context.set_deadline(Deadline::AfterSeconds(0.0));
+  EXPECT_TRUE(context.Checkpoint());
+  EXPECT_EQ(context.stop_reason(), StopReason::kDeadline);
+  EXPECT_EQ(context.ticks(), 1);
+}
+
+TEST(SolveContextTest, CancelFlagIsPolledAtTheCadence) {
+  std::atomic<bool> cancel{false};
+  SolveContext context;
+  context.set_cancel_flag(&cancel);
+  // Ticks 1..interval: flag unset, no stop.
+  for (int i = 0; i < kStopCheckInterval; ++i) {
+    EXPECT_FALSE(context.Checkpoint());
+  }
+  cancel.store(true);
+  // The flag is only consulted every kStopCheckInterval ticks, so at most
+  // one full interval of extra work happens before the stop lands.
+  int extra = 0;
+  while (!context.Checkpoint()) ++extra;
+  EXPECT_LT(extra, kStopCheckInterval);
+  EXPECT_EQ(context.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(SolveContextTest, TickBudgetTripsExactly) {
+  SolveContext context;
+  context.set_tick_budget(10);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(context.Checkpoint()) << i;
+  EXPECT_TRUE(context.Checkpoint());
+  EXPECT_EQ(context.stop_reason(), StopReason::kTickBudget);
+  EXPECT_EQ(context.ticks(), 11);
+}
+
+TEST(SolveContextTest, InjectedFaultFiresDeterministically) {
+  SolveContext context;
+  context.InjectFault(StopReason::kDeadline, 5);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(context.Checkpoint()) << i;
+  EXPECT_TRUE(context.Checkpoint());
+  EXPECT_EQ(context.stop_reason(), StopReason::kDeadline);
+  EXPECT_EQ(context.ticks(), 5);
+}
+
+TEST(SolveContextTest, StopIsSticky) {
+  SolveContext context;
+  context.InjectFault(StopReason::kCancelled, 1);
+  EXPECT_TRUE(context.Checkpoint());
+  const std::int64_t ticks = context.ticks();
+  // Further checkpoints keep reporting the stop without advancing ticks or
+  // rewriting the reason.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(context.Checkpoint());
+  EXPECT_EQ(context.ticks(), ticks);
+  EXPECT_EQ(context.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(SolveContextTest, StopReasonNamesAreStable) {
+  EXPECT_STREQ(StopReasonToString(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonToString(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonToString(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonToString(StopReason::kTickBudget), "tick_budget");
+  EXPECT_STREQ(StopReasonToString(StopReason::kResourceLimit),
+               "resource_limit");
+}
+
+TEST(SolveContextTest, CadenceConstantsAgree) {
+  // The shared cadence must stay a power of two for the & masking used by
+  // the simplex and the checkpoint fast path.
+  EXPECT_EQ(kStopCheckInterval, kStopCheckMask + 1);
+  EXPECT_EQ(kStopCheckInterval & kStopCheckMask, 0);
+}
+
+}  // namespace
+}  // namespace soc

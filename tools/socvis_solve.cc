@@ -53,6 +53,7 @@ int Usage() {
       "usage: socvis_solve --log=log.csv --m=N "
       "(--tuple=BITSTRING | --dataset=cars.csv --tuple-row=R) "
       "[--solver=NAME] [--all] [--stats] "
+      "[--time-limit-ms=T] [--tick-budget=N] "
       "[--variant=conjunctive|per-attribute|disjunctive]\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", ") +
       "\n  per-attribute ignores --m; disjunctive supports solver "
@@ -154,6 +155,15 @@ int main(int argc, char** argv) {
         GetFlag(argc, argv, "solver", "MaxFreqItemSets"));
   }
 
+  const double time_limit_ms =
+      std::atof(GetFlag(argc, argv, "time-limit-ms", "0").c_str());
+  const long long tick_budget =
+      std::atoll(GetFlag(argc, argv, "tick-budget", "0").c_str());
+  if (time_limit_ms < 0 || tick_budget < 0) {
+    return Fail("--time-limit-ms and --tick-budget must be nonnegative");
+  }
+  const bool limited = time_limit_ms > 0 || tick_budget > 0;
+
   const bool as_json = HasFlag(argc, argv, "json");
   if (!as_json) {
     std::printf("log: %d queries over %d attributes; |t| = %d; m = %d\n",
@@ -164,8 +174,16 @@ int main(int argc, char** argv) {
   for (const std::string& name : solver_names) {
     auto solver = CreateSolverByName(name);
     if (!solver.ok()) return Fail(solver.status().ToString());
+    // Each solver gets a fresh context so one overrun doesn't starve the
+    // rest of an --all sweep.
+    SolveContext context;
+    if (time_limit_ms > 0) {
+      context.set_deadline(Deadline::AfterSeconds(time_limit_ms / 1000.0));
+    }
+    if (tick_budget > 0) context.set_tick_budget(tick_budget);
     WallTimer timer;
-    auto solution = (*solver)->Solve(*log, tuple, m);
+    auto solution =
+        (*solver)->SolveWithContext(*log, tuple, m, limited ? &context : nullptr);
     const double ms = timer.ElapsedMillis();
     if (!solution.ok()) {
       if (!as_json) {
@@ -185,6 +203,9 @@ int main(int argc, char** argv) {
                JsonValue::Int(solution->satisfied_queries))
           .Set("selected", JsonValue::Array(std::move(attrs)))
           .Set("proved_optimal", JsonValue::Bool(solution->proved_optimal))
+          .Set("degraded", JsonValue::Bool(IsDegraded(*solution)))
+          .Set("stop_reason", JsonValue::String(StopReasonToString(
+                                  SolutionStopReason(*solution))))
           .Set("milliseconds", JsonValue::Number(ms));
       json_results.push_back(std::move(entry));
       continue;
@@ -194,7 +215,12 @@ int main(int argc, char** argv) {
     solution->selected.ForEachSetBit([&](int attr) {
       std::printf("%s ", log->schema().name(attr).c_str());
     });
-    std::printf("}%s\n", solution->proved_optimal ? "  [optimal]" : "");
+    std::printf("}%s", solution->proved_optimal ? "  [optimal]" : "");
+    if (IsDegraded(*solution)) {
+      std::printf("  [degraded: %s]",
+                  StopReasonToString(SolutionStopReason(*solution)));
+    }
+    std::printf("\n");
   }
   if (as_json) {
     JsonValue report = JsonValue::Object();
