@@ -1,0 +1,180 @@
+// serve_throughput: throughput of the VisibilityService worker pool on a
+// synthetic batch workload, swept over worker counts. Starts the serving
+// perf trajectory: requests/sec at 1/2/4/8 workers, printed as a table
+// and written to BENCH_serve.json for tracking across commits.
+//
+//   serve_throughput [--requests=N] [--queries=N] [--attrs=N] [--m=N]
+//                    [--seed=N] [--out-json=path]
+//
+// The workload mixes the greedy portfolio with exact solves so scaling
+// reflects real request heterogeneity, not a single hot loop.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/timer.h"
+#include "datagen/workload.h"
+#include "serve/batch_engine.h"
+#include "serve/visibility_service.h"
+
+namespace soc::bench {
+namespace {
+
+struct WorkerPoint {
+  int workers = 0;
+  double seconds = 0;
+  double requests_per_sec = 0;
+  double speedup_vs_one = 0;
+};
+
+std::vector<serve::SolveRequest> MakeWorkload(const QueryLog& log,
+                                              int num_requests, int m,
+                                              unsigned seed) {
+  // Deterministic pseudo-random tuples (xorshift) over the log's width;
+  // solver mix weighted toward the portfolio tiers a service would run.
+  const char* solvers[] = {"Fallback", "Fallback", "ConsumeAttrCumul",
+                           "BranchAndBound", "MaxFreqItemSets"};
+  std::vector<serve::SolveRequest> requests;
+  requests.reserve(num_requests);
+  unsigned state = seed * 2654435761u + 1u;
+  for (int i = 0; i < num_requests; ++i) {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    serve::SolveRequest request;
+    request.id = std::to_string(i);
+    request.tuple = DynamicBitset(log.num_attributes());
+    for (int a = 0; a < log.num_attributes(); ++a) {
+      if ((state >> (a % 28)) & 1u) request.tuple.Set(a);
+    }
+    request.m = 1 + i % m;
+    request.solver = solvers[i % 5];
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int num_requests = static_cast<int>(flags.GetInt("requests", 1000));
+  const int num_queries = static_cast<int>(flags.GetInt("queries", 300));
+  const int num_attrs = static_cast<int>(flags.GetInt("attrs", 14));
+  const int m = static_cast<int>(flags.GetInt("m", 5));
+  const unsigned seed = static_cast<unsigned>(flags.GetInt("seed", 17));
+
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = num_queries;
+  wl.seed = seed;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl);
+  const std::vector<serve::SolveRequest> workload =
+      MakeWorkload(log, num_requests, m, seed);
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("serve_throughput: %d requests, |Q|=%d, M=%d, m<=%d, %u cores\n",
+              num_requests, num_queries, num_attrs, m, hardware);
+  if (hardware < 8) {
+    std::printf("note: only %u hardware threads — speedup is bounded by the "
+                "machine, not the service\n",
+                hardware);
+  }
+  std::printf("\n");
+
+  std::vector<WorkerPoint> points;
+  for (int workers : {1, 2, 4, 8}) {
+    serve::VisibilityServiceOptions options;
+    options.num_workers = workers;
+    options.max_queue = 0;  // Measure solve throughput, not load shedding.
+    serve::VisibilityService service(log, options);
+
+    {  // Warmup: populate the shared MFI cache outside the timed region.
+      serve::BatchEngine warmup(service);
+      for (int i = 0; i < std::min(64, num_requests); ++i) {
+        serve::SolveRequest request = workload[i];
+        warmup.Submit(std::move(request));
+      }
+      warmup.Drain();
+    }
+
+    WallTimer timer;
+    serve::BatchEngine engine(service);
+    for (const serve::SolveRequest& request : workload) {
+      engine.Submit(serve::SolveRequest(request));
+    }
+    const std::vector<serve::SolveResponse> responses = engine.Drain();
+    const double seconds = timer.ElapsedSeconds();
+
+    int failed = 0;
+    for (const serve::SolveResponse& response : responses) {
+      if (!response.status.ok()) ++failed;
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "serve_throughput: %d requests failed\n", failed);
+      return 1;
+    }
+
+    WorkerPoint point;
+    point.workers = workers;
+    point.seconds = seconds;
+    point.requests_per_sec = num_requests / seconds;
+    point.speedup_vs_one =
+        points.empty() ? 1.0
+                       : point.requests_per_sec / points[0].requests_per_sec;
+    points.push_back(point);
+  }
+
+  ResultTable table("workers", {"seconds", "req/s", "speedup"});
+  for (const WorkerPoint& point : points) {
+    table.AddRow(std::to_string(point.workers),
+                 {ResultTable::Cell(point.seconds),
+                  ResultTable::Cell(point.requests_per_sec, "%.1f"),
+                  ResultTable::Cell(point.speedup_vs_one, "%.2f")});
+  }
+  table.Print();
+
+  JsonValue json = JsonValue::Object();
+  json.Set("bench", JsonValue::String("serve_throughput"));
+  json.Set("requests", JsonValue::Int(num_requests));
+  json.Set("num_queries", JsonValue::Int(num_queries));
+  json.Set("num_attributes", JsonValue::Int(num_attrs));
+  json.Set("hardware_concurrency", JsonValue::Int(hardware));
+  std::vector<JsonValue> series;
+  for (const WorkerPoint& point : points) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("workers", JsonValue::Int(point.workers));
+    entry.Set("seconds", JsonValue::Number(point.seconds));
+    entry.Set("requests_per_sec", JsonValue::Number(point.requests_per_sec));
+    entry.Set("speedup_vs_one_worker",
+              JsonValue::Number(point.speedup_vs_one));
+    series.push_back(std::move(entry));
+  }
+  json.Set("points", JsonValue::Array(std::move(series)));
+
+  const std::string out_path = [&argc, &argv] {
+    const std::string prefix = "--out-json=";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return std::string("BENCH_serve.json");
+  }();
+  std::ofstream out(out_path, std::ios::binary);
+  out << json.ToString() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "serve_throughput: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace soc::bench
+
+int main(int argc, char** argv) { return soc::bench::Main(argc, argv); }

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -57,6 +59,9 @@ Status UnimplementedError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(StatusCode::kOverloaded, std::move(message));
 }
 
 }  // namespace soc

@@ -26,6 +26,9 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kDeadlineExceeded,
+  // A serving layer declined the work under load-shedding / admission
+  // control (queue full, deadline already unmeetable). Retryable later.
+  kOverloaded,
 };
 
 // Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -63,6 +66,7 @@ Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status OverloadedError(std::string message);
 
 // Either a value of type T or an error Status. Accessing the value of a
 // non-OK StatusOr is a checked programmer error.

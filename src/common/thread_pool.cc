@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace soc {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(task));
+  }
+  wake_workers_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  wake_workers_.notify_all();
+  // Joining threads that already exited is fine; guard against a second
+  // concurrent Shutdown by swapping the worker list out under the lock.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::int64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_completed_;
+}
+
+std::int64_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_failed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool failed = false;
+    try {
+      task();
+    } catch (...) {
+      failed = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_completed_;
+      if (failed) ++tasks_failed_;
+    }
+  }
+}
+
+}  // namespace soc

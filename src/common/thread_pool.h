@@ -1,0 +1,77 @@
+// A fixed-size worker thread pool with a condition-variable task queue.
+//
+// Workers pop std::function<void()> tasks in FIFO order. The pool is the
+// execution substrate of the serving layer (serve/visibility_service.h):
+// admission control and queue bounds live in the *caller* — the pool
+// itself never rejects work before shutdown, so a caller that wants a
+// bounded queue checks queue_depth() first.
+//
+// Shutdown contract: Shutdown() (also run by the destructor) stops intake,
+// lets the workers drain every task already queued, then joins. Submitting
+// after shutdown returns false and drops the task. Tasks must not block on
+// the pool itself (no Submit-and-wait from a worker), or drain can
+// deadlock.
+//
+// Exception policy: the library is no-throw by convention (Status-based),
+// but a defective task must not take the worker thread or the process
+// down with it. Workers catch everything, count the failure
+// (tasks_failed()) and keep serving.
+
+#ifndef SOC_COMMON_THREAD_POOL_H_
+#define SOC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace soc {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers immediately (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Joins the workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false (dropping the task) iff Shutdown() has
+  // already begun.
+  bool Submit(std::function<void()> task);
+
+  // Stops intake, drains already-queued tasks and joins the workers.
+  // Idempotent; safe to call concurrently with Submit.
+  void Shutdown();
+
+  int num_threads() const { return num_threads_; }
+
+  // Tasks currently queued but not yet claimed by a worker.
+  std::size_t queue_depth() const;
+
+  // Tasks that ran to completion (including ones that threw).
+  std::int64_t tasks_completed() const;
+  // Tasks whose callable threw; always <= tasks_completed().
+  std::int64_t tasks_failed() const;
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_ = 0;  // Immutable after construction.
+  mutable std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::int64_t tasks_completed_ = 0;
+  std::int64_t tasks_failed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_THREAD_POOL_H_

@@ -17,7 +17,7 @@ MfiPreprocessedIndex::MfiPreprocessedIndex(const QueryLog& log,
       log_size_(log.size()),
       options_(options) {}
 
-StatusOr<const std::vector<itemsets::FrequentItemset>*>
+StatusOr<std::shared_ptr<const std::vector<itemsets::FrequentItemset>>>
 MfiPreprocessedIndex::MaximalItemsets(int threshold, SolveContext* context) {
   auto it = cache_.find(threshold);
   if (it == cache_.end()) {
@@ -28,26 +28,27 @@ MfiPreprocessedIndex::MaximalItemsets(int threshold, SolveContext* context) {
             : itemsets::MineMaximalItemsetsDfs(db_, threshold, options_.dfs,
                                                context);
     if (!mined.ok()) return mined.status();
+    auto itemsets = std::make_shared<const std::vector<itemsets::FrequentItemset>>(
+        std::move(mined).value());
     if (context != nullptr && context->stop_requested()) {
       // Interrupted pass: usable for this solve's lower bound, but not
       // cacheable — the collection may be incomplete.
-      partial_scratch_ = std::move(mined).value();
-      return &partial_scratch_;
+      return itemsets;
     }
-    it = cache_.emplace(threshold, std::move(mined).value()).first;
+    it = cache_.emplace(threshold, std::move(itemsets)).first;
   }
-  return &it->second;
+  return it->second;
 }
 
 std::string MfiPreprocessedIndex::SerializeCache() const {
   CsvTable csv;
   csv.header = {"threshold", "support", "itemset"};
   for (const auto& [threshold, itemsets] : cache_) {
-    for (const itemsets::FrequentItemset& f : itemsets) {
+    for (const itemsets::FrequentItemset& f : *itemsets) {
       csv.rows.push_back({std::to_string(threshold),
                           std::to_string(f.support), f.items.ToString()});
     }
-    if (itemsets.empty()) {
+    if (itemsets->empty()) {
       // Record thresholds that legitimately mined nothing, so a reload
       // does not re-mine them.
       csv.rows.push_back({std::to_string(threshold), "-1", ""});
@@ -80,7 +81,9 @@ Status MfiPreprocessedIndex::LoadCache(const std::string& serialized) {
     bucket.push_back(std::move(f));
   }
   for (auto& [threshold, itemsets] : loaded) {
-    cache_[threshold] = std::move(itemsets);
+    cache_[threshold] =
+        std::make_shared<const std::vector<itemsets::FrequentItemset>>(
+            std::move(itemsets));
   }
   return Status::OK();
 }
@@ -154,7 +157,7 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithContext(
   return SolveWithIndex(index, log, tuple, m, context);
 }
 
-StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
+StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiItemsetSource& index,
                                                    const QueryLog& log,
                                                    const DynamicBitset& tuple,
                                                    int m,
@@ -241,8 +244,10 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiPreprocessedIndex& index,
 
   std::uint64_t total_candidates = 0;
   for (const int threshold : thresholds) {
-    SOC_ASSIGN_OR_RETURN(const std::vector<itemsets::FrequentItemset>* mfis,
-                         index.MaximalItemsets(threshold, context));
+    SOC_ASSIGN_OR_RETURN(
+        const std::shared_ptr<const std::vector<itemsets::FrequentItemset>>
+            mfis,
+        index.MaximalItemsets(threshold, context));
     const bool mining_partial =
         context != nullptr && context->stop_requested();
     SubsetScanResult scan =

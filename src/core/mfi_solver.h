@@ -69,23 +69,53 @@ struct MfiSocOptions {
   std::uint64_t max_subset_candidates = 5'000'000;
 };
 
+// Where SolveWithIndex gets its mined itemsets from. Implementations own
+// the complemented transaction database and memoize (or share, or bound)
+// per-threshold mining results; collections are handed out as
+// shared_ptr-to-const so a provider that evicts (serve::SharedMfiIndex's
+// LRU) can never invalidate a reader mid-solve.
+//
+// Thread-safety is the implementation's contract, not the interface's:
+// MfiPreprocessedIndex below is single-owner, serve/preprocessing_cache.h
+// wraps it for concurrent use.
+class MfiItemsetSource {
+ public:
+  virtual ~MfiItemsetSource() = default;
+
+  virtual const itemsets::TransactionDatabase& complemented_db() const = 0;
+  // Size of the query log the source was built over (solve-time guard
+  // against pairing a source with the wrong log).
+  virtual int log_size() const = 0;
+
+  // Maximal frequent itemsets of ~Q at `threshold`. `context` (optional)
+  // makes the mining pass cooperative: when it stops the pass midway, the
+  // *partial* itemset collection is returned without being cached (so a
+  // later, unconstrained solve re-mines completely).
+  virtual StatusOr<std::shared_ptr<const std::vector<itemsets::FrequentItemset>>>
+  MaximalItemsets(int threshold, SolveContext* context) = 0;
+};
+
 // Shared preprocessing: ~Q as a transaction database plus memoized maximal
 // itemsets per threshold.
-class MfiPreprocessedIndex {
+//
+// Ownership / concurrency: single-owner. MaximalItemsets mutates the memo
+// map (cache promotion) with no internal locking, so an instance must not
+// be shared across threads without external synchronization — the serving
+// layer uses serve::SharedMfiIndex (a locked, LRU-bounded MfiItemsetSource)
+// instead of sharing one of these.
+class MfiPreprocessedIndex : public MfiItemsetSource {
  public:
   MfiPreprocessedIndex(const QueryLog& log, MfiSocOptions options);
 
-  const itemsets::TransactionDatabase& complemented_db() const { return db_; }
-  int log_size() const { return log_size_; }
+  const itemsets::TransactionDatabase& complemented_db() const override {
+    return db_;
+  }
+  int log_size() const override { return log_size_; }
   const MfiSocOptions& options() const { return options_; }
 
   // Maximal frequent itemsets of ~Q at `threshold` (mined on first use).
-  // `context` (optional) makes the mining pass cooperative: when it stops
-  // the pass midway, the *partial* itemset collection is returned without
-  // being cached (so a later, unconstrained solve re-mines completely) and
-  // stays valid only until the next MaximalItemsets call.
-  StatusOr<const std::vector<itemsets::FrequentItemset>*> MaximalItemsets(
-      int threshold, SolveContext* context = nullptr);
+  StatusOr<std::shared_ptr<const std::vector<itemsets::FrequentItemset>>>
+  MaximalItemsets(int threshold, SolveContext* context = nullptr) override;
 
   // Persistence for the paper's offline-preprocessing workflow: the mined
   // itemsets of every threshold touched so far are written as CSV
@@ -98,10 +128,8 @@ class MfiPreprocessedIndex {
   itemsets::TransactionDatabase db_;
   int log_size_;
   MfiSocOptions options_;
-  std::map<int, std::vector<itemsets::FrequentItemset>> cache_;
-  // Holds the result of a mining pass a SolveContext cut short; never
-  // promoted into cache_.
-  std::vector<itemsets::FrequentItemset> partial_scratch_;
+  std::map<int, std::shared_ptr<const std::vector<itemsets::FrequentItemset>>>
+      cache_;
 };
 
 class MfiSocSolver : public SocSolver {
@@ -112,8 +140,12 @@ class MfiSocSolver : public SocSolver {
                                          const DynamicBitset& tuple, int m,
                                          SolveContext* context) const override;
 
-  // As Solve, but reuses a prebuilt index (must stem from the same log).
-  StatusOr<SocSolution> SolveWithIndex(MfiPreprocessedIndex& index,
+  // As Solve, but reuses a prebuilt itemset source (must stem from the
+  // same log). The solver itself keeps no mutable state, so a const
+  // MfiSocSolver may run concurrent SolveWithIndex calls against a
+  // thread-safe source (serve::SharedMfiIndex); with a plain
+  // MfiPreprocessedIndex the single-owner rule above applies.
+  StatusOr<SocSolution> SolveWithIndex(MfiItemsetSource& index,
                                        const QueryLog& log,
                                        const DynamicBitset& tuple, int m,
                                        SolveContext* context = nullptr) const;

@@ -9,46 +9,58 @@
 #include "core/mfi_solver.h"
 
 namespace soc {
+namespace {
+
+// The single source of truth: every advertised name pairs with its
+// factory, so RegisteredSolverNames() and CreateSolverByName() cannot
+// drift apart. Order is presentation order (see solver_registry.h).
+struct RegistryEntry {
+  const char* name;
+  std::unique_ptr<SocSolver> (*make)();
+};
+
+std::unique_ptr<SocSolver> MakeMfiDfs() {
+  MfiSocOptions options;
+  options.engine = MfiEngine::kExactDfs;
+  return std::make_unique<MfiSocSolver>(options);
+}
+
+constexpr RegistryEntry kRegistry[] = {
+    {"BruteForce", [] { return std::unique_ptr<SocSolver>(
+                            std::make_unique<BruteForceSolver>()); }},
+    {"BranchAndBound", [] { return std::unique_ptr<SocSolver>(
+                                std::make_unique<BnbSocSolver>()); }},
+    {"ILP", [] { return std::unique_ptr<SocSolver>(
+                     std::make_unique<IlpSocSolver>()); }},
+    {"MaxFreqItemSets", [] { return std::unique_ptr<SocSolver>(
+                                 std::make_unique<MfiSocSolver>()); }},
+    {"MaxFreqItemSets-dfs", &MakeMfiDfs},
+    {"ConsumeAttr", [] { return std::unique_ptr<SocSolver>(
+                             std::make_unique<GreedySolver>(
+                                 GreedyKind::kConsumeAttr)); }},
+    {"ConsumeAttrCumul", [] { return std::unique_ptr<SocSolver>(
+                                  std::make_unique<GreedySolver>(
+                                      GreedyKind::kConsumeAttrCumul)); }},
+    {"ConsumeQueries", [] { return std::unique_ptr<SocSolver>(
+                                std::make_unique<GreedySolver>(
+                                    GreedyKind::kConsumeQueries)); }},
+    {"Fallback", [] { return std::unique_ptr<SocSolver>(
+                          std::make_unique<FallbackSolver>()); }},
+};
+
+}  // namespace
 
 std::vector<std::string> RegisteredSolverNames() {
-  return {"BruteForce",       "BranchAndBound",      "ILP",
-          "MaxFreqItemSets",  "MaxFreqItemSets-dfs", "ConsumeAttr",
-          "ConsumeAttrCumul", "ConsumeQueries",      "Fallback"};
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const RegistryEntry& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
 }
 
 StatusOr<std::unique_ptr<SocSolver>> CreateSolverByName(
     const std::string& name) {
-  if (name == "BruteForce") {
-    return std::unique_ptr<SocSolver>(new BruteForceSolver());
-  }
-  if (name == "BranchAndBound") {
-    return std::unique_ptr<SocSolver>(new BnbSocSolver());
-  }
-  if (name == "ILP") {
-    return std::unique_ptr<SocSolver>(new IlpSocSolver());
-  }
-  if (name == "MaxFreqItemSets") {
-    return std::unique_ptr<SocSolver>(new MfiSocSolver());
-  }
-  if (name == "MaxFreqItemSets-dfs") {
-    MfiSocOptions options;
-    options.engine = MfiEngine::kExactDfs;
-    return std::unique_ptr<SocSolver>(new MfiSocSolver(options));
-  }
-  if (name == "ConsumeAttr") {
-    return std::unique_ptr<SocSolver>(
-        new GreedySolver(GreedyKind::kConsumeAttr));
-  }
-  if (name == "ConsumeAttrCumul") {
-    return std::unique_ptr<SocSolver>(
-        new GreedySolver(GreedyKind::kConsumeAttrCumul));
-  }
-  if (name == "ConsumeQueries") {
-    return std::unique_ptr<SocSolver>(
-        new GreedySolver(GreedyKind::kConsumeQueries));
-  }
-  if (name == "Fallback") {
-    return std::unique_ptr<SocSolver>(new FallbackSolver());
+  for (const RegistryEntry& entry : kRegistry) {
+    if (name == entry.name) return entry.make();
   }
   return NotFoundError("unknown solver '" + name + "'; valid: " +
                        Join(RegisteredSolverNames(), ", "));

@@ -1,0 +1,21 @@
+#include "serve/batch_engine.h"
+
+#include <utility>
+
+namespace soc::serve {
+
+void BatchEngine::Submit(SolveRequest request) {
+  futures_.push_back(service_.Submit(std::move(request)));
+}
+
+std::vector<SolveResponse> BatchEngine::Drain() {
+  std::vector<SolveResponse> responses;
+  responses.reserve(futures_.size());
+  for (std::future<SolveResponse>& future : futures_) {
+    responses.push_back(future.get());
+  }
+  futures_.clear();
+  return responses;
+}
+
+}  // namespace soc::serve

@@ -1,0 +1,46 @@
+// BatchEngine: the futures-based library facade over VisibilityService
+// for batch workloads — submit a stream of requests, then Drain() to
+// collect every response in submission order. socvis_serve is a thin
+// JSONL shell around this class; library callers embedding the service
+// use it directly:
+//
+//   serve::VisibilityService service(log, options);
+//   serve::BatchEngine engine(service);
+//   for (auto& request : requests) engine.Submit(std::move(request));
+//   for (auto& response : engine.Drain()) Consume(response);
+//
+// Not thread-safe itself (one producer); the underlying service is.
+
+#ifndef SOC_SERVE_BATCH_ENGINE_H_
+#define SOC_SERVE_BATCH_ENGINE_H_
+
+#include <future>
+#include <vector>
+
+#include "serve/visibility_service.h"
+
+namespace soc::serve {
+
+class BatchEngine {
+ public:
+  // `service` must outlive the engine.
+  explicit BatchEngine(VisibilityService& service) : service_(service) {}
+
+  // Forwards to VisibilityService::Submit; rejected requests surface as
+  // responses with the rejection Status, in order like any other.
+  void Submit(SolveRequest request);
+
+  // Blocks for all submitted requests; returns responses in submission
+  // order and resets the engine for the next batch.
+  std::vector<SolveResponse> Drain();
+
+  std::size_t pending() const { return futures_.size(); }
+
+ private:
+  VisibilityService& service_;
+  std::vector<std::future<SolveResponse>> futures_;
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_BATCH_ENGINE_H_

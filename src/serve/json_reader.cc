@@ -1,0 +1,194 @@
+#include "serve/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace soc::serve {
+
+namespace {
+
+// Cursor over `text`; all helpers return false / error on malformed
+// input and never read past the end.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+void AppendUtf8(unsigned int code_point, std::string* out) {
+  if (code_point < 0x80) {
+    out->push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+Status ParseHex4(Cursor* cursor, unsigned int* value) {
+  *value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (cursor->AtEnd()) return InvalidArgumentError("truncated \\u escape");
+    const char c = cursor->text[cursor->pos++];
+    *value <<= 4;
+    if (c >= '0' && c <= '9') {
+      *value |= static_cast<unsigned int>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      *value |= static_cast<unsigned int>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      *value |= static_cast<unsigned int>(c - 'A' + 10);
+    } else {
+      return InvalidArgumentError("bad hex digit in \\u escape");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ParseString(Cursor* cursor) {
+  if (!cursor->Consume('"')) return InvalidArgumentError("expected '\"'");
+  std::string out;
+  while (true) {
+    if (cursor->AtEnd()) return InvalidArgumentError("unterminated string");
+    const char c = cursor->text[cursor->pos++];
+    if (c == '"') return out;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return InvalidArgumentError("raw control character in string");
+    }
+    if (c != '\\') {
+      out.push_back(c);  // Includes raw multi-byte UTF-8 sequences.
+      continue;
+    }
+    if (cursor->AtEnd()) return InvalidArgumentError("truncated escape");
+    const char escape = cursor->text[cursor->pos++];
+    switch (escape) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        unsigned int code_point = 0;
+        SOC_RETURN_IF_ERROR(ParseHex4(cursor, &code_point));
+        if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+          // High surrogate: a low surrogate must follow.
+          if (!cursor->Consume('\\') || !cursor->Consume('u')) {
+            return InvalidArgumentError("unpaired high surrogate");
+          }
+          unsigned int low = 0;
+          SOC_RETURN_IF_ERROR(ParseHex4(cursor, &low));
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return InvalidArgumentError("invalid low surrogate");
+          }
+          code_point =
+              0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+          return InvalidArgumentError("unpaired low surrogate");
+        }
+        AppendUtf8(code_point, &out);
+        break;
+      }
+      default:
+        return InvalidArgumentError("unknown escape character");
+    }
+  }
+}
+
+StatusOr<JsonScalar> ParseValue(Cursor* cursor) {
+  cursor->SkipWhitespace();
+  if (cursor->AtEnd()) return InvalidArgumentError("expected a value");
+  JsonScalar scalar;
+  const char c = cursor->Peek();
+  if (c == '"') {
+    SOC_ASSIGN_OR_RETURN(scalar.string_value, ParseString(cursor));
+    scalar.kind = JsonScalar::Kind::kString;
+    return scalar;
+  }
+  if (c == '{' || c == '[') {
+    return InvalidArgumentError(
+        "nested objects/arrays are not part of the flat JSONL protocol");
+  }
+  if (cursor->text.compare(cursor->pos, 4, "true") == 0) {
+    cursor->pos += 4;
+    scalar.kind = JsonScalar::Kind::kBool;
+    scalar.bool_value = true;
+    return scalar;
+  }
+  if (cursor->text.compare(cursor->pos, 5, "false") == 0) {
+    cursor->pos += 5;
+    scalar.kind = JsonScalar::Kind::kBool;
+    scalar.bool_value = false;
+    return scalar;
+  }
+  if (cursor->text.compare(cursor->pos, 4, "null") == 0) {
+    cursor->pos += 4;
+    scalar.kind = JsonScalar::Kind::kNull;
+    return scalar;
+  }
+  // Number: delegate validation to strtod over the maximal plausible span.
+  const char* start = cursor->text.c_str() + cursor->pos;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return InvalidArgumentError("malformed JSON value");
+  cursor->pos += static_cast<std::size_t>(end - start);
+  scalar.kind = JsonScalar::Kind::kNumber;
+  scalar.number_value = value;
+  return scalar;
+}
+
+}  // namespace
+
+StatusOr<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
+    const std::string& text) {
+  Cursor cursor{text};
+  cursor.SkipWhitespace();
+  if (!cursor.Consume('{')) return InvalidArgumentError("expected '{'");
+  std::map<std::string, JsonScalar> object;
+  cursor.SkipWhitespace();
+  if (!cursor.Consume('}')) {
+    while (true) {
+      cursor.SkipWhitespace();
+      SOC_ASSIGN_OR_RETURN(std::string key, ParseString(&cursor));
+      cursor.SkipWhitespace();
+      if (!cursor.Consume(':')) return InvalidArgumentError("expected ':'");
+      SOC_ASSIGN_OR_RETURN(JsonScalar value, ParseValue(&cursor));
+      object[std::move(key)] = std::move(value);
+      cursor.SkipWhitespace();
+      if (cursor.Consume(',')) continue;
+      if (cursor.Consume('}')) break;
+      return InvalidArgumentError("expected ',' or '}'");
+    }
+  }
+  cursor.SkipWhitespace();
+  if (!cursor.AtEnd()) {
+    return InvalidArgumentError("trailing characters after JSON object");
+  }
+  return object;
+}
+
+}  // namespace soc::serve

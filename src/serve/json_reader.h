@@ -1,0 +1,37 @@
+// A minimal JSON reader for the serve JSONL protocol: parses one *flat*
+// JSON object (string / number / bool / null values; no nested arrays or
+// objects) per line. The write side is common/json_writer.h; this is the
+// matching read side, deliberately scoped to what the protocol needs
+// rather than a general JSON library.
+//
+// Escapes: the full RFC 8259 set (\" \\ \/ \b \f \n \r \t and \uXXXX,
+// including surrogate pairs, decoded to UTF-8). Raw multi-byte UTF-8 in
+// string values passes through unmodified.
+
+#ifndef SOC_SERVE_JSON_READER_H_
+#define SOC_SERVE_JSON_READER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace soc::serve {
+
+struct JsonScalar {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+};
+
+// Parses `text` as a single flat JSON object; trailing garbage after the
+// closing brace (other than whitespace) is an error. Duplicate keys keep
+// the last value, as most JSON parsers do.
+StatusOr<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
+    const std::string& text);
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_JSON_READER_H_

@@ -1,0 +1,104 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace soc::serve {
+
+namespace {
+
+std::size_t BucketIndex(double ms) {
+  for (std::size_t i = 0; i < kLatencyBucketUpperMs.size(); ++i) {
+    if (ms <= kLatencyBucketUpperMs[i]) return i;
+  }
+  return kLatencyBucketUpperMs.size();  // Overflow bucket.
+}
+
+}  // namespace
+
+double HistogramData::QuantileUpperBound(double q) const {
+  if (count == 0) return 0;
+  const std::int64_t rank = static_cast<std::int64_t>(
+      std::min<double>(static_cast<double>(count - 1),
+                       std::max(0.0, q) * static_cast<double>(count)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return i < kLatencyBucketUpperMs.size() ? kLatencyBucketUpperMs[i]
+                                              : max_ms;
+    }
+  }
+  return max_ms;
+}
+
+JsonValue HistogramData::ToJson() const {
+  std::vector<JsonValue> bucket_entries;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;  // Keep the block compact.
+    JsonValue entry = JsonValue::Object();
+    if (i < kLatencyBucketUpperMs.size()) {
+      entry.Set("le_ms", JsonValue::Number(kLatencyBucketUpperMs[i]));
+    } else {
+      entry.Set("le_ms", JsonValue::Null());  // +inf bucket.
+    }
+    entry.Set("count", JsonValue::Int(buckets[i]));
+    bucket_entries.push_back(std::move(entry));
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("count", JsonValue::Int(count))
+      .Set("mean_ms",
+           JsonValue::Number(count == 0 ? 0 : sum_ms / static_cast<double>(count)))
+      .Set("max_ms", JsonValue::Number(max_ms))
+      .Set("p50_ms", JsonValue::Number(QuantileUpperBound(0.50)))
+      .Set("p99_ms", JsonValue::Number(QuantileUpperBound(0.99)))
+      .Set("buckets", JsonValue::Array(std::move(bucket_entries)));
+  return json;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue counter_json = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counter_json.Set(name, JsonValue::Int(value));
+  }
+  JsonValue histogram_json = JsonValue::Object();
+  for (const auto& [name, data] : histograms) {
+    histogram_json.Set(name, data.ToJson());
+  }
+  JsonValue json = JsonValue::Object();
+  json.Set("counters", std::move(counter_json))
+      .Set("histograms", std::move(histogram_json));
+  return json;
+}
+
+void ServeMetrics::Increment(const std::string& name, std::int64_t delta) {
+  SOC_CHECK_GE(delta, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::int64_t ServeMetrics::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void ServeMetrics::RecordLatency(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramData& data = histograms_[name];
+  ++data.buckets[BucketIndex(ms)];
+  ++data.count;
+  data.sum_ms += ms;
+  data.max_ms = std::max(data.max_ms, ms);
+}
+
+MetricsSnapshot ServeMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters = counters_;
+  snapshot.histograms = histograms_;
+  return snapshot;
+}
+
+}  // namespace soc::serve

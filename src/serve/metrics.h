@@ -1,0 +1,76 @@
+// A small metrics registry for the serving layer: named monotonic
+// counters (per-solver outcomes, cache hits, admission decisions) plus
+// fixed-bucket latency histograms. Everything is thread-safe; reads
+// produce a consistent MetricsSnapshot that serializes to the JSON
+// metrics block socvis_serve prints at end of run.
+//
+// Counter names are free-form dotted strings ("completed",
+// "solver.ILP.completed"); histograms share one log-spaced millisecond
+// bucket layout so snapshots can be merged downstream.
+
+#ifndef SOC_SERVE_METRICS_H_
+#define SOC_SERVE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/json_writer.h"
+
+namespace soc::serve {
+
+// Upper bucket bounds in milliseconds; the last bucket is unbounded.
+inline constexpr std::array<double, 15> kLatencyBucketUpperMs = {
+    0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500};
+inline constexpr std::size_t kLatencyBucketCount =
+    kLatencyBucketUpperMs.size() + 1;
+
+// A recorded latency distribution. Plain data: ServeMetrics hands these
+// out by value inside MetricsSnapshot.
+struct HistogramData {
+  std::array<std::int64_t, kLatencyBucketCount> buckets = {};
+  std::int64_t count = 0;
+  double sum_ms = 0;
+  double max_ms = 0;
+
+  // Upper bound of the smallest bucket that covers quantile `q` in [0,1]
+  // (conservative; +inf collapses to max_ms). 0 when empty.
+  double QuantileUpperBound(double q) const;
+
+  // {"count":..,"mean_ms":..,"max_ms":..,"p50_ms":..,"p99_ms":..,
+  //  "buckets":[{"le_ms":..,"count":..},...]}
+  JsonValue ToJson() const;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, HistogramData> histograms;
+
+  // {"counters":{...},"histograms":{...}}
+  JsonValue ToJson() const;
+};
+
+class ServeMetrics {
+ public:
+  // Adds `delta` (>= 0) to the named counter, creating it at zero.
+  void Increment(const std::string& name, std::int64_t delta = 1);
+
+  // Current value of a counter; 0 if never incremented.
+  std::int64_t Get(const std::string& name) const;
+
+  // Records one observation into the named histogram.
+  void RecordLatency(const std::string& name, double ms);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_METRICS_H_

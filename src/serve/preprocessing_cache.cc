@@ -1,0 +1,220 @@
+#include "serve/preprocessing_cache.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "itemsets/maximal_dfs.h"
+#include "itemsets/random_walk.h"
+
+namespace soc::serve {
+
+SharedMfiIndex::SharedMfiIndex(const QueryLog& log, MfiSocOptions options,
+                               std::size_t capacity)
+    : db_(itemsets::TransactionDatabase::FromComplementedQueryLog(log)),
+      log_size_(log.size()),
+      options_(std::move(options)),
+      capacity_(std::max<std::size_t>(1, capacity)) {}
+
+StatusOr<std::vector<itemsets::FrequentItemset>> SharedMfiIndex::Mine(
+    int threshold, SolveContext* context) {
+  return options_.engine == MfiEngine::kRandomWalk
+             ? itemsets::MineMaximalItemsetsRandomWalk(
+                   db_, threshold, options_.walk, /*stats=*/nullptr, context)
+             : itemsets::MineMaximalItemsetsDfs(db_, threshold, options_.dfs,
+                                                context);
+}
+
+SharedMfiIndex::ItemsetsPtr SharedMfiIndex::Lookup(int threshold,
+                                                   bool count_hit) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = cache_.find(threshold);
+  if (it == cache_.end()) return nullptr;
+  if (count_hit) hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_used.store(
+      use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return it->second.itemsets;
+}
+
+StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MaximalItemsets(
+    int threshold, SolveContext* context) {
+  if (ItemsetsPtr hit = Lookup(threshold, /*count_hit=*/true)) return hit;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Single-flight: concurrent misses on one threshold elect one miner.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto [it, inserted] = flights_.try_emplace(threshold);
+    if (inserted) {
+      it->second = std::make_shared<Flight>();
+      leader = true;
+    }
+    flight = it->second;
+  }
+  if (leader) return MineAndPublish(threshold, context, flight.get());
+
+  {
+    std::unique_lock<std::mutex> wait_lock(flight->mutex);
+    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
+    if (flight->published) {
+      // Don't re-count: this request was already tallied as a miss.
+      if (ItemsetsPtr hit = Lookup(threshold, /*count_hit=*/false)) {
+        return hit;
+      }
+      // Evicted between publication and re-probe (tiny capacity under
+      // churn); fall through and mine.
+    }
+  }
+  // The leader's mining was partial (its context stopped it) or failed;
+  // neither outcome speaks for this request, so mine under our own
+  // context without holding a flight (duplicate work is acceptable on
+  // this rare path).
+  return MineAndPublish(threshold, context, /*flight=*/nullptr);
+}
+
+StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MineAndPublish(
+    int threshold, SolveContext* context, Flight* flight) {
+  bool published = false;
+  // Whatever the outcome, a leader must resolve its flight or followers
+  // block forever.
+  const auto resolve_flight = [&] {
+    if (flight == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->published = published;
+      flight->done = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(flights_mutex_);
+      flights_.erase(threshold);
+    }
+    flight->cv.notify_all();
+  };
+
+  StatusOr<std::vector<itemsets::FrequentItemset>> mined =
+      Mine(threshold, context);
+  if (!mined.ok()) {
+    resolve_flight();
+    return mined.status();
+  }
+  auto itemsets = std::make_shared<const std::vector<itemsets::FrequentItemset>>(
+      std::move(mined).value());
+  if (context != nullptr && context->stop_requested()) {
+    // Partial pass: valid for this solve's incumbent, never cached.
+    resolve_flight();
+    return ItemsetsPtr(itemsets);
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> write(mutex_);
+    const auto [it, inserted] = cache_.try_emplace(threshold);
+    if (inserted) {
+      it->second.itemsets = itemsets;
+      it->second.last_used.store(
+          use_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      while (cache_.size() > capacity_) {
+        auto victim = cache_.end();
+        std::uint64_t oldest = 0;
+        for (auto candidate = cache_.begin(); candidate != cache_.end();
+             ++candidate) {
+          if (candidate == it) continue;  // Never evict the fresh insert.
+          const std::uint64_t used =
+              candidate->second.last_used.load(std::memory_order_relaxed);
+          if (victim == cache_.end() || used < oldest) {
+            victim = candidate;
+            oldest = used;
+          }
+        }
+        if (victim == cache_.end()) break;
+        cache_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      itemsets = it->second.itemsets;  // Raced a non-flight miner; reuse.
+    }
+  }
+  published = true;
+  resolve_flight();
+  return ItemsetsPtr(itemsets);
+}
+
+CacheStats SharedMfiIndex::stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace {
+
+MfiSocOptions EngineOptions(MfiEngine engine) {
+  MfiSocOptions options;
+  options.engine = engine;
+  return options;
+}
+
+}  // namespace
+
+PreprocessingCache::PreprocessingCache(const QueryLog& log,
+                                       std::size_t mfi_capacity)
+    : log_(log),
+      walk_index_(log, EngineOptions(MfiEngine::kRandomWalk), mfi_capacity),
+      dfs_index_(log, EngineOptions(MfiEngine::kExactDfs), mfi_capacity) {}
+
+void PreprocessingCache::EnsureBitmapsLocked() {
+  if (bitmaps_built_) return;
+  const int num_attrs = log_.num_attributes();
+  const std::size_t num_queries = static_cast<std::size_t>(log_.size());
+  queries_with_attr_.assign(num_attrs, DynamicBitset(num_queries));
+  size_at_most_.assign(num_attrs + 1, DynamicBitset(num_queries));
+  for (int q = 0; q < log_.size(); ++q) {
+    const DynamicBitset& query = log_.query(q);
+    query.ForEachSetBit(
+        [&](int attr) { queries_with_attr_[attr].Set(q); });
+    const std::size_t size = query.Count();
+    for (std::size_t s = size; s <= static_cast<std::size_t>(num_attrs);
+         ++s) {
+      size_at_most_[s].Set(q);
+    }
+  }
+  bitmaps_built_ = true;
+}
+
+int PreprocessingCache::MaxSatisfiable(const DynamicBitset& tuple, int m) {
+  {
+    std::shared_lock<std::shared_mutex> lock(bitmap_mutex_);
+    if (!bitmaps_built_) {
+      lock.unlock();
+      std::unique_lock<std::shared_mutex> write(bitmap_mutex_);
+      EnsureBitmapsLocked();
+    }
+  }
+  std::shared_lock<std::shared_mutex> lock(bitmap_mutex_);
+  if (log_.empty()) return 0;
+  const int m_eff =
+      std::min<int>(std::max(0, m), static_cast<int>(tuple.Count()));
+  // Queries with |q| <= m_eff, minus every query mentioning an attribute
+  // the tuple lacks (q ⊆ t ⟺ q avoids ~t).
+  DynamicBitset candidates = size_at_most_[m_eff];
+  for (int attr = 0; attr < log_.num_attributes(); ++attr) {
+    if (!tuple.Test(attr)) candidates.AndNot(queries_with_attr_[attr]);
+  }
+  return static_cast<int>(candidates.Count());
+}
+
+CacheStats PreprocessingCache::mfi_stats() const {
+  const CacheStats walk = walk_index_.stats();
+  const CacheStats dfs = dfs_index_.stats();
+  CacheStats total;
+  total.hits = walk.hits + dfs.hits;
+  total.misses = walk.misses + dfs.misses;
+  total.evictions = walk.evictions + dfs.evictions;
+  return total;
+}
+
+}  // namespace soc::serve

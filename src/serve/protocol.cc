@@ -1,0 +1,111 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/solve_context.h"
+#include "serve/json_reader.h"
+
+namespace soc::serve {
+
+namespace {
+
+Status WrongKind(const std::string& key, const char* want) {
+  return InvalidArgumentError("field '" + key + "' must be a " + want);
+}
+
+}  // namespace
+
+StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
+                                             const QueryLog& log,
+                                             int line_number) {
+  SOC_ASSIGN_OR_RETURN(auto object, ParseFlatJsonObject(line));
+
+  SolveRequest request;
+  request.id = std::to_string(line_number);
+  bool have_tuple = false;
+  bool have_m = false;
+
+  for (const auto& [key, value] : object) {
+    if (key == "id") {
+      // Numeric ids are common in hand-written workloads; accept both.
+      if (value.kind == JsonScalar::Kind::kString) {
+        request.id = value.string_value;
+      } else if (value.kind == JsonScalar::Kind::kNumber) {
+        request.id = std::to_string(
+            static_cast<long long>(std::llround(value.number_value)));
+      } else {
+        return WrongKind(key, "string or number");
+      }
+    } else if (key == "tuple") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "0/1 bitstring");
+      }
+      if (static_cast<int>(value.string_value.size()) !=
+          log.num_attributes()) {
+        return InvalidArgumentError(
+            "tuple width " + std::to_string(value.string_value.size()) +
+            " != log attribute count " +
+            std::to_string(log.num_attributes()));
+      }
+      for (char c : value.string_value) {
+        if (c != '0' && c != '1') {
+          return InvalidArgumentError("tuple must be a 0/1 bitstring");
+        }
+      }
+      request.tuple = DynamicBitset::FromString(value.string_value);
+      have_tuple = true;
+    } else if (key == "m") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      request.m = static_cast<int>(std::llround(value.number_value));
+      have_m = true;
+    } else if (key == "solver") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      request.solver = value.string_value;
+    } else if (key == "deadline_ms") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      request.deadline_ms = value.number_value;
+    } else {
+      return InvalidArgumentError("unknown field '" + key + "'");
+    }
+  }
+
+  if (!have_tuple) return InvalidArgumentError("missing field 'tuple'");
+  if (!have_m) return InvalidArgumentError("missing field 'm'");
+  return request;
+}
+
+JsonValue ResponseToJson(const SolveResponse& response) {
+  JsonValue json = JsonValue::Object();
+  json.Set("id", JsonValue::String(response.id));
+  json.Set("status", JsonValue::String(StatusCodeToString(
+                         response.status.code())));
+  if (!response.status.ok()) {
+    json.Set("error", JsonValue::String(response.status.message()));
+    return json;
+  }
+  json.Set("solver",
+           JsonValue::String(response.fast_path ? "none" : response.solver));
+  json.Set("selected", JsonValue::String(response.solution.selected.ToString()));
+  json.Set("satisfied_queries",
+           JsonValue::Int(response.solution.satisfied_queries));
+  json.Set("proved_optimal", JsonValue::Bool(response.solution.proved_optimal));
+  json.Set("degraded", JsonValue::Bool(response.degraded));
+  if (response.degraded) {
+    json.Set("stop_reason",
+             JsonValue::String(StopReasonToString(response.stop_reason)));
+  }
+  json.Set("fast_path", JsonValue::Bool(response.fast_path));
+  json.Set("queue_ms", JsonValue::Number(response.queue_ms));
+  json.Set("solve_ms", JsonValue::Number(response.solve_ms));
+  return json;
+}
+
+}  // namespace soc::serve

@@ -1,0 +1,39 @@
+// The socvis_serve JSONL wire protocol: one flat JSON object per line.
+//
+// Request line (tuple is a 0/1 bitstring of the log's attribute width):
+//   {"id":"r1","tuple":"110101","m":3,"solver":"Fallback","deadline_ms":50}
+// `solver` and `deadline_ms` are optional (default Fallback / service
+// default); `id` defaults to the 1-based line number if omitted.
+//
+// Response line:
+//   {"id":"r1","status":"OK","solver":"Fallback","selected":"100100",
+//    "satisfied_queries":7,"proved_optimal":true,"degraded":false,
+//    "fast_path":false,"queue_ms":0.1,"solve_ms":1.9}
+// Rejected requests instead carry "status":"Overloaded"/... plus "error"
+// with the message; solution fields are omitted. Degraded responses add
+// "stop_reason".
+
+#ifndef SOC_SERVE_PROTOCOL_H_
+#define SOC_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "boolean/query_log.h"
+#include "common/json_writer.h"
+#include "common/status.h"
+#include "serve/visibility_service.h"
+
+namespace soc::serve {
+
+// Decodes one JSONL request line against `log` (for tuple-width checks and
+// defaults). `line_number` (1-based) supplies the default id.
+StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
+                                             const QueryLog& log,
+                                             int line_number);
+
+// Encodes a response as one JSON object (no trailing newline).
+JsonValue ResponseToJson(const SolveResponse& response);
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_PROTOCOL_H_

@@ -1,0 +1,241 @@
+#include "serve/visibility_service.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/mfi_solver.h"
+#include "core/solver_registry.h"
+
+namespace soc::serve {
+
+namespace {
+
+// Metric names, kept in one place so tools and tests agree.
+constexpr char kSubmitted[] = "submitted";
+constexpr char kAccepted[] = "accepted";
+constexpr char kRejectedQueueFull[] = "rejected_queue_full";
+constexpr char kRejectedInvalid[] = "rejected_invalid";
+constexpr char kRejectedExpired[] = "rejected_expired";
+constexpr char kLateFallback[] = "late_fallback";
+constexpr char kFastPathZero[] = "fast_path_zero";
+constexpr char kCompleted[] = "completed";
+constexpr char kDegraded[] = "degraded";
+constexpr char kSolveErrors[] = "solve_errors";
+
+}  // namespace
+
+struct VisibilityService::QueuedRequest {
+  SolveRequest request;
+  std::promise<SolveResponse> promise;
+  WallTimer submit_timer;  // Started at Submit.
+  Deadline deadline = Deadline::Infinite();
+};
+
+VisibilityService::VisibilityService(QueryLog log,
+                                     VisibilityServiceOptions options)
+    : log_(std::move(log)),
+      options_(options),
+      cache_(log_, options.mfi_cache_capacity),
+      mfi_dfs_solver_([] {
+        MfiSocOptions dfs;
+        dfs.engine = MfiEngine::kExactDfs;
+        return dfs;
+      }()),
+      pool_(options.num_workers) {
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    SOC_CHECK(solver.ok());
+    solvers_.emplace(name, std::move(solver).value());
+  }
+}
+
+VisibilityService::~VisibilityService() {
+  // ThreadPool's destructor drains the queue, which resolves every
+  // outstanding promise through Finish before members are torn down.
+  pool_.Shutdown();
+}
+
+std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
+  metrics_.Increment(kSubmitted);
+  if (request.solver.empty()) request.solver = "Fallback";
+
+  auto queued = std::make_shared<QueuedRequest>();
+  std::future<SolveResponse> future = queued->promise.get_future();
+
+  const auto reject = [&](Status status) {
+    SolveResponse response;
+    response.id = request.id;
+    response.solver = request.solver;
+    response.status = std::move(status);
+    queued->promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  // Validation tier: malformed requests never reach the queue.
+  if (static_cast<int>(request.tuple.size()) != log_.num_attributes()) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError(
+        "tuple width " + std::to_string(request.tuple.size()) +
+        " != log attribute count " + std::to_string(log_.num_attributes())));
+  }
+  if (request.m < 0) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError("m must be nonnegative"));
+  }
+  if (request.deadline_ms < 0) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError("deadline_ms must be nonnegative"));
+  }
+  if (solvers_.find(request.solver) == solvers_.end()) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(NotFoundError("unknown solver '" + request.solver +
+                                "'; valid: " +
+                                Join(RegisteredSolverNames(), ", ")));
+  }
+
+  // Admission tier: bound the queue, never a worker's time.
+  if (options_.max_queue > 0 && pool_.queue_depth() >= options_.max_queue) {
+    metrics_.Increment(kRejectedQueueFull);
+    return reject(OverloadedError(
+        "request queue full (" + std::to_string(options_.max_queue) + ")"));
+  }
+
+  double deadline_ms = request.deadline_ms;
+  if (deadline_ms == 0) deadline_ms = options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    queued->deadline = Deadline::AfterSeconds(deadline_ms / 1000.0);
+  }
+  queued->request = std::move(request);
+
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++inflight_;
+  }
+  metrics_.Increment(kAccepted);
+  if (!pool_.Submit([this, queued] { RunRequest(queued); })) {
+    // Shutdown raced the submit: resolve as overloaded.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --inflight_;
+    }
+    inflight_cv_.notify_all();
+    metrics_.Increment(kRejectedQueueFull);
+    SolveResponse response;
+    response.id = queued->request.id;
+    response.solver = queued->request.solver;
+    response.status = OverloadedError("service shutting down");
+    queued->promise.set_value(std::move(response));
+  }
+  return future;
+}
+
+void VisibilityService::Drain() {
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void VisibilityService::RunRequest(std::shared_ptr<QueuedRequest> queued) {
+  SolveResponse response = Execute(*queued);
+  Finish(std::move(queued), std::move(response));
+}
+
+SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
+  const SolveRequest& request = queued.request;
+  SolveResponse response;
+  response.id = request.id;
+  response.solver = request.solver;
+  response.queue_ms = queued.submit_timer.ElapsedMillis();
+  WallTimer solve_timer;
+
+  SolveContext context(queued.deadline);
+  std::string solver_name = request.solver;
+  if (queued.deadline.Expired()) {
+    // Late at pickup: never start the requested (possibly exact) solver.
+    if (options_.reject_expired) {
+      metrics_.Increment(kRejectedExpired);
+      response.status =
+          OverloadedError("deadline expired before a worker was available");
+      response.solve_ms = solve_timer.ElapsedMillis();
+      return response;
+    }
+    // Degrade through the portfolio: the expired context stops the exact
+    // tier on its first checkpoint and the greedy tier answers.
+    solver_name = "Fallback";
+    metrics_.Increment(kLateFallback);
+  } else if (cache_.MaxSatisfiable(request.tuple, request.m) == 0) {
+    // Provably zero-visible: answer from the index without a solver.
+    const int m_eff = internal::EffectiveBudget(log_, request.tuple, request.m);
+    DynamicBitset selected(log_.num_attributes());
+    internal::PadSelection(log_, request.tuple, m_eff, &selected);
+    response.solution = internal::FinishSolution(log_, std::move(selected),
+                                                 /*proved_optimal=*/true);
+    response.fast_path = true;
+    metrics_.Increment(kFastPathZero);
+    metrics_.Increment(kCompleted);
+    metrics_.Increment("solver.none.completed");
+    response.solve_ms = solve_timer.ElapsedMillis();
+    return response;
+  }
+
+  // MFI solvers run against the shared preprocessing cache; everything
+  // else solves directly (their per-request state is self-contained).
+  StatusOr<SocSolution> solution = [&]() -> StatusOr<SocSolution> {
+    if (solver_name == "MaxFreqItemSets") {
+      return mfi_walk_solver_.SolveWithIndex(cache_.walk_index(), log_,
+                                             request.tuple, request.m,
+                                             &context);
+    }
+    if (solver_name == "MaxFreqItemSets-dfs") {
+      return mfi_dfs_solver_.SolveWithIndex(cache_.dfs_index(), log_,
+                                            request.tuple, request.m,
+                                            &context);
+    }
+    const auto it = solvers_.find(solver_name);
+    SOC_CHECK(it != solvers_.end());
+    return it->second->SolveWithContext(log_, request.tuple, request.m,
+                                        &context);
+  }();
+  response.solve_ms = solve_timer.ElapsedMillis();
+  response.solver = solver_name;
+
+  if (!solution.ok()) {
+    response.status = solution.status();
+    metrics_.Increment(kSolveErrors);
+    metrics_.Increment("solver." + solver_name + ".errors");
+    return response;
+  }
+  response.solution = std::move(solution).value();
+  response.degraded = IsDegraded(response.solution);
+  response.stop_reason = SolutionStopReason(response.solution);
+  metrics_.Increment(kCompleted);
+  metrics_.Increment("solver." + solver_name + ".completed");
+  if (response.degraded) {
+    metrics_.Increment(kDegraded);
+    metrics_.Increment("solver." + solver_name + ".degraded");
+  }
+  return response;
+}
+
+void VisibilityService::Finish(std::shared_ptr<QueuedRequest> queued,
+                               SolveResponse response) {
+  metrics_.RecordLatency("queue", response.queue_ms);
+  metrics_.RecordLatency("solve", response.solve_ms);
+  metrics_.RecordLatency("total", response.queue_ms + response.solve_ms);
+  queued->promise.set_value(std::move(response));
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+MetricsSnapshot VisibilityService::Metrics() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  const CacheStats stats = cache_.mfi_stats();
+  snapshot.counters["mfi_cache.hits"] = stats.hits;
+  snapshot.counters["mfi_cache.misses"] = stats.misses;
+  snapshot.counters["mfi_cache.evictions"] = stats.evictions;
+  return snapshot;
+}
+
+}  // namespace soc::serve

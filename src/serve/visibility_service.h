@@ -1,0 +1,136 @@
+// VisibilityService: the long-lived, concurrent serving layer for
+// SOC-CB-QL. One service owns one query log (the paper's Q), a
+// PreprocessingCache amortizing MFI mining and attribute bitmaps across
+// requests, and a fixed ThreadPool of solver workers.
+//
+// Admission control. Submit() is non-blocking and always returns a
+// future:
+//  * malformed requests (wrong tuple width, negative m / deadline,
+//    unknown solver) resolve immediately with a typed error Status;
+//  * when the request queue is at max_queue, the request is load-shed
+//    with StatusCode::kOverloaded — it never occupies a worker;
+//  * each request's deadline (deadline_ms, measured from Submit) is
+//    threaded into the worker's SolveContext, so a long solve degrades
+//    to a partial solution per the core contract instead of running
+//    away;
+//  * a request whose deadline has already expired when a worker picks it
+//    up is either rejected with kOverloaded (reject_expired = true) or
+//    downgraded to the FallbackSolver under the expired context
+//    (default), whose greedy tier completes in microseconds — late work
+//    never stalls the pool on an unbounded exact solve.
+//
+// Responses carry the solution plus serving metadata (queue/solve
+// latency, degradation, which solver actually ran). All outcomes are
+// counted in a ServeMetrics registry (serve/metrics.h).
+//
+// Thread-safety: Submit/Drain/MetricsSnapshot may be called from any
+// thread. Drain() waits for every accepted request to resolve; the
+// destructor drains implicitly.
+
+#ifndef SOC_SERVE_VISIBILITY_SERVICE_H_
+#define SOC_SERVE_VISIBILITY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "boolean/query_log.h"
+#include "common/bitset.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/mfi_solver.h"
+#include "core/solver.h"
+#include "serve/metrics.h"
+#include "serve/preprocessing_cache.h"
+
+namespace soc::serve {
+
+struct SolveRequest {
+  std::string id;          // Echoed back; free-form.
+  DynamicBitset tuple;     // Width must equal the log's attribute count.
+  int m = 0;
+  std::string solver = "Fallback";  // A RegisteredSolverNames() entry.
+  double deadline_ms = 0;  // Per-request budget from Submit; 0 = default.
+};
+
+struct SolveResponse {
+  std::string id;
+  std::string solver;      // Solver that actually ran (may be downgraded).
+  Status status;           // OK, or kOverloaded / kInvalidArgument / ...
+  SocSolution solution;    // Meaningful iff status.ok().
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kNone;
+  bool fast_path = false;  // Answered from the bitmap index, no solver.
+  double queue_ms = 0;     // Submit → worker pickup.
+  double solve_ms = 0;     // Worker pickup → response.
+};
+
+struct VisibilityServiceOptions {
+  int num_workers = 4;
+  // Admission bound on queued-but-unclaimed requests; 0 = unbounded.
+  std::size_t max_queue = 1024;
+  // Per-engine LRU capacity of the shared MFI threshold cache.
+  std::size_t mfi_cache_capacity = 32;
+  // Applied when a request's deadline_ms is 0; 0 = no deadline.
+  double default_deadline_ms = 0;
+  // Late policy: reject already-expired requests with kOverloaded instead
+  // of degrading them through the Fallback tier.
+  bool reject_expired = false;
+};
+
+class VisibilityService {
+ public:
+  // The service copies the log once and shares it with every worker.
+  explicit VisibilityService(QueryLog log,
+                             VisibilityServiceOptions options = {});
+  ~VisibilityService();
+
+  VisibilityService(const VisibilityService&) = delete;
+  VisibilityService& operator=(const VisibilityService&) = delete;
+
+  // Non-blocking; see the admission-control contract above.
+  std::future<SolveResponse> Submit(SolveRequest request);
+
+  // Blocks until every accepted request has resolved. New Submits during
+  // Drain are legal; Drain returns once the in-flight count hits zero.
+  void Drain();
+
+  const QueryLog& log() const { return log_; }
+  int num_workers() const { return pool_.num_threads(); }
+
+  // Live counters incl. MFI cache hit/miss/eviction totals.
+  MetricsSnapshot Metrics() const;
+
+ private:
+  struct QueuedRequest;
+
+  void RunRequest(std::shared_ptr<QueuedRequest> queued);
+  SolveResponse Execute(QueuedRequest& queued);
+  void Finish(std::shared_ptr<QueuedRequest> queued, SolveResponse response);
+
+  const QueryLog log_;
+  const VisibilityServiceOptions options_;
+  PreprocessingCache cache_;
+  // Registered solver instances, built once; SocSolver::SolveWithContext
+  // is const, so one instance serves all workers.
+  std::unordered_map<std::string, std::unique_ptr<SocSolver>> solvers_;
+  // Dedicated MFI solver instances whose solves run against the shared
+  // preprocessing cache instead of mining per request.
+  MfiSocSolver mfi_walk_solver_;
+  MfiSocSolver mfi_dfs_solver_;
+  ServeMetrics metrics_;
+
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::int64_t inflight_ = 0;
+
+  ThreadPool pool_;  // Last member: workers must die before state above.
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_VISIBILITY_SERVICE_H_

@@ -1,0 +1,97 @@
+#include "serve/json_reader.h"
+
+#include <gtest/gtest.h>
+
+namespace soc::serve {
+namespace {
+
+using Kind = JsonScalar::Kind;
+
+TEST(JsonReaderTest, ParsesAllScalarKinds) {
+  auto object = ParseFlatJsonObject(
+      R"({"s":"hi","n":-2.5,"i":7,"t":true,"f":false,"z":null})");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object->size(), 6u);
+  EXPECT_EQ(object->at("s").kind, Kind::kString);
+  EXPECT_EQ(object->at("s").string_value, "hi");
+  EXPECT_EQ(object->at("n").kind, Kind::kNumber);
+  EXPECT_DOUBLE_EQ(object->at("n").number_value, -2.5);
+  EXPECT_DOUBLE_EQ(object->at("i").number_value, 7);
+  EXPECT_EQ(object->at("t").kind, Kind::kBool);
+  EXPECT_TRUE(object->at("t").bool_value);
+  EXPECT_FALSE(object->at("f").bool_value);
+  EXPECT_EQ(object->at("z").kind, Kind::kNull);
+}
+
+TEST(JsonReaderTest, EmptyObjectAndWhitespace) {
+  auto empty = ParseFlatJsonObject("  { }  ");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto spaced = ParseFlatJsonObject("{ \"a\" :\t1 ,\n\"b\": 2 }");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced->size(), 2u);
+}
+
+TEST(JsonReaderTest, DecodesStringEscapes) {
+  auto object = ParseFlatJsonObject(
+      R"({"e":"q\"b\\s\/f\b\f\n\r\tend"})");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object->at("e").string_value, "q\"b\\s/f\b\f\n\r\tend");
+}
+
+TEST(JsonReaderTest, DecodesUnicodeEscapes) {
+  auto object = ParseFlatJsonObject(R"({"u":"é€"})");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object->at("u").string_value, "\xC3\xA9\xE2\x82\xAC");  // é€
+
+  // Surrogate pair: U+1F600.
+  auto emoji = ParseFlatJsonObject(R"({"u":"😀"})");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->at("u").string_value, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReaderTest, RawUtf8PassesThrough) {
+  auto object = ParseFlatJsonObject("{\"u\":\"caf\xC3\xA9\"}");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(object->at("u").string_value, "caf\xC3\xA9");
+}
+
+TEST(JsonReaderTest, DuplicateKeysKeepLastValue) {
+  auto object = ParseFlatJsonObject(R"({"a":1,"a":2})");
+  ASSERT_TRUE(object.ok());
+  EXPECT_DOUBLE_EQ(object->at("a").number_value, 2);
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFlatJsonObject("").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("not json").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":1").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":tru}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{a:1}").ok());
+}
+
+TEST(JsonReaderTest, RejectsNestedValues) {
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":[1,2]})").ok());
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":{"b":1}})").ok());
+}
+
+TEST(JsonReaderTest, RejectsBadEscapes) {
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":"\x41"})").ok());
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":"\u12"})").ok());
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":"\uZZZZ"})").ok());
+  // Unpaired surrogates.
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":"\ud83d"})").ok());
+  EXPECT_FALSE(ParseFlatJsonObject(R"({"a":"\ude00"})").ok());
+  // Raw control character.
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":\"x\ny\"}").ok());
+  // Unterminated string.
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\":\"oops}").ok());
+}
+
+}  // namespace
+}  // namespace soc::serve

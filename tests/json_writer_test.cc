@@ -34,6 +34,35 @@ TEST(JsonWriterTest, StringEscaping) {
             "\"\\u0001\"");
 }
 
+TEST(JsonWriterTest, JsonEscapeControlCharacters) {
+  // Every byte below 0x20 without a short escape uses \u00XX.
+  EXPECT_EQ(JsonEscape(std::string(1, '\0')), "\"\\u0000\"");
+  EXPECT_EQ(JsonEscape("\x01\x1f"), "\"\\u0001\\u001f\"");
+  // The short-escape set stays short.
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\"\\b\\f\\n\\r\\t\"");
+  // 0x7f DEL is not a control character per RFC 8259 string grammar.
+  EXPECT_EQ(JsonEscape("\x7f"), "\"\x7f\"");
+}
+
+TEST(JsonWriterTest, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("\""), "\"\\\"\"");
+  EXPECT_EQ(JsonEscape("\\"), "\"\\\\\"");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonEscape("\\\\"), "\"\\\\\\\\\"");
+  // Forward slash needs no escaping.
+  EXPECT_EQ(JsonEscape("a/b"), "\"a/b\"");
+}
+
+TEST(JsonWriterTest, JsonEscapeMultiByteUtf8PassesThrough) {
+  // 2-, 3- and 4-byte UTF-8 sequences are emitted verbatim.
+  EXPECT_EQ(JsonEscape("caf\xC3\xA9"), "\"caf\xC3\xA9\"");          // café
+  EXPECT_EQ(JsonEscape("\xE2\x82\xAC"), "\"\xE2\x82\xAC\"");        // €
+  EXPECT_EQ(JsonEscape("\xF0\x9F\x98\x80"), "\"\xF0\x9F\x98\x80\"");  // 😀
+  // Mixed with characters that do escape.
+  EXPECT_EQ(JsonEscape("\xC3\xA9\n\"\xE2\x82\xAC"),
+            "\"\xC3\xA9\\n\\\"\xE2\x82\xAC\"");
+}
+
 TEST(JsonWriterTest, ArraysAndObjects) {
   std::vector<JsonValue> items;
   items.push_back(JsonValue::Int(1));

@@ -1,0 +1,85 @@
+#include "serve/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soc::serve {
+namespace {
+
+TEST(ServeMetricsTest, CountersStartAtZeroAndAccumulate) {
+  ServeMetrics metrics;
+  EXPECT_EQ(metrics.Get("missing"), 0);
+  metrics.Increment("a");
+  metrics.Increment("a", 4);
+  metrics.Increment("b");
+  EXPECT_EQ(metrics.Get("a"), 5);
+  EXPECT_EQ(metrics.Get("b"), 1);
+}
+
+TEST(ServeMetricsTest, SnapshotIsAConsistentCopy) {
+  ServeMetrics metrics;
+  metrics.Increment("requests", 3);
+  metrics.RecordLatency("solve", 1.5);
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  metrics.Increment("requests");  // Must not affect the snapshot.
+  EXPECT_EQ(snapshot.counters.at("requests"), 3);
+  EXPECT_EQ(snapshot.histograms.at("solve").count, 1);
+}
+
+TEST(ServeMetricsTest, HistogramBucketsAndStats) {
+  ServeMetrics metrics;
+  metrics.RecordLatency("h", 0.01);    // First bucket (<= 0.05).
+  metrics.RecordLatency("h", 3.0);     // <= 5 bucket.
+  metrics.RecordLatency("h", 9000.0);  // Overflow bucket.
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum_ms, 9003.01);
+  EXPECT_DOUBLE_EQ(h.max_ms, 9000.0);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1);
+}
+
+TEST(ServeMetricsTest, QuantileUpperBound) {
+  HistogramData h;
+  EXPECT_DOUBLE_EQ(h.QuantileUpperBound(0.5), 0);  // Empty.
+  ServeMetrics metrics;
+  for (int i = 0; i < 99; ++i) metrics.RecordLatency("h", 0.2);  // <= 0.25.
+  metrics.RecordLatency("h", 40.0);                              // <= 50.
+  const HistogramData recorded = metrics.Snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(recorded.QuantileUpperBound(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(recorded.QuantileUpperBound(0.995), 50);
+}
+
+TEST(ServeMetricsTest, JsonShapes) {
+  ServeMetrics metrics;
+  metrics.Increment("done", 2);
+  metrics.RecordLatency("solve", 0.2);
+  const std::string json = metrics.Snapshot().ToJson().ToString();
+  EXPECT_NE(json.find("\"counters\":{\"done\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"solve\":"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, ConcurrentIncrementsAreNotLost) {
+  ServeMetrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&metrics] {
+      for (int j = 0; j < kPerThread; ++j) {
+        metrics.Increment("hits");
+        metrics.RecordLatency("lat", 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(metrics.Get("hits"), kThreads * kPerThread);
+  EXPECT_EQ(metrics.Snapshot().histograms.at("lat").count,
+            kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace soc::serve

@@ -1,0 +1,60 @@
+// The registry's name table and factory table were historically two
+// separate lists that could drift apart; these tests pin the invariant
+// that every advertised name constructs (and nothing else does).
+
+#include "core/solver_registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace soc {
+namespace {
+
+TEST(SolverRegistryTest, EveryAdvertisedNameConstructs) {
+  const std::vector<std::string> names = RegisteredSolverNames();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name << ": " << solver.status().ToString();
+    ASSERT_NE(solver.value(), nullptr) << name;
+  }
+}
+
+TEST(SolverRegistryTest, NamesAreUniqueAndStable) {
+  const std::vector<std::string> names = RegisteredSolverNames();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  // The paper's solver set; additions are fine, removals are a break.
+  for (const char* required :
+       {"BruteForce", "BranchAndBound", "ILP", "MaxFreqItemSets",
+        "MaxFreqItemSets-dfs", "ConsumeAttr", "ConsumeAttrCumul",
+        "ConsumeQueries", "Fallback"}) {
+    EXPECT_EQ(unique.count(required), 1u) << required;
+  }
+}
+
+TEST(SolverRegistryTest, ConstructedSolverReportsItsOwnName) {
+  // name() and the registry key agree except for the "-dfs" engine
+  // variant, which is the same solver class under a different engine.
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    ASSERT_TRUE(solver.ok()) << name;
+    if (name == "MaxFreqItemSets-dfs") {
+      EXPECT_EQ(solver.value()->name(), "MaxFreqItemSets");
+    } else {
+      EXPECT_EQ(solver.value()->name(), name) << name;
+    }
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameIsNotFound) {
+  auto solver = CreateSolverByName("NoSuchSolver");
+  ASSERT_FALSE(solver.ok());
+  EXPECT_EQ(solver.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace soc

@@ -32,6 +32,13 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(OverloadedError("x").code(), StatusCode::kOverloaded);
+}
+
+TEST(StatusTest, OverloadedRendersItsName) {
+  EXPECT_EQ(OverloadedError("queue full").ToString(),
+            "Overloaded: queue full");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
 }
 
 TEST(StatusOrTest, HoldsValue) {

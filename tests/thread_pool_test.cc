@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
+  }  // Destructor drains the queue before joining.
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  std::mutex mutex;
+  std::set<std::thread::id> thread_ids;
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&] {
+        ++started;
+        // Hold the task long enough that one thread cannot run them all.
+        while (started.load() < 4) {
+          std::this_thread::yield();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        thread_ids.insert(std::this_thread::get_id());
+      });
+    }
+  }
+  EXPECT_GE(thread_ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndStopsIntake) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+  pool.Shutdown();
+  pool.Shutdown();  // Second call must be a no-op.
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_FALSE(pool.Submit([&counter] { ++counter; }));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionInTaskDoesNotKillWorker) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran_after{false};
+  pool.Submit([] { throw std::runtime_error("task failure"); });
+  pool.Submit([&ran_after] { ran_after = true; });
+  pool.Shutdown();
+  EXPECT_TRUE(ran_after.load());
+  EXPECT_EQ(pool.tasks_failed(), 1);
+  EXPECT_EQ(pool.tasks_completed(), 2);
+}
+
+TEST(ThreadPoolTest, CountsCompletedTasks) {
+  ThreadPool pool(3);
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Shutdown();
+  EXPECT_EQ(pool.tasks_completed(), 64);
+  EXPECT_EQ(pool.tasks_failed(), 0);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitFromWithinATask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    ++counter;
+    pool.Submit([&counter] { ++counter; });
+  });
+  // Give the nested task a chance to be queued before shutdown drains.
+  while (pool.tasks_completed() < 1) {
+    std::this_thread::yield();
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace soc

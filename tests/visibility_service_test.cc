@@ -1,0 +1,274 @@
+// Concurrency and admission-control tests for the serving layer. The
+// load-shedding contract under test: a request the service rejects (for
+// any reason) resolves with a non-OK typed Status and never carries a
+// solution, and a request that runs out of deadline degrades — it never
+// silently returns a full exact answer it did not compute.
+
+#include "serve/visibility_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/workload.h"
+#include "serve/batch_engine.h"
+
+namespace soc::serve {
+namespace {
+
+QueryLog MakeLog(int num_attributes = 12, int num_queries = 120,
+                 unsigned seed = 11) {
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attributes);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = num_queries;
+  wl.seed = seed;
+  return datagen::MakeSyntheticWorkload(schema, wl);
+}
+
+DynamicBitset MakeTuple(int width, unsigned bits) {
+  DynamicBitset tuple(width);
+  for (int a = 0; a < width; ++a) {
+    if (bits & (1u << a)) tuple.Set(a);
+  }
+  return tuple;
+}
+
+SolveRequest MakeRequest(const QueryLog& log, unsigned bits, int m,
+                         const std::string& solver = "Fallback") {
+  SolveRequest request;
+  request.tuple = MakeTuple(log.num_attributes(), bits);
+  request.m = m;
+  request.solver = solver;
+  return request;
+}
+
+TEST(VisibilityServiceTest, SolvesASingleRequest) {
+  VisibilityService service(MakeLog());
+  SolveRequest request = MakeRequest(service.log(), 0xEDBu, 3,
+                                     "BranchAndBound");
+  request.id = "one";
+  SolveResponse response = service.Submit(std::move(request)).get();
+  EXPECT_EQ(response.id, "one");
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.solution.proved_optimal);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(static_cast<int>(response.solution.selected.Count()), 3);
+}
+
+TEST(VisibilityServiceTest, ValidationRejectionsAreTyped) {
+  VisibilityService service(MakeLog());
+
+  SolveRequest narrow;
+  narrow.tuple = DynamicBitset(3);
+  narrow.m = 1;
+  EXPECT_EQ(service.Submit(std::move(narrow)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  SolveRequest negative_m = MakeRequest(service.log(), 0x3u, 1);
+  negative_m.m = -1;
+  EXPECT_EQ(service.Submit(std::move(negative_m)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  SolveRequest unknown = MakeRequest(service.log(), 0x3u, 1, "NoSuchSolver");
+  EXPECT_EQ(service.Submit(std::move(unknown)).get().status.code(),
+            StatusCode::kNotFound);
+
+  EXPECT_EQ(service.Metrics().counters.at("rejected_invalid"), 3);
+}
+
+TEST(VisibilityServiceTest, TinyQueueShedsLoadWithOverloaded) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  VisibilityService service(MakeLog(), options);
+
+  // Enough simultaneous exact solves that the single-slot queue must shed
+  // some; every shed request must carry kOverloaded and no solution.
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(service.Submit(
+        MakeRequest(service.log(), 0xFFFu, 4, "BranchAndBound")));
+  }
+  int overloaded = 0;
+  for (auto& future : futures) {
+    SolveResponse response = future.get();
+    if (!response.status.ok()) {
+      EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+      EXPECT_EQ(response.solution.selected.Count(), 0u);
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(overloaded, 0);
+  EXPECT_EQ(service.Metrics().counters.at("rejected_queue_full"), overloaded);
+}
+
+TEST(VisibilityServiceTest, ExpiredDeadlineDegradesToFallbackByDefault) {
+  VisibilityService service(MakeLog());
+  SolveRequest request = MakeRequest(service.log(), 0xFFFu, 4, "BruteForce");
+  request.deadline_ms = 1e-6;  // Expired before any worker can pick it up.
+  SolveResponse response = service.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.solver, "Fallback");
+  EXPECT_TRUE(response.degraded);
+  EXPECT_FALSE(response.solution.proved_optimal);
+  EXPECT_EQ(response.stop_reason, StopReason::kDeadline);
+  // Degraded, but still a valid m-attribute selection.
+  EXPECT_EQ(static_cast<int>(response.solution.selected.Count()), 4);
+}
+
+TEST(VisibilityServiceTest, RejectExpiredPolicyRefusesLateWork) {
+  VisibilityServiceOptions options;
+  options.reject_expired = true;
+  VisibilityService service(MakeLog(), options);
+  SolveRequest request = MakeRequest(service.log(), 0xFFFu, 4, "BruteForce");
+  request.deadline_ms = 1e-6;
+  SolveResponse response = service.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(response.solution.selected.Count(), 0u);
+  EXPECT_EQ(service.Metrics().counters.at("rejected_expired"), 1);
+}
+
+TEST(VisibilityServiceTest, ZeroVisibilityTupleTakesTheFastPath) {
+  // An empty tuple satisfies no query: the bitmap index answers without
+  // dispatching a solver.
+  VisibilityService service(MakeLog());
+  SolveResponse response =
+      service.Submit(MakeRequest(service.log(), 0u, 3, "BruteForce")).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.fast_path);
+  EXPECT_TRUE(response.solution.proved_optimal);
+  EXPECT_EQ(response.solution.satisfied_queries, 0);
+  EXPECT_EQ(service.Metrics().counters.at("fast_path_zero"), 1);
+}
+
+TEST(VisibilityServiceTest, SharedMfiCacheHitsAcrossRequests) {
+  VisibilityService service(MakeLog());
+  // Same tuple solved repeatedly: the first request mines, the rest hit.
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.Submit(
+        MakeRequest(service.log(), 0xABCu, 3, "MaxFreqItemSets")));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  const MetricsSnapshot metrics = service.Metrics();
+  EXPECT_GT(metrics.counters.at("mfi_cache.hits"), 0);
+  EXPECT_GT(metrics.counters.at("mfi_cache.misses"), 0);
+}
+
+TEST(VisibilityServiceTest, ConcurrencySmoke) {
+  // Many producers, mixed deadlines and solvers, a bounded queue: every
+  // future resolves, every non-OK response is typed and solution-free,
+  // every OK response either completed cleanly or is marked degraded.
+  VisibilityServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 64;
+  VisibilityService service(MakeLog(), options);
+
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 40;
+  std::vector<std::vector<std::future<SolveResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const char* solvers[] = {"Fallback", "BranchAndBound",
+                               "MaxFreqItemSets", "ConsumeAttrCumul"};
+      for (int i = 0; i < kPerProducer; ++i) {
+        SolveRequest request = MakeRequest(
+            service.log(), 0x100u + (p * kPerProducer + i) % 0xEFF,
+            1 + i % 5, solvers[(p + i) % 4]);
+        // Mix: no deadline / generous / already expired.
+        if (i % 3 == 1) request.deadline_ms = 200;
+        if (i % 3 == 2) request.deadline_ms = 1e-6;
+        futures[p].push_back(service.Submit(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  int ok = 0, rejected = 0, degraded = 0;
+  for (auto& producer_futures : futures) {
+    for (auto& future : producer_futures) {
+      SolveResponse response = future.get();
+      if (!response.status.ok()) {
+        // A rejected request must never carry (any part of) a solution.
+        EXPECT_TRUE(response.status.code() == StatusCode::kOverloaded ||
+                    response.status.code() == StatusCode::kInvalidArgument)
+            << response.status.ToString();
+        EXPECT_EQ(response.solution.selected.Count(), 0u);
+        EXPECT_EQ(response.solution.satisfied_queries, 0);
+        EXPECT_FALSE(response.solution.proved_optimal);
+        ++rejected;
+        continue;
+      }
+      ++ok;
+      if (response.degraded) {
+        ++degraded;
+        // Degraded results renounce optimality.
+        EXPECT_FALSE(response.solution.proved_optimal);
+        EXPECT_NE(response.stop_reason, StopReason::kNone);
+      }
+      EXPECT_LE(
+          static_cast<int>(response.solution.selected.Count()),
+          service.log().num_attributes());
+    }
+  }
+  EXPECT_EQ(ok + rejected, kProducers * kPerProducer);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(degraded, 0);  // The expired third must not be silently exact.
+
+  const MetricsSnapshot metrics = service.Metrics();
+  const auto counter = [&metrics](const std::string& name) -> std::int64_t {
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(counter("submitted"), kProducers * kPerProducer);
+  EXPECT_EQ(counter("completed") + counter("solve_errors"), ok);
+  EXPECT_EQ(metrics.histograms.at("total").count, ok);
+}
+
+TEST(VisibilityServiceTest, DrainWaitsForAllAccepted) {
+  VisibilityServiceOptions options;
+  options.num_workers = 2;
+  VisibilityService service(MakeLog(), options);
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(service.Submit(
+        MakeRequest(service.log(), 0x7FFu, 3, "BranchAndBound")));
+  }
+  service.Drain();
+  for (auto& future : futures) {
+    // After Drain every future is immediately ready.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
+TEST(BatchEngineTest, DrainPreservesSubmissionOrder) {
+  VisibilityService service(MakeLog());
+  BatchEngine engine(service);
+  for (int i = 0; i < 20; ++i) {
+    SolveRequest request = MakeRequest(service.log(), 0x155u << (i % 3),
+                                       2 + i % 3);
+    request.id = "r" + std::to_string(i);
+    engine.Submit(std::move(request));
+  }
+  EXPECT_EQ(engine.pending(), 20u);
+  const std::vector<SolveResponse> responses = engine.Drain();
+  ASSERT_EQ(responses.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(responses[i].id, "r" + std::to_string(i));
+  }
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace soc::serve

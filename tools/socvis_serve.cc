@@ -1,0 +1,150 @@
+// socvis_serve: concurrent batch SOC-CB-QL serving over JSONL.
+//
+// Usage:
+//   socvis_serve --log=log.csv --requests=reqs.jsonl [--workers=N]
+//   socvis_datagen ... | socvis_serve --log=log.csv --requests=-
+//
+// Reads one flat JSON solve request per line (see src/serve/protocol.h
+// for the schema), runs them through a VisibilityService worker pool,
+// and prints one JSON response per line in submission order. Blank lines
+// are skipped; a malformed line becomes an error response for that line
+// rather than aborting the run. The final line is a metrics block:
+//   {"metrics":{"counters":{...},"histograms":{...}}}
+//
+// Flags:
+//   --workers=N              worker threads (default 4)
+//   --queue=N                admission bound on queued requests (0 = off)
+//   --default-deadline-ms=T  deadline for requests that carry none
+//   --reject-late            reject expired requests with Overloaded
+//                            instead of degrading them to Fallback
+//   --cache-capacity=N       shared MFI cache entries per engine
+//   --no-metrics             suppress the trailing metrics line
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "boolean/query_log.h"
+#include "common/string_util.h"
+#include "core/solver_registry.h"
+#include "serve/batch_engine.h"
+#include "serve/protocol.h"
+#include "serve/visibility_service.h"
+
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "socvis_serve: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  return Fail(
+      "usage: socvis_serve --log=log.csv --requests=reqs.jsonl|- "
+      "[--workers=N] [--queue=N] [--default-deadline-ms=T] "
+      "[--reject-late] [--cache-capacity=N] [--no-metrics]\n  solvers: " +
+      soc::Join(soc::RegisteredSolverNames(), ", "));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+
+  const std::string log_path = GetFlag(argc, argv, "log", "");
+  const std::string requests_path = GetFlag(argc, argv, "requests", "");
+  if (log_path.empty() || requests_path.empty()) return Usage();
+
+  std::ifstream log_file(log_path, std::ios::binary);
+  if (!log_file) return Fail("cannot open " + log_path);
+  std::ostringstream log_buffer;
+  log_buffer << log_file.rdbuf();
+  auto log = QueryLog::FromCsv(log_buffer.str());
+  if (!log.ok()) return Fail(log.status().ToString());
+
+  serve::VisibilityServiceOptions options;
+  options.num_workers = std::atoi(GetFlag(argc, argv, "workers", "4").c_str());
+  options.max_queue = static_cast<std::size_t>(
+      std::atoll(GetFlag(argc, argv, "queue", "1024").c_str()));
+  options.default_deadline_ms =
+      std::atof(GetFlag(argc, argv, "default-deadline-ms", "0").c_str());
+  options.reject_expired = HasFlag(argc, argv, "reject-late");
+  options.mfi_cache_capacity = static_cast<std::size_t>(
+      std::atoll(GetFlag(argc, argv, "cache-capacity", "32").c_str()));
+  if (options.num_workers < 1) return Fail("--workers must be >= 1");
+  if (options.mfi_cache_capacity < 1) {
+    return Fail("--cache-capacity must be >= 1");
+  }
+
+  std::ifstream requests_file;
+  std::istream* requests = &std::cin;
+  if (requests_path != "-") {
+    requests_file.open(requests_path, std::ios::binary);
+    if (!requests_file) return Fail("cannot open " + requests_path);
+    requests = &requests_file;
+  }
+
+  serve::VisibilityService service(std::move(log).value(), options);
+  serve::BatchEngine engine(service);
+
+  // Parse failures resolve inline (the service never sees them) but keep
+  // their slot so output order still matches input order.
+  std::vector<serve::SolveResponse> parse_failures;
+  std::vector<long long> response_slots;  // >=0: engine index; <0: failure.
+  int line_number = 0;
+  std::string line;
+  while (std::getline(*requests, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto request = serve::ParseSolveRequestLine(line, service.log(),
+                                               line_number);
+    if (!request.ok()) {
+      serve::SolveResponse response;
+      response.id = std::to_string(line_number);
+      response.status = request.status();
+      response_slots.push_back(
+          -static_cast<long long>(parse_failures.size()) - 1);
+      parse_failures.push_back(std::move(response));
+      continue;
+    }
+    response_slots.push_back(static_cast<long long>(engine.pending()));
+    engine.Submit(std::move(request).value());
+  }
+
+  const std::vector<serve::SolveResponse> solved = engine.Drain();
+  for (long long slot : response_slots) {
+    const serve::SolveResponse& response =
+        slot >= 0 ? solved[static_cast<std::size_t>(slot)]
+                  : parse_failures[static_cast<std::size_t>(-slot - 1)];
+    std::cout << serve::ResponseToJson(response).ToString() << "\n";
+  }
+
+  if (!HasFlag(argc, argv, "no-metrics")) {
+    JsonValue metrics = JsonValue::Object();
+    metrics.Set("metrics", service.Metrics().ToJson());
+    std::cout << metrics.ToString() << "\n";
+  }
+  return 0;
+}
