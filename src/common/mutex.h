@@ -1,0 +1,133 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// std::mutex / std::shared_mutex carry no thread-safety attributes under
+// libstdc++, so locking through them is invisible to -Wthread-safety.
+// These thin wrappers (zero overhead beyond the underlying primitive)
+// re-expose the std types as annotated capabilities, following the
+// absl::Mutex vocabulary:
+//
+//   Mutex / SharedMutex      — the capabilities themselves
+//   MutexLock                — scoped exclusive lock on a Mutex
+//   ReaderMutexLock /
+//   WriterMutexLock          — scoped shared / exclusive lock on a
+//                              SharedMutex
+//   CondVar                  — condition variable whose Wait requires the
+//                              Mutex it atomically releases
+//
+// Code that waits on a CondVar must hold the Mutex via a scope the
+// analysis can see (a MutexLock in the same function) and loop on its
+// predicate explicitly: `while (!ready) cv.Wait(mu);`. Predicate lambdas
+// are analyzed as separate unannotated functions and would defeat the
+// analysis.
+
+#ifndef SOC_COMMON_MUTEX_H_
+#define SOC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace soc {
+
+class SOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SOC_ACQUIRE() { mu_.lock(); }
+  void Unlock() SOC_RELEASE() { mu_.unlock(); }
+  bool TryLock() SOC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+class SOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SOC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SOC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// A condition variable bound to soc::Mutex. Wait atomically releases the
+// (held) mutex while sleeping and reacquires it before returning, so from
+// the analysis' point of view the capability is held throughout.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SOC_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+class SOC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SOC_ACQUIRE() { mu_.lock(); }
+  void Unlock() SOC_RELEASE() { mu_.unlock(); }
+  void ReaderLock() SOC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() SOC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class SOC_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SOC_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  // Scoped releases are "generic" to the analysis: it knows the mode from
+  // the constructor.
+  ~ReaderMutexLock() SOC_RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class SOC_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SOC_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SOC_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_MUTEX_H_

@@ -1,6 +1,21 @@
 #include "common/status.h"
 
+#include <cstdio>
+
 namespace soc {
+
+void IgnoreError(Status&& status, const char* reason) {
+#ifndef NDEBUG
+  if (!status.ok()) {
+    std::fprintf(stderr, "soc: ignored status (%s): %s\n",
+                 reason == nullptr ? "unspecified" : reason,
+                 status.ToString().c_str());
+  }
+#else
+  (void)status;
+  (void)reason;
+#endif
+}
 
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {

@@ -35,7 +35,11 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 // A success-or-error value. Cheap to copy on the OK path.
-class Status {
+//
+// [[nodiscard]]: a function returning Status can fail, and a caller that
+// drops the return silently swallows the failure. Deliberate drops must
+// go through soc::IgnoreError(..., "reason") below.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -68,10 +72,15 @@ Status UnimplementedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status OverloadedError(std::string message);
 
+// Discards `status` on purpose (best-effort teardown, optional warm-up,
+// ...). `reason` documents why at the call site; debug builds log
+// non-OK drops so "expected to be harmless" claims stay observable.
+void IgnoreError(Status&& status, const char* reason);
+
 // Either a value of type T or an error Status. Accessing the value of a
 // non-OK StatusOr is a checked programmer error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, mirroring absl::StatusOr: allows
   // `return value;` and `return SomeError(...);` from the same function.

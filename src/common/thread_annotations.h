@@ -1,0 +1,79 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// The macros below expand to Clang's thread-safety attributes when the
+// compiler supports them (Clang with -Wthread-safety; enabled in CI via
+// the SOC_THREAD_SAFETY_ANALYSIS CMake option) and to nothing elsewhere,
+// so GCC builds are unaffected. They follow the naming of
+// absl/base/thread_annotations.h with a SOC_ prefix.
+//
+// The annotations only have teeth on lock types that are themselves
+// annotated; the project's annotated wrappers live in common/mutex.h.
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#ifndef SOC_COMMON_THREAD_ANNOTATIONS_H_
+#define SOC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SOC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SOC_THREAD_ANNOTATION_(x)  // No-op outside Clang.
+#endif
+
+// On a class: instances can be held as a capability (a lock).
+#define SOC_CAPABILITY(x) SOC_THREAD_ANNOTATION_(capability(x))
+// Legacy spelling kept for call sites written against the older attribute
+// vocabulary; identical to SOC_CAPABILITY("mutex").
+#define SOC_LOCKABLE SOC_THREAD_ANNOTATION_(capability("mutex"))
+
+// On an RAII class: acquires in the constructor, releases in the
+// destructor (MutexLock and friends).
+#define SOC_SCOPED_CAPABILITY SOC_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: may only be read or written while holding `x`
+// (exclusively for writes, at least shared for reads).
+#define SOC_GUARDED_BY(x) SOC_THREAD_ANNOTATION_(guarded_by(x))
+// On a pointer member: the pointed-to data is guarded by `x`.
+#define SOC_PT_GUARDED_BY(x) SOC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a function: the caller must hold the given capabilities
+// (exclusively / at least shared).
+#define SOC_REQUIRES(...) \
+  SOC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define SOC_REQUIRES_SHARED(...) \
+  SOC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the given capabilities. With no
+// arguments inside a capability class, refers to `this`.
+#define SOC_ACQUIRE(...) \
+  SOC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SOC_ACQUIRE_SHARED(...) \
+  SOC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define SOC_RELEASE(...) \
+  SOC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SOC_RELEASE_SHARED(...) \
+  SOC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define SOC_RELEASE_GENERIC(...) \
+  SOC_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the capability iff the return
+// value equals the first macro argument.
+#define SOC_TRY_ACQUIRE(...) \
+  SOC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the given capabilities (the
+// function acquires them itself; prevents self-deadlock).
+#define SOC_EXCLUDES(...) SOC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts the capability is held without acquiring it.
+#define SOC_ASSERT_CAPABILITY(x) \
+  SOC_THREAD_ANNOTATION_(assert_capability(x))
+
+// On a function returning a reference to a capability.
+#define SOC_RETURN_CAPABILITY(x) SOC_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables analysis inside one function. Every use needs a
+// comment explaining why the analysis cannot see the invariant.
+#define SOC_NO_THREAD_SAFETY_ANALYSIS \
+  SOC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SOC_COMMON_THREAD_ANNOTATIONS_H_

@@ -16,17 +16,22 @@
 // but a defective task must not take the worker thread or the process
 // down with it. Workers catch everything, count the failure
 // (tasks_failed()) and keep serving.
+//
+// Locking discipline is enforced at compile time by Clang Thread Safety
+// Analysis (common/thread_annotations.h): every mutable member is
+// SOC_GUARDED_BY(mutex_).
 
 #ifndef SOC_COMMON_THREAD_POOL_H_
 #define SOC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace soc {
 
@@ -43,33 +48,39 @@ class ThreadPool {
 
   // Enqueues a task. Returns false (dropping the task) iff Shutdown() has
   // already begun.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) SOC_EXCLUDES(mutex_);
 
   // Stops intake, drains already-queued tasks and joins the workers.
   // Idempotent; safe to call concurrently with Submit.
-  void Shutdown();
+  void Shutdown() SOC_EXCLUDES(mutex_);
 
   int num_threads() const { return num_threads_; }
 
   // Tasks currently queued but not yet claimed by a worker.
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const SOC_EXCLUDES(mutex_);
 
   // Tasks that ran to completion (including ones that threw).
-  std::int64_t tasks_completed() const;
+  std::int64_t tasks_completed() const SOC_EXCLUDES(mutex_);
   // Tasks whose callable threw; always <= tasks_completed().
-  std::int64_t tasks_failed() const;
+  std::int64_t tasks_failed() const SOC_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SOC_EXCLUDES(mutex_);
 
   int num_threads_ = 0;  // Immutable after construction.
-  mutable std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  std::int64_t tasks_completed_ = 0;
-  std::int64_t tasks_failed_ = 0;
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar wake_workers_;
+  // Signals the completion of the one Shutdown call that won the
+  // worker-joining race, so every other Shutdown call can honor the
+  // "returns only after drain + join" contract instead of returning
+  // early while workers still run.
+  CondVar shutdown_done_;
+  std::deque<std::function<void()>> queue_ SOC_GUARDED_BY(mutex_);
+  bool shutting_down_ SOC_GUARDED_BY(mutex_) = false;
+  bool joined_ SOC_GUARDED_BY(mutex_) = false;
+  std::int64_t tasks_completed_ SOC_GUARDED_BY(mutex_) = 0;
+  std::int64_t tasks_failed_ SOC_GUARDED_BY(mutex_) = 0;
+  std::vector<std::thread> workers_ SOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace soc

@@ -74,18 +74,18 @@ JsonValue MetricsSnapshot::ToJson() const {
 
 void ServeMetrics::Increment(const std::string& name, std::int64_t delta) {
   SOC_CHECK_GE(delta, 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_[name] += delta;
 }
 
 std::int64_t ServeMetrics::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void ServeMetrics::RecordLatency(const std::string& name, double ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   HistogramData& data = histograms_[name];
   ++data.buckets[BucketIndex(ms)];
   ++data.count;
@@ -94,7 +94,7 @@ void ServeMetrics::RecordLatency(const std::string& name, double ms) {
 }
 
 MetricsSnapshot ServeMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters = counters_;
   snapshot.histograms = histograms_;

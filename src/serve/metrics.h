@@ -14,10 +14,11 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/json_writer.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace soc::serve {
 
@@ -55,20 +56,22 @@ struct MetricsSnapshot {
 class ServeMetrics {
  public:
   // Adds `delta` (>= 0) to the named counter, creating it at zero.
-  void Increment(const std::string& name, std::int64_t delta = 1);
+  void Increment(const std::string& name, std::int64_t delta = 1)
+      SOC_EXCLUDES(mutex_);
 
   // Current value of a counter; 0 if never incremented.
-  std::int64_t Get(const std::string& name) const;
+  std::int64_t Get(const std::string& name) const SOC_EXCLUDES(mutex_);
 
   // Records one observation into the named histogram.
-  void RecordLatency(const std::string& name, double ms);
+  void RecordLatency(const std::string& name, double ms)
+      SOC_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SOC_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, HistogramData> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::int64_t> counters_ SOC_GUARDED_BY(mutex_);
+  std::map<std::string, HistogramData> histograms_ SOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace soc::serve

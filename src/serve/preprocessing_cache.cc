@@ -1,7 +1,6 @@
 #include "serve/preprocessing_cache.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "itemsets/maximal_dfs.h"
@@ -27,7 +26,7 @@ StatusOr<std::vector<itemsets::FrequentItemset>> SharedMfiIndex::Mine(
 
 SharedMfiIndex::ItemsetsPtr SharedMfiIndex::Lookup(int threshold,
                                                    bool count_hit) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   const auto it = cache_.find(threshold);
   if (it == cache_.end()) return nullptr;
   if (count_hit) hits_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +45,7 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MaximalItemsets(
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
-    std::lock_guard<std::mutex> lock(flights_mutex_);
+    MutexLock lock(flights_mutex_);
     auto [it, inserted] = flights_.try_emplace(threshold);
     if (inserted) {
       it->second = std::make_shared<Flight>();
@@ -56,17 +55,17 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MaximalItemsets(
   }
   if (leader) return MineAndPublish(threshold, context, flight.get());
 
+  bool published = false;
   {
-    std::unique_lock<std::mutex> wait_lock(flight->mutex);
-    flight->cv.wait(wait_lock, [&flight] { return flight->done; });
-    if (flight->published) {
-      // Don't re-count: this request was already tallied as a miss.
-      if (ItemsetsPtr hit = Lookup(threshold, /*count_hit=*/false)) {
-        return hit;
-      }
-      // Evicted between publication and re-probe (tiny capacity under
-      // churn); fall through and mine.
-    }
+    MutexLock wait_lock(flight->mutex);
+    while (!flight->done) flight->cv.Wait(flight->mutex);
+    published = flight->published;
+  }
+  if (published) {
+    // Don't re-count: this request was already tallied as a miss.
+    if (ItemsetsPtr hit = Lookup(threshold, /*count_hit=*/false)) return hit;
+    // Evicted between publication and re-probe (tiny capacity under
+    // churn); fall through and mine.
   }
   // The leader's mining was partial (its context stopped it) or failed;
   // neither outcome speaks for this request, so mine under our own
@@ -83,15 +82,15 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MineAndPublish(
   const auto resolve_flight = [&] {
     if (flight == nullptr) return;
     {
-      std::lock_guard<std::mutex> lock(flight->mutex);
+      MutexLock lock(flight->mutex);
       flight->published = published;
       flight->done = true;
     }
     {
-      std::lock_guard<std::mutex> lock(flights_mutex_);
+      MutexLock lock(flights_mutex_);
       flights_.erase(threshold);
     }
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
   };
 
   StatusOr<std::vector<itemsets::FrequentItemset>> mined =
@@ -109,7 +108,7 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MineAndPublish(
   }
 
   {
-    std::unique_lock<std::shared_mutex> write(mutex_);
+    WriterMutexLock write(mutex_);
     const auto [it, inserted] = cache_.try_emplace(threshold);
     if (inserted) {
       it->second.itemsets = itemsets;
@@ -185,16 +184,8 @@ void PreprocessingCache::EnsureBitmapsLocked() {
   bitmaps_built_ = true;
 }
 
-int PreprocessingCache::MaxSatisfiable(const DynamicBitset& tuple, int m) {
-  {
-    std::shared_lock<std::shared_mutex> lock(bitmap_mutex_);
-    if (!bitmaps_built_) {
-      lock.unlock();
-      std::unique_lock<std::shared_mutex> write(bitmap_mutex_);
-      EnsureBitmapsLocked();
-    }
-  }
-  std::shared_lock<std::shared_mutex> lock(bitmap_mutex_);
+int PreprocessingCache::MaxSatisfiableLocked(const DynamicBitset& tuple,
+                                             int m) const {
   if (log_.empty()) return 0;
   const int m_eff =
       std::min<int>(std::max(0, m), static_cast<int>(tuple.Count()));
@@ -205,6 +196,19 @@ int PreprocessingCache::MaxSatisfiable(const DynamicBitset& tuple, int m) {
     if (!tuple.Test(attr)) candidates.AndNot(queries_with_attr_[attr]);
   }
   return static_cast<int>(candidates.Count());
+}
+
+int PreprocessingCache::MaxSatisfiable(const DynamicBitset& tuple, int m) {
+  {
+    ReaderMutexLock lock(bitmap_mutex_);
+    if (bitmaps_built_) return MaxSatisfiableLocked(tuple, m);
+  }
+  // First use: build under the exclusive lock (EnsureBitmapsLocked
+  // re-checks, so racing builders are benign), then answer under it —
+  // cheaper than a release-and-relock for this one-time path.
+  WriterMutexLock write(bitmap_mutex_);
+  EnsureBitmapsLocked();
+  return MaxSatisfiableLocked(tuple, m);
 }
 
 CacheStats PreprocessingCache::mfi_stats() const {

@@ -6,7 +6,7 @@
 //
 //  * SharedMfiIndex — an MfiItemsetSource whose per-threshold maximal-
 //    itemset collections live in an LRU-bounded map behind a
-//    std::shared_mutex. Readers take the shared lock (recency and
+//    soc::SharedMutex. Readers take the shared lock (recency and
 //    hit/miss counters are atomics bumped under it); mining happens
 //    *outside* any lock and is single-flight per threshold: concurrent
 //    misses elect one miner, followers wait for its publication instead
@@ -23,21 +23,24 @@
 //    They give MaxSatisfiable(t, m), an O(M · |Q|/64) upper bound on the
 //    objective that lets the service answer provably-zero requests
 //    without dispatching a solver.
+//
+// The locking discipline described above is machine-checked: all guarded
+// state carries SOC_GUARDED_BY annotations and lock-assuming helpers are
+// SOC_REQUIRES-annotated (see common/thread_annotations.h).
 
 #ifndef SOC_SERVE_PREPROCESSING_CACHE_H_
 #define SOC_SERVE_PREPROCESSING_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "boolean/query_log.h"
 #include "common/bitset.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/mfi_solver.h"
 
 namespace soc::serve {
@@ -81,10 +84,10 @@ class SharedMfiIndex : public MfiItemsetSource {
   // the leader flips `done`. `published` tells followers whether the
   // result landed in the cache (a partial or failed mining does not).
   struct Flight {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    bool published = false;
+    Mutex mutex;
+    CondVar cv;
+    bool done SOC_GUARDED_BY(mutex) = false;
+    bool published SOC_GUARDED_BY(mutex) = false;
   };
 
   // Mines at `threshold` with no lock held.
@@ -94,28 +97,30 @@ class SharedMfiIndex : public MfiItemsetSource {
   // Cache probe under the shared lock; bumps recency, and the hit
   // counter when `count_hit` (a follower re-probing after a wait was
   // already counted as a miss). Returns nullptr on absence.
-  ItemsetsPtr Lookup(int threshold, bool count_hit);
+  ItemsetsPtr Lookup(int threshold, bool count_hit) SOC_EXCLUDES(mutex_);
 
   // The miss path body: mines under `context`, promotes complete results
   // (with LRU eviction), and — when this thread is a flight leader —
   // resolves `flight` and unregisters it whatever the outcome.
   StatusOr<ItemsetsPtr> MineAndPublish(int threshold, SolveContext* context,
-                                       Flight* flight);
+                                       Flight* flight)
+      SOC_EXCLUDES(mutex_, flights_mutex_);
 
   const itemsets::TransactionDatabase db_;
   const int log_size_;
   const MfiSocOptions options_;
   const std::size_t capacity_;
 
-  mutable std::shared_mutex mutex_;
-  std::map<int, Entry> cache_;
+  mutable SharedMutex mutex_;
+  std::map<int, Entry> cache_ SOC_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> use_clock_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> evictions_{0};
 
-  std::mutex flights_mutex_;
-  std::map<int, std::shared_ptr<Flight>> flights_;
+  Mutex flights_mutex_;
+  std::map<int, std::shared_ptr<Flight>> flights_
+      SOC_GUARDED_BY(flights_mutex_);
 };
 
 // The per-log preprocessing bundle a VisibilityService owns: one shared
@@ -133,24 +138,30 @@ class PreprocessingCache {
   // Exact upper bound on the SOC objective: the number of log queries q
   // with q ⊆ tuple and |q| <= min(m, |tuple|). Thread-safe; builds the
   // bitmaps on first call.
-  int MaxSatisfiable(const DynamicBitset& tuple, int m);
+  int MaxSatisfiable(const DynamicBitset& tuple, int m)
+      SOC_EXCLUDES(bitmap_mutex_);
 
   // Aggregated over both MFI indexes.
   CacheStats mfi_stats() const;
 
  private:
-  void EnsureBitmapsLocked();  // Requires exclusive bitmap_mutex_.
+  // Builds the bitmaps if absent; requires the exclusive bitmap lock.
+  void EnsureBitmapsLocked() SOC_REQUIRES(bitmap_mutex_);
+  // The bound computation proper; callable under a shared (or exclusive)
+  // bitmap lock once the bitmaps exist.
+  int MaxSatisfiableLocked(const DynamicBitset& tuple, int m) const
+      SOC_REQUIRES_SHARED(bitmap_mutex_);
 
   const QueryLog& log_;
   SharedMfiIndex walk_index_;
   SharedMfiIndex dfs_index_;
 
-  mutable std::shared_mutex bitmap_mutex_;
-  bool bitmaps_built_ = false;
+  mutable SharedMutex bitmap_mutex_;
+  bool bitmaps_built_ SOC_GUARDED_BY(bitmap_mutex_) = false;
   // queries_with_attr_[a]: bitset over query ids mentioning attribute a.
-  std::vector<DynamicBitset> queries_with_attr_;
+  std::vector<DynamicBitset> queries_with_attr_ SOC_GUARDED_BY(bitmap_mutex_);
   // size_at_most_[s]: bitset over query ids with |q| <= s (s in 0..M).
-  std::vector<DynamicBitset> size_at_most_;
+  std::vector<DynamicBitset> size_at_most_ SOC_GUARDED_BY(bitmap_mutex_);
 };
 
 }  // namespace soc::serve

@@ -108,30 +108,32 @@ std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
   queued->request = std::move(request);
 
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     ++inflight_;
   }
-  metrics_.Increment(kAccepted);
   if (!pool_.Submit([this, queued] { RunRequest(queued); })) {
-    // Shutdown raced the submit: resolve as overloaded.
+    // Shutdown raced the submit: resolve as overloaded. Counted only as
+    // rejected — a request the pool never took is not "accepted".
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      MutexLock lock(inflight_mutex_);
       --inflight_;
     }
-    inflight_cv_.notify_all();
+    inflight_cv_.NotifyAll();
     metrics_.Increment(kRejectedQueueFull);
     SolveResponse response;
     response.id = queued->request.id;
     response.solver = queued->request.solver;
     response.status = OverloadedError("service shutting down");
     queued->promise.set_value(std::move(response));
+    return future;
   }
+  metrics_.Increment(kAccepted);
   return future;
 }
 
 void VisibilityService::Drain() {
-  std::unique_lock<std::mutex> lock(inflight_mutex_);
-  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  MutexLock lock(inflight_mutex_);
+  while (inflight_ != 0) inflight_cv_.Wait(inflight_mutex_);
 }
 
 void VisibilityService::RunRequest(std::shared_ptr<QueuedRequest> queued) {
@@ -223,10 +225,10 @@ void VisibilityService::Finish(std::shared_ptr<QueuedRequest> queued,
   metrics_.RecordLatency("total", response.queue_ms + response.solve_ms);
   queued->promise.set_value(std::move(response));
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     --inflight_;
   }
-  inflight_cv_.notify_all();
+  inflight_cv_.NotifyAll();
 }
 
 MetricsSnapshot VisibilityService::Metrics() const {

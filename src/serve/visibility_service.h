@@ -30,16 +30,16 @@
 #ifndef SOC_SERVE_VISIBILITY_SERVICE_H_
 #define SOC_SERVE_VISIBILITY_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "boolean/query_log.h"
 #include "common/bitset.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/mfi_solver.h"
@@ -93,11 +93,12 @@ class VisibilityService {
   VisibilityService& operator=(const VisibilityService&) = delete;
 
   // Non-blocking; see the admission-control contract above.
-  std::future<SolveResponse> Submit(SolveRequest request);
+  std::future<SolveResponse> Submit(SolveRequest request)
+      SOC_EXCLUDES(inflight_mutex_);
 
   // Blocks until every accepted request has resolved. New Submits during
   // Drain are legal; Drain returns once the in-flight count hits zero.
-  void Drain();
+  void Drain() SOC_EXCLUDES(inflight_mutex_);
 
   const QueryLog& log() const { return log_; }
   int num_workers() const { return pool_.num_threads(); }
@@ -110,7 +111,8 @@ class VisibilityService {
 
   void RunRequest(std::shared_ptr<QueuedRequest> queued);
   SolveResponse Execute(QueuedRequest& queued);
-  void Finish(std::shared_ptr<QueuedRequest> queued, SolveResponse response);
+  void Finish(std::shared_ptr<QueuedRequest> queued, SolveResponse response)
+      SOC_EXCLUDES(inflight_mutex_);
 
   const QueryLog log_;
   const VisibilityServiceOptions options_;
@@ -124,9 +126,9 @@ class VisibilityService {
   MfiSocSolver mfi_dfs_solver_;
   ServeMetrics metrics_;
 
-  std::mutex inflight_mutex_;
-  std::condition_variable inflight_cv_;
-  std::int64_t inflight_ = 0;
+  Mutex inflight_mutex_;
+  CondVar inflight_cv_;
+  std::int64_t inflight_ SOC_GUARDED_BY(inflight_mutex_) = 0;
 
   ThreadPool pool_;  // Last member: workers must die before state above.
 };

@@ -85,7 +85,9 @@ TEST(RobustnessTest, QueryLogParserMatchesTableParserBehavior) {
     auto log = QueryLog::FromCsv(csv);
     auto table = BooleanTable::FromCsv(csv);
     EXPECT_EQ(log.ok(), table.ok());
-    if (log.ok()) EXPECT_EQ(log->size(), table->num_rows());
+    if (log.ok()) {
+      EXPECT_EQ(log->size(), table->num_rows());
+    }
   }
 }
 

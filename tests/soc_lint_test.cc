@@ -1,0 +1,267 @@
+// soc_lint rule tests: each rule gets a passing and a failing crafted
+// snippet, so the CI gate's behavior is pinned without depending on the
+// (changing) real tree.
+
+#include "soc_lint/lint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace soc::lint {
+namespace {
+
+std::vector<Finding> RunAll(const std::vector<SourceFile>& files) {
+  return LintTree(files);
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&rule](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------- guards
+
+TEST(SocLintTest, CanonicalGuardDropsSrcAndUppercases) {
+  EXPECT_EQ(CanonicalGuard("src/serve/metrics.h"), "SOC_SERVE_METRICS_H_");
+  EXPECT_EQ(CanonicalGuard("src/common/thread_pool.h"),
+            "SOC_COMMON_THREAD_POOL_H_");
+  EXPECT_EQ(CanonicalGuard("tools/soc_lint/lint.h"),
+            "SOC_TOOLS_SOC_LINT_LINT_H_");
+}
+
+TEST(SocLintTest, AcceptsCanonicalGuardAndPragmaOnce) {
+  std::vector<Finding> findings;
+  CheckIncludeGuard({"src/core/foo.h",
+                     "#ifndef SOC_CORE_FOO_H_\n#define SOC_CORE_FOO_H_\n"
+                     "#endif\n"},
+                    &findings);
+  CheckIncludeGuard({"tools/bar.h", "#pragma once\nint x;\n"}, &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SocLintTest, FlagsMissingAndNonCanonicalGuards) {
+  std::vector<Finding> findings;
+  CheckIncludeGuard({"src/core/foo.h", "int x;\n"}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+
+  findings.clear();
+  CheckIncludeGuard({"src/core/foo.h",
+                     "#ifndef WRONG_NAME_H\n#define WRONG_NAME_H\n#endif\n"},
+                    &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("SOC_CORE_FOO_H_"), std::string::npos);
+
+  // #ifndef without the matching #define is a broken guard.
+  findings.clear();
+  CheckIncludeGuard({"src/core/foo.h",
+                     "#ifndef SOC_CORE_FOO_H_\n#define OTHER_H_\n#endif\n"},
+                    &findings);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(SocLintTest, GuardRuleIgnoresNonHeadersAndComments) {
+  std::vector<Finding> findings;
+  CheckIncludeGuard({"src/core/foo.cc", "int x;\n"}, &findings);
+  // A commented-out pragma does not count as a guard.
+  CheckIncludeGuard({"src/core/bar.h", "// #pragma once\nint x;\n"},
+                    &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/core/bar.h");
+}
+
+// --------------------------------------------------------------- threads
+
+TEST(SocLintTest, FlagsNakedThreadInSrc) {
+  std::vector<Finding> findings;
+  CheckNakedThread({"src/serve/foo.cc",
+                    "#include <thread>\nvoid F() { std::thread t([]{}); }\n"},
+                   &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-thread");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(SocLintTest, ThreadRuleExemptsPoolTestsAndHardwareConcurrency) {
+  std::vector<Finding> findings;
+  // The pool implementation itself may own raw threads.
+  CheckNakedThread({"src/common/thread_pool.cc",
+                    "std::thread worker;\n"},
+                   &findings);
+  // Tests and bench are out of scope.
+  CheckNakedThread({"tests/foo_test.cc", "std::thread t;\n"}, &findings);
+  // Reading the parallelism hint is fine anywhere.
+  CheckNakedThread({"src/serve/foo.cc",
+                    "int n = std::thread::hardware_concurrency();\n"},
+                   &findings);
+  // Mentions in comments and strings do not count.
+  CheckNakedThread({"src/serve/bar.cc",
+                    "// std::thread is banned here\n"
+                    "const char* s = \"std::thread\";\n"},
+                   &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+// -------------------------------------------------------------- layering
+
+TEST(SocLintTest, FlagsServeIncludeFromLowerLayer) {
+  std::vector<Finding> findings;
+  CheckLayering({"src/core/foo.cc", "#include \"serve/metrics.h\"\n"},
+                &findings);
+  CheckLayering({"src/lp/bar.cc", "#include \"serve/protocol.h\"\n"},
+                &findings);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "layering");
+}
+
+TEST(SocLintTest, LayeringAllowsServeAndToolsToUseServe) {
+  std::vector<Finding> findings;
+  CheckLayering({"src/serve/foo.cc", "#include \"serve/metrics.h\"\n"},
+                &findings);
+  CheckLayering({"tools/socvis_serve.cc",
+                 "#include \"serve/visibility_service.h\"\n"},
+                &findings);
+  CheckLayering({"src/core/foo.cc", "#include \"core/solver.h\"\n"},
+                &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+// ----------------------------------------------------------- stop cadence
+
+TEST(SocLintTest, FlagsModuloCadence) {
+  std::vector<Finding> findings;
+  CheckStopCadence({"src/lp/foo.cc",
+                    "void F(long i) { if (i % kStopCheckInterval == 0) {} }\n"},
+                   &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stop-cadence");
+
+  findings.clear();
+  CheckStopCadence({"src/lp/foo.cc",
+                    "void F(long i) { if ((i & kStopCheckMask) == 0) {} }\n"},
+                   &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SocLintTest, FlagsSolverFunctionThatIgnoresItsContext) {
+  const char* bad =
+      "Status Solve(const Log& log, SolveContext* context) {\n"
+      "  for (int i = 0; i < 100; ++i) DoWork(i);\n"
+      "  return Status::OK();\n"
+      "}\n";
+  std::vector<Finding> findings;
+  CheckStopCadence({"src/core/foo.cc", bad}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stop-cadence");
+  EXPECT_NE(findings[0].message.find("'context'"), std::string::npos);
+}
+
+TEST(SocLintTest, AcceptsCheckpointingAndForwardingFunctions) {
+  const char* checkpointing =
+      "Status Solve(const Log& log, SolveContext* context) {\n"
+      "  for (int i = 0; i < 100; ++i) {\n"
+      "    if (context != nullptr && context->Checkpoint()) break;\n"
+      "  }\n"
+      "  return Status::OK();\n"
+      "}\n";
+  const char* forwarding =
+      "Status Outer(SolveContext* ctx) { return Inner(1, ctx); }\n";
+  // A constructor may forward via its member-initializer list.
+  const char* initializer_list =
+      "Miner::Miner(const Db& db, SolveContext* context)\n"
+      "    : db_(db), context_(context) {}\n";
+  // Declarations and defaulted-out-of-scope signatures are not checked.
+  const char* declaration =
+      "Status Solve(const Log& log, SolveContext* context);\n"
+      "virtual Status Go(SolveContext* context) = 0;\n";
+  std::vector<Finding> findings;
+  CheckStopCadence({"src/core/a.cc", checkpointing}, &findings);
+  CheckStopCadence({"src/core/b.cc", forwarding}, &findings);
+  CheckStopCadence({"src/core/c.cc", initializer_list}, &findings);
+  CheckStopCadence({"src/core/d.cc", declaration}, &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, CadenceRuleSkipsNonSolverLayers) {
+  // The function-use half only applies to solver layers (core/lp/
+  // itemsets); serve composes contexts without ticking them itself.
+  const char* ignoring =
+      "void F(SolveContext* context) { DoWork(); }\n";
+  std::vector<Finding> findings;
+  CheckStopCadence({"src/serve/foo.cc", ignoring}, &findings);
+  EXPECT_TRUE(findings.empty());
+}
+
+// -------------------------------------------------------- registry parity
+
+constexpr char kRegistrySnippet[] =
+    "constexpr RegistryEntry kRegistry[] = {\n"
+    "    {\"Alpha\", &MakeAlpha},\n"
+    "    {\"Beta\", &MakeBeta},\n"
+    "};\n";
+
+TEST(SocLintTest, RegistryParityPassesWhenTestCoversAllNames) {
+  std::vector<Finding> findings;
+  CheckRegistryTestParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"tests/solver_registry_test.cc",
+        "for (auto n : {\"Alpha\", \"Beta\"}) Check(n);\n"}},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, RegistryParityFlagsUncoveredSolver) {
+  std::vector<Finding> findings;
+  CheckRegistryTestParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"tests/solver_registry_test.cc", "Check(\"Alpha\");\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "registry-parity");
+  EXPECT_NE(findings[0].message.find("\"Beta\""), std::string::npos);
+}
+
+TEST(SocLintTest, RegistryParityFlagsMissingTestFile) {
+  std::vector<Finding> findings;
+  CheckRegistryTestParity({{"src/core/solver_registry.cc", kRegistrySnippet}},
+                          &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "registry-parity");
+}
+
+// ------------------------------------------------------------- aggregate
+
+TEST(SocLintTest, LintTreeAggregatesSortedFindingsAndJson) {
+  const std::vector<SourceFile> files = {
+      {"src/core/zeta.cc", "#include \"serve/metrics.h\"\n"},
+      {"src/core/alpha.h", "int x;\n"},
+  };
+  const std::vector<Finding> findings = RunAll(files);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].path, "src/core/alpha.h");  // Sorted by path.
+  EXPECT_TRUE(HasRule(findings, "layering"));
+  EXPECT_TRUE(HasRule(findings, "include-guard"));
+
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"rule\":\"layering\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"src/core/alpha.h\""), std::string::npos);
+
+  EXPECT_EQ(FindingsToJson({}), "[]");
+}
+
+TEST(SocLintTest, CleanTreeSnippetsProduceNoFindings) {
+  const std::vector<SourceFile> files = {
+      {"src/core/ok.h",
+       "#ifndef SOC_CORE_OK_H_\n#define SOC_CORE_OK_H_\n#endif\n"},
+      {"src/core/ok.cc",
+       "Status Solve(SolveContext* context) {\n"
+       "  while (!context->Checkpoint()) {}\n"
+       "  return Status::OK();\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(RunAll(files).empty());
+}
+
+}  // namespace
+}  // namespace soc::lint

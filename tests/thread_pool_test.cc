@@ -86,6 +86,26 @@ TEST(ThreadPoolTest, CountsCompletedTasks) {
   EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownWaitsForDrain) {
+  // Every Shutdown call must return only after the queue is drained and
+  // the workers joined — including a call that loses the joining race to
+  // a concurrent Shutdown. (Regression: the loser used to return early
+  // while tasks were still running.)
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    std::thread other([&pool] { pool.Shutdown(); });
+    pool.Shutdown();
+    // This caller may have lost the race, but the contract still holds:
+    // all 64 tasks finished before Shutdown returned.
+    EXPECT_EQ(counter.load(), 64);
+    other.join();
+  }
+}
+
 TEST(ThreadPoolTest, SubmitFromWithinATask) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

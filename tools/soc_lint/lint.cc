@@ -1,0 +1,451 @@
+#include "soc_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <set>
+
+#include "common/json_writer.h"
+
+namespace soc::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+bool IsSource(const std::string& path) { return EndsWith(path, ".cc"); }
+
+// 1-based line number of byte offset `pos`.
+int LineOf(const std::string& content, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(content.begin(),
+                            content.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    std::min(pos, content.size())),
+                            '\n'));
+}
+
+// Replaces // and /* */ comments and string/char literals with spaces
+// (newlines preserved), so token searches cannot match inside them.
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Finds whole-identifier occurrences of `token` (no identifier chars on
+// either side; `token` may contain "::").
+std::vector<std::size_t> FindTokens(const std::string& text,
+                                    const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+void Add(std::vector<Finding>* findings, std::string rule, std::string path,
+         int line, std::string message) {
+  Finding finding;
+  finding.rule = std::move(rule);
+  finding.path = std::move(path);
+  finding.line = line;
+  finding.message = std::move(message);
+  findings->push_back(std::move(finding));
+}
+
+// The layers below serve/, in include-prefix form.
+constexpr const char* kLayersBelowServe[] = {
+    "src/common/", "src/boolean/",     "src/lp/",      "src/itemsets/",
+    "src/core/",   "src/categorical/", "src/numeric/", "src/text/",
+    "src/datagen/"};
+
+// Files that may use raw threads: the pool itself and the annotated
+// primitives it is built from.
+constexpr const char* kThreadExempt[] = {"src/common/thread_pool.h",
+                                         "src/common/thread_pool.cc",
+                                         "src/common/mutex.h"};
+
+}  // namespace
+
+std::string CanonicalGuard(const std::string& path) {
+  std::string trimmed = path;
+  if (StartsWith(trimmed, "src/")) trimmed = trimmed.substr(4);
+  std::string guard = "SOC_";
+  for (char c : trimmed) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludeGuard(const SourceFile& file,
+                       std::vector<Finding>* findings) {
+  if (!IsHeader(file.path)) return;
+  const std::string code = StripCommentsAndStrings(file.content);
+
+  if (code.find("#pragma once") != std::string::npos) return;
+
+  const std::size_t ifndef_pos = code.find("#ifndef ");
+  if (ifndef_pos == std::string::npos) {
+    Add(findings, "include-guard", file.path, 0,
+        "header has neither #pragma once nor an #ifndef include guard");
+    return;
+  }
+  std::size_t name_start = ifndef_pos + 8;
+  while (name_start < code.size() && code[name_start] == ' ') ++name_start;
+  std::size_t name_end = name_start;
+  while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+  const std::string guard = code.substr(name_start, name_end - name_start);
+  if (guard.empty()) {
+    Add(findings, "include-guard", file.path, LineOf(code, ifndef_pos),
+        "#ifndef include guard has no name");
+    return;
+  }
+  if (code.find("#define " + guard) == std::string::npos) {
+    Add(findings, "include-guard", file.path, LineOf(code, ifndef_pos),
+        "include guard '" + guard + "' is never #defined");
+    return;
+  }
+  if (StartsWith(file.path, "src/")) {
+    const std::string expected = CanonicalGuard(file.path);
+    if (guard != expected) {
+      Add(findings, "include-guard", file.path, LineOf(code, ifndef_pos),
+          "include guard '" + guard + "' should be the canonical '" +
+              expected + "'");
+    }
+  }
+}
+
+void CheckNakedThread(const SourceFile& file,
+                      std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/")) return;
+  for (const char* exempt : kThreadExempt) {
+    if (file.path == exempt) return;
+  }
+  const std::string code = StripCommentsAndStrings(file.content);
+  for (const char* token : {"std::thread", "std::jthread", "pthread_create"}) {
+    for (std::size_t pos : FindTokens(code, token)) {
+      // Reading the parallelism hint is not spawning a thread.
+      if (code.compare(pos, 33, "std::thread::hardware_concurrency") == 0) {
+        continue;
+      }
+      Add(findings, "naked-thread", file.path, LineOf(code, pos),
+          std::string(token) +
+              " outside common/thread_pool.*; use soc::ThreadPool");
+    }
+  }
+}
+
+void CheckLayering(const SourceFile& file, std::vector<Finding>* findings) {
+  bool below_serve = false;
+  for (const char* layer : kLayersBelowServe) {
+    if (StartsWith(file.path, layer)) {
+      below_serve = true;
+      break;
+    }
+  }
+  if (!below_serve) return;
+  // #include lines survive comment stripping; the quoted path does not,
+  // so search the raw text but anchor on the directive.
+  std::size_t pos = 0;
+  while ((pos = file.content.find("#include \"serve/", pos)) !=
+         std::string::npos) {
+    Add(findings, "layering", file.path, LineOf(file.content, pos),
+        "layer below serve/ must not include serve/ headers");
+    pos += 1;
+  }
+}
+
+namespace {
+
+// Implements the function-body half of stop-cadence: every function
+// *definition* with a SolveContext* parameter must mention that parameter
+// again in its body (a Checkpoint() call or forwarding to a callee).
+void CheckSolveContextUse(const SourceFile& file, const std::string& code,
+                          std::vector<Finding>* findings) {
+  const std::string needle = "SolveContext";
+  std::size_t pos = 0;
+  while ((pos = code.find(needle, pos)) != std::string::npos) {
+    const std::size_t token_pos = pos;
+    pos += needle.size();
+    if (token_pos > 0 && IsIdentChar(code[token_pos - 1])) continue;
+    // Expect "* name" next.
+    std::size_t i = pos;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])))
+      ++i;
+    if (i >= code.size() || code[i] != '*') continue;
+    ++i;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])))
+      ++i;
+    std::size_t name_start = i;
+    while (i < code.size() && IsIdentChar(code[i])) ++i;
+    const std::string name = code.substr(name_start, i - name_start);
+    if (name.empty()) continue;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])))
+      ++i;
+    // Allow a "= nullptr" default argument.
+    if (i < code.size() && code[i] == '=') {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j])))
+        ++j;
+      if (code.compare(j, 7, "nullptr") != 0) continue;  // Local variable.
+      i = j + 7;
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])))
+        ++i;
+    }
+    // A parameter is followed by ',' or the ')' closing the list.
+    if (i >= code.size() || (code[i] != ',' && code[i] != ')')) continue;
+
+    // Close the parameter list: the token sits at depth >= 1, so walk
+    // until the running depth goes negative.
+    int depth = 0;
+    std::size_t k = i;
+    for (; k < code.size(); ++k) {
+      if (code[k] == '(') ++depth;
+      if (code[k] == ')') {
+        if (depth == 0) break;
+        --depth;
+      }
+    }
+    if (k >= code.size()) continue;
+    // Definition if the next ';' / '{' / '=' at brace level is '{'
+    // (qualifiers like const/noexcept/override/annotations may
+    // intervene; '=' covers "= 0;" and "= default;").
+    std::size_t b = k + 1;
+    int paren = 0;
+    for (; b < code.size(); ++b) {
+      const char c = code[b];
+      if (c == '(') ++paren;  // e.g. noexcept(...) or macro(...).
+      if (c == ')') --paren;
+      if (paren > 0) continue;
+      if (c == '{' || c == ';' || c == '=') break;
+    }
+    if (b >= code.size() || code[b] != '{') continue;  // Declaration only.
+    // Brace-match the body.
+    int braces = 0;
+    std::size_t body_end = b;
+    for (; body_end < code.size(); ++body_end) {
+      if (code[body_end] == '{') ++braces;
+      if (code[body_end] == '}') {
+        --braces;
+        if (braces == 0) break;
+      }
+    }
+    // Include the region between ')' and '{': a constructor stashing the
+    // context via its member-initializer list counts as forwarding.
+    const std::string body = code.substr(k, body_end - k);
+    if (FindTokens(body, name).empty()) {
+      Add(findings, "stop-cadence", file.path, LineOf(code, token_pos),
+          "function takes SolveContext* '" + name +
+              "' but never checkpoints or forwards it; solver loops must "
+              "consult the context on the kStopCheckInterval cadence");
+    }
+    pos = b;  // Nested definitions (lambdas) are scanned in turn.
+  }
+}
+
+}  // namespace
+
+void CheckStopCadence(const SourceFile& file,
+                      std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/")) return;
+  const std::string code = StripCommentsAndStrings(file.content);
+
+  // Manual cadence arithmetic must match SolveContext::Checkpoint: a
+  // power-of-two mask, tuned in one place.
+  for (std::size_t pos : FindTokens(code, "kStopCheckInterval")) {
+    std::size_t i = pos;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1]))) {
+      --i;
+    }
+    if (i > 0 && code[i - 1] == '%') {
+      Add(findings, "stop-cadence", file.path, LineOf(code, pos),
+          "use '& kStopCheckMask' for the stop-check cadence, not "
+          "'% kStopCheckInterval'");
+    }
+  }
+
+  const bool solver_layer = StartsWith(file.path, "src/core/") ||
+                            StartsWith(file.path, "src/lp/") ||
+                            StartsWith(file.path, "src/itemsets/");
+  if (solver_layer && IsSource(file.path)) {
+    CheckSolveContextUse(file, code, findings);
+  }
+}
+
+void CheckRegistryTestParity(const std::vector<SourceFile>& files,
+                             std::vector<Finding>* findings) {
+  const SourceFile* registry = nullptr;
+  const SourceFile* test = nullptr;
+  for (const SourceFile& file : files) {
+    if (EndsWith(file.path, "core/solver_registry.cc")) registry = &file;
+    if (EndsWith(file.path, "tests/solver_registry_test.cc")) test = &file;
+  }
+  if (registry == nullptr) return;  // Nothing to check against.
+  if (test == nullptr) {
+    Add(findings, "registry-parity", registry->path, 0,
+        "solver_registry.cc present but tests/solver_registry_test.cc is "
+        "missing");
+    return;
+  }
+
+  // Registered names: string literals opening an entry of the kRegistry
+  // table ('{"Name", ...').
+  const std::size_t table = registry->content.find("kRegistry[]");
+  const std::size_t table_end =
+      table == std::string::npos ? std::string::npos
+                                 : registry->content.find("};", table);
+  if (table == std::string::npos || table_end == std::string::npos) {
+    Add(findings, "registry-parity", registry->path, 0,
+        "could not locate the kRegistry[] table");
+    return;
+  }
+  std::set<std::string> names;
+  std::size_t pos = table;
+  while ((pos = registry->content.find("{\"", pos)) != std::string::npos &&
+         pos < table_end) {
+    const std::size_t name_start = pos + 2;
+    const std::size_t name_end = registry->content.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    names.insert(
+        registry->content.substr(name_start, name_end - name_start));
+    pos = name_end;
+  }
+  if (names.empty()) {
+    Add(findings, "registry-parity", registry->path, 0,
+        "no registered solver names found in the kRegistry[] table");
+    return;
+  }
+  for (const std::string& name : names) {
+    if (test->content.find("\"" + name + "\"") == std::string::npos) {
+      Add(findings, "registry-parity", test->path, 0,
+          "registered solver \"" + name +
+              "\" has no entry in solver_registry_test.cc");
+    }
+  }
+}
+
+std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    CheckIncludeGuard(file, &findings);
+    CheckNakedThread(file, &findings);
+    CheckLayering(file, &findings);
+    CheckStopCadence(file, &findings);
+  }
+  CheckRegistryTestParity(files, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::vector<JsonValue> entries;
+  entries.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rule", JsonValue::String(finding.rule))
+        .Set("path", JsonValue::String(finding.path))
+        .Set("line", JsonValue::Int(finding.line))
+        .Set("message", JsonValue::String(finding.message));
+    entries.push_back(std::move(entry));
+  }
+  return JsonValue::Array(std::move(entries)).ToString();
+}
+
+}  // namespace soc::lint

@@ -1,0 +1,72 @@
+// soc_lint: project-invariant checks the compiler cannot see.
+//
+// A standalone, regex-and-light-parse linter (no libclang) enforcing the
+// repository rules that sit above the type system:
+//
+//   stop-cadence     — solver code under src/core, src/lp, src/itemsets
+//                      that accepts a SolveContext* must actually consult
+//                      it (Checkpoint() or forwarding); manual cadence
+//                      arithmetic must use kStopCheckMask, never
+//                      `% kStopCheckInterval` or a hard-coded 64.
+//   registry-parity  — every solver name registered in
+//                      src/core/solver_registry.cc appears in
+//                      tests/solver_registry_test.cc.
+//   naked-thread     — no std::thread / std::jthread / pthread_create
+//                      in src/ outside common/thread_pool.*; concurrency
+//                      goes through ThreadPool.
+//   layering         — no src layer below serve/ may #include "serve/..."
+//                      headers.
+//   include-guard    — every header carries #pragma once or a proper
+//                      #ifndef/#define pair; under src/ the guard name is
+//                      canonical (SOC_<PATH>_H_).
+//
+// The library operates on in-memory (path, content) pairs so tests can
+// feed crafted snippets; the soc_lint binary walks the real tree and
+// exits non-zero on findings (the CI gate). Findings serialize to JSON
+// for machine consumption.
+
+#ifndef SOC_TOOLS_SOC_LINT_LINT_H_
+#define SOC_TOOLS_SOC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace soc::lint {
+
+struct SourceFile {
+  std::string path;  // Repository-relative, '/'-separated.
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;     // Stable rule id, e.g. "naked-thread".
+  std::string path;
+  int line = 0;         // 1-based; 0 = file-level finding.
+  std::string message;
+};
+
+// Per-file rules, exposed individually so tests can target them.
+void CheckIncludeGuard(const SourceFile& file, std::vector<Finding>* findings);
+void CheckNakedThread(const SourceFile& file, std::vector<Finding>* findings);
+void CheckLayering(const SourceFile& file, std::vector<Finding>* findings);
+void CheckStopCadence(const SourceFile& file, std::vector<Finding>* findings);
+
+// Cross-file rule: registry names vs. registry test coverage.
+void CheckRegistryTestParity(const std::vector<SourceFile>& files,
+                             std::vector<Finding>* findings);
+
+// Runs every rule over `files` and returns findings sorted by
+// (path, line, rule).
+std::vector<Finding> LintTree(const std::vector<SourceFile>& files);
+
+// The canonical include guard for a header path:
+// "src/serve/metrics.h" -> "SOC_SERVE_METRICS_H_" (the leading source
+// root is dropped; every other non-alphanumeric becomes '_').
+std::string CanonicalGuard(const std::string& path);
+
+// [{"rule":...,"path":...,"line":...,"message":...}, ...]
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace soc::lint
+
+#endif  // SOC_TOOLS_SOC_LINT_LINT_H_

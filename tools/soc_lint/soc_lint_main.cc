@@ -1,0 +1,87 @@
+// soc_lint: walks the repository tree and enforces the project
+// invariants in soc_lint/lint.h. Exit code 0 = clean, 1 = findings,
+// 2 = usage / IO error, which makes it a CI gate:
+//
+//   soc_lint [--root=DIR] [--format=text|json]
+//
+// Lints every .h/.cc under src/, tools/, tests/, bench/ and examples/
+// relative to --root (default: the current directory).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "soc_lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+bool IsLintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = GetFlag(argc, argv, "root", ".");
+  const std::string format = GetFlag(argc, argv, "format", "text");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "soc_lint: unknown --format=%s (text|json)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  std::vector<soc::lint::SourceFile> files;
+  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsLintable(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "soc_lint: cannot read %s\n",
+                     entry.path().string().c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      soc::lint::SourceFile file;
+      file.path = fs::relative(entry.path(), root).generic_string();
+      file.content = buffer.str();
+      files.push_back(std::move(file));
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "soc_lint: no sources under %s\n", root.c_str());
+    return 2;
+  }
+
+  const std::vector<soc::lint::Finding> findings =
+      soc::lint::LintTree(files);
+  if (format == "json") {
+    std::printf("%s\n", soc::lint::FindingsToJson(findings).c_str());
+  } else {
+    for (const soc::lint::Finding& finding : findings) {
+      std::printf("%s:%d: [%s] %s\n", finding.path.c_str(), finding.line,
+                  finding.rule.c_str(), finding.message.c_str());
+    }
+    std::fprintf(stderr, "soc_lint: %zu file(s), %zu finding(s)\n",
+                 files.size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
