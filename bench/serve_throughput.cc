@@ -4,7 +4,11 @@
 // and written to BENCH_serve.json for tracking across commits.
 //
 //   serve_throughput [--requests=N] [--queries=N] [--attrs=N] [--m=N]
-//                    [--seed=N] [--out-json=path]
+//                    [--seed=N] [--out-json=path] [--trace-out=path]
+//
+// With --trace-out, every sweep records per-request spans and solver
+// phases into one Chrome trace (the recorded numbers then include
+// tracing cost; run without the flag for clean throughput).
 //
 // The workload mixes the greedy portfolio with exact solves so scaling
 // reflects real request heterogeneity, not a single hot loop.
@@ -19,11 +23,22 @@
 #include "common/json_writer.h"
 #include "common/timer.h"
 #include "datagen/workload.h"
+#include "obs/trace_recorder.h"
 #include "serve/batch_engine.h"
 #include "serve/visibility_service.h"
 
 namespace soc::bench {
 namespace {
+
+std::string GetStringFlag(int argc, char** argv, const std::string& name,
+                          const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
 
 struct WorkerPoint {
   int workers = 0;
@@ -85,11 +100,17 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  const std::string trace_path =
+      GetStringFlag(argc, argv, "trace-out", "");
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) recorder.set_enabled(true);
+
   std::vector<WorkerPoint> points;
   for (int workers : {1, 2, 4, 8}) {
     serve::VisibilityServiceOptions options;
     options.num_workers = workers;
     options.max_queue = 0;  // Measure solve throughput, not load shedding.
+    if (!trace_path.empty()) options.trace_recorder = &recorder;
     serve::VisibilityService service(log, options);
 
     {  // Warmup: populate the shared MFI cache outside the timed region.
@@ -171,6 +192,18 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!trace_path.empty()) {
+    const Status status = recorder.WriteChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve_throughput: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%lld events, %lld dropped)\n", trace_path.c_str(),
+                static_cast<long long>(recorder.events_recorded()),
+                static_cast<long long>(recorder.events_dropped()));
+  }
   return 0;
 }
 

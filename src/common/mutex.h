@@ -23,6 +23,7 @@
 #ifndef SOC_COMMON_MUTEX_H_
 #define SOC_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -73,6 +74,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  // Timed wait: returns false if `seconds` elapsed without a notification
+  // (spurious wakeups return true; callers loop on their predicate either
+  // way, re-deriving the remaining time).
+  bool WaitFor(Mutex& mu, double seconds) SOC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

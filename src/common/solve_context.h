@@ -50,6 +50,37 @@ enum class StopReason {
 // "none", "deadline", "cancelled", "tick_budget", "resource_limit".
 const char* StopReasonToString(StopReason reason);
 
+// Observation hooks a SolveContext carries through the solver layers.
+//
+// Solvers mark their phases (mining, LP relaxation, branch-and-bound
+// search, fallback tiers, ...) with PhaseScope below; whoever owns the
+// context — the serving layer, a CLI with --trace-out — attaches a
+// listener (obs::TracingPhaseListener turns the calls into trace spans)
+// without the solvers ever depending on a concrete recorder. Phase names
+// must come from the canonical span-name table in src/obs/span_names.h
+// (lint rule "span-name").
+//
+// A listener is used from the single thread driving the solve; it must
+// outlive the context's last Checkpoint()/PhaseScope.
+class PhaseListener {
+ public:
+  virtual ~PhaseListener() = default;
+
+  // Balanced per phase; phases nest strictly (LIFO). `name` has static
+  // storage duration (a span-name constant or string literal).
+  virtual void OnPhaseBegin(const char* name) = 0;
+  virtual void OnPhaseEnd(const char* name) = 0;
+
+  // Fired exactly once, by the Checkpoint() call that trips a stop
+  // condition, with the remaining-budget picture at that instant:
+  // `ticks` of `tick_budget` consumed (0 = unlimited) and
+  // `deadline_remaining_s` (negative once blown, +inf without deadline).
+  // Degraded solves are thereby diagnosable from the trace alone.
+  virtual void OnStop(StopReason reason, std::int64_t ticks,
+                      std::int64_t tick_budget,
+                      double deadline_remaining_s) = 0;
+};
+
 class SolveContext {
  public:
   // Unlimited: Checkpoint() never stops.
@@ -61,6 +92,9 @@ class SolveContext {
   void set_tick_budget(std::int64_t ticks) { tick_budget_ = ticks; }
   // Non-owning; typically flipped from another thread. nullptr disables.
   void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  // Non-owning observation hook (see PhaseListener); nullptr disables.
+  void set_phase_listener(PhaseListener* listener) { listener_ = listener; }
+  PhaseListener* phase_listener() const { return listener_; }
 
   // Deterministic fault injection for tests: Checkpoint() reports `reason`
   // from the at_tick-th call onward (at_tick >= 1, so 1 fires on the very
@@ -78,22 +112,18 @@ class SolveContext {
     if (reason_ != StopReason::kNone) return true;
     ++ticks_;
     if (injected_reason_ != StopReason::kNone && ticks_ >= inject_at_tick_) {
-      reason_ = injected_reason_;
-      return true;
+      return Stop(injected_reason_);
     }
     if (tick_budget_ > 0 && ticks_ > tick_budget_) {
-      reason_ = StopReason::kTickBudget;
-      return true;
+      return Stop(StopReason::kTickBudget);
     }
     if (ticks_ == 1 || (ticks_ & kStopCheckMask) == 0) {
       if (cancel_flag_ != nullptr &&
           cancel_flag_->load(std::memory_order_relaxed)) {
-        reason_ = StopReason::kCancelled;
-        return true;
+        return Stop(StopReason::kCancelled);
       }
       if (deadline_.Expired()) {
-        reason_ = StopReason::kDeadline;
-        return true;
+        return Stop(StopReason::kDeadline);
       }
     }
     return false;
@@ -105,13 +135,49 @@ class SolveContext {
   std::int64_t ticks() const { return ticks_; }
 
  private:
+  // Records the (sticky) stop verdict; the flipping Checkpoint also tells
+  // the listener, so a blown budget mid-phase leaves a trace event even
+  // when the solver only notices many iterations later.
+  bool Stop(StopReason reason) {
+    reason_ = reason;
+    if (listener_ != nullptr) {
+      listener_->OnStop(reason, ticks_, tick_budget_,
+                        deadline_.RemainingSeconds());
+    }
+    return true;
+  }
+
   Deadline deadline_ = Deadline::Infinite();
   std::int64_t tick_budget_ = 0;
   const std::atomic<bool>* cancel_flag_ = nullptr;
+  PhaseListener* listener_ = nullptr;
   StopReason injected_reason_ = StopReason::kNone;
   std::int64_t inject_at_tick_ = 0;
   StopReason reason_ = StopReason::kNone;
   std::int64_t ticks_ = 0;
+};
+
+// RAII phase marker for solver code: nothing but two virtual calls when a
+// listener is attached, a pointer test when not (the hot-path case), so
+// phase marks may sit on per-node / per-pass boundaries. `name` must have
+// static storage duration and come from the canonical span-name table.
+class PhaseScope {
+ public:
+  PhaseScope(const SolveContext* context, const char* name)
+      : listener_(context != nullptr ? context->phase_listener() : nullptr),
+        name_(name) {
+    if (listener_ != nullptr) listener_->OnPhaseBegin(name_);
+  }
+  ~PhaseScope() {
+    if (listener_ != nullptr) listener_->OnPhaseEnd(name_);
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseListener* const listener_;
+  const char* const name_;
 };
 
 }  // namespace soc

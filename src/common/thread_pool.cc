@@ -22,7 +22,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     if (shutting_down_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
   }
   wake_workers_.NotifyOne();
   return true;
@@ -72,6 +72,21 @@ std::int64_t ThreadPool::tasks_failed() const {
   return tasks_failed_;
 }
 
+double ThreadPool::total_queue_wait_ms() const {
+  MutexLock lock(mutex_);
+  return total_queue_wait_ms_;
+}
+
+double ThreadPool::total_execute_ms() const {
+  MutexLock lock(mutex_);
+  return total_execute_ms_;
+}
+
+int ThreadPool::busy_workers() const {
+  MutexLock lock(mutex_);
+  return busy_workers_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -81,17 +96,29 @@ void ThreadPool::WorkerLoop() {
       // an unannotated function and hide the guarded reads.
       while (!shutting_down_ && queue_.empty()) wake_workers_.Wait(mutex_);
       if (queue_.empty()) return;  // Shutting down and drained.
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
+      total_queue_wait_ms_ +=
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - queue_.front().enqueued)
+              .count();
       queue_.pop_front();
+      ++busy_workers_;
     }
     bool failed = false;
+    const auto started = std::chrono::steady_clock::now();
     try {
       task();
     } catch (...) {
       failed = true;
     }
+    const double execute_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
     {
       MutexLock lock(mutex_);
+      --busy_workers_;
+      total_execute_ms_ += execute_ms;
       ++tasks_completed_;
       if (failed) ++tasks_failed_;
     }

@@ -24,6 +24,7 @@
 #ifndef SOC_COMMON_THREAD_POOL_H_
 #define SOC_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -64,7 +65,21 @@ class ThreadPool {
   // Tasks whose callable threw; always <= tasks_completed().
   std::int64_t tasks_failed() const SOC_EXCLUDES(mutex_);
 
+  // Cumulative milliseconds tasks spent queued before a worker claimed
+  // them. Queue wait ends at claim time, so a long-running task inflates
+  // its successors' wait, not its own execute time.
+  double total_queue_wait_ms() const SOC_EXCLUDES(mutex_);
+  // Cumulative milliseconds workers spent inside task callables.
+  double total_execute_ms() const SOC_EXCLUDES(mutex_);
+  // Workers currently inside a task callable (gauge, 0..num_threads).
+  int busy_workers() const SOC_EXCLUDES(mutex_);
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop() SOC_EXCLUDES(mutex_);
 
   int num_threads_ = 0;  // Immutable after construction.
@@ -75,11 +90,14 @@ class ThreadPool {
   // "returns only after drain + join" contract instead of returning
   // early while workers still run.
   CondVar shutdown_done_;
-  std::deque<std::function<void()>> queue_ SOC_GUARDED_BY(mutex_);
+  std::deque<QueuedTask> queue_ SOC_GUARDED_BY(mutex_);
   bool shutting_down_ SOC_GUARDED_BY(mutex_) = false;
   bool joined_ SOC_GUARDED_BY(mutex_) = false;
   std::int64_t tasks_completed_ SOC_GUARDED_BY(mutex_) = 0;
   std::int64_t tasks_failed_ SOC_GUARDED_BY(mutex_) = 0;
+  double total_queue_wait_ms_ SOC_GUARDED_BY(mutex_) = 0;
+  double total_execute_ms_ SOC_GUARDED_BY(mutex_) = 0;
+  int busy_workers_ SOC_GUARDED_BY(mutex_) = 0;
   std::vector<std::thread> workers_ SOC_GUARDED_BY(mutex_);
 };
 

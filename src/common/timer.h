@@ -4,6 +4,7 @@
 #define SOC_COMMON_TIMER_H_
 
 #include <chrono>
+#include <limits>
 
 namespace soc {
 
@@ -42,6 +43,12 @@ class Deadline {
 
   bool Expired() const {
     return has_deadline_ && Clock::now() >= expiry_;
+  }
+
+  // Seconds until expiry (negative once expired); +infinity for Infinite().
+  double RemainingSeconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
   }
 
  private:

@@ -31,7 +31,10 @@ FallbackSolver::FallbackSolver(std::unique_ptr<SocSolver> exact)
 StatusOr<SocSolution> FallbackSolver::SolveWithContext(
     const QueryLog& log, const DynamicBitset& tuple, int m,
     SolveContext* context) const {
-  StatusOr<SocSolution> exact = exact_->SolveWithContext(log, tuple, m, context);
+  StatusOr<SocSolution> exact = [&] {
+    const PhaseScope phase(context, "fallback_exact");
+    return exact_->SolveWithContext(log, tuple, m, context);
+  }();
   if (exact.ok() && !IsDegraded(exact.value())) {
     exact.value().metrics.emplace_back("fallback_tier", 0.0);
     return exact;
@@ -41,6 +44,7 @@ StatusOr<SocSolution> FallbackSolver::SolveWithContext(
   // The exact tier stopped early or bailed: the greedy tier runs to
   // completion regardless of the context so the caller always gets a valid
   // selection.
+  const PhaseScope rescue_phase(context, "fallback_rescue");
   const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
   SOC_ASSIGN_OR_RETURN(SocSolution rescue, greedy.Solve(log, tuple, m));
 

@@ -71,12 +71,15 @@ StatusOr<SocSolution> IlpSocSolver::SolveWithContext(
     const QueryLog& log, const DynamicBitset& tuple, int m,
     SolveContext* context) const {
   const int m_eff = internal::EffectiveBudget(log, tuple, m);
-  SocIlpModel soc_model =
-      BuildConjunctiveSocModel(log, tuple, m_eff, options_.presolve);
+  SocIlpModel soc_model = [&] {
+    const PhaseScope phase(context, "build_model");
+    return BuildConjunctiveSocModel(log, tuple, m_eff, options_.presolve);
+  }();
 
   lp::MipOptions mip_options = options_.mip;
   mip_options.context = context;
   if (options_.seed_with_greedy) {
+    const PhaseScope phase(context, "greedy_seed");
     const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
     SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
     std::vector<double> x0(soc_model.model.num_variables(), 0.0);

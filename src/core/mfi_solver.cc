@@ -21,6 +21,7 @@ StatusOr<std::shared_ptr<const std::vector<itemsets::FrequentItemset>>>
 MfiPreprocessedIndex::MaximalItemsets(int threshold, SolveContext* context) {
   auto it = cache_.find(threshold);
   if (it == cache_.end()) {
+    const PhaseScope phase(context, "mining");
     StatusOr<std::vector<itemsets::FrequentItemset>> mined =
         options_.engine == MfiEngine::kRandomWalk
             ? itemsets::MineMaximalItemsetsRandomWalk(
@@ -107,6 +108,7 @@ SubsetScanResult ScanLevelSubsets(
     const std::vector<itemsets::FrequentItemset>& mfis,
     const DynamicBitset& not_t, const DynamicBitset& tuple, int level,
     std::uint64_t max_candidates, SolveContext* context) {
+  const PhaseScope phase(context, "subset_scan");
   SubsetScanResult result;
   const std::size_t base_size = not_t.Count();
   const int need = level - static_cast<int>(base_size);
@@ -207,6 +209,7 @@ StatusOr<SocSolution> MfiSocSolver::SolveWithIndex(MfiItemsetSource& index,
       // Greedy lower bound L: mining at r = L always succeeds (the greedy
       // selection's complement is itself a frequent level-(M-m) itemset),
       // so the first pass is usually the only one.
+      const PhaseScope phase(context, "greedy_seed");
       const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
       SOC_ASSIGN_OR_RETURN(SocSolution seed, greedy.Solve(log, tuple, m_eff));
       if (seed.satisfied_queries >= 1) {

@@ -156,6 +156,7 @@ StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsDfs(
     const TransactionDatabase& db, int min_support,
     const MaximalDfsOptions& options, SolveContext* context) {
   SOC_CHECK_GE(min_support, 1);
+  const PhaseScope phase(context, "mine_dfs");
   MaximalDfsMiner miner(db, min_support, options, context);
   return miner.Run();
 }

@@ -49,6 +49,7 @@ StatusOr<std::vector<FrequentItemset>> MineMaximalItemsetsRandomWalk(
     const RandomWalkOptions& options, RandomWalkStats* stats,
     SolveContext* context) {
   SOC_CHECK_GE(min_support, 1);
+  const PhaseScope phase(context, "mine_walk");
   if (options.max_iterations <= 0) {
     return InvalidArgumentError("max_iterations must be positive");
   }

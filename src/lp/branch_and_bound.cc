@@ -115,6 +115,7 @@ void MipSolver::TryRounding(const std::vector<double>& x) {
 }
 
 StatusOr<MipResult> MipSolver::Solve() {
+  const PhaseScope phase(options_.context, "bnb");
   SOC_RETURN_IF_ERROR(model_.Validate());
   const Deadline deadline =
       options_.time_limit_seconds > 0.0
@@ -183,6 +184,7 @@ StatusOr<MipResult> MipSolver::Solve() {
       break;
     }
     ++nodes_explored_;
+    const PhaseScope node_phase(options_.context, "bnb_node");
 
     // Materialize this node's bounds.
     lower = root_lower;

@@ -479,6 +479,7 @@ StatusOr<SimplexResult> SolveLpWithBounds(const LinearModel& model,
                                           const std::vector<double>& lower,
                                           const std::vector<double>& upper,
                                           const SimplexOptions& options) {
+  const PhaseScope phase(options.context, "simplex");
   SOC_RETURN_IF_ERROR(model.Validate());
   SOC_CHECK_EQ(static_cast<int>(lower.size()), model.num_variables());
   SOC_CHECK_EQ(static_cast<int>(upper.size()), model.num_variables());

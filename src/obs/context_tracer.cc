@@ -1,0 +1,46 @@
+#include "obs/context_tracer.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace soc::obs {
+
+void TracingPhaseListener::OnPhaseBegin(const char* name) {
+  if (recorder_ == nullptr || !recorder_->enabled()) return;
+  open_.push_back({name, recorder_->NowNanos()});
+}
+
+void TracingPhaseListener::OnPhaseEnd(const char* name) {
+  if (recorder_ == nullptr || open_.empty()) return;
+  // Phases nest strictly, so the match is normally the innermost open
+  // phase; an unmatched end (recorder enabled mid-solve, a defective
+  // caller) unwinds to the matching begin and drops the orphans rather
+  // than corrupting the nesting of everything that follows.
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (std::strcmp(open_[i].name, name) != 0) continue;
+    recorder_->RecordComplete(open_[i].name, category_, open_[i].start_ns,
+                              recorder_->NowNanos() - open_[i].start_ns);
+    open_.resize(i);
+    return;
+  }
+}
+
+void TracingPhaseListener::OnStop(StopReason reason, std::int64_t ticks,
+                                  std::int64_t tick_budget,
+                                  double deadline_remaining_s) {
+  if (recorder_ == nullptr) return;
+  std::vector<TraceArg> args;
+  args.push_back(TraceArg::Str("stop_reason", StopReasonToString(reason)));
+  args.push_back(TraceArg::Int("ticks", ticks));
+  args.push_back(TraceArg::Int("tick_budget", tick_budget));
+  if (tick_budget > 0) {
+    args.push_back(TraceArg::Int("ticks_remaining", tick_budget - ticks));
+  }
+  if (std::isfinite(deadline_remaining_s)) {
+    args.push_back(
+        TraceArg::Num("deadline_remaining_ms", deadline_remaining_s * 1e3));
+  }
+  recorder_->RecordInstant("degraded", category_, std::move(args));
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,52 @@
+// TracingPhaseListener: the bridge between the solver layers' abstract
+// phase hooks (soc::PhaseListener, common/solve_context.h) and a concrete
+// TraceRecorder.
+//
+// The serving layer (or a CLI) attaches one listener per solve to the
+// request's SolveContext; solvers mark phases with PhaseScope and never
+// see the recorder. Phase begin/end pairs become nested complete spans on
+// the solving thread; the one-shot OnStop becomes a "degraded" instant
+// event carrying the stop reason and the remaining-budget picture, so a
+// blown deadline is diagnosable from the trace alone.
+//
+// Not thread-safe: one listener belongs to the single thread driving its
+// solve, like the SolveContext it is attached to.
+
+#ifndef SOC_OBS_CONTEXT_TRACER_H_
+#define SOC_OBS_CONTEXT_TRACER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/solve_context.h"
+#include "obs/trace_recorder.h"
+
+namespace soc::obs {
+
+class TracingPhaseListener : public PhaseListener {
+ public:
+  // `recorder` is non-owning and may be nullptr (inert listener).
+  // `category` must have static storage duration.
+  TracingPhaseListener(TraceRecorder* recorder, const char* category)
+      : recorder_(recorder), category_(category) {}
+
+  void OnPhaseBegin(const char* name) override;
+  void OnPhaseEnd(const char* name) override;
+  void OnStop(StopReason reason, std::int64_t ticks,
+              std::int64_t tick_budget,
+              double deadline_remaining_s) override;
+
+ private:
+  struct OpenPhase {
+    const char* name;
+    std::int64_t start_ns;
+  };
+
+  TraceRecorder* const recorder_;
+  const char* const category_;
+  std::vector<OpenPhase> open_;  // Innermost phase last.
+};
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_CONTEXT_TRACER_H_

@@ -1,0 +1,14 @@
+#include "obs/span_names.h"
+
+#include <cstring>
+
+namespace soc::obs {
+
+bool IsCanonicalSpanName(const char* name) {
+  for (const char* canonical : kSpanNames) {
+    if (std::strcmp(canonical, name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,57 @@
+// The canonical span-name table for the tracing layer.
+//
+// Every span or phase created in the solver and serving layers (via
+// soc::PhaseScope or obs::TraceSpan) must use one of these names, so
+// traces stay greppable and tooling can key on a stable taxonomy. The
+// table is machine-checked: soc_lint's "span-name" rule parses the
+// kSpanNames[] table below and flags any span construction in src/core,
+// src/lp, src/itemsets or src/serve whose string-literal name is absent
+// (the same parity pattern as the solver-registry rule).
+//
+// Taxonomy (one request, outermost first):
+//
+//   admission       Submit-side validation + queue-bound decision.
+//   queue_wait      Submit -> worker pickup (reconstructed span).
+//   request         Worker-side lifetime of one request.
+//   solve           Solver dispatch within a request.
+//   response        Promise resolution + latency accounting.
+//
+// Solver phases (nested under "solve", emitted through PhaseScope):
+//
+//   greedy_seed     ConsumeAttrCumul seeding of exact solvers.
+//   mining          MFI solver waiting for / producing maximal itemsets.
+//   cache_wait      Single-flight follower blocked on a mining leader.
+//   mine_walk       Random-walk maximal itemset mining pass.
+//   mine_dfs        Exact DFS maximal itemset mining pass.
+//   subset_scan     Level-(M-m) subset scan over the maximal itemsets.
+//   build_model     ILP model construction.
+//   bnb             Branch-and-bound search (whole tree).
+//   bnb_node        One branch-and-bound node expansion.
+//   simplex         One LP relaxation solve (both phases).
+//   fallback_exact  FallbackSolver's exact tier.
+//   fallback_rescue FallbackSolver's greedy rescue tier.
+//
+// Instant events:
+//
+//   degraded        A stop condition fired mid-solve (args: stop reason,
+//                   ticks/budget, remaining deadline).
+
+#ifndef SOC_OBS_SPAN_NAMES_H_
+#define SOC_OBS_SPAN_NAMES_H_
+
+namespace soc::obs {
+
+inline constexpr const char* kSpanNames[] = {
+    "admission",      "queue_wait",  "request",     "solve",
+    "response",       "greedy_seed", "mining",      "cache_wait",
+    "mine_walk",      "mine_dfs",    "subset_scan", "build_model",
+    "bnb",            "bnb_node",    "simplex",     "fallback_exact",
+    "fallback_rescue", "degraded",
+};
+
+// True iff `name` is an entry of kSpanNames (exact match).
+bool IsCanonicalSpanName(const char* name);
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_SPAN_NAMES_H_

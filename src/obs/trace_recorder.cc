@@ -1,0 +1,196 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+
+namespace soc::obs {
+
+namespace {
+
+// Process-unique recorder ids; id 0 is reserved as "no recorder" so a
+// zero-initialized thread-local cache can never falsely hit.
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+// %.3f without locale surprises; Chrome timestamps are microseconds.
+std::string Micros(std::int64_t ns) {
+  return StrFormat("%.3f", static_cast<double>(ns) / 1000.0);
+}
+
+}  // namespace
+
+TraceArg TraceArg::Str(std::string key, const std::string& value) {
+  return TraceArg{std::move(key), JsonEscape(value)};
+}
+
+TraceArg TraceArg::Num(std::string key, double value) {
+  JsonValue json = JsonValue::Number(value);  // null for non-finite.
+  return TraceArg{std::move(key), json.ToString()};
+}
+
+TraceArg TraceArg::Int(std::string key, long long value) {
+  return TraceArg{std::move(key), std::to_string(value)};
+}
+
+TraceRecorder::TraceRecorder(std::size_t per_thread_capacity)
+    : id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      per_thread_capacity_(std::max<std::size_t>(1, per_thread_capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::int64_t TraceRecorder::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  struct TlsCache {
+    std::uint64_t recorder_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  static thread_local TlsCache cache;
+  if (cache.recorder_id == id_) return cache.buffer;
+  // First event from this thread on this recorder: register a buffer.
+  // A thread alternating between two live recorders re-registers on each
+  // switch (a fresh buffer per switch); the only user with more than one
+  // recorder is the test suite, which never interleaves.
+  MutexLock lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      per_thread_capacity_, static_cast<std::uint32_t>(buffers_.size() + 1)));
+  cache = {id_, buffers_.back().get()};
+  return cache.buffer;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  ThreadBuffer* buffer = BufferForThisThread();
+  const std::size_t slot = buffer->size.load(std::memory_order_relaxed);
+  if (slot >= buffer->events.size()) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.tid = buffer->tid;
+  buffer->events[slot] = std::move(event);
+  // Publish: readers acquire `size` and only touch slots below it.
+  buffer->size.store(slot + 1, std::memory_order_release);
+}
+
+void TraceRecorder::RecordComplete(const char* name, const char* category,
+                                   std::int64_t start_ns, std::int64_t dur_ns,
+                                   std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(const char* name, const char* category,
+                                  std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.ts_ns = NowNanos();
+  event.args = std::move(args);
+  Record(std::move(event));
+}
+
+std::int64_t TraceRecorder::events_recorded() const {
+  MutexLock lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += static_cast<std::int64_t>(
+        buffer->size.load(std::memory_order_acquire));
+  }
+  return total;
+}
+
+std::int64_t TraceRecorder::events_dropped() const {
+  MutexLock lock(mutex_);
+  std::int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<const TraceEvent*> merged;
+  std::int64_t dropped = 0;
+  MutexLock lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::size_t n = buffer->size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) merged.push_back(&buffer->events[i]);
+    dropped += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts_ns < b->ts_ns;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const TraceEvent& event = *merged[i];
+    out += "{\"name\":" + JsonEscape(event.name) +
+           ",\"cat\":" + JsonEscape(event.category) + ",\"ph\":\"" +
+           event.phase + "\",\"pid\":1,\"tid\":" +
+           std::to_string(event.tid) + ",\"ts\":" + Micros(event.ts_ns);
+    if (event.phase == 'X') out += ",\"dur\":" + Micros(event.dur_ns);
+    if (event.phase == 'i') out += ",\"s\":\"t\"";  // Thread-scoped.
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < event.args.size(); ++a) {
+        if (a > 0) out += ',';
+        out += JsonEscape(event.args[a].key) + ":" +
+               event.args[a].json_value;
+      }
+      out += '}';
+    }
+    out += '}';
+    if (i + 1 < merged.size()) out += ',';
+    out += '\n';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" +
+         std::to_string(dropped) + "}}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot open trace output " + path);
+  out << ToChromeTraceJson();
+  if (!out) return InternalError("short write to trace output " + path);
+  return Status::OK();
+}
+
+TraceSpan::TraceSpan(TraceRecorder* recorder, const char* name,
+                     const char* category)
+    : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                           : nullptr),
+      name_(name),
+      category_(category) {
+  if (recorder_ != nullptr) start_ns_ = recorder_->NowNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  recorder_->RecordComplete(name_, category_, start_ns_,
+                            recorder_->NowNanos() - start_ns_,
+                            std::move(args_));
+}
+
+void TraceSpan::AddArg(TraceArg arg) {
+  if (recorder_ != nullptr) args_.push_back(std::move(arg));
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,153 @@
+// A low-overhead, thread-safe trace recorder exporting Chrome
+// trace_event JSON (loadable in chrome://tracing and Perfetto).
+//
+// Design. Each recording thread owns a pre-sized per-thread buffer;
+// appends touch no shared lock — the writer fills the next slot and
+// publishes it with one release store of the buffer's size, readers
+// (export, counters) acquire-load the size and only read below it. The
+// recorder's mutex guards nothing but buffer registration and the export
+// walk, so concurrent solver threads never contend with each other. A
+// full buffer drops events and counts the drops instead of reallocating
+// (or worse, blocking) mid-solve.
+//
+// Cost model: with the recorder disabled, TraceSpan construction is one
+// relaxed atomic load; there is no global singleton — whoever owns a
+// recorder (socvis_serve --trace-out, tests) threads a pointer through,
+// and a nullptr recorder makes every entry point inert.
+//
+// Span names come from the canonical table in span_names.h (lint rule
+// "span-name"); free-form strings belong in args, not names.
+
+#ifndef SOC_OBS_TRACE_RECORDER_H_
+#define SOC_OBS_TRACE_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace soc::obs {
+
+// One key/value attached to a trace event. The value is stored as a
+// pre-serialized JSON fragment so the hot path never walks a tree.
+struct TraceArg {
+  static TraceArg Str(std::string key, const std::string& value);
+  static TraceArg Num(std::string key, double value);
+  static TraceArg Int(std::string key, long long value);
+
+  std::string key;
+  std::string json_value;
+};
+
+struct TraceEvent {
+  const char* name = "";      // Static storage: a span-name constant.
+  const char* category = "";  // Static storage, e.g. "serve", "solve".
+  char phase = 'X';           // 'X' complete span, 'i' instant event.
+  std::int64_t ts_ns = 0;     // Steady-clock nanos since recorder epoch.
+  std::int64_t dur_ns = 0;    // Complete spans only.
+  std::uint32_t tid = 0;      // Recorder-assigned, dense from 1.
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultPerThreadCapacity = 1 << 16;
+
+  explicit TraceRecorder(
+      std::size_t per_thread_capacity = kDefaultPerThreadCapacity);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Recording is off until enabled; a disabled recorder makes Record a
+  // no-op and TraceSpan construction a single relaxed load.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds of steady clock since this recorder's construction.
+  std::int64_t NowNanos() const;
+
+  // Appends to the calling thread's buffer (stamping the tid); silently
+  // counted as dropped when the buffer is full or recording is disabled.
+  void Record(TraceEvent event) SOC_EXCLUDES(mutex_);
+
+  // Convenience wrappers around Record.
+  void RecordComplete(const char* name, const char* category,
+                      std::int64_t start_ns, std::int64_t dur_ns,
+                      std::vector<TraceArg> args = {});
+  void RecordInstant(const char* name, const char* category,
+                     std::vector<TraceArg> args = {});
+
+  // Events currently held across all thread buffers / dropped on full
+  // buffers. Safe to call concurrently with recording.
+  std::int64_t events_recorded() const SOC_EXCLUDES(mutex_);
+  std::int64_t events_dropped() const SOC_EXCLUDES(mutex_);
+
+  // Chrome trace_event JSON: {"traceEvents":[...],...}, events merged
+  // across threads in timestamp order, one event object per line (so
+  // line-oriented tools — and our flat json_reader in tests — can
+  // round-trip individual events). Safe concurrently with recording;
+  // events published after the walk starts may be missed.
+  std::string ToChromeTraceJson() const SOC_EXCLUDES(mutex_);
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint32_t tid)
+        : tid(tid), events(capacity) {}
+    const std::uint32_t tid;
+    std::vector<TraceEvent> events;  // Slots < size are published.
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::int64_t> dropped{0};
+  };
+
+  // The calling thread's buffer, registering it on first use. The
+  // thread-local cache is keyed by a process-unique recorder id, so a
+  // recorder reallocated at a dead one's address can never be confused
+  // with it (the stale cache misses and re-registers).
+  ThreadBuffer* BufferForThisThread() SOC_EXCLUDES(mutex_);
+
+  const std::uint64_t id_;
+  const std::size_t per_thread_capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SOC_GUARDED_BY(mutex_);
+};
+
+// RAII span: captures the start time at construction and records one
+// complete event at destruction. Inert (single branch) when `recorder`
+// is nullptr or disabled at construction time.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // True iff the span will be recorded (lets callers skip building args).
+  bool active() const { return recorder_ != nullptr; }
+  void AddArg(TraceArg arg);
+
+ private:
+  TraceRecorder* const recorder_;  // nullptr = inert.
+  const char* const name_;
+  const char* const category_;
+  std::int64_t start_ns_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_TRACE_RECORDER_H_

@@ -17,17 +17,26 @@ std::size_t BucketIndex(double ms) {
 
 }  // namespace
 
-double HistogramData::QuantileUpperBound(double q) const {
+double HistogramData::Quantile(double q) const {
   if (count == 0) return 0;
-  const std::int64_t rank = static_cast<std::int64_t>(
-      std::min<double>(static_cast<double>(count - 1),
-                       std::max(0.0, q) * static_cast<double>(count)));
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in (0, count]; interpolate linearly within the covering
+  // bucket, assuming observations spread uniformly across it.
+  const double target = q * static_cast<double>(count);
   std::int64_t seen = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
     seen += buckets[i];
-    if (seen > rank) {
-      return i < kLatencyBucketUpperMs.size() ? kLatencyBucketUpperMs[i]
-                                              : max_ms;
+    if (static_cast<double>(seen) >= target) {
+      const double lower = i == 0 ? 0.0 : kLatencyBucketUpperMs[i - 1];
+      // The overflow bucket is open-ended; max_ms closes it so quantiles
+      // never exceed an actually-observed latency.
+      const double upper =
+          i < kLatencyBucketUpperMs.size() ? kLatencyBucketUpperMs[i] : max_ms;
+      const double frac =
+          std::max(0.0, target - before) / static_cast<double>(buckets[i]);
+      return std::min(max_ms, lower + frac * (upper - lower));
     }
   }
   return max_ms;
@@ -51,8 +60,9 @@ JsonValue HistogramData::ToJson() const {
       .Set("mean_ms",
            JsonValue::Number(count == 0 ? 0 : sum_ms / static_cast<double>(count)))
       .Set("max_ms", JsonValue::Number(max_ms))
-      .Set("p50_ms", JsonValue::Number(QuantileUpperBound(0.50)))
-      .Set("p99_ms", JsonValue::Number(QuantileUpperBound(0.99)))
+      .Set("p50_ms", JsonValue::Number(Quantile(0.50)))
+      .Set("p95_ms", JsonValue::Number(Quantile(0.95)))
+      .Set("p99_ms", JsonValue::Number(Quantile(0.99)))
       .Set("buckets", JsonValue::Array(std::move(bucket_entries)));
   return json;
 }
@@ -62,12 +72,17 @@ JsonValue MetricsSnapshot::ToJson() const {
   for (const auto& [name, value] : counters) {
     counter_json.Set(name, JsonValue::Int(value));
   }
+  JsonValue gauge_json = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauge_json.Set(name, JsonValue::Number(value));
+  }
   JsonValue histogram_json = JsonValue::Object();
   for (const auto& [name, data] : histograms) {
     histogram_json.Set(name, data.ToJson());
   }
   JsonValue json = JsonValue::Object();
   json.Set("counters", std::move(counter_json))
+      .Set("gauges", std::move(gauge_json))
       .Set("histograms", std::move(histogram_json));
   return json;
 }
@@ -93,10 +108,16 @@ void ServeMetrics::RecordLatency(const std::string& name, double ms) {
   data.max_ms = std::max(data.max_ms, ms);
 }
 
+void ServeMetrics::SetGauge(const std::string& name, double value) {
+  MutexLock lock(mutex_);
+  gauges_[name] = value;
+}
+
 MetricsSnapshot ServeMetrics::Snapshot() const {
   MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters = counters_;
+  snapshot.gauges = gauges_;
   snapshot.histograms = histograms_;
   return snapshot;
 }

@@ -36,20 +36,23 @@ struct HistogramData {
   double sum_ms = 0;
   double max_ms = 0;
 
-  // Upper bound of the smallest bucket that covers quantile `q` in [0,1]
-  // (conservative; +inf collapses to max_ms). 0 when empty.
-  double QuantileUpperBound(double q) const;
+  // Quantile `q` in [0,1], linearly interpolated inside the covering
+  // bucket (the overflow bucket interpolates up to max_ms, so the result
+  // never exceeds the largest recorded value). 0 when empty. Monotonic in
+  // q: Quantile(a) <= Quantile(b) whenever a <= b.
+  double Quantile(double q) const;
 
-  // {"count":..,"mean_ms":..,"max_ms":..,"p50_ms":..,"p99_ms":..,
-  //  "buckets":[{"le_ms":..,"count":..},...]}
+  // {"count":..,"mean_ms":..,"max_ms":..,"p50_ms":..,"p95_ms":..,
+  //  "p99_ms":..,"buckets":[{"le_ms":..,"count":..},...]}
   JsonValue ToJson() const;
 };
 
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
 
-  // {"counters":{...},"histograms":{...}}
+  // {"counters":{...},"gauges":{...},"histograms":{...}}
   JsonValue ToJson() const;
 };
 
@@ -66,11 +69,16 @@ class ServeMetrics {
   void RecordLatency(const std::string& name, double ms)
       SOC_EXCLUDES(mutex_);
 
+  // Sets the named gauge to a point-in-time value (queue depth, resident
+  // cache bytes, ...). Unlike counters, gauges move in both directions.
+  void SetGauge(const std::string& name, double value) SOC_EXCLUDES(mutex_);
+
   MetricsSnapshot Snapshot() const SOC_EXCLUDES(mutex_);
 
  private:
   mutable Mutex mutex_;
   std::map<std::string, std::int64_t> counters_ SOC_GUARDED_BY(mutex_);
+  std::map<std::string, double> gauges_ SOC_GUARDED_BY(mutex_);
   std::map<std::string, HistogramData> histograms_ SOC_GUARDED_BY(mutex_);
 };
 

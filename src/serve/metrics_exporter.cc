@@ -1,0 +1,115 @@
+#include "serve/metrics_exporter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace soc::serve {
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "soc_";
+  for (const char c : name) {
+    out.push_back(
+        std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  return out;
+}
+
+std::string Sample(double value) {
+  return StrFormat("%.9g", value);
+}
+
+void AppendHistogram(const std::string& name, const HistogramData& data,
+                     std::string* out) {
+  out->append("# TYPE " + name + " histogram\n");
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+    cumulative += data.buckets[i];
+    const std::string le = i < kLatencyBucketUpperMs.size()
+                               ? Sample(kLatencyBucketUpperMs[i])
+                               : "+Inf";
+    out->append(name + "_bucket{le=\"" + le + "\"} " +
+                std::to_string(cumulative) + "\n");
+  }
+  out->append(name + "_sum " + Sample(data.sum_ms) + "\n");
+  out->append(name + "_count " + std::to_string(data.count) + "\n");
+  // Interpolated quantiles as a companion gauge series (kept off the
+  // histogram name: one metric must not mix sample families).
+  out->append("# TYPE " + name + "_quantile gauge\n");
+  for (const double q : {0.50, 0.95, 0.99}) {
+    out->append(name + "_quantile{quantile=\"" + Sample(q) + "\"} " +
+                Sample(data.Quantile(q)) + "\n");
+  }
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    out.append("# TYPE " + prom + " counter\n");
+    out.append(prom + " " + std::to_string(value) + "\n");
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out.append("# TYPE " + prom + " gauge\n");
+    out.append(prom + " " + Sample(value) + "\n");
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    AppendHistogram(PrometheusName(name), data, &out);
+  }
+  return out;
+}
+
+MetricsExporter::MetricsExporter(Options options)
+    : options_(std::move(options)) {
+  loop_pool_.Submit([this] { Loop(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.NotifyAll();
+  // Joins the cadence task; idempotent, and every caller returns only
+  // after the final flush has happened.
+  loop_pool_.Shutdown();
+}
+
+void MetricsExporter::ExportOnce() {
+  if (!options_.snapshot_provider || !options_.sink) return;
+  options_.sink(ToPrometheusText(options_.snapshot_provider()));
+  MutexLock lock(mutex_);
+  ++exports_;
+}
+
+std::int64_t MetricsExporter::exports() const {
+  MutexLock lock(mutex_);
+  return exports_;
+}
+
+void MetricsExporter::Loop() {
+  const double interval_s = std::max(0.01, options_.interval_s);
+  for (;;) {
+    bool stopping = false;
+    {
+      MutexLock lock(mutex_);
+      // One bounded sleep per cycle; the only notification is Stop's, so
+      // a wakeup of either kind just means "export now and re-check".
+      if (!stop_) wake_.WaitFor(mutex_, interval_s);
+      stopping = stop_;
+    }
+    ExportOnce();
+    if (stopping) return;
+  }
+}
+
+}  // namespace soc::serve

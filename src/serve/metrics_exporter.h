@@ -1,0 +1,78 @@
+// Periodic metrics exposition for the serving layer.
+//
+// MetricsExporter snapshots a ServeMetrics-shaped source on a fixed
+// cadence and hands the rendered Prometheus-style text page to a sink
+// callback (socvis_serve appends it to --metrics-out, tests capture it
+// in memory). The cadence loop runs on a one-thread ThreadPool — the
+// repo bans naked std::thread outside the pool — and sleeps on a timed
+// condition wait, so Stop() interrupts a sleep immediately and always
+// flushes one final export before returning.
+//
+// ToPrometheusText is exposed separately so callers can render a
+// snapshot on demand (end-of-run dumps, tests) without an exporter.
+
+#ifndef SOC_SERVE_METRICS_EXPORTER_H_
+#define SOC_SERVE_METRICS_EXPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "serve/metrics.h"
+
+namespace soc::serve {
+
+// Renders a snapshot as a Prometheus text-format page: counters and
+// gauges as single samples, histograms as cumulative `_bucket{le=...}`
+// series (ending in +Inf) with `_sum`/`_count`, plus interpolated
+// p50/p95/p99 as a companion `<name>_quantile{quantile=...}` gauge.
+// Metric names are prefixed with `soc_` and non-alphanumeric characters
+// become underscores.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+class MetricsExporter {
+ public:
+  struct Options {
+    // Seconds between exports (clamped to >= 0.01).
+    double interval_s = 1.0;
+    // Source of truth; called once per cadence tick. Required.
+    std::function<MetricsSnapshot()> snapshot_provider;
+    // Receives the rendered text page once per tick. Required.
+    std::function<void(const std::string&)> sink;
+  };
+
+  // Starts exporting immediately.
+  explicit MetricsExporter(Options options);
+  // Stops, flushing a final export.
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  // Interrupts the current sleep, runs one last export and joins the
+  // cadence thread. Idempotent.
+  void Stop() SOC_EXCLUDES(mutex_);
+
+  // Number of completed exports (including the final flush).
+  std::int64_t exports() const SOC_EXCLUDES(mutex_);
+
+ private:
+  void Loop() SOC_EXCLUDES(mutex_);
+  void ExportOnce() SOC_EXCLUDES(mutex_);
+
+  const Options options_;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  bool stop_ SOC_GUARDED_BY(mutex_) = false;
+  std::int64_t exports_ SOC_GUARDED_BY(mutex_) = 0;
+  // Declared last so its destructor (which joins the cadence task) runs
+  // first, while every member the task touches is still alive.
+  ThreadPool loop_pool_{1};
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_METRICS_EXPORTER_H_

@@ -57,6 +57,7 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MaximalItemsets(
 
   bool published = false;
   {
+    const PhaseScope wait_phase(context, "cache_wait");
     MutexLock wait_lock(flight->mutex);
     while (!flight->done) flight->cv.Wait(flight->mutex);
     published = flight->published;
@@ -94,7 +95,10 @@ StatusOr<SharedMfiIndex::ItemsetsPtr> SharedMfiIndex::MineAndPublish(
   };
 
   StatusOr<std::vector<itemsets::FrequentItemset>> mined =
-      Mine(threshold, context);
+      [&] {
+        const PhaseScope phase(context, "mining");
+        return Mine(threshold, context);
+      }();
   if (!mined.ok()) {
     resolve_flight();
     return mined.status();
@@ -146,6 +150,19 @@ CacheStats SharedMfiIndex::stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  // Per-itemset estimate: the FrequentItemset struct plus its bitset's
+  // word storage. Close enough for a capacity-planning gauge.
+  const std::int64_t bitset_bytes =
+      static_cast<std::int64_t>((db_.num_items() + 63) / 64) * 8;
+  ReaderMutexLock lock(mutex_);
+  stats.entries = static_cast<std::int64_t>(cache_.size());
+  for (const auto& [threshold, entry] : cache_) {
+    stats.approx_bytes +=
+        static_cast<std::int64_t>(sizeof(Entry)) +
+        static_cast<std::int64_t>(entry.itemsets->size()) *
+            (static_cast<std::int64_t>(sizeof(itemsets::FrequentItemset)) +
+             bitset_bytes);
+  }
   return stats;
 }
 
@@ -218,6 +235,8 @@ CacheStats PreprocessingCache::mfi_stats() const {
   total.hits = walk.hits + dfs.hits;
   total.misses = walk.misses + dfs.misses;
   total.evictions = walk.evictions + dfs.evictions;
+  total.entries = walk.entries + dfs.entries;
+  total.approx_bytes = walk.approx_bytes + dfs.approx_bytes;
   return total;
 }
 

@@ -49,6 +49,10 @@ struct CacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
+  // Gauges (point-in-time, not cumulative): resident cached threshold
+  // collections and an estimate of their memory footprint.
+  std::int64_t entries = 0;
+  std::int64_t approx_bytes = 0;
 };
 
 // LRU-bounded, shared-lock MfiItemsetSource. Safe for concurrent
@@ -70,7 +74,7 @@ class SharedMfiIndex : public MfiItemsetSource {
   StatusOr<ItemsetsPtr> MaximalItemsets(int threshold,
                                         SolveContext* context) override;
 
-  CacheStats stats() const;
+  CacheStats stats() const SOC_EXCLUDES(mutex_);
 
  private:
   // Map nodes are stable, so the atomic recency stamp can be updated

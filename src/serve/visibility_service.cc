@@ -1,10 +1,12 @@
 #include "serve/visibility_service.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/mfi_solver.h"
 #include "core/solver_registry.h"
+#include "obs/context_tracer.h"
 
 namespace soc::serve {
 
@@ -29,6 +31,9 @@ struct VisibilityService::QueuedRequest {
   std::promise<SolveResponse> promise;
   WallTimer submit_timer;  // Started at Submit.
   Deadline deadline = Deadline::Infinite();
+  // Recorder time at Submit, when tracing was live then; 0 otherwise.
+  // Anchors the queue_wait and request spans emitted at pickup/finish.
+  std::int64_t submit_ns = 0;
 };
 
 VisibilityService::VisibilityService(QueryLog log,
@@ -56,6 +61,12 @@ VisibilityService::~VisibilityService() {
 }
 
 std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
+  // Covers validation + admission on the submitting thread; the worker-side
+  // spans (queue_wait onward) anchor to submit_ns below.
+  obs::TraceSpan admission(options_.trace_recorder, "admission", "serve");
+  if (admission.active()) {
+    admission.AddArg(obs::TraceArg::Str("id", request.id));
+  }
   metrics_.Increment(kSubmitted);
   if (request.solver.empty()) request.solver = "Fallback";
 
@@ -106,6 +117,10 @@ std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
     queued->deadline = Deadline::AfterSeconds(deadline_ms / 1000.0);
   }
   queued->request = std::move(request);
+  if (options_.trace_recorder != nullptr &&
+      options_.trace_recorder->enabled()) {
+    queued->submit_ns = options_.trace_recorder->NowNanos();
+  }
 
   {
     MutexLock lock(inflight_mutex_);
@@ -149,7 +164,19 @@ SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
   response.queue_ms = queued.submit_timer.ElapsedMillis();
   WallTimer solve_timer;
 
+  obs::TraceRecorder* const recorder = options_.trace_recorder;
+  const bool tracing =
+      recorder != nullptr && recorder->enabled() && queued.submit_ns > 0;
+  if (tracing) {
+    // Reconstructed on the worker thread: Submit handed off, this worker
+    // picked up. Nested under the request span emitted at Finish.
+    recorder->RecordComplete("queue_wait", "serve", queued.submit_ns,
+                             recorder->NowNanos() - queued.submit_ns);
+  }
+
   SolveContext context(queued.deadline);
+  obs::TracingPhaseListener listener(tracing ? recorder : nullptr, "solve");
+  context.set_phase_listener(&listener);
   std::string solver_name = request.solver;
   if (queued.deadline.Expired()) {
     // Late at pickup: never start the requested (possibly exact) solver.
@@ -182,6 +209,10 @@ SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
   // MFI solvers run against the shared preprocessing cache; everything
   // else solves directly (their per-request state is self-contained).
   StatusOr<SocSolution> solution = [&]() -> StatusOr<SocSolution> {
+    obs::TraceSpan solve_span(tracing ? recorder : nullptr, "solve", "serve");
+    if (solve_span.active()) {
+      solve_span.AddArg(obs::TraceArg::Str("solver", solver_name));
+    }
     if (solver_name == "MaxFreqItemSets") {
       return mfi_walk_solver_.SolveWithIndex(cache_.walk_index(), log_,
                                              request.tuple, request.m,
@@ -220,9 +251,38 @@ SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
 
 void VisibilityService::Finish(std::shared_ptr<QueuedRequest> queued,
                                SolveResponse response) {
+  obs::TraceRecorder* const recorder = options_.trace_recorder;
+  const bool tracing =
+      recorder != nullptr && recorder->enabled() && queued->submit_ns > 0;
+  const std::int64_t response_start_ns = tracing ? recorder->NowNanos() : 0;
+  std::vector<obs::TraceArg> request_args;
+  if (tracing) {
+    request_args.push_back(obs::TraceArg::Str("id", response.id));
+    request_args.push_back(obs::TraceArg::Str("solver", response.solver));
+    request_args.push_back(
+        obs::TraceArg::Str("status", StatusCodeToString(response.status.code())));
+    request_args.push_back(obs::TraceArg::Int("degraded", response.degraded));
+    request_args.push_back(obs::TraceArg::Int("fast_path", response.fast_path));
+  }
+
   metrics_.RecordLatency("queue", response.queue_ms);
   metrics_.RecordLatency("solve", response.solve_ms);
   metrics_.RecordLatency("total", response.queue_ms + response.solve_ms);
+
+  // Recorded before the promise resolves: a caller that exports the trace
+  // right after Drain() must see every request's spans.
+  if (tracing) {
+    const std::int64_t now_ns = recorder->NowNanos();
+    recorder->RecordComplete("response", "serve", response_start_ns,
+                             now_ns - response_start_ns);
+    // The umbrella: Submit hand-off through response construction,
+    // emitted on the worker thread so queue_wait/solve/response nest
+    // inside it.
+    recorder->RecordComplete("request", "serve", queued->submit_ns,
+                             now_ns - queued->submit_ns,
+                             std::move(request_args));
+  }
+
   queued->promise.set_value(std::move(response));
   {
     MutexLock lock(inflight_mutex_);
@@ -237,6 +297,19 @@ MetricsSnapshot VisibilityService::Metrics() const {
   snapshot.counters["mfi_cache.hits"] = stats.hits;
   snapshot.counters["mfi_cache.misses"] = stats.misses;
   snapshot.counters["mfi_cache.evictions"] = stats.evictions;
+  snapshot.gauges["queue_depth"] = static_cast<double>(pool_.queue_depth());
+  snapshot.gauges["busy_workers"] = static_cast<double>(pool_.busy_workers());
+  {
+    MutexLock lock(inflight_mutex_);
+    snapshot.gauges["inflight"] = static_cast<double>(inflight_);
+  }
+  snapshot.gauges["mfi_cache.entries"] = static_cast<double>(stats.entries);
+  snapshot.gauges["mfi_cache.approx_bytes"] =
+      static_cast<double>(stats.approx_bytes);
+  // Cumulative pool time split: wait vs work. Exposed as gauges because
+  // they are doubles, but both only grow.
+  snapshot.gauges["pool.queue_wait_ms_total"] = pool_.total_queue_wait_ms();
+  snapshot.gauges["pool.execute_ms_total"] = pool_.total_execute_ms();
   return snapshot;
 }
 

@@ -44,6 +44,7 @@
 #include "common/timer.h"
 #include "core/mfi_solver.h"
 #include "core/solver.h"
+#include "obs/trace_recorder.h"
 #include "serve/metrics.h"
 #include "serve/preprocessing_cache.h"
 
@@ -80,6 +81,11 @@ struct VisibilityServiceOptions {
   // Late policy: reject already-expired requests with kOverloaded instead
   // of degrading them through the Fallback tier.
   bool reject_expired = false;
+  // Non-owning; must outlive the service. When set and enabled, every
+  // request emits nested admission → queue_wait → solve → response spans
+  // (plus solver-internal phases via the context's PhaseListener).
+  // nullptr disables tracing entirely.
+  obs::TraceRecorder* trace_recorder = nullptr;
 };
 
 class VisibilityService {
@@ -103,8 +109,10 @@ class VisibilityService {
   const QueryLog& log() const { return log_; }
   int num_workers() const { return pool_.num_threads(); }
 
-  // Live counters incl. MFI cache hit/miss/eviction totals.
-  MetricsSnapshot Metrics() const;
+  // Live counters (incl. MFI cache hit/miss/eviction totals) plus
+  // point-in-time gauges: queue depth, busy workers, in-flight requests,
+  // cache residency, and cumulative pool queue-wait/execute time.
+  MetricsSnapshot Metrics() const SOC_EXCLUDES(inflight_mutex_);
 
  private:
   struct QueuedRequest;
@@ -126,7 +134,7 @@ class VisibilityService {
   MfiSocSolver mfi_dfs_solver_;
   ServeMetrics metrics_;
 
-  Mutex inflight_mutex_;
+  mutable Mutex inflight_mutex_;
   CondVar inflight_cv_;
   std::int64_t inflight_ SOC_GUARDED_BY(inflight_mutex_) = 0;
 

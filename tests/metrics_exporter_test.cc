@@ -1,0 +1,130 @@
+// MetricsExporter tests: Prometheus text rendering, the cadence loop's
+// export/stop contract, and the counter/quantile invariants the exposed
+// pages must uphold.
+
+#include "serve/metrics_exporter.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "serve/metrics.h"
+
+namespace soc::serve {
+namespace {
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndHistograms) {
+  ServeMetrics metrics;
+  metrics.Increment("completed", 7);
+  metrics.Increment("solver.ILP.completed", 2);
+  metrics.SetGauge("queue_depth", 3);
+  metrics.RecordLatency("latency.total", 0.2);
+  metrics.RecordLatency("latency.total", 80.0);
+  const std::string page = ToPrometheusText(metrics.Snapshot());
+
+  // Names are prefixed and sanitized (dots become underscores).
+  EXPECT_NE(page.find("# TYPE soc_completed counter"), std::string::npos);
+  EXPECT_NE(page.find("soc_completed 7"), std::string::npos);
+  EXPECT_NE(page.find("soc_solver_ILP_completed 2"), std::string::npos);
+  EXPECT_NE(page.find("# TYPE soc_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(page.find("soc_queue_depth 3"), std::string::npos);
+
+  // Histograms: cumulative buckets ending in +Inf, plus sum/count and the
+  // interpolated quantile companion series.
+  EXPECT_NE(page.find("# TYPE soc_latency_total histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("soc_latency_total_bucket{le=\"0.25\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("soc_latency_total_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(page.find("soc_latency_total_count 2"), std::string::npos);
+  EXPECT_NE(page.find("soc_latency_total_quantile{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("soc_latency_total_quantile{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, QuantileSeriesIsOrderedAndBoundedByMax) {
+  ServeMetrics metrics;
+  for (int i = 1; i <= 1000; ++i) {
+    metrics.RecordLatency("latency.solve", 0.01 * i);
+  }
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  const HistogramData& histogram = snapshot.histograms.at("latency.solve");
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, histogram.max_ms);
+}
+
+TEST(MetricsExporterTest, ExportsOnCadenceAndStopFlushesFinalPage) {
+  ServeMetrics metrics;
+  metrics.Increment("completed");
+
+  Mutex mutex;
+  std::vector<std::string> pages;
+  MetricsExporter::Options options;
+  options.interval_s = 0.01;
+  options.snapshot_provider = [&metrics] { return metrics.Snapshot(); };
+  options.sink = [&mutex, &pages](const std::string& page) {
+    MutexLock lock(mutex);
+    pages.push_back(page);
+  };
+  MetricsExporter exporter(std::move(options));
+
+  // Let a few cadence ticks elapse; the loop exports at least once per
+  // interval, so this bounds below without timing the loop exactly.
+  while (exporter.exports() < 2) {
+  }
+  metrics.Increment("completed", 41);
+  exporter.Stop();
+  const std::int64_t exports_after_stop = exporter.exports();
+  EXPECT_GE(exports_after_stop, 3);  // >= 2 cadence ticks + final flush.
+
+  {
+    MutexLock lock(mutex);
+    ASSERT_EQ(static_cast<std::int64_t>(pages.size()), exports_after_stop);
+    // The final flush sees the latest counter values.
+    EXPECT_NE(pages.back().find("soc_completed 42"), std::string::npos);
+  }
+
+  // Stop is idempotent and no exports happen after it returns.
+  exporter.Stop();
+  EXPECT_EQ(exporter.exports(), exports_after_stop);
+}
+
+TEST(MetricsExporterTest, CountersAreMonotonicAcrossExportedSnapshots) {
+  ServeMetrics metrics;
+  Mutex mutex;
+  std::vector<std::int64_t> completed_series;
+  MetricsExporter::Options options;
+  options.interval_s = 0.005;
+  options.snapshot_provider = [&metrics, &mutex, &completed_series] {
+    const MetricsSnapshot snapshot = metrics.Snapshot();
+    MutexLock lock(mutex);
+    const auto it = snapshot.counters.find("completed");
+    completed_series.push_back(it == snapshot.counters.end() ? 0
+                                                             : it->second);
+    return snapshot;
+  };
+  options.sink = [](const std::string&) {};
+  MetricsExporter exporter(std::move(options));
+  for (int i = 0; i < 50; ++i) metrics.Increment("completed");
+  while (exporter.exports() < 3) {
+  }
+  exporter.Stop();
+
+  MutexLock lock(mutex);
+  ASSERT_GE(completed_series.size(), 3u);
+  for (std::size_t i = 1; i < completed_series.size(); ++i) {
+    EXPECT_LE(completed_series[i - 1], completed_series[i]);
+  }
+}
+
+}  // namespace
+}  // namespace soc::serve

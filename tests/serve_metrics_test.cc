@@ -41,15 +41,48 @@ TEST(ServeMetricsTest, HistogramBucketsAndStats) {
   EXPECT_EQ(h.buckets[kLatencyBucketCount - 1], 1);
 }
 
-TEST(ServeMetricsTest, QuantileUpperBound) {
+TEST(ServeMetricsTest, QuantileInterpolates) {
   HistogramData h;
-  EXPECT_DOUBLE_EQ(h.QuantileUpperBound(0.5), 0);  // Empty.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0);  // Empty.
   ServeMetrics metrics;
   for (int i = 0; i < 99; ++i) metrics.RecordLatency("h", 0.2);  // <= 0.25.
   metrics.RecordLatency("h", 40.0);                              // <= 50.
   const HistogramData recorded = metrics.Snapshot().histograms.at("h");
-  EXPECT_DOUBLE_EQ(recorded.QuantileUpperBound(0.5), 0.25);
-  EXPECT_DOUBLE_EQ(recorded.QuantileUpperBound(0.995), 50);
+  // p50: rank 50 of 99 observations in the (0.1, 0.25] bucket.
+  EXPECT_DOUBLE_EQ(recorded.Quantile(0.5), 0.1 + (50.0 / 99.0) * 0.15);
+  // p99.5: rank 99.5 lands halfway into the single-entry (25, 50] bucket.
+  EXPECT_DOUBLE_EQ(recorded.Quantile(0.995), 37.5);
+  // The top of the distribution clamps to the observed maximum, never the
+  // open bucket bound.
+  EXPECT_DOUBLE_EQ(recorded.Quantile(1.0), 40.0);
+}
+
+TEST(ServeMetricsTest, QuantilesAreMonotonicAndBoundedByMax) {
+  ServeMetrics metrics;
+  for (int i = 1; i <= 1000; ++i) {
+    metrics.RecordLatency("h", 0.01 * static_cast<double>(i));
+  }
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  const double p50 = h.Quantile(0.50);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_ms);
+}
+
+TEST(ServeMetricsTest, GaugesOverwriteAndSnapshot) {
+  ServeMetrics metrics;
+  metrics.SetGauge("queue_depth", 3.0);
+  metrics.SetGauge("queue_depth", 1.0);  // Gauges move both directions.
+  metrics.SetGauge("cache_bytes", 4096.0);
+  const MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("queue_depth"), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("cache_bytes"), 4096.0);
+  const std::string json = snapshot.ToJson().ToString();
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":1"), std::string::npos);
 }
 
 TEST(ServeMetricsTest, JsonShapes) {

@@ -230,6 +230,79 @@ TEST(SocLintTest, RegistryParityFlagsMissingTestFile) {
   EXPECT_EQ(findings[0].rule, "registry-parity");
 }
 
+// ------------------------------------------------------------ span names
+
+constexpr char kSpanTableSnippet[] =
+    "inline constexpr const char* kSpanNames[] = {\n"
+    "    \"solve\", \"mining\", \"degraded\",\n"
+    "};\n";
+
+TEST(SocLintTest, SpanNamePassesForCanonicalNames) {
+  std::vector<Finding> findings;
+  CheckSpanNameParity(
+      {{"src/obs/span_names.h", kSpanTableSnippet},
+       {"src/core/foo.cc",
+        "void F(SolveContext* c) {\n"
+        "  const PhaseScope phase(c, \"mining\");\n"
+        "}\n"},
+       {"src/serve/bar.cc",
+        "void G(obs::TraceRecorder* r) {\n"
+        "  obs::TraceSpan span(r, \"solve\", \"serve\");\n"
+        "  r->RecordInstant(\"degraded\", \"serve\");\n"
+        "}\n"}},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, SpanNameFlagsOffTableName) {
+  std::vector<Finding> findings;
+  CheckSpanNameParity(
+      {{"src/obs/span_names.h", kSpanTableSnippet},
+       {"src/lp/foo.cc",
+        "void F(SolveContext* c) {\n"
+        "  const PhaseScope phase(c, \"my_cool_phase\");\n"
+        "}\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "span-name");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("\"my_cool_phase\""), std::string::npos);
+}
+
+TEST(SocLintTest, SpanNameSkipsCommentsVariablesAndOtherLayers) {
+  std::vector<Finding> findings;
+  CheckSpanNameParity(
+      {{"src/obs/span_names.h", kSpanTableSnippet},
+       // A mention in a comment is not a construction.
+       {"src/core/a.cc", "// PhaseScope phase(c, \"bogus\");\n"},
+       // A non-literal name cannot be checked statically.
+       {"src/core/b.cc",
+        "void F(SolveContext* c, const char* n) {\n"
+        "  const PhaseScope phase(c, n);\n"
+        "}\n"},
+       // Layers outside core/lp/itemsets/serve are out of scope.
+       {"tools/x.cc", "obs::TraceSpan span(r, \"bogus\", \"cli\");\n"},
+       // The obs implementation itself is free to name parameters.
+       {"src/obs/trace_recorder.h",
+        "void RecordInstant(const char* name, const char* category);\n"}},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, SpanNameSkipsTreesWithoutTableButFlagsBrokenTable) {
+  std::vector<Finding> findings;
+  // No span_names.h at all: nothing to check against.
+  CheckSpanNameParity(
+      {{"src/core/foo.cc", "const PhaseScope phase(c, \"bogus\");\n"}},
+      &findings);
+  EXPECT_TRUE(findings.empty());
+
+  // Present but unparseable table is itself a finding.
+  CheckSpanNameParity({{"src/obs/span_names.h", "int x;\n"}}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "span-name");
+}
+
 // ------------------------------------------------------------- aggregate
 
 TEST(SocLintTest, LintTreeAggregatesSortedFindingsAndJson) {

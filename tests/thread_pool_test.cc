@@ -121,5 +121,43 @@ TEST(ThreadPoolTest, SubmitFromWithinATask) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(ThreadPoolTest, AccountsQueueWaitAndExecuteTime) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    // Keep the only worker busy so the next task measurably queues.
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  pool.Submit([] {});
+  // Both tasks submitted; the second sits queued behind the blocker.
+  while (pool.busy_workers() < 1 || pool.queue_depth() < 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(pool.busy_workers(), 1);
+  release = true;
+  pool.Shutdown();
+
+  // The second task waited at least as long as the blocker's sleep
+  // (claim-time accounting: the blocker's run time is its successor's
+  // queue wait, not its own execute time).
+  EXPECT_GE(pool.total_queue_wait_ms(), 15.0);
+  EXPECT_GE(pool.total_execute_ms(), 15.0);
+  EXPECT_EQ(pool.busy_workers(), 0);
+}
+
+TEST(ThreadPoolTest, IdlePoolHasNegligibleQueueWait) {
+  ThreadPool pool(2);
+  pool.Submit([] {});
+  pool.Shutdown();
+  // One task on an idle pool is claimed nearly immediately; the counter
+  // must not inflate wait with execute time.
+  EXPECT_LT(pool.total_queue_wait_ms(), 1000.0);
+  EXPECT_GE(pool.total_queue_wait_ms(), 0.0);
+  EXPECT_EQ(pool.tasks_completed(), 1);
+}
+
 }  // namespace
 }  // namespace soc

@@ -1,0 +1,204 @@
+// TraceRecorder tests: span nesting, cross-thread recording, overflow
+// accounting, and a round-trip of exported event lines through the
+// serve-layer flat JSON reader (the export deliberately emits one event
+// object per line to make that possible).
+
+#include "obs/trace_recorder.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/solve_context.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/context_tracer.h"
+#include "obs/span_names.h"
+#include "serve/json_reader.h"
+
+namespace soc::obs {
+namespace {
+
+// The exported event lines, one flat JSON object per event (the
+// surrounding array/footer lines are dropped; trailing commas stripped).
+std::vector<std::map<std::string, serve::JsonScalar>> ParseEventLines(
+    const std::string& json) {
+  std::vector<std::map<std::string, serve::JsonScalar>> events;
+  for (const std::string& raw : Split(json, '\n')) {
+    std::string line = raw;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    if (line.empty() || line.front() != '{') continue;
+    if (line.find("\"ph\"") == std::string::npos) continue;  // Header/footer.
+    auto parsed = serve::ParseFlatJsonObject(line);
+    // Lines carrying an args object are not flat; tests that need args
+    // assert on the raw text instead.
+    if (!parsed.ok()) continue;
+    events.push_back(std::move(parsed).value());
+  }
+  return events;
+}
+
+TEST(TraceRecorderTest, DisabledRecorderIsInertAndSpansReportInactive) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  {
+    TraceSpan span(&recorder, "solve", "test");
+    EXPECT_FALSE(span.active());
+  }
+  TraceSpan null_span(nullptr, "solve", "test");
+  EXPECT_FALSE(null_span.active());
+  recorder.RecordInstant("degraded", "test");
+  EXPECT_EQ(recorder.events_recorded(), 0);
+  EXPECT_EQ(recorder.events_dropped(), 0);
+}
+
+TEST(TraceRecorderTest, NestedSpansAreContainedInTheirParent) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  {
+    TraceSpan outer(&recorder, "request", "test");
+    ASSERT_TRUE(outer.active());
+    TraceSpan inner(&recorder, "solve", "test");
+    ASSERT_TRUE(inner.active());
+  }
+  EXPECT_EQ(recorder.events_recorded(), 2);
+
+  const auto events = ParseEventLines(recorder.ToChromeTraceJson());
+  ASSERT_EQ(events.size(), 2u);
+  // Export sorts by start time: the outer span opened first.
+  EXPECT_EQ(events[0].at("name").string_value, "request");
+  EXPECT_EQ(events[1].at("name").string_value, "solve");
+  const double outer_ts = events[0].at("ts").number_value;
+  const double outer_end = outer_ts + events[0].at("dur").number_value;
+  const double inner_ts = events[1].at("ts").number_value;
+  const double inner_end = inner_ts + events[1].at("dur").number_value;
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_LE(inner_end, outer_end + 1e-3);  // One-microsecond rounding slop.
+  // Same thread: Perfetto nests by containment on one track.
+  EXPECT_EQ(events[0].at("tid").number_value,
+            events[1].at("tid").number_value);
+}
+
+TEST(TraceRecorderTest, CrossThreadEventsGetDistinctTids) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  constexpr int kThreads = 4;
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      pool.Submit([&recorder, &started] {
+        ++started;
+        // Hold every worker inside its task so all four record from
+        // genuinely distinct threads.
+        while (started.load() < kThreads) {
+        }
+        TraceSpan span(&recorder, "solve", "test");
+      });
+    }
+  }
+  EXPECT_EQ(recorder.events_recorded(), kThreads);
+  EXPECT_EQ(recorder.events_dropped(), 0);
+
+  const auto events = ParseEventLines(recorder.ToChromeTraceJson());
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  std::set<double> tids;
+  for (const auto& event : events) tids.insert(event.at("tid").number_value);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(TraceRecorderTest, FullBufferDropsAndCountsInsteadOfGrowing) {
+  TraceRecorder recorder(/*per_thread_capacity=*/2);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 5; ++i) recorder.RecordInstant("degraded", "test");
+  EXPECT_EQ(recorder.events_recorded(), 2);
+  EXPECT_EQ(recorder.events_dropped(), 3);
+  EXPECT_NE(recorder.ToChromeTraceJson().find("\"dropped_events\":3"),
+            std::string::npos);
+}
+
+TEST(TraceRecorderTest, ExportedEventLinesRoundTripThroughFlatReader) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.RecordComplete("solve", "serve", /*start_ns=*/1500,
+                          /*dur_ns=*/2500);
+  recorder.RecordInstant("degraded", "solve");
+
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  const auto events = ParseEventLines(json);
+  ASSERT_EQ(events.size(), 2u);
+
+  const auto& complete = events[0];
+  EXPECT_EQ(complete.at("name").string_value, "solve");
+  EXPECT_EQ(complete.at("cat").string_value, "serve");
+  EXPECT_EQ(complete.at("ph").string_value, "X");
+  EXPECT_DOUBLE_EQ(complete.at("ts").number_value, 1.5);   // µs.
+  EXPECT_DOUBLE_EQ(complete.at("dur").number_value, 2.5);  // µs.
+  EXPECT_EQ(complete.at("pid").number_value, 1.0);
+
+  const auto& instant = events[1];
+  EXPECT_EQ(instant.at("ph").string_value, "i");
+  EXPECT_EQ(instant.at("s").string_value, "t");
+  EXPECT_EQ(instant.count("dur"), 0u);
+}
+
+TEST(TraceRecorderTest, SpanArgsSerializeAsJsonObject) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  {
+    TraceSpan span(&recorder, "solve", "serve");
+    ASSERT_TRUE(span.active());
+    span.AddArg(TraceArg::Str("solver", "Fallback"));
+    span.AddArg(TraceArg::Int("m", 3));
+  }
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"args\":{\"solver\":\"Fallback\",\"m\":3}"),
+            std::string::npos);
+}
+
+TEST(TraceRecorderTest, PhaseListenerTurnsPhaseScopesIntoSpans) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  SolveContext context;
+  TracingPhaseListener listener(&recorder, "solve");
+  context.set_phase_listener(&listener);
+  {
+    PhaseScope mining(&context, "mining");
+    PhaseScope walk(&context, "mine_walk");
+  }
+  EXPECT_EQ(recorder.events_recorded(), 2);
+  const auto events = ParseEventLines(recorder.ToChromeTraceJson());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").string_value, "mining");
+  EXPECT_EQ(events[1].at("name").string_value, "mine_walk");
+}
+
+TEST(TraceRecorderTest, StoppedContextEmitsDegradedInstantWithArgs) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  SolveContext context;
+  context.set_tick_budget(3);
+  TracingPhaseListener listener(&recorder, "solve");
+  context.set_phase_listener(&listener);
+  while (!context.Checkpoint()) {
+  }
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"stop_reason\":\"tick_budget\""), std::string::npos);
+  EXPECT_NE(json.find("\"tick_budget\":3"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, AllRecordedNamesAreCanonical) {
+  EXPECT_TRUE(IsCanonicalSpanName("solve"));
+  EXPECT_TRUE(IsCanonicalSpanName("degraded"));
+  EXPECT_FALSE(IsCanonicalSpanName("not_a_span"));
+  EXPECT_FALSE(IsCanonicalSpanName(""));
+}
+
+}  // namespace
+}  // namespace soc::obs

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/workload.h"
+#include "obs/trace_recorder.h"
 #include "serve/batch_engine.h"
 
 namespace soc::serve {
@@ -250,6 +251,69 @@ TEST(VisibilityServiceTest, DrainWaitsForAllAccepted) {
               std::future_status::ready);
     EXPECT_TRUE(future.get().status.ok());
   }
+}
+
+TEST(VisibilityServiceTest, MetricsExposeLiveGaugesAndQuantiles) {
+  VisibilityService service(MakeLog());
+  BatchEngine engine(service);
+  for (int i = 0; i < 12; ++i) {
+    // MFI requests populate the shared preprocessing cache (gauges below).
+    engine.Submit(MakeRequest(service.log(), 0xA5Du >> (i % 3), 2 + i % 3,
+                              "MaxFreqItemSets"));
+  }
+  engine.Drain();
+
+  // Drain resolves on promise delivery, which precedes the worker's final
+  // bookkeeping by a hair — poll the point-in-time gauges to quiescence.
+  MetricsSnapshot metrics = service.Metrics();
+  while (metrics.gauges.at("inflight") > 0 ||
+         metrics.gauges.at("busy_workers") > 0) {
+    std::this_thread::yield();
+    metrics = service.Metrics();
+  }
+  EXPECT_EQ(metrics.gauges.at("queue_depth"), 0.0);
+  EXPECT_GE(metrics.gauges.at("mfi_cache.entries"), 1.0);
+  EXPECT_GT(metrics.gauges.at("mfi_cache.approx_bytes"), 0.0);
+  EXPECT_GE(metrics.gauges.at("pool.execute_ms_total"), 0.0);
+  EXPECT_GE(metrics.gauges.at("pool.queue_wait_ms_total"), 0.0);
+
+  // End-to-end latency quantiles are interpolated and ordered.
+  const HistogramData& total = metrics.histograms.at("total");
+  ASSERT_EQ(total.count, 12);
+  EXPECT_LE(total.Quantile(0.50), total.Quantile(0.95));
+  EXPECT_LE(total.Quantile(0.95), total.Quantile(0.99));
+  EXPECT_LE(total.Quantile(0.99), total.max_ms);
+}
+
+TEST(VisibilityServiceTest, PerRequestSpansCoverTheRequestLifecycle) {
+  obs::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  VisibilityServiceOptions options;
+  options.num_workers = 2;
+  options.trace_recorder = &recorder;
+  VisibilityService service(MakeLog(), options);
+  BatchEngine engine(service);
+  for (int i = 0; i < 8; ++i) {
+    engine.Submit(MakeRequest(service.log(), 0x3B7u, 3, "MaxFreqItemSets"));
+  }
+  engine.Drain();
+
+  // Every request's spans are recorded before its promise resolves, so
+  // the trace is complete as soon as Drain returns.
+  const std::string json = recorder.ToChromeTraceJson();
+  for (const char* name :
+       {"admission", "queue_wait", "request", "solve", "response"}) {
+    const std::string needle = "\"name\":\"" + std::string(name) + "\"";
+    int occurrences = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size())) {
+      ++occurrences;
+    }
+    EXPECT_EQ(occurrences, 8) << name;
+  }
+  // Solver phases nest under "solve" (the MFI miner ran at least once).
+  EXPECT_NE(json.find("\"name\":\"mining\""), std::string::npos);
+  EXPECT_EQ(recorder.events_dropped(), 0);
 }
 
 TEST(BatchEngineTest, DrainPreservesSubmissionOrder) {

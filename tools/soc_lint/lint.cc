@@ -108,6 +108,67 @@ std::string StripCommentsAndStrings(const std::string& in) {
   return out;
 }
 
+// Blanks comments only (newlines preserved, string literals kept), for
+// rules that must read literal contents. Offsets line up with the input
+// and with StripCommentsAndStrings, so a token found in the fully
+// stripped text can have its argument literals read from this one.
+std::string StripComments(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
@@ -140,9 +201,9 @@ void Add(std::vector<Finding>* findings, std::string rule, std::string path,
 
 // The layers below serve/, in include-prefix form.
 constexpr const char* kLayersBelowServe[] = {
-    "src/common/", "src/boolean/",     "src/lp/",      "src/itemsets/",
-    "src/core/",   "src/categorical/", "src/numeric/", "src/text/",
-    "src/datagen/"};
+    "src/common/",  "src/boolean/",     "src/lp/",      "src/itemsets/",
+    "src/core/",    "src/categorical/", "src/numeric/", "src/text/",
+    "src/datagen/", "src/obs/"};
 
 // Files that may use raw threads: the pool itself and the annotated
 // primitives it is built from.
@@ -416,6 +477,89 @@ void CheckRegistryTestParity(const std::vector<SourceFile>& files,
   }
 }
 
+void CheckSpanNameParity(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings) {
+  const SourceFile* table_file = nullptr;
+  for (const SourceFile& file : files) {
+    if (EndsWith(file.path, "obs/span_names.h")) table_file = &file;
+  }
+  if (table_file == nullptr) return;  // Nothing to check against.
+
+  // Canonical names: string literals of the kSpanNames[] table.
+  const std::size_t table = table_file->content.find("kSpanNames[]");
+  const std::size_t table_end =
+      table == std::string::npos ? std::string::npos
+                                 : table_file->content.find("};", table);
+  if (table == std::string::npos || table_end == std::string::npos) {
+    Add(findings, "span-name", table_file->path, 0,
+        "could not locate the kSpanNames[] table");
+    return;
+  }
+  std::set<std::string> names;
+  std::size_t pos = table;
+  while ((pos = table_file->content.find('"', pos)) != std::string::npos &&
+         pos < table_end) {
+    const std::size_t name_start = pos + 1;
+    const std::size_t name_end = table_file->content.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    names.insert(
+        table_file->content.substr(name_start, name_end - name_start));
+    pos = name_end + 1;
+  }
+  if (names.empty()) {
+    Add(findings, "span-name", table_file->path, 0,
+        "no canonical span names found in the kSpanNames[] table");
+    return;
+  }
+
+  // Every span construction / recording call in the instrumented layers
+  // must use a name from the table. The name is the first string-literal
+  // argument; a non-literal name (a variable) cannot be checked here.
+  constexpr const char* kInstrumentedLayers[] = {
+      "src/core/", "src/lp/", "src/itemsets/", "src/serve/"};
+  constexpr const char* kSpanTokens[] = {"PhaseScope", "TraceSpan",
+                                         "RecordComplete", "RecordInstant"};
+  for (const SourceFile& file : files) {
+    bool instrumented = false;
+    for (const char* layer : kInstrumentedLayers) {
+      if (StartsWith(file.path, layer)) {
+        instrumented = true;
+        break;
+      }
+    }
+    if (!instrumented) continue;
+    // Tokens are located in the fully stripped text (no comments, no
+    // strings); the literal itself is read from the comments-only copy.
+    // Both strippers preserve offsets, so positions transfer.
+    const std::string blanked = StripCommentsAndStrings(file.content);
+    const std::string text = StripComments(file.content);
+    for (const char* token : kSpanTokens) {
+      for (std::size_t hit : FindTokens(blanked, token)) {
+        const std::size_t open = blanked.find('(', hit + 1);
+        if (open == std::string::npos) continue;  // Declaration, not a call.
+        int depth = 1;
+        std::size_t close = open + 1;
+        for (; close < blanked.size() && depth > 0; ++close) {
+          if (blanked[close] == '(') ++depth;
+          if (blanked[close] == ')') --depth;
+        }
+        const std::size_t quote = text.find('"', open + 1);
+        if (quote == std::string::npos || quote >= close) continue;
+        const std::size_t quote_end = text.find('"', quote + 1);
+        if (quote_end == std::string::npos) continue;
+        const std::string name = text.substr(quote + 1, quote_end - quote - 1);
+        if (names.count(name) == 0) {
+          Add(findings, "span-name", file.path, LineOf(text, hit),
+              std::string(token) + " name \"" + name +
+                  "\" is not in the canonical kSpanNames[] table "
+                  "(src/obs/span_names.h); add it there or reuse an "
+                  "existing name");
+        }
+      }
+    }
+  }
+}
+
 std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
@@ -425,6 +569,7 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
     CheckStopCadence(file, &findings);
   }
   CheckRegistryTestParity(files, &findings);
+  CheckSpanNameParity(files, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.path != b.path) return a.path < b.path;

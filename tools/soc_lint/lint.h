@@ -16,6 +16,11 @@
 //                      goes through ThreadPool.
 //   layering         — no src layer below serve/ may #include "serve/..."
 //                      headers.
+//   span-name        — every trace span or phase constructed in src/core,
+//                      src/lp, src/itemsets or src/serve (PhaseScope,
+//                      TraceSpan, RecordComplete, RecordInstant) uses a
+//                      name from the canonical kSpanNames[] table in
+//                      src/obs/span_names.h.
 //   include-guard    — every header carries #pragma once or a proper
 //                      #ifndef/#define pair; under src/ the guard name is
 //                      canonical (SOC_<PATH>_H_).
@@ -54,6 +59,11 @@ void CheckStopCadence(const SourceFile& file, std::vector<Finding>* findings);
 // Cross-file rule: registry names vs. registry test coverage.
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,
                              std::vector<Finding>* findings);
+
+// Cross-file rule: span names used by solver/serve layers vs. the
+// canonical table in src/obs/span_names.h.
+void CheckSpanNameParity(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings);
 
 // Runs every rule over `files` and returns findings sorted by
 // (path, line, rule).

@@ -19,6 +19,13 @@
 //                            instead of degrading them to Fallback
 //   --cache-capacity=N       shared MFI cache entries per engine
 //   --no-metrics             suppress the trailing metrics line
+//   --trace-out=PATH         record per-request spans and solver phases,
+//                            writing Chrome trace_event JSON on exit
+//                            (load in chrome://tracing or Perfetto)
+//   --metrics-interval-ms=T  export a Prometheus-style metrics page every
+//                            T ms while the batch runs (0 = off)
+//   --metrics-out=PATH       destination for the periodic pages
+//                            (default: stderr)
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,10 +35,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "boolean/query_log.h"
 #include "common/string_util.h"
 #include "core/solver_registry.h"
+#include "obs/trace_recorder.h"
 #include "serve/batch_engine.h"
+#include "serve/metrics_exporter.h"
 #include "serve/protocol.h"
 #include "serve/visibility_service.h"
 
@@ -64,7 +75,9 @@ int Usage() {
   return Fail(
       "usage: socvis_serve --log=log.csv --requests=reqs.jsonl|- "
       "[--workers=N] [--queue=N] [--default-deadline-ms=T] "
-      "[--reject-late] [--cache-capacity=N] [--no-metrics]\n  solvers: " +
+      "[--reject-late] [--cache-capacity=N] [--no-metrics] "
+      "[--trace-out=PATH] [--metrics-interval-ms=T] "
+      "[--metrics-out=PATH]\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", "));
 }
 
@@ -106,8 +119,45 @@ int main(int argc, char** argv) {
     requests = &requests_file;
   }
 
+  // Declared before the service so it outlives every worker span.
+  obs::TraceRecorder recorder;
+  const std::string trace_path = GetFlag(argc, argv, "trace-out", "");
+  if (!trace_path.empty()) {
+    recorder.set_enabled(true);
+    options.trace_recorder = &recorder;
+  }
+
   serve::VisibilityService service(std::move(log).value(), options);
   serve::BatchEngine engine(service);
+
+  // Periodic metrics exposition. The file must outlive the exporter; the
+  // exporter (declared after the service) stops before the service dies.
+  std::ofstream metrics_file;
+  std::unique_ptr<serve::MetricsExporter> exporter;
+  const double metrics_interval_ms =
+      std::atof(GetFlag(argc, argv, "metrics-interval-ms", "0").c_str());
+  if (metrics_interval_ms > 0) {
+    serve::MetricsExporter::Options exporter_options;
+    exporter_options.interval_s = metrics_interval_ms / 1000.0;
+    exporter_options.snapshot_provider = [&service] {
+      return service.Metrics();
+    };
+    const std::string metrics_out = GetFlag(argc, argv, "metrics-out", "");
+    if (!metrics_out.empty()) {
+      metrics_file.open(metrics_out, std::ios::binary | std::ios::trunc);
+      if (!metrics_file) return Fail("cannot open " + metrics_out);
+      exporter_options.sink = [&metrics_file](const std::string& page) {
+        metrics_file << page << "\n";
+        metrics_file.flush();
+      };
+    } else {
+      exporter_options.sink = [](const std::string& page) {
+        std::fputs(page.c_str(), stderr);
+      };
+    }
+    exporter =
+        std::make_unique<serve::MetricsExporter>(std::move(exporter_options));
+  }
 
   // Parse failures resolve inline (the service never sees them) but keep
   // their slot so output order still matches input order.
@@ -141,10 +191,17 @@ int main(int argc, char** argv) {
     std::cout << serve::ResponseToJson(response).ToString() << "\n";
   }
 
+  if (exporter != nullptr) exporter->Stop();  // Flushes a final page.
+
   if (!HasFlag(argc, argv, "no-metrics")) {
     JsonValue metrics = JsonValue::Object();
     metrics.Set("metrics", service.Metrics().ToJson());
     std::cout << metrics.ToString() << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    const Status status = recorder.WriteChromeTrace(trace_path);
+    if (!status.ok()) return Fail(status.ToString());
   }
   return 0;
 }

@@ -22,6 +22,8 @@
 #include "common/timer.h"
 #include "core/solver_registry.h"
 #include "core/variants.h"
+#include "obs/context_tracer.h"
+#include "obs/trace_recorder.h"
 
 namespace {
 
@@ -53,7 +55,7 @@ int Usage() {
       "usage: socvis_solve --log=log.csv --m=N "
       "(--tuple=BITSTRING | --dataset=cars.csv --tuple-row=R) "
       "[--solver=NAME] [--all] [--stats] "
-      "[--time-limit-ms=T] [--tick-budget=N] "
+      "[--time-limit-ms=T] [--tick-budget=N] [--trace-out=PATH] "
       "[--variant=conjunctive|per-attribute|disjunctive]\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", ") +
       "\n  per-attribute ignores --m; disjunctive supports solver "
@@ -164,6 +166,13 @@ int main(int argc, char** argv) {
   }
   const bool limited = time_limit_ms > 0 || tick_budget > 0;
 
+  // Solver phase tracing: each solver run becomes a "solve" span with the
+  // solver's internal phases nested under it.
+  const std::string trace_path = GetFlag(argc, argv, "trace-out", "");
+  obs::TraceRecorder recorder;
+  const bool tracing = !trace_path.empty();
+  if (tracing) recorder.set_enabled(true);
+
   const bool as_json = HasFlag(argc, argv, "json");
   if (!as_json) {
     std::printf("log: %d queries over %d attributes; |t| = %d; m = %d\n",
@@ -181,9 +190,18 @@ int main(int argc, char** argv) {
       context.set_deadline(Deadline::AfterSeconds(time_limit_ms / 1000.0));
     }
     if (tick_budget > 0) context.set_tick_budget(tick_budget);
+    obs::TracingPhaseListener listener(tracing ? &recorder : nullptr,
+                                       "solve");
+    context.set_phase_listener(&listener);
+    // Tracing needs the context threaded through even without limits.
+    const bool use_context = limited || tracing;
     WallTimer timer;
-    auto solution =
-        (*solver)->SolveWithContext(*log, tuple, m, limited ? &context : nullptr);
+    StatusOr<SocSolution> solution = [&] {
+      obs::TraceSpan span(tracing ? &recorder : nullptr, "solve", "cli");
+      if (span.active()) span.AddArg(obs::TraceArg::Str("solver", name));
+      return (*solver)->SolveWithContext(*log, tuple, m,
+                                         use_context ? &context : nullptr);
+    }();
     const double ms = timer.ElapsedMillis();
     if (!solution.ok()) {
       if (!as_json) {
@@ -230,6 +248,10 @@ int main(int argc, char** argv) {
         .Set("m", JsonValue::Int(m))
         .Set("results", JsonValue::Array(std::move(json_results)));
     std::printf("%s\n", report.ToString().c_str());
+  }
+  if (tracing) {
+    const Status status = recorder.WriteChromeTrace(trace_path);
+    if (!status.ok()) return Fail(status.ToString());
   }
   return 0;
 }
