@@ -1,0 +1,366 @@
+#include "check/fuzz.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "boolean/evaluator.h"
+#include "boolean/query_log.h"
+#include "boolean/schema.h"
+#include "check/instance.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/solver_registry.h"
+#include "serve/protocol.h"
+#include "serve/visibility_service.h"
+
+namespace soc::check {
+
+namespace {
+
+// Mutation dictionary: JSON/CSV structure characters plus tokens that have
+// historically broken hand-rolled parsers (huge numbers, bare nulls,
+// duplicated keys).
+constexpr char kDictionaryChars[] = {'"', '{', '}', ':', ',',  '\\',
+                                     '0', '1', '9', '-', '.',  'e',
+                                     ' ', ';', '=', '\n', '\t', '\x7f'};
+const char* const kDictionaryTokens[] = {
+    "\"tuple\"", "\"m\"",  "\"solver\"", "\"deadline_ms\"",
+    "\"id\"",    "1e309",  "-1",         "18446744073709551616",
+    "null",      "[]",     "{}",         "\"\"",
+    ",",         "tuple=", "m=",         "a0,a1",
+};
+
+std::string Mutate(std::string input, Rng& rng) {
+  const int mutations = rng.NextInt(0, 3);
+  for (int i = 0; i < mutations; ++i) {
+    switch (rng.NextUint64(5)) {
+      case 0:
+        input.resize(rng.NextUint64(input.size() + 1));
+        break;
+      case 1:
+        if (!input.empty()) input.erase(rng.NextUint64(input.size()), 1);
+        break;
+      case 2:
+        if (!input.empty()) {
+          input[rng.NextUint64(input.size())] =
+              kDictionaryChars[rng.NextUint64(std::size(kDictionaryChars))];
+        }
+        break;
+      case 3:
+        input.insert(
+            rng.NextUint64(input.size() + 1),
+            kDictionaryTokens[rng.NextUint64(std::size(kDictionaryTokens))]);
+        break;
+      case 4: {
+        if (input.empty()) break;
+        const std::size_t start = rng.NextUint64(input.size());
+        const std::size_t len =
+            1 + rng.NextUint64(std::min<std::size_t>(16, input.size() - start));
+        input.insert(start, input.substr(start, len));
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+// The fixed log every protocol input parses against (width 6, a few
+// conjunctive queries — mirrors the paper's car example in shape).
+const QueryLog& ProtocolLog() {
+  static const QueryLog* const kLog = [] {
+    auto* log = new QueryLog(AttributeSchema::Anonymous(6));
+    log->AddQueryFromIndices({0, 1});
+    log->AddQueryFromIndices({2});
+    log->AddQueryFromIndices({1, 3, 5});
+    log->AddQueryFromIndices({0, 1, 2, 3});
+    return log;
+  }();
+  return *kLog;
+}
+
+std::string RandomBits(Rng& rng, int width) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (char& c : bits) {
+    if (rng.NextBernoulli(0.6)) c = '1';
+  }
+  return bits;
+}
+
+std::string ValidRequestLine(Rng& rng, int width) {
+  static const std::vector<std::string>* const kSolvers =
+      new std::vector<std::string>(RegisteredSolverNames());
+  std::string line = "{";
+  if (rng.NextBernoulli(0.7)) {
+    line += "\"id\":\"r" + std::to_string(rng.NextInt(0, 999)) + "\",";
+  }
+  line += "\"tuple\":\"" + RandomBits(rng, width) + "\"";
+  line += ",\"m\":" + std::to_string(rng.NextInt(-1, width + 2));
+  if (rng.NextBernoulli(0.5)) {
+    line += ",\"solver\":\"" +
+            (*kSolvers)[rng.NextUint64(kSolvers->size())] + "\"";
+  }
+  if (rng.NextBernoulli(0.4)) {
+    line += ",\"deadline_ms\":" + std::to_string(rng.NextInt(-5, 100));
+  }
+  line += "}";
+  return line;
+}
+
+// Feeds one request line through the protocol decoder; accepted requests
+// must carry a log-width tuple and survive a response-encode smoke.
+StatusOr<bool> RunProtocolInput(const std::string& line) {
+  const QueryLog& log = ProtocolLog();
+  auto request = serve::ParseSolveRequestLine(line, log, /*line_number=*/1);
+  if (!request.ok()) return false;
+  if (static_cast<int>(request->tuple.size()) != log.num_attributes()) {
+    return InternalError(
+        "protocol accepted a tuple of width " +
+        std::to_string(request->tuple.size()) + " against a width-" +
+        std::to_string(log.num_attributes()) + " log: " + line);
+  }
+  serve::SolveResponse response;
+  response.id = request->id;
+  response.solver = request->solver;
+  response.solution.selected = request->tuple;
+  if (serve::ResponseToJson(response).ToString().empty()) {
+    return InternalError("empty response encoding for accepted line: " + line);
+  }
+  return true;
+}
+
+StatusOr<bool> RunCsvInput(const std::string& text) {
+  auto log = QueryLog::FromCsv(text);
+  if (!log.ok()) return false;
+  const std::string canonical = log->ToCsv();
+  auto reparsed = QueryLog::FromCsv(canonical);
+  if (!reparsed.ok()) {
+    return InternalError("accepted CSV did not reparse: " +
+                         reparsed.status().ToString());
+  }
+  if (reparsed->num_attributes() != log->num_attributes() ||
+      reparsed->queries() != log->queries()) {
+    return InternalError("CSV round trip changed the log (" +
+                         std::to_string(log->size()) + " queries, " +
+                         std::to_string(log->num_attributes()) + " attrs)");
+  }
+  return true;
+}
+
+StatusOr<bool> RunInstanceInput(const std::string& text) {
+  auto instance = InstanceFromText(text);
+  if (!instance.ok()) return false;
+  const std::string canonical = InstanceToText(*instance);
+  auto reparsed = InstanceFromText(canonical);
+  if (!reparsed.ok()) {
+    return InternalError("accepted instance did not reparse: " +
+                         reparsed.status().ToString());
+  }
+  if (reparsed->tuple != instance->tuple || reparsed->m != instance->m ||
+      reparsed->log.queries() != instance->log.queries()) {
+    return InternalError("instance round trip changed the instance (" +
+                         InstanceSummary(*instance) + ")");
+  }
+  return true;
+}
+
+StatusOr<FuzzReport> RunMutationLoop(
+    const FuzzOptions& options,
+    const std::function<std::string(Rng&)>& generate,
+    const std::function<StatusOr<bool>(const std::string&)>& run) {
+  Rng rng(options.seed * 0xD1B54A32D192ED03ull + 0x8BB84B93962EACC9ull);
+  FuzzReport report;
+  for (int i = 0; i < options.iterations; ++i) {
+    ++report.iterations;
+    const std::string input = Mutate(generate(rng), rng);
+    SOC_ASSIGN_OR_RETURN(const bool accepted, run(input));
+    if (accepted) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+StatusOr<FuzzReport> FuzzProtocol(const FuzzOptions& options) {
+  const int width = ProtocolLog().num_attributes();
+  return RunMutationLoop(
+      options, [width](Rng& rng) { return ValidRequestLine(rng, width); },
+      &RunProtocolInput);
+}
+
+StatusOr<FuzzReport> FuzzQueryLogCsv(const FuzzOptions& options) {
+  GeneratorOptions small;
+  small.max_attrs = 8;
+  small.max_queries = 12;
+  return RunMutationLoop(
+      options,
+      [&small](Rng& rng) {
+        return GenerateInstance(rng.Next(), small).log.ToCsv();
+      },
+      &RunCsvInput);
+}
+
+StatusOr<FuzzReport> FuzzInstanceText(const FuzzOptions& options) {
+  GeneratorOptions small;
+  small.max_attrs = 8;
+  small.max_queries = 12;
+  return RunMutationLoop(
+      options,
+      [&small](Rng& rng) {
+        return InstanceToText(GenerateInstance(rng.Next(), small));
+      },
+      &RunInstanceInput);
+}
+
+Status FuzzServe(const ServeFuzzOptions& options) {
+  const Instance base = GenerateInstance(options.seed);
+  const int width = base.log.num_attributes();
+
+  serve::VisibilityServiceOptions service_options;
+  service_options.num_workers = options.num_workers;
+  service_options.max_queue = options.max_queue;
+  serve::VisibilityService service(base.log, service_options);
+
+  // Plans are generated single-threaded (Rng is not thread-safe), then
+  // submitted concurrently from a ThreadPool.
+  Rng rng(options.seed * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull);
+  const std::vector<std::string> solver_names = RegisteredSolverNames();
+  std::vector<serve::SolveRequest> plans;
+  plans.reserve(static_cast<std::size_t>(options.requests));
+  for (int i = 0; i < options.requests; ++i) {
+    serve::SolveRequest request;
+    request.id = "f" + std::to_string(i);
+    int tuple_width = width;
+    if (rng.NextBernoulli(0.1)) {
+      tuple_width = std::max(0, width + rng.NextInt(-2, 2));  // Often wrong.
+    }
+    request.tuple = DynamicBitset(static_cast<std::size_t>(tuple_width));
+    for (int b = 0; b < tuple_width; ++b) {
+      if (rng.NextBernoulli(0.6)) request.tuple.Set(static_cast<std::size_t>(b));
+    }
+    request.m = rng.NextInt(-1, width + 2);
+    const double solver_roll = rng.NextDouble();
+    if (solver_roll < 0.75) {
+      request.solver = solver_names[rng.NextUint64(solver_names.size())];
+    } else if (solver_roll < 0.85) {
+      request.solver = "NoSuchSolver";
+    }  // else: default Fallback.
+    const double deadline_roll = rng.NextDouble();
+    if (deadline_roll < 0.2) {
+      request.deadline_ms = 0.01;  // Usually expired at worker pickup.
+    } else if (deadline_roll < 0.5) {
+      request.deadline_ms = rng.NextInt(5, 100);
+    }  // else: no deadline.
+    plans.push_back(std::move(request));
+  }
+
+  std::vector<std::future<serve::SolveResponse>> futures(plans.size());
+  {
+    ThreadPool submitters(options.submitter_threads);
+    for (int t = 0; t < options.submitter_threads; ++t) {
+      submitters.Submit([t, &options, &plans, &futures, &service] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < plans.size();
+             i += static_cast<std::size_t>(options.submitter_threads)) {
+          futures[i] = service.Submit(plans[i]);
+        }
+      });
+    }
+    submitters.Shutdown();  // Joins: every future slot is now populated.
+  }
+  service.Drain();
+
+  std::int64_t ok_responses = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].valid()) {
+      return InternalError("request " + plans[i].id + " produced no future");
+    }
+    const serve::SolveResponse response = futures[i].get();
+    if (response.id != plans[i].id) {
+      return InternalError("response id '" + response.id +
+                           "' does not echo request id '" + plans[i].id + "'");
+    }
+    if (!response.status.ok()) continue;
+    ++ok_responses;
+    const SocSolution& solution = response.solution;
+    const DynamicBitset& tuple = plans[i].tuple;
+    const int m_eff =
+        std::min(plans[i].m, static_cast<int>(tuple.Count()));
+    if (solution.selected.size() != static_cast<std::size_t>(width) ||
+        !solution.selected.IsSubsetOf(tuple) ||
+        static_cast<int>(solution.selected.Count()) != m_eff) {
+      return InternalError("request " + plans[i].id +
+                           ": invalid selection in OK response");
+    }
+    const int recount = CountSatisfiedQueries(base.log, solution.selected);
+    if (solution.satisfied_queries != recount) {
+      return InternalError(
+          "request " + plans[i].id + ": objective " +
+          std::to_string(solution.satisfied_queries) +
+          " != reference recount " + std::to_string(recount));
+    }
+  }
+
+  // The metrics ledger must balance against the observed responses.
+  const serve::MetricsSnapshot snapshot = service.Metrics();
+  const auto counter = [&snapshot](const std::string& name) {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? std::int64_t{0} : it->second;
+  };
+  const std::int64_t submitted = counter("submitted");
+  const std::int64_t accepted = counter("accepted");
+  const std::int64_t rejected = counter("rejected_invalid") +
+                                counter("rejected_queue_full");
+  const std::int64_t settled = counter("completed") + counter("solve_errors") +
+                               counter("rejected_expired");
+  if (submitted != static_cast<std::int64_t>(plans.size())) {
+    return InternalError("submitted counter " + std::to_string(submitted) +
+                         " != requests " + std::to_string(plans.size()));
+  }
+  if (accepted + rejected != submitted) {
+    return InternalError("admission ledger does not balance: accepted " +
+                         std::to_string(accepted) + " + rejected " +
+                         std::to_string(rejected) + " != submitted " +
+                         std::to_string(submitted));
+  }
+  if (settled != accepted) {
+    return InternalError("completion ledger does not balance: settled " +
+                         std::to_string(settled) + " != accepted " +
+                         std::to_string(accepted));
+  }
+  if (counter("degraded") > counter("completed")) {
+    return InternalError("degraded exceeds completed");
+  }
+  if (ok_responses != counter("completed")) {
+    return InternalError("OK responses " + std::to_string(ok_responses) +
+                         " != completed counter " +
+                         std::to_string(counter("completed")));
+  }
+  return Status::OK();
+}
+
+Status ReplayCorpusInput(const std::string& kind, const std::string& payload) {
+  StatusOr<bool> accepted = false;
+  if (kind == "protocol") {
+    accepted = RunProtocolInput(payload);
+  } else if (kind == "csv") {
+    accepted = RunCsvInput(payload);
+  } else if (kind == "instance") {
+    accepted = RunInstanceInput(payload);
+  } else {
+    return InvalidArgumentError("unknown corpus kind '" + kind +
+                                "'; want protocol, csv or instance");
+  }
+  return accepted.status();
+}
+
+}  // namespace soc::check

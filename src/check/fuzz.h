@@ -1,0 +1,72 @@
+// Deterministic structure-aware fuzzers for the parsing and serving
+// surfaces. Each fuzzer derives every input from a 64-bit seed (soc::Rng
+// streams, so runs are bit-identical across platforms), generates mostly
+// well-formed inputs, then mutates them with a grammar-aware dictionary —
+// truncations, byte flips, token splices, duplicated spans.
+//
+// Crashes are the sanitizers' job: a fuzzer returns OK when every input
+// was either accepted or cleanly rejected with an error Status, and an
+// error describing the first *invariant* violation otherwise (e.g. an
+// accepted input that does not survive a serialize/parse round trip).
+//
+// The serve fuzzer drives a live VisibilityService from a ThreadPool with
+// randomized tuples, budgets, solver names and (often already-expired)
+// deadlines, then cross-checks the metrics ledger against the observed
+// responses. It is the TSan target in the nightly CI soak.
+//
+// ReplayCorpusInput feeds one saved input (tests/corpus/<kind>-*.txt) back
+// through the matching parser, so past crashers stay fixed.
+
+#ifndef SOC_CHECK_FUZZ_H_
+#define SOC_CHECK_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace soc::check {
+
+struct FuzzOptions {
+  int iterations = 200;
+  std::uint64_t seed = 1;
+};
+
+struct FuzzReport {
+  int iterations = 0;
+  int accepted = 0;  // Inputs the parser accepted.
+  int rejected = 0;  // Inputs cleanly rejected with an error Status.
+};
+
+// JSONL request lines through serve::ParseSolveRequestLine (and, for
+// accepted requests, a ResponseToJson encode smoke).
+StatusOr<FuzzReport> FuzzProtocol(const FuzzOptions& options = {});
+
+// Query-log CSV through QueryLog::FromCsv; accepted logs must round-trip
+// ToCsv -> FromCsv with identical shape.
+StatusOr<FuzzReport> FuzzQueryLogCsv(const FuzzOptions& options = {});
+
+// Serialized instances through InstanceFromText; accepted instances must
+// round-trip InstanceToText -> InstanceFromText bit-identically.
+StatusOr<FuzzReport> FuzzInstanceText(const FuzzOptions& options = {});
+
+struct ServeFuzzOptions {
+  int requests = 200;
+  std::uint64_t seed = 1;
+  int num_workers = 4;
+  int submitter_threads = 4;
+  std::size_t max_queue = 8;  // Small on purpose: exercise load-shedding.
+};
+
+// Concurrent request storm against a VisibilityService; checks that every
+// future resolves, responses echo ids and carry valid solutions, and the
+// metrics ledger balances (submitted == accepted + rejections, ...).
+Status FuzzServe(const ServeFuzzOptions& options = {});
+
+// Replays one corpus input. `kind` is "protocol", "csv" or "instance"
+// (the corpus file name prefix).
+Status ReplayCorpusInput(const std::string& kind, const std::string& payload);
+
+}  // namespace soc::check
+
+#endif  // SOC_CHECK_FUZZ_H_

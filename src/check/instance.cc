@@ -1,0 +1,168 @@
+#include "check/instance.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/workload.h"
+
+namespace soc::check {
+
+namespace {
+
+StatusOr<int> ParseNonNegativeInt(const std::string& text) {
+  int value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size() || value < 0) {
+    return InvalidArgumentError("not a nonnegative integer: '" + text + "'");
+  }
+  return value;
+}
+
+QueryLog PaperShapedLog(const AttributeSchema& schema, int num_queries,
+                        Rng& rng) {
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = num_queries;
+  wl.seed = rng.Next();
+  wl.size_distribution.resize(std::min<std::size_t>(
+      wl.size_distribution.size(), static_cast<std::size_t>(schema.size())));
+  return datagen::MakeSyntheticWorkload(schema, wl);
+}
+
+QueryLog DuplicateHeavyLog(const AttributeSchema& schema, int num_queries,
+                           Rng& rng) {
+  QueryLog log(schema);
+  if (num_queries == 0) return log;
+  const int num_templates = rng.NextInt(1, std::max(1, num_queries / 4));
+  std::vector<DynamicBitset> templates;
+  templates.reserve(static_cast<std::size_t>(num_templates));
+  for (int i = 0; i < num_templates; ++i) {
+    DynamicBitset q(schema.size());
+    const int size = rng.NextInt(1, std::max(1, schema.size() / 2));
+    for (int attr : rng.SampleWithoutReplacement(schema.size(), size)) {
+      q.Set(attr);
+    }
+    templates.push_back(std::move(q));
+  }
+  for (int i = 0; i < num_queries; ++i) {
+    log.AddQuery(templates[rng.NextUint64(templates.size())]);
+  }
+  return log;
+}
+
+QueryLog AdversarialLog(const AttributeSchema& schema, int num_queries,
+                        Rng& rng) {
+  QueryLog log(schema);
+  for (int i = 0; i < num_queries; ++i) {
+    DynamicBitset q(schema.size());
+    const double roll = rng.NextDouble();
+    if (roll < 0.05) {
+      // Empty query: conjunctively satisfied by every tuple.
+    } else if (roll < 0.10) {
+      q.SetAll();
+    } else {
+      const double density = 0.1 + 0.8 * rng.NextDouble();
+      for (int a = 0; a < schema.size(); ++a) {
+        if (rng.NextBernoulli(density)) q.Set(a);
+      }
+    }
+    log.AddQuery(std::move(q));
+  }
+  return log;
+}
+
+}  // namespace
+
+Instance GenerateInstance(std::uint64_t seed, const GeneratorOptions& options) {
+  // Decorrelate consecutive seeds (Rng's own SplitMix64 seeding does the
+  // heavy lifting; the multiplier keeps seed 0 and 1 far apart too).
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0x6A09E667F3BCC909ull);
+  const int num_attrs = rng.NextInt(options.min_attrs, options.max_attrs);
+  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
+  const int num_queries = rng.NextInt(options.min_queries, options.max_queries);
+
+  Instance instance;
+  const double shape = rng.NextDouble();
+  if (shape < 0.55) {
+    instance.log = PaperShapedLog(schema, num_queries, rng);
+  } else if (shape < 0.80) {
+    instance.log = DuplicateHeavyLog(schema, num_queries, rng);
+  } else {
+    instance.log = AdversarialLog(schema, num_queries, rng);
+  }
+
+  instance.tuple = DynamicBitset(num_attrs);
+  const double tuple_roll = rng.NextDouble();
+  if (tuple_roll < 0.05) {
+    // Empty tuple: nothing to keep, m_eff = 0.
+  } else if (tuple_roll < 0.15) {
+    instance.tuple.SetAll();
+  } else {
+    const double density = 0.3 + 0.6 * rng.NextDouble();
+    for (int a = 0; a < num_attrs; ++a) {
+      if (rng.NextBernoulli(density)) instance.tuple.Set(a);
+    }
+  }
+
+  // m occasionally exceeds |t| or even the width: solvers must clamp.
+  instance.m = rng.NextInt(0, num_attrs + 2);
+  return instance;
+}
+
+std::string InstanceToText(const Instance& instance) {
+  return "tuple=" + instance.tuple.ToString() + "\nm=" +
+         std::to_string(instance.m) + "\n" + instance.log.ToCsv();
+}
+
+StatusOr<Instance> InstanceFromText(const std::string& text) {
+  const std::size_t first_break = text.find('\n');
+  if (first_break == std::string::npos) {
+    return InvalidArgumentError("instance text: missing tuple= line");
+  }
+  const std::size_t second_break = text.find('\n', first_break + 1);
+  if (second_break == std::string::npos) {
+    return InvalidArgumentError("instance text: missing m= line");
+  }
+  const std::string tuple_line = text.substr(0, first_break);
+  const std::string m_line =
+      text.substr(first_break + 1, second_break - first_break - 1);
+  if (tuple_line.rfind("tuple=", 0) != 0) {
+    return InvalidArgumentError("instance text: first line must be tuple=...");
+  }
+  if (m_line.rfind("m=", 0) != 0) {
+    return InvalidArgumentError("instance text: second line must be m=...");
+  }
+  const std::string bits = tuple_line.substr(6);
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      return InvalidArgumentError("instance text: tuple must be a 0/1 string");
+    }
+  }
+  SOC_ASSIGN_OR_RETURN(const int m, ParseNonNegativeInt(m_line.substr(2)));
+
+  Instance instance;
+  SOC_ASSIGN_OR_RETURN(instance.log,
+                       QueryLog::FromCsv(text.substr(second_break + 1)));
+  instance.tuple = DynamicBitset::FromString(bits);
+  instance.m = m;
+  if (static_cast<int>(instance.tuple.size()) !=
+      instance.log.num_attributes()) {
+    return InvalidArgumentError(
+        "instance text: tuple width " + std::to_string(instance.tuple.size()) +
+        " != log attribute count " +
+        std::to_string(instance.log.num_attributes()));
+  }
+  return instance;
+}
+
+std::string InstanceSummary(const Instance& instance) {
+  return std::to_string(instance.log.num_attributes()) + " attrs, " +
+         std::to_string(instance.log.size()) + " queries, |t|=" +
+         std::to_string(instance.tuple.Count()) + ", m=" +
+         std::to_string(instance.m);
+}
+
+}  // namespace soc::check

@@ -1,0 +1,58 @@
+// Random SOC-CB-QL instance generation for property-based verification.
+//
+// An Instance bundles exactly what every SocSolver consumes: a query log,
+// a new tuple of the log's width and a budget m. GenerateInstance derives
+// everything deterministically from a 64-bit seed (same seed, same
+// instance, on every platform — the generator is built on soc::Rng, not
+// std::mt19937), mixing three shapes:
+//
+//   * paper-shaped: the Sec VII synthetic workload over a random schema;
+//   * duplicate-heavy: a handful of query templates repeated many times,
+//     the regime the weighted pipeline and ConsumeAttrCumul care about;
+//   * adversarial soup: queries of arbitrary density including empty
+//     queries (satisfied by anything) and full-width queries, plus empty
+//     or full tuples and out-of-range budgets (m > |t|).
+//
+// Instances serialize to a small text form (tuple= / m= header lines plus
+// the query-log CSV) so a failing, shrunken instance can be written to
+// disk and replayed bit-exactly via `socvis_check --replay=FILE`.
+
+#ifndef SOC_CHECK_INSTANCE_H_
+#define SOC_CHECK_INSTANCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "boolean/query_log.h"
+#include "common/bitset.h"
+#include "common/status.h"
+
+namespace soc::check {
+
+struct Instance {
+  QueryLog log;
+  DynamicBitset tuple;  // Width always equals log.num_attributes().
+  int m = 0;
+};
+
+struct GeneratorOptions {
+  int min_attrs = 2;
+  int max_attrs = 12;     // Brute force stays trivial below ~16.
+  int min_queries = 0;
+  int max_queries = 90;
+};
+
+// Deterministic: the instance is a pure function of (seed, options).
+Instance GenerateInstance(std::uint64_t seed,
+                          const GeneratorOptions& options = {});
+
+// "tuple=<bits>\nm=<n>\n" followed by QueryLog::ToCsv().
+std::string InstanceToText(const Instance& instance);
+StatusOr<Instance> InstanceFromText(const std::string& text);
+
+// One-line human summary: "12 attrs, 40 queries, |t|=7, m=3".
+std::string InstanceSummary(const Instance& instance);
+
+}  // namespace soc::check
+
+#endif  // SOC_CHECK_INSTANCE_H_

@@ -1,0 +1,151 @@
+#include "check/runner.h"
+
+#include <memory>
+#include <utility>
+
+#include "check/properties.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/solver_registry.h"
+
+namespace soc::check {
+
+namespace {
+
+// Checks every catalog property for one solver on one instance, shrinking
+// and recording the first violation. Returns true when a failure was
+// recorded.
+bool CheckSolverOnInstance(const Instance& instance, const SocSolver& solver,
+                           std::uint64_t seed, TrialReport* report) {
+  for (const PropertyCheck& property : PropertyCatalog()) {
+    ++report->checks;
+    const Status status = property.check(instance, solver);
+    if (status.ok()) continue;
+
+    PropertyFailure failure;
+    failure.solver = solver.name();
+    failure.property = property.name;
+    failure.seed = seed;
+    failure.shrunken = Shrink(
+        instance,
+        [&property, &solver](const Instance& candidate) {
+          return !property.check(candidate, solver).ok();
+        },
+        &failure.shrink_stats);
+    // Report the violation message from the minimized instance (the
+    // original message may reference queries that were shrunk away).
+    const Status shrunken_status = property.check(failure.shrunken, solver);
+    failure.message =
+        shrunken_status.ok() ? status.ToString() : shrunken_status.ToString();
+    report->failures.push_back(std::move(failure));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TrialReport RunTrials(const TrialOptions& options) {
+  std::vector<std::string> names = options.solvers;
+  if (names.empty()) names = PropertyCheckedSolvers();
+
+  std::vector<std::unique_ptr<SocSolver>> solvers;
+  solvers.reserve(names.size());
+  TrialReport report;
+  for (const std::string& name : names) {
+    auto solver = CreateSolverByName(name);
+    if (!solver.ok()) {
+      PropertyFailure failure;
+      failure.solver = name;
+      failure.property = "registry";
+      failure.message = solver.status().ToString();
+      report.failures.push_back(std::move(failure));
+      return report;
+    }
+    solvers.push_back(std::move(solver).value());
+  }
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(trial);
+    const Instance instance = GenerateInstance(seed, options.generator);
+    ++report.trials;
+    for (const std::unique_ptr<SocSolver>& solver : solvers) {
+      if (CheckSolverOnInstance(instance, *solver, seed, &report) &&
+          static_cast<int>(report.failures.size()) >= options.max_failures) {
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+TrialReport RunTrialsOnSolver(const SocSolver& solver,
+                              const TrialOptions& options) {
+  TrialReport report;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(trial);
+    const Instance instance = GenerateInstance(seed, options.generator);
+    ++report.trials;
+    if (CheckSolverOnInstance(instance, solver, seed, &report) &&
+        static_cast<int>(report.failures.size()) >= options.max_failures) {
+      return report;
+    }
+  }
+  return report;
+}
+
+Status ReplayInstance(const Instance& instance,
+                      const std::vector<std::string>& solvers) {
+  std::vector<std::string> names = solvers;
+  if (names.empty()) names = PropertyCheckedSolvers();
+  for (const std::string& name : names) {
+    SOC_ASSIGN_OR_RETURN(const std::unique_ptr<SocSolver> solver,
+                         CreateSolverByName(name));
+    SOC_RETURN_IF_ERROR(CheckAllProperties(instance, *solver));
+  }
+  return Status::OK();
+}
+
+std::string FailureToText(const PropertyFailure& failure) {
+  std::string text;
+  text += "property violation: " + failure.property + " (solver " +
+          failure.solver + ")\n";
+  text += "  " + failure.message + "\n";
+  text += "  originating seed: " + std::to_string(failure.seed) + "\n";
+  text += "  shrunk in " + std::to_string(failure.shrink_stats.rounds) +
+          " rounds, " + std::to_string(failure.shrink_stats.attempts) +
+          " attempts, " + std::to_string(failure.shrink_stats.accepted) +
+          " accepted\n";
+  text += "  minimized instance (" + InstanceSummary(failure.shrunken) +
+          "):\n";
+  for (const std::string& line :
+       Split(Trim(InstanceToText(failure.shrunken)), '\n')) {
+    text += "    " + line + "\n";
+  }
+  text += "  repro: socvis_check --trials=1 --seed=" +
+          std::to_string(failure.seed) + " --solvers=" + failure.solver +
+          "\n";
+  return text;
+}
+
+JsonValue FailureToJson(const PropertyFailure& failure) {
+  JsonValue json = JsonValue::Object();
+  json.Set("solver", JsonValue::String(failure.solver));
+  json.Set("property", JsonValue::String(failure.property));
+  json.Set("message", JsonValue::String(failure.message));
+  json.Set("seed",
+           JsonValue::Int(static_cast<long long>(failure.seed)));
+  json.Set("instance", JsonValue::String(InstanceToText(failure.shrunken)));
+  json.Set("instance_summary",
+           JsonValue::String(InstanceSummary(failure.shrunken)));
+  json.Set("shrink_rounds", JsonValue::Int(failure.shrink_stats.rounds));
+  json.Set("shrink_attempts", JsonValue::Int(failure.shrink_stats.attempts));
+  json.Set("shrink_accepted", JsonValue::Int(failure.shrink_stats.accepted));
+  json.Set("repro", JsonValue::String(
+                        "socvis_check --trials=1 --seed=" +
+                        std::to_string(failure.seed) +
+                        " --solvers=" + failure.solver));
+  return json;
+}
+
+}  // namespace soc::check

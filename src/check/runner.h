@@ -1,0 +1,68 @@
+// The property-trial driver behind socvis_check and the check tests: runs
+// N seeded generator trials, checks the full property catalog against each
+// requested solver, and greedily shrinks the first failing instance per
+// (solver, property) pair before reporting it with a copy-pasteable repro.
+
+#ifndef SOC_CHECK_RUNNER_H_
+#define SOC_CHECK_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/instance.h"
+#include "check/shrink.h"
+#include "common/json_writer.h"
+#include "core/solver.h"
+
+namespace soc::check {
+
+struct TrialOptions {
+  int trials = 100;
+  std::uint64_t seed = 1;  // Trial i uses generator seed `seed + i`.
+  GeneratorOptions generator;
+  // Registry solver names to exercise; empty = PropertyCheckedSolvers().
+  std::vector<std::string> solvers;
+  // Stop after this many shrunken failures (shrinking re-solves a lot;
+  // one minimized repro per defect is what a human wants anyway).
+  int max_failures = 1;
+};
+
+struct PropertyFailure {
+  std::string solver;
+  std::string property;
+  std::string message;      // Violation on the *shrunken* instance.
+  std::uint64_t seed = 0;   // Generator seed of the originating trial.
+  Instance shrunken;
+  ShrinkStats shrink_stats;
+};
+
+struct TrialReport {
+  int trials = 0;
+  int checks = 0;  // (instance, solver, property) triples evaluated.
+  std::vector<PropertyFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+// Runs the catalog against registry solvers resolved by name.
+TrialReport RunTrials(const TrialOptions& options);
+
+// Same harness against one externally supplied solver — how the tests
+// prove the pipeline catches (and shrinks) a deliberately broken solver.
+TrialReport RunTrialsOnSolver(const SocSolver& solver,
+                              const TrialOptions& options);
+
+// Re-checks one serialized instance (see InstanceToText) against the
+// requested solvers; used by `socvis_check --replay=FILE`.
+Status ReplayInstance(const Instance& instance,
+                      const std::vector<std::string>& solvers);
+
+// Multi-line human report: property, solver, shrink stats, the minimized
+// instance and a `socvis_check --seed=... --trials=1` repro command.
+std::string FailureToText(const PropertyFailure& failure);
+JsonValue FailureToJson(const PropertyFailure& failure);
+
+}  // namespace soc::check
+
+#endif  // SOC_CHECK_RUNNER_H_

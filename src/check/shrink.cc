@@ -1,0 +1,108 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace soc::check {
+
+namespace {
+
+// Caps runaway fixpoint loops; each round strictly simplifies the
+// instance, so this bound is never hit on sane predicates.
+constexpr int kMaxRounds = 32;
+
+bool TryReplace(Instance& instance, Instance candidate,
+                const FailurePredicate& still_fails, ShrinkStats* stats) {
+  ++stats->attempts;
+  if (!still_fails(candidate)) return false;
+  ++stats->accepted;
+  instance = std::move(candidate);
+  return true;
+}
+
+Instance WithoutQueryRange(const Instance& instance, int start, int count) {
+  Instance candidate;
+  candidate.tuple = instance.tuple;
+  candidate.m = instance.m;
+  candidate.log = QueryLog(instance.log.schema());
+  for (int i = 0; i < instance.log.size(); ++i) {
+    if (i >= start && i < start + count) continue;
+    candidate.log.AddQuery(instance.log.query(i));
+  }
+  return candidate;
+}
+
+// ddmin-lite: removes chunks of queries, halving the chunk size until
+// single-query removals stop making progress.
+bool DropQueries(Instance& instance, const FailurePredicate& still_fails,
+                 ShrinkStats* stats) {
+  bool any = false;
+  int chunk = std::max(1, instance.log.size() / 2);
+  while (true) {
+    bool progress = false;
+    for (int start = 0; start < instance.log.size();) {
+      const int count = std::min(chunk, instance.log.size() - start);
+      if (TryReplace(instance, WithoutQueryRange(instance, start, count),
+                     still_fails, stats)) {
+        progress = true;
+        any = true;
+        // Do not advance: the next chunk slid into this position.
+      } else {
+        start += count;
+      }
+    }
+    if (chunk == 1) {
+      if (!progress) break;
+    } else {
+      chunk = std::max(1, chunk / 2);
+    }
+  }
+  return any;
+}
+
+// Smallest budget that still fails, searched from 0 upward.
+bool LowerBudget(Instance& instance, const FailurePredicate& still_fails,
+                 ShrinkStats* stats) {
+  for (int m = 0; m < instance.m; ++m) {
+    Instance candidate = instance;
+    candidate.m = m;
+    if (TryReplace(instance, std::move(candidate), still_fails, stats)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ClearTupleBits(Instance& instance, const FailurePredicate& still_fails,
+                    ShrinkStats* stats) {
+  bool any = false;
+  for (int bit : instance.tuple.SetBits()) {
+    Instance candidate = instance;
+    candidate.tuple.Reset(static_cast<std::size_t>(bit));
+    if (TryReplace(instance, std::move(candidate), still_fails, stats)) {
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+Instance Shrink(Instance failing, const FailurePredicate& still_fails,
+                ShrinkStats* stats) {
+  ShrinkStats local;
+  if (stats == nullptr) stats = &local;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    ++stats->rounds;
+    bool progress = DropQueries(failing, still_fails, stats);
+    progress |= LowerBudget(failing, still_fails, stats);
+    progress |= ClearTupleBits(failing, still_fails, stats);
+    if (!progress) break;
+  }
+  return failing;
+}
+
+}  // namespace soc::check

@@ -1,0 +1,40 @@
+// Greedy instance minimization: given a failing Instance and a predicate
+// that re-checks the failure, repeatedly simplify the instance while the
+// failure persists. Three passes run to a fixpoint:
+//
+//   1. drop queries (ddmin-style: halving chunks down to single queries);
+//   2. lower m to the smallest budget that still fails;
+//   3. clear tuple bits one at a time.
+//
+// The predicate must be deterministic; it is called O(queries) times per
+// round, so it should be cheap (property checks on the small generated
+// instances are). The result is 1-minimal with respect to the moves above:
+// no single query, tuple bit or budget decrement can be removed without
+// losing the failure.
+
+#ifndef SOC_CHECK_SHRINK_H_
+#define SOC_CHECK_SHRINK_H_
+
+#include <functional>
+
+#include "check/instance.h"
+
+namespace soc::check {
+
+// Returns true iff `instance` still exhibits the failure being minimized.
+using FailurePredicate = std::function<bool(const Instance&)>;
+
+struct ShrinkStats {
+  int rounds = 0;    // Fixpoint rounds over all three passes.
+  int attempts = 0;  // Candidate instances evaluated.
+  int accepted = 0;  // Candidates that still failed (simplifications kept).
+};
+
+// Precondition: still_fails(failing) is true. Returns the minimized
+// instance; `stats` (optional) reports how much work the search did.
+Instance Shrink(Instance failing, const FailurePredicate& still_fails,
+                ShrinkStats* stats = nullptr);
+
+}  // namespace soc::check
+
+#endif  // SOC_CHECK_SHRINK_H_

@@ -1,0 +1,80 @@
+#include "check/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace soc::check {
+namespace {
+
+TEST(FuzzProtocolTest, SeededRunIsCleanAndCoversBothOutcomes) {
+  FuzzOptions options;
+  options.iterations = 150;
+  options.seed = 1;
+  auto report = FuzzProtocol(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->iterations, 150);
+  EXPECT_EQ(report->accepted + report->rejected, 150);
+  // A structure-aware fuzzer that only ever produces one outcome is not
+  // exploring the boundary.
+  EXPECT_GT(report->accepted, 0);
+  EXPECT_GT(report->rejected, 0);
+}
+
+TEST(FuzzProtocolTest, DeterministicInSeed) {
+  FuzzOptions options;
+  options.iterations = 60;
+  options.seed = 7;
+  auto first = FuzzProtocol(options);
+  auto second = FuzzProtocol(options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->accepted, second->accepted);
+  EXPECT_EQ(first->rejected, second->rejected);
+}
+
+TEST(FuzzQueryLogCsvTest, SeededRunIsCleanAndCoversBothOutcomes) {
+  FuzzOptions options;
+  options.iterations = 150;
+  options.seed = 1;
+  auto report = FuzzQueryLogCsv(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted + report->rejected, 150);
+  EXPECT_GT(report->accepted, 0);
+  EXPECT_GT(report->rejected, 0);
+}
+
+TEST(FuzzInstanceTextTest, SeededRunIsCleanAndCoversBothOutcomes) {
+  FuzzOptions options;
+  options.iterations = 150;
+  options.seed = 1;
+  auto report = FuzzInstanceText(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted + report->rejected, 150);
+  EXPECT_GT(report->accepted, 0);
+  EXPECT_GT(report->rejected, 0);
+}
+
+TEST(ReplayCorpusInputTest, AcceptsAllThreeKinds) {
+  EXPECT_TRUE(ReplayCorpusInput("csv", "a0,a1\n10\n01\n").ok());
+  EXPECT_TRUE(ReplayCorpusInput("instance", "tuple=101\nm=1\na0,a1,a2\n")
+                  .ok());
+  EXPECT_TRUE(
+      ReplayCorpusInput("protocol", "{\"tuple\": \"110101\", \"m\": 2}")
+          .ok());
+}
+
+TEST(ReplayCorpusInputTest, CleanRejectionIsNotAFailure) {
+  // The parser rejecting garbage with a Status is the *correct* outcome;
+  // only invariant violations (or sanitizer crashes) fail a replay.
+  EXPECT_TRUE(ReplayCorpusInput("csv", "\x01\x02 not a csv").ok());
+  EXPECT_TRUE(ReplayCorpusInput("instance", "tuple=2\nm=\n").ok());
+  EXPECT_TRUE(ReplayCorpusInput("protocol", "{\"tuple\": 7").ok());
+}
+
+TEST(ReplayCorpusInputTest, RejectsUnknownKind) {
+  EXPECT_FALSE(ReplayCorpusInput("elf", "\x7f" "ELF").ok());
+}
+
+}  // namespace
+}  // namespace soc::check

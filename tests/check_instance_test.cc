@@ -1,0 +1,99 @@
+#include "check/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace soc::check {
+namespace {
+
+TEST(GenerateInstanceTest, DeterministicInSeed) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 999ull}) {
+    const Instance a = GenerateInstance(seed);
+    const Instance b = GenerateInstance(seed);
+    EXPECT_EQ(a.tuple, b.tuple) << seed;
+    EXPECT_EQ(a.m, b.m) << seed;
+    EXPECT_EQ(a.log.queries(), b.log.queries()) << seed;
+  }
+}
+
+TEST(GenerateInstanceTest, ConsecutiveSeedsDecorrelated) {
+  int distinct = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Instance a = GenerateInstance(seed);
+    const Instance b = GenerateInstance(seed + 1);
+    if (a.log.queries() != b.log.queries() || a.tuple != b.tuple) ++distinct;
+  }
+  EXPECT_GE(distinct, 9);
+}
+
+TEST(GenerateInstanceTest, AlwaysWellFormed) {
+  GeneratorOptions options;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const Instance instance = GenerateInstance(seed, options);
+    EXPECT_GE(instance.log.num_attributes(), options.min_attrs);
+    EXPECT_LE(instance.log.num_attributes(), options.max_attrs);
+    EXPECT_LE(instance.log.size(), options.max_queries);
+    EXPECT_EQ(static_cast<int>(instance.tuple.size()),
+              instance.log.num_attributes());
+    EXPECT_GE(instance.m, 0);
+    for (const DynamicBitset& q : instance.log.queries()) {
+      EXPECT_EQ(q.size(), instance.tuple.size());
+    }
+  }
+}
+
+TEST(GenerateInstanceTest, CoversEdgeShapes) {
+  bool saw_empty_log = false;
+  bool saw_empty_tuple = false;
+  bool saw_full_tuple = false;
+  bool saw_over_budget = false;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const Instance instance = GenerateInstance(seed);
+    saw_empty_log |= instance.log.empty();
+    saw_empty_tuple |= instance.tuple.None();
+    saw_full_tuple |= instance.tuple.All();
+    saw_over_budget |=
+        instance.m > static_cast<int>(instance.tuple.Count());
+  }
+  EXPECT_TRUE(saw_empty_log);
+  EXPECT_TRUE(saw_empty_tuple);
+  EXPECT_TRUE(saw_full_tuple);
+  EXPECT_TRUE(saw_over_budget);
+}
+
+TEST(InstanceTextTest, RoundTripsBitExactly) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Instance instance = GenerateInstance(seed);
+    const std::string text = InstanceToText(instance);
+    auto parsed = InstanceFromText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->tuple, instance.tuple);
+    EXPECT_EQ(parsed->m, instance.m);
+    EXPECT_EQ(parsed->log.queries(), instance.log.queries());
+    EXPECT_EQ(InstanceToText(*parsed), text);
+  }
+}
+
+TEST(InstanceTextTest, RejectsMalformedInput) {
+  EXPECT_FALSE(InstanceFromText("").ok());
+  EXPECT_FALSE(InstanceFromText("tuple=101").ok());          // No m line.
+  EXPECT_FALSE(InstanceFromText("m=1\ntuple=101\na\n").ok());  // Swapped.
+  EXPECT_FALSE(InstanceFromText("tuple=102\nm=1\na0,a1,a2\n").ok());
+  EXPECT_FALSE(InstanceFromText("tuple=101\nm=x\na0,a1,a2\n").ok());
+  EXPECT_FALSE(InstanceFromText("tuple=101\nm=-1\na0,a1,a2\n").ok());
+  // Tuple width disagrees with the CSV attribute count.
+  EXPECT_FALSE(InstanceFromText("tuple=10\nm=1\na0,a1,a2\n").ok());
+}
+
+TEST(InstanceTextTest, SummaryMentionsTheShape) {
+  Instance instance = GenerateInstance(3);
+  const std::string summary = InstanceSummary(instance);
+  EXPECT_NE(summary.find("attrs"), std::string::npos);
+  EXPECT_NE(summary.find("queries"), std::string::npos);
+  EXPECT_NE(summary.find("m="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soc::check

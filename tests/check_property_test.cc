@@ -1,0 +1,198 @@
+// The property suite checked against itself: the catalog holds on every
+// registry solver over seeded trials, the parity list matches the
+// registry, and — the part that proves the harness has teeth — deliberately
+// broken solvers are caught and their failing instances shrunk to a
+// handful of queries.
+
+#include "check/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/instance.h"
+#include "check/runner.h"
+#include "check/shrink.h"
+#include "core/greedy.h"
+#include "core/solver_registry.h"
+
+namespace soc::check {
+namespace {
+
+TEST(PropertyCatalogTest, NamesAreUniqueAndDocumented) {
+  std::set<std::string> names;
+  for (const PropertyCheck& property : PropertyCatalog()) {
+    EXPECT_TRUE(names.insert(property.name).second) << property.name;
+    EXPECT_NE(std::string(property.description), "") << property.name;
+  }
+  EXPECT_GE(names.size(), 8u);
+}
+
+TEST(PropertyCatalogTest, ParityListMatchesRegistry) {
+  std::vector<std::string> checked = PropertyCheckedSolvers();
+  std::vector<std::string> registered = RegisteredSolverNames();
+  std::sort(checked.begin(), checked.end());
+  std::sort(registered.begin(), registered.end());
+  EXPECT_EQ(checked, registered);
+}
+
+TEST(PropertyTrialsTest, RegistrySolversPassSeededTrials) {
+  TrialOptions options;
+  options.trials = 25;
+  options.seed = 1;
+  const TrialReport report = RunTrials(options);
+  EXPECT_EQ(report.trials, 25);
+  ASSERT_TRUE(report.ok()) << FailureToText(report.failures.front());
+  // 25 instances x 9 solvers x 8 properties.
+  EXPECT_EQ(report.checks, 25 * 9 * 8);
+}
+
+TEST(PropertyTrialsTest, ReplayInstanceAcceptsCleanInstances) {
+  const Instance instance = GenerateInstance(7);
+  EXPECT_TRUE(ReplayInstance(instance, {"BruteForce", "ConsumeAttr"}).ok());
+}
+
+// --- Broken-solver demos: the harness must catch and shrink. ---
+
+// ConsumeAttr with a classic off-by-one: the ranking loop starts at index
+// 1, silently dropping the most frequent attribute whenever a spare
+// attribute exists to take its place. The context contract is honored (so
+// degrade-contract stays green) — the *only* bug is the shifted pick.
+class OffByOneConsumeAttr : public SocSolver {
+ public:
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override {
+    const int m_eff = internal::EffectiveBudget(log, tuple, m);
+    const std::vector<int> freq = log.AttributeFrequencies();
+    std::vector<int> attrs = tuple.SetBits();
+    std::sort(attrs.begin(), attrs.end(), [&freq](int a, int b) {
+      if (freq[a] != freq[b]) return freq[a] > freq[b];
+      return a < b;
+    });
+    const int offset = static_cast<int>(attrs.size()) > m_eff ? 1 : 0;
+    DynamicBitset selected(log.num_attributes());
+    for (int i = 0; i < m_eff; ++i) {
+      if (internal::ShouldStop(context)) break;
+      selected.Set(static_cast<std::size_t>(attrs[i + offset]));
+    }
+    internal::PadSelection(log, tuple, m_eff, &selected);
+    SocSolution solution = internal::FinishSolution(
+        log, std::move(selected), /*proved_optimal=*/false);
+    if (context != nullptr && context->stop_requested()) {
+      internal::MarkDegraded(context->stop_reason(), &solution);
+    }
+    return solution;
+  }
+  std::string name() const override { return "ConsumeAttr"; }
+};
+
+TEST(BrokenSolverTest, OffByOneIsCaughtAndShrunkToAtMostEightQueries) {
+  OffByOneConsumeAttr broken;
+  TrialOptions options;
+  options.trials = 50;
+  options.seed = 1;
+  const TrialReport report = RunTrialsOnSolver(broken, options);
+  ASSERT_FALSE(report.ok()) << "the off-by-one escaped 50 trials";
+  const PropertyFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.property, "consume-attr-spec");
+  EXPECT_LE(failure.shrunken.log.size(), 8) << FailureToText(failure);
+  // The minimized instance still reproduces.
+  EXPECT_FALSE(CheckAllProperties(failure.shrunken, broken).ok());
+  // And the report hands the human a repro command.
+  const std::string text = FailureToText(failure);
+  EXPECT_NE(text.find("repro: socvis_check"), std::string::npos);
+  EXPECT_NE(text.find("--seed=" + std::to_string(failure.seed)),
+            std::string::npos);
+  const std::string json = FailureToJson(failure).ToString();
+  EXPECT_NE(json.find("\"property\":\"consume-attr-spec\""),
+            std::string::npos);
+}
+
+// A solver that inflates its objective: the reference-recount invariant
+// (valid-solution) must flag it immediately.
+class OverReportingSolver : public SocSolver {
+ public:
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override {
+    const GreedySolver honest(GreedyKind::kConsumeAttr);
+    SOC_ASSIGN_OR_RETURN(SocSolution solution,
+                         honest.SolveWithContext(log, tuple, m, context));
+    solution.satisfied_queries += 1;
+    return solution;
+  }
+  std::string name() const override { return "OverReporter"; }
+};
+
+TEST(BrokenSolverTest, ObjectiveInflationIsCaught) {
+  OverReportingSolver broken;
+  TrialOptions options;
+  options.trials = 5;
+  options.seed = 1;
+  const TrialReport report = RunTrialsOnSolver(broken, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.failures.front().property, "valid-solution");
+}
+
+// A solver that ignores its SolveContext entirely: the degrade-contract
+// property must notice that a pre-expired deadline went unhonored.
+class ContextIgnoringSolver : public SocSolver {
+ public:
+  StatusOr<SocSolution> SolveWithContext(const QueryLog& log,
+                                         const DynamicBitset& tuple, int m,
+                                         SolveContext* context) const override {
+    (void)context;  // The bug.
+    const GreedySolver honest(GreedyKind::kConsumeAttr);
+    return honest.SolveWithContext(log, tuple, m, nullptr);
+  }
+  std::string name() const override { return "ContextIgnorer"; }
+};
+
+TEST(BrokenSolverTest, IgnoredDeadlineIsCaught) {
+  ContextIgnoringSolver broken;
+  TrialOptions options;
+  options.trials = 25;
+  options.seed = 1;
+  const TrialReport report = RunTrialsOnSolver(broken, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.failures.front().property, "degrade-contract");
+}
+
+// --- Shrinker unit behavior. ---
+
+TEST(ShrinkTest, ReachesTheMinimalFailingShape) {
+  // "Fails" whenever the instance still has >= 3 queries and >= 2 tuple
+  // bits; the shrinker must land exactly on that boundary with m == 0.
+  const Instance original = GenerateInstance(11);
+  const auto still_fails = [](const Instance& candidate) {
+    return candidate.log.size() >= 3 && candidate.tuple.Count() >= 2;
+  };
+  if (!still_fails(original)) GTEST_SKIP() << "seed produced a small shape";
+  ShrinkStats stats;
+  const Instance shrunk = Shrink(original, still_fails, &stats);
+  EXPECT_EQ(shrunk.log.size(), 3);
+  EXPECT_EQ(shrunk.tuple.Count(), 2u);
+  EXPECT_EQ(shrunk.m, 0);
+  EXPECT_GT(stats.attempts, 0);
+  EXPECT_GT(stats.accepted, 0);
+}
+
+TEST(ShrinkTest, LeavesAnUnshrinkableInstanceAlone) {
+  Instance instance = GenerateInstance(13);
+  const std::string before = InstanceToText(instance);
+  // Any simplification "fixes" the failure, so nothing may change.
+  const std::string after = InstanceToText(Shrink(
+      std::move(instance),
+      [&before](const Instance& candidate) {
+        return InstanceToText(candidate) == before;
+      }));
+  EXPECT_EQ(after, before);
+}
+
+}  // namespace
+}  // namespace soc::check

@@ -1,0 +1,67 @@
+// Replays the checked-in minimized corpus under tests/corpus/ so that any
+// input which once broke a parser stays handled forever. Each file name is
+// <kind>-<slug>.txt where <kind> selects the parser ("protocol", "csv",
+// "instance"); the payload is fed back verbatim. A replay fails only on an
+// invariant violation (or a sanitizer report) — clean rejection is fine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+
+#ifndef SOC_CORPUS_DIR
+#error "SOC_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace soc::check {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SOC_CORPUS_DIR)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CorpusReplayTest, CorpusIsNonEmptyAndCoversEveryKind) {
+  bool saw_protocol = false, saw_csv = false, saw_instance = false;
+  for (const auto& path : CorpusFiles()) {
+    const std::string name = path.filename().string();
+    saw_protocol |= name.rfind("protocol-", 0) == 0;
+    saw_csv |= name.rfind("csv-", 0) == 0;
+    saw_instance |= name.rfind("instance-", 0) == 0;
+  }
+  EXPECT_TRUE(saw_protocol);
+  EXPECT_TRUE(saw_csv);
+  EXPECT_TRUE(saw_instance);
+}
+
+TEST(CorpusReplayTest, EveryInputReplaysCleanly) {
+  const std::vector<std::filesystem::path> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    const std::string name = path.filename().string();
+    const std::string kind = name.substr(0, name.find('-'));
+    const Status status = ReplayCorpusInput(kind, ReadFile(path));
+    EXPECT_TRUE(status.ok()) << name << ": " << status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace soc::check

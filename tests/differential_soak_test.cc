@@ -2,54 +2,40 @@
 // the stack against every other on shared instances. Complements the
 // per-module suites with interactions those don't cover (weighted vs
 // unweighted vs ILP on one instance, variant consistency, analysis
-// consistency with the optimum).
+// consistency with the optimum, heuristics and the serve layer against the
+// brute-force reference).
+//
+// Instances come from the check library's seeded generator, the same
+// distribution socvis_check soaks nightly — so a failure here is
+// reproducible with `socvis_check --trials=1 --seed=<instance seed>`.
 
 #include <gtest/gtest.h>
 
-#include "common/random.h"
+#include "boolean/evaluator.h"
+#include "check/instance.h"
 #include "core/attribute_analysis.h"
 #include "core/bnb_solver.h"
 #include "core/brute_force.h"
+#include "core/fallback_solver.h"
+#include "core/greedy.h"
 #include "core/ilp_solver.h"
 #include "core/mfi_solver.h"
 #include "core/variants.h"
 #include "core/weighted.h"
-#include "datagen/workload.h"
+#include "serve/visibility_service.h"
 
 namespace soc {
 namespace {
 
-struct Instance {
-  QueryLog log;
-  DynamicBitset tuple;
-  int m;
-};
-
-Instance MakeInstance(int seed) {
-  Rng rng(seed * 7717 + 29);
-  const int num_attrs = rng.NextInt(4, 12);
-  const AttributeSchema schema = AttributeSchema::Anonymous(num_attrs);
-  datagen::SyntheticWorkloadOptions wl;
-  wl.num_queries = rng.NextInt(3, 90);
-  wl.seed = seed * 3 + 1;
-  wl.size_distribution.resize(std::min<std::size_t>(
-      wl.size_distribution.size(), static_cast<std::size_t>(num_attrs)));
-  Instance instance{datagen::MakeSyntheticWorkload(schema, wl),
-                    DynamicBitset(num_attrs), 0};
-  for (int a = 0; a < num_attrs; ++a) {
-    if (rng.NextBernoulli(0.6)) instance.tuple.Set(a);
-  }
-  instance.m = rng.NextInt(0, num_attrs);
-  return instance;
-}
-
 class SoakTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SoakTest, AllLayersAgree) {
-  const Instance instance = MakeInstance(GetParam());
+  const check::Instance instance =
+      check::GenerateInstance(static_cast<std::uint64_t>(GetParam()));
   const QueryLog& log = instance.log;
   const DynamicBitset& t = instance.tuple;
   const int m = instance.m;
+  SCOPED_TRACE(check::InstanceSummary(instance));
 
   // Layer 1: the four exact solvers.
   BruteForceSolver brute;
@@ -112,6 +98,48 @@ TEST_P(SoakTest, AllLayersAgree) {
       EXPECT_GE(per_attr->ratio + 1e-9,
                 static_cast<double>(at_budget->satisfied_queries) / budget);
     }
+  }
+
+  // Layer 6: the Fallback portfolio's exact tier completes unhindered on
+  // instances this size, so its answer must be the optimum.
+  FallbackSolver fallback;
+  auto fallback_solution = fallback.Solve(log, t, m);
+  ASSERT_TRUE(fallback_solution.ok());
+  EXPECT_EQ(fallback_solution->satisfied_queries, optimum);
+
+  // Layer 7: every greedy heuristic stays within [0, optimum] and reports
+  // an honest objective.
+  for (const GreedyKind kind : {GreedyKind::kConsumeAttr,
+                                GreedyKind::kConsumeAttrCumul,
+                                GreedyKind::kConsumeQueries}) {
+    const GreedySolver greedy(kind);
+    auto heuristic = greedy.Solve(log, t, m);
+    ASSERT_TRUE(heuristic.ok()) << greedy.name();
+    EXPECT_LE(heuristic->satisfied_queries, optimum) << greedy.name();
+    EXPECT_EQ(heuristic->satisfied_queries,
+              CountSatisfiedQueries(log, heuristic->selected))
+        << greedy.name();
+    EXPECT_FALSE(heuristic->proved_optimal) << greedy.name();
+  }
+
+  // Layer 8: the serve layer answers with the same optimum through its
+  // whole pipeline (admission, preprocessing cache, worker pool).
+  {
+    serve::VisibilityServiceOptions options;
+    options.num_workers = 2;
+    serve::VisibilityService service(log, options);
+    serve::SolveRequest request;
+    request.id = "soak";
+    request.tuple = t;
+    request.m = m;
+    request.solver = "BruteForce";
+    auto future = service.Submit(request);
+    service.Drain();
+    const serve::SolveResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.solution.satisfied_queries, optimum);
+    EXPECT_EQ(response.solution.satisfied_queries,
+              CountSatisfiedQueries(log, response.solution.selected));
   }
 }
 

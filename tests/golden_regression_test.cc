@@ -1,0 +1,95 @@
+// End-to-end golden regression: runs the real socvis_solve binary on two
+// pinned inputs — the paper's worked example (Fig 1 / EXAMPLE 1) and a
+// fixed-seed synthetic instance — and compares the full stdout against
+// checked-in golden files. Timing fields are normalized to "X.XX ms"
+// before comparison; everything else (solver order, objective values,
+// selected attribute names, [optimal]/[degraded] markers) must match
+// byte-for-byte.
+//
+// To refresh a golden after an intentional output change:
+//   socvis_solve --log=tests/golden/<name>-log.csv --tuple=... --m=... --all |
+//     sed -E 's/ *[0-9]+\.[0-9]+ ms/ X.XX ms/' > tests/golden/<name>-expected.txt
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#ifndef SOC_SOLVE_BINARY
+#error "SOC_SOLVE_BINARY must point at the socvis_solve executable"
+#endif
+#ifndef SOC_GOLDEN_DIR
+#error "SOC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+std::string RunSolve(const std::string& args) {
+  const std::string command = std::string(SOC_SOLVE_BINARY) + " " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return "";
+  std::string output;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << command << "\n" << output;
+  return output;
+}
+
+std::string NormalizeTimings(const std::string& text) {
+  static const std::regex timing(" *[0-9]+\\.[0-9]+ ms");
+  return std::regex_replace(text, timing, " X.XX ms");
+}
+
+std::string ReadGolden(const std::string& name) {
+  const std::string path = std::string(SOC_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SOC_GOLDEN_DIR) + "/" + name;
+}
+
+// The paper's running example: 5 queries over 6 auto-dealer attributes,
+// new tuple t = [1,1,0,1,1,1], budget m = 3. Every registry solver must
+// report the known optimum of 3 satisfied queries.
+TEST(GoldenRegressionTest, PaperWorkedExampleAllSolvers) {
+  const std::string output = RunSolve(
+      "--log=" + GoldenPath("paper-log.csv") + " --tuple=110111 --m=3 --all");
+  EXPECT_EQ(NormalizeTimings(output), ReadGolden("paper-expected.txt"));
+}
+
+// A denser fixed-seed synthetic instance (socvis_check --dump=17: 55
+// queries over 9 attributes, checked in once) exercised at a mid-range
+// budget.
+TEST(GoldenRegressionTest, FixedSeedSyntheticAllSolvers) {
+  const std::string output =
+      RunSolve("--log=" + GoldenPath("synthetic-log.csv") +
+               " --tuple=111011010 --m=4 --all");
+  EXPECT_EQ(NormalizeTimings(output), ReadGolden("synthetic-expected.txt"));
+}
+
+// The JSON surface of the same worked example, with the volatile
+// "milliseconds" fields normalized away.
+TEST(GoldenRegressionTest, PaperWorkedExampleJson) {
+  const std::string output =
+      RunSolve("--log=" + GoldenPath("paper-log.csv") +
+               " --tuple=110111 --m=3 --all --json");
+  static const std::regex millis("\"milliseconds\":[0-9.eE+-]+");
+  const std::string normalized =
+      std::regex_replace(output, millis, "\"milliseconds\":0");
+  EXPECT_EQ(normalized, ReadGolden("paper-expected.json"));
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Concurrent fuzzing of the serve layer. This is the nightly TSan target:
+// multiple submitter threads race a small worker pool and a tiny admission
+// queue while the fuzzer cross-checks the metrics ledger. Keep the request
+// counts modest — under TSan each run is ~10x slower.
+
+#include "check/fuzz.h"
+
+#include <gtest/gtest.h>
+
+namespace soc::check {
+namespace {
+
+TEST(ServeFuzzTest, SmokeUnderContention) {
+  ServeFuzzOptions options;
+  options.requests = 120;
+  options.seed = 1;
+  options.num_workers = 4;
+  options.submitter_threads = 4;
+  options.max_queue = 8;
+  const Status status = FuzzServe(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ServeFuzzTest, SingleWorkerTinyQueueShedsLoadSafely) {
+  ServeFuzzOptions options;
+  options.requests = 80;
+  options.seed = 2;
+  options.num_workers = 1;
+  options.submitter_threads = 4;
+  options.max_queue = 2;
+  const Status status = FuzzServe(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ServeFuzzTest, SeedSweepKeepsLedgerBalanced) {
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    ServeFuzzOptions options;
+    options.requests = 50;
+    options.seed = seed;
+    const Status status = FuzzServe(options);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace soc::check

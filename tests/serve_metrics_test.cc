@@ -72,6 +72,61 @@ TEST(ServeMetricsTest, QuantilesAreMonotonicAndBoundedByMax) {
   EXPECT_LE(p99, h.max_ms);
 }
 
+TEST(ServeMetricsTest, QuantileOfEmptyHistogramIsZeroAtEveryQ) {
+  const HistogramData h;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.0) << q;
+  }
+}
+
+TEST(ServeMetricsTest, QuantileOfSingleSampleInterpolatesItsBucket) {
+  ServeMetrics metrics;
+  metrics.RecordLatency("h", 1.0);  // The (0.5, 1] bucket, exactly at max.
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  ASSERT_EQ(h.count, 1);
+  // q=0 sits at the bucket's lower bound, q=1 at the observed value, and
+  // the midpoint interpolates between them.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+}
+
+TEST(ServeMetricsTest, QuantileOfSingleTinySampleClampsToObservedMax) {
+  ServeMetrics metrics;
+  metrics.RecordLatency("h", 0.01);  // First bucket, far below its bound.
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  // Interpolation toward the 0.05 bound must clamp at the real maximum.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.01);
+  EXPECT_LE(h.Quantile(0.9), 0.05);
+}
+
+TEST(ServeMetricsTest, QuantileOfAllEqualSamplesStaysInOneBucket) {
+  ServeMetrics metrics;
+  for (int i = 0; i < 100; ++i) metrics.RecordLatency("h", 2.0);
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  ASSERT_EQ(h.count, 100);
+  // All mass is in the (1, 2.5] bucket: p50 interpolates halfway to the
+  // bound, while the upper quantiles clamp at the observed 2.0.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.75);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+  // Monotone across the whole range even with a degenerate distribution.
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, previous) << q;
+    previous = value;
+  }
+}
+
+TEST(ServeMetricsTest, QuantileClampsOutOfRangeQ) {
+  ServeMetrics metrics;
+  metrics.RecordLatency("h", 2.0);
+  const HistogramData h = metrics.Snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), h.Quantile(1.0));
+}
+
 TEST(ServeMetricsTest, GaugesOverwriteAndSnapshot) {
   ServeMetrics metrics;
   metrics.SetGauge("queue_depth", 3.0);

@@ -230,6 +230,70 @@ TEST(SocLintTest, RegistryParityFlagsMissingTestFile) {
   EXPECT_EQ(findings[0].rule, "registry-parity");
 }
 
+// -------------------------------------------------------- property parity
+
+constexpr char kPropertyListSnippet[] =
+    "constexpr const char* kPropertyCheckedSolvers[] = {\n"
+    "    \"Alpha\", \"Beta\",\n"
+    "};\n";
+
+TEST(SocLintTest, PropertyParityPassesWhenListMatchesRegistry) {
+  std::vector<Finding> findings;
+  CheckPropertyParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"src/check/properties.cc", kPropertyListSnippet}},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, PropertyParityFlagsUncheckedSolver) {
+  std::vector<Finding> findings;
+  CheckPropertyParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"src/check/properties.cc",
+        "constexpr const char* kPropertyCheckedSolvers[] = {\n"
+        "    \"Alpha\",\n"
+        "};\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "property-parity");
+  EXPECT_NE(findings[0].message.find("\"Beta\""), std::string::npos);
+  EXPECT_NE(findings[0].message.find("property suite"), std::string::npos);
+}
+
+TEST(SocLintTest, PropertyParityFlagsStaleListEntry) {
+  std::vector<Finding> findings;
+  CheckPropertyParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"src/check/properties.cc",
+        "constexpr const char* kPropertyCheckedSolvers[] = {\n"
+        "    \"Alpha\", \"Beta\", \"Retired\",\n"
+        "};\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "property-parity");
+  EXPECT_NE(findings[0].message.find("\"Retired\""), std::string::npos);
+}
+
+TEST(SocLintTest, PropertyParityFlagsMissingPropertiesFile) {
+  std::vector<Finding> findings;
+  CheckPropertyParity({{"src/core/solver_registry.cc", kRegistrySnippet}},
+                      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "property-parity");
+}
+
+TEST(SocLintTest, PropertyParityFlagsBrokenList) {
+  std::vector<Finding> findings;
+  CheckPropertyParity(
+      {{"src/core/solver_registry.cc", kRegistrySnippet},
+       {"src/check/properties.cc", "int unrelated = 0;\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kPropertyCheckedSolvers"),
+            std::string::npos);
+}
+
 // ------------------------------------------------------------ span names
 
 constexpr char kSpanTableSnippet[] =

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -191,6 +192,59 @@ TEST(TraceRecorderTest, StoppedContextEmitsDegradedInstantWithArgs) {
   EXPECT_NE(json.find("\"name\":\"degraded\""), std::string::npos);
   EXPECT_NE(json.find("\"stop_reason\":\"tick_budget\""), std::string::npos);
   EXPECT_NE(json.find("\"tick_budget\":3"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DropCountingIsPerThreadBuffer) {
+  // Capacity is per thread: two threads overflowing their own buffers must
+  // each keep `capacity` events, with the spill counted — not evicting or
+  // stealing slots from the other thread.
+  TraceRecorder recorder(/*per_thread_capacity=*/2);
+  recorder.set_enabled(true);
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.RecordInstant("degraded", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.events_recorded(), 4);
+  EXPECT_EQ(recorder.events_dropped(), 2 * (kPerThread - 2));
+  const auto events = ParseEventLines(recorder.ToChromeTraceJson());
+  ASSERT_EQ(events.size(), 4u);
+  std::map<double, int> per_tid;
+  for (const auto& event : events) ++per_tid[event.at("tid").number_value];
+  ASSERT_EQ(per_tid.size(), 2u);
+  for (const auto& [tid, count] : per_tid) EXPECT_EQ(count, 2) << tid;
+}
+
+TEST(TraceRecorderTest, EarliestEventsSurviveOverflowUnchanged) {
+  // The buffer keeps the first `capacity` events and drops the rest — a
+  // full buffer must never corrupt or evict what was already published.
+  TraceRecorder recorder(/*per_thread_capacity=*/2);
+  recorder.set_enabled(true);
+  recorder.RecordComplete("solve", "first", /*start_ns=*/100, /*dur_ns=*/10);
+  recorder.RecordComplete("solve", "second", /*start_ns=*/200, /*dur_ns=*/10);
+  recorder.RecordComplete("solve", "late", /*start_ns=*/300, /*dur_ns=*/10);
+  EXPECT_EQ(recorder.events_dropped(), 1);
+  const auto events = ParseEventLines(recorder.ToChromeTraceJson());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("cat").string_value, "first");
+  EXPECT_EQ(events[1].at("cat").string_value, "second");
+}
+
+TEST(TraceRecorderTest, DisabledWindowNeitherRecordsNorCountsDrops) {
+  TraceRecorder recorder(/*per_thread_capacity=*/8);
+  recorder.set_enabled(true);
+  recorder.RecordInstant("degraded", "test");
+  recorder.set_enabled(false);
+  recorder.RecordInstant("degraded", "test");  // Inert, not a drop.
+  recorder.set_enabled(true);
+  recorder.RecordInstant("degraded", "test");
+  EXPECT_EQ(recorder.events_recorded(), 2);
+  EXPECT_EQ(recorder.events_dropped(), 0);
 }
 
 TEST(TraceRecorderTest, AllRecordedNamesAreCanonical) {

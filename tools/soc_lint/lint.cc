@@ -477,6 +477,86 @@ void CheckRegistryTestParity(const std::vector<SourceFile>& files,
   }
 }
 
+void CheckPropertyParity(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings) {
+  const SourceFile* registry = nullptr;
+  const SourceFile* properties = nullptr;
+  for (const SourceFile& file : files) {
+    if (EndsWith(file.path, "core/solver_registry.cc")) registry = &file;
+    if (EndsWith(file.path, "check/properties.cc")) properties = &file;
+  }
+  if (registry == nullptr) return;  // Nothing to check against.
+  if (properties == nullptr) {
+    Add(findings, "property-parity", registry->path, 0,
+        "solver_registry.cc present but src/check/properties.cc is "
+        "missing");
+    return;
+  }
+
+  // Registered names: string literals opening an entry of the kRegistry
+  // table ('{"Name", ...').
+  const std::size_t table = registry->content.find("kRegistry[]");
+  const std::size_t table_end =
+      table == std::string::npos ? std::string::npos
+                                 : registry->content.find("};", table);
+  if (table == std::string::npos || table_end == std::string::npos) {
+    Add(findings, "property-parity", registry->path, 0,
+        "could not locate the kRegistry[] table");
+    return;
+  }
+  std::set<std::string> registered;
+  std::size_t pos = table;
+  while ((pos = registry->content.find("{\"", pos)) != std::string::npos &&
+         pos < table_end) {
+    const std::size_t name_start = pos + 2;
+    const std::size_t name_end = registry->content.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    registered.insert(
+        registry->content.substr(name_start, name_end - name_start));
+    pos = name_end;
+  }
+
+  // Property-checked names: every string literal of the
+  // kPropertyCheckedSolvers[] list.
+  const std::size_t list =
+      properties->content.find("kPropertyCheckedSolvers[]");
+  const std::size_t list_end =
+      list == std::string::npos ? std::string::npos
+                                : properties->content.find("};", list);
+  if (list == std::string::npos || list_end == std::string::npos) {
+    Add(findings, "property-parity", properties->path, 0,
+        "could not locate the kPropertyCheckedSolvers[] list");
+    return;
+  }
+  std::set<std::string> checked;
+  pos = list;
+  while ((pos = properties->content.find('"', pos)) != std::string::npos &&
+         pos < list_end) {
+    const std::size_t name_start = pos + 1;
+    const std::size_t name_end = properties->content.find('"', name_start);
+    if (name_end == std::string::npos || name_end >= list_end) break;
+    checked.insert(
+        properties->content.substr(name_start, name_end - name_start));
+    pos = name_end + 1;
+  }
+
+  for (const std::string& name : registered) {
+    if (checked.count(name) == 0) {
+      Add(findings, "property-parity", properties->path, 0,
+          "registered solver \"" + name +
+              "\" is not in kPropertyCheckedSolvers[], so the property "
+              "suite never exercises it");
+    }
+  }
+  for (const std::string& name : checked) {
+    if (registered.count(name) == 0) {
+      Add(findings, "property-parity", properties->path, 0,
+          "kPropertyCheckedSolvers[] lists \"" + name +
+              "\" which is not registered in solver_registry.cc");
+    }
+  }
+}
+
 void CheckSpanNameParity(const std::vector<SourceFile>& files,
                          std::vector<Finding>* findings) {
   const SourceFile* table_file = nullptr;
@@ -569,6 +649,7 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
     CheckStopCadence(file, &findings);
   }
   CheckRegistryTestParity(files, &findings);
+  CheckPropertyParity(files, &findings);
   CheckSpanNameParity(files, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -11,6 +11,11 @@
 //   registry-parity  — every solver name registered in
 //                      src/core/solver_registry.cc appears in
 //                      tests/solver_registry_test.cc.
+//   property-parity  — the kPropertyCheckedSolvers[] list in
+//                      src/check/properties.cc names exactly the solvers
+//                      registered in src/core/solver_registry.cc, so a
+//                      newly registered solver cannot dodge the
+//                      metamorphic property suite.
 //   naked-thread     — no std::thread / std::jthread / pthread_create
 //                      in src/ outside common/thread_pool.*; concurrency
 //                      goes through ThreadPool.
@@ -59,6 +64,12 @@ void CheckStopCadence(const SourceFile& file, std::vector<Finding>* findings);
 // Cross-file rule: registry names vs. registry test coverage.
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,
                              std::vector<Finding>* findings);
+
+// Cross-file rule: registry names vs. the property suite's
+// kPropertyCheckedSolvers[] list (both directions: unchecked registrations
+// and stale list entries are findings).
+void CheckPropertyParity(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings);
 
 // Cross-file rule: span names used by solver/serve layers vs. the
 // canonical table in src/obs/span_names.h.

@@ -1,0 +1,226 @@
+// socvis_check: the verification driver. Runs seeded property trials
+// against the registry solvers, the structure-aware parser/serve fuzzers,
+// corpus replay and single-instance replay, printing (or json-emitting) a
+// shrunken, copy-pasteable repro for any failure.
+//
+// Usage:
+//   socvis_check --trials=200 --seed=1            # property trials
+//   socvis_check --trials=1 --seed=7 --solvers=ILP,Fallback
+//   socvis_check --fuzz=400 --seed=1              # parser + serve fuzzing
+//   socvis_check --replay=instance.txt            # re-check one instance
+//   socvis_check --corpus=tests/corpus            # replay saved crashers
+//   socvis_check ... --json                       # machine-readable report
+//
+// Exit code 0 iff every requested stage passed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.h"
+#include "check/instance.h"
+#include "check/properties.h"
+#include "check/runner.h"
+#include "common/json_writer.h"
+#include "common/string_util.h"
+
+namespace {
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "socvis_check: %s\n", message.c_str());
+  return 1;
+}
+
+soc::StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return soc::NotFoundError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// "protocol-empty-line.txt" -> "protocol".
+std::string CorpusKind(const std::string& filename) {
+  const std::size_t dash = filename.find('-');
+  return dash == std::string::npos ? filename : filename.substr(0, dash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace soc;
+  using namespace soc::check;
+
+  const bool as_json = HasFlag(argc, argv, "json");
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::strtoull(GetFlag(argc, argv, "seed", "1").c_str(), nullptr, 10));
+  std::vector<std::string> solvers;
+  const std::string solvers_flag = GetFlag(argc, argv, "solvers", "");
+  if (!solvers_flag.empty()) solvers = Split(solvers_flag, ',');
+
+  std::vector<JsonValue> json_failures;
+  bool failed = false;
+
+  // --dump=SEED: print the generated instance for that seed (the exact
+  // format --replay reads back), for fixture pinning and external tooling.
+  const std::string dump_seed = GetFlag(argc, argv, "dump", "");
+  if (!dump_seed.empty()) {
+    const Instance instance = GenerateInstance(static_cast<std::uint64_t>(
+        std::strtoull(dump_seed.c_str(), nullptr, 10)));
+    std::fputs(InstanceToText(instance).c_str(), stdout);
+    return 0;
+  }
+
+  // --replay=FILE: re-check one serialized instance (a shrunken repro).
+  const std::string replay_path = GetFlag(argc, argv, "replay", "");
+  if (!replay_path.empty()) {
+    auto text = ReadFile(replay_path);
+    if (!text.ok()) return Fail(text.status().ToString());
+    auto instance = InstanceFromText(*text);
+    if (!instance.ok()) return Fail(instance.status().ToString());
+    const Status status = ReplayInstance(*instance, solvers);
+    if (!status.ok()) {
+      std::printf("replay %s: %s\n", replay_path.c_str(),
+                  status.ToString().c_str());
+      return 1;
+    }
+    std::printf("replay %s: all properties hold (%s)\n", replay_path.c_str(),
+                InstanceSummary(*instance).c_str());
+    return 0;
+  }
+
+  // --corpus=DIR: replay every saved crasher.
+  const std::string corpus_dir = GetFlag(argc, argv, "corpus", "");
+  if (!corpus_dir.empty()) {
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(corpus_dir, ec)) {
+      if (entry.is_regular_file()) paths.push_back(entry.path().string());
+    }
+    if (ec) return Fail("cannot list " + corpus_dir + ": " + ec.message());
+    std::sort(paths.begin(), paths.end());
+    int replayed = 0;
+    for (const std::string& path : paths) {
+      auto payload = ReadFile(path);
+      if (!payload.ok()) return Fail(payload.status().ToString());
+      const std::string kind =
+          CorpusKind(std::filesystem::path(path).filename().string());
+      const Status status = ReplayCorpusInput(kind, *payload);
+      if (!status.ok()) {
+        std::printf("corpus %s: %s\n", path.c_str(),
+                    status.ToString().c_str());
+        failed = true;
+      }
+      ++replayed;
+    }
+    if (!as_json) {
+      std::printf("corpus: %d inputs replayed, %s\n", replayed,
+                  failed ? "FAILURES above" : "all clean");
+    }
+    if (failed) return 1;
+    const bool more_stages =
+        std::atoi(GetFlag(argc, argv, "fuzz", "0").c_str()) > 0 ||
+        std::atoi(GetFlag(argc, argv, "trials", "0").c_str()) > 0;
+    if (!more_stages) return 0;
+  }
+
+  // --fuzz=N: parser fuzzers plus a concurrent serve storm.
+  const int fuzz_iterations =
+      std::atoi(GetFlag(argc, argv, "fuzz", "0").c_str());
+  if (fuzz_iterations > 0) {
+    FuzzOptions fuzz_options;
+    fuzz_options.iterations = fuzz_iterations;
+    fuzz_options.seed = seed;
+    struct {
+      const char* name;
+      StatusOr<FuzzReport> (*run)(const FuzzOptions&);
+    } fuzzers[] = {
+        {"protocol", &FuzzProtocol},
+        {"csv", &FuzzQueryLogCsv},
+        {"instance", &FuzzInstanceText},
+    };
+    for (const auto& fuzzer : fuzzers) {
+      const auto report = fuzzer.run(fuzz_options);
+      if (!report.ok()) {
+        std::printf("fuzz %s: %s\n", fuzzer.name,
+                    report.status().ToString().c_str());
+        failed = true;
+        continue;
+      }
+      if (!as_json) {
+        std::printf("fuzz %-8s %d inputs: %d accepted, %d rejected\n",
+                    fuzzer.name, report->iterations, report->accepted,
+                    report->rejected);
+      }
+    }
+    ServeFuzzOptions serve_options;
+    serve_options.requests = fuzz_iterations;
+    serve_options.seed = seed;
+    const Status serve_status = FuzzServe(serve_options);
+    if (!serve_status.ok()) {
+      std::printf("fuzz serve: %s\n", serve_status.ToString().c_str());
+      failed = true;
+    } else if (!as_json) {
+      std::printf("fuzz serve    %d concurrent requests: ledger balanced\n",
+                  fuzz_iterations);
+    }
+    if (failed) return 1;
+    if (std::atoi(GetFlag(argc, argv, "trials", "0").c_str()) == 0) {
+      return 0;
+    }
+  }
+
+  // Default stage: seeded property trials.
+  TrialOptions options;
+  options.trials = std::atoi(GetFlag(argc, argv, "trials", "100").c_str());
+  options.seed = seed;
+  options.solvers = solvers;
+  options.max_failures =
+      std::atoi(GetFlag(argc, argv, "max-failures", "1").c_str());
+  if (options.trials <= 0) return Fail("--trials must be positive");
+
+  const TrialReport report = RunTrials(options);
+  for (const PropertyFailure& failure : report.failures) {
+    if (as_json) {
+      json_failures.push_back(FailureToJson(failure));
+    } else {
+      std::fputs(FailureToText(failure).c_str(), stdout);
+    }
+    failed = true;
+  }
+  if (as_json) {
+    JsonValue summary = JsonValue::Object();
+    summary.Set("trials", JsonValue::Int(report.trials))
+        .Set("checks", JsonValue::Int(report.checks))
+        .Set("seed", JsonValue::Int(static_cast<long long>(seed)))
+        .Set("failures", JsonValue::Array(std::move(json_failures)));
+    std::printf("%s\n", summary.ToString().c_str());
+  } else {
+    std::printf("%d trials, %d property checks, %zu failures\n",
+                report.trials, report.checks, report.failures.size());
+  }
+  return failed ? 1 : 0;
+}
