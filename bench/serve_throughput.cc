@@ -45,7 +45,27 @@ struct WorkerPoint {
   double seconds = 0;
   double requests_per_sec = 0;
   double speedup_vs_one = 0;
+  double shed_rate = 0;      // Shed or queue-rejected / submitted.
+  double degraded_rate = 0;  // Degraded / completed.
 };
+
+// Shed + queue-full rejections as a fraction of submissions, and degraded
+// completions as a fraction of completions, from a service snapshot.
+void FillRates(const serve::MetricsSnapshot& metrics, double* shed_rate,
+               double* degraded_rate) {
+  const auto counter = [&metrics](const char* name) -> double {
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0.0
+                                        : static_cast<double>(it->second);
+  };
+  const double submitted = counter("submitted");
+  const double completed = counter("completed");
+  *shed_rate = submitted > 0
+                   ? (counter("shed_predicted") +
+                      counter("rejected_queue_full")) / submitted
+                   : 0.0;
+  *degraded_rate = completed > 0 ? counter("degraded") / completed : 0.0;
+}
 
 std::vector<serve::SolveRequest> MakeWorkload(const QueryLog& log,
                                               int num_requests, int m,
@@ -146,17 +166,70 @@ int Main(int argc, char** argv) {
     point.speedup_vs_one =
         points.empty() ? 1.0
                        : point.requests_per_sec / points[0].requests_per_sec;
+    FillRates(service.Metrics(), &point.shed_rate, &point.degraded_rate);
     points.push_back(point);
   }
 
-  ResultTable table("workers", {"seconds", "req/s", "speedup"});
+  ResultTable table("workers",
+                    {"seconds", "req/s", "speedup", "shed%", "degr%"});
   for (const WorkerPoint& point : points) {
     table.AddRow(std::to_string(point.workers),
                  {ResultTable::Cell(point.seconds),
                   ResultTable::Cell(point.requests_per_sec, "%.1f"),
-                  ResultTable::Cell(point.speedup_vs_one, "%.2f")});
+                  ResultTable::Cell(point.speedup_vs_one, "%.2f"),
+                  ResultTable::Cell(point.shed_rate * 100, "%.1f"),
+                  ResultTable::Cell(point.degraded_rate * 100, "%.1f")});
   }
   table.Print();
+
+  // Overload phase: the same batch submitted as one burst against a tight
+  // per-request deadline. Cost-aware admission sheds the doomed fraction;
+  // what survives must clear its deadline, so shed/degrade rates here are
+  // the service's overload posture, not noise.
+  const double overload_deadline_ms =
+      static_cast<double>(flags.GetInt("overload-deadline-ms", 20));
+  serve::VisibilityServiceOptions overload_options;
+  overload_options.num_workers = 2;
+  overload_options.max_queue = 0;
+  serve::VisibilityService overload_service(log, overload_options);
+  {  // Deadline-less warmup: teach the cost model real solve costs.
+    serve::BatchEngine warmup(overload_service);
+    for (int i = 0; i < std::min(64, num_requests); ++i) {
+      warmup.Submit(serve::SolveRequest(workload[i]));
+    }
+    warmup.Drain();
+  }
+  WallTimer overload_timer;
+  serve::BatchEngine overload_engine(overload_service);
+  for (const serve::SolveRequest& request : workload) {
+    serve::SolveRequest burst_request(request);
+    burst_request.deadline_ms = overload_deadline_ms;
+    overload_engine.Submit(std::move(burst_request));
+  }
+  int overload_ok = 0;
+  for (const serve::SolveResponse& response : overload_engine.Drain()) {
+    if (response.status.ok()) {
+      ++overload_ok;
+    } else if (response.status.code() != StatusCode::kOverloaded) {
+      std::fprintf(stderr, "serve_throughput: overload burst failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+  }
+  const double overload_seconds = overload_timer.ElapsedSeconds();
+  const serve::MetricsSnapshot overload_metrics = overload_service.Metrics();
+  double overload_shed = 0, overload_degraded = 0;
+  FillRates(overload_metrics, &overload_shed, &overload_degraded);
+  const double overload_p99 =
+      overload_metrics.histograms.count("total")
+          ? overload_metrics.histograms.at("total").Quantile(0.99)
+          : 0.0;
+  std::printf(
+      "\noverload burst (2 workers, %.0fms deadline): %d/%d accepted "
+      "finished OK, shed %.1f%%, degraded %.1f%%, accepted p99 %.2fms, "
+      "%.3fs wall\n",
+      overload_deadline_ms, overload_ok, num_requests, overload_shed * 100,
+      overload_degraded * 100, overload_p99, overload_seconds);
 
   JsonValue json = JsonValue::Object();
   json.Set("bench", JsonValue::String("serve_throughput"));
@@ -172,9 +245,20 @@ int Main(int argc, char** argv) {
     entry.Set("requests_per_sec", JsonValue::Number(point.requests_per_sec));
     entry.Set("speedup_vs_one_worker",
               JsonValue::Number(point.speedup_vs_one));
+    entry.Set("shed_rate", JsonValue::Number(point.shed_rate));
+    entry.Set("degraded_rate", JsonValue::Number(point.degraded_rate));
     series.push_back(std::move(entry));
   }
   json.Set("points", JsonValue::Array(std::move(series)));
+  JsonValue overload_json = JsonValue::Object();
+  overload_json.Set("workers", JsonValue::Int(2));
+  overload_json.Set("deadline_ms", JsonValue::Number(overload_deadline_ms));
+  overload_json.Set("accepted_ok", JsonValue::Int(overload_ok));
+  overload_json.Set("shed_rate", JsonValue::Number(overload_shed));
+  overload_json.Set("degraded_rate", JsonValue::Number(overload_degraded));
+  overload_json.Set("accepted_p99_ms", JsonValue::Number(overload_p99));
+  overload_json.Set("seconds", JsonValue::Number(overload_seconds));
+  json.Set("overload", std::move(overload_json));
 
   const std::string out_path = [&argc, &argv] {
     const std::string prefix = "--out-json=";

@@ -1,12 +1,15 @@
 #include "check/fuzz.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <future>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,6 +38,11 @@ const char* const kDictionaryTokens[] = {
     "\"id\"",    "1e309",  "-1",         "18446744073709551616",
     "null",      "[]",     "{}",         "\"\"",
     ",",         "tuple=", "m=",         "a0,a1",
+    // Response-line vocabulary (overload guidance + status fields).
+    "\"status\"",         "\"error\"",       "\"retry_after_ms\"",
+    "\"shed_reason\"",    "\"stop_reason\"", "\"selected\"",
+    "\"degraded\"",       "Overloaded",      "predicted_deadline_miss",
+    "queue_full",         "deadline",        "true",
 };
 
 std::string Mutate(std::string input, Rng& rng) {
@@ -113,6 +121,48 @@ std::string ValidRequestLine(Rng& rng, int width) {
   return line;
 }
 
+std::string ValidResponseLine(Rng& rng, int width) {
+  static const std::vector<std::string>* const kSolvers =
+      new std::vector<std::string>(RegisteredSolverNames());
+  serve::SolveResponse response;
+  response.id = "r" + std::to_string(rng.NextInt(0, 999));
+  if (rng.NextBernoulli(0.5)) {
+    // OK line, sometimes degraded.
+    response.solver = (*kSolvers)[rng.NextUint64(kSolvers->size())];
+    response.solution.selected =
+        DynamicBitset::FromString(RandomBits(rng, width));
+    response.solution.satisfied_queries = rng.NextInt(0, 50);
+    response.solution.proved_optimal = rng.NextBernoulli(0.5);
+    if (rng.NextBernoulli(0.3)) {
+      response.degraded = true;
+      constexpr StopReason kReasons[] = {
+          StopReason::kDeadline, StopReason::kCancelled,
+          StopReason::kTickBudget, StopReason::kResourceLimit};
+      response.stop_reason = kReasons[rng.NextUint64(std::size(kReasons))];
+    }
+    response.fast_path = rng.NextBernoulli(0.2);
+    response.queue_ms = rng.NextDouble() * 10;
+    response.solve_ms = rng.NextDouble() * 10;
+  } else {
+    // Rejection line, usually an overload shed with guidance.
+    if (rng.NextBernoulli(0.7)) {
+      response.status = OverloadedError("chaos shed");
+      constexpr const char* kReasons[] = {
+          serve::kShedReasonQueueFull, serve::kShedReasonPredicted,
+          serve::kShedReasonExpired, serve::kShedReasonShutdown};
+      if (rng.NextBernoulli(0.8)) {
+        response.shed_reason = kReasons[rng.NextUint64(std::size(kReasons))];
+      }
+      if (rng.NextBernoulli(0.7)) {
+        response.retry_after_ms = rng.NextDouble() * 50;
+      }
+    } else {
+      response.status = InvalidArgumentError("chaos invalid");
+    }
+  }
+  return serve::ResponseToJson(response).ToString();
+}
+
 // Feeds one request line through the protocol decoder; accepted requests
 // must carry a log-width tuple and survive a response-encode smoke.
 StatusOr<bool> RunProtocolInput(const std::string& line) {
@@ -131,6 +181,24 @@ StatusOr<bool> RunProtocolInput(const std::string& line) {
   response.solution.selected = request->tuple;
   if (serve::ResponseToJson(response).ToString().empty()) {
     return InternalError("empty response encoding for accepted line: " + line);
+  }
+  return true;
+}
+
+// Response lines must reach a fixed point after one canonical encode:
+// accepted line -> response -> JSON -> response -> identical JSON.
+StatusOr<bool> RunResponseInput(const std::string& line) {
+  auto response = serve::ParseSolveResponseLine(line);
+  if (!response.ok()) return false;
+  const std::string canonical = serve::ResponseToJson(*response).ToString();
+  auto reparsed = serve::ParseSolveResponseLine(canonical);
+  if (!reparsed.ok()) {
+    return InternalError("accepted response did not reparse: " +
+                         reparsed.status().ToString() + " in " + canonical);
+  }
+  if (serve::ResponseToJson(*reparsed).ToString() != canonical) {
+    return InternalError("response round trip changed the encoding: " +
+                         canonical);
   }
   return true;
 }
@@ -196,6 +264,13 @@ StatusOr<FuzzReport> FuzzProtocol(const FuzzOptions& options) {
   return RunMutationLoop(
       options, [width](Rng& rng) { return ValidRequestLine(rng, width); },
       &RunProtocolInput);
+}
+
+StatusOr<FuzzReport> FuzzResponseProtocol(const FuzzOptions& options) {
+  const int width = ProtocolLog().num_attributes();
+  return RunMutationLoop(
+      options, [width](Rng& rng) { return ValidResponseLine(rng, width); },
+      &RunResponseInput);
 }
 
 StatusOr<FuzzReport> FuzzQueryLogCsv(const FuzzOptions& options) {
@@ -319,9 +394,11 @@ Status FuzzServe(const ServeFuzzOptions& options) {
   const std::int64_t submitted = counter("submitted");
   const std::int64_t accepted = counter("accepted");
   const std::int64_t rejected = counter("rejected_invalid") +
-                                counter("rejected_queue_full");
+                                counter("rejected_queue_full") +
+                                counter("shed_predicted");
   const std::int64_t settled = counter("completed") + counter("solve_errors") +
-                               counter("rejected_expired");
+                               counter("rejected_expired") +
+                               counter("rejected_shutdown");
   if (submitted != static_cast<std::int64_t>(plans.size())) {
     return InternalError("submitted counter " + std::to_string(submitted) +
                          " != requests " + std::to_string(plans.size()));
@@ -348,17 +425,232 @@ Status FuzzServe(const ServeFuzzOptions& options) {
   return Status::OK();
 }
 
+Status FuzzServeChaos(const ChaosServeOptions& options) {
+  const Instance base = GenerateInstance(options.seed);
+  const int width = base.log.num_attributes();
+
+  // Deterministic per-request injection decisions: a SplitMix64-style
+  // finalizer keyed on (seed, request ordinal, decision), so concurrent
+  // workers never share RNG state and a seed reproduces its storm.
+  const auto chaos_roll = [seed = options.seed](std::uint64_t ordinal,
+                                                std::uint64_t decision) {
+    std::uint64_t z = seed + ordinal * 0x9E3779B97F4A7C15ull +
+                      decision * 0xD1B54A32D192ED03ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+  };
+
+  serve::VisibilityServiceOptions service_options;
+  service_options.num_workers = options.num_workers;
+  service_options.max_queue = options.max_queue;
+  // The ladder would reroute the faulty exact tier to Fallback under
+  // pressure before its breaker sees enough consecutive faults; disable
+  // it so the breaker audit below is deterministic. (The ladder has its
+  // own deterministic unit tests.)
+  service_options.ladder.max_level = 0;
+  // Let the watchdog see deadline-less solves, so hard stalls on them
+  // get cancelled rather than wedging a worker for the whole storm.
+  service_options.watchdog.default_wall_ms = 30;
+  service_options.watchdog.min_wall_ms = 10;
+  service_options.worker_hook =
+      [&options, &chaos_roll](const serve::WorkerHookContext& hook)
+      -> Status {
+    // Ids are "c<ordinal>"; see the plan loop below.
+    const std::uint64_t ordinal =
+        std::strtoull(hook.request.id.c_str() + 1, nullptr, 10);
+    if (!options.faulty_solver.empty() &&
+        hook.solver == options.faulty_solver) {
+      return InternalError("chaos: injected fault in " + hook.solver);
+    }
+    if (chaos_roll(ordinal, 1) < options.fault_rate) {
+      return InternalError("chaos: injected fault");
+    }
+    if (chaos_roll(ordinal, 2) < options.stall_rate) {
+      // Hard stall: no checkpoints while asleep — exactly the wedge the
+      // watchdog exists for.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.stall_ms));
+    } else if (chaos_roll(ordinal, 3) < options.slow_rate) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.slow_ms));
+    }
+    return Status::OK();
+  };
+  serve::VisibilityService service(base.log, service_options);
+
+  Rng rng(options.seed * 0xA0761D6478BD642Full + 0xE7037ED1A0B428DBull);
+  const std::vector<std::string> solver_names = RegisteredSolverNames();
+  std::vector<serve::SolveRequest> plans;
+  plans.reserve(static_cast<std::size_t>(options.requests));
+  for (int i = 0; i < options.requests; ++i) {
+    serve::SolveRequest request;
+    request.id = "c" + std::to_string(i);
+    int tuple_width = width;
+    if (rng.NextBernoulli(0.05)) {
+      tuple_width = std::max(0, width + rng.NextInt(-2, 2));  // Often wrong.
+    }
+    request.tuple = DynamicBitset(static_cast<std::size_t>(tuple_width));
+    for (int b = 0; b < tuple_width; ++b) {
+      if (rng.NextBernoulli(0.6)) {
+        request.tuple.Set(static_cast<std::size_t>(b));
+      }
+    }
+    request.m = rng.NextInt(-1, width + 2);
+    const double solver_roll = rng.NextDouble();
+    if (!options.faulty_solver.empty() && solver_roll < 0.2) {
+      // Deadline-less on purpose: never shed at admission, so the faulty
+      // tier reliably accumulates the consecutive faults that trip it.
+      request.solver = options.faulty_solver;
+      plans.push_back(std::move(request));
+      continue;
+    }
+    if (solver_roll < 0.8) {
+      request.solver = solver_names[rng.NextUint64(solver_names.size())];
+    } else if (solver_roll < 0.85) {
+      request.solver = "NoSuchSolver";
+    }  // else: default Fallback.
+    const double deadline_roll = rng.NextDouble();
+    if (deadline_roll < 0.25) {
+      request.deadline_ms = 0.01;  // Expired or predictively shed.
+    } else if (deadline_roll < 0.6) {
+      request.deadline_ms = rng.NextInt(5, 100);
+    }  // else: no deadline.
+    plans.push_back(std::move(request));
+  }
+
+  std::vector<std::future<serve::SolveResponse>> futures(plans.size());
+  {
+    ThreadPool submitters(options.submitter_threads);
+    for (int t = 0; t < options.submitter_threads; ++t) {
+      submitters.Submit([t, &options, &plans, &futures, &service] {
+        int in_burst = 0;
+        for (std::size_t i = static_cast<std::size_t>(t); i < plans.size();
+             i += static_cast<std::size_t>(options.submitter_threads)) {
+          futures[i] = service.Submit(plans[i]);
+          if (options.burst_size > 0 && ++in_burst >= options.burst_size) {
+            // Burst arrivals: a breather between bursts, so the queue
+            // sees swells and drains rather than one smooth ramp.
+            in_burst = 0;
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+                options.burst_pause_ms));
+          }
+        }
+      });
+    }
+    submitters.Shutdown();  // Joins: every future slot is now populated.
+  }
+  service.Drain();
+
+  std::int64_t ok_responses = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].valid()) {
+      return InternalError("request " + plans[i].id + " produced no future");
+    }
+    const serve::SolveResponse response = futures[i].get();
+    if (response.id != plans[i].id) {
+      return InternalError("response id '" + response.id +
+                           "' does not echo request id '" + plans[i].id + "'");
+    }
+    if (response.status.code() == StatusCode::kOverloaded) {
+      // Every shed must say why, per the protocol's guidance contract.
+      if (response.shed_reason.empty()) {
+        return InternalError("request " + plans[i].id +
+                             ": overloaded response without shed_reason");
+      }
+      if (response.retry_after_ms < 0) {
+        return InternalError("request " + plans[i].id +
+                             ": negative retry_after_ms");
+      }
+    }
+    if (!response.status.ok()) continue;
+    ++ok_responses;
+    const SocSolution& solution = response.solution;
+    const DynamicBitset& tuple = plans[i].tuple;
+    const int m_eff = std::min(plans[i].m, static_cast<int>(tuple.Count()));
+    if (solution.selected.size() != static_cast<std::size_t>(width) ||
+        !solution.selected.IsSubsetOf(tuple) ||
+        static_cast<int>(solution.selected.Count()) != m_eff) {
+      return InternalError("request " + plans[i].id +
+                           ": invalid selection in OK response");
+    }
+    const int recount = CountSatisfiedQueries(base.log, solution.selected);
+    if (solution.satisfied_queries != recount) {
+      return InternalError(
+          "request " + plans[i].id + ": objective " +
+          std::to_string(solution.satisfied_queries) +
+          " != reference recount " + std::to_string(recount));
+    }
+  }
+
+  // The chaos ledger: every request accounted for, exactly once.
+  const serve::MetricsSnapshot snapshot = service.Metrics();
+  const auto counter = [&snapshot](const std::string& name) {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? std::int64_t{0} : it->second;
+  };
+  const std::int64_t submitted = counter("submitted");
+  const std::int64_t accepted = counter("accepted");
+  const std::int64_t rejected = counter("rejected_invalid") +
+                                counter("rejected_queue_full") +
+                                counter("shed_predicted");
+  const std::int64_t settled = counter("completed") + counter("solve_errors") +
+                               counter("rejected_expired") +
+                               counter("rejected_shutdown");
+  if (submitted != static_cast<std::int64_t>(plans.size())) {
+    return InternalError("submitted counter " + std::to_string(submitted) +
+                         " != requests " + std::to_string(plans.size()));
+  }
+  if (accepted + rejected != submitted) {
+    return InternalError("admission ledger does not balance: accepted " +
+                         std::to_string(accepted) + " + rejected " +
+                         std::to_string(rejected) + " != submitted " +
+                         std::to_string(submitted));
+  }
+  if (settled != accepted) {
+    return InternalError("completion ledger does not balance: settled " +
+                         std::to_string(settled) + " != accepted " +
+                         std::to_string(accepted));
+  }
+  if (ok_responses != counter("completed")) {
+    return InternalError("OK responses " + std::to_string(ok_responses) +
+                         " != completed counter " +
+                         std::to_string(counter("completed")));
+  }
+  if (!options.faulty_solver.empty() && options.fault_rate < 1.0) {
+    // Every pickup of the always-faulting tier faults, and post-trip
+    // reroutes run (and record) as Fallback, so its failure run is never
+    // broken: once it has executed threshold-many times the breaker must
+    // have tripped. Under a tiny admission queue its requests may be
+    // rejected before pickup — then there is nothing to audit.
+    const std::int64_t faulty_errors =
+        counter("solver." + options.faulty_solver + ".errors");
+    if (faulty_errors >= service_options.breaker.failure_threshold &&
+        counter("breaker." + options.faulty_solver + ".trips") < 1) {
+      return InternalError("faulty solver '" + options.faulty_solver +
+                           "' never tripped its breaker (errors: " +
+                           std::to_string(counter(
+                               "solver." + options.faulty_solver + ".errors")) +
+                           ")");
+    }
+  }
+  return Status::OK();
+}
+
 Status ReplayCorpusInput(const std::string& kind, const std::string& payload) {
   StatusOr<bool> accepted = false;
   if (kind == "protocol") {
     accepted = RunProtocolInput(payload);
+  } else if (kind == "response") {
+    accepted = RunResponseInput(payload);
   } else if (kind == "csv") {
     accepted = RunCsvInput(payload);
   } else if (kind == "instance") {
     accepted = RunInstanceInput(payload);
   } else {
     return InvalidArgumentError("unknown corpus kind '" + kind +
-                                "'; want protocol, csv or instance");
+                                "'; want protocol, response, csv or instance");
   }
   return accepted.status();
 }

@@ -42,6 +42,12 @@ struct FuzzReport {
 // accepted requests, a ResponseToJson encode smoke).
 StatusOr<FuzzReport> FuzzProtocol(const FuzzOptions& options = {});
 
+// JSONL response lines through serve::ParseSolveResponseLine; accepted
+// lines must round-trip ResponseToJson -> ParseSolveResponseLine with an
+// identical re-encoding (covers the kOverloaded retry_after_ms /
+// shed_reason guidance fields).
+StatusOr<FuzzReport> FuzzResponseProtocol(const FuzzOptions& options = {});
+
 // Query-log CSV through QueryLog::FromCsv; accepted logs must round-trip
 // ToCsv -> FromCsv with identical shape.
 StatusOr<FuzzReport> FuzzQueryLogCsv(const FuzzOptions& options = {});
@@ -63,8 +69,37 @@ struct ServeFuzzOptions {
 // metrics ledger balances (submitted == accepted + rejections, ...).
 Status FuzzServe(const ServeFuzzOptions& options = {});
 
-// Replays one corpus input. `kind` is "protocol", "csv" or "instance"
-// (the corpus file name prefix).
+// Service-level chaos storm: FuzzServe's request mix plus injected
+// faults (solver errors through the worker hook), slow workers, hard
+// stalls past the watchdog wall, an always-faulting solver tier and
+// bursty arrivals. On top of the response/ledger audits it checks that
+// every kOverloaded response names a shed_reason, that the overload
+// ledger balances exactly (accepted + queue_full + predictive sheds +
+// invalid == submitted; completed + errors + expired + shutdown ==
+// accepted), and that injected faults tripped the faulty tier's breaker.
+struct ChaosServeOptions {
+  int requests = 300;
+  std::uint64_t seed = 1;
+  int num_workers = 4;
+  int submitter_threads = 4;
+  std::size_t max_queue = 16;
+  // Injection rates, applied per request on the worker thread.
+  double fault_rate = 0.10;  // Hook returns an error (solver fault).
+  double slow_ms = 2;        // Slow-worker injection: sleep this long...
+  double slow_rate = 0.15;   // ...at this rate.
+  double stall_rate = 0.03;  // Hard stall past the watchdog wall.
+  double stall_ms = 60;      // Stall duration (>= watchdog wall budget).
+  // Burst arrivals: each submitter pauses between bursts of this size.
+  int burst_size = 24;
+  double burst_pause_ms = 1;
+  // Every request with this solver faults via the hook; "" disables. The
+  // audit then requires the tier's breaker to have tripped.
+  std::string faulty_solver = "ILP";
+};
+Status FuzzServeChaos(const ChaosServeOptions& options = {});
+
+// Replays one corpus input. `kind` is "protocol", "response", "csv" or
+// "instance" (the corpus file name prefix).
 Status ReplayCorpusInput(const std::string& kind, const std::string& payload);
 
 }  // namespace soc::check

@@ -1,5 +1,7 @@
 #include "common/solve_context.h"
 
+#include <string>
+
 namespace soc {
 
 const char* StopReasonToString(StopReason reason) {
@@ -16,6 +18,21 @@ const char* StopReasonToString(StopReason reason) {
       return "resource_limit";
   }
   return "unknown";
+}
+
+bool StopReasonFromString(const std::string& name, StopReason* reason) {
+  static constexpr StopReason kAllReasons[] = {
+      StopReason::kNone,        StopReason::kDeadline,
+      StopReason::kCancelled,   StopReason::kTickBudget,
+      StopReason::kResourceLimit,
+  };
+  for (StopReason candidate : kAllReasons) {
+    if (name == StopReasonToString(candidate)) {
+      *reason = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace soc

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "common/timer.h"
 
@@ -49,6 +50,10 @@ enum class StopReason {
 
 // "none", "deadline", "cancelled", "tick_budget", "resource_limit".
 const char* StopReasonToString(StopReason reason);
+
+// Inverse of StopReasonToString; false iff `name` is not a reason name.
+// The serve protocol round-trips degraded responses through this.
+bool StopReasonFromString(const std::string& name, StopReason* reason);
 
 // Observation hooks a SolveContext carries through the solver layers.
 //

@@ -43,6 +43,28 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromString(const std::string& name, StatusCode* code) {
+  static constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted,
+      StatusCode::kInternal,
+      StatusCode::kUnimplemented,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kOverloaded,
+  };
+  for (StatusCode candidate : kAllCodes) {
+    if (name == StatusCodeToString(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = StatusCodeToString(code_);

@@ -34,6 +34,10 @@ enum class StatusCode {
 // Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
 
+// Inverse of StatusCodeToString; false iff `name` is not a code name.
+// Wire formats (the serve JSONL protocol) round-trip codes through this.
+bool StatusCodeFromString(const std::string& name, StatusCode* code);
+
 // A success-or-error value. Cheap to copy on the OK path.
 //
 // [[nodiscard]]: a function returning Status can fail, and a caller that

@@ -45,6 +45,17 @@ class Deadline {
     return has_deadline_ && Clock::now() >= expiry_;
   }
 
+  bool has_deadline() const { return has_deadline_; }
+
+  // Strict expiry order; an Infinite() deadline sorts after every finite
+  // one (and never before another Infinite()). The EDF scheduler in the
+  // serving layer keys its queue on this.
+  bool ExpiresBefore(const Deadline& other) const {
+    if (!has_deadline_) return false;
+    if (!other.has_deadline_) return true;
+    return expiry_ < other.expiry_;
+  }
+
   // Seconds until expiry (negative once expired); +infinity for Infinite().
   double RemainingSeconds() const {
     if (!has_deadline_) return std::numeric_limits<double>::infinity();

@@ -35,6 +35,11 @@
 //
 //   degraded        A stop condition fired mid-solve (args: stop reason,
 //                   ticks/budget, remaining deadline).
+//   stuck_worker    The watchdog declared a solve wedged past its hard
+//                   wall budget and fired cancellation (args: request id,
+//                   elapsed/budget wall ms).
+//   shed            Admission proactively rejected a request (args: shed
+//                   reason, predicted wait/solve, retry_after_ms).
 
 #ifndef SOC_OBS_SPAN_NAMES_H_
 #define SOC_OBS_SPAN_NAMES_H_
@@ -46,7 +51,7 @@ inline constexpr const char* kSpanNames[] = {
     "response",       "greedy_seed", "mining",      "cache_wait",
     "mine_walk",      "mine_dfs",    "subset_scan", "build_model",
     "bnb",            "bnb_node",    "simplex",     "fallback_exact",
-    "fallback_rescue", "degraded",
+    "fallback_rescue", "degraded",   "stuck_worker", "shed",
 };
 
 // True iff `name` is an entry of kSpanNames (exact match).

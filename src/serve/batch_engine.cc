@@ -1,20 +1,61 @@
 #include "serve/batch_engine.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace soc::serve {
 
 void BatchEngine::Submit(SolveRequest request) {
-  futures_.push_back(service_.Submit(std::move(request)));
+  Pending pending;
+  if (retry_.max_retries > 0) {
+    budget_.OnSubmit();  // Fresh submissions earn retry budget.
+    pending.request = request;
+  }
+  pending.future = service_.Submit(std::move(request));
+  pending_.push_back(std::move(pending));
+}
+
+SolveResponse BatchEngine::RetryLoop(SolveResponse failed,
+                                     const SolveRequest& request) {
+  SolveResponse response = std::move(failed);
+  for (int attempt = 1; attempt <= retry_.max_retries; ++attempt) {
+    if (!budget_.TrySpend()) {
+      ++retry_stats_.budget_denied;
+      return response;
+    }
+    const double delay_ms =
+        RetryDelayMs(retry_, attempt, response.retry_after_ms, rng_);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+    ++retry_stats_.retries;
+    response = service_.Submit(request).get();
+    if (!IsRetryableStatus(response.status)) {
+      if (response.status.ok()) ++retry_stats_.recovered;
+      return response;
+    }
+  }
+  ++retry_stats_.exhausted;
+  return response;
 }
 
 std::vector<SolveResponse> BatchEngine::Drain() {
   std::vector<SolveResponse> responses;
-  responses.reserve(futures_.size());
-  for (std::future<SolveResponse>& future : futures_) {
-    responses.push_back(future.get());
+  responses.reserve(pending_.size());
+  // First pass: collect every first-attempt response (the service works
+  // through the batch concurrently). Retries run in a second, sequential
+  // pass so backoff sleeps never delay collecting settled futures.
+  for (Pending& pending : pending_) {
+    responses.push_back(pending.future.get());
   }
-  futures_.clear();
+  if (retry_.max_retries > 0) {
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (IsRetryableStatus(responses[i].status)) {
+        responses[i] = RetryLoop(std::move(responses[i]), pending_[i].request);
+      }
+    }
+  }
+  pending_.clear();
   return responses;
 }
 

@@ -9,6 +9,13 @@
 //   for (auto& request : requests) engine.Submit(std::move(request));
 //   for (auto& response : engine.Drain()) Consume(response);
 //
+// Retry policy: constructed with RetryOptions{max_retries > 0}, Drain()
+// retries kOverloaded responses with jittered exponential backoff,
+// honoring each response's retry_after_ms hint, and charges every retry
+// against a global RetryBudget token bucket (serve/retry.h) so a
+// saturated service is not amplified further. retry_stats() reports
+// where the retry traffic went.
+//
 // Not thread-safe itself (one producer); the underlying service is.
 
 #ifndef SOC_SERVE_BATCH_ENGINE_H_
@@ -17,6 +24,8 @@
 #include <future>
 #include <vector>
 
+#include "common/random.h"
+#include "serve/retry.h"
 #include "serve/visibility_service.h"
 
 namespace soc::serve {
@@ -24,21 +33,41 @@ namespace soc::serve {
 class BatchEngine {
  public:
   // `service` must outlive the engine.
-  explicit BatchEngine(VisibilityService& service) : service_(service) {}
+  explicit BatchEngine(VisibilityService& service, RetryOptions retry = {})
+      : service_(service),
+        retry_(retry),
+        budget_(retry),
+        rng_(retry.jitter_seed) {}
 
   // Forwards to VisibilityService::Submit; rejected requests surface as
   // responses with the rejection Status, in order like any other.
   void Submit(SolveRequest request);
 
   // Blocks for all submitted requests; returns responses in submission
-  // order and resets the engine for the next batch.
+  // order (each slot holding the final attempt's response) and resets
+  // the engine for the next batch.
   std::vector<SolveResponse> Drain();
 
-  std::size_t pending() const { return futures_.size(); }
+  std::size_t pending() const { return pending_.size(); }
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  double retry_tokens() const { return budget_.tokens(); }
 
  private:
+  struct Pending {
+    std::future<SolveResponse> future;
+    SolveRequest request;  // Kept for resubmission; empty if no retries.
+  };
+
+  // Runs the backoff-resubmit loop for one already-failed response;
+  // returns the final response (recovered or the last failure).
+  SolveResponse RetryLoop(SolveResponse failed, const SolveRequest& request);
+
   VisibilityService& service_;
-  std::vector<std::future<SolveResponse>> futures_;
+  const RetryOptions retry_;
+  RetryBudget budget_;
+  Rng rng_;
+  RetryStats retry_stats_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace soc::serve

@@ -1,0 +1,97 @@
+#include "serve/circuit_breaker.h"
+
+namespace soc::serve {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {}
+
+bool CircuitBreaker::Allow() {
+  if (options_.failure_threshold <= 0) return true;
+  MutexLock lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (opened_timer_.ElapsedMillis() < options_.open_ms) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_inflight_ = true;  // This caller is the probe.
+      return true;
+    case BreakerState::kHalfOpen:
+      // One probe at a time; everyone else stays on the fallback route
+      // until the in-flight probe reports back.
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (options_.failure_threshold <= 0) return;
+  MutexLock lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_inflight_ = false;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (options_.failure_threshold <= 0) return;
+  MutexLock lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The recovery probe failed: straight back to OPEN for another
+    // cool-down, without waiting for a fresh failure run.
+    probe_inflight_ = false;
+    TripLocked();
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // Already tripped.
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    TripLocked();
+  }
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = BreakerState::kOpen;
+  consecutive_failures_ = 0;
+  opened_timer_.Restart();
+  ++trips_;
+}
+
+BreakerState CircuitBreaker::state() const {
+  MutexLock lock(mutex_);
+  return state_;
+}
+
+std::int64_t CircuitBreaker::trips() const {
+  MutexLock lock(mutex_);
+  return trips_;
+}
+
+BreakerPanel::BreakerPanel(const std::vector<std::string>& solver_names,
+                           CircuitBreakerOptions options) {
+  for (const std::string& name : solver_names) {
+    breakers_.emplace(name, std::make_unique<CircuitBreaker>(options));
+  }
+}
+
+CircuitBreaker* BreakerPanel::Get(const std::string& solver_name) {
+  const auto it = breakers_.find(solver_name);
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace soc::serve

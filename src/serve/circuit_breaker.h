@@ -1,0 +1,118 @@
+// Per-solver circuit breakers for the serving layer.
+//
+// Each registered solver tier gets a CircuitBreaker guarding it against
+// sustained misbehavior: consecutive failures (solve errors, or deadline
+// degrades when the breaker is configured to count them) trip the breaker
+// OPEN, and while open every request that asked for the tier is rerouted
+// to Fallback without touching the sick solver. After `open_ms` of
+// cool-down the breaker moves to HALF-OPEN and admits exactly one probe
+// request to the real solver; a successful probe closes the breaker, a
+// failed one reopens it for another cool-down.
+//
+//        consecutive failures >= threshold
+//   CLOSED ────────────────────────────────▶ OPEN
+//     ▲                                       │ open_ms elapsed
+//     │ probe succeeds                        ▼
+//     └───────────────────────────────── HALF-OPEN
+//                  probe fails ────────────▶ OPEN (timer restarts)
+//
+// State is exported through ServeMetrics gauges
+// (breaker.<solver>.state: 0 closed / 1 open / 2 half-open) and a
+// breaker.<solver>.trips counter, so the Prometheus endpoint shows trips
+// as they happen.
+//
+// Thread-safe; every transition happens under one mutex per breaker.
+
+#ifndef SOC_SERVE_CIRCUIT_BREAKER_H_
+#define SOC_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace soc::serve {
+
+enum class BreakerState {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+// "closed", "open", "half_open".
+const char* BreakerStateToString(BreakerState state);
+
+struct CircuitBreakerOptions {
+  // Consecutive failures that trip CLOSED -> OPEN. <= 0 disables the
+  // breaker entirely (Allow always grants).
+  int failure_threshold = 5;
+  // Cool-down before an OPEN breaker admits a recovery probe.
+  double open_ms = 250;
+  // Count deadline-degraded solves as failures (a tier that can never
+  // meet its deadlines is as poisonous as one that errors).
+  bool count_degraded = true;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  // True if a request may run the protected solver now. CLOSED always
+  // grants; OPEN denies until open_ms has elapsed, then transitions to
+  // HALF-OPEN; HALF-OPEN grants exactly one in-flight probe and denies
+  // everyone else until that probe reports back.
+  bool Allow() SOC_EXCLUDES(mutex_);
+
+  // Outcome of a granted request. Success resets the failure run (and
+  // closes a half-open breaker); failure extends it (and reopens a
+  // half-open breaker immediately).
+  void RecordSuccess() SOC_EXCLUDES(mutex_);
+  void RecordFailure() SOC_EXCLUDES(mutex_);
+
+  BreakerState state() const SOC_EXCLUDES(mutex_);
+  // Cumulative CLOSED/HALF-OPEN -> OPEN transitions.
+  std::int64_t trips() const SOC_EXCLUDES(mutex_);
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  void TripLocked() SOC_REQUIRES(mutex_);
+
+  const CircuitBreakerOptions options_;
+  mutable Mutex mutex_;
+  BreakerState state_ SOC_GUARDED_BY(mutex_) = BreakerState::kClosed;
+  int consecutive_failures_ SOC_GUARDED_BY(mutex_) = 0;
+  bool probe_inflight_ SOC_GUARDED_BY(mutex_) = false;
+  WallTimer opened_timer_ SOC_GUARDED_BY(mutex_);
+  std::int64_t trips_ SOC_GUARDED_BY(mutex_) = 0;
+};
+
+// The service's breaker panel: one breaker per registered solver name,
+// built once (map structure immutable afterwards, so lookups are
+// lock-free; each breaker synchronizes itself).
+class BreakerPanel {
+ public:
+  BreakerPanel(const std::vector<std::string>& solver_names,
+               CircuitBreakerOptions options);
+
+  // nullptr for unknown names (validation upstream makes that a bug).
+  CircuitBreaker* Get(const std::string& solver_name);
+
+  // Snapshot hook: invokes `fn(name, breaker)` for every breaker.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [name, breaker] : breakers_) fn(name, *breaker);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_CIRCUIT_BREAKER_H_

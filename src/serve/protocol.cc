@@ -89,6 +89,12 @@ JsonValue ResponseToJson(const SolveResponse& response) {
                          response.status.code())));
   if (!response.status.ok()) {
     json.Set("error", JsonValue::String(response.status.message()));
+    if (!response.shed_reason.empty()) {
+      json.Set("shed_reason", JsonValue::String(response.shed_reason));
+    }
+    if (response.retry_after_ms > 0) {
+      json.Set("retry_after_ms", JsonValue::Number(response.retry_after_ms));
+    }
     return json;
   }
   json.Set("solver",
@@ -106,6 +112,133 @@ JsonValue ResponseToJson(const SolveResponse& response) {
   json.Set("queue_ms", JsonValue::Number(response.queue_ms));
   json.Set("solve_ms", JsonValue::Number(response.solve_ms));
   return json;
+}
+
+StatusOr<SolveResponse> ParseSolveResponseLine(const std::string& line) {
+  SOC_ASSIGN_OR_RETURN(auto object, ParseFlatJsonObject(line));
+
+  SolveResponse response;
+  std::string error_message;
+  bool have_status = false;
+  bool have_error = false;
+  bool have_selected = false;
+  bool have_stop_reason = false;
+  StatusCode code = StatusCode::kOk;
+
+  for (const auto& [key, value] : object) {
+    if (key == "id") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      response.id = value.string_value;
+    } else if (key == "status") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      if (!StatusCodeFromString(value.string_value, &code)) {
+        return InvalidArgumentError("unknown status '" + value.string_value +
+                                    "'");
+      }
+      have_status = true;
+    } else if (key == "error") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      error_message = value.string_value;
+      have_error = true;
+    } else if (key == "shed_reason") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      response.shed_reason = value.string_value;
+    } else if (key == "retry_after_ms") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      if (value.number_value < 0) {
+        return InvalidArgumentError("retry_after_ms must be nonnegative");
+      }
+      response.retry_after_ms = value.number_value;
+    } else if (key == "solver") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      response.solver = value.string_value;
+    } else if (key == "selected") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "0/1 bitstring");
+      }
+      for (char c : value.string_value) {
+        if (c != '0' && c != '1') {
+          return InvalidArgumentError("selected must be a 0/1 bitstring");
+        }
+      }
+      response.solution.selected =
+          DynamicBitset::FromString(value.string_value);
+      have_selected = true;
+    } else if (key == "satisfied_queries") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      response.solution.satisfied_queries =
+          static_cast<int>(std::llround(value.number_value));
+    } else if (key == "proved_optimal") {
+      if (value.kind != JsonScalar::Kind::kBool) {
+        return WrongKind(key, "bool");
+      }
+      response.solution.proved_optimal = value.bool_value;
+    } else if (key == "degraded") {
+      if (value.kind != JsonScalar::Kind::kBool) {
+        return WrongKind(key, "bool");
+      }
+      response.degraded = value.bool_value;
+    } else if (key == "stop_reason") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      if (!StopReasonFromString(value.string_value, &response.stop_reason)) {
+        return InvalidArgumentError("unknown stop_reason '" +
+                                    value.string_value + "'");
+      }
+      have_stop_reason = true;
+    } else if (key == "fast_path") {
+      if (value.kind != JsonScalar::Kind::kBool) {
+        return WrongKind(key, "bool");
+      }
+      response.fast_path = value.bool_value;
+    } else if (key == "queue_ms") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      response.queue_ms = value.number_value;
+    } else if (key == "solve_ms") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      response.solve_ms = value.number_value;
+    } else {
+      return InvalidArgumentError("unknown field '" + key + "'");
+    }
+  }
+
+  if (!have_status) return InvalidArgumentError("missing field 'status'");
+  if (code == StatusCode::kOk) {
+    if (have_error) {
+      return InvalidArgumentError("'error' is only legal on non-OK lines");
+    }
+    if (!have_selected) return InvalidArgumentError("missing field 'selected'");
+    if (response.degraded != have_stop_reason) {
+      return InvalidArgumentError(
+          "'stop_reason' must appear exactly on degraded lines");
+    }
+  } else {
+    if (!have_error) return InvalidArgumentError("missing field 'error'");
+    if (have_selected) {
+      return InvalidArgumentError("solution fields are only legal on OK lines");
+    }
+    response.status = Status(code, std::move(error_message));
+  }
+  return response;
 }
 
 }  // namespace soc::serve

@@ -11,7 +11,12 @@
 //    "fast_path":false,"queue_ms":0.1,"solve_ms":1.9}
 // Rejected requests instead carry "status":"Overloaded"/... plus "error"
 // with the message; solution fields are omitted. Degraded responses add
-// "stop_reason".
+// "stop_reason". Load-shed (kOverloaded) responses additionally carry
+// "shed_reason" (one of the kShedReason* constants) and, when the
+// service can estimate backlog drain, a "retry_after_ms" hint clients
+// use as a backoff floor:
+//   {"id":"r2","status":"Overloaded","error":"...","shed_reason":
+//    "predicted_deadline_miss","retry_after_ms":12.5}
 
 #ifndef SOC_SERVE_PROTOCOL_H_
 #define SOC_SERVE_PROTOCOL_H_
@@ -33,6 +38,14 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
 
 // Encodes a response as one JSON object (no trailing newline).
 JsonValue ResponseToJson(const SolveResponse& response);
+
+// Decodes one JSONL response line — the inverse of ResponseToJson, used
+// by retrying clients and the round-trip fuzzers. The returned response
+// reconstructs everything the wire carries: status (with the "error"
+// message), solution fields on OK lines, stop_reason on degraded lines,
+// shed_reason / retry_after_ms on overloaded lines. Unknown fields are
+// an error, mirroring ParseSolveRequestLine.
+StatusOr<SolveResponse> ParseSolveResponseLine(const std::string& line);
 
 }  // namespace soc::serve
 

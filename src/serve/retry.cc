@@ -1,0 +1,50 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soc::serve {
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kOverloaded;
+}
+
+double RetryDelayMs(const RetryOptions& options, int attempt,
+                    double retry_after_ms, Rng& rng) {
+  const int exponent = std::max(0, attempt - 1);
+  double delay = options.initial_backoff_ms *
+                 std::pow(options.backoff_multiplier, exponent);
+  delay = std::min(delay, options.max_backoff_ms);
+  // The server's hint floors the schedule: retrying before the backlog
+  // has a chance to drain is a guaranteed re-shed.
+  delay = std::max(delay, retry_after_ms);
+  // Multiplicative jitter in [0.5, 1.0): decorrelates clients that shed
+  // at the same instant without ever exceeding the computed ceiling.
+  return delay * (0.5 + 0.5 * rng.NextDouble());
+}
+
+RetryBudget::RetryBudget(const RetryOptions& options)
+    : ratio_(std::max(0.0, options.budget_ratio)),
+      // The bucket caps at the burst allowance (or one ratio's worth if
+      // larger) so long quiet stretches cannot bank unlimited retries.
+      cap_(std::max(options.initial_budget, std::max(1.0, ratio_))),
+      tokens_(std::max(0.0, options.initial_budget)) {}
+
+void RetryBudget::OnSubmit() {
+  MutexLock lock(mutex_);
+  tokens_ = std::min(cap_, tokens_ + ratio_);
+}
+
+bool RetryBudget::TrySpend() {
+  MutexLock lock(mutex_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::tokens() const {
+  MutexLock lock(mutex_);
+  return tokens_;
+}
+
+}  // namespace soc::serve

@@ -1,0 +1,90 @@
+// Client-side retry policy for kOverloaded responses: jittered
+// exponential backoff plus a global retry-budget token bucket.
+//
+// Backoff alone is not enough under overload — if every client retries,
+// the retry traffic is a constant multiplier on the original load and the
+// service never recovers. The token bucket bounds the *ratio* of retries
+// to fresh requests: each fresh submission earns `budget_ratio` tokens,
+// each retry spends one, so across any window retries are at most
+// budget_ratio × submissions (plus the initial burst allowance). When the
+// bucket is empty the client surfaces the kOverloaded error instead of
+// amplifying the storm.
+//
+// The delay honors the server's `retry_after_ms` hint (from the cost
+// model's backlog estimate) as a floor under the exponential schedule,
+// then applies multiplicative jitter in [0.5, 1.0) so synchronized
+// clients decorrelate.
+//
+// Used by BatchEngine (per-drain retry rounds) and socvis_serve
+// (--retries). RetryBudget is thread-safe; RetryPolicy::DelayMs is
+// stateless apart from the caller-owned Rng.
+
+#ifndef SOC_SERVE_RETRY_H_
+#define SOC_SERVE_RETRY_H_
+
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace soc::serve {
+
+struct RetryOptions {
+  // Maximum retry attempts per request; 0 disables retries entirely.
+  int max_retries = 0;
+  double initial_backoff_ms = 5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 500;
+  // Tokens earned per fresh submission (see file comment). 0.1 means at
+  // most one retry per ten fresh requests once the burst allowance is
+  // spent.
+  double budget_ratio = 0.1;
+  // Tokens available before any submission is made, so a lone client's
+  // first failure is still retryable.
+  double initial_budget = 10;
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+// Only kOverloaded is retryable: it is the one code the service uses for
+// "try again later" (queue full, predictive shed, shutdown race).
+bool IsRetryableStatus(const Status& status);
+
+// Backoff delay for the attempt'th retry (attempt >= 1): jittered
+// exponential, floored at `retry_after_ms` when the server provided one.
+double RetryDelayMs(const RetryOptions& options, int attempt,
+                    double retry_after_ms, Rng& rng);
+
+// Global token bucket shared by all requests of one client.
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryOptions& options);
+
+  // A fresh (non-retry) submission earns budget_ratio tokens.
+  void OnSubmit() SOC_EXCLUDES(mutex_);
+
+  // Spends one token; false (and no spend) when less than one is left.
+  bool TrySpend() SOC_EXCLUDES(mutex_);
+
+  double tokens() const SOC_EXCLUDES(mutex_);
+
+ private:
+  const double ratio_;
+  const double cap_;
+  mutable Mutex mutex_;
+  double tokens_ SOC_GUARDED_BY(mutex_);
+};
+
+// Client-side outcome counters, reported by BatchEngine/socvis_serve so
+// overload runs show where the retry traffic went.
+struct RetryStats {
+  std::int64_t retries = 0;           // Backoff-then-resubmit cycles.
+  std::int64_t budget_denied = 0;     // Retryable but bucket was empty.
+  std::int64_t exhausted = 0;         // Retryable but max_retries reached.
+  std::int64_t recovered = 0;         // Requests that succeeded on retry.
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_RETRY_H_

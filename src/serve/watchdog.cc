@@ -1,0 +1,105 @@
+#include "serve/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace soc::serve {
+
+Watchdog::Watchdog(WatchdogOptions options, ServeMetrics* metrics,
+                   obs::TraceRecorder* recorder)
+    : options_(options), metrics_(metrics), recorder_(recorder) {
+  loop_pool_.Submit([this] { Loop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.NotifyAll();
+  loop_pool_.Shutdown();
+}
+
+double Watchdog::WallBudgetMs(double deadline_ms) const {
+  if (deadline_ms <= 0) return options_.default_wall_ms;
+  return std::max(options_.wall_multiple * deadline_ms, options_.min_wall_ms);
+}
+
+std::shared_ptr<Watchdog::Ticket> Watchdog::Register(
+    const std::string& request_id, double wall_ms) {
+  auto ticket = std::make_shared<Ticket>();
+  ticket->request_id = request_id;
+  ticket->wall_ms = wall_ms;
+  MutexLock lock(mutex_);
+  ticket->id = next_ticket_id_++;
+  tickets_.emplace(ticket->id, ticket);
+  return ticket;
+}
+
+void Watchdog::Unregister(const std::shared_ptr<Ticket>& ticket) {
+  if (ticket == nullptr) return;
+  MutexLock lock(mutex_);
+  tickets_.erase(ticket->id);
+}
+
+std::int64_t Watchdog::fired() const {
+  MutexLock lock(mutex_);
+  return fired_;
+}
+
+std::int64_t Watchdog::watched() const {
+  MutexLock lock(mutex_);
+  return static_cast<std::int64_t>(tickets_.size());
+}
+
+void Watchdog::Loop() {
+  const double interval_s =
+      std::max(0.001, options_.scan_interval_ms / 1000.0);
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_) return;
+      wake_.WaitFor(mutex_, interval_s);
+      if (stop_) return;
+    }
+    ScanOnce();
+  }
+}
+
+void Watchdog::ScanOnce() {
+  // Collect the culprits under the lock, fire outside it: flag stores are
+  // cheap, but the tracer call should not extend the critical section.
+  std::vector<std::shared_ptr<Ticket>> stuck;
+  {
+    MutexLock lock(mutex_);
+    for (auto it = tickets_.begin(); it != tickets_.end();) {
+      Ticket& ticket = *it->second;
+      if (ticket.wall_ms > 0 &&
+          ticket.started.ElapsedMillis() >= ticket.wall_ms) {
+        stuck.push_back(it->second);
+        // Fired tickets leave the registry: one firing per solve, and
+        // the next scan never re-walks a wedged worker's entry.
+        it = tickets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    fired_ += static_cast<std::int64_t>(stuck.size());
+  }
+  for (const std::shared_ptr<Ticket>& ticket : stuck) {
+    ticket->cancelled.store(true, std::memory_order_relaxed);
+    metrics_->Increment("watchdog_cancelled");
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      recorder_->RecordInstant(
+          "stuck_worker", "serve",
+          {obs::TraceArg::Str("id", ticket->request_id),
+           obs::TraceArg::Num("elapsed_ms", ticket->started.ElapsedMillis()),
+           obs::TraceArg::Num("wall_ms", ticket->wall_ms)});
+    }
+  }
+}
+
+}  // namespace soc::serve

@@ -1,0 +1,115 @@
+// Watchdog: detects workers stuck far past their request's deadline and
+// fires cooperative cancellation.
+//
+// Deadlines are cooperative — a solver only notices one at its next
+// SolveContext::Checkpoint(). A worker wedged inside a non-checkpointing
+// region (a pathological pivot, an injected chaos stall) would hold its
+// thread forever with nothing watching. The watchdog is that watcher:
+// every solve registers a Ticket carrying a hard wall budget
+// (wall_multiple × the request's deadline, floored at min_wall_ms;
+// deadline-less solves use default_wall_ms, 0 = unmonitored) and an
+// atomic cancel flag wired into the solve's SolveContext. A scan loop
+// sweeps the live tickets every scan_interval_ms; a ticket past its wall
+// budget gets its flag set — the solve degrades with StopReason::
+// kCancelled at its next checkpoint — plus a "stuck_worker" instant event
+// in the tracer and a watchdog_cancelled metrics increment.
+//
+// The scan loop runs on a dedicated one-thread pool (the codebase bans
+// naked std::thread) and wakes on a timed CondVar so Stop() is prompt.
+//
+// Thread-safe. Tickets are shared_ptr-owned: the registry drops its
+// reference at Unregister/fire, the worker drops its own when the solve
+// returns, so a flag is never read after free even if the scan races the
+// solve's completion.
+
+#ifndef SOC_SERVE_WATCHDOG_H_
+#define SOC_SERVE_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/trace_recorder.h"
+#include "serve/metrics.h"
+
+namespace soc::serve {
+
+struct WatchdogOptions {
+  // Hard wall budget as a multiple of the request's deadline.
+  double wall_multiple = 4.0;
+  // Floor on the wall budget, so millisecond deadlines don't make the
+  // watchdog trigger-happy against scheduler jitter.
+  double min_wall_ms = 50;
+  // Wall budget for deadline-less requests; 0 leaves them unmonitored
+  // (an unbounded exact solve with no deadline is a caller's choice).
+  double default_wall_ms = 0;
+  double scan_interval_ms = 10;
+};
+
+class Watchdog {
+ public:
+  struct Ticket {
+    std::int64_t id = 0;
+    std::string request_id;
+    WallTimer started;
+    double wall_ms = 0;
+    // The flag handed to SolveContext::set_cancel_flag; flipped exactly
+    // once, by the scan that declares the worker stuck.
+    std::atomic<bool> cancelled{false};
+  };
+
+  // `metrics` must outlive the watchdog; `recorder` may be nullptr.
+  Watchdog(WatchdogOptions options, ServeMetrics* metrics,
+           obs::TraceRecorder* recorder);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Computes the wall budget for `deadline_ms` (the request's effective
+  // deadline; 0 = none) per the options; 0 means "do not register".
+  double WallBudgetMs(double deadline_ms) const;
+
+  // Starts monitoring a solve. wall_ms must be > 0. The caller wires
+  // ticket->cancelled into its SolveContext and calls Unregister when the
+  // solve returns (fired or not).
+  std::shared_ptr<Ticket> Register(const std::string& request_id,
+                                   double wall_ms) SOC_EXCLUDES(mutex_);
+  void Unregister(const std::shared_ptr<Ticket>& ticket)
+      SOC_EXCLUDES(mutex_);
+
+  // Cumulative stuck-worker firings.
+  std::int64_t fired() const SOC_EXCLUDES(mutex_);
+  // Currently monitored solves (gauge).
+  std::int64_t watched() const SOC_EXCLUDES(mutex_);
+
+  void Stop() SOC_EXCLUDES(mutex_);
+
+ private:
+  void Loop() SOC_EXCLUDES(mutex_);
+  void ScanOnce() SOC_EXCLUDES(mutex_);
+
+  const WatchdogOptions options_;
+  ServeMetrics* const metrics_;
+  obs::TraceRecorder* const recorder_;
+
+  mutable Mutex mutex_;
+  CondVar wake_;
+  bool stop_ SOC_GUARDED_BY(mutex_) = false;
+  std::int64_t next_ticket_id_ SOC_GUARDED_BY(mutex_) = 0;
+  std::map<std::int64_t, std::shared_ptr<Ticket>> tickets_
+      SOC_GUARDED_BY(mutex_);
+  std::int64_t fired_ SOC_GUARDED_BY(mutex_) = 0;
+
+  ThreadPool loop_pool_{1};  // Last member: the scan dies before state above.
+};
+
+}  // namespace soc::serve
+
+#endif  // SOC_SERVE_WATCHDOG_H_

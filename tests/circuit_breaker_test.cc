@@ -1,0 +1,176 @@
+// CircuitBreaker state-machine tests: closed -> open on consecutive
+// failures, open -> half-open after the cool-down, single-probe admission
+// (including a many-thread probe race that must grant exactly one —
+// the TSan target), and the BreakerPanel's per-solver lookup.
+
+#include "serve/circuit_breaker.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soc::serve {
+namespace {
+
+CircuitBreakerOptions FastOptions(int threshold = 3, double open_ms = 5) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = threshold;
+  options.open_ms = open_ms;
+  return options;
+}
+
+void SleepMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(FastOptions(3));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureRun) {
+  CircuitBreaker breaker(FastOptions(3));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // Run broken: the next two failures are 1, 2.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();  // Third consecutive.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, TripsOpenAtThresholdAndDeniesWhileOpen) {
+  // Long cool-down so the breaker stays open for the whole test.
+  CircuitBreaker breaker(FastOptions(2, /*open_ms=*/60000));
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeThenClosesOnSuccess) {
+  CircuitBreaker breaker(FastOptions(1, /*open_ms=*/2));
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  SleepMs(5);  // Past the cool-down.
+  EXPECT_TRUE(breaker.Allow());  // The probe.
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // Everyone else waits on the probe.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsTheTimer) {
+  CircuitBreaker breaker(FastOptions(1, /*open_ms=*/2));
+  breaker.RecordFailure();
+  SleepMs(5);
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // Probe failed.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_FALSE(breaker.Allow());  // Timer restarted: still cooling down.
+  SleepMs(5);
+  EXPECT_TRUE(breaker.Allow());  // A fresh probe after the second cool-down.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, NonPositiveThresholdDisablesTheBreaker) {
+  CircuitBreaker breaker(FastOptions(0));
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeRaceGrantsExactlyOne) {
+  // The TSan-relevant invariant: when the cool-down lapses with many
+  // threads calling Allow concurrently, exactly one wins the probe slot.
+  CircuitBreaker breaker(FastOptions(1, /*open_ms=*/2));
+  breaker.RecordFailure();
+  SleepMs(5);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> granted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker, &granted, &go] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        if (breaker.Allow()) granted.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // Concurrent outcome reporting must keep the machine in a legal state.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ConcurrentFailuresTripExactlyOnce) {
+  CircuitBreaker breaker(FastOptions(4, /*open_ms=*/60000));
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker] {
+      for (int i = 0; i < 25; ++i) breaker.RecordFailure();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // 200 failures against threshold 4, but a trip happens on the closed ->
+  // open edge only; once open, further failures cannot re-trip.
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(BreakerPanelTest, OneBreakerPerSolverName) {
+  BreakerPanel panel({"ILP", "Fallback", "BruteForce"}, FastOptions(2));
+  ASSERT_NE(panel.Get("ILP"), nullptr);
+  ASSERT_NE(panel.Get("Fallback"), nullptr);
+  EXPECT_EQ(panel.Get("NoSuchSolver"), nullptr);
+  EXPECT_NE(panel.Get("ILP"), panel.Get("Fallback"));
+
+  panel.Get("ILP")->RecordFailure();
+  panel.Get("ILP")->RecordFailure();
+  EXPECT_EQ(panel.Get("ILP")->state(), BreakerState::kOpen);
+  EXPECT_EQ(panel.Get("Fallback")->state(), BreakerState::kClosed);
+
+  int visited = 0;
+  int open = 0;
+  panel.ForEach([&](const std::string& name, const CircuitBreaker& breaker) {
+    ++visited;
+    if (breaker.state() == BreakerState::kOpen) {
+      ++open;
+      EXPECT_EQ(name, "ILP");
+    }
+  });
+  EXPECT_EQ(visited, 3);
+  EXPECT_EQ(open, 1);
+}
+
+TEST(BreakerStateTest, ToStringNamesEveryState) {
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateToString(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace soc::serve

@@ -1,0 +1,124 @@
+// EDF ordering invariants for the admission scheduler's priority queue:
+// earliest deadline pops first, Infinite() sorts last, and ties (including
+// all deadline-less entries) preserve FIFO admission order.
+
+#include "serve/edf_queue.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace soc::serve {
+namespace {
+
+TEST(EdfQueueTest, PopOnEmptyReturnsFalse) {
+  EdfQueue<int> queue;
+  int value = -1;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.Pop(&value));
+  EXPECT_EQ(value, -1);  // Outputs untouched.
+}
+
+TEST(EdfQueueTest, EarliestDeadlinePopsFirst) {
+  EdfQueue<std::string> queue;
+  queue.Push(Deadline::AfterSeconds(30), "later");
+  queue.Push(Deadline::AfterSeconds(10), "soonest");
+  queue.Push(Deadline::AfterSeconds(20), "middle");
+  EXPECT_EQ(queue.size(), 3u);
+
+  std::string value;
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, "soonest");
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, "middle");
+  ASSERT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, "later");
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EdfQueueTest, InfiniteDeadlineSortsAfterEveryFiniteOne) {
+  EdfQueue<int> queue;
+  queue.Push(Deadline::Infinite(), 0);
+  queue.Push(Deadline::AfterSeconds(1000), 1);  // Distant but finite.
+  queue.Push(Deadline::Infinite(), 2);
+
+  int value = -1;
+  Deadline deadline = Deadline::Infinite();
+  ASSERT_TRUE(queue.Pop(&value, &deadline));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(deadline.has_deadline());
+  ASSERT_TRUE(queue.Pop(&value, &deadline));
+  EXPECT_EQ(value, 0);  // Deadline-less entries keep FIFO order.
+  EXPECT_FALSE(deadline.has_deadline());
+  ASSERT_TRUE(queue.Pop(&value, &deadline));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(EdfQueueTest, EqualDeadlinesPopInAdmissionOrder) {
+  // One Deadline value shared by every entry: strictly a tie, so the
+  // sequence number must decide — EDF never reorders equal-urgency work.
+  const Deadline shared = Deadline::AfterSeconds(60);
+  EdfQueue<int> queue;
+  for (int i = 0; i < 32; ++i) queue.Push(shared, i);
+  for (int i = 0; i < 32; ++i) {
+    int value = -1;
+    ASSERT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST(EdfQueueTest, RandomizedPopsAreMonotoneInDeadline) {
+  // Property: for any interleaving of pushes, the pop sequence is sorted
+  // by ExpiresBefore (with FIFO ties) — the heap never inverts urgency.
+  Rng rng(0xEDF);
+  EdfQueue<int> queue;
+  for (int i = 0; i < 500; ++i) {
+    if (rng.NextDouble() < 0.2) {
+      queue.Push(Deadline::Infinite(), i);
+    } else {
+      queue.Push(Deadline::AfterSeconds(rng.NextInt(1, 50)), i);
+    }
+  }
+  Deadline previous = Deadline::Infinite();
+  bool first = true;
+  int popped = 0;
+  int value;
+  Deadline deadline = Deadline::Infinite();
+  while (queue.Pop(&value, &deadline)) {
+    if (!first) {
+      EXPECT_FALSE(deadline.ExpiresBefore(previous))
+          << "pop " << popped << " was more urgent than its predecessor";
+    }
+    previous = deadline;
+    first = false;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500);
+}
+
+TEST(EdfQueueTest, InterleavedPushPopKeepsHeapConsistent) {
+  Rng rng(0xBEEF);
+  EdfQueue<int> queue;
+  std::size_t pushed = 0, popped = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (queue.empty() || rng.NextDouble() < 0.6) {
+      queue.Push(Deadline::AfterSeconds(rng.NextInt(1, 20)),
+                 static_cast<int>(pushed));
+      ++pushed;
+    } else {
+      int value;
+      ASSERT_TRUE(queue.Pop(&value));
+      ++popped;
+    }
+    ASSERT_EQ(queue.size(), pushed - popped);
+  }
+  int value;
+  while (queue.Pop(&value)) ++popped;
+  EXPECT_EQ(popped, pushed);
+}
+
+}  // namespace
+}  // namespace soc::serve

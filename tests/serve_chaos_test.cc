@@ -1,0 +1,170 @@
+// Service-level chaos tests. The first half drives the src/check chaos
+// harness (injected faults, stalls, slow workers, bursts) and requires
+// its ledger/breaker audits to pass; the second half pins the overload
+// acceptance property directly: under a sustained ~4x overload, cost-aware
+// admission sheds at the door, so the requests it *does* accept finish
+// near the unloaded latency profile instead of queueing behind the storm.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.h"
+#include "datagen/workload.h"
+#include "serve/visibility_service.h"
+
+namespace soc::check {
+namespace {
+
+TEST(ServeChaosTest, ChaosStormBalancesLedgerAndTripsBreaker) {
+  ChaosServeOptions options;
+  options.requests = 200;
+  options.seed = 1;
+  const Status status = FuzzServeChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(ServeChaosTest, SeedSweepStaysAuditClean) {
+  for (std::uint64_t seed = 2; seed < 5; ++seed) {
+    ChaosServeOptions options;
+    options.requests = 120;
+    options.seed = seed;
+    const Status status = FuzzServeChaos(options);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+  }
+}
+
+TEST(ServeChaosTest, SingleWorkerChaosSurvivesStallsAndFaults) {
+  ChaosServeOptions options;
+  options.requests = 100;
+  options.seed = 9;
+  options.num_workers = 1;
+  options.submitter_threads = 2;
+  options.max_queue = 4;
+  const Status status = FuzzServeChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace soc::check
+
+namespace soc::serve {
+namespace {
+
+QueryLog MakeLog() {
+  const AttributeSchema schema = AttributeSchema::Anonymous(12);
+  datagen::SyntheticWorkloadOptions wl;
+  wl.num_queries = 120;
+  wl.seed = 11;
+  return datagen::MakeSyntheticWorkload(schema, wl);
+}
+
+SolveRequest MakeRequest(const QueryLog& log, double deadline_ms) {
+  SolveRequest request;
+  request.tuple = DynamicBitset(log.num_attributes());
+  request.tuple.Set(1);
+  request.tuple.Set(4);
+  request.tuple.Set(7);
+  request.m = 3;
+  request.solver = "Fallback";
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+VisibilityServiceOptions SlowWorkerOptions(bool predictive_shedding) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 0;  // Unbounded: admission is the cost model's call.
+  options.predictive_shedding = predictive_shedding;
+  options.worker_hook = [](const WorkerHookContext&) {
+    // Pin the per-solve cost at ~2ms so "4x overload" is well-defined.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::OK();
+  };
+  return options;
+}
+
+// Sequential warm-up: teaches the cost model the hook-inflated solve cost
+// (past its warmup blend) and populates the latency histogram.
+void WarmUp(VisibilityService& service, int requests) {
+  for (int i = 0; i < requests; ++i) {
+    const SolveResponse response =
+        service.Submit(MakeRequest(service.log(), 0)).get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+TEST(ServeChaosTest, SheddingBoundsAcceptedLatencyUnderSustainedOverload) {
+  constexpr double kDeadlineMs = 20;
+  constexpr int kBurst = 160;  // ~320ms of work against a 20ms deadline.
+
+  // Unloaded baseline: sequential requests on the same slow worker.
+  double unloaded_p99 = 0;
+  {
+    VisibilityService service(MakeLog(), SlowWorkerOptions(true));
+    WarmUp(service, 40);
+    unloaded_p99 =
+        service.Metrics().histograms.at("total").Quantile(0.99);
+    EXPECT_GT(unloaded_p99, 0);
+  }
+
+  // Overload with predictive shedding: the burst lands all at once, the
+  // cost model sheds everything whose predicted wait blows the deadline.
+  double shed_p99 = 0;
+  std::int64_t shed_count = 0;
+  {
+    VisibilityService service(MakeLog(), SlowWorkerOptions(true));
+    WarmUp(service, 10);
+    std::vector<std::future<SolveResponse>> futures;
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(service.Submit(MakeRequest(service.log(),
+                                                   kDeadlineMs)));
+    }
+    for (auto& future : futures) {
+      const SolveResponse response = future.get();
+      if (!response.status.ok()) {
+        ASSERT_EQ(response.status.code(), StatusCode::kOverloaded);
+        EXPECT_EQ(response.shed_reason, kShedReasonPredicted);
+      }
+    }
+    const MetricsSnapshot metrics = service.Metrics();
+    shed_count = metrics.counters.at("shed_predicted");
+    shed_p99 = metrics.histograms.at("total").Quantile(0.99);
+  }
+  EXPECT_GT(shed_count, 0);
+
+  // Same storm without shedding: everything queues, so completed-request
+  // latency inflates toward the full backlog drain time.
+  double fifo_p99 = 0;
+  {
+    VisibilityService service(MakeLog(), SlowWorkerOptions(false));
+    WarmUp(service, 10);
+    std::vector<std::future<SolveResponse>> futures;
+    for (int i = 0; i < kBurst; ++i) {
+      futures.push_back(service.Submit(MakeRequest(service.log(),
+                                                   kDeadlineMs)));
+    }
+    for (auto& future : futures) {
+      EXPECT_TRUE(future.get().status.ok());
+    }
+    fifo_p99 = service.Metrics().histograms.at("total").Quantile(0.99);
+  }
+
+  // The acceptance bar: accepted-request p99 stays within 2x the unloaded
+  // p99 (with a deadline-sized noise floor — accepted requests may
+  // legitimately wait up to their deadline), and decisively beats the
+  // no-shedding FIFO collapse.
+  EXPECT_LE(shed_p99, 2.0 * std::max(unloaded_p99, kDeadlineMs))
+      << "unloaded p99 " << unloaded_p99 << "ms, shed p99 " << shed_p99
+      << "ms";
+  EXPECT_LT(shed_p99, fifo_p99)
+      << "shedding did not improve on FIFO (" << shed_p99 << "ms vs "
+      << fifo_p99 << "ms)";
+}
+
+}  // namespace
+}  // namespace soc::serve

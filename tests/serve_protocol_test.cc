@@ -1,0 +1,178 @@
+// JSONL protocol round-trip tests, centered on the response side: every
+// ResponseToJson encoding must parse back via ParseSolveResponseLine into
+// an equivalent response whose re-encoding is byte-identical (the
+// fixed-point property the response fuzzer enforces at scale), including
+// the kOverloaded guidance fields retry_after_ms and shed_reason.
+
+#include "serve/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/visibility_service.h"
+
+namespace soc::serve {
+namespace {
+
+// Encode -> parse -> re-encode must be a fixed point.
+SolveResponse RoundTrip(const SolveResponse& response) {
+  const std::string encoded = ResponseToJson(response).ToString();
+  auto parsed = ParseSolveResponseLine(encoded);
+  EXPECT_TRUE(parsed.ok()) << encoded << ": " << parsed.status().ToString();
+  if (!parsed.ok()) return SolveResponse{};
+  EXPECT_EQ(ResponseToJson(*parsed).ToString(), encoded);
+  return std::move(parsed).value();
+}
+
+TEST(ServeProtocolTest, OkResponseRoundTrips) {
+  SolveResponse response;
+  response.id = "r17";
+  response.solver = "BranchAndBound";
+  response.solution.selected = DynamicBitset::FromString("010110");
+  response.solution.satisfied_queries = 42;
+  response.solution.proved_optimal = true;
+  response.queue_ms = 0.25;
+  response.solve_ms = 3.5;
+
+  const SolveResponse parsed = RoundTrip(response);
+  EXPECT_EQ(parsed.id, "r17");
+  EXPECT_TRUE(parsed.status.ok());
+  EXPECT_EQ(parsed.solver, "BranchAndBound");
+  EXPECT_EQ(parsed.solution.selected.ToString(), "010110");
+  EXPECT_EQ(parsed.solution.satisfied_queries, 42);
+  EXPECT_TRUE(parsed.solution.proved_optimal);
+  EXPECT_FALSE(parsed.degraded);
+  EXPECT_EQ(parsed.queue_ms, 0.25);
+  EXPECT_EQ(parsed.solve_ms, 3.5);
+}
+
+TEST(ServeProtocolTest, DegradedResponseCarriesItsStopReason) {
+  SolveResponse response;
+  response.id = "slow";
+  response.solver = "ILP";
+  response.solution.selected = DynamicBitset::FromString("1100");
+  response.solution.satisfied_queries = 7;
+  response.degraded = true;
+  response.stop_reason = StopReason::kDeadline;
+
+  const SolveResponse parsed = RoundTrip(response);
+  EXPECT_TRUE(parsed.degraded);
+  EXPECT_EQ(parsed.stop_reason, StopReason::kDeadline);
+}
+
+TEST(ServeProtocolTest, ShedResponseRoundTripsGuidanceFields) {
+  SolveResponse response;
+  response.id = "shed-1";
+  response.status = OverloadedError("predicted completion exceeds deadline");
+  response.shed_reason = kShedReasonPredicted;
+  response.retry_after_ms = 12.5;
+
+  const SolveResponse parsed = RoundTrip(response);
+  EXPECT_EQ(parsed.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(parsed.status.message(),
+            "predicted completion exceeds deadline");
+  EXPECT_EQ(parsed.shed_reason, kShedReasonPredicted);
+  EXPECT_EQ(parsed.retry_after_ms, 12.5);
+  // An error line never leaks solution fields.
+  EXPECT_EQ(parsed.solution.selected.Count(), 0u);
+}
+
+TEST(ServeProtocolTest, ErrorResponseWithoutGuidanceOmitsTheFields) {
+  SolveResponse response;
+  response.id = "bad";
+  response.status = InvalidArgumentError("tuple width 3 != 12");
+
+  const std::string encoded = ResponseToJson(response).ToString();
+  EXPECT_EQ(encoded.find("shed_reason"), std::string::npos);
+  EXPECT_EQ(encoded.find("retry_after_ms"), std::string::npos);
+  const SolveResponse parsed = RoundTrip(response);
+  EXPECT_EQ(parsed.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parsed.retry_after_ms, 0);
+  EXPECT_TRUE(parsed.shed_reason.empty());
+}
+
+TEST(ServeProtocolTest, EveryShedReasonConstantRoundTrips) {
+  for (const char* reason :
+       {kShedReasonQueueFull, kShedReasonPredicted, kShedReasonExpired,
+        kShedReasonShutdown}) {
+    SolveResponse response;
+    response.id = "x";
+    response.status = OverloadedError("shed");
+    response.shed_reason = reason;
+    response.retry_after_ms = 1;
+    EXPECT_EQ(RoundTrip(response).shed_reason, reason);
+  }
+}
+
+TEST(ServeProtocolTest, ParseRejectsMalformedResponses) {
+  const char* malformed[] = {
+      // Not JSON at all.
+      "nope",
+      // Missing status.
+      R"({"id":"1"})",
+      // Unknown status code.
+      R"({"id":"1","status":"Sideways","error":"x"})",
+      // OK line without a selection.
+      R"({"id":"1","status":"OK"})",
+      // 'error' on an OK line.
+      R"({"id":"1","status":"OK","error":"x","selected":"01"})",
+      // Solution fields on an error line.
+      R"({"id":"1","status":"Overloaded","error":"x","selected":"01"})",
+      // Error line without a message.
+      R"({"id":"1","status":"Overloaded"})",
+      // degraded <-> stop_reason parity, both directions.
+      R"({"id":"1","status":"OK","selected":"01","degraded":true})",
+      R"({"id":"1","status":"OK","selected":"01","stop_reason":"deadline"})",
+      // Unknown stop reason.
+      R"({"id":"1","status":"OK","selected":"01","degraded":true,)"
+      R"("stop_reason":"tired"})",
+      // Negative retry hint.
+      R"({"id":"1","status":"Overloaded","error":"x","retry_after_ms":-1})",
+      // Non-bitstring selection.
+      R"({"id":"1","status":"OK","selected":"0x1"})",
+      // Unknown field.
+      R"({"id":"1","status":"OK","selected":"01","verbosity":3})",
+  };
+  for (const char* line : malformed) {
+    EXPECT_FALSE(ParseSolveResponseLine(line).ok()) << line;
+  }
+}
+
+TEST(ServeProtocolTest, ParseAcceptsHandWrittenShedLine) {
+  // The exact shape socvis_serve emits for a predictive shed; clients
+  // parsing the stream by hand depend on these field names.
+  auto parsed = ParseSolveResponseLine(
+      R"({"id":"9","status":"Overloaded",)"
+      R"("error":"predicted completion 30ms exceeds deadline 10ms",)"
+      R"("shed_reason":"predicted_deadline_miss","retry_after_ms":15})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(parsed->shed_reason, "predicted_deadline_miss");
+  EXPECT_EQ(parsed->retry_after_ms, 15);
+}
+
+TEST(ServeProtocolTest, StatusAndStopReasonNamesRoundTripThroughStrings) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOverloaded, StatusCode::kDeadlineExceeded,
+        StatusCode::kInternal}) {
+    StatusCode back;
+    ASSERT_TRUE(StatusCodeFromString(StatusCodeToString(code), &back));
+    EXPECT_EQ(back, code);
+  }
+  StatusCode ignored_code;
+  EXPECT_FALSE(StatusCodeFromString("NotACode", &ignored_code));
+  for (StopReason reason :
+       {StopReason::kNone, StopReason::kDeadline, StopReason::kCancelled,
+        StopReason::kTickBudget, StopReason::kResourceLimit}) {
+    StopReason back;
+    ASSERT_TRUE(StopReasonFromString(StopReasonToString(reason), &back));
+    EXPECT_EQ(back, reason);
+  }
+  StopReason ignored_reason;
+  EXPECT_FALSE(StopReasonFromString("tired", &ignored_reason));
+}
+
+}  // namespace
+}  // namespace soc::serve

@@ -126,6 +126,9 @@ TEST(VisibilityServiceTest, ExpiredDeadlineDegradesToFallbackByDefault) {
 TEST(VisibilityServiceTest, RejectExpiredPolicyRefusesLateWork) {
   VisibilityServiceOptions options;
   options.reject_expired = true;
+  // Predictive shedding would catch the doomed deadline at admission;
+  // this test pins the at-pickup expiry rejection specifically.
+  options.predictive_shedding = false;
   VisibilityService service(MakeLog(), options);
   SolveRequest request = MakeRequest(service.log(), 0xFFFu, 4, "BruteForce");
   request.deadline_ms = 1e-6;
@@ -171,6 +174,10 @@ TEST(VisibilityServiceTest, ConcurrencySmoke) {
   VisibilityServiceOptions options;
   options.num_workers = 4;
   options.max_queue = 64;
+  // Keep the cost model out of this test: predictive shedding would turn
+  // the expired third into admission-time sheds, and the point here is
+  // the late-pickup degrade contract.
+  options.predictive_shedding = false;
   VisibilityService service(MakeLog(), options);
 
   constexpr int kProducers = 6;
@@ -233,6 +240,113 @@ TEST(VisibilityServiceTest, ConcurrencySmoke) {
   EXPECT_EQ(counter("submitted"), kProducers * kPerProducer);
   EXPECT_EQ(counter("completed") + counter("solve_errors"), ok);
   EXPECT_EQ(metrics.histograms.at("total").count, ok);
+}
+
+TEST(VisibilityServiceTest, PredictiveSheddingShedsDoomedRequests) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 0;  // Unbounded: only the cost model may shed.
+  options.worker_hook = [](const WorkerHookContext&) {
+    // Inflate every solve to ~2ms so the EWMA learns a real cost.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::OK();
+  };
+  VisibilityService service(MakeLog(), options);
+
+  // Warm the cost model past its blend window with observed samples.
+  for (int i = 0; i < 10; ++i) {
+    service.Submit(MakeRequest(service.log(), 0x2ABu, 2)).get();
+  }
+
+  // Burst far more work than a 15ms deadline can absorb on one worker:
+  // the backlog prediction must shed most of it at admission instead of
+  // letting it expire in the queue.
+  std::vector<std::future<SolveResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    SolveRequest request = MakeRequest(service.log(), 0x2ABu, 2);
+    request.deadline_ms = 15;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  int shed = 0;
+  for (auto& future : futures) {
+    SolveResponse response = future.get();
+    if (response.status.ok()) continue;
+    EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+    EXPECT_EQ(response.shed_reason, kShedReasonPredicted);
+    EXPECT_GE(response.retry_after_ms, 1.0);  // Backlog-sized hint.
+    EXPECT_EQ(response.solution.selected.Count(), 0u);
+    ++shed;
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(service.Metrics().counters.at("shed_predicted"), shed);
+}
+
+TEST(VisibilityServiceTest, BreakerTripsFaultyTierToFallback) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_ms = 60000;  // Stay open for the whole test.
+  options.worker_hook = [](const WorkerHookContext& hook) {
+    // The hook keys on the *effective* solver, so the Fallback reruns of
+    // rerouted requests are healthy.
+    if (hook.solver == "ILP") return InternalError("injected ILP fault");
+    return Status::OK();
+  };
+  VisibilityService service(MakeLog(), options);
+
+  for (int i = 0; i < 2; ++i) {
+    SolveResponse response =
+        service.Submit(MakeRequest(service.log(), 0x3CDu, 3, "ILP")).get();
+    EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+    EXPECT_EQ(response.solution.selected.Count(), 0u);
+  }
+  // The threshold is reached: the breaker must now route ILP requests to
+  // Fallback without touching the sick tier, and they succeed.
+  SolveResponse rerouted =
+      service.Submit(MakeRequest(service.log(), 0x3CDu, 3, "ILP")).get();
+  ASSERT_TRUE(rerouted.status.ok()) << rerouted.status.ToString();
+  EXPECT_EQ(rerouted.solver, "Fallback");
+
+  const MetricsSnapshot metrics = service.Metrics();
+  EXPECT_EQ(metrics.counters.at("breaker_rerouted"), 1);
+  EXPECT_EQ(metrics.counters.at("breaker.ILP.trips"), 1);
+  EXPECT_EQ(metrics.counters.at("solver.ILP.errors"), 2);
+  EXPECT_EQ(metrics.counters.at("solve_errors"), 2);
+  EXPECT_EQ(metrics.gauges.at("breaker.ILP.state"), 1.0);  // Open.
+  EXPECT_EQ(metrics.gauges.at("breaker.Fallback.state"), 0.0);
+}
+
+TEST(VisibilityServiceTest, WatchdogCancelsStuckWorker) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.watchdog.wall_multiple = 0.1;  // Deadline 50ms -> wall 5ms.
+  options.watchdog.min_wall_ms = 5;
+  options.watchdog.scan_interval_ms = 1;
+  std::atomic<bool> observed_cancel{false};
+  options.worker_hook = [&observed_cancel](const WorkerHookContext& hook) {
+    // Wedge well past the wall budget, then report whether the watchdog
+    // flipped this solve's cancel flag.
+    for (int i = 0; i < 200; ++i) {
+      if (hook.watchdog_flag != nullptr && hook.watchdog_flag->load()) {
+        observed_cancel.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::OK();
+  };
+  VisibilityService service(MakeLog(), options);
+
+  SolveRequest request = MakeRequest(service.log(), 0x5A5u, 3, "BruteForce");
+  request.deadline_ms = 50;
+  SolveResponse response = service.Submit(std::move(request)).get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(observed_cancel.load());
+  // The flag reaches the solver through its SolveContext: the enumeration
+  // notices at its next checkpoint and degrades with kCancelled.
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.stop_reason, StopReason::kCancelled);
+  EXPECT_GE(service.Metrics().counters.at("watchdog_cancelled"), 1);
 }
 
 TEST(VisibilityServiceTest, DrainWaitsForAllAccepted) {
@@ -332,6 +446,80 @@ TEST(BatchEngineTest, DrainPreservesSubmissionOrder) {
     EXPECT_EQ(responses[i].id, "r" + std::to_string(i));
   }
   EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(BatchEngineTest, RetriesRecoverShedRequests) {
+  // A single-slot queue sheds most of a burst; Drain's retry rounds
+  // resubmit against the by-then idle service, so every request lands.
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.predictive_shedding = false;
+  options.worker_hook = [](const WorkerHookContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  };
+  VisibilityService service(MakeLog(), options);
+
+  RetryOptions retry;
+  retry.max_retries = 3;
+  retry.initial_backoff_ms = 1;
+  retry.budget_ratio = 1.0;
+  retry.initial_budget = 64;  // Burst allowance covers the whole batch.
+  BatchEngine engine(service, retry);
+  for (int i = 0; i < 32; ++i) {
+    engine.Submit(MakeRequest(service.log(), 0x6F3u, 3));
+  }
+  const std::vector<SolveResponse> responses = engine.Drain();
+  ASSERT_EQ(responses.size(), 32u);
+  for (const SolveResponse& response : responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  const RetryStats& stats = engine.retry_stats();
+  EXPECT_GT(stats.retries, 0);
+  // Retries run one at a time against an idle service, so each recovers
+  // on its first attempt.
+  EXPECT_EQ(stats.recovered, stats.retries);
+  EXPECT_EQ(stats.exhausted, 0);
+  EXPECT_EQ(stats.budget_denied, 0);
+}
+
+TEST(BatchEngineTest, RetryBudgetBoundsAmplification) {
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.predictive_shedding = false;
+  options.worker_hook = [](const WorkerHookContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Status::OK();
+  };
+  VisibilityService service(MakeLog(), options);
+
+  RetryOptions retry;
+  retry.max_retries = 2;
+  retry.initial_backoff_ms = 1;
+  retry.budget_ratio = 0;   // No earning: the burst allowance is all.
+  retry.initial_budget = 2;
+  BatchEngine engine(service, retry);
+  for (int i = 0; i < 32; ++i) {
+    engine.Submit(MakeRequest(service.log(), 0x6F3u, 3));
+  }
+  const std::vector<SolveResponse> responses = engine.Drain();
+
+  // Exactly the budget's worth of retries ran; the rest surfaced their
+  // original kOverloaded instead of amplifying the storm.
+  const RetryStats& stats = engine.retry_stats();
+  EXPECT_LE(stats.retries, 2);
+  EXPECT_GT(stats.budget_denied, 0);
+  EXPECT_EQ(engine.retry_tokens(), 0.0);
+  int overloaded = 0;
+  for (const SolveResponse& response : responses) {
+    if (!response.status.ok()) {
+      EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(overloaded, 0);
 }
 
 }  // namespace

@@ -425,6 +425,26 @@ void CheckStopCadence(const SourceFile& file,
   }
 }
 
+void CheckRejectMetrics(const SourceFile& file,
+                        std::vector<Finding>* findings) {
+  if (!StartsWith(file.path, "src/serve/") || !IsSource(file.path)) return;
+  const std::string code = StripCommentsAndStrings(file.content);
+  // A rejection and its counter bump live in the same short block; the
+  // window is generous enough for an interleaved trace event but too
+  // small to be satisfied by an unrelated counter in another function.
+  constexpr std::size_t kWindow = 1200;
+  for (std::size_t pos : FindTokens(code, "OverloadedError")) {
+    const std::size_t window_start = pos > kWindow ? pos - kWindow : 0;
+    const std::string before = code.substr(window_start, pos - window_start);
+    if (FindTokens(before, "Increment").empty()) {
+      Add(findings, "reject-metrics", file.path, LineOf(code, pos),
+          "OverloadedError rejection with no ServeMetrics Increment in the "
+          "preceding lines; every shed/reject path must bump a named "
+          "counter so the overload ledger stays balanced");
+    }
+  }
+}
+
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,
                              std::vector<Finding>* findings) {
   const SourceFile* registry = nullptr;
@@ -647,6 +667,7 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
     CheckNakedThread(file, &findings);
     CheckLayering(file, &findings);
     CheckStopCadence(file, &findings);
+    CheckRejectMetrics(file, &findings);
   }
   CheckRegistryTestParity(files, &findings);
   CheckPropertyParity(files, &findings);

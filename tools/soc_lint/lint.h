@@ -21,6 +21,10 @@
 //                      goes through ThreadPool.
 //   layering         — no src layer below serve/ may #include "serve/..."
 //                      headers.
+//   reject-metrics   — every OverloadedError rejection constructed in
+//                      src/serve/*.cc must increment a named ServeMetrics
+//                      counter nearby, so load-shedding stays visible in
+//                      the overload ledger.
 //   span-name        — every trace span or phase constructed in src/core,
 //                      src/lp, src/itemsets or src/serve (PhaseScope,
 //                      TraceSpan, RecordComplete, RecordInstant) uses a
@@ -60,6 +64,8 @@ void CheckIncludeGuard(const SourceFile& file, std::vector<Finding>* findings);
 void CheckNakedThread(const SourceFile& file, std::vector<Finding>* findings);
 void CheckLayering(const SourceFile& file, std::vector<Finding>* findings);
 void CheckStopCadence(const SourceFile& file, std::vector<Finding>* findings);
+void CheckRejectMetrics(const SourceFile& file,
+                        std::vector<Finding>* findings);
 
 // Cross-file rule: registry names vs. registry test coverage.
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,

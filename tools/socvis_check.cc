@@ -7,6 +7,7 @@
 //   socvis_check --trials=200 --seed=1            # property trials
 //   socvis_check --trials=1 --seed=7 --solvers=ILP,Fallback
 //   socvis_check --fuzz=400 --seed=1              # parser + serve fuzzing
+//   socvis_check --chaos=300 --seed=1             # serve chaos storm
 //   socvis_check --replay=instance.txt            # re-check one instance
 //   socvis_check --corpus=tests/corpus            # replay saved crashers
 //   socvis_check ... --json                       # machine-readable report
@@ -159,6 +160,7 @@ int main(int argc, char** argv) {
       StatusOr<FuzzReport> (*run)(const FuzzOptions&);
     } fuzzers[] = {
         {"protocol", &FuzzProtocol},
+        {"response", &FuzzResponseProtocol},
         {"csv", &FuzzQueryLogCsv},
         {"instance", &FuzzInstanceText},
     };
@@ -186,6 +188,33 @@ int main(int argc, char** argv) {
     } else if (!as_json) {
       std::printf("fuzz serve    %d concurrent requests: ledger balanced\n",
                   fuzz_iterations);
+    }
+    if (failed) return 1;
+    const bool more_stages =
+        std::atoi(GetFlag(argc, argv, "chaos", "0").c_str()) > 0 ||
+        std::atoi(GetFlag(argc, argv, "trials", "0").c_str()) > 0;
+    if (!more_stages) return 0;
+  }
+
+  // --chaos=N: service-level chaos storm (faults, stalls, bursts) with
+  // full overload-ledger and breaker audits.
+  const int chaos_requests =
+      std::atoi(GetFlag(argc, argv, "chaos", "0").c_str());
+  if (chaos_requests > 0) {
+    ChaosServeOptions chaos_options;
+    chaos_options.requests = chaos_requests;
+    chaos_options.seed = seed;
+    const Status chaos_status = FuzzServeChaos(chaos_options);
+    if (!chaos_status.ok()) {
+      // Self-contained repro line: requests + seed rebuild the storm.
+      std::printf("chaos: --chaos=%d --seed=%llu: %s\n", chaos_requests,
+                  static_cast<unsigned long long>(seed),
+                  chaos_status.ToString().c_str());
+      failed = true;
+    } else if (!as_json) {
+      std::printf(
+          "chaos storm   %d requests: ledger balanced, breaker tripped\n",
+          chaos_requests);
     }
     if (failed) return 1;
     if (std::atoi(GetFlag(argc, argv, "trials", "0").c_str()) == 0) {

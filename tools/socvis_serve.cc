@@ -17,6 +17,12 @@
 //   --default-deadline-ms=T  deadline for requests that carry none
 //   --reject-late            reject expired requests with Overloaded
 //                            instead of degrading them to Fallback
+//   --no-shed                disable cost-aware predictive shedding
+//   --retries=N              retry Overloaded responses up to N times with
+//                            jittered exponential backoff, honoring each
+//                            response's retry_after_ms hint (default 0)
+//   --retry-budget=R         retry-budget token ratio: at most R retries
+//                            per fresh request over the run (default 0.1)
 //   --cache-capacity=N       shared MFI cache entries per engine
 //   --no-metrics             suppress the trailing metrics line
 //   --trace-out=PATH         record per-request spans and solver phases,
@@ -75,7 +81,8 @@ int Usage() {
   return Fail(
       "usage: socvis_serve --log=log.csv --requests=reqs.jsonl|- "
       "[--workers=N] [--queue=N] [--default-deadline-ms=T] "
-      "[--reject-late] [--cache-capacity=N] [--no-metrics] "
+      "[--reject-late] [--no-shed] [--retries=N] [--retry-budget=R] "
+      "[--cache-capacity=N] [--no-metrics] "
       "[--trace-out=PATH] [--metrics-interval-ms=T] "
       "[--metrics-out=PATH]\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", "));
@@ -104,12 +111,20 @@ int main(int argc, char** argv) {
   options.default_deadline_ms =
       std::atof(GetFlag(argc, argv, "default-deadline-ms", "0").c_str());
   options.reject_expired = HasFlag(argc, argv, "reject-late");
+  options.predictive_shedding = !HasFlag(argc, argv, "no-shed");
   options.mfi_cache_capacity = static_cast<std::size_t>(
       std::atoll(GetFlag(argc, argv, "cache-capacity", "32").c_str()));
   if (options.num_workers < 1) return Fail("--workers must be >= 1");
   if (options.mfi_cache_capacity < 1) {
     return Fail("--cache-capacity must be >= 1");
   }
+
+  serve::RetryOptions retry;
+  retry.max_retries = std::atoi(GetFlag(argc, argv, "retries", "0").c_str());
+  retry.budget_ratio =
+      std::atof(GetFlag(argc, argv, "retry-budget", "0.1").c_str());
+  if (retry.max_retries < 0) return Fail("--retries must be >= 0");
+  if (retry.budget_ratio < 0) return Fail("--retry-budget must be >= 0");
 
   std::ifstream requests_file;
   std::istream* requests = &std::cin;
@@ -128,7 +143,7 @@ int main(int argc, char** argv) {
   }
 
   serve::VisibilityService service(std::move(log).value(), options);
-  serve::BatchEngine engine(service);
+  serve::BatchEngine engine(service, retry);
 
   // Periodic metrics exposition. The file must outlive the exporter; the
   // exporter (declared after the service) stops before the service dies.
@@ -196,6 +211,17 @@ int main(int argc, char** argv) {
   if (!HasFlag(argc, argv, "no-metrics")) {
     JsonValue metrics = JsonValue::Object();
     metrics.Set("metrics", service.Metrics().ToJson());
+    if (retry.max_retries > 0) {
+      // Client-side view: where the retry traffic went.
+      const serve::RetryStats& stats = engine.retry_stats();
+      JsonValue client = JsonValue::Object();
+      client.Set("retries", JsonValue::Int(stats.retries));
+      client.Set("recovered", JsonValue::Int(stats.recovered));
+      client.Set("budget_denied", JsonValue::Int(stats.budget_denied));
+      client.Set("exhausted", JsonValue::Int(stats.exhausted));
+      client.Set("retry_tokens_left", JsonValue::Number(engine.retry_tokens()));
+      metrics.Set("client", std::move(client));
+    }
     std::cout << metrics.ToString() << "\n";
   }
 
