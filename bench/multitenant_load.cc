@@ -1,0 +1,268 @@
+// multitenant_load: the sharded multi-tenant serving stack under a
+// Zipf-popular tenant mix — the workload shape the result cache exists
+// for. 16 tenants, popularity ~ Zipf(1.0) (a handful of hot tenants
+// dominate), each tenant's traffic drawn from a small pool of repeated
+// tuples, submitted in bursts with mixed deadlines from several
+// submitter threads.
+//
+//   multitenant_load [--requests=N] [--tenants=N] [--shards=N]
+//                    [--zipf=S] [--pool=N] [--seed=N] [--out-json=path]
+//
+// Reports the cache hit rate and the hit/miss solve-latency split
+// (p50/p99 from the per-shard cache_hit / cache_miss histograms), then
+// splices a "multitenant" section into BENCH_serve.json next to the
+// serve_throughput sweep (whose sections it leaves untouched).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "boolean/schema.h"
+#include "common/json_splice.h"
+#include "common/json_writer.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "datagen/workload.h"
+#include "serve/visibility_service.h"
+#include "tenant/sharded_service.h"
+
+namespace soc::bench {
+namespace {
+
+std::string GetStringFlag(int argc, char** argv, const std::string& name,
+                          const std::string& default_value) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return default_value;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int num_requests = static_cast<int>(flags.GetInt("requests", 4000));
+  const int num_tenants = static_cast<int>(flags.GetInt("tenants", 16));
+  const int num_shards = static_cast<int>(flags.GetInt("shards", 4));
+  const int pool_size = static_cast<int>(flags.GetInt("pool", 10));
+  const double zipf_s =
+      std::atof(GetStringFlag(argc, argv, "zipf", "1.0").c_str());
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 17));
+
+  std::printf(
+      "multitenant_load: %d requests, %d tenants (Zipf %.2f), %d shards, "
+      "%d-tuple pools\n\n",
+      num_requests, num_tenants, zipf_s, num_shards, pool_size);
+
+  tenant::ShardedServiceOptions options;
+  options.num_shards = num_shards;
+  options.shard.num_workers = 2;
+  options.shard.max_queue = 0;  // Measure the cache, not load shedding.
+  tenant::ShardedService service(options);
+
+  // Per-tenant catalogs (12-16 attrs) and repeated-tuple pools.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  std::vector<std::string> tenant_ids;
+  std::vector<std::vector<DynamicBitset>> pools;
+  for (int t = 0; t < num_tenants; ++t) {
+    tenant_ids.push_back("tenant" + std::to_string(t));
+    const int width = 12 + t % 5;
+    const AttributeSchema schema = AttributeSchema::Anonymous(width);
+    datagen::SyntheticWorkloadOptions workload;
+    workload.num_queries = 200 + 20 * (t % 7);
+    workload.seed = static_cast<unsigned>(seed + t);
+    const Status created = service.CreateTenant(
+        tenant_ids.back(), datagen::MakeSyntheticWorkload(schema, workload));
+    if (!created.ok()) {
+      std::fprintf(stderr, "multitenant_load: %s\n", created.ToString().c_str());
+      return 1;
+    }
+    std::vector<DynamicBitset> pool;
+    for (int p = 0; p < pool_size; ++p) {
+      DynamicBitset tuple(static_cast<std::size_t>(width));
+      for (int b = 0; b < width; ++b) {
+        if (rng.NextBernoulli(0.55)) tuple.Set(static_cast<std::size_t>(b));
+      }
+      pool.push_back(std::move(tuple));
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  // The request plan: tenant ~ Zipf, tuple ~ uniform over the tenant's
+  // pool, budget in [1,4], solver mixing the greedy portfolio with exact
+  // tiers (so misses are real solves, not one hot loop), deadlines mixed
+  // (none / generous / tight).
+  const ZipfDistribution zipf(num_tenants, zipf_s);
+  const char* solvers[] = {"Fallback", "ConsumeAttrCumul", "BranchAndBound",
+                           "MaxFreqItemSets"};
+  std::vector<serve::SolveRequest> plan;
+  plan.reserve(num_requests);
+  for (int i = 0; i < num_requests; ++i) {
+    const int t = zipf.Sample(rng);
+    serve::SolveRequest request;
+    request.id = std::to_string(i);
+    request.tenant_id = tenant_ids[static_cast<std::size_t>(t)];
+    const auto& pool = pools[static_cast<std::size_t>(t)];
+    request.tuple = pool[rng.NextUint64(pool.size())];
+    request.m = 1 + static_cast<int>(rng.NextUint64(4));
+    request.solver = solvers[rng.NextUint64(4)];
+    const double deadline_roll = rng.NextDouble();
+    if (deadline_roll < 0.2) {
+      request.deadline_ms = 25;
+    } else if (deadline_roll < 0.4) {
+      request.deadline_ms = 100;
+    }  // else: no deadline.
+    plan.push_back(std::move(request));
+  }
+
+  // Bursty arrivals from 4 submitter threads.
+  constexpr int kSubmitters = 4;
+  constexpr int kBurstSize = 64;
+  std::vector<std::future<serve::SolveResponse>> futures(plan.size());
+  WallTimer timer;
+  {
+    ThreadPool submitters(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.Submit([s, &plan, &futures, &service] {
+        int in_burst = 0;
+        for (std::size_t i = static_cast<std::size_t>(s); i < plan.size();
+             i += kSubmitters) {
+          futures[i] = service.Submit(serve::SolveRequest(plan[i]));
+          if (++in_burst == kBurstSize) {
+            in_burst = 0;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      });
+    }
+    submitters.Shutdown();
+  }
+  service.Drain();
+  const double seconds = timer.ElapsedSeconds();
+
+  int ok = 0, hits = 0, failed = 0;
+  for (auto& future : futures) {
+    const serve::SolveResponse response = future.get();
+    if (response.status.ok()) {
+      ++ok;
+      if (response.cache_hit) ++hits;
+    } else if (response.status.code() != StatusCode::kOverloaded) {
+      ++failed;
+    }
+  }
+  if (failed > 0) {
+    std::fprintf(stderr, "multitenant_load: %d requests failed\n", failed);
+    return 1;
+  }
+
+  const serve::MetricsSnapshot metrics = service.Metrics();
+  const auto counter = [&metrics](const char* name) -> double {
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0.0
+                                        : static_cast<double>(it->second);
+  };
+  const auto quantile = [&metrics](const char* name, double q) -> double {
+    const auto it = metrics.histograms.find(name);
+    return it == metrics.histograms.end() ? 0.0 : it->second.Quantile(q);
+  };
+  const double cache_hits = counter("result_cache.hits");
+  const double cache_misses = counter("result_cache.misses");
+  const double probes = cache_hits + cache_misses;
+  const double hit_rate = probes > 0 ? cache_hits / probes : 0.0;
+  const double hit_p50 = quantile("cache_hit", 0.5);
+  const double hit_p99 = quantile("cache_hit", 0.99);
+  const double miss_p50 = quantile("cache_miss", 0.5);
+  const double miss_p99 = quantile("cache_miss", 0.99);
+
+  std::printf("completed %d/%d OK in %.3fs (%.0f req/s)\n", ok, num_requests,
+              seconds, num_requests / seconds);
+  std::printf("result cache: %.0f hits / %.0f misses (hit rate %.1f%%), "
+              "%.0f evictions\n",
+              cache_hits, cache_misses, hit_rate * 100,
+              counter("result_cache.evictions"));
+  std::printf("solve latency: hit p50 %.4fms p99 %.4fms | miss p50 %.4fms "
+              "p99 %.4fms (p99 ratio %.1fx)\n",
+              hit_p50, hit_p99, miss_p50, miss_p99,
+              hit_p99 > 0 ? miss_p99 / hit_p99 : 0.0);
+  if (hit_rate < 0.6) {
+    std::fprintf(stderr,
+                 "multitenant_load: warning: hit rate %.1f%% below the 60%% "
+                 "target for this workload\n",
+                 hit_rate * 100);
+  }
+
+  // Per-tenant view of the skew: the hot tenant should dominate.
+  std::printf("\nhot tenants (accepted requests):\n");
+  for (int t = 0; t < std::min(4, num_tenants); ++t) {
+    std::printf("  %-10s %6.0f\n", tenant_ids[t].c_str(),
+                counter(("tenant." + tenant_ids[t] + ".accepted").c_str()));
+  }
+
+  JsonValue section = JsonValue::Object();
+  section.Set("requests", JsonValue::Int(num_requests));
+  section.Set("tenants", JsonValue::Int(num_tenants));
+  section.Set("shards", JsonValue::Int(num_shards));
+  section.Set("zipf_exponent", JsonValue::Number(zipf_s));
+  section.Set("seconds", JsonValue::Number(seconds));
+  section.Set("requests_per_sec", JsonValue::Number(num_requests / seconds));
+  section.Set("cache_hit_rate", JsonValue::Number(hit_rate));
+  section.Set("cache_hits", JsonValue::Int(static_cast<long long>(cache_hits)));
+  section.Set("cache_misses",
+              JsonValue::Int(static_cast<long long>(cache_misses)));
+  section.Set("hit_solve_p50_ms", JsonValue::Number(hit_p50));
+  section.Set("hit_solve_p99_ms", JsonValue::Number(hit_p99));
+  section.Set("miss_solve_p50_ms", JsonValue::Number(miss_p50));
+  section.Set("miss_solve_p99_ms", JsonValue::Number(miss_p99));
+  section.Set("miss_over_hit_p99",
+              JsonValue::Number(hit_p99 > 0 ? miss_p99 / hit_p99 : 0.0));
+
+  const std::string out_path =
+      GetStringFlag(argc, argv, "out-json", "BENCH_serve.json");
+  std::string out_text;
+  {
+    std::ifstream existing(out_path, std::ios::binary);
+    if (existing) {
+      std::ostringstream buffer;
+      buffer << existing.rdbuf();
+      std::string text = buffer.str();
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      auto spliced =
+          JsonSpliceTopLevelKey(text, "multitenant", section.ToString());
+      if (spliced.ok()) {
+        out_text = *spliced;
+      } else {
+        std::fprintf(stderr,
+                     "multitenant_load: %s is not splicable (%s); writing a "
+                     "fresh object\n",
+                     out_path.c_str(), spliced.status().ToString().c_str());
+      }
+    }
+  }
+  if (out_text.empty()) {
+    JsonValue fresh = JsonValue::Object();
+    fresh.Set("multitenant", std::move(section));
+    out_text = fresh.ToString();
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  out << out_text << "\n";
+  if (!out) {
+    std::fprintf(stderr, "multitenant_load: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (multitenant section)\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace soc::bench
+
+int main(int argc, char** argv) { return soc::bench::Main(argc, argv); }

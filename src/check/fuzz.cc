@@ -1,6 +1,7 @@
 #include "check/fuzz.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -20,8 +21,10 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/solver_registry.h"
+#include "common/mutex.h"
 #include "serve/protocol.h"
 #include "serve/visibility_service.h"
+#include "tenant/sharded_service.h"
 
 namespace soc::check {
 
@@ -43,6 +46,9 @@ const char* const kDictionaryTokens[] = {
     "\"shed_reason\"",    "\"stop_reason\"", "\"selected\"",
     "\"degraded\"",       "Overloaded",      "predicted_deadline_miss",
     "queue_full",         "deadline",        "true",
+    // Multi-tenant vocabulary (routing + epoch/cache metadata).
+    "\"tenant_id\"",      "\"epoch\"",       "\"cache_hit\"",
+    "\"admin\"",          "publish_epoch",   "acme",
 };
 
 std::string Mutate(std::string input, Rng& rng) {
@@ -117,6 +123,35 @@ std::string ValidRequestLine(Rng& rng, int width) {
   if (rng.NextBernoulli(0.4)) {
     line += ",\"deadline_ms\":" + std::to_string(rng.NextInt(-5, 100));
   }
+  // tenant_id variants, weighted toward the legal shapes but explicitly
+  // covering every rejection class: absent, empty, oversized, non-string.
+  switch (rng.NextUint64(8)) {
+    case 0:
+    case 1:
+    case 2:  // Absent: legal on the single-tenant service.
+      break;
+    case 3:
+    case 4:
+    case 5:  // Valid.
+      line += ",\"tenant_id\":\"t" + std::to_string(rng.NextInt(0, 99)) + "\"";
+      break;
+    case 6:  // Empty or oversized: must be rejected.
+      if (rng.NextBernoulli(0.5)) {
+        line += ",\"tenant_id\":\"\"";
+      } else {
+        line += ",\"tenant_id\":\"" +
+                std::string(static_cast<std::size_t>(
+                                serve::kMaxTenantIdBytes + 1 +
+                                rng.NextInt(0, 64)),
+                            'x') +
+                "\"";
+      }
+      break;
+    case 7:  // Non-string: must be rejected.
+      line += rng.NextBernoulli(0.5) ? ",\"tenant_id\":42"
+                                     : ",\"tenant_id\":null";
+      break;
+  }
   line += "}";
   return line;
 }
@@ -126,8 +161,14 @@ std::string ValidResponseLine(Rng& rng, int width) {
       new std::vector<std::string>(RegisteredSolverNames());
   serve::SolveResponse response;
   response.id = "r" + std::to_string(rng.NextInt(0, 999));
+  if (rng.NextBernoulli(0.4)) {
+    response.tenant_id = "t" + std::to_string(rng.NextInt(0, 99));
+    // Epoch/cache metadata rides with tenancy most of the time.
+    if (rng.NextBernoulli(0.7)) response.epoch = rng.NextInt(1, 9);
+  }
   if (rng.NextBernoulli(0.5)) {
     // OK line, sometimes degraded.
+    response.cache_hit = rng.NextBernoulli(0.3);
     response.solver = (*kSolvers)[rng.NextUint64(kSolvers->size())];
     response.solution.selected =
         DynamicBitset::FromString(RandomBits(rng, width));
@@ -174,6 +215,15 @@ StatusOr<bool> RunProtocolInput(const std::string& line) {
         "protocol accepted a tuple of width " +
         std::to_string(request->tuple.size()) + " against a width-" +
         std::to_string(log.num_attributes()) + " log: " + line);
+  }
+  // An accepted tenant_id is either absent or a well-formed name; empty
+  // and oversized ids must have been rejected above.
+  if (!request->tenant_id.empty() &&
+      static_cast<int>(request->tenant_id.size()) >
+          serve::kMaxTenantIdBytes) {
+    return InternalError("protocol accepted an oversized tenant_id (" +
+                         std::to_string(request->tenant_id.size()) +
+                         " bytes): " + line);
   }
   serve::SolveResponse response;
   response.id = request->id;
@@ -634,6 +684,404 @@ Status FuzzServeChaos(const ChaosServeOptions& options) {
                                "solver." + options.faulty_solver + ".errors")) +
                            ")");
     }
+  }
+  return Status::OK();
+}
+
+Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options) {
+  Rng rng(options.seed * 0x2545F4914F6CDD1Dull + 0x9E3779B97F4A7C15ull);
+  const int num_tenants = std::max(1, options.num_tenants);
+
+  // Per-tenant initial catalogs (distinct shapes via distinct seeds) and
+  // a small tuple pool per tenant: repeated tuples are what make the
+  // result cache engage under the storm.
+  std::vector<std::string> tenant_ids;
+  std::vector<QueryLog> initial_logs;
+  std::vector<std::vector<DynamicBitset>> tuple_pools;
+  for (int t = 0; t < num_tenants; ++t) {
+    tenant_ids.push_back("t" + std::to_string(t));
+    initial_logs.push_back(
+        GenerateInstance(options.seed + static_cast<std::uint64_t>(t) * 7919)
+            .log);
+    const int width = initial_logs.back().num_attributes();
+    std::vector<DynamicBitset> pool;
+    for (int p = 0; p < 8; ++p) {
+      DynamicBitset tuple(static_cast<std::size_t>(width));
+      for (int b = 0; b < width; ++b) {
+        if (rng.NextBernoulli(0.6)) tuple.Set(static_cast<std::size_t>(b));
+      }
+      pool.push_back(std::move(tuple));
+    }
+    tuple_pools.push_back(std::move(pool));
+  }
+
+  // A published epoch keeps the tenant's width (so cached/queued traffic
+  // stays type-compatible) but changes the query multiset — which is
+  // exactly what makes a stale cached objective detectable.
+  const auto mutate_log = [](const QueryLog& base, Rng& mutate_rng) {
+    QueryLog next(base.schema());
+    for (const DynamicBitset& query : base.queries()) {
+      if (mutate_rng.NextBernoulli(0.2)) continue;  // Drop.
+      DynamicBitset mutated = query;
+      if (mutate_rng.NextBernoulli(0.4) && mutated.size() > 0) {
+        const std::size_t bit = mutate_rng.NextUint64(mutated.size());
+        if (mutated.Test(bit)) {
+          mutated.Reset(bit);
+        } else {
+          mutated.Set(bit);
+        }
+      }
+      next.AddQuery(std::move(mutated));
+    }
+    if (next.empty()) next.AddQuery(DynamicBitset(base.queries()[0].size()));
+    return next;
+  };
+
+  tenant::ShardedServiceOptions service_options;
+  service_options.num_shards = options.num_shards;
+  service_options.shard.num_workers = options.num_workers;
+  service_options.shard.max_queue = options.max_queue;
+  service_options.shard.result_cache_capacity = options.result_cache_capacity;
+  // Same rationale as FuzzServeChaos: keep tier selection deterministic
+  // for the audit.
+  service_options.shard.ladder.max_level = 0;
+  const auto chaos_roll = [seed = options.seed](std::uint64_t ordinal,
+                                                std::uint64_t decision) {
+    std::uint64_t z = seed + ordinal * 0x9E3779B97F4A7C15ull +
+                      decision * 0xD1B54A32D192ED03ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) / 9007199254740992.0;  // [0,1)
+  };
+  service_options.shard.worker_hook =
+      [&options, &chaos_roll](const serve::WorkerHookContext& hook)
+      -> Status {
+    // Storm ids are "mt<ordinal>"; the post-storm determinism probes use
+    // a different prefix and must run injection-free.
+    if (hook.request.id.rfind("mt", 0) != 0) return Status::OK();
+    const std::uint64_t ordinal =
+        std::strtoull(hook.request.id.c_str() + 2, nullptr, 10);
+    if (chaos_roll(ordinal, 1) < options.fault_rate) {
+      return InternalError("chaos: injected fault");
+    }
+    if (chaos_roll(ordinal, 2) < options.slow_rate) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options.slow_ms));
+    }
+    return Status::OK();
+  };
+  tenant::ShardedService service(service_options);
+  for (int t = 0; t < num_tenants; ++t) {
+    SOC_RETURN_IF_ERROR(service.CreateTenant(tenant_ids[t], initial_logs[t]));
+  }
+
+  // logs_by_epoch[t][e-1] = the query log of tenant t's epoch e, keyed by
+  // the epoch PublishEpoch actually returned (publish events for one
+  // tenant can execute out of plan order across submitter threads).
+  // Filled under logs_mutex as publishes land; epoch 1 is the initial
+  // catalog.
+  std::vector<std::vector<QueryLog>> logs_by_epoch(
+      static_cast<std::size_t>(num_tenants));
+  for (int t = 0; t < num_tenants; ++t) {
+    logs_by_epoch[static_cast<std::size_t>(t)].push_back(initial_logs[t]);
+  }
+  Mutex logs_mutex;
+  std::atomic<std::int64_t> successful_publishes{0};
+
+  // The request plan. publish_tenant >= 0 marks a plan slot whose
+  // submitter publishes a new epoch for that tenant before submitting.
+  struct Plan {
+    serve::SolveRequest request;
+    int tenant = -1;  // -1: unknown-tenant probe.
+    int publish_tenant = -1;
+    QueryLog publish_log;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(static_cast<std::size_t>(options.requests));
+  // Chain mutations per tenant so consecutive planned epochs keep
+  // drifting apart.
+  std::vector<QueryLog> planned_latest = initial_logs;
+  int publish_rotation = 0;
+  for (int i = 0; i < options.requests; ++i) {
+    Plan plan;
+    if (options.publish_every > 0 && i > 0 && i % options.publish_every == 0) {
+      plan.publish_tenant = publish_rotation++ % num_tenants;
+      QueryLog& latest =
+          planned_latest[static_cast<std::size_t>(plan.publish_tenant)];
+      plan.publish_log = mutate_log(latest, rng);
+      latest = plan.publish_log;
+    }
+    serve::SolveRequest& request = plan.request;
+    request.id = "mt" + std::to_string(i);
+    plan.tenant = static_cast<int>(rng.NextUint64(
+        static_cast<std::uint64_t>(num_tenants)));
+    request.tenant_id = tenant_ids[static_cast<std::size_t>(plan.tenant)];
+    const double hostile_roll = rng.NextDouble();
+    if (hostile_roll < 0.04) {
+      request.tenant_id = "ghost";  // Unknown tenant: rejected_invalid.
+      plan.tenant = -1;
+    }
+    const int width =
+        plan.tenant >= 0
+            ? initial_logs[static_cast<std::size_t>(plan.tenant)]
+                  .num_attributes()
+            : 6;
+    if (hostile_roll >= 0.04 && hostile_roll < 0.08) {
+      // Wrong width: rejected_invalid against any epoch (widths are
+      // stable across publishes).
+      request.tuple = DynamicBitset(static_cast<std::size_t>(width + 1));
+    } else if (plan.tenant >= 0 && rng.NextBernoulli(0.8)) {
+      // Pool tuple: the repeat traffic that drives cache hits.
+      const auto& pool = tuple_pools[static_cast<std::size_t>(plan.tenant)];
+      request.tuple = pool[rng.NextUint64(pool.size())];
+    } else {
+      DynamicBitset tuple(static_cast<std::size_t>(width));
+      for (int b = 0; b < width; ++b) {
+        if (rng.NextBernoulli(0.6)) tuple.Set(static_cast<std::size_t>(b));
+      }
+      request.tuple = std::move(tuple);
+    }
+    request.m = rng.NextBernoulli(0.05) ? -1 : rng.NextInt(0, 4);
+    const double solver_roll = rng.NextDouble();
+    if (solver_roll < 0.15) {
+      request.solver = "ConsumeAttr";
+    } else if (solver_roll < 0.2) {
+      request.solver = "NoSuchSolver";
+    }  // else: default Fallback (fast, so the storm stays bounded).
+    const double deadline_roll = rng.NextDouble();
+    if (deadline_roll < 0.15) {
+      request.deadline_ms = 0.01;  // Expired or predictively shed.
+    } else if (deadline_roll < 0.5) {
+      request.deadline_ms = rng.NextInt(5, 100);
+    }  // else: no deadline.
+    plans.push_back(std::move(plan));
+  }
+
+  // epoch_at_submit[i]: the tenant's published epoch observed by the
+  // submitter immediately before Submit. Epochs only grow, so the
+  // snapshot the request pins must be at least this — the zero-staleness
+  // half of the RCU contract.
+  std::vector<std::int64_t> epoch_at_submit(plans.size(), 0);
+  std::vector<std::future<serve::SolveResponse>> futures(plans.size());
+  std::vector<Status> publish_failures(plans.size(), Status::OK());
+  {
+    ThreadPool submitters(options.submitter_threads);
+    for (int t = 0; t < options.submitter_threads; ++t) {
+      submitters.Submit([t, &options, &plans, &futures, &service,
+                         &epoch_at_submit, &publish_failures, &logs_mutex,
+                         &logs_by_epoch, &tenant_ids,
+                         &successful_publishes] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < plans.size();
+             i += static_cast<std::size_t>(options.submitter_threads)) {
+          Plan& plan = plans[i];
+          if (plan.publish_tenant >= 0) {
+            const std::string& id =
+                tenant_ids[static_cast<std::size_t>(plan.publish_tenant)];
+            auto epoch = service.PublishEpoch(id, plan.publish_log);
+            if (epoch.ok()) {
+              successful_publishes.fetch_add(1, std::memory_order_relaxed);
+              MutexLock lock(logs_mutex);
+              auto& epochs =
+                  logs_by_epoch[static_cast<std::size_t>(plan.publish_tenant)];
+              if (epochs.size() < static_cast<std::size_t>(*epoch)) {
+                epochs.resize(static_cast<std::size_t>(*epoch));
+              }
+              epochs[static_cast<std::size_t>(*epoch - 1)] = plan.publish_log;
+            } else if (epoch.status().code() !=
+                       StatusCode::kFailedPrecondition) {
+              // A lost concurrent-publish race is legal; anything else
+              // is a harness bug surfaced after the storm.
+              publish_failures[i] = epoch.status();
+            }
+          }
+          if (plan.tenant >= 0) {
+            const tenant::SnapshotPtr snapshot =
+                service.registry().Acquire(plan.request.tenant_id);
+            epoch_at_submit[i] = snapshot != nullptr ? snapshot->epoch() : 0;
+          }
+          futures[i] = service.Submit(plan.request);
+        }
+      });
+    }
+    submitters.Shutdown();
+  }
+  service.Drain();
+  for (const Status& status : publish_failures) {
+    if (!status.ok()) {
+      return InternalError("mid-storm PublishEpoch failed: " +
+                           status.ToString());
+    }
+  }
+
+  std::int64_t ok_responses = 0;
+  std::int64_t cache_hit_responses = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Plan& plan = plans[i];
+    if (!futures[i].valid()) {
+      return InternalError("request " + plan.request.id +
+                           " produced no future");
+    }
+    const serve::SolveResponse response = futures[i].get();
+    if (response.id != plan.request.id) {
+      return InternalError("response id '" + response.id +
+                           "' does not echo request id '" + plan.request.id +
+                           "'");
+    }
+    if (response.status.code() == StatusCode::kOverloaded &&
+        response.shed_reason.empty()) {
+      return InternalError("request " + plan.request.id +
+                           ": overloaded response without shed_reason");
+    }
+    if (!response.status.ok()) continue;
+    ++ok_responses;
+    if (response.cache_hit) ++cache_hit_responses;
+    if (plan.tenant < 0) {
+      return InternalError("request " + plan.request.id +
+                           ": OK response for an unknown tenant");
+    }
+    if (response.tenant_id != plan.request.tenant_id) {
+      return InternalError("request " + plan.request.id +
+                           ": response tenant '" + response.tenant_id +
+                           "' does not echo '" + plan.request.tenant_id + "'");
+    }
+    // Zero staleness, part 1: the answering epoch is never older than
+    // the epoch current at submit.
+    if (response.epoch < 1 || response.epoch < epoch_at_submit[i]) {
+      return InternalError(
+          "request " + plan.request.id + ": answered at epoch " +
+          std::to_string(response.epoch) + " older than epoch " +
+          std::to_string(epoch_at_submit[i]) + " current at submit");
+    }
+    // Zero staleness, part 2: the objective recounts exactly against the
+    // query log of the epoch the response claims — a cached result
+    // leaking across a PublishEpoch fails this on any query drift.
+    const auto& epochs = logs_by_epoch[static_cast<std::size_t>(plan.tenant)];
+    if (response.epoch > static_cast<std::int64_t>(epochs.size())) {
+      return InternalError("request " + plan.request.id +
+                           ": response epoch " +
+                           std::to_string(response.epoch) +
+                           " was never published");
+    }
+    const QueryLog& epoch_log =
+        epochs[static_cast<std::size_t>(response.epoch - 1)];
+    const SocSolution& solution = response.solution;
+    const DynamicBitset& tuple = plan.request.tuple;
+    const int m_eff = std::min(plan.request.m,
+                               static_cast<int>(tuple.Count()));
+    if (solution.selected.size() != tuple.size() ||
+        !solution.selected.IsSubsetOf(tuple) ||
+        static_cast<int>(solution.selected.Count()) != m_eff) {
+      return InternalError("request " + plan.request.id +
+                           ": invalid selection in OK response");
+    }
+    const int recount = CountSatisfiedQueries(epoch_log, solution.selected);
+    if (solution.satisfied_queries != recount) {
+      return InternalError(
+          "request " + plan.request.id + ": objective " +
+          std::to_string(solution.satisfied_queries) + " != epoch-" +
+          std::to_string(response.epoch) + " recount " +
+          std::to_string(recount) + " (stale cache result?)");
+    }
+  }
+
+  // Ledger audits over the merged snapshot.
+  const serve::MetricsSnapshot snapshot = service.Metrics();
+  const auto counter = [&snapshot](const std::string& name) {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? std::int64_t{0} : it->second;
+  };
+  const std::int64_t submitted = counter("submitted");
+  const std::int64_t accepted = counter("accepted");
+  const std::int64_t rejected = counter("rejected_invalid") +
+                                counter("rejected_queue_full") +
+                                counter("shed_predicted");
+  if (submitted != static_cast<std::int64_t>(plans.size())) {
+    return InternalError("submitted counter " + std::to_string(submitted) +
+                         " != requests " + std::to_string(plans.size()));
+  }
+  if (accepted + rejected != submitted) {
+    return InternalError("admission ledger does not balance: accepted " +
+                         std::to_string(accepted) + " + rejected " +
+                         std::to_string(rejected) + " != submitted " +
+                         std::to_string(submitted));
+  }
+  if (ok_responses != counter("completed")) {
+    return InternalError("OK responses " + std::to_string(ok_responses) +
+                         " != completed counter " +
+                         std::to_string(counter("completed")));
+  }
+  // Per-tenant ledgers, and their sum against the service totals.
+  std::int64_t tenant_accepted_sum = 0;
+  for (const std::string& id : tenant_ids) {
+    const std::string prefix = "tenant." + id + ".";
+    const std::int64_t t_accepted = counter(prefix + "accepted");
+    const std::int64_t t_settled = counter(prefix + "completed") +
+                                   counter(prefix + "solve_errors") +
+                                   counter(prefix + "rejected_expired") +
+                                   counter(prefix + "rejected_shutdown");
+    if (t_accepted != t_settled) {
+      return InternalError("tenant '" + id +
+                           "' ledger does not balance: accepted " +
+                           std::to_string(t_accepted) + " != settled " +
+                           std::to_string(t_settled));
+    }
+    tenant_accepted_sum += t_accepted;
+  }
+  if (tenant_accepted_sum != accepted) {
+    return InternalError("per-tenant accepted sum " +
+                         std::to_string(tenant_accepted_sum) +
+                         " != service accepted " + std::to_string(accepted));
+  }
+  const std::int64_t expected_publishes =
+      successful_publishes.load(std::memory_order_relaxed);
+  if (counter("epochs_published") != expected_publishes) {
+    return InternalError("epochs_published " +
+                         std::to_string(counter("epochs_published")) +
+                         " != successful publishes " +
+                         std::to_string(expected_publishes));
+  }
+
+  // Cache determinism tail: with the storm over and epochs quiescent, an
+  // identical back-to-back pair per tenant must produce one solve and
+  // one cache hit with the same objective.
+  for (int t = 0; t < num_tenants; ++t) {
+    serve::SolveRequest probe;
+    probe.id = "probe" + std::to_string(t);
+    probe.tenant_id = tenant_ids[static_cast<std::size_t>(t)];
+    probe.tuple = tuple_pools[static_cast<std::size_t>(t)][0];
+    probe.m = 2;
+    probe.solver = "ConsumeAttrCumul";
+    const serve::SolveResponse first = service.Submit(probe).get();
+    if (!first.status.ok()) {
+      return InternalError("post-storm probe for tenant '" +
+                           probe.tenant_id +
+                           "' failed: " + first.status.ToString());
+    }
+    probe.id += "b";
+    const serve::SolveResponse second = service.Submit(probe).get();
+    if (!second.status.ok()) {
+      return InternalError("post-storm reprobe for tenant '" +
+                           probe.tenant_id +
+                           "' failed: " + second.status.ToString());
+    }
+    if (!first.degraded) {
+      if (!second.cache_hit) {
+        return InternalError("post-storm reprobe for tenant '" +
+                             probe.tenant_id +
+                             "' was not served from the result cache");
+      }
+      if (second.epoch != first.epoch ||
+          second.solution.satisfied_queries !=
+              first.solution.satisfied_queries) {
+        return InternalError("cached reprobe for tenant '" + probe.tenant_id +
+                             "' changed the answer");
+      }
+      ++cache_hit_responses;
+    }
+  }
+  if (cache_hit_responses == 0) {
+    return InternalError("storm produced zero cache hits");
   }
   return Status::OK();
 }

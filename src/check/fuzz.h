@@ -98,6 +98,42 @@ struct ChaosServeOptions {
 };
 Status FuzzServeChaos(const ChaosServeOptions& options = {});
 
+// Multi-tenant chaos storm against a ShardedService: rotating tenants
+// with Zipf-ish repeated tuples (so the result cache engages), hostile
+// requests (wrong widths, unknown tenants/solvers, expired deadlines),
+// injected solver faults, and mid-storm PublishEpoch catalog swaps.
+//
+// Audits, on top of the single-tenant chaos checks:
+//  * zero stale results — every OK response's objective recounts exactly
+//    against the query log of the epoch it reports, and that epoch is
+//    never older than the tenant's published epoch observed before the
+//    request was submitted;
+//  * per-tenant ledger — for every tenant,
+//      accepted == completed + solve_errors + rejected_expired
+//                + rejected_shutdown,
+//    and the per-tenant accepted counters sum to the service total;
+//  * cache determinism — after the storm, an identical back-to-back
+//    resubmission per tenant is answered from the cache with the same
+//    objective.
+struct MultiTenantChaosOptions {
+  int requests = 400;
+  std::uint64_t seed = 1;
+  int num_shards = 3;
+  int num_tenants = 6;
+  int num_workers = 2;  // Per shard.
+  int submitter_threads = 4;
+  std::size_t max_queue = 64;
+  std::size_t result_cache_capacity = 512;
+  // One PublishEpoch (rotating through tenants) every this many planned
+  // requests; 0 disables publishes.
+  int publish_every = 40;
+  // Worker-hook injection, as in ChaosServeOptions.
+  double fault_rate = 0.05;
+  double slow_ms = 1;
+  double slow_rate = 0.10;
+};
+Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options = {});
+
 // Replays one corpus input. `kind` is "protocol", "response", "csv" or
 // "instance" (the corpus file name prefix).
 Status ReplayCorpusInput(const std::string& kind, const std::string& payload);

@@ -1,0 +1,161 @@
+#include "common/json_splice.h"
+
+#include <cstddef>
+
+namespace soc {
+namespace {
+
+// One located top-level entry: [key_start, value_end) covers
+// `"key": value`; [value_start, value_end) the value alone.
+struct EntrySpan {
+  std::size_t key_start = 0;
+  std::size_t value_start = 0;
+  std::size_t value_end = 0;
+  std::string key;
+};
+
+bool IsJsonSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+std::size_t SkipSpace(const std::string& text, std::size_t pos) {
+  while (pos < text.size() && IsJsonSpace(text[pos])) ++pos;
+  return pos;
+}
+
+// Advances past one string literal starting at the opening quote.
+Status SkipString(const std::string& text, std::size_t* pos) {
+  ++*pos;  // Opening quote.
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (c == '\\') {
+      *pos += 2;
+      continue;
+    }
+    ++*pos;
+    if (c == '"') return Status::OK();
+  }
+  return InvalidArgumentError("unterminated string literal");
+}
+
+// Advances past one value (scalar, string, object or array) starting at
+// its first byte.
+Status SkipValue(const std::string& text, std::size_t* pos) {
+  if (*pos >= text.size()) return InvalidArgumentError("missing value");
+  const char first = text[*pos];
+  if (first == '"') return SkipString(text, pos);
+  if (first == '{' || first == '[') {
+    int depth = 0;
+    while (*pos < text.size()) {
+      const char c = text[*pos];
+      if (c == '"') {
+        const Status status = SkipString(text, pos);
+        if (!status.ok()) return status;
+        continue;
+      }
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      ++*pos;
+      if (depth == 0) return Status::OK();
+    }
+    return InvalidArgumentError("unbalanced brackets");
+  }
+  // Scalar: runs to the next top-of-value delimiter.
+  const std::size_t start = *pos;
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (c == ',' || c == '}' || c == ']' || IsJsonSpace(c)) break;
+    ++*pos;
+  }
+  if (*pos == start) return InvalidArgumentError("missing value");
+  return Status::OK();
+}
+
+// Walks the top-level object; returns the span of `key` via `found`
+// (found->value_end == 0 when absent) and the closing-brace position via
+// `close_brace`.
+Status LocateKey(const std::string& text, const std::string& key,
+                 EntrySpan* found, std::size_t* close_brace,
+                 bool* object_empty) {
+  std::size_t pos = SkipSpace(text, 0);
+  if (pos >= text.size() || text[pos] != '{') {
+    return InvalidArgumentError("not a JSON object");
+  }
+  ++pos;
+  *object_empty = true;
+  found->value_end = 0;
+  while (true) {
+    pos = SkipSpace(text, pos);
+    if (pos >= text.size()) return InvalidArgumentError("unterminated object");
+    if (text[pos] == '}') {
+      *close_brace = pos;
+      return Status::OK();
+    }
+    if (text[pos] != '"') {
+      return InvalidArgumentError("expected a string key");
+    }
+    *object_empty = false;
+    EntrySpan entry;
+    entry.key_start = pos;
+    const std::size_t key_open = pos;
+    SOC_RETURN_IF_ERROR(SkipString(text, &pos));
+    entry.key = text.substr(key_open + 1, pos - key_open - 2);
+    pos = SkipSpace(text, pos);
+    if (pos >= text.size() || text[pos] != ':') {
+      return InvalidArgumentError("expected ':' after key '" + entry.key +
+                                  "'");
+    }
+    pos = SkipSpace(text, pos + 1);
+    entry.value_start = pos;
+    SOC_RETURN_IF_ERROR(SkipValue(text, &pos));
+    entry.value_end = pos;
+    if (entry.key == key) *found = entry;
+    pos = SkipSpace(text, pos);
+    if (pos >= text.size()) return InvalidArgumentError("unterminated object");
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != '}') {
+      return InvalidArgumentError("expected ',' or '}' after value of '" +
+                                  entry.key + "'");
+    }
+    *close_brace = pos;
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> JsonExtractTopLevelKey(const std::string& json_text,
+                                             const std::string& key) {
+  EntrySpan found;
+  std::size_t close_brace = 0;
+  bool object_empty = false;
+  SOC_RETURN_IF_ERROR(
+      LocateKey(json_text, key, &found, &close_brace, &object_empty));
+  if (found.value_end == 0) {
+    return NotFoundError("no top-level key '" + key + "'");
+  }
+  return json_text.substr(found.value_start,
+                          found.value_end - found.value_start);
+}
+
+StatusOr<std::string> JsonSpliceTopLevelKey(const std::string& json_text,
+                                            const std::string& key,
+                                            const std::string& value_text) {
+  EntrySpan found;
+  std::size_t close_brace = 0;
+  bool object_empty = false;
+  SOC_RETURN_IF_ERROR(
+      LocateKey(json_text, key, &found, &close_brace, &object_empty));
+  if (found.value_end != 0) {
+    return json_text.substr(0, found.value_start) + value_text +
+           json_text.substr(found.value_end);
+  }
+  const std::string separator = object_empty ? "" : ",";
+  return json_text.substr(0, close_brace) + separator + "\"" + key +
+         "\":" + value_text + json_text.substr(close_brace);
+}
+
+}  // namespace soc

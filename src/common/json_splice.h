@@ -1,0 +1,37 @@
+// Top-level key surgery on serialized JSON objects, for benchmark
+// artifacts that several binaries co-own (BENCH_serve.json: the
+// serve_throughput sweep and the multitenant_load bench each rewrite
+// only their own section). A full JSON document model would be overkill
+// — these helpers tokenize just enough (strings with escapes, balanced
+// {}/[] nesting) to locate one top-level key's value span.
+//
+// Both helpers validate only the object *skeleton*; nested values are
+// treated as opaque spans and copied verbatim.
+
+#ifndef SOC_COMMON_JSON_SPLICE_H_
+#define SOC_COMMON_JSON_SPLICE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace soc {
+
+// Returns the serialized value of `key` in the top-level object of
+// `json_text` (whitespace-trimmed, quotes and braces included).
+// NotFoundError when the key is absent; InvalidArgumentError when the
+// text is not an object.
+StatusOr<std::string> JsonExtractTopLevelKey(const std::string& json_text,
+                                             const std::string& key);
+
+// Returns `json_text` with `key` bound to `value_text` (which must be a
+// serialized JSON value): replaces the existing value span in place, or
+// appends the pair before the closing brace when the key is absent. The
+// rest of the document is byte-preserved.
+StatusOr<std::string> JsonSpliceTopLevelKey(const std::string& json_text,
+                                            const std::string& key,
+                                            const std::string& value_text);
+
+}  // namespace soc
+
+#endif  // SOC_COMMON_JSON_SPLICE_H_

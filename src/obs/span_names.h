@@ -31,6 +31,14 @@
 //   fallback_exact  FallbackSolver's exact tier.
 //   fallback_rescue FallbackSolver's greedy rescue tier.
 //
+// Multi-tenant layer (src/tenant):
+//
+//   route           Sharded-service Submit: tenant -> shard routing +
+//                   hand-off.
+//   result_cache_wait  Single-flight follower blocked on a result-cache
+//                   leader solving the same (tenant, tuple, m, epoch).
+//   publish_epoch   Admin-path snapshot build + registry slot swap.
+//
 // Instant events:
 //
 //   degraded        A stop condition fired mid-solve (args: stop reason,
@@ -40,6 +48,8 @@
 //                   elapsed/budget wall ms).
 //   shed            Admission proactively rejected a request (args: shed
 //                   reason, predicted wait/solve, retry_after_ms).
+//   cache_hit       A request was answered from the ResultCache without
+//                   dispatching a solver (args: tenant, epoch).
 
 #ifndef SOC_OBS_SPAN_NAMES_H_
 #define SOC_OBS_SPAN_NAMES_H_
@@ -52,6 +62,7 @@ inline constexpr const char* kSpanNames[] = {
     "mine_walk",      "mine_dfs",    "subset_scan", "build_model",
     "bnb",            "bnb_node",    "simplex",     "fallback_exact",
     "fallback_rescue", "degraded",   "stuck_worker", "shed",
+    "route",          "result_cache_wait", "publish_epoch", "cache_hit",
 };
 
 // True iff `name` is an entry of kSpanNames (exact match).

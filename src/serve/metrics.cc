@@ -67,6 +67,23 @@ JsonValue HistogramData::ToJson() const {
   return json;
 }
 
+void HistogramData::MergeFrom(const HistogramData& other) {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ms += other.sum_ms;
+  max_ms = std::max(max_ms, other.max_ms);
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, data] : other.histograms) {
+    histograms[name].MergeFrom(data);
+  }
+}
+
 JsonValue MetricsSnapshot::ToJson() const {
   JsonValue counter_json = JsonValue::Object();
   for (const auto& [name, value] : counters) {

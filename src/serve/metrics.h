@@ -45,6 +45,11 @@ struct HistogramData {
   // {"count":..,"mean_ms":..,"max_ms":..,"p50_ms":..,"p95_ms":..,
   //  "p99_ms":..,"buckets":[{"le_ms":..,"count":..},...]}
   JsonValue ToJson() const;
+
+  // Pointwise accumulate: every histogram shares the one bucket layout, so
+  // merging is exact (max_ms takes the max). The sharded service folds
+  // per-shard distributions into service totals with this.
+  void MergeFrom(const HistogramData& other);
 };
 
 struct MetricsSnapshot {
@@ -54,6 +59,12 @@ struct MetricsSnapshot {
 
   // {"counters":{...},"gauges":{...},"histograms":{...}}
   JsonValue ToJson() const;
+
+  // Folds `other` in: counters add, histograms MergeFrom, gauges SUM
+  // (queue depths and occupancy gauges aggregate additively across
+  // shards; non-additive gauges should be namespaced per shard before
+  // merging).
+  void MergeFrom(const MetricsSnapshot& other);
 };
 
 class ServeMetrics {

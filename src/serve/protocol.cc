@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <utility>
 
@@ -20,6 +21,12 @@ Status WrongKind(const std::string& key, const char* want) {
 StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
                                              const QueryLog& log,
                                              int line_number) {
+  return ParseSolveRequestLine(line, log.num_attributes(), line_number);
+}
+
+StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
+                                             int num_attributes,
+                                             int line_number) {
   SOC_ASSIGN_OR_RETURN(auto object, ParseFlatJsonObject(line));
 
   SolveRequest request;
@@ -28,6 +35,14 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
   bool have_m = false;
 
   for (const auto& [key, value] : object) {
+    // One finiteness gate for every numeric field: a non-finite double
+    // (1e309 and friends) would re-encode as null and break the
+    // canonical-encoding fixed point.
+    if (value.kind == JsonScalar::Kind::kNumber &&
+        !std::isfinite(value.number_value)) {
+      return InvalidArgumentError("field '" + key +
+                                  "' must be a finite number");
+    }
     if (key == "id") {
       // Numeric ids are common in hand-written workloads; accept both.
       if (value.kind == JsonScalar::Kind::kString) {
@@ -42,12 +57,11 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
       if (value.kind != JsonScalar::Kind::kString) {
         return WrongKind(key, "0/1 bitstring");
       }
-      if (static_cast<int>(value.string_value.size()) !=
-          log.num_attributes()) {
+      if (num_attributes >= 0 &&
+          static_cast<int>(value.string_value.size()) != num_attributes) {
         return InvalidArgumentError(
             "tuple width " + std::to_string(value.string_value.size()) +
-            " != log attribute count " +
-            std::to_string(log.num_attributes()));
+            " != log attribute count " + std::to_string(num_attributes));
       }
       for (char c : value.string_value) {
         if (c != '0' && c != '1') {
@@ -72,6 +86,19 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
         return WrongKind(key, "number");
       }
       request.deadline_ms = value.number_value;
+    } else if (key == "tenant_id") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      if (value.string_value.empty()) {
+        return InvalidArgumentError("tenant_id must be non-empty");
+      }
+      if (static_cast<int>(value.string_value.size()) > kMaxTenantIdBytes) {
+        return InvalidArgumentError(
+            "tenant_id exceeds " + std::to_string(kMaxTenantIdBytes) +
+            " bytes");
+      }
+      request.tenant_id = value.string_value;
     } else {
       return InvalidArgumentError("unknown field '" + key + "'");
     }
@@ -82,11 +109,65 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
   return request;
 }
 
+bool LooksLikeAdminLine(const std::string& line) {
+  return line.find("\"admin\"") != std::string::npos;
+}
+
+StatusOr<AdminRequest> ParseAdminRequestLine(const std::string& line) {
+  SOC_ASSIGN_OR_RETURN(auto object, ParseFlatJsonObject(line));
+
+  AdminRequest request;
+  for (const auto& [key, value] : object) {
+    if (key == "admin") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      request.action = value.string_value;
+    } else if (key == "tenant_id") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      request.tenant_id = value.string_value;
+    } else if (key == "log") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      request.log_path = value.string_value;
+    } else {
+      return InvalidArgumentError("unknown field '" + key + "'");
+    }
+  }
+
+  if (request.action != "create_tenant" && request.action != "publish_epoch") {
+    return InvalidArgumentError(
+        "admin action must be 'create_tenant' or 'publish_epoch'");
+  }
+  if (request.tenant_id.empty()) {
+    return InvalidArgumentError("tenant_id must be non-empty");
+  }
+  if (static_cast<int>(request.tenant_id.size()) > kMaxTenantIdBytes) {
+    return InvalidArgumentError("tenant_id exceeds " +
+                                std::to_string(kMaxTenantIdBytes) + " bytes");
+  }
+  if (request.log_path.empty()) {
+    return InvalidArgumentError("missing field 'log'");
+  }
+  return request;
+}
+
 JsonValue ResponseToJson(const SolveResponse& response) {
   JsonValue json = JsonValue::Object();
   json.Set("id", JsonValue::String(response.id));
+  if (!response.tenant_id.empty()) {
+    json.Set("tenant_id", JsonValue::String(response.tenant_id));
+  }
   json.Set("status", JsonValue::String(StatusCodeToString(
                          response.status.code())));
+  // The computed-against epoch rides on every line that got far enough
+  // to pin a snapshot (rejections at validation never do).
+  if (response.epoch > 0) {
+    json.Set("epoch", JsonValue::Int(response.epoch));
+  }
   if (!response.status.ok()) {
     json.Set("error", JsonValue::String(response.status.message()));
     if (!response.shed_reason.empty()) {
@@ -97,6 +178,7 @@ JsonValue ResponseToJson(const SolveResponse& response) {
     }
     return json;
   }
+  if (response.cache_hit) json.Set("cache_hit", JsonValue::Bool(true));
   json.Set("solver",
            JsonValue::String(response.fast_path ? "none" : response.solver));
   json.Set("selected", JsonValue::String(response.solution.selected.ToString()));
@@ -126,6 +208,13 @@ StatusOr<SolveResponse> ParseSolveResponseLine(const std::string& line) {
   StatusCode code = StatusCode::kOk;
 
   for (const auto& [key, value] : object) {
+    // Same finiteness gate as the request parser: non-finite doubles
+    // cannot round-trip through the canonical encoder.
+    if (value.kind == JsonScalar::Kind::kNumber &&
+        !std::isfinite(value.number_value)) {
+      return InvalidArgumentError("field '" + key +
+                                  "' must be a finite number");
+    }
     if (key == "id") {
       if (value.kind != JsonScalar::Kind::kString) {
         return WrongKind(key, "string");
@@ -216,6 +305,34 @@ StatusOr<SolveResponse> ParseSolveResponseLine(const std::string& line) {
         return WrongKind(key, "number");
       }
       response.solve_ms = value.number_value;
+    } else if (key == "tenant_id") {
+      if (value.kind != JsonScalar::Kind::kString) {
+        return WrongKind(key, "string");
+      }
+      if (value.string_value.empty()) {
+        return InvalidArgumentError("tenant_id must be non-empty");
+      }
+      if (static_cast<int>(value.string_value.size()) > kMaxTenantIdBytes) {
+        return InvalidArgumentError(
+            "tenant_id exceeds " + std::to_string(kMaxTenantIdBytes) +
+            " bytes");
+      }
+      response.tenant_id = value.string_value;
+    } else if (key == "epoch") {
+      if (value.kind != JsonScalar::Kind::kNumber) {
+        return WrongKind(key, "number");
+      }
+      const auto epoch =
+          static_cast<std::int64_t>(std::llround(value.number_value));
+      if (epoch < 1 || static_cast<double>(epoch) != value.number_value) {
+        return InvalidArgumentError("epoch must be a positive integer");
+      }
+      response.epoch = epoch;
+    } else if (key == "cache_hit") {
+      if (value.kind != JsonScalar::Kind::kBool) {
+        return WrongKind(key, "bool");
+      }
+      response.cache_hit = value.bool_value;
     } else {
       return InvalidArgumentError("unknown field '" + key + "'");
     }
@@ -232,6 +349,9 @@ StatusOr<SolveResponse> ParseSolveResponseLine(const std::string& line) {
           "'stop_reason' must appear exactly on degraded lines");
     }
   } else {
+    if (response.cache_hit) {
+      return InvalidArgumentError("'cache_hit' is only legal on OK lines");
+    }
     if (!have_error) return InvalidArgumentError("missing field 'error'");
     if (have_selected) {
       return InvalidArgumentError("solution fields are only legal on OK lines");

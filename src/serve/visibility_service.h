@@ -83,6 +83,11 @@ struct SolveRequest {
   int m = 0;
   std::string solver = "Fallback";  // A RegisteredSolverNames() entry.
   double deadline_ms = 0;  // Per-request budget from Submit; 0 = default.
+  // Multi-tenant routing (tenant/sharded_service.h). Empty on the
+  // single-tenant VisibilityService path, where it is ignored; the
+  // sharded service requires it. Non-empty, <= 128 bytes (protocol.cc
+  // enforces both on the wire).
+  std::string tenant_id;
 };
 
 // Canonical shed_reason values carried on kOverloaded responses.
@@ -106,6 +111,13 @@ struct SolveResponse {
   // otherwise).
   double retry_after_ms = 0;
   std::string shed_reason;
+  // Multi-tenant serving metadata. tenant_id echoes the request's;
+  // epoch is the snapshot epoch the answer was computed against (> 0
+  // only on the sharded path); cache_hit marks answers replayed from
+  // the ResultCache without running a solver.
+  std::string tenant_id;
+  std::int64_t epoch = 0;
+  bool cache_hit = false;
 };
 
 // Chaos/test injection point, invoked on the worker thread after the

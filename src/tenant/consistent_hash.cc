@@ -1,0 +1,61 @@
+#include "tenant/consistent_hash.h"
+
+#include <algorithm>
+
+namespace soc::tenant {
+namespace {
+
+// SplitMix64 finalizer: bijective avalanche over a 64-bit state. Applied
+// on top of FNV-1a to repair its weak high-bit diffusion.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t ConsistentHashRing::HashBytes(const std::string& bytes) {
+  return Mix64(Fnv1a(bytes));
+}
+
+ConsistentHashRing::ConsistentHashRing(int num_shards, int vnodes_per_shard)
+    : num_shards_(std::max(1, num_shards)),
+      vnodes_per_shard_(std::max(1, vnodes_per_shard)) {
+  points_.reserve(static_cast<std::size_t>(num_shards_) *
+                  static_cast<std::size_t>(vnodes_per_shard_));
+  for (int shard = 0; shard < num_shards_; ++shard) {
+    for (int vnode = 0; vnode < vnodes_per_shard_; ++vnode) {
+      // Mix the (shard, vnode) pair directly; no string round-trip so the
+      // ring layout is independent of any textual naming convention.
+      const std::uint64_t point =
+          Mix64((static_cast<std::uint64_t>(shard) << 32) ^
+                static_cast<std::uint64_t>(vnode) ^ 0x736f632d72696e67ULL);
+      points_.emplace_back(point, shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int ConsistentHashRing::ShardOf(const std::string& key) const {
+  const std::uint64_t point = HashBytes(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const std::pair<std::uint64_t, int>& entry, std::uint64_t value) {
+        return entry.first < value;
+      });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+}  // namespace soc::tenant

@@ -1,0 +1,50 @@
+// ConsistentHashRing: stable tenant -> shard routing for the multi-tenant
+// serving layer.
+//
+// Each shard owns `vnodes_per_shard` points on a 64-bit ring; a key routes
+// to the shard owning the first point at or after Hash(key) (wrapping).
+// Virtual nodes smooth the load split and give the classic consistent-
+// hashing guarantee: growing from N to N+1 shards remaps only ~1/(N+1) of
+// the keyspace, so a resharded deployment keeps most tenants (and their
+// warm result caches) where they were.
+//
+// Hashing is a SplitMix64 finalizer over FNV-1a — deterministic across
+// platforms and standard libraries, like everything else keyed by seeds in
+// this repository (common/random.h rationale). Immutable after
+// construction, hence trivially thread-safe.
+
+#ifndef SOC_TENANT_CONSISTENT_HASH_H_
+#define SOC_TENANT_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace soc::tenant {
+
+class ConsistentHashRing {
+ public:
+  // `num_shards` >= 1 (clamped); `vnodes_per_shard` >= 1 (clamped).
+  explicit ConsistentHashRing(int num_shards, int vnodes_per_shard = 64);
+
+  // The shard owning `key`, in [0, num_shards()).
+  int ShardOf(const std::string& key) const;
+
+  int num_shards() const { return num_shards_; }
+  int vnodes_per_shard() const { return vnodes_per_shard_; }
+
+  // Platform-stable 64-bit hash of `bytes` (exposed for tests and for
+  // anyone keying auxiliary structures compatibly with the ring).
+  static std::uint64_t HashBytes(const std::string& bytes);
+
+ private:
+  int num_shards_ = 1;
+  int vnodes_per_shard_ = 1;
+  // Sorted (ring point, shard index); binary-searched by ShardOf.
+  std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+}  // namespace soc::tenant
+
+#endif  // SOC_TENANT_CONSISTENT_HASH_H_

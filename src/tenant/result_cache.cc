@@ -1,0 +1,129 @@
+#include "tenant/result_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace soc::tenant {
+
+ResultCache::ResultCache(std::size_t capacity, serve::ServeMetrics* metrics)
+    : capacity_(std::max<std::size_t>(1, capacity)), metrics_(metrics) {}
+
+void ResultCache::Count(const char* name) const {
+  if (metrics_ != nullptr) metrics_->Increment(name);
+}
+
+CachedResultPtr ResultCache::Probe(const ResultCacheKey& key, bool count) {
+  MutexLock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  // Bump to most-recent; splice moves the node without invalidating the
+  // iterator stored in the entry.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  if (count) Count(kResultCacheHits);
+  return it->second.result;
+}
+
+CachedResultPtr ResultCache::Lookup(const ResultCacheKey& key,
+                                    const Deadline& deadline,
+                                    FlightPtr* leader_flight) {
+  leader_flight->reset();
+  if (CachedResultPtr hit = Probe(key, /*count=*/true)) return hit;
+
+  // Miss: join or found the flight for this key.
+  FlightPtr flight;
+  bool leader = false;
+  {
+    MutexLock lock(flights_mutex_);
+    auto& slot = flights_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Flight>();
+      leader = true;
+    }
+    flight = slot;
+  }
+  Count(kResultCacheMisses);
+  if (leader) {
+    *leader_flight = std::move(flight);
+    return nullptr;
+  }
+
+  // Follower: wait for the leader, bounded by this request's own
+  // deadline — a slow leader must not eat a faster request's budget.
+  Count(kResultCacheFlightWaits);
+  {
+    MutexLock lock(flight->mutex);
+    while (!flight->done) {
+      const double remaining = deadline.RemainingSeconds();
+      if (remaining <= 0) return nullptr;  // Solve solo, don't publish.
+      flight->cv.WaitFor(flight->mutex, std::min(remaining, 0.05));
+    }
+  }
+  // Leader resolved: either it published (re-probe hits, uncounted — the
+  // miss above already tallied this lookup) or it abandoned. On
+  // abandonment, retry leadership so one of the waiters still fills the
+  // cache for the rest.
+  if (CachedResultPtr hit = Probe(key, /*count=*/false)) return hit;
+  {
+    MutexLock lock(flights_mutex_);
+    auto& slot = flights_[key];
+    if (slot == nullptr || slot == flight) {
+      // First re-prober after an abandon: take over as leader.
+      slot = std::make_shared<Flight>();
+      *leader_flight = slot;
+      return nullptr;
+    }
+    // Someone else already leads a fresh flight; solve solo rather than
+    // queueing behind a second wait (bounded staleness of effort, and
+    // the deadline has already been partially spent).
+  }
+  return nullptr;
+}
+
+void ResultCache::Resolve(const ResultCacheKey& key, const FlightPtr& flight) {
+  {
+    MutexLock lock(flights_mutex_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  MutexLock lock(flight->mutex);
+  flight->done = true;
+  flight->cv.NotifyAll();
+}
+
+void ResultCache::Publish(const ResultCacheKey& key, FlightPtr flight,
+                          CachedResult result) {
+  SOC_CHECK(flight != nullptr);
+  {
+    MutexLock lock(mutex_);
+    auto [it, inserted] = entries_.emplace(key, Entry{});
+    if (inserted) {
+      lru_.push_front(&it->first);
+      it->second.lru_pos = lru_.begin();
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    }
+    it->second.result =
+        std::make_shared<const CachedResult>(std::move(result));
+    Count(kResultCacheInserts);
+    while (entries_.size() > capacity_) {
+      const ResultCacheKey* victim = lru_.back();
+      lru_.pop_back();
+      entries_.erase(*victim);
+      Count(kResultCacheEvictions);
+    }
+  }
+  Resolve(key, flight);
+}
+
+void ResultCache::Abandon(const ResultCacheKey& key, FlightPtr flight) {
+  SOC_CHECK(flight != nullptr);
+  Resolve(key, flight);
+}
+
+std::size_t ResultCache::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace soc::tenant

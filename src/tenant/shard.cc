@@ -1,0 +1,526 @@
+#include "tenant/shard.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/solver_registry.h"
+#include "obs/context_tracer.h"
+
+namespace soc::tenant {
+
+namespace {
+
+// Shard-level metric names; identical to VisibilityService's so merged
+// multi-tenant snapshots and single-tenant snapshots read the same.
+constexpr char kSubmitted[] = "submitted";
+constexpr char kAccepted[] = "accepted";
+constexpr char kRejectedQueueFull[] = "rejected_queue_full";
+constexpr char kRejectedInvalid[] = "rejected_invalid";
+constexpr char kRejectedExpired[] = "rejected_expired";
+constexpr char kRejectedShutdown[] = "rejected_shutdown";
+constexpr char kShedPredicted[] = "shed_predicted";
+constexpr char kLateFallback[] = "late_fallback";
+constexpr char kFastPathZero[] = "fast_path_zero";
+constexpr char kCompleted[] = "completed";
+constexpr char kDegraded[] = "degraded";
+constexpr char kSolveErrors[] = "solve_errors";
+constexpr char kBreakerRerouted[] = "breaker_rerouted";
+constexpr char kLadderDowngraded[] = "ladder_downgraded";
+constexpr char kUnknownTenant[] = "rejected_unknown_tenant";
+
+}  // namespace
+
+struct TenantShard::QueuedRequest {
+  serve::SolveRequest request;
+  SnapshotPtr snapshot;  // Pinned at Submit; the RCU read-side hold.
+  std::promise<serve::SolveResponse> promise;
+  WallTimer submit_timer;
+  Deadline deadline = Deadline::Infinite();
+  double effective_deadline_ms = 0;
+  double predicted_ms = 0;
+  std::int64_t submit_ns = 0;
+};
+
+TenantShard::TenantShard(int shard_index, const TenantRegistry* registry,
+                         TenantShardOptions options)
+    : shard_index_(shard_index),
+      registry_(registry),
+      options_(options),
+      mfi_dfs_solver_([] {
+        MfiSocOptions dfs;
+        dfs.engine = MfiEngine::kExactDfs;
+        return dfs;
+      }()),
+      result_cache_(options.result_cache_capacity, &metrics_),
+      cost_model_(options.cost_features, options.num_workers,
+                  options.cost_model),
+      breakers_(RegisteredSolverNames(), options.breaker),
+      ladder_(options.ladder),
+      watchdog_(options.watchdog, &metrics_, options.trace_recorder),
+      pool_(options.num_workers) {
+  for (const std::string& name : RegisteredSolverNames()) {
+    auto solver = CreateSolverByName(name);
+    SOC_CHECK(solver.ok());
+    solvers_.emplace(name, std::move(solver).value());
+  }
+}
+
+TenantShard::~TenantShard() { pool_.Shutdown(); }
+
+std::size_t TenantShard::QueueSize() const {
+  MutexLock lock(queue_mutex_);
+  return edf_queue_.size();
+}
+
+void TenantShard::CountTenant(const std::string& tenant_id,
+                              const char* name) {
+  metrics_.Increment(name);
+  metrics_.Increment("tenant." + tenant_id + "." + name);
+}
+
+std::future<serve::SolveResponse> TenantShard::Submit(
+    serve::SolveRequest request) {
+  obs::TraceSpan admission(options_.trace_recorder, "admission", "serve");
+  if (admission.active()) {
+    admission.AddArg(obs::TraceArg::Str("id", request.id));
+    admission.AddArg(obs::TraceArg::Str("tenant", request.tenant_id));
+  }
+  metrics_.Increment(kSubmitted);
+  if (!request.tenant_id.empty()) {
+    metrics_.Increment("tenant." + request.tenant_id + ".submitted");
+  }
+  if (request.solver.empty()) request.solver = "Fallback";
+
+  auto queued = std::make_shared<QueuedRequest>();
+  std::future<serve::SolveResponse> future = queued->promise.get_future();
+
+  const auto reject = [&](Status status, const char* shed_reason = nullptr,
+                          double retry_after_ms = 0) {
+    serve::SolveResponse response;
+    response.id = request.id;
+    response.solver = request.solver;
+    response.tenant_id = request.tenant_id;
+    response.status = std::move(status);
+    if (shed_reason != nullptr) response.shed_reason = shed_reason;
+    response.retry_after_ms = retry_after_ms;
+    queued->promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  // Validation tier. Tenant existence first: width is defined relative
+  // to the tenant's pinned snapshot.
+  if (request.tenant_id.empty()) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError(
+        "tenant_id is required on the sharded service"));
+  }
+  SnapshotPtr snapshot = registry_->Acquire(request.tenant_id);
+  if (snapshot == nullptr) {
+    metrics_.Increment(kRejectedInvalid);
+    metrics_.Increment(kUnknownTenant);
+    return reject(
+        NotFoundError("unknown tenant '" + request.tenant_id + "'"));
+  }
+  const QueryLog& log = snapshot->log();
+  if (static_cast<int>(request.tuple.size()) != log.num_attributes()) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError(
+        "tuple width " + std::to_string(request.tuple.size()) +
+        " != tenant '" + request.tenant_id + "' attribute count " +
+        std::to_string(log.num_attributes()) + " (epoch " +
+        std::to_string(snapshot->epoch()) + ")"));
+  }
+  if (request.m < 0) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError("m must be nonnegative"));
+  }
+  if (request.deadline_ms < 0) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(InvalidArgumentError("deadline_ms must be nonnegative"));
+  }
+  if (solvers_.find(request.solver) == solvers_.end()) {
+    metrics_.Increment(kRejectedInvalid);
+    return reject(NotFoundError("unknown solver '" + request.solver +
+                                "'; valid: " +
+                                Join(RegisteredSolverNames(), ", ")));
+  }
+
+  // Admission tier, identical to the single-tenant service.
+  if (options_.max_queue > 0 && QueueSize() >= options_.max_queue) {
+    metrics_.Increment(kRejectedQueueFull);
+    return reject(
+        OverloadedError("request queue full (" +
+                        std::to_string(options_.max_queue) + ")"),
+        serve::kShedReasonQueueFull, cost_model_.RetryAfterMs());
+  }
+
+  double deadline_ms = request.deadline_ms;
+  if (deadline_ms == 0) deadline_ms = options_.default_deadline_ms;
+
+  const double predicted_solve_ms =
+      cost_model_.PredictSolveMs(request.solver, request.m);
+  if (options_.predictive_shedding && deadline_ms > 0) {
+    const double predicted_wait_ms = cost_model_.PredictedQueueWaitMs();
+    const double predicted_ms = options_.reject_expired
+                                    ? predicted_wait_ms + predicted_solve_ms
+                                    : predicted_wait_ms;
+    if (predicted_ms > deadline_ms) {
+      metrics_.Increment(kShedPredicted);
+      const double retry_after_ms = cost_model_.RetryAfterMs();
+      if (options_.trace_recorder != nullptr &&
+          options_.trace_recorder->enabled()) {
+        options_.trace_recorder->RecordInstant(
+            "shed", "serve",
+            {obs::TraceArg::Str("id", request.id),
+             obs::TraceArg::Str("tenant", request.tenant_id),
+             obs::TraceArg::Str("reason", serve::kShedReasonPredicted),
+             obs::TraceArg::Num("predicted_ms", predicted_ms),
+             obs::TraceArg::Num("retry_after_ms", retry_after_ms)});
+      }
+      return reject(OverloadedError(
+                        "predicted completion " + std::to_string(predicted_ms) +
+                        "ms exceeds deadline " + std::to_string(deadline_ms) +
+                        "ms"),
+                    serve::kShedReasonPredicted, retry_after_ms);
+    }
+  }
+
+  if (deadline_ms > 0) {
+    queued->deadline = Deadline::AfterSeconds(deadline_ms / 1000.0);
+  }
+  queued->effective_deadline_ms = deadline_ms;
+  queued->predicted_ms = predicted_solve_ms;
+  queued->snapshot = std::move(snapshot);
+  queued->request = std::move(request);
+  if (options_.trace_recorder != nullptr &&
+      options_.trace_recorder->enabled()) {
+    queued->submit_ns = options_.trace_recorder->NowNanos();
+  }
+
+  cost_model_.Charge(queued->predicted_ms);
+  {
+    MutexLock lock(inflight_mutex_);
+    ++inflight_;
+  }
+  CountTenant(queued->request.tenant_id, kAccepted);
+  {
+    MutexLock lock(queue_mutex_);
+    edf_queue_.Push(queued->deadline, queued);
+  }
+  if (!pool_.Submit([this] { RunOne(); })) {
+    // Shutdown raced the submit; resolve one (most urgent) orphaned
+    // entry, exactly as VisibilityService does.
+    std::shared_ptr<QueuedRequest> victim;
+    {
+      MutexLock lock(queue_mutex_);
+      edf_queue_.Pop(&victim);
+    }
+    if (victim != nullptr) {
+      CountTenant(victim->request.tenant_id, kRejectedShutdown);
+      cost_model_.Settle(victim->predicted_ms);
+      serve::SolveResponse response;
+      response.id = victim->request.id;
+      response.solver = victim->request.solver;
+      response.tenant_id = victim->request.tenant_id;
+      response.status = OverloadedError("service shutting down");
+      response.shed_reason = serve::kShedReasonShutdown;
+      victim->promise.set_value(std::move(response));
+      {
+        MutexLock lock(inflight_mutex_);
+        --inflight_;
+      }
+      inflight_cv_.NotifyAll();
+    }
+  }
+  return future;
+}
+
+void TenantShard::Drain() {
+  MutexLock lock(inflight_mutex_);
+  while (inflight_ != 0) inflight_cv_.Wait(inflight_mutex_);
+}
+
+void TenantShard::RunOne() {
+  std::shared_ptr<QueuedRequest> queued;
+  {
+    MutexLock lock(queue_mutex_);
+    if (!edf_queue_.Pop(&queued)) return;
+  }
+  const double capacity = options_.max_queue > 0
+                              ? static_cast<double>(options_.max_queue)
+                              : static_cast<double>(pool_.num_threads());
+  ladder_.Observe(static_cast<double>(QueueSize()) / capacity);
+  serve::SolveResponse response = Execute(*queued);
+  Finish(std::move(queued), std::move(response));
+}
+
+serve::SolveResponse TenantShard::Execute(QueuedRequest& queued) {
+  const serve::SolveRequest& request = queued.request;
+  const TenantSnapshot& snapshot = *queued.snapshot;
+  const QueryLog& log = snapshot.log();
+  serve::SolveResponse response;
+  response.id = request.id;
+  response.solver = request.solver;
+  response.tenant_id = request.tenant_id;
+  response.epoch = snapshot.epoch();
+  response.queue_ms = queued.submit_timer.ElapsedMillis();
+  WallTimer solve_timer;
+
+  obs::TraceRecorder* const recorder = options_.trace_recorder;
+  const bool tracing =
+      recorder != nullptr && recorder->enabled() && queued.submit_ns > 0;
+  if (tracing) {
+    recorder->RecordComplete("queue_wait", "serve", queued.submit_ns,
+                             recorder->NowNanos() - queued.submit_ns);
+  }
+
+  const auto settle = [&] { cost_model_.Settle(queued.predicted_ms); };
+
+  const bool expired = queued.deadline.Expired();
+  if (expired && options_.reject_expired) {
+    CountTenant(request.tenant_id, kRejectedExpired);
+    response.status =
+        OverloadedError("deadline expired before a worker was available");
+    response.shed_reason = serve::kShedReasonExpired;
+    response.retry_after_ms = cost_model_.RetryAfterMs();
+    response.solve_ms = solve_timer.ElapsedMillis();
+    settle();
+    return response;
+  }
+
+  // Result cache: key on the pinned epoch, so a PublishEpoch between
+  // Submit and pickup cannot surface another epoch's answer — and
+  // conversely a stale entry from a drained epoch is unreachable here.
+  ResultCacheKey key;
+  key.tenant_id = request.tenant_id;
+  key.tuple_bits = request.tuple.ToString();
+  key.m = request.m;
+  key.epoch = snapshot.epoch();
+  ResultCache::FlightPtr flight;
+  CachedResultPtr cached;
+  {
+    // The follower wait (if any) is the only blocking part of a lookup.
+    obs::TraceSpan wait_span(tracing ? recorder : nullptr,
+                             "result_cache_wait", "tenant");
+    cached = result_cache_.Lookup(key, queued.deadline, &flight);
+  }
+  if (cached != nullptr) {
+    // Replay: exact answers are a function of the key alone.
+    response.solution = cached->solution;
+    response.solver = cached->solver;
+    response.cache_hit = true;
+    CountTenant(request.tenant_id, kCompleted);
+    metrics_.Increment("tenant." + request.tenant_id + ".cache_hits");
+    if (tracing) {
+      recorder->RecordInstant(
+          "cache_hit", "tenant",
+          {obs::TraceArg::Str("tenant", request.tenant_id),
+           obs::TraceArg::Int("epoch", snapshot.epoch())});
+    }
+    response.solve_ms = solve_timer.ElapsedMillis();
+    settle();
+    return response;
+  }
+  // Leader (or solo when the wait timed out / contention): solve below;
+  // publish only exact leader results.
+  const auto abandon_if_leader = [&] {
+    if (flight != nullptr) {
+      result_cache_.Abandon(key, flight);
+      flight = nullptr;
+    }
+  };
+
+  SolveContext context(queued.deadline);
+  obs::TracingPhaseListener listener(tracing ? recorder : nullptr, "solve");
+  context.set_phase_listener(&listener);
+  std::string solver_name = request.solver;
+  if (expired) {
+    // Late at pickup in degrade mode: the greedy rescue answers.
+    solver_name = "Fallback";
+    metrics_.Increment(kLateFallback);
+  } else if (snapshot.preprocessing().MaxSatisfiable(request.tuple,
+                                                     request.m) == 0) {
+    const int m_eff =
+        internal::EffectiveBudget(log, request.tuple, request.m);
+    DynamicBitset selected(log.num_attributes());
+    internal::PadSelection(log, request.tuple, m_eff, &selected);
+    response.solution = internal::FinishSolution(log, std::move(selected),
+                                                 /*proved_optimal=*/true);
+    response.fast_path = true;
+    metrics_.Increment(kFastPathZero);
+    CountTenant(request.tenant_id, kCompleted);
+    metrics_.Increment("solver.none.completed");
+    response.solve_ms = solve_timer.ElapsedMillis();
+    // The fast-path answer is exact: publish it so the next identical
+    // request doesn't even pay the bitmap scan.
+    if (flight != nullptr) {
+      result_cache_.Publish(key, std::move(flight),
+                            CachedResult{response.solution, "none"});
+    }
+    settle();
+    return response;
+  }
+
+  const std::string laddered =
+      serve::DegradationLadder::ApplyLevel(ladder_.level(), solver_name);
+  if (laddered != solver_name) {
+    metrics_.Increment(kLadderDowngraded);
+    solver_name = laddered;
+  }
+
+  if (solver_name != "Fallback") {
+    serve::CircuitBreaker* breaker = breakers_.Get(solver_name);
+    if (breaker != nullptr && !breaker->Allow()) {
+      metrics_.Increment(kBreakerRerouted);
+      solver_name = "Fallback";
+    }
+  }
+
+  std::shared_ptr<serve::Watchdog::Ticket> ticket;
+  const double wall_ms = watchdog_.WallBudgetMs(queued.effective_deadline_ms);
+  if (wall_ms > 0) {
+    ticket = watchdog_.Register(request.id, wall_ms);
+    context.set_cancel_flag(&ticket->cancelled);
+  }
+
+  StatusOr<SocSolution> solution = [&]() -> StatusOr<SocSolution> {
+    obs::TraceSpan solve_span(tracing ? recorder : nullptr, "solve", "serve");
+    if (solve_span.active()) {
+      solve_span.AddArg(obs::TraceArg::Str("solver", solver_name));
+    }
+    if (options_.worker_hook) {
+      const serve::WorkerHookContext hook_context{
+          request, solver_name, &context,
+          ticket != nullptr ? &ticket->cancelled : nullptr};
+      Status injected = options_.worker_hook(hook_context);
+      if (!injected.ok()) return injected;
+    }
+    if (solver_name == "MaxFreqItemSets") {
+      return mfi_walk_solver_.SolveWithIndex(
+          snapshot.preprocessing().walk_index(), log, request.tuple,
+          request.m, &context);
+    }
+    if (solver_name == "MaxFreqItemSets-dfs") {
+      return mfi_dfs_solver_.SolveWithIndex(
+          snapshot.preprocessing().dfs_index(), log, request.tuple,
+          request.m, &context);
+    }
+    const auto it = solvers_.find(solver_name);
+    SOC_CHECK(it != solvers_.end());
+    return it->second->SolveWithContext(log, request.tuple, request.m,
+                                        &context);
+  }();
+  response.solve_ms = solve_timer.ElapsedMillis();
+  response.solver = solver_name;
+  watchdog_.Unregister(ticket);
+  settle();
+  cost_model_.Observe(solver_name, response.solve_ms);
+  serve::CircuitBreaker* const ran_breaker = breakers_.Get(solver_name);
+
+  if (!solution.ok()) {
+    response.status = solution.status();
+    CountTenant(request.tenant_id, kSolveErrors);
+    metrics_.Increment("solver." + solver_name + ".errors");
+    if (ran_breaker != nullptr) ran_breaker->RecordFailure();
+    abandon_if_leader();
+    return response;
+  }
+  response.solution = std::move(solution).value();
+  response.degraded = IsDegraded(response.solution);
+  response.stop_reason = SolutionStopReason(response.solution);
+  CountTenant(request.tenant_id, kCompleted);
+  metrics_.Increment("solver." + solver_name + ".completed");
+  if (response.degraded) {
+    metrics_.Increment(kDegraded);
+    metrics_.Increment("solver." + solver_name + ".degraded");
+    // Partial answers are deadline artifacts, never cacheable.
+    abandon_if_leader();
+  } else if (flight != nullptr) {
+    result_cache_.Publish(key, std::move(flight),
+                          CachedResult{response.solution, solver_name});
+  }
+  if (ran_breaker != nullptr) {
+    const bool failure =
+        response.degraded && ran_breaker->options().count_degraded;
+    if (failure) {
+      ran_breaker->RecordFailure();
+    } else {
+      ran_breaker->RecordSuccess();
+    }
+  }
+  return response;
+}
+
+void TenantShard::Finish(std::shared_ptr<QueuedRequest> queued,
+                         serve::SolveResponse response) {
+  obs::TraceRecorder* const recorder = options_.trace_recorder;
+  const bool tracing =
+      recorder != nullptr && recorder->enabled() && queued->submit_ns > 0;
+  const std::int64_t response_start_ns = tracing ? recorder->NowNanos() : 0;
+  std::vector<obs::TraceArg> request_args;
+  if (tracing) {
+    request_args.push_back(obs::TraceArg::Str("id", response.id));
+    request_args.push_back(obs::TraceArg::Str("tenant", response.tenant_id));
+    request_args.push_back(obs::TraceArg::Str("solver", response.solver));
+    request_args.push_back(obs::TraceArg::Str(
+        "status", StatusCodeToString(response.status.code())));
+    request_args.push_back(obs::TraceArg::Int("cache_hit", response.cache_hit));
+  }
+
+  metrics_.RecordLatency("queue", response.queue_ms);
+  metrics_.RecordLatency("solve", response.solve_ms);
+  metrics_.RecordLatency("total", response.queue_ms + response.solve_ms);
+  // Separate hit/miss latency distributions: the bench's headline
+  // comparison (hit p99 vs miss p99) reads these directly.
+  if (response.status.ok()) {
+    metrics_.RecordLatency(response.cache_hit ? "cache_hit" : "cache_miss",
+                           response.solve_ms);
+  }
+
+  if (tracing) {
+    const std::int64_t now_ns = recorder->NowNanos();
+    recorder->RecordComplete("response", "serve", response_start_ns,
+                             now_ns - response_start_ns);
+    recorder->RecordComplete("request", "serve", queued->submit_ns,
+                             now_ns - queued->submit_ns,
+                             std::move(request_args));
+  }
+
+  // The snapshot pin releases here (QueuedRequest destruction) — after
+  // this, a fully-drained old epoch can be destroyed.
+  queued->promise.set_value(std::move(response));
+  {
+    MutexLock lock(inflight_mutex_);
+    --inflight_;
+  }
+  inflight_cv_.NotifyAll();
+}
+
+serve::MetricsSnapshot TenantShard::Metrics() const {
+  serve::MetricsSnapshot snapshot = metrics_.Snapshot();
+  breakers_.ForEach(
+      [&](const std::string& name, const serve::CircuitBreaker& breaker) {
+        snapshot.counters["breaker." + name + ".trips"] = breaker.trips();
+        snapshot.gauges["breaker." + name + ".state"] =
+            static_cast<double>(static_cast<int>(breaker.state()));
+      });
+  snapshot.gauges["queue_depth"] = static_cast<double>(QueueSize());
+  snapshot.gauges["busy_workers"] = static_cast<double>(pool_.busy_workers());
+  {
+    MutexLock lock(inflight_mutex_);
+    snapshot.gauges["inflight"] = static_cast<double>(inflight_);
+  }
+  snapshot.gauges["ladder.level"] = static_cast<double>(ladder_.level());
+  snapshot.gauges["predicted_backlog_ms"] = cost_model_.BacklogMs();
+  snapshot.gauges["watchdog.watched"] =
+      static_cast<double>(watchdog_.watched());
+  snapshot.gauges["result_cache.entries"] =
+      static_cast<double>(result_cache_.size());
+  snapshot.gauges["pool.queue_wait_ms_total"] = pool_.total_queue_wait_ms();
+  snapshot.gauges["pool.execute_ms_total"] = pool_.total_execute_ms();
+  return snapshot;
+}
+
+}  // namespace soc::tenant

@@ -1,0 +1,84 @@
+// ConsistentHashRing: routing stability, balance under virtual nodes,
+// the ~1/(N+1) remap guarantee when a shard is added, and the pinned
+// platform-stable hash (a silent hash change would remap every tenant in
+// a deployed fleet, so the exact values are part of the contract).
+
+#include "tenant/consistent_hash.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace soc::tenant {
+namespace {
+
+std::vector<std::string> Keys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("tenant" + std::to_string(i));
+  return keys;
+}
+
+TEST(ConsistentHashTest, HashBytesIsPinned) {
+  // Regression pins: HashBytes must never change across platforms,
+  // standard libraries or refactors (see header rationale).
+  EXPECT_EQ(ConsistentHashRing::HashBytes(""), 0xc3817c016ba4ff30ull);
+  EXPECT_EQ(ConsistentHashRing::HashBytes("acme"), 0x4279cfb04f79f3bfull);
+  EXPECT_EQ(ConsistentHashRing::HashBytes("tenant42"), 0x3686a5853c5556d0ull);
+}
+
+TEST(ConsistentHashTest, RoutingIsDeterministicAcrossInstances) {
+  const ConsistentHashRing a(8), b(8);
+  for (const std::string& key : Keys(500)) {
+    const int shard = a.ShardOf(key);
+    EXPECT_EQ(shard, b.ShardOf(key));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 8);
+  }
+}
+
+TEST(ConsistentHashTest, ClampsDegenerateParameters) {
+  const ConsistentHashRing ring(0, 0);
+  EXPECT_EQ(ring.num_shards(), 1);
+  EXPECT_EQ(ring.vnodes_per_shard(), 1);
+  EXPECT_EQ(ring.ShardOf("anything"), 0);
+}
+
+TEST(ConsistentHashTest, VirtualNodesBalanceTheLoad) {
+  const int kShards = 8;
+  const ConsistentHashRing ring(kShards, /*vnodes_per_shard=*/64);
+  std::map<int, int> load;
+  const int kKeys = 10000;
+  for (const std::string& key : Keys(kKeys)) ++load[ring.ShardOf(key)];
+  ASSERT_EQ(static_cast<int>(load.size()), kShards) << "some shard got nothing";
+  // 64 vnodes keep every shard within a small factor of the fair share.
+  const int fair = kKeys / kShards;
+  for (const auto& [shard, count] : load) {
+    EXPECT_GT(count, fair / 3) << "shard " << shard << " underloaded";
+    EXPECT_LT(count, fair * 3) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(ConsistentHashTest, GrowingTheRingOnlyMovesKeysToTheNewShard) {
+  const ConsistentHashRing before(4), after(5);
+  int moved = 0;
+  const int kKeys = 10000;
+  for (const std::string& key : Keys(kKeys)) {
+    const int old_shard = before.ShardOf(key);
+    const int new_shard = after.ShardOf(key);
+    if (new_shard != old_shard) {
+      ++moved;
+      // The consistent-hashing property: a key either stays put or moves
+      // to the shard that just joined — never between surviving shards.
+      EXPECT_EQ(new_shard, 4) << key;
+    }
+  }
+  // ~1/5 of the keyspace should remap; allow generous slack either way.
+  EXPECT_GT(moved, kKeys / 20);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+}  // namespace
+}  // namespace soc::tenant

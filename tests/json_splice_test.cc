@@ -1,0 +1,94 @@
+// JsonExtractTopLevelKey / JsonSpliceTopLevelKey: the minimal top-level
+// JSON surgery that lets serve_throughput and multitenant_load co-own
+// BENCH_serve.json, each rewriting only its own section. The scanner
+// must respect strings (braces and escapes inside them) and nested
+// containers, and splicing must leave every other byte untouched.
+
+#include "common/json_splice.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace soc {
+namespace {
+
+constexpr char kDoc[] =
+    R"({"meta":{"host":"m1{}","note":"a \"quoted\" } brace"},)"
+    R"("sweep":[{"workers":1},{"workers":2}],"scaling_valid":false})";
+
+TEST(JsonSpliceTest, ExtractFindsNestedObjectValuesVerbatim) {
+  auto meta = JsonExtractTopLevelKey(kDoc, "meta");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(*meta, R"({"host":"m1{}","note":"a \"quoted\" } brace"})");
+
+  auto sweep = JsonExtractTopLevelKey(kDoc, "sweep");
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(*sweep, R"([{"workers":1},{"workers":2}])");
+
+  auto scalar = JsonExtractTopLevelKey(kDoc, "scaling_valid");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, "false");
+}
+
+TEST(JsonSpliceTest, ExtractMissesAreNotFound) {
+  EXPECT_EQ(JsonExtractTopLevelKey(kDoc, "multitenant").status().code(),
+            StatusCode::kNotFound);
+  // Keys nested inside values are not top-level keys.
+  EXPECT_EQ(JsonExtractTopLevelKey(kDoc, "host").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(JsonExtractTopLevelKey(kDoc, "workers").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(JsonSpliceTest, NonObjectsAreRejected) {
+  for (const char* text : {"", "[1,2]", "42", "\"str\"", "{\"a\":1"}) {
+    EXPECT_FALSE(JsonExtractTopLevelKey(text, "a").ok()) << text;
+    EXPECT_FALSE(JsonSpliceTopLevelKey(text, "a", "1").ok()) << text;
+  }
+}
+
+TEST(JsonSpliceTest, SpliceReplacesOnlyTheNamedSection) {
+  auto spliced = JsonSpliceTopLevelKey(kDoc, "sweep", R"([{"workers":8}])");
+  ASSERT_TRUE(spliced.ok()) << spliced.status().ToString();
+  EXPECT_EQ(*spliced,
+            R"({"meta":{"host":"m1{}","note":"a \"quoted\" } brace"},)"
+            R"("sweep":[{"workers":8}],"scaling_valid":false})");
+  // The other sections survive byte-for-byte.
+  EXPECT_EQ(*JsonExtractTopLevelKey(*spliced, "meta"),
+            *JsonExtractTopLevelKey(kDoc, "meta"));
+}
+
+TEST(JsonSpliceTest, SpliceAppendsMissingKeysBeforeTheClosingBrace) {
+  auto spliced = JsonSpliceTopLevelKey(kDoc, "multitenant", R"({"hits":9})");
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_EQ(*JsonExtractTopLevelKey(*spliced, "multitenant"), R"({"hits":9})");
+  // Appending then replacing round-trips.
+  auto replaced =
+      JsonSpliceTopLevelKey(*spliced, "multitenant", R"({"hits":10})");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(*JsonExtractTopLevelKey(*replaced, "multitenant"),
+            R"({"hits":10})");
+  EXPECT_EQ(*JsonExtractTopLevelKey(*replaced, "sweep"),
+            *JsonExtractTopLevelKey(kDoc, "sweep"));
+}
+
+TEST(JsonSpliceTest, AppendToEmptyObjectNeedsNoComma) {
+  auto spliced = JsonSpliceTopLevelKey("{}", "multitenant", "{}");
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_EQ(*spliced, R"({"multitenant":{}})");
+}
+
+TEST(JsonSpliceTest, ToleratesWhitespaceAroundStructure) {
+  const std::string doc = "  {\n  \"a\" : { \"b\" : [1, 2] } ,\n"
+                          " \"c\" : \"x\"\n}  ";
+  auto extracted = JsonExtractTopLevelKey(doc, "a");
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  EXPECT_EQ(*extracted, R"({ "b" : [1, 2] })");
+  auto spliced = JsonSpliceTopLevelKey(doc, "c", "\"y\"");
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_EQ(*JsonExtractTopLevelKey(*spliced, "c"), "\"y\"");
+}
+
+}  // namespace
+}  // namespace soc

@@ -152,6 +152,128 @@ TEST(ServeProtocolTest, ParseAcceptsHandWrittenShedLine) {
   EXPECT_EQ(parsed->retry_after_ms, 15);
 }
 
+TEST(ServeProtocolTest, MultiTenantResponseRoundTripsItsMetadata) {
+  SolveResponse response;
+  response.id = "r3";
+  response.tenant_id = "acme";
+  response.epoch = 7;
+  response.cache_hit = true;
+  response.solver = "ILP";
+  response.solution.selected = DynamicBitset::FromString("0101");
+  response.solution.satisfied_queries = 12;
+  response.solve_ms = 0.05;
+
+  const SolveResponse parsed = RoundTrip(response);
+  EXPECT_EQ(parsed.tenant_id, "acme");
+  EXPECT_EQ(parsed.epoch, 7);
+  EXPECT_TRUE(parsed.cache_hit);
+}
+
+TEST(ServeProtocolTest, SingleTenantResponseOmitsTenantFields) {
+  SolveResponse response;
+  response.id = "r1";
+  response.solution.selected = DynamicBitset::FromString("01");
+  response.solution.satisfied_queries = 1;
+
+  const std::string encoded = ResponseToJson(response).ToString();
+  EXPECT_EQ(encoded.find("tenant_id"), std::string::npos);
+  EXPECT_EQ(encoded.find("epoch"), std::string::npos);
+  EXPECT_EQ(encoded.find("cache_hit"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, ParseRejectsMalformedTenantResponses) {
+  const char* malformed[] = {
+      // cache_hit is only meaningful on OK lines.
+      R"({"id":"1","status":"Overloaded","error":"x","cache_hit":true})",
+      // Epochs are positive integers.
+      R"({"id":"1","status":"OK","selected":"01","epoch":0})",
+      R"({"id":"1","status":"OK","selected":"01","epoch":-3})",
+      R"({"id":"1","status":"OK","selected":"01","epoch":1.5})",
+      // tenant_id must be a non-empty string.
+      R"({"id":"1","status":"OK","selected":"01","tenant_id":""})",
+      R"({"id":"1","status":"OK","selected":"01","tenant_id":17})",
+      // Numbers must be finite: 1e309 overflows to inf, which would
+      // re-encode as null and break the fixed point.
+      R"({"id":"1","status":"OK","selected":"01","queue_ms":1e309})",
+  };
+  for (const char* line : malformed) {
+    EXPECT_FALSE(ParseSolveResponseLine(line).ok()) << line;
+  }
+}
+
+TEST(ServeProtocolTest, RequestParsersCarryTenantId) {
+  const std::string line =
+      R"({"id":"r1","tenant_id":"acme","tuple":"110101","m":3})";
+  QueryLog log(AttributeSchema::Anonymous(6));
+  auto with_log = ParseSolveRequestLine(line, log, 1);
+  ASSERT_TRUE(with_log.ok()) << with_log.status().ToString();
+  EXPECT_EQ(with_log->tenant_id, "acme");
+
+  // The width-agnostic overload used by the sharded front door accepts
+  // any tuple width; the tenant's own catalog checks it at admission.
+  auto width_agnostic = ParseSolveRequestLine(line, /*num_attributes=*/-1, 1);
+  ASSERT_TRUE(width_agnostic.ok()) << width_agnostic.status().ToString();
+  EXPECT_EQ(width_agnostic->tenant_id, "acme");
+  EXPECT_EQ(width_agnostic->tuple.ToString(), "110101");
+}
+
+TEST(ServeProtocolTest, RequestParserRejectsBadTenantIds) {
+  const std::string oversized(kMaxTenantIdBytes + 1, 'x');
+  const std::string bad[] = {
+      R"({"id":"r1","tenant_id":"","tuple":"01","m":1})",
+      R"({"id":"r1","tenant_id":42,"tuple":"01","m":1})",
+      R"({"id":"r1","tenant_id":")" + oversized + R"(","tuple":"01","m":1})",
+  };
+  for (const std::string& line : bad) {
+    EXPECT_FALSE(ParseSolveRequestLine(line, /*num_attributes=*/-1, 1).ok())
+        << line;
+  }
+  // Exactly at the cap is legal.
+  const std::string max_id(kMaxTenantIdBytes, 'x');
+  EXPECT_TRUE(ParseSolveRequestLine(
+                  R"({"id":"r1","tenant_id":")" + max_id +
+                      R"(","tuple":"01","m":1})",
+                  /*num_attributes=*/-1, 1)
+                  .ok());
+}
+
+TEST(ServeProtocolTest, AdminLinesAreDetectedAndParsed) {
+  const std::string line =
+      R"({"admin":"create_tenant","tenant_id":"acme","log":"acme.csv"})";
+  EXPECT_TRUE(LooksLikeAdminLine(line));
+  EXPECT_FALSE(LooksLikeAdminLine(
+      R"({"id":"r1","tuple":"01","m":1})"));
+
+  auto parsed = ParseAdminRequestLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->action, "create_tenant");
+  EXPECT_EQ(parsed->tenant_id, "acme");
+  EXPECT_EQ(parsed->log_path, "acme.csv");
+
+  auto publish = ParseAdminRequestLine(
+      R"({"admin":"publish_epoch","tenant_id":"a","log":"v2.csv"})");
+  ASSERT_TRUE(publish.ok());
+  EXPECT_EQ(publish->action, "publish_epoch");
+}
+
+TEST(ServeProtocolTest, AdminParserRejectsMalformedLines) {
+  const char* malformed[] = {
+      // Unknown action.
+      R"({"admin":"drop_tenant","tenant_id":"a","log":"x.csv"})",
+      // Missing / empty required fields.
+      R"({"admin":"create_tenant","log":"x.csv"})",
+      R"({"admin":"create_tenant","tenant_id":"a"})",
+      R"({"admin":"create_tenant","tenant_id":"","log":"x.csv"})",
+      // Unknown fields are errors, as on the solve-request parser.
+      R"({"admin":"create_tenant","tenant_id":"a","log":"x.csv","m":2})",
+      // A solve-request line is not an admin line.
+      R"({"id":"r1","tuple":"01","m":1})",
+  };
+  for (const char* line : malformed) {
+    EXPECT_FALSE(ParseAdminRequestLine(line).ok()) << line;
+  }
+}
+
 TEST(ServeProtocolTest, StatusAndStopReasonNamesRoundTripThroughStrings) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,

@@ -428,6 +428,94 @@ TEST(SocLintTest, SpanNameSkipsTreesWithoutTableButFlagsBrokenTable) {
   EXPECT_EQ(findings[0].rule, "span-name");
 }
 
+// ---------------------------------------------------------- cache metrics
+
+constexpr char kCacheHeaderSnippet[] =
+    "inline constexpr char kResultCacheHits[] = \"result_cache.hits\";\n"
+    "inline constexpr char kResultCacheEvictions[] = "
+    "\"result_cache.evictions\";\n";
+
+TEST(SocLintTest, CacheMetricsPassesWhenEveryPathCounts) {
+  std::vector<Finding> findings;
+  CheckCacheMetrics(
+      {{"src/tenant/result_cache.h", kCacheHeaderSnippet},
+       {"src/tenant/result_cache.cc",
+        "CachedResultPtr ResultCache::Probe(const Key& key) {\n"
+        "  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);\n"
+        "  Count(kResultCacheHits);\n"
+        "  return it->second.result;\n"
+        "}\n"
+        "void ResultCache::Evict() {\n"
+        "  lru_.pop_back();\n"
+        "  Count(kResultCacheEvictions);\n"
+        "}\n"}},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, CacheMetricsFlagsNeverIncrementedConstant) {
+  std::vector<Finding> findings;
+  CheckCacheMetrics(
+      {{"src/tenant/result_cache.h", kCacheHeaderSnippet},
+       {"src/tenant/result_cache.cc",
+        "CachedResultPtr ResultCache::Probe(const Key& key) {\n"
+        "  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);\n"
+        "  Count(kResultCacheHits);\n"
+        "  return it->second.result;\n"
+        "}\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cache-metrics");
+  EXPECT_NE(findings[0].message.find("kResultCacheEvictions"),
+            std::string::npos);
+}
+
+TEST(SocLintTest, CacheMetricsFlagsUncountedEvictionPath) {
+  std::vector<Finding> findings;
+  CheckCacheMetrics(
+      {{"src/tenant/result_cache.h", kCacheHeaderSnippet},
+       {"src/tenant/result_cache.cc",
+        // Constants referenced so the parity half passes; the pop_back
+        // sits alone in a window with no Count/Increment.
+        "const char* used[] = {kResultCacheHits, kResultCacheEvictions};\n" +
+            std::string(500, '\n') +
+            "void ResultCache::Evict() {\n"
+            "  lru_.pop_back();\n"
+            "  entries_.erase(*victim);\n"
+            "}\n" +
+            std::string(500, '\n')}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cache-metrics");
+  EXPECT_NE(findings[0].message.find("eviction"), std::string::npos);
+}
+
+TEST(SocLintTest, CacheMetricsFlagsOrphanedPairAndSkipsAbsentTree) {
+  std::vector<Finding> findings;
+  CheckCacheMetrics({{"src/core/foo.cc", "int x;\n"}}, &findings);
+  EXPECT_TRUE(findings.empty());
+
+  CheckCacheMetrics({{"src/tenant/result_cache.h", kCacheHeaderSnippet}},
+                    &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cache-metrics");
+  EXPECT_NE(findings[0].message.find("travel together"), std::string::npos);
+}
+
+TEST(SocLintTest, SpanNameCoversTenantLayer) {
+  std::vector<Finding> findings;
+  CheckSpanNameParity(
+      {{"src/obs/span_names.h", kSpanTableSnippet},
+       {"src/tenant/shard.cc",
+        "void F(obs::TraceRecorder* r) {\n"
+        "  obs::TraceSpan span(r, \"made_up_span\", \"tenant\");\n"
+        "}\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "span-name");
+  EXPECT_NE(findings[0].message.find("\"made_up_span\""), std::string::npos);
+}
+
 // ------------------------------------------------------------- aggregate
 
 TEST(SocLintTest, LintTreeAggregatesSortedFindingsAndJson) {

@@ -1,0 +1,80 @@
+// Multi-tenant chaos: drives the src/check tenant storm — hostile
+// request variants, injected faults/stalls, concurrent PublishEpoch
+// swaps racing submitters that still hold old snapshots — and requires
+// every audit to pass: zero stale results (objective recount against the
+// epoch each response claims), per-tenant ledger balance, cache-hit
+// consistency of the post-storm probes. The small configurations here
+// run under the per-PR TSan job, which is where the RCU snapshot and
+// single-flight cache races would surface.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.h"
+
+namespace soc::check {
+namespace {
+
+TEST(TenantChaosTest, StormKeepsLedgersBalancedAndResultsFresh) {
+  MultiTenantChaosOptions options;
+  options.requests = 200;
+  options.seed = 1;
+  options.num_shards = 2;
+  options.num_tenants = 4;
+  options.submitter_threads = 3;
+  const Status status = FuzzMultiTenantChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(TenantChaosTest, SeedSweepStaysAuditClean) {
+  for (std::uint64_t seed = 2; seed < 5; ++seed) {
+    MultiTenantChaosOptions options;
+    options.requests = 120;
+    options.seed = seed;
+    options.num_shards = 2;
+    options.num_tenants = 3;
+    const Status status = FuzzMultiTenantChaos(options);
+    EXPECT_TRUE(status.ok()) << "seed " << seed << ": " << status.ToString();
+  }
+}
+
+TEST(TenantChaosTest, FrequentPublishesNeverLeakStaleEpochs) {
+  // Publish every 10 requests: snapshots churn constantly while
+  // submitters hold pins from several epochs back.
+  MultiTenantChaosOptions options;
+  options.requests = 150;
+  options.seed = 11;
+  options.num_shards = 2;
+  options.num_tenants = 3;
+  options.publish_every = 10;
+  const Status status = FuzzMultiTenantChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(TenantChaosTest, TinyCacheSurvivesEvictionPressure) {
+  // A 4-entry cache under 6 tenants forces constant eviction and
+  // single-flight churn on repeated keys.
+  MultiTenantChaosOptions options;
+  options.requests = 150;
+  options.seed = 23;
+  options.result_cache_capacity = 4;
+  const Status status = FuzzMultiTenantChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(TenantChaosTest, SingleShardSingleWorkerStillAudits) {
+  MultiTenantChaosOptions options;
+  options.requests = 100;
+  options.seed = 7;
+  options.num_shards = 1;
+  options.num_tenants = 2;
+  options.num_workers = 1;
+  options.submitter_threads = 2;
+  options.max_queue = 16;
+  const Status status = FuzzMultiTenantChaos(options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace soc::check

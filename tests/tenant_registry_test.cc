@@ -1,0 +1,151 @@
+// TenantRegistry: tenant lifecycle (create / duplicate / publish),
+// RCU snapshot semantics (readers pin an epoch; publishes never
+// invalidate a pinned snapshot), ring routing stability, and the
+// serialized-swap guarantee under concurrent publishers.
+
+#include "tenant/registry.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boolean/query_log.h"
+#include "boolean/schema.h"
+#include "common/thread_pool.h"
+
+namespace soc::tenant {
+namespace {
+
+QueryLog MakeLog(int width, std::vector<std::vector<int>> queries) {
+  QueryLog log(AttributeSchema::Anonymous(width));
+  for (const auto& q : queries) log.AddQueryFromIndices(q);
+  return log;
+}
+
+TEST(TenantRegistryTest, CreateStartsAtEpochOne) {
+  TenantRegistry registry(4);
+  ASSERT_TRUE(registry.CreateTenant("acme", MakeLog(6, {{0, 1}, {2}})).ok());
+  EXPECT_EQ(registry.tenant_count(), 1);
+
+  const SnapshotPtr snapshot = registry.Acquire("acme");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->tenant_id(), "acme");
+  EXPECT_EQ(snapshot->epoch(), 1);
+  EXPECT_EQ(snapshot->log().num_attributes(), 6);
+  EXPECT_EQ(snapshot->log().size(), 2);
+}
+
+TEST(TenantRegistryTest, DuplicateCreateFails) {
+  TenantRegistry registry(4);
+  ASSERT_TRUE(registry.CreateTenant("acme", MakeLog(4, {{0}})).ok());
+  const Status again = registry.CreateTenant("acme", MakeLog(4, {{1}}));
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  // The original catalog survives the rejected create.
+  EXPECT_EQ(registry.Acquire("acme")->log().size(), 1);
+}
+
+TEST(TenantRegistryTest, AcquireUnknownTenantIsNull) {
+  TenantRegistry registry(4);
+  EXPECT_EQ(registry.Acquire("ghost"), nullptr);
+}
+
+TEST(TenantRegistryTest, PublishUnknownTenantIsNotFound) {
+  TenantRegistry registry(4);
+  EXPECT_EQ(registry.PublishEpoch("ghost", MakeLog(4, {{0}})).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.epochs_published(), 0);
+}
+
+TEST(TenantRegistryTest, PublishBumpsEpochAndSwapsTheCatalog) {
+  TenantRegistry registry(4);
+  ASSERT_TRUE(registry.CreateTenant("acme", MakeLog(4, {{0}})).ok());
+
+  auto epoch2 = registry.PublishEpoch("acme", MakeLog(5, {{0}, {1}, {2}}));
+  ASSERT_TRUE(epoch2.ok());
+  EXPECT_EQ(*epoch2, 2);
+  auto epoch3 = registry.PublishEpoch("acme", MakeLog(6, {{3}}));
+  ASSERT_TRUE(epoch3.ok());
+  EXPECT_EQ(*epoch3, 3);
+  EXPECT_EQ(registry.epochs_published(), 2);
+
+  const SnapshotPtr snapshot = registry.Acquire("acme");
+  EXPECT_EQ(snapshot->epoch(), 3);
+  EXPECT_EQ(snapshot->log().num_attributes(), 6);
+}
+
+TEST(TenantRegistryTest, PinnedSnapshotSurvivesAPublish) {
+  TenantRegistry registry(4);
+  ASSERT_TRUE(registry.CreateTenant("acme", MakeLog(4, {{0}, {1}})).ok());
+
+  // A reader pins epoch 1, then a publish swaps the slot underneath it.
+  const SnapshotPtr pinned = registry.Acquire("acme");
+  ASSERT_TRUE(registry.PublishEpoch("acme", MakeLog(7, {{2}})).ok());
+
+  // The pinned snapshot is untouched; only fresh acquires see epoch 2.
+  EXPECT_EQ(pinned->epoch(), 1);
+  EXPECT_EQ(pinned->log().num_attributes(), 4);
+  EXPECT_EQ(pinned->log().size(), 2);
+  EXPECT_EQ(registry.Acquire("acme")->epoch(), 2);
+}
+
+TEST(TenantRegistryTest, ShardOfIsDefinedAndStableForUnknownTenants) {
+  TenantRegistry registry(8);
+  EXPECT_EQ(registry.num_shards(), 8);
+  const int shard = registry.ShardOf("never-created");
+  EXPECT_GE(shard, 0);
+  EXPECT_LT(shard, 8);
+  // Routing does not depend on registration state.
+  ASSERT_TRUE(registry.CreateTenant("never-created", MakeLog(4, {{0}})).ok());
+  EXPECT_EQ(registry.ShardOf("never-created"), shard);
+}
+
+TEST(TenantRegistryTest, TenantIdsListsEveryTenant) {
+  TenantRegistry registry(4);
+  for (const char* id : {"b", "a", "c"}) {
+    ASSERT_TRUE(registry.CreateTenant(id, MakeLog(4, {{0}})).ok());
+  }
+  const std::vector<std::string> ids = registry.TenantIds();
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TenantRegistryTest, ConcurrentPublishesSerializeOnTheSwap) {
+  TenantRegistry registry(4);
+  ASSERT_TRUE(registry.CreateTenant("acme", MakeLog(4, {{0}})).ok());
+
+  constexpr int kPublishers = 8;
+  std::atomic<int> successes{0};
+  std::vector<std::int64_t> epochs(kPublishers, 0);
+  {
+    ThreadPool pool(kPublishers);
+    for (int i = 0; i < kPublishers; ++i) {
+      pool.Submit([i, &registry, &successes, &epochs] {
+        auto epoch = registry.PublishEpoch("acme", MakeLog(4, {{i % 4}}));
+        if (epoch.ok()) {
+          epochs[i] = *epoch;
+          successes.fetch_add(1);
+        } else {
+          // A loser observed a concurrent swap; the only legal failure.
+          EXPECT_EQ(epoch.status().code(), StatusCode::kFailedPrecondition);
+        }
+      });
+    }
+    pool.Shutdown();
+  }
+
+  // Every successful publish got a distinct epoch, and the slot ends on
+  // the largest one.
+  std::set<std::int64_t> distinct;
+  for (const std::int64_t epoch : epochs) {
+    if (epoch != 0) distinct.insert(epoch);
+  }
+  EXPECT_EQ(static_cast<int>(distinct.size()), successes.load());
+  ASSERT_GE(successes.load(), 1);
+  EXPECT_EQ(registry.Acquire("acme")->epoch(), *distinct.rbegin());
+  EXPECT_EQ(registry.epochs_published(), successes.load());
+}
+
+}  // namespace
+}  // namespace soc::tenant

@@ -445,6 +445,81 @@ void CheckRejectMetrics(const SourceFile& file,
   }
 }
 
+void CheckCacheMetrics(const std::vector<SourceFile>& files,
+                       std::vector<Finding>* findings) {
+  const SourceFile* header = nullptr;
+  const SourceFile* source = nullptr;
+  for (const SourceFile& file : files) {
+    if (EndsWith(file.path, "tenant/result_cache.h")) header = &file;
+    if (EndsWith(file.path, "tenant/result_cache.cc")) source = &file;
+  }
+  if (header == nullptr && source == nullptr) return;
+  if (header == nullptr || source == nullptr) {
+    Add(findings, "cache-metrics",
+        (header != nullptr ? header : source)->path, 0,
+        "result_cache.h and result_cache.cc must travel together");
+    return;
+  }
+
+  // Every counter constant the header declares must be bumped somewhere
+  // in the implementation: a declared-but-never-incremented counter is a
+  // dashboard lie.
+  const std::string header_code = StripCommentsAndStrings(header->content);
+  const std::string code = StripCommentsAndStrings(source->content);
+  std::set<std::string> constants;
+  const std::string prefix = "kResultCache";
+  std::size_t pos = 0;
+  while ((pos = header_code.find(prefix, pos)) != std::string::npos) {
+    std::size_t end = pos + prefix.size();
+    while (end < header_code.size() &&
+           (std::isalnum(static_cast<unsigned char>(header_code[end])) ||
+            header_code[end] == '_')) {
+      ++end;
+    }
+    if (end > pos + prefix.size()) {
+      constants.insert(header_code.substr(pos, end - pos));
+    }
+    pos = end;
+  }
+  if (constants.empty()) {
+    Add(findings, "cache-metrics", header->path, 0,
+        "no kResultCache* counter constants found in result_cache.h");
+    return;
+  }
+  for (const std::string& name : constants) {
+    if (FindTokens(code, name).empty()) {
+      Add(findings, "cache-metrics", source->path, 0,
+          "counter constant " + name +
+              " is declared in result_cache.h but never incremented in "
+              "result_cache.cc; every cache hit/miss/evict path must bump "
+              "its named ServeMetrics counter");
+    }
+  }
+
+  // The structural LRU paths must count nearby: a recency splice is a
+  // hit or (re)insert, a pop_back is an eviction. Same windowed shape as
+  // the reject-metrics rule.
+  constexpr std::size_t kWindow = 400;
+  const auto check_window = [&](const char* token, const char* what) {
+    for (std::size_t hit : FindTokens(code, token)) {
+      const std::size_t window_end = std::min(code.size(), hit + kWindow);
+      const std::size_t window_start = hit > kWindow ? hit - kWindow : 0;
+      const std::string around =
+          code.substr(window_start, window_end - window_start);
+      if (FindTokens(around, "Count").empty() &&
+          FindTokens(around, "Increment").empty()) {
+        Add(findings, "cache-metrics", source->path, LineOf(code, hit),
+            std::string(what) +
+                " with no counter bump nearby; every cache "
+                "hit/insert/evict path must increment a named "
+                "ServeMetrics counter");
+      }
+    }
+  };
+  check_window("splice", "LRU recency bump (hit/insert path)");
+  check_window("pop_back", "LRU eviction");
+}
+
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,
                              std::vector<Finding>* findings) {
   const SourceFile* registry = nullptr;
@@ -616,7 +691,7 @@ void CheckSpanNameParity(const std::vector<SourceFile>& files,
   // must use a name from the table. The name is the first string-literal
   // argument; a non-literal name (a variable) cannot be checked here.
   constexpr const char* kInstrumentedLayers[] = {
-      "src/core/", "src/lp/", "src/itemsets/", "src/serve/"};
+      "src/core/", "src/lp/", "src/itemsets/", "src/serve/", "src/tenant/"};
   constexpr const char* kSpanTokens[] = {"PhaseScope", "TraceSpan",
                                          "RecordComplete", "RecordInstant"};
   for (const SourceFile& file : files) {
@@ -669,6 +744,7 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
     CheckStopCadence(file, &findings);
     CheckRejectMetrics(file, &findings);
   }
+  CheckCacheMetrics(files, &findings);
   CheckRegistryTestParity(files, &findings);
   CheckPropertyParity(files, &findings);
   CheckSpanNameParity(files, &findings);

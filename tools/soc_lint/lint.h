@@ -25,11 +25,18 @@
 //                      src/serve/*.cc must increment a named ServeMetrics
 //                      counter nearby, so load-shedding stays visible in
 //                      the overload ledger.
+//   cache-metrics    — every result-cache counter constant declared in
+//                      src/tenant/result_cache.h (kResultCache*) is
+//                      actually bumped in result_cache.cc, and every
+//                      structural hit/insert/evict site (LRU splice /
+//                      pop_back) has a counter bump nearby — so cache
+//                      behavior stays visible in the serving metrics the
+//                      same way load-shedding does.
 //   span-name        — every trace span or phase constructed in src/core,
-//                      src/lp, src/itemsets or src/serve (PhaseScope,
-//                      TraceSpan, RecordComplete, RecordInstant) uses a
-//                      name from the canonical kSpanNames[] table in
-//                      src/obs/span_names.h.
+//                      src/lp, src/itemsets, src/serve or src/tenant
+//                      (PhaseScope, TraceSpan, RecordComplete,
+//                      RecordInstant) uses a name from the canonical
+//                      kSpanNames[] table in src/obs/span_names.h.
 //   include-guard    — every header carries #pragma once or a proper
 //                      #ifndef/#define pair; under src/ the guard name is
 //                      canonical (SOC_<PATH>_H_).
@@ -66,6 +73,12 @@ void CheckLayering(const SourceFile& file, std::vector<Finding>* findings);
 void CheckStopCadence(const SourceFile& file, std::vector<Finding>* findings);
 void CheckRejectMetrics(const SourceFile& file,
                         std::vector<Finding>* findings);
+
+// Cross-file rule: kResultCache* counter constants declared in
+// src/tenant/result_cache.h vs. their bump sites in result_cache.cc,
+// plus windowed bump checks on the structural LRU paths.
+void CheckCacheMetrics(const std::vector<SourceFile>& files,
+                       std::vector<Finding>* findings);
 
 // Cross-file rule: registry names vs. registry test coverage.
 void CheckRegistryTestParity(const std::vector<SourceFile>& files,

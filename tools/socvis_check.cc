@@ -7,7 +7,8 @@
 //   socvis_check --trials=200 --seed=1            # property trials
 //   socvis_check --trials=1 --seed=7 --solvers=ILP,Fallback
 //   socvis_check --fuzz=400 --seed=1              # parser + serve fuzzing
-//   socvis_check --chaos=300 --seed=1             # serve chaos storm
+//   socvis_check --chaos=300 --seed=1             # serve chaos storms
+//   socvis_check --chaos=300 --tenants=8          # multi-tenant storm size
 //   socvis_check --replay=instance.txt            # re-check one instance
 //   socvis_check --corpus=tests/corpus            # replay saved crashers
 //   socvis_check ... --json                       # machine-readable report
@@ -197,7 +198,10 @@ int main(int argc, char** argv) {
   }
 
   // --chaos=N: service-level chaos storm (faults, stalls, bursts) with
-  // full overload-ledger and breaker audits.
+  // full overload-ledger and breaker audits, followed by a multi-tenant
+  // storm (rotating tenants, mid-storm epoch publishes, result-cache
+  // traffic) with zero-staleness and per-tenant ledger audits.
+  // --tenants=K sets the multi-tenant storm's tenant count (0 skips it).
   const int chaos_requests =
       std::atoi(GetFlag(argc, argv, "chaos", "0").c_str());
   if (chaos_requests > 0) {
@@ -215,6 +219,27 @@ int main(int argc, char** argv) {
       std::printf(
           "chaos storm   %d requests: ledger balanced, breaker tripped\n",
           chaos_requests);
+    }
+    const int tenants =
+        std::atoi(GetFlag(argc, argv, "tenants", "6").c_str());
+    if (!failed && tenants > 0) {
+      MultiTenantChaosOptions tenant_options;
+      tenant_options.requests = chaos_requests;
+      tenant_options.seed = seed;
+      tenant_options.num_tenants = tenants;
+      const Status tenant_status = FuzzMultiTenantChaos(tenant_options);
+      if (!tenant_status.ok()) {
+        std::printf("chaos: --chaos=%d --tenants=%d --seed=%llu: %s\n",
+                    chaos_requests, tenants,
+                    static_cast<unsigned long long>(seed),
+                    tenant_status.ToString().c_str());
+        failed = true;
+      } else if (!as_json) {
+        std::printf(
+            "tenant storm  %d requests, %d tenants: zero stale results, "
+            "per-tenant ledgers balanced\n",
+            chaos_requests, tenants);
+      }
     }
     if (failed) return 1;
     if (std::atoi(GetFlag(argc, argv, "trials", "0").c_str()) == 0) {

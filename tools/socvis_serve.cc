@@ -32,13 +32,33 @@
 //                            T ms while the batch runs (0 = off)
 //   --metrics-out=PATH       destination for the periodic pages
 //                            (default: stderr)
+//
+// Multi-tenant mode (selected by any --tenant flag):
+//   socvis_serve --tenant=acme:acme.csv --tenant=beta:beta.csv
+//       --requests=reqs.jsonl [--shards=N]
+// Routes requests by their "tenant_id" field through a consistent-hash
+// sharded service (src/tenant). Request lines must carry "tenant_id";
+// admin lines interleaved on the same stream manage tenants live:
+//   {"admin":"create_tenant","tenant_id":"acme","log":"acme.csv"}
+//   {"admin":"publish_epoch","tenant_id":"acme","log":"acme_v2.csv"}
+// Each admin line is applied in stream order (later requests see the new
+// epoch; in-flight requests finish on the epoch they pinned) and echoes
+// a response line {"admin":...,"tenant_id":...,"status":"OK","epoch":E}.
+// Multi-tenant flags:
+//   --tenant=NAME:PATH       create tenant NAME from query-log CSV PATH
+//                            (repeatable; may also arrive via admin lines)
+//   --shards=N               number of shards (default 4)
+//   --result-cache-capacity=N  per-shard result-cache entries (default 4096)
+// --workers is per shard; --retries is unsupported in this mode.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <memory>
@@ -51,6 +71,7 @@
 #include "serve/metrics_exporter.h"
 #include "serve/protocol.h"
 #include "serve/visibility_service.h"
+#include "tenant/sharded_service.h"
 
 namespace {
 
@@ -62,6 +83,17 @@ std::string GetFlag(int argc, char** argv, const std::string& name,
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return default_value;
+}
+
+std::vector<std::string> GetFlagValues(int argc, char** argv,
+                                       const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  std::vector<std::string> values;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) values.push_back(arg.substr(prefix.size()));
+  }
+  return values;
 }
 
 bool HasFlag(int argc, char** argv, const std::string& name) {
@@ -84,14 +116,220 @@ int Usage() {
       "[--reject-late] [--no-shed] [--retries=N] [--retry-budget=R] "
       "[--cache-capacity=N] [--no-metrics] "
       "[--trace-out=PATH] [--metrics-interval-ms=T] "
-      "[--metrics-out=PATH]\n  solvers: " +
+      "[--metrics-out=PATH]\n"
+      "   or: socvis_serve --tenant=NAME:PATH [--tenant=...] "
+      "--requests=reqs.jsonl|- [--shards=N] "
+      "[--result-cache-capacity=N] (plus the flags above; --workers is "
+      "per shard, --retries is unsupported)\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", "));
+}
+
+soc::StatusOr<soc::QueryLog> LoadCsvLog(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return soc::InvalidArgumentError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return soc::QueryLog::FromCsv(buffer.str());
+}
+
+// One response line per admin line, echoing the action. On success the
+// line carries the resulting epoch (1 for create_tenant).
+std::string AdminResponseLine(const soc::serve::AdminRequest& admin,
+                              const soc::StatusOr<std::int64_t>& epoch) {
+  soc::JsonValue json = soc::JsonValue::Object();
+  json.Set("admin", soc::JsonValue::String(admin.action));
+  if (!admin.tenant_id.empty()) {
+    json.Set("tenant_id", soc::JsonValue::String(admin.tenant_id));
+  }
+  json.Set("status", soc::JsonValue::String(
+                         soc::StatusCodeToString(epoch.status().code())));
+  if (epoch.ok()) {
+    json.Set("epoch", soc::JsonValue::Int(*epoch));
+  } else {
+    json.Set("error", soc::JsonValue::String(epoch.status().message()));
+  }
+  return json.ToString();
+}
+
+// Multi-tenant mode: a ShardedService front door with admin lines
+// (create_tenant / publish_epoch) interleaved on the request stream.
+int RunMultiTenant(int argc, char** argv) {
+  using namespace soc;
+
+  const std::string requests_path = GetFlag(argc, argv, "requests", "");
+  if (requests_path.empty()) return Usage();
+  if (std::atoi(GetFlag(argc, argv, "retries", "0").c_str()) != 0) {
+    return Fail("--retries is not supported in multi-tenant mode");
+  }
+
+  tenant::ShardedServiceOptions options;
+  options.num_shards = std::atoi(GetFlag(argc, argv, "shards", "4").c_str());
+  if (options.num_shards < 1) return Fail("--shards must be >= 1");
+  options.mfi_cache_capacity = static_cast<std::size_t>(
+      std::atoll(GetFlag(argc, argv, "cache-capacity", "32").c_str()));
+  if (options.mfi_cache_capacity < 1) {
+    return Fail("--cache-capacity must be >= 1");
+  }
+  options.shard.num_workers =
+      std::atoi(GetFlag(argc, argv, "workers", "2").c_str());
+  if (options.shard.num_workers < 1) return Fail("--workers must be >= 1");
+  options.shard.max_queue = static_cast<std::size_t>(
+      std::atoll(GetFlag(argc, argv, "queue", "1024").c_str()));
+  options.shard.default_deadline_ms =
+      std::atof(GetFlag(argc, argv, "default-deadline-ms", "0").c_str());
+  options.shard.reject_expired = HasFlag(argc, argv, "reject-late");
+  options.shard.predictive_shedding = !HasFlag(argc, argv, "no-shed");
+  options.shard.result_cache_capacity = static_cast<std::size_t>(
+      std::atoll(GetFlag(argc, argv, "result-cache-capacity", "4096").c_str()));
+
+  std::ifstream requests_file;
+  std::istream* requests = &std::cin;
+  if (requests_path != "-") {
+    requests_file.open(requests_path, std::ios::binary);
+    if (!requests_file) return Fail("cannot open " + requests_path);
+    requests = &requests_file;
+  }
+
+  obs::TraceRecorder recorder;
+  const std::string trace_path = GetFlag(argc, argv, "trace-out", "");
+  if (!trace_path.empty()) {
+    recorder.set_enabled(true);
+    options.shard.trace_recorder = &recorder;
+  }
+
+  tenant::ShardedService service(options);
+  for (const std::string& spec : GetFlagValues(argc, argv, "tenant")) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+      return Fail("--tenant wants NAME:PATH, got '" + spec + "'");
+    }
+    const std::string name = spec.substr(0, colon);
+    auto log = LoadCsvLog(spec.substr(colon + 1));
+    if (!log.ok()) return Fail(log.status().ToString());
+    const Status created = service.CreateTenant(name, std::move(log).value());
+    if (!created.ok()) return Fail(created.ToString());
+  }
+
+  std::ofstream metrics_file;
+  std::unique_ptr<serve::MetricsExporter> exporter;
+  const double metrics_interval_ms =
+      std::atof(GetFlag(argc, argv, "metrics-interval-ms", "0").c_str());
+  if (metrics_interval_ms > 0) {
+    serve::MetricsExporter::Options exporter_options;
+    exporter_options.interval_s = metrics_interval_ms / 1000.0;
+    exporter_options.snapshot_provider = [&service] {
+      return service.Metrics();
+    };
+    const std::string metrics_out = GetFlag(argc, argv, "metrics-out", "");
+    if (!metrics_out.empty()) {
+      metrics_file.open(metrics_out, std::ios::binary | std::ios::trunc);
+      if (!metrics_file) return Fail("cannot open " + metrics_out);
+      exporter_options.sink = [&metrics_file](const std::string& page) {
+        metrics_file << page << "\n";
+        metrics_file.flush();
+      };
+    } else {
+      exporter_options.sink = [](const std::string& page) {
+        std::fputs(page.c_str(), stderr);
+      };
+    }
+    exporter =
+        std::make_unique<serve::MetricsExporter>(std::move(exporter_options));
+  }
+
+  // Admin lines and parse failures resolve inline; solves resolve via
+  // futures. Slots keep output in input order either way.
+  std::vector<std::string> inline_lines;
+  std::vector<std::future<serve::SolveResponse>> futures;
+  std::vector<long long> response_slots;  // >=0: future; <0: inline.
+  int line_number = 0;
+  std::string line;
+  while (std::getline(*requests, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (serve::LooksLikeAdminLine(line)) {
+      // Applied synchronously, so every later request line sees its
+      // effect (in-flight requests finish on the epoch they pinned).
+      auto admin = serve::ParseAdminRequestLine(line);
+      std::string out;
+      if (!admin.ok()) {
+        out = AdminResponseLine(serve::AdminRequest{}, admin.status());
+      } else {
+        StatusOr<std::int64_t> epoch(0);
+        auto log = LoadCsvLog(admin->log_path);
+        if (!log.ok()) {
+          epoch = log.status();
+        } else if (admin->action == "create_tenant") {
+          const Status created =
+              service.CreateTenant(admin->tenant_id, std::move(log).value());
+          epoch = created.ok() ? StatusOr<std::int64_t>(1)
+                               : StatusOr<std::int64_t>(created);
+        } else {
+          epoch =
+              service.PublishEpoch(admin->tenant_id, std::move(log).value());
+        }
+        out = AdminResponseLine(*admin, epoch);
+      }
+      response_slots.push_back(
+          -static_cast<long long>(inline_lines.size()) - 1);
+      inline_lines.push_back(std::move(out));
+      continue;
+    }
+    auto request =
+        serve::ParseSolveRequestLine(line, /*num_attributes=*/-1, line_number);
+    if (!request.ok()) {
+      serve::SolveResponse response;
+      response.id = std::to_string(line_number);
+      response.status = request.status();
+      response_slots.push_back(
+          -static_cast<long long>(inline_lines.size()) - 1);
+      inline_lines.push_back(serve::ResponseToJson(response).ToString());
+      continue;
+    }
+    response_slots.push_back(static_cast<long long>(futures.size()));
+    futures.push_back(service.Submit(std::move(request).value()));
+  }
+
+  service.Drain();
+  std::vector<serve::SolveResponse> solved;
+  solved.reserve(futures.size());
+  for (auto& future : futures) solved.push_back(future.get());
+  for (long long slot : response_slots) {
+    if (slot >= 0) {
+      std::cout << serve::ResponseToJson(solved[static_cast<std::size_t>(slot)])
+                       .ToString()
+                << "\n";
+    } else {
+      std::cout << inline_lines[static_cast<std::size_t>(-slot - 1)] << "\n";
+    }
+  }
+
+  if (exporter != nullptr) exporter->Stop();
+
+  if (!HasFlag(argc, argv, "no-metrics")) {
+    JsonValue metrics = JsonValue::Object();
+    metrics.Set("metrics", service.Metrics().ToJson());
+    std::cout << metrics.ToString() << "\n";
+  }
+
+  if (!trace_path.empty()) {
+    const Status status = recorder.WriteChromeTrace(trace_path);
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace soc;
+
+  if (!GetFlagValues(argc, argv, "tenant").empty() ||
+      !GetFlag(argc, argv, "shards", "").empty()) {
+    return RunMultiTenant(argc, argv);
+  }
 
   const std::string log_path = GetFlag(argc, argv, "log", "");
   const std::string requests_path = GetFlag(argc, argv, "requests", "");
