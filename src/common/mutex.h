@@ -19,6 +19,16 @@
 // predicate explicitly: `while (!ready) cv.Wait(mu);`. Predicate lambdas
 // are analyzed as separate unannotated functions and would defeat the
 // analysis.
+//
+// Deadlock freedom is enforced on a second axis: long-lived mutexes are
+// constructed with a LockRank from the project hierarchy
+// (common/lock_rank.h). In debug/sanitizer builds every acquisition is
+// checked against a thread-local stack of held ranks and an
+// out-of-order acquisition aborts with both lock names; release builds
+// compile the check away entirely (the stored rank is never read). The
+// same declared ranks are what soc_lint's lock-hierarchy pass verifies
+// statically, so the dynamic checker and the static analyzer agree on
+// one table.
 
 #ifndef SOC_COMMON_MUTEX_H_
 #define SOC_COMMON_MUTEX_H_
@@ -28,6 +38,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace soc {
@@ -35,16 +46,33 @@ namespace soc {
 class SOC_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() SOC_ACQUIRE() { mu_.lock(); }
-  void Unlock() SOC_RELEASE() { mu_.unlock(); }
-  bool TryLock() SOC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() SOC_ACQUIRE() {
+    // Checked before the native lock: an inversion reports and aborts
+    // instead of deadlocking.
+    lock_rank_internal::CheckAcquire(rank_);
+    mu_.lock();
+    lock_rank_internal::Push(rank_);
+  }
+  void Unlock() SOC_RELEASE() {
+    lock_rank_internal::Pop(rank_);
+    mu_.unlock();
+  }
+  bool TryLock() SOC_TRY_ACQUIRE(true) {
+    // TryLock never blocks, so out-of-order attempts are legal; only a
+    // successful acquisition joins the held stack.
+    if (!mu_.try_lock()) return false;
+    lock_rank_internal::Push(rank_);
+    return true;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRank rank_{};
 };
 
 class SOC_SCOPED_CAPABILITY MutexLock {
@@ -97,16 +125,35 @@ class CondVar {
 class SOC_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() SOC_ACQUIRE() { mu_.lock(); }
-  void Unlock() SOC_RELEASE() { mu_.unlock(); }
-  void ReaderLock() SOC_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void ReaderUnlock() SOC_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() SOC_ACQUIRE() {
+    lock_rank_internal::CheckAcquire(rank_);
+    mu_.lock();
+    lock_rank_internal::Push(rank_);
+  }
+  void Unlock() SOC_RELEASE() {
+    lock_rank_internal::Pop(rank_);
+    mu_.unlock();
+  }
+  // Shared acquisitions participate in the hierarchy exactly like
+  // exclusive ones: a reader blocked behind a writer deadlocks the same
+  // way.
+  void ReaderLock() SOC_ACQUIRE_SHARED() {
+    lock_rank_internal::CheckAcquire(rank_);
+    mu_.lock_shared();
+    lock_rank_internal::Push(rank_);
+  }
+  void ReaderUnlock() SOC_RELEASE_SHARED() {
+    lock_rank_internal::Pop(rank_);
+    mu_.unlock_shared();
+  }
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_{};
 };
 
 class SOC_SCOPED_CAPABILITY ReaderMutexLock {

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -83,7 +84,7 @@ class ThreadPool {
   void WorkerLoop() SOC_EXCLUDES(mutex_);
 
   int num_threads_ = 0;  // Immutable after construction.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kThreadPool};
   CondVar wake_workers_;
   // Signals the completion of the one Shutdown call that won the
   // worker-joining race, so every other Shutdown call can honor the

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -121,7 +122,7 @@ class TraceRecorder {
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kTraceRecorder};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SOC_GUARDED_BY(mutex_);
 };
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -84,7 +85,7 @@ class CircuitBreaker {
   void TripLocked() SOC_REQUIRES(mutex_);
 
   const CircuitBreakerOptions options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kCircuitBreaker};
   BreakerState state_ SOC_GUARDED_BY(mutex_) = BreakerState::kClosed;
   int consecutive_failures_ SOC_GUARDED_BY(mutex_) = 0;
   bool probe_inflight_ SOC_GUARDED_BY(mutex_) = false;

@@ -29,6 +29,7 @@
 #include <map>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -92,7 +93,7 @@ class CostModel {
   const int num_workers_;
   const CostModelOptions options_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kCostModel};
   std::map<std::string, Ewma> observed_ SOC_GUARDED_BY(mutex_);
 
   // Predicted backlog in microseconds; atomic so the Submit hot path

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -55,7 +56,7 @@ class DegradationLadder {
 
  private:
   const DegradationLadderOptions options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kDegradationLadder};
   double ewma_ SOC_GUARDED_BY(mutex_) = 0;
   bool seeded_ SOC_GUARDED_BY(mutex_) = false;
   int level_ SOC_GUARDED_BY(mutex_) = 0;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/json_writer.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -87,7 +88,7 @@ class ServeMetrics {
   MetricsSnapshot Snapshot() const SOC_EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kServeMetrics};
   std::map<std::string, std::int64_t> counters_ SOC_GUARDED_BY(mutex_);
   std::map<std::string, double> gauges_ SOC_GUARDED_BY(mutex_);
   std::map<std::string, HistogramData> histograms_ SOC_GUARDED_BY(mutex_);

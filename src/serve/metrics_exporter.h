@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -64,7 +65,7 @@ class MetricsExporter {
   void ExportOnce() SOC_EXCLUDES(mutex_);
 
   const Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kMetricsExporter};
   CondVar wake_;
   bool stop_ SOC_GUARDED_BY(mutex_) = false;
   std::int64_t exports_ SOC_GUARDED_BY(mutex_) = 0;

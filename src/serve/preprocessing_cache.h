@@ -39,6 +39,7 @@
 
 #include "boolean/query_log.h"
 #include "common/bitset.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/mfi_solver.h"
@@ -88,7 +89,7 @@ class SharedMfiIndex : public MfiItemsetSource {
   // the leader flips `done`. `published` tells followers whether the
   // result landed in the cache (a partial or failed mining does not).
   struct Flight {
-    Mutex mutex;
+    Mutex mutex{lock_rank::kMfiFlight};
     CondVar cv;
     bool done SOC_GUARDED_BY(mutex) = false;
     bool published SOC_GUARDED_BY(mutex) = false;
@@ -115,14 +116,14 @@ class SharedMfiIndex : public MfiItemsetSource {
   const MfiSocOptions options_;
   const std::size_t capacity_;
 
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{lock_rank::kMfiCache};
   std::map<int, Entry> cache_ SOC_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> use_clock_{0};
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> evictions_{0};
 
-  Mutex flights_mutex_;
+  Mutex flights_mutex_{lock_rank::kMfiFlightTable};
   std::map<int, std::shared_ptr<Flight>> flights_
       SOC_GUARDED_BY(flights_mutex_);
 };
@@ -160,7 +161,7 @@ class PreprocessingCache {
   SharedMfiIndex walk_index_;
   SharedMfiIndex dfs_index_;
 
-  mutable SharedMutex bitmap_mutex_;
+  mutable SharedMutex bitmap_mutex_{lock_rank::kPreprocessingBitmaps};
   bool bitmaps_built_ SOC_GUARDED_BY(bitmap_mutex_) = false;
   // queries_with_attr_[a]: bitset over query ids mentioning attribute a.
   std::vector<DynamicBitset> queries_with_attr_ SOC_GUARDED_BY(bitmap_mutex_);

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -72,7 +73,7 @@ class RetryBudget {
  private:
   const double ratio_;
   const double cap_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kRetryBudget};
   double tokens_ SOC_GUARDED_BY(mutex_);
 };
 

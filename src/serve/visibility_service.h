@@ -59,6 +59,7 @@
 
 #include "boolean/query_log.h"
 #include "common/bitset.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/solve_context.h"
 #include "common/thread_annotations.h"
@@ -216,11 +217,11 @@ class VisibilityService {
   BreakerPanel breakers_;
   DegradationLadder ladder_;
 
-  mutable Mutex queue_mutex_;
+  mutable Mutex queue_mutex_{lock_rank::kServeQueue};
   EdfQueue<std::shared_ptr<QueuedRequest>> edf_queue_
       SOC_GUARDED_BY(queue_mutex_);
 
-  mutable Mutex inflight_mutex_;
+  mutable Mutex inflight_mutex_{lock_rank::kServeInflight};
   CondVar inflight_cv_;
   std::int64_t inflight_ SOC_GUARDED_BY(inflight_mutex_) = 0;
 

@@ -31,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -99,7 +100,7 @@ class Watchdog {
   ServeMetrics* const metrics_;
   obs::TraceRecorder* const recorder_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kWatchdog};
   CondVar wake_;
   bool stop_ SOC_GUARDED_BY(mutex_) = false;
   std::int64_t next_ticket_id_ SOC_GUARDED_BY(mutex_) = 0;

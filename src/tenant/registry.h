@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "boolean/query_log.h"
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -77,7 +78,7 @@ class TenantRegistry {
   const TenantRegistryOptions options_;
   const ConsistentHashRing ring_;
 
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{lock_rank::kTenantRegistry};
   std::map<std::string, SnapshotPtr> tenants_ SOC_GUARDED_BY(mutex_);
   std::int64_t epochs_published_ SOC_GUARDED_BY(mutex_) = 0;
 };

@@ -33,6 +33,7 @@
 #include <tuple>
 #include <utility>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -78,7 +79,7 @@ class ResultCache {
   // Lookup to leaders; the leader must call Publish or Abandon exactly
   // once.
   struct Flight {
-    Mutex mutex;
+    Mutex mutex{lock_rank::kResultCacheFlight};
     CondVar cv;
     bool done SOC_GUARDED_BY(mutex) = false;
   };
@@ -135,12 +136,12 @@ class ResultCache {
   const std::size_t capacity_;
   serve::ServeMetrics* const metrics_;  // Non-owning; may be nullptr.
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kResultCacheLru};
   std::map<ResultCacheKey, Entry> entries_ SOC_GUARDED_BY(mutex_);
   // Keys point into entries_ (std::map nodes are stable).
   std::list<const ResultCacheKey*> lru_ SOC_GUARDED_BY(mutex_);
 
-  Mutex flights_mutex_;
+  Mutex flights_mutex_{lock_rank::kResultCacheFlightTable};
   std::map<ResultCacheKey, FlightPtr> flights_ SOC_GUARDED_BY(flights_mutex_);
 };
 

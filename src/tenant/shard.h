@@ -34,6 +34,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -130,11 +131,11 @@ class TenantShard {
   serve::BreakerPanel breakers_;
   serve::DegradationLadder ladder_;
 
-  mutable Mutex queue_mutex_;
+  mutable Mutex queue_mutex_{lock_rank::kShardQueue};
   serve::EdfQueue<std::shared_ptr<QueuedRequest>> edf_queue_
       SOC_GUARDED_BY(queue_mutex_);
 
-  mutable Mutex inflight_mutex_;
+  mutable Mutex inflight_mutex_{lock_rank::kShardInflight};
   CondVar inflight_cv_;
   std::int64_t inflight_ SOC_GUARDED_BY(inflight_mutex_) = 0;
 

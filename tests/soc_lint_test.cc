@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "soc_lint/lock_graph.h"
+
 namespace soc::lint {
 namespace {
 
@@ -533,7 +535,37 @@ TEST(SocLintTest, LintTreeAggregatesSortedFindingsAndJson) {
   EXPECT_NE(json.find("\"rule\":\"layering\""), std::string::npos);
   EXPECT_NE(json.find("\"path\":\"src/core/alpha.h\""), std::string::npos);
 
-  EXPECT_EQ(FindingsToJson({}), "[]");
+  EXPECT_EQ(FindingsToJson({}), "{\"schema_version\":2,\"findings\":[]}");
+}
+
+TEST(SocLintTest, JsonOrdersFindingsByRuleForStableArtifacts) {
+  // Input deliberately out of rule order; the artifact must not care.
+  std::vector<Finding> findings;
+  findings.push_back({"span-name", "src/b.cc", 3, "zzz"});
+  findings.push_back({"layering", "src/a.cc", 9, "aaa"});
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_LT(json.find("\"rule\":\"layering\""),
+            json.find("\"rule\":\"span-name\""));
+}
+
+TEST(SocLintTest, SarifCarriesRulesResultsAndLocations) {
+  std::vector<Finding> findings;
+  findings.push_back({"lock-order", "src/tenant/shard.cc", 42, "inversion"});
+  const std::string sarif = FindingsToSarif(findings);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"soc_lint\""), std::string::npos);
+  // The rule table lists every registered rule, found or not.
+  EXPECT_NE(sarif.find("\"id\":\"condvar-wait-loop\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"lock-order\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/tenant/shard.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":42"), std::string::npos);
+  // File-level findings (line 0) still emit a valid 1-based region.
+  findings.clear();
+  findings.push_back({"registry-parity", "src/core/solver_registry.cc", 0,
+                      "missing"});
+  EXPECT_NE(FindingsToSarif(findings).find("\"startLine\":1"),
+            std::string::npos);
 }
 
 TEST(SocLintTest, CleanTreeSnippetsProduceNoFindings) {
@@ -547,6 +579,481 @@ TEST(SocLintTest, CleanTreeSnippetsProduceNoFindings) {
        "}\n"},
   };
   EXPECT_TRUE(RunAll(files).empty());
+}
+
+// ------------------------------------------------- naked-thread variants
+
+TEST(SocLintTest, NakedThreadBansAsync) {
+  std::vector<Finding> findings;
+  CheckNakedThread({"src/serve/bad.cc",
+                    "auto f = std::async(std::launch::async, Work);\n"},
+                   &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "naked-thread");
+  EXPECT_NE(findings[0].message.find("std::async"), std::string::npos);
+}
+
+TEST(SocLintTest, NakedThreadBansJthread) {
+  std::vector<Finding> findings;
+  CheckNakedThread({"src/serve/bad.cc", "std::jthread t(Work);\n"},
+                   &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("std::jthread"), std::string::npos);
+}
+
+TEST(SocLintTest, NakedThreadBansDetachedTemporaries) {
+  std::vector<Finding> findings;
+  CheckNakedThread({"src/serve/bad.cc", "std::thread(Work).detach();\n"},
+                   &findings);
+  // Both the construction and the detach are findings.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[1].message.find("detach"), std::string::npos);
+
+  findings.clear();
+  CheckNakedThread({"src/serve/bad2.cc", "worker->detach();\n"}, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("join point"), std::string::npos);
+}
+
+TEST(SocLintTest, NakedThreadStillAllowsHardwareConcurrencyAndComments) {
+  std::vector<Finding> findings;
+  CheckNakedThread(
+      {"src/serve/ok.cc",
+       "int n = std::thread::hardware_concurrency();\n"
+       "// std::async in a comment is fine; detach() too.\n"},
+      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+// ------------------------------------------------------------ fix mode
+
+TEST(SocLintTest, FixIncludeGuardRewritesNonCanonicalGuard) {
+  const SourceFile file{
+      "src/serve/widget.h",
+      "// Header comment.\n"
+      "#ifndef WIDGET_H\n#define WIDGET_H\n"
+      "int x;\n"
+      "#endif  // WIDGET_H\n"};
+  std::string fixed;
+  ASSERT_TRUE(FixIncludeGuard(file, &fixed));
+  EXPECT_EQ(fixed,
+            "// Header comment.\n"
+            "#ifndef SOC_SERVE_WIDGET_H_\n#define SOC_SERVE_WIDGET_H_\n"
+            "int x;\n"
+            "#endif  // SOC_SERVE_WIDGET_H_\n");
+
+  // The fixed header lints clean...
+  std::vector<Finding> findings;
+  CheckIncludeGuard({file.path, fixed}, &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+
+  // ...and the rewrite is idempotent.
+  std::string again;
+  EXPECT_FALSE(FixIncludeGuard({file.path, fixed}, &again));
+}
+
+TEST(SocLintTest, FixIncludeGuardLeavesUnfixableHeadersAlone) {
+  std::string fixed;
+  // No guard at all: nothing mechanical to do.
+  EXPECT_FALSE(FixIncludeGuard({"src/serve/a.h", "int x;\n"}, &fixed));
+  // Guard whose #define does not match: broken, not just misnamed.
+  EXPECT_FALSE(FixIncludeGuard(
+      {"src/serve/b.h", "#ifndef B_H\n#define OTHER_H\n#endif\n"}, &fixed));
+  // #pragma once headers have no guard name to canonicalize.
+  EXPECT_FALSE(
+      FixIncludeGuard({"src/serve/c.h", "#pragma once\nint x;\n"}, &fixed));
+}
+
+// --------------------------------------------------- baseline engine
+
+TEST(SocLintTest, BaselineRoundTripsAndSuppresses) {
+  std::vector<Finding> findings;
+  findings.push_back({"layering", "src/core/a.cc", 7, "no serve includes"});
+  findings.push_back({"span-name", "src/core/b.cc", 9, "bad span"});
+
+  const std::string text = WriteBaseline(findings);
+  const std::set<std::string> baseline = ParseBaseline(text);
+  EXPECT_EQ(baseline.size(), 2u);
+  // Everything pinned: nothing survives.
+  EXPECT_TRUE(ApplyBaseline(findings, baseline).empty());
+
+  // A new finding in a pinned file still reports: the message is part
+  // of the key.
+  findings.push_back({"layering", "src/core/a.cc", 8, "another include"});
+  const std::vector<Finding> kept = ApplyBaseline(findings, baseline);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].message, "another include");
+
+  // Line numbers are not part of the key: drifting code keeps the pin.
+  std::vector<Finding> drifted;
+  drifted.push_back({"layering", "src/core/a.cc", 99, "no serve includes"});
+  EXPECT_TRUE(ApplyBaseline(drifted, baseline).empty());
+}
+
+TEST(SocLintTest, BaselineParserSkipsCommentsAndBlanks) {
+  const std::set<std::string> baseline =
+      ParseBaseline("# comment\n\nlayering\tsrc/a.cc\tmsg\n");
+  EXPECT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(baseline.count("layering\tsrc/a.cc\tmsg"), 1u);
+}
+
+TEST(SocLintTest, InlineSuppressionDropsFindingOnSameOrPreviousLine) {
+  // Same line.
+  std::vector<Finding> findings = RunAll(
+      {{"src/core/sup.cc",
+        "void F() { std::thread t(Work); }  "
+        "// soc-lint-suppress(naked-thread)\n"}});
+  EXPECT_FALSE(HasRule(findings, "naked-thread"))
+      << FindingsToJson(findings);
+
+  // Previous line (statement wraps).
+  findings = RunAll({{"src/core/sup2.cc",
+                      "// soc-lint-suppress(naked-thread)\n"
+                      "std::thread t(Work);\n"}});
+  EXPECT_FALSE(HasRule(findings, "naked-thread"))
+      << FindingsToJson(findings);
+
+  // The wrong rule id suppresses nothing.
+  findings = RunAll({{"src/core/sup3.cc",
+                      "std::thread t(Work);  "
+                      "// soc-lint-suppress(layering)\n"}});
+  EXPECT_TRUE(HasRule(findings, "naked-thread"));
+}
+
+TEST(SocLintTest, PassTableListsLockHierarchyRules) {
+  bool found = false;
+  for (const PassInfo& pass : Passes()) {
+    if (std::string(pass.name) == "lock-hierarchy") {
+      found = true;
+      EXPECT_EQ(pass.rules.size(), 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------ lock-hierarchy pass
+
+// A fake rank table snippet the pass parses in place of the real
+// src/common/lock_rank.h.
+const char kRankTable[] =
+    "#ifndef SOC_COMMON_LOCK_RANK_H_\n#define SOC_COMMON_LOCK_RANK_H_\n"
+    "struct LockRank { int rank; const char* name; };\n"
+    "inline constexpr LockRank kLow{10, \"low\"};\n"
+    "inline constexpr LockRank kHigh{20, \"high\"};\n"
+    "#endif\n";
+
+std::vector<Finding> RunLockPass(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  CheckLockHierarchy(files, &findings);
+  return findings;
+}
+
+TEST(SocLintTest, HarvestBuildsRegistryWithRanksGuardsAndRequires) {
+  const LockRegistry registry = HarvestLocks(
+      {{"src/common/lock_rank.h", kRankTable},
+       {"src/core/store.h",
+        "class Store {\n"
+        " public:\n"
+        "  void Touch() SOC_REQUIRES(mu_);\n"
+        " private:\n"
+        "  Mutex mu_{kLow};\n"
+        "  mutable SharedMutex map_mu_{kHigh};\n"
+        "  int value_ SOC_GUARDED_BY(mu_);\n"
+        "};\n"}});
+  ASSERT_EQ(registry.locks.size(), 2u);
+
+  const LockDecl* mu = registry.Find("Store::mu_");
+  ASSERT_NE(mu, nullptr);
+  EXPECT_EQ(mu->rank, 10);
+  EXPECT_EQ(mu->rank_label, "low");
+  EXPECT_FALSE(mu->shared);
+
+  const LockDecl* map_mu = registry.Find("Store::map_mu_");
+  ASSERT_NE(map_mu, nullptr);
+  EXPECT_EQ(map_mu->rank, 20);
+  EXPECT_TRUE(map_mu->shared);
+
+  const auto guard = registry.guarded_by.find("Store::value_");
+  ASSERT_NE(guard, registry.guarded_by.end());
+  EXPECT_EQ(guard->second, "Store::mu_");
+
+  const auto req = registry.requires_locks.find("Store::Touch");
+  ASSERT_NE(req, registry.requires_locks.end());
+  ASSERT_EQ(req->second.size(), 1u);
+  EXPECT_EQ(req->second[0], "Store::mu_");
+}
+
+TEST(SocLintTest, SeededTwoMutexInversionIsALockOrderFinding) {
+  // The canonical seeded defect: AB() nests a_ -> b_, BA() nests
+  // b_ -> a_. Two threads running one each deadlock.
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/pair.h",
+        "class Pair {\n"
+        " public:\n"
+        "  void AB() {\n"
+        "    MutexLock a(a_);\n"
+        "    MutexLock b(b_);\n"
+        "  }\n"
+        "  void BA() {\n"
+        "    MutexLock b(b_);\n"
+        "    MutexLock a(a_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex a_;\n"
+        "  Mutex b_;\n"
+        "};\n"}});
+  ASSERT_TRUE(HasRule(findings, "lock-order")) << FindingsToJson(findings);
+  std::string message;
+  for (const Finding& f : findings) {
+    if (f.rule == "lock-order") message = f.message;
+  }
+  EXPECT_NE(message.find("Pair::a_"), std::string::npos) << message;
+  EXPECT_NE(message.find("Pair::b_"), std::string::npos) << message;
+}
+
+TEST(SocLintTest, ConsistentNestingOrderIsClean) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/pair.h",
+        "class Pair {\n"
+        " public:\n"
+        "  void AB() { MutexLock a(a_); MutexLock b(b_); }\n"
+        "  void AlsoAB() { MutexLock a(a_); MutexLock b(b_); }\n"
+        " private:\n"
+        "  Mutex a_;\n"
+        "  Mutex b_;\n"
+        "};\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, CrossTuCallChainInversionIsFound) {
+  // Alpha::Step holds Alpha::mu_ and calls Beta::Compute (resolved
+  // project-wide), which takes Beta::mu_. Beta::Reverse holds
+  // Beta::mu_ and calls Alpha::Grab, which takes Alpha::mu_. The cycle
+  // only exists through the cross-TU call graph.
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/alpha.h",
+        "class Alpha {\n"
+        " public:\n"
+        "  void Step() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    Compute();\n"
+        "  }\n"
+        "  void Grab() { MutexLock lock(mu_); }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "};\n"},
+       {"src/serve_less/beta.h",  // Different TU, non-ranked dir.
+        "class Beta {\n"
+        " public:\n"
+        "  void Compute() { MutexLock lock(mu_); }\n"
+        "  void Reverse() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    Grab();\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "};\n"}});
+  ASSERT_TRUE(HasRule(findings, "lock-order")) << FindingsToJson(findings);
+  std::string message;
+  for (const Finding& f : findings) {
+    if (f.rule == "lock-order") message = f.message;
+  }
+  // The witness names the call chain, not just the endpoints.
+  EXPECT_NE(message.find("via"), std::string::npos) << message;
+}
+
+TEST(SocLintTest, RequiresAnnotationSeedsHeldSetAtEntry) {
+  // Helper() never takes a_ itself — SOC_REQUIRES says the caller
+  // already holds it — so the a_ -> b_ edge exists only through the
+  // annotation; Mixed() supplies the b_ -> a_ edge to close the cycle.
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/store.h",
+        "class Store {\n"
+        " public:\n"
+        "  void Helper() SOC_REQUIRES(a_) { MutexLock lock(b_); }\n"
+        "  void Mixed() {\n"
+        "    MutexLock b(b_);\n"
+        "    MutexLock a(a_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex a_;\n"
+        "  Mutex b_;\n"
+        "};\n"}});
+  EXPECT_TRUE(HasRule(findings, "lock-order")) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, DescendingRankAcquisitionIsARankOrderFinding) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/common/lock_rank.h", kRankTable},
+       {"src/core/ranked.h",
+        "class Ranked {\n"
+        " public:\n"
+        "  void Down() {\n"
+        "    MutexLock h(high_);\n"
+        "    MutexLock l(low_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex low_{kLow};\n"
+        "  Mutex high_{kHigh};\n"
+        "};\n"}});
+  ASSERT_TRUE(HasRule(findings, "lock-rank-order"))
+      << FindingsToJson(findings);
+  std::string message;
+  for (const Finding& f : findings) {
+    if (f.rule == "lock-rank-order") message = f.message;
+  }
+  EXPECT_NE(message.find("strictly increase"), std::string::npos) << message;
+}
+
+TEST(SocLintTest, AscendingRankAcquisitionIsClean) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/common/lock_rank.h", kRankTable},
+       {"src/core/ranked.h",
+        "class Ranked {\n"
+        " public:\n"
+        "  void Up() {\n"
+        "    MutexLock l(low_);\n"
+        "    MutexLock h(high_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex low_{kLow};\n"
+        "  Mutex high_{kHigh};\n"
+        "};\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, UnrankedServingMutexIsAMissingRankFinding) {
+  // serve/ requires ranks...
+  std::vector<Finding> findings = RunLockPass(
+      {{"src/serve/thing.h", "class Thing { Mutex mu_; };\n"}});
+  ASSERT_EQ(findings.size(), 1u) << FindingsToJson(findings);
+  EXPECT_EQ(findings[0].rule, "lock-rank-missing");
+
+  // ...core/ does not...
+  findings = RunLockPass(
+      {{"src/core/thing.h", "class Thing { Mutex mu_; };\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+
+  // ...and a ranked serving mutex is clean.
+  findings = RunLockPass(
+      {{"src/common/lock_rank.h", kRankTable},
+       {"src/serve/thing.h", "class Thing { Mutex mu_{kLow}; };\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, UnknownRankNameIsAMissingRankFinding) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/common/lock_rank.h", kRankTable},
+       {"src/serve/thing.h", "class Thing { Mutex mu_{kBogus}; };\n"}});
+  ASSERT_EQ(findings.size(), 1u) << FindingsToJson(findings);
+  EXPECT_EQ(findings[0].rule, "lock-rank-missing");
+  EXPECT_NE(findings[0].message.find("kBogus"), std::string::npos);
+}
+
+TEST(SocLintTest, BlockingCallUnderHeldLockIsFlagged) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/runner.cc",
+        "class Runner {\n"
+        " public:\n"
+        "  void Bad() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    solver.Solve(context);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "};\n"}});
+  ASSERT_TRUE(HasRule(findings, "blocking-under-lock"))
+      << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, BlockingCallAfterScopeCloseIsClean) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/runner.cc",
+        "class Runner {\n"
+        " public:\n"
+        "  void Good() {\n"
+        "    {\n"
+        "      MutexLock lock(mu_);\n"
+        "      state = Snapshot();\n"
+        "    }\n"
+        "    solver.Solve(context);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "};\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, BareCondVarWaitOutsideWhileIsFlagged) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/waiter.cc",
+        "class Waiter {\n"
+        " public:\n"
+        "  void Bad() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    cv_.Wait(&mu_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  CondVar cv_;\n"
+        "};\n"}});
+  ASSERT_EQ(findings.size(), 1u) << FindingsToJson(findings);
+  EXPECT_EQ(findings[0].rule, "condvar-wait-loop");
+}
+
+TEST(SocLintTest, WhileWrappedWaitAndTimedWaitForAreClean) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/waiter.cc",
+        "class Waiter {\n"
+        " public:\n"
+        "  void Braced() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    while (!ready_) {\n"
+        "      cv_.Wait(&mu_);\n"
+        "    }\n"
+        "  }\n"
+        "  void Unbraced() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    while (!ready_) cv_.Wait(&mu_);\n"
+        "  }\n"
+        "  void Timed() {\n"
+        "    MutexLock lock(mu_);\n"
+        "    cv_.WaitFor(&mu_, timeout);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  CondVar cv_;\n"
+        "};\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, DirectSameLockReentryIsFlagged) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"src/core/reenter.cc",
+        "class Reenter {\n"
+        " public:\n"
+        "  void Twice() {\n"
+        "    MutexLock a(mu_);\n"
+        "    MutexLock b(mu_);\n"
+        "  }\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "};\n"}});
+  ASSERT_TRUE(HasRule(findings, "lock-order")) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, LockPassIgnoresNonSrcFiles) {
+  const std::vector<Finding> findings = RunLockPass(
+      {{"tests/fixture.cc",
+        "class Pair {\n"
+        " public:\n"
+        "  void AB() { MutexLock a(a_); MutexLock b(b_); }\n"
+        "  void BA() { MutexLock b(b_); MutexLock a(a_); }\n"
+        " private:\n"
+        "  Mutex a_;\n"
+        "  Mutex b_;\n"
+        "};\n"}});
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#include "soc_lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace soc::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& content) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      while (i < n && content[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentChar(content[i])) ++i;
+      tokens.push_back(
+          {Token::Kind::kIdent, content.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = i;
+      // Accept the union of integer/float/hex spellings; precision about
+      // which is irrelevant here.
+      while (i < n && (IsIdentChar(content[i]) || content[i] == '.' ||
+                       ((content[i] == '+' || content[i] == '-') && i > start &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.push_back(
+          {Token::Kind::kNumber, content.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t start = i;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // Closing quote (absent only in malformed input).
+      tokens.push_back({quote == '"' ? Token::Kind::kString
+                                     : Token::Kind::kChar,
+                        content.substr(start, i - start), start_line});
+      continue;
+    }
+    if (c == ':' && next == ':') {
+      tokens.push_back({Token::Kind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+bool IsIdent(const Token& token, const char* text) {
+  return token.kind == Token::Kind::kIdent && token.text == text;
+}
+
+bool IsPunct(const Token& token, const char* text) {
+  return token.kind == Token::Kind::kPunct && token.text == text;
+}
+
+}  // namespace soc::lint

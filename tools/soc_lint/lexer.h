@@ -1,0 +1,42 @@
+// A lightweight C++ lexer for soc_lint's parse-based passes.
+//
+// Produces a flat token stream (identifiers, numbers, string/char
+// literals, punctuation) with 1-based line numbers; comments and
+// whitespace are consumed, preprocessor directives are kept as ordinary
+// tokens (a '#' punct followed by idents) so passes can skip or inspect
+// them. This is deliberately not a compiler front end: no preprocessing,
+// no template disambiguation — just enough structure for the
+// brace-scope tracking the lock-hierarchy pass builds on top
+// (soc_lint/lock_graph.h). The only multi-character punctuator that is
+// fused is "::", because qualified names are load-bearing for that
+// pass; every other operator arrives one character at a time.
+
+#ifndef SOC_TOOLS_SOC_LINT_LEXER_H_
+#define SOC_TOOLS_SOC_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace soc::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;  // Literal text; string/char tokens keep their quotes.
+  int line = 1;      // 1-based line of the token's first character.
+};
+
+// Lexes `content` into tokens. Never fails: unterminated literals and
+// stray bytes lex as best-effort tokens, because lint must degrade
+// gracefully on the crafted snippets tests feed it.
+std::vector<Token> Lex(const std::string& content);
+
+// True for tokens that are identifiers with exactly this text.
+bool IsIdent(const Token& token, const char* text);
+
+// True for punctuation tokens with exactly this text.
+bool IsPunct(const Token& token, const char* text);
+
+}  // namespace soc::lint
+
+#endif  // SOC_TOOLS_SOC_LINT_LEXER_H_

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <map>
 #include <set>
+#include <sstream>
 
 #include "common/json_writer.h"
+#include "soc_lint/lock_graph.h"
 
 namespace soc::lint {
 
@@ -272,7 +275,8 @@ void CheckNakedThread(const SourceFile& file,
     if (file.path == exempt) return;
   }
   const std::string code = StripCommentsAndStrings(file.content);
-  for (const char* token : {"std::thread", "std::jthread", "pthread_create"}) {
+  for (const char* token :
+       {"std::thread", "std::jthread", "std::async", "pthread_create"}) {
     for (std::size_t pos : FindTokens(code, token)) {
       // Reading the parallelism hint is not spawning a thread.
       if (code.compare(pos, 33, "std::thread::hardware_concurrency") == 0) {
@@ -281,6 +285,22 @@ void CheckNakedThread(const SourceFile& file,
       Add(findings, "naked-thread", file.path, LineOf(code, pos),
           std::string(token) +
               " outside common/thread_pool.*; use soc::ThreadPool");
+    }
+  }
+  // Detached threads escape every join point — banned even in the
+  // exempted pool files (which never reach here anyway). ".detach()" on
+  // anything thread-like is the tell; other detach() members do not
+  // exist in this codebase.
+  for (std::size_t pos : FindTokens(code, "detach")) {
+    const bool member = pos > 0 && (code[pos - 1] == '.' ||
+                                    (pos > 1 && code[pos - 2] == '-' &&
+                                     code[pos - 1] == '>'));
+    const std::size_t after = pos + 6;
+    const bool call = after < code.size() && code[after] == '(';
+    if (member && call) {
+      Add(findings, "naked-thread", file.path, LineOf(code, pos),
+          "detached thread: .detach() abandons the join point; use "
+          "soc::ThreadPool (workers join in Shutdown)");
     }
   }
 }
@@ -470,6 +490,15 @@ void CheckCacheMetrics(const std::vector<SourceFile>& files,
   const std::string prefix = "kResultCache";
   std::size_t pos = 0;
   while ((pos = header_code.find(prefix, pos)) != std::string::npos) {
+    // Qualified references (lock_rank::kResultCacheLru) are another
+    // namespace's constants — only unqualified declarations are counter
+    // names.
+    std::size_t before = pos;
+    while (before > 0 && header_code[before - 1] == ' ') --before;
+    if (before >= 2 && header_code.compare(before - 2, 2, "::") == 0) {
+      pos += prefix.size();
+      continue;
+    }
     std::size_t end = pos + prefix.size();
     while (end < header_code.size() &&
            (std::isalnum(static_cast<unsigned char>(header_code[end])) ||
@@ -735,6 +764,60 @@ void CheckSpanNameParity(const std::vector<SourceFile>& files,
   }
 }
 
+const std::vector<PassInfo>& Passes() {
+  static const std::vector<PassInfo> kPasses = {
+      {"include-guard", {"include-guard"}},
+      {"naked-thread", {"naked-thread"}},
+      {"layering", {"layering"}},
+      {"stop-cadence", {"stop-cadence"}},
+      {"reject-metrics", {"reject-metrics"}},
+      {"cache-metrics", {"cache-metrics"}},
+      {"registry-parity", {"registry-parity"}},
+      {"property-parity", {"property-parity"}},
+      {"span-name", {"span-name"}},
+      {"lock-hierarchy",
+       {"lock-order", "lock-rank-order", "lock-rank-missing",
+        "blocking-under-lock", "condvar-wait-loop"}},
+  };
+  return kPasses;
+}
+
+namespace {
+
+// Inline suppression: the finding's source line (or the line above it,
+// for statements that wrap) carries `soc-lint-suppress(rule)`.
+bool IsSuppressedInline(const std::vector<SourceFile>& files,
+                        const Finding& finding) {
+  if (finding.line <= 0) return false;
+  const SourceFile* file = nullptr;
+  for (const SourceFile& candidate : files) {
+    if (candidate.path == finding.path) {
+      file = &candidate;
+      break;
+    }
+  }
+  if (file == nullptr) return false;
+  const std::string needle = "soc-lint-suppress(" + finding.rule + ")";
+  int line = 1;
+  std::size_t start = 0;
+  while (start <= file->content.size()) {
+    std::size_t end = file->content.find('\n', start);
+    if (end == std::string::npos) end = file->content.size();
+    if (line == finding.line || line == finding.line - 1) {
+      if (file->content.substr(start, end - start).find(needle) !=
+          std::string::npos) {
+        return true;
+      }
+    }
+    if (line > finding.line) break;
+    line += 1;
+    start = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
@@ -748,19 +831,119 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
   CheckRegistryTestParity(files, &findings);
   CheckPropertyParity(files, &findings);
   CheckSpanNameParity(files, &findings);
-  std::sort(findings.begin(), findings.end(),
+  CheckLockHierarchy(files, &findings);
+
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& finding : findings) {
+    if (!IsSuppressedInline(files, finding)) {
+      kept.push_back(std::move(finding));
+    }
+  }
+  std::sort(kept.begin(), kept.end(),
             [](const Finding& a, const Finding& b) {
               if (a.path != b.path) return a.path < b.path;
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+  return kept;
+}
+
+bool FixIncludeGuard(const SourceFile& file, std::string* fixed) {
+  if (!EndsWith(file.path, ".h") || !StartsWith(file.path, "src/")) {
+    return false;
+  }
+  const std::string code = StripCommentsAndStrings(file.content);
+  if (code.find("#pragma once") != std::string::npos) return false;
+  const std::size_t ifndef_pos = code.find("#ifndef ");
+  if (ifndef_pos == std::string::npos) return false;
+  std::size_t name_start = ifndef_pos + 8;
+  while (name_start < code.size() && code[name_start] == ' ') ++name_start;
+  std::size_t name_end = name_start;
+  while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+  const std::string guard = code.substr(name_start, name_end - name_start);
+  if (guard.empty()) return false;
+  if (code.find("#define " + guard) == std::string::npos) return false;
+  const std::string expected = CanonicalGuard(file.path);
+  if (guard == expected) return false;  // Idempotence: nothing to do.
+
+  // Rewrite every whole-identifier occurrence in the raw text: the
+  // #ifndef/#define pair plus the conventional trailing
+  // `#endif  // GUARD` comment.
+  std::string out;
+  out.reserve(file.content.size());
+  std::size_t pos = 0;
+  for (std::size_t hit : FindTokens(file.content, guard)) {
+    out.append(file.content, pos, hit - pos);
+    out += expected;
+    pos = hit + guard.size();
+  }
+  out.append(file.content, pos, std::string::npos);
+  *fixed = std::move(out);
+  return true;
+}
+
+std::string BaselineKey(const Finding& finding) {
+  return finding.rule + "\t" + finding.path + "\t" + finding.message;
+}
+
+std::set<std::string> ParseBaseline(const std::string& text) {
+  std::set<std::string> baseline;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    baseline.insert(line);
+  }
+  return baseline;
+}
+
+std::string WriteBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& finding : findings) keys.insert(BaselineKey(finding));
+  std::string out =
+      "# soc_lint baseline: pinned pre-existing findings, one per line as\n"
+      "# rule<TAB>path<TAB>message. Regenerate with --write-baseline; "
+      "shrink it,\n"
+      "# never grow it.\n";
+  for (const std::string& key : keys) {
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const std::set<std::string>& baseline) {
+  std::vector<Finding> kept;
+  for (const Finding& finding : findings) {
+    if (baseline.count(BaselineKey(finding)) == 0) kept.push_back(finding);
+  }
+  return kept;
+}
+
+namespace {
+
+// Stable artifact ordering: primary key is the rule id, so adding a
+// file never reshuffles another rule's block in the diff.
+std::vector<Finding> SortedForArtifact(std::vector<Finding> findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
   return findings;
 }
+
+}  // namespace
 
 std::string FindingsToJson(const std::vector<Finding>& findings) {
   std::vector<JsonValue> entries;
   entries.reserve(findings.size());
-  for (const Finding& finding : findings) {
+  for (const Finding& finding : SortedForArtifact(findings)) {
     JsonValue entry = JsonValue::Object();
     entry.Set("rule", JsonValue::String(finding.rule))
         .Set("path", JsonValue::String(finding.path))
@@ -768,7 +951,65 @@ std::string FindingsToJson(const std::vector<Finding>& findings) {
         .Set("message", JsonValue::String(finding.message));
     entries.push_back(std::move(entry));
   }
-  return JsonValue::Array(std::move(entries)).ToString();
+  JsonValue root = JsonValue::Object();
+  root.Set("schema_version", JsonValue::Int(2))
+      .Set("findings", JsonValue::Array(std::move(entries)));
+  return root.ToString();
+}
+
+std::string FindingsToSarif(const std::vector<Finding>& findings) {
+  std::vector<JsonValue> rules;
+  for (const PassInfo& pass : Passes()) {
+    for (const char* rule : pass.rules) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("id", JsonValue::String(rule));
+      rules.push_back(std::move(entry));
+    }
+  }
+
+  std::vector<JsonValue> results;
+  results.reserve(findings.size());
+  for (const Finding& finding : SortedForArtifact(findings)) {
+    JsonValue message = JsonValue::Object();
+    message.Set("text", JsonValue::String(finding.message));
+
+    JsonValue artifact = JsonValue::Object();
+    artifact.Set("uri", JsonValue::String(finding.path));
+    JsonValue region = JsonValue::Object();
+    region.Set("startLine",
+               JsonValue::Int(finding.line > 0 ? finding.line : 1));
+    JsonValue physical = JsonValue::Object();
+    physical.Set("artifactLocation", std::move(artifact))
+        .Set("region", std::move(region));
+    JsonValue location = JsonValue::Object();
+    location.Set("physicalLocation", std::move(physical));
+
+    JsonValue result = JsonValue::Object();
+    result.Set("ruleId", JsonValue::String(finding.rule))
+        .Set("level", JsonValue::String("error"))
+        .Set("message", std::move(message))
+        .Set("locations",
+             JsonValue::Array(std::vector<JsonValue>{std::move(location)}));
+    results.push_back(std::move(result));
+  }
+
+  JsonValue driver = JsonValue::Object();
+  driver.Set("name", JsonValue::String("soc_lint"))
+      .Set("informationUri",
+           JsonValue::String("tools/soc_lint"))
+      .Set("rules", JsonValue::Array(std::move(rules)));
+  JsonValue tool = JsonValue::Object();
+  tool.Set("driver", std::move(driver));
+  JsonValue run = JsonValue::Object();
+  run.Set("tool", std::move(tool))
+      .Set("results", JsonValue::Array(std::move(results)));
+
+  JsonValue root = JsonValue::Object();
+  root.Set("version", JsonValue::String("2.1.0"))
+      .Set("$schema",
+           JsonValue::String("https://json.schemastore.org/sarif-2.1.0.json"))
+      .Set("runs", JsonValue::Array(std::vector<JsonValue>{std::move(run)}));
+  return root.ToString();
 }
 
 }  // namespace soc::lint

@@ -1,0 +1,1162 @@
+#include "soc_lint/lock_graph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "soc_lint/lexer.h"
+
+namespace soc::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Wrapper/primitive definitions themselves are not subject to the pass.
+bool IsAnalyzableSrcFile(const std::string& path) {
+  if (!StartsWith(path, "src/")) return false;
+  if (!EndsWith(path, ".h") && !EndsWith(path, ".cc")) return false;
+  if (EndsWith(path, "common/mutex.h")) return false;
+  if (EndsWith(path, "common/lock_rank.h")) return false;
+  if (EndsWith(path, "common/thread_annotations.h")) return false;
+  return true;
+}
+
+// Layers where every long-lived mutex must carry a rank.
+bool RequiresRank(const std::string& path) {
+  return StartsWith(path, "src/serve/") || StartsWith(path, "src/tenant/") ||
+         StartsWith(path, "src/obs/") ||
+         StartsWith(path, "src/common/thread_pool");
+}
+
+// Project convention: methods worth chasing through the call graph are
+// PascalCase. Lowercase and ALL_CAPS names are STL/macro territory and
+// resolving them by bare name would fabricate edges.
+bool IsPascalCase(const std::string& name) {
+  if (name.empty() || std::isupper(static_cast<unsigned char>(name[0])) == 0) {
+    return false;
+  }
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return true;
+  }
+  return false;
+}
+
+bool IsLockWrapper(const std::string& name) {
+  return name == "MutexLock" || name == "ReaderMutexLock" ||
+         name == "WriterMutexLock";
+}
+
+// Calls that may block for an unbounded (or just long) time; making one
+// inside a held-lock region serializes every contender behind it.
+const char* const kBlockingCallees[] = {
+    "Solve",        "SolveWithContext",
+    "MineMaximalItemsetsDfs", "MineMaximalItemsetsRandomWalk",
+    "sleep_for",    "Submit",
+    "Shutdown",     "join",
+    "Drain",
+};
+
+bool IsBlockingCallee(const std::string& name) {
+  for (const char* blocking : kBlockingCallees) {
+    if (name == blocking) return true;
+  }
+  return false;
+}
+
+struct RankEntry {
+  int rank = 0;
+  std::string label;
+};
+
+// Parses `LockRank kName{N, "label"};` rows out of common/lock_rank.h.
+std::map<std::string, RankEntry> ParseRankTable(
+    const std::vector<SourceFile>& files) {
+  std::map<std::string, RankEntry> table;
+  for (const SourceFile& file : files) {
+    if (!EndsWith(file.path, "common/lock_rank.h")) continue;
+    const std::vector<Token> tokens = Lex(file.content);
+    for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
+      if (!IsIdent(tokens[i], "LockRank")) continue;
+      if (tokens[i + 1].kind != Token::Kind::kIdent) continue;
+      if (!IsPunct(tokens[i + 2], "{")) continue;
+      if (tokens[i + 3].kind != Token::Kind::kNumber) continue;
+      RankEntry entry;
+      entry.rank = std::atoi(tokens[i + 3].text.c_str());
+      if (IsPunct(tokens[i + 4], ",") && i + 5 < tokens.size() &&
+          tokens[i + 5].kind == Token::Kind::kString &&
+          tokens[i + 5].text.size() >= 2) {
+        entry.label =
+            tokens[i + 5].text.substr(1, tokens[i + 5].text.size() - 2);
+      }
+      table[tokens[i + 1].text] = entry;
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Per-file scan: scope tracking + event extraction.
+// ---------------------------------------------------------------------
+
+// Events recorded inside function bodies, replayed once the global
+// registry exists (receiver resolution needs every file's declarations).
+struct Event {
+  enum class Kind {
+    kScopeOpen,   // A brace scope opened inside the function.
+    kScopeClose,  // ... closed: RAII locks acquired in it release here.
+    kAcquire,     // MutexLock-family declaration; `name` = member ident.
+    kCall,        // PascalCase call; `name` = callee, `qualifier` = Class
+                  // for Class::Call, empty for member/bare calls.
+    kBlocking,    // Call to a known-blocking routine.
+    kWait,        // Untimed CondVar Wait; `in_while` says if sanctioned.
+  };
+  Kind kind;
+  std::string name;
+  std::string qualifier;
+  int line = 0;
+  bool in_while = false;
+};
+
+struct FunctionRecord {
+  std::string qualified;  // "Class::Method" ("" class -> plain name).
+  std::string cls;        // Enclosing/declared class, may be empty.
+  std::string path;
+  int line = 0;
+  std::vector<Event> events;
+};
+
+struct FileScan {
+  std::vector<LockDecl> decls;
+  std::map<std::string, std::string> guarded_by;
+  std::map<std::string, std::vector<std::string>> requires_members;
+  std::vector<FunctionRecord> functions;
+};
+
+struct Frame {
+  enum class Kind { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;
+  bool is_init = false;  // Brace initializer, not a real scope.
+};
+
+const std::string* InnermostClass(const std::vector<Frame>& frames) {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (it->kind == Frame::Kind::kFunction) return nullptr;
+    if (it->kind == Frame::Kind::kClass) return &it->name;
+  }
+  return nullptr;
+}
+
+bool InsideFunction(const std::vector<Frame>& frames) {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (it->kind == Frame::Kind::kFunction) return true;
+  }
+  return false;
+}
+
+// The class a function body should resolve bare members against: the
+// declared Class of `Class::Method`, else the enclosing class scope.
+std::string EnclosingClassFor(const std::vector<Frame>& frames) {
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (it->kind == Frame::Kind::kClass) return it->name;
+  }
+  return std::string();
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "while" || s == "for" || s == "switch" ||
+         s == "catch" || s == "do" || s == "else" || s == "try";
+}
+
+bool IsQualifierIdent(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+         s == "mutable" || s == "try";
+}
+
+class FileScanner {
+ public:
+  FileScanner(const SourceFile& file, FileScan* out)
+      : path_(file.path), tokens_(Lex(file.content)), out_(out) {}
+
+  void Run() {
+    ComputeWhileExtents();
+    std::vector<std::size_t> stmt;  // Token indices since last ;/{/}.
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (IsPunct(t, "#")) {
+        // Preprocessor directive: consume to end of (logical) line.
+        const int line = t.line;
+        while (i + 1 < tokens_.size() && tokens_[i + 1].line == line) ++i;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        OpenBrace(i, &stmt);
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        CloseBrace(&stmt);
+        continue;
+      }
+      if (IsPunct(t, ";")) {
+        EndStatement(stmt);
+        stmt.clear();
+        continue;
+      }
+      // Access specifiers terminate the "statement" they live in, or the
+      // member declaration after them would carry `public :` as a prefix.
+      if (IsPunct(t, ":") && stmt.size() == 1 &&
+          (IsIdent(tokens_[stmt[0]], "public") ||
+           IsIdent(tokens_[stmt[0]], "private") ||
+           IsIdent(tokens_[stmt[0]], "protected"))) {
+        stmt.clear();
+        continue;
+      }
+      stmt.push_back(i);
+    }
+  }
+
+ private:
+  // While-statement extents (token-index ranges covering the body), so
+  // the condvar rule works for both braced and single-statement loops.
+  void ComputeWhileExtents() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!IsIdent(tokens_[i], "while")) continue;
+      std::size_t j = i + 1;
+      if (j >= tokens_.size() || !IsPunct(tokens_[j], "(")) continue;
+      int depth = 0;
+      for (; j < tokens_.size(); ++j) {
+        if (IsPunct(tokens_[j], "(")) ++depth;
+        if (IsPunct(tokens_[j], ")") && --depth == 0) break;
+      }
+      if (j >= tokens_.size()) continue;
+      std::size_t body = j + 1;
+      if (body >= tokens_.size()) continue;
+      std::size_t end = body;
+      if (IsPunct(tokens_[body], "{")) {
+        int braces = 0;
+        for (end = body; end < tokens_.size(); ++end) {
+          if (IsPunct(tokens_[end], "{")) ++braces;
+          if (IsPunct(tokens_[end], "}") && --braces == 0) break;
+        }
+      } else {
+        int parens = 0;
+        for (end = body; end < tokens_.size(); ++end) {
+          if (IsPunct(tokens_[end], "(")) ++parens;
+          if (IsPunct(tokens_[end], ")")) --parens;
+          if (parens == 0 && IsPunct(tokens_[end], ";")) break;
+        }
+      }
+      while_extents_.emplace_back(body, end);
+    }
+  }
+
+  bool InsideWhile(std::size_t token_index) const {
+    for (const auto& extent : while_extents_) {
+      if (token_index >= extent.first && token_index <= extent.second) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool HasIdent(const std::vector<std::size_t>& stmt, const char* text) const {
+    for (std::size_t idx : stmt) {
+      if (IsIdent(tokens_[idx], text)) return true;
+    }
+    return false;
+  }
+
+  FunctionRecord* CurrentFunction() {
+    return current_function_.empty() ? nullptr
+                                     : &out_->functions[current_function_
+                                                            .back()];
+  }
+
+  void Emit(Event event) {
+    FunctionRecord* fn = CurrentFunction();
+    if (fn != nullptr) fn->events.push_back(std::move(event));
+  }
+
+  void OpenBrace(std::size_t i, std::vector<std::size_t>* stmt) {
+    Frame frame;
+    const std::size_t prev = stmt->empty() ? 0 : stmt->back();
+    const bool have_prev = !stmt->empty();
+    const Token* prev_token = have_prev ? &tokens_[prev] : nullptr;
+
+    if (HasIdent(*stmt, "namespace")) {
+      frame.kind = Frame::Kind::kNamespace;
+    } else if (HasIdent(*stmt, "enum")) {
+      frame.kind = Frame::Kind::kBlock;
+    } else if (HasIdent(*stmt, "class") || HasIdent(*stmt, "struct") ||
+               HasIdent(*stmt, "union")) {
+      frame.kind = Frame::Kind::kClass;
+      frame.name = ClassNameFrom(*stmt);
+      // Nested classes carry their outer name: two structs both called
+      // Flight must not unify into one lock node.
+      const std::string outer = EnclosingClassFor(frames_);
+      if (!outer.empty() && !frame.name.empty()) {
+        frame.name = outer + "::" + frame.name;
+      }
+    } else if (have_prev && prev_token->kind == Token::Kind::kIdent &&
+               IsControlKeyword(prev_token->text) &&
+               prev_token->text != "try") {
+      // `do {` / `else {` (control with no parens).
+      frame.kind = Frame::Kind::kBlock;
+      FlushCalls(*stmt);
+    } else if (StatementIsControl(*stmt)) {
+      frame.kind = Frame::Kind::kBlock;
+      FlushCalls(*stmt);
+    } else if (LooksLikeFunctionHead(*stmt, &frame.name)) {
+      frame.kind = Frame::Kind::kFunction;
+      StartFunction(frame.name, *stmt);
+    } else if (have_prev &&
+               (prev_token->kind == Token::Kind::kIdent ||
+                prev_token->kind == Token::Kind::kNumber ||
+                prev_token->kind == Token::Kind::kString ||
+                IsPunct(*prev_token, "=") || IsPunct(*prev_token, ",") ||
+                IsPunct(*prev_token, "(") || IsPunct(*prev_token, "[") ||
+                IsPunct(*prev_token, "<") || IsPunct(*prev_token, "{") ||
+                IsPunct(*prev_token, "::") || IsPunct(*prev_token, ">"))) {
+      // Brace initializer: part of the surrounding statement.
+      frame.kind = Frame::Kind::kBlock;
+      frame.is_init = true;
+      frames_.push_back(frame);
+      stmt->push_back(i);  // Keep the statement intact across it.
+      return;
+    } else {
+      frame.kind = Frame::Kind::kBlock;
+      FlushCalls(*stmt);
+    }
+
+    frames_.push_back(frame);
+    if (frame.kind != Frame::Kind::kClass &&
+        frame.kind != Frame::Kind::kNamespace && InsideFunction(frames_)) {
+      // The function frame itself opens its own scope via StartFunction.
+      if (frame.kind == Frame::Kind::kBlock) {
+        Emit({Event::Kind::kScopeOpen, "", "", tokens_[i].line, false});
+      }
+    }
+    stmt->clear();
+  }
+
+  void CloseBrace(std::vector<std::size_t>* stmt) {
+    if (frames_.empty()) return;
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    if (frame.is_init) return;  // Statement continues.
+    switch (frame.kind) {
+      case Frame::Kind::kFunction:
+        if (!current_function_.empty()) current_function_.pop_back();
+        break;
+      case Frame::Kind::kBlock:
+        if (InsideFunction(frames_) || !current_function_.empty()) {
+          Emit({Event::Kind::kScopeClose, "", "", 0, false});
+        }
+        break;
+      default:
+        break;
+    }
+    stmt->clear();
+  }
+
+  void EndStatement(const std::vector<std::size_t>& stmt) {
+    if (stmt.empty()) return;
+    const std::string* cls = InnermostClass(frames_);
+    if (cls != nullptr) {
+      HarvestClassStatement(stmt, *cls);
+      return;
+    }
+    if (CurrentFunction() != nullptr) {
+      if (MatchRaiiAcquire(stmt)) return;
+      FlushCalls(stmt);
+      return;
+    }
+    // Namespace scope: out-of-class annotated declarations are rare and
+    // the definitions carry the annotation again; nothing to do.
+  }
+
+  // `class SOC_CAPABILITY("x") Name : public Base {` -> "Name": the last
+  // identifier before a base-clause colon (or the head's end) that is
+  // neither `final` nor an ALL_CAPS attribute macro.
+  std::string ClassNameFrom(const std::vector<std::size_t>& stmt) const {
+    // Scan only the head after the class keyword: a base-clause colon
+    // ends it (access-specifier colons sit before the keyword and are
+    // ignored by starting there).
+    std::size_t k = 0;
+    while (k < stmt.size() && !IsIdent(tokens_[stmt[k]], "class") &&
+           !IsIdent(tokens_[stmt[k]], "struct") &&
+           !IsIdent(tokens_[stmt[k]], "union")) {
+      ++k;
+    }
+    std::string name;
+    int paren = 0;
+    for (++k; k < stmt.size(); ++k) {
+      const Token& t = tokens_[stmt[k]];
+      if (IsPunct(t, "(")) ++paren;
+      if (IsPunct(t, ")")) --paren;
+      if (paren > 0) continue;
+      if (IsPunct(t, ":")) break;
+      if (t.kind == Token::Kind::kIdent && t.text != "final") {
+        name = t.text;
+      }
+    }
+    return name;
+  }
+
+  bool StatementIsControl(const std::vector<std::size_t>& stmt) const {
+    for (std::size_t idx : stmt) {
+      const Token& t = tokens_[idx];
+      if (t.kind == Token::Kind::kIdent) {
+        return IsControlKeyword(t.text);
+      }
+      // Leading punctuation (e.g. `}` never reaches here) — keep looking.
+    }
+    return false;
+  }
+
+  // A function head ends in `)`, a qualifier, or the `}` of a brace
+  // member-initializer, has an identifier immediately before its first
+  // top-level `(`, and no `=` before that point (which would make the
+  // brace an initializer of a declared variable).
+  bool LooksLikeFunctionHead(const std::vector<std::size_t>& stmt,
+                             std::string* name) const {
+    if (stmt.empty()) return false;
+    const Token& last = tokens_[stmt.back()];
+    const bool tail_ok =
+        IsPunct(last, ")") || IsPunct(last, "}") ||
+        (last.kind == Token::Kind::kIdent && IsQualifierIdent(last.text));
+    if (!tail_ok) return false;
+    int paren = 0;
+    std::size_t open = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = tokens_[stmt[k]];
+      if (IsPunct(t, "=")) return false;
+      if (IsPunct(t, "(")) {
+        if (paren == 0) {
+          open = k;
+          break;
+        }
+        ++paren;
+      }
+    }
+    if (open == stmt.size() || open == 0) return false;
+    const Token& fn = tokens_[stmt[open - 1]];
+    if (fn.kind != Token::Kind::kIdent || IsControlKeyword(fn.text)) {
+      return false;
+    }
+    std::string cls;
+    if (open >= 3 && IsPunct(tokens_[stmt[open - 2]], "::") &&
+        tokens_[stmt[open - 3]].kind == Token::Kind::kIdent) {
+      cls = tokens_[stmt[open - 3]].text;
+    } else {
+      cls = EnclosingClassFor(frames_);
+    }
+    *name = cls.empty() ? fn.text : cls + "::" + fn.text;
+    return true;
+  }
+
+  void StartFunction(const std::string& qualified,
+                     const std::vector<std::size_t>& stmt) {
+    FunctionRecord record;
+    record.qualified = qualified;
+    const std::size_t sep = qualified.rfind("::");
+    record.cls = sep == std::string::npos ? "" : qualified.substr(0, sep);
+    record.path = path_;
+    record.line = tokens_[stmt.front()].line;
+    HarvestAnnotations(stmt, record.cls, qualified);
+    out_->functions.push_back(std::move(record));
+    current_function_.push_back(out_->functions.size() - 1);
+  }
+
+  // Class-scope statements: lock member declarations, SOC_GUARDED_BY
+  // field associations, annotated method declarations.
+  void HarvestClassStatement(const std::vector<std::size_t>& stmt,
+                             const std::string& cls) {
+    // [mutable] Mutex|SharedMutex name [{init}] ;
+    std::size_t k = 0;
+    if (k < stmt.size() && IsIdent(tokens_[stmt[k]], "mutable")) ++k;
+    if (k + 1 < stmt.size() &&
+        (IsIdent(tokens_[stmt[k]], "Mutex") ||
+         IsIdent(tokens_[stmt[k]], "SharedMutex")) &&
+        tokens_[stmt[k + 1]].kind == Token::Kind::kIdent) {
+      LockDecl decl;
+      decl.shared = IsIdent(tokens_[stmt[k]], "SharedMutex");
+      decl.cls = cls;
+      decl.member = tokens_[stmt[k + 1]].text;
+      decl.id = cls + "::" + decl.member;
+      decl.path = path_;
+      decl.line = tokens_[stmt[k]].line;
+      for (std::size_t j = k + 2; j < stmt.size(); ++j) {
+        const Token& t = tokens_[stmt[j]];
+        if (t.kind == Token::Kind::kIdent && t.text.size() > 1 &&
+            t.text[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(t.text[1])) != 0) {
+          decl.rank_name = t.text;
+          break;
+        }
+      }
+      out_->decls.push_back(std::move(decl));
+      return;
+    }
+
+    // `Type field SOC_GUARDED_BY(mutex_);`
+    for (std::size_t j = 1; j + 2 < stmt.size(); ++j) {
+      if (!IsIdent(tokens_[stmt[j]], "SOC_GUARDED_BY")) continue;
+      if (!IsPunct(tokens_[stmt[j + 1]], "(")) continue;
+      if (tokens_[stmt[j - 1]].kind != Token::Kind::kIdent) continue;
+      if (tokens_[stmt[j + 2]].kind != Token::Kind::kIdent) continue;
+      out_->guarded_by[cls + "::" + tokens_[stmt[j - 1]].text] =
+          cls + "::" + tokens_[stmt[j + 2]].text;
+    }
+
+    // Annotated method declarations (`void F() SOC_REQUIRES(mu);`).
+    std::string name;
+    if (LooksLikeAnnotatedDecl(stmt, cls, &name)) {
+      HarvestAnnotations(stmt, cls, name);
+    }
+  }
+
+  bool LooksLikeAnnotatedDecl(const std::vector<std::size_t>& stmt,
+                              const std::string& cls,
+                              std::string* name) const {
+    int paren = 0;
+    std::size_t open = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = tokens_[stmt[k]];
+      if (IsPunct(t, "(")) {
+        if (paren == 0) {
+          open = k;
+          break;
+        }
+      }
+    }
+    if (open == stmt.size() || open == 0) return false;
+    const Token& fn = tokens_[stmt[open - 1]];
+    if (fn.kind != Token::Kind::kIdent) return false;
+    *name = cls.empty() ? fn.text : cls + "::" + fn.text;
+    return true;
+  }
+
+  void HarvestAnnotations(const std::vector<std::size_t>& stmt,
+                          const std::string& cls,
+                          const std::string& qualified) {
+    for (std::size_t j = 0; j + 2 < stmt.size(); ++j) {
+      if (!IsIdent(tokens_[stmt[j]], "SOC_REQUIRES") &&
+          !IsIdent(tokens_[stmt[j]], "SOC_ACQUIRE")) {
+        continue;
+      }
+      if (!IsPunct(tokens_[stmt[j + 1]], "(")) continue;
+      for (std::size_t a = j + 2; a < stmt.size(); ++a) {
+        const Token& t = tokens_[stmt[a]];
+        if (IsPunct(t, ")")) break;
+        if (t.kind == Token::Kind::kIdent) {
+          out_->requires_members[qualified].push_back(
+              cls.empty() ? t.text : cls + "::" + t.text);
+        }
+      }
+    }
+  }
+
+  // `MutexLock lock(expr);` — expr's last identifier names the member.
+  bool MatchRaiiAcquire(const std::vector<std::size_t>& stmt) {
+    std::size_t k = 0;
+    if (k >= stmt.size() || tokens_[stmt[k]].kind != Token::Kind::kIdent ||
+        !IsLockWrapper(tokens_[stmt[k]].text)) {
+      return false;
+    }
+    if (k + 2 >= stmt.size() ||
+        tokens_[stmt[k + 1]].kind != Token::Kind::kIdent ||
+        !IsPunct(tokens_[stmt[k + 2]], "(")) {
+      return false;
+    }
+    std::string member;
+    for (std::size_t j = k + 3; j < stmt.size(); ++j) {
+      const Token& t = tokens_[stmt[j]];
+      if (IsPunct(t, ")")) break;
+      if (t.kind == Token::Kind::kIdent) member = t.text;
+    }
+    if (member.empty()) return false;
+    Emit({Event::Kind::kAcquire, member, "", tokens_[stmt[k]].line, false});
+    return true;
+  }
+
+  // Record every PascalCase call, blocking callee, and condvar Wait in a
+  // flushed statement (a statement can hold several).
+  void FlushCalls(const std::vector<std::size_t>& stmt) {
+    if (CurrentFunction() == nullptr) return;
+    for (std::size_t k = 0; k + 1 < stmt.size(); ++k) {
+      const Token& t = tokens_[stmt[k]];
+      if (t.kind != Token::Kind::kIdent) continue;
+      if (!IsPunct(tokens_[stmt[k + 1]], "(")) continue;
+      const int line = t.line;
+
+      // Untimed CondVar::Wait — must sit inside a while statement.
+      if (t.text == "Wait" && k >= 1) {
+        const Token& prev = tokens_[stmt[k - 1]];
+        const bool member_call =
+            IsPunct(prev, ".") ||
+            (IsPunct(prev, ">") && k >= 2 && IsPunct(tokens_[stmt[k - 2]], "-"));
+        if (member_call) {
+          Emit({Event::Kind::kWait, t.text, "", line, InsideWhile(stmt[k])});
+          continue;
+        }
+      }
+
+      if (IsBlockingCallee(t.text)) {
+        Emit({Event::Kind::kBlocking, t.text, "", line, false});
+        // A blocking callee may still acquire locks; fall through to the
+        // call record below when it resolves.
+      }
+
+      if (!IsPascalCase(t.text) || IsLockWrapper(t.text) ||
+          IsControlKeyword(t.text)) {
+        continue;
+      }
+      std::string qualifier;
+      if (k >= 2 && IsPunct(tokens_[stmt[k - 1]], "::")) {
+        const Token& q = tokens_[stmt[k - 2]];
+        if (q.kind != Token::Kind::kIdent || !IsPascalCase(q.text)) {
+          continue;  // std:: / detail:: etc. — out of scope.
+        }
+        qualifier = q.text;
+      }
+      Emit({Event::Kind::kCall, t.text, qualifier, line, false});
+    }
+  }
+
+  const std::string path_;
+  const std::vector<Token> tokens_;
+  FileScan* const out_;
+  std::vector<Frame> frames_;
+  std::vector<std::size_t> current_function_;  // Indices into functions.
+  std::vector<std::pair<std::size_t, std::size_t>> while_extents_;
+};
+
+// ---------------------------------------------------------------------
+// Graph construction and reporting.
+// ---------------------------------------------------------------------
+
+struct HeldLock {
+  std::string id;
+  std::string path;
+  int line = 0;
+};
+
+struct CallSite {
+  std::string caller;
+  std::string callee;  // Resolved qualified name.
+  std::string path;
+  int line = 0;
+  std::vector<HeldLock> held;
+};
+
+// A lock some function may acquire (directly or transitively), with the
+// concrete acquisition site and the call chain that reaches it.
+struct SummaryEntry {
+  std::string path;
+  int line = 0;
+  std::string via;  // "A::F -> B::G" call chain, capped.
+};
+
+struct Edge {
+  std::string holder_id;
+  std::string holder_path;
+  int holder_line = 0;
+  std::string acquired_id;
+  std::string acquired_path;
+  int acquired_line = 0;
+  std::string via;  // Empty = direct lexical nesting.
+};
+
+struct Analysis {
+  LockRegistry registry;
+  std::map<std::string, RankEntry> rank_table;
+  std::map<std::string, FunctionRecord*> functions;  // qualified -> record
+  std::map<std::string, std::set<std::string>> classes_with_method;
+  std::vector<CallSite> calls;
+  // Edges keyed (holder, acquired); first witness wins (files are
+  // processed in sorted order, so output is deterministic).
+  std::map<std::pair<std::string, std::string>, Edge> edges;
+  std::map<std::string, std::map<std::string, SummaryEntry>> summaries;
+};
+
+const LockDecl* FindLockInClass(const LockRegistry& registry,
+                                const std::string& cls,
+                                const std::string& member) {
+  for (const LockDecl& decl : registry.locks) {
+    if (decl.cls == cls && decl.member == member) return &decl;
+  }
+  return nullptr;
+}
+
+// Member-name resolution: the enclosing class wins, then a unique match
+// among its nested classes (Flight-style helper structs), then a unique
+// project-wide match; otherwise unresolved (empty).
+std::string ResolveLockMember(const LockRegistry& registry,
+                              const std::string& cls,
+                              const std::string& member) {
+  if (!cls.empty()) {
+    const LockDecl* own = FindLockInClass(registry, cls, member);
+    if (own != nullptr) return own->id;
+    const LockDecl* nested = nullptr;
+    for (const LockDecl& decl : registry.locks) {
+      if (decl.member != member) continue;
+      if (!StartsWith(decl.cls, cls + "::")) continue;
+      if (nested != nullptr) {
+        nested = nullptr;
+        break;
+      }
+      nested = &decl;
+    }
+    if (nested != nullptr) return nested->id;
+  }
+  const LockDecl* unique = nullptr;
+  for (const LockDecl& decl : registry.locks) {
+    if (decl.member != member) continue;
+    if (unique != nullptr) return std::string();  // Ambiguous.
+    unique = &decl;
+  }
+  return unique != nullptr ? unique->id : std::string();
+}
+
+// Callee resolution mirrors it: explicit Class:: qualifier, else the
+// caller's own class, else a unique project-wide definer.
+std::string ResolveCallee(const Analysis& analysis, const std::string& cls,
+                          const std::string& callee,
+                          const std::string& qualifier) {
+  if (!qualifier.empty()) {
+    const std::string qualified = qualifier + "::" + callee;
+    return analysis.functions.count(qualified) != 0 ? qualified
+                                                    : std::string();
+  }
+  if (!cls.empty() &&
+      analysis.functions.count(cls + "::" + callee) != 0) {
+    return cls + "::" + callee;
+  }
+  const auto it = analysis.classes_with_method.find(callee);
+  if (it == analysis.classes_with_method.end() || it->second.size() != 1) {
+    return std::string();
+  }
+  const std::string qualified = *it->second.begin() + "::" + callee;
+  return analysis.functions.count(qualified) != 0 ? qualified
+                                                  : std::string();
+}
+
+void AddEdge(Analysis* analysis, const HeldLock& holder,
+             const std::string& acquired_id, const std::string& acq_path,
+             int acq_line, const std::string& via) {
+  Edge edge;
+  edge.holder_id = holder.id;
+  edge.holder_path = holder.path;
+  edge.holder_line = holder.line;
+  edge.acquired_id = acquired_id;
+  edge.acquired_path = acq_path;
+  edge.acquired_line = acq_line;
+  edge.via = via;
+  analysis->edges.emplace(std::make_pair(holder.id, acquired_id),
+                          std::move(edge));
+}
+
+// Replay one function's events: maintain the held stack, record direct
+// edges, direct-acquire summary entries, and call sites with held
+// snapshots.
+void ReplayFunction(Analysis* analysis, const FunctionRecord& fn,
+                    std::vector<Finding>* findings) {
+  std::vector<HeldLock> held;
+  std::vector<std::size_t> scope_floors;
+
+  // SOC_REQUIRES seeds: the caller already holds these at entry.
+  const auto req = analysis->registry.requires_locks.find(fn.qualified);
+  if (req != analysis->registry.requires_locks.end()) {
+    for (const std::string& id : req->second) {
+      held.push_back({id, fn.path, fn.line});
+    }
+  }
+
+  auto& summary = analysis->summaries[fn.qualified];
+  for (const Event& event : fn.events) {
+    switch (event.kind) {
+      case Event::Kind::kScopeOpen:
+        scope_floors.push_back(held.size());
+        break;
+      case Event::Kind::kScopeClose:
+        if (!scope_floors.empty()) {
+          held.resize(std::min(held.size(),
+                               static_cast<std::size_t>(scope_floors.back())));
+          scope_floors.pop_back();
+        }
+        break;
+      case Event::Kind::kAcquire: {
+        std::string id =
+            ResolveLockMember(analysis->registry, fn.cls, event.name);
+        if (id.empty()) {
+          // Unresolved (function-local mutex): participates in the held
+          // set for the blocking rule, never in the graph.
+          id = "<local>::" + event.name;
+        } else {
+          for (const HeldLock& holder : held) {
+            if (StartsWith(holder.id, "<local>")) continue;
+            AddEdge(analysis, holder, id, fn.path, event.line, "");
+          }
+          if (summary.count(id) == 0) {
+            summary[id] = {fn.path, event.line, fn.qualified};
+          }
+        }
+        held.push_back({id, fn.path, event.line});
+        break;
+      }
+      case Event::Kind::kCall: {
+        const std::string callee =
+            ResolveCallee(*analysis, fn.cls, event.name, event.qualifier);
+        if (callee.empty() || callee == fn.qualified) break;
+        CallSite site;
+        site.caller = fn.qualified;
+        site.callee = callee;
+        site.path = fn.path;
+        site.line = event.line;
+        site.held = held;
+        analysis->calls.push_back(std::move(site));
+        break;
+      }
+      case Event::Kind::kBlocking:
+        if (!held.empty()) {
+          const HeldLock& top = held.back();
+          const std::string held_name =
+              StartsWith(top.id, "<local>") ? top.id.substr(9) : top.id;
+          Finding finding;
+          finding.rule = "blocking-under-lock";
+          finding.path = fn.path;
+          finding.line = event.line;
+          finding.message =
+              "call to " + event.name + "() while holding " + held_name +
+              " (acquired line " + std::to_string(top.line) +
+              "); blocking work must not run inside a held-lock region";
+          findings->push_back(std::move(finding));
+        }
+        break;
+      case Event::Kind::kWait:
+        if (!event.in_while) {
+          Finding finding;
+          finding.rule = "condvar-wait-loop";
+          finding.path = fn.path;
+          finding.line = event.line;
+          finding.message =
+              "untimed CondVar::Wait outside a while loop; spurious "
+              "wakeups require `while (!pred) cv.Wait(mu);` (timed "
+              "WaitFor is exempt)";
+          findings->push_back(std::move(finding));
+        }
+        break;
+    }
+  }
+}
+
+// Propagate acquisition summaries through the call graph to a fixpoint,
+// then materialize call-mediated edges from every call site's held set.
+void PropagateSummaries(Analysis* analysis) {
+  bool changed = true;
+  // Bounded by the longest acyclic call chain; the cap is generous.
+  for (int round = 0; changed && round < 64; ++round) {
+    changed = false;
+    for (const CallSite& site : analysis->calls) {
+      const auto callee_it = analysis->summaries.find(site.callee);
+      if (callee_it == analysis->summaries.end()) continue;
+      auto& caller_summary = analysis->summaries[site.caller];
+      for (const auto& [lock_id, entry] : callee_it->second) {
+        if (caller_summary.count(lock_id) != 0) continue;
+        SummaryEntry lifted = entry;
+        // Keep chains readable: caller -> ... (cap at 4 hops).
+        if (std::count(lifted.via.begin(), lifted.via.end(), '>') < 4) {
+          lifted.via = site.caller + " -> " + lifted.via;
+        }
+        caller_summary[lock_id] = std::move(lifted);
+        changed = true;
+      }
+    }
+  }
+
+  for (const CallSite& site : analysis->calls) {
+    if (site.held.empty()) continue;
+    const auto callee_it = analysis->summaries.find(site.callee);
+    if (callee_it == analysis->summaries.end()) continue;
+    for (const auto& [lock_id, entry] : callee_it->second) {
+      for (const HeldLock& holder : site.held) {
+        if (StartsWith(holder.id, "<local>")) continue;
+        // Distinct instances of one per-object lock look like self
+        // edges through calls; only lexical re-entry (handled in
+        // ReplayFunction) is a reportable self-cycle.
+        if (holder.id == lock_id) continue;
+        AddEdge(analysis, holder, lock_id, entry.path, entry.line,
+                site.caller + " -> " + entry.via);
+      }
+    }
+  }
+}
+
+std::string DescribeEdge(const Edge& edge) {
+  std::string out = edge.acquired_id + " acquired at " + edge.acquired_path +
+                    ":" + std::to_string(edge.acquired_line) + " while " +
+                    edge.holder_id + " is held (taken at " +
+                    edge.holder_path + ":" +
+                    std::to_string(edge.holder_line) + ")";
+  if (!edge.via.empty()) out += " via " + edge.via;
+  return out;
+}
+
+// Cycle reporting: every strongly connected component with more than one
+// node (or a direct self-edge) is a lock-order inversion. One finding
+// per cycle, carrying both acquisition witnesses.
+void ReportCycles(const Analysis& analysis, std::vector<Finding>* findings) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, edge] : analysis.edges) {
+    adj[key.first].push_back(key.second);
+  }
+
+  // Direct self-edges first (lexical re-entry of one lock).
+  for (const auto& [key, edge] : analysis.edges) {
+    if (key.first != key.second) continue;
+    Finding finding;
+    finding.rule = "lock-order";
+    finding.path = edge.acquired_path;
+    finding.line = edge.acquired_line;
+    finding.message = "lock " + edge.acquired_id +
+                      " acquired while already held (first taken at " +
+                      edge.holder_path + ":" +
+                      std::to_string(edge.holder_line) +
+                      "); re-entry self-deadlocks";
+    findings->push_back(std::move(finding));
+  }
+
+  // Find a cycle through each unvisited node via iterative DFS.
+  std::set<std::string> done;
+  std::set<std::string> reported;
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    if (done.count(start) != 0) continue;
+    std::vector<std::string> path;
+    std::set<std::string> on_path;
+    // Classic colored DFS, recursion unrolled with an explicit stack of
+    // (node, next-child) pairs.
+    std::vector<std::pair<std::string, std::size_t>> frames{{start, 0}};
+    on_path.insert(start);
+    path.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, child] = frames.back();
+      const auto it = adj.find(node);
+      if (it == adj.end() || child >= it->second.size()) {
+        done.insert(node);
+        on_path.erase(node);
+        path.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string next = it->second[child++];
+      if (next == node) continue;  // Self edges reported above.
+      if (on_path.count(next) != 0) {
+        // Cycle: path from `next` to `node`, closing back to `next`.
+        std::vector<std::string> cycle(
+            std::find(path.begin(), path.end(), next), path.end());
+        // Normalize so one cycle reports once regardless of entry.
+        const auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string key;
+        for (const std::string& n : cycle) key += n + "|";
+        if (reported.insert(key).second) {
+          std::string names;
+          std::string witnesses;
+          for (std::size_t k = 0; k < cycle.size(); ++k) {
+            const std::string& from = cycle[k];
+            const std::string& to = cycle[(k + 1) % cycle.size()];
+            names += (k == 0 ? "" : " -> ") + from;
+            const auto edge_it = analysis.edges.find({from, to});
+            if (edge_it != analysis.edges.end()) {
+              witnesses += "; " + DescribeEdge(edge_it->second);
+            }
+          }
+          names += " -> " + cycle.front();
+          const auto first_edge =
+              analysis.edges.find({cycle.front(), cycle[1 % cycle.size()]});
+          Finding finding;
+          finding.rule = "lock-order";
+          finding.path = first_edge != analysis.edges.end()
+                             ? first_edge->second.acquired_path
+                             : "";
+          finding.line = first_edge != analysis.edges.end()
+                             ? first_edge->second.acquired_line
+                             : 0;
+          finding.message =
+              "lock-order inversion: " + names + witnesses;
+          findings->push_back(std::move(finding));
+        }
+        continue;
+      }
+      if (done.count(next) != 0) continue;
+      frames.emplace_back(next, 0);
+      on_path.insert(next);
+      path.push_back(next);
+    }
+  }
+}
+
+void ReportRankViolations(const Analysis& analysis,
+                          std::vector<Finding>* findings) {
+  if (analysis.rank_table.empty()) return;  // No table in this corpus.
+  auto rank_of = [&](const std::string& id) -> int {
+    const LockDecl* decl = analysis.registry.Find(id);
+    return decl != nullptr ? decl->rank : 0;
+  };
+  for (const auto& [key, edge] : analysis.edges) {
+    const int from = rank_of(key.first);
+    const int to = rank_of(key.second);
+    if (from == 0 || to == 0) continue;  // Unranked: cycle rule covers it.
+    if (from < to) continue;
+    Finding finding;
+    finding.rule = "lock-rank-order";
+    finding.path = edge.acquired_path;
+    finding.line = edge.acquired_line;
+    finding.message =
+        "acquiring " + key.second + " (rank " + std::to_string(to) +
+        ") while " + key.first + " (rank " + std::to_string(from) +
+        ") is held; ranks must strictly increase along every acquisition "
+        "path (common/lock_rank.h)" +
+        (edge.via.empty() ? "" : "; via " + edge.via);
+    findings->push_back(std::move(finding));
+  }
+}
+
+void ReportMissingRanks(const Analysis& analysis,
+                        std::vector<Finding>* findings) {
+  for (const LockDecl& decl : analysis.registry.locks) {
+    if (!RequiresRank(decl.path)) continue;
+    if (decl.rank_name.empty()) {
+      Finding finding;
+      finding.rule = "lock-rank-missing";
+      finding.path = decl.path;
+      finding.line = decl.line;
+      finding.message =
+          (decl.shared ? "SharedMutex " : "Mutex ") + decl.id +
+          " in the serving layers has no LockRank; construct it with a "
+          "rank from common/lock_rank.h so both the static and runtime "
+          "hierarchy checks cover it";
+      findings->push_back(std::move(finding));
+    } else if (!analysis.rank_table.empty() &&
+               analysis.rank_table.count(decl.rank_name) == 0) {
+      Finding finding;
+      finding.rule = "lock-rank-missing";
+      finding.path = decl.path;
+      finding.line = decl.line;
+      finding.message = decl.id + " references rank " + decl.rank_name +
+                        " which is not declared in common/lock_rank.h";
+      findings->push_back(std::move(finding));
+    }
+  }
+}
+
+Analysis BuildAnalysis(const std::vector<SourceFile>& files,
+                       std::vector<Finding>* findings) {
+  Analysis analysis;
+  analysis.rank_table = ParseRankTable(files);
+
+  // Deterministic order regardless of directory-walk order.
+  std::vector<const SourceFile*> sorted;
+  for (const SourceFile& file : files) {
+    if (IsAnalyzableSrcFile(file.path)) sorted.push_back(&file);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SourceFile* a, const SourceFile* b) {
+              return a->path < b->path;
+            });
+
+  std::vector<FileScan> scans(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    FileScanner(*sorted[i], &scans[i]).Run();
+    for (LockDecl& decl : scans[i].decls) {
+      if (!decl.rank_name.empty()) {
+        const auto it = analysis.rank_table.find(decl.rank_name);
+        if (it != analysis.rank_table.end()) {
+          decl.rank = it->second.rank;
+          decl.rank_label = it->second.label;
+        }
+      }
+      analysis.registry.locks.push_back(std::move(decl));
+    }
+    for (auto& [field, mutex] : scans[i].guarded_by) {
+      analysis.registry.guarded_by.emplace(field, mutex);
+    }
+  }
+
+  // Requires annotations resolve member names against the registry.
+  for (FileScan& scan : scans) {
+    for (auto& [qualified, members] : scan.requires_members) {
+      for (const std::string& member : members) {
+        const std::size_t sep = member.rfind("::");
+        const std::string cls =
+            sep == std::string::npos ? "" : member.substr(0, sep);
+        const std::string name =
+            sep == std::string::npos ? member : member.substr(sep + 2);
+        const std::string id =
+            ResolveLockMember(analysis.registry, cls, name);
+        if (!id.empty()) {
+          analysis.registry.requires_locks[qualified].push_back(id);
+        }
+      }
+    }
+  }
+
+  for (FileScan& scan : scans) {
+    for (FunctionRecord& fn : scan.functions) {
+      // Later definitions of one name do not replace the first: good
+      // enough, and deterministic.
+      analysis.functions.emplace(fn.qualified, &fn);
+      if (!fn.cls.empty()) {
+        const std::size_t sep = fn.qualified.rfind("::");
+        analysis.classes_with_method[fn.qualified.substr(sep + 2)].insert(
+            fn.cls);
+      }
+    }
+  }
+
+  for (FileScan& scan : scans) {
+    for (FunctionRecord& fn : scan.functions) {
+      ReplayFunction(&analysis, fn, findings);
+    }
+  }
+  PropagateSummaries(&analysis);
+  return analysis;
+}
+
+}  // namespace
+
+const LockDecl* LockRegistry::Find(const std::string& id) const {
+  for (const LockDecl& decl : locks) {
+    if (decl.id == id) return &decl;
+  }
+  return nullptr;
+}
+
+LockRegistry HarvestLocks(const std::vector<SourceFile>& files) {
+  std::vector<Finding> sink;
+  return BuildAnalysis(files, &sink).registry;
+}
+
+void CheckLockHierarchy(const std::vector<SourceFile>& files,
+                        std::vector<Finding>* findings) {
+  const Analysis analysis = BuildAnalysis(files, findings);
+  ReportCycles(analysis, findings);
+  ReportRankViolations(analysis, findings);
+  ReportMissingRanks(analysis, findings);
+}
+
+}  // namespace soc::lint

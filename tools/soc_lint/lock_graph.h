@@ -1,0 +1,97 @@
+// The lock-hierarchy pass: cross-TU lock-order static analysis.
+//
+// Built on the token lexer (soc_lint/lexer.h) and a brace-scope tracker,
+// this pass makes deadlock freedom a CI-time property:
+//
+//   1. Harvest — every `Mutex` / `SharedMutex` member declaration in
+//      src/ becomes an entry in a project-wide lock registry (identity
+//      is `Class::member`), together with its declared LockRank
+//      initializer, SOC_GUARDED_BY field associations, and
+//      SOC_REQUIRES/SOC_ACQUIRE function annotations. The rank table
+//      itself is parsed out of src/common/lock_rank.h so the static
+//      checker and the runtime checker share one source of truth.
+//
+//   2. Reconstruct — function bodies are walked with a scope tracker;
+//      `MutexLock` / `ReaderMutexLock` / `WriterMutexLock` declarations
+//      open held-lock regions that close with their enclosing brace
+//      scope. Per-function acquisition summaries are propagated to a
+//      fixpoint through the name-resolved call graph, giving the
+//      cross-TU acquisition relation: an edge A -> B means some thread
+//      may acquire B while holding A, either by direct lexical nesting
+//      or through a call chain.
+//
+//   3. Report — rules emitted through the shared finding engine:
+//        lock-order          cycles in the acquisition graph (including
+//                            direct same-lock re-entry), with both
+//                            acquisition witnesses.
+//        lock-rank-order     an edge A -> B where rank(A) >= rank(B);
+//                            ranks must strictly increase along every
+//                            acquisition path.
+//        lock-rank-missing   a Mutex member in the serving layers
+//                            (serve/, tenant/, obs/, thread_pool)
+//                            declared without a LockRank.
+//        blocking-under-lock solver invocation, miner calls, sleeps,
+//                            pool submit/shutdown/join inside a
+//                            held-lock region.
+//        condvar-wait-loop   an untimed CondVar::Wait outside the
+//                            sanctioned `while (!pred) cv.Wait(mu);`
+//                            idiom (timed WaitFor is exempt: its
+//                            callers re-derive the predicate anyway).
+//
+// Heuristics, stated so their failure modes are known: lock identity is
+// the declaring class plus member name (two instances of one class
+// share a node — exactly what the rank table expresses); receiver types
+// are resolved by member/method name, preferring the enclosing class
+// and falling back to a unique project-wide match; only PascalCase
+// callees are chased (project convention, and it keeps `size()` /
+// `erase()` from aliasing into STL); call-mediated self-edges are
+// dropped (distinct instances of one per-object lock), while direct
+// lexical re-entry of one member is still reported.
+
+#ifndef SOC_TOOLS_SOC_LINT_LOCK_GRAPH_H_
+#define SOC_TOOLS_SOC_LINT_LOCK_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soc_lint/lint.h"
+
+namespace soc::lint {
+
+// One harvested Mutex/SharedMutex member declaration.
+struct LockDecl {
+  std::string id;         // "Class::member" — the node identity.
+  std::string cls;
+  std::string member;
+  std::string rank_name;  // "kServeMetrics" etc.; empty = unranked.
+  int rank = 0;           // Numeric rank; 0 = unranked or unknown table.
+  std::string rank_label; // Human name from the table, e.g. "serve.metrics".
+  bool shared = false;    // SharedMutex rather than Mutex.
+  std::string path;
+  int line = 0;
+};
+
+// The project-wide lock registry the harvest step produces.
+struct LockRegistry {
+  std::vector<LockDecl> locks;
+  // SOC_GUARDED_BY associations: "Class::field" -> "Class::mutex".
+  std::map<std::string, std::string> guarded_by;
+  // SOC_REQUIRES annotations: "Class::Method" -> lock ids the caller
+  // must already hold (these seed the held set of the definition).
+  std::map<std::string, std::vector<std::string>> requires_locks;
+
+  const LockDecl* Find(const std::string& id) const;
+};
+
+// Harvest only (exposed for tests and for a future --dump-locks).
+LockRegistry HarvestLocks(const std::vector<SourceFile>& files);
+
+// The full pass: harvest, reconstruct, report. Operates on src/ files
+// only; snippet tests feed fabricated src/... paths.
+void CheckLockHierarchy(const std::vector<SourceFile>& files,
+                        std::vector<Finding>* findings);
+
+}  // namespace soc::lint
+
+#endif  // SOC_TOOLS_SOC_LINT_LOCK_GRAPH_H_

@@ -1,15 +1,32 @@
 // soc_lint: walks the repository tree and enforces the project
-// invariants in soc_lint/lint.h. Exit code 0 = clean, 1 = findings,
-// 2 = usage / IO error, which makes it a CI gate:
+// invariants in soc_lint/lint.h. Exit code 0 = clean, 1 = unsuppressed
+// findings, 2 = usage / IO error, which makes it a CI gate:
 //
-//   soc_lint [--root=DIR] [--format=text|json]
+//   soc_lint [--root=DIR] [--format=text|json|sarif]
+//            [--baseline=FILE] [--write-baseline=FILE]
+//            [--diff-base=REF] [--fix]
 //
 // Lints every .h/.cc under src/, tools/, tests/, bench/ and examples/
 // relative to --root (default: the current directory).
+//
+//   --baseline        suppresses pinned pre-existing findings
+//                     (default: tools/soc_lint/baseline.txt under
+//                     --root when it exists; --baseline= disables).
+//   --write-baseline  writes the current unsuppressed findings as a new
+//                     baseline and exits 0.
+//   --diff-base=REF   reports only findings in files changed versus the
+//                     git ref (plus untracked files); every pass still
+//                     sees the whole tree, so cross-TU rules stay
+//                     sound. The fast per-PR mode.
+//   --fix             rewrites auto-fixable findings in place
+//                     (include-guard canonicality) and reports what it
+//                     touched.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,8 +43,16 @@ std::string GetFlag(int argc, char** argv, const std::string& name,
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == "--" + name) return "";  // Valueless spelling.
   }
   return default_value;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--" + name) return true;
+  }
+  return false;
 }
 
 bool IsLintable(const fs::path& path) {
@@ -35,13 +60,49 @@ bool IsLintable(const fs::path& path) {
   return ext == ".h" || ext == ".cc";
 }
 
+// Paths changed versus `ref` plus untracked files, repo-relative. Empty
+// optional-style: `ok` is false when git itself failed.
+std::set<std::string> ChangedPaths(const std::string& root,
+                                   const std::string& ref, bool* ok) {
+  std::set<std::string> changed;
+  *ok = true;
+  for (const std::string& cmd :
+       {"git -C '" + root + "' diff --name-only '" + ref + "' 2>/dev/null",
+        "git -C '" + root +
+            "' ls-files --others --exclude-standard 2>/dev/null"}) {
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      *ok = false;
+      return changed;
+    }
+    std::string output;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+      output.append(buffer, n);
+    }
+    const int status = pclose(pipe);
+    if (status != 0 && cmd.find("diff") != std::string::npos) {
+      *ok = false;
+      return changed;
+    }
+    std::istringstream lines(output);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty()) changed.insert(line);
+    }
+  }
+  return changed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string root = GetFlag(argc, argv, "root", ".");
   const std::string format = GetFlag(argc, argv, "format", "text");
-  if (format != "text" && format != "json") {
-    std::fprintf(stderr, "soc_lint: unknown --format=%s (text|json)\n",
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr,
+                 "soc_lint: unknown --format=%s (text|json|sarif)\n",
                  format.c_str());
     return 2;
   }
@@ -71,10 +132,93 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<soc::lint::Finding> findings =
-      soc::lint::LintTree(files);
+  std::vector<soc::lint::Finding> findings = soc::lint::LintTree(files);
+
+  // --fix: apply mechanical rewrites before any reporting, then re-lint
+  // so the report reflects the fixed tree.
+  if (HasFlag(argc, argv, "fix")) {
+    int fixed_count = 0;
+    for (soc::lint::SourceFile& file : files) {
+      std::string fixed;
+      if (!soc::lint::FixIncludeGuard(file, &fixed)) continue;
+      std::ofstream out(fs::path(root) / file.path,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "soc_lint: cannot write %s\n",
+                     file.path.c_str());
+        return 2;
+      }
+      out << fixed;
+      file.content = std::move(fixed);
+      std::fprintf(stderr, "soc_lint: fixed include guard in %s\n",
+                   file.path.c_str());
+      ++fixed_count;
+    }
+    std::fprintf(stderr, "soc_lint: %d file(s) fixed\n", fixed_count);
+    findings = soc::lint::LintTree(files);
+  }
+
+  // Baseline: default file is picked up silently when present.
+  const fs::path default_baseline =
+      fs::path(root) / "tools" / "soc_lint" / "baseline.txt";
+  std::string baseline_path = GetFlag(
+      argc, argv, "baseline",
+      fs::exists(default_baseline) ? default_baseline.string() : "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "soc_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    findings = soc::lint::ApplyBaseline(
+        findings, soc::lint::ParseBaseline(buffer.str()));
+  }
+
+  const std::string write_baseline =
+      GetFlag(argc, argv, "write-baseline", "");
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "soc_lint: cannot write baseline %s\n",
+                   write_baseline.c_str());
+      return 2;
+    }
+    out << soc::lint::WriteBaseline(findings);
+    std::fprintf(stderr, "soc_lint: wrote %zu finding(s) to %s\n",
+                 findings.size(), write_baseline.c_str());
+    return 0;
+  }
+
+  // --diff-base: restrict the report to changed files. Passes already
+  // ran over the full tree, so cross-TU findings in changed files are
+  // exact, not approximated.
+  const std::string diff_base = GetFlag(argc, argv, "diff-base", "");
+  if (!diff_base.empty()) {
+    bool ok = false;
+    const std::set<std::string> changed = ChangedPaths(root, diff_base, &ok);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "soc_lint: git diff against '%s' failed (not a repo, or "
+                   "unknown ref?)\n",
+                   diff_base.c_str());
+      return 2;
+    }
+    std::vector<soc::lint::Finding> scoped;
+    for (soc::lint::Finding& finding : findings) {
+      if (changed.count(finding.path) != 0) {
+        scoped.push_back(std::move(finding));
+      }
+    }
+    findings = std::move(scoped);
+  }
+
   if (format == "json") {
     std::printf("%s\n", soc::lint::FindingsToJson(findings).c_str());
+  } else if (format == "sarif") {
+    std::printf("%s\n", soc::lint::FindingsToSarif(findings).c_str());
   } else {
     for (const soc::lint::Finding& finding : findings) {
       std::printf("%s:%d: [%s] %s\n", finding.path.c_str(), finding.line,
