@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <future>
 #include <iterator>
+#include <map>
 #include <string>
 #include <thread>
 #include <utility>
@@ -22,6 +24,10 @@
 #include "common/thread_pool.h"
 #include "core/solver_registry.h"
 #include "common/mutex.h"
+#include "obs/event_log.h"
+#include "obs/slo.h"
+#include "obs/wide_event.h"
+#include "serve/event_builder.h"
 #include "serve/protocol.h"
 #include "serve/visibility_service.h"
 #include "tenant/sharded_service.h"
@@ -49,6 +55,11 @@ const char* const kDictionaryTokens[] = {
     // Multi-tenant vocabulary (routing + epoch/cache metadata).
     "\"tenant_id\"",      "\"epoch\"",       "\"cache_hit\"",
     "\"admin\"",          "publish_epoch",   "acme",
+    // Wide-event vocabulary (schema v1 field names + outcome enums).
+    "\"v\":1",            "\"ts_ms\"",       "\"outcome\"",
+    "\"solver_req\"",     "\"total_ms\"",    "\"collapse_ratio\"",
+    "\"satisfied\"",      "ok",              "shed",
+    "invalid",            "error",           "deadline_expired",
 };
 
 std::string Mutate(std::string input, Rng& rng) {
@@ -288,6 +299,76 @@ StatusOr<bool> RunInstanceInput(const std::string& text) {
   return true;
 }
 
+// A schema-valid wide event rendered through the canonical encoder, so
+// unmutated inputs are always accepted and mutations explore the
+// parser's rejection surface from just outside the schema.
+std::string ValidWideEventLine(Rng& rng) {
+  obs::WideEvent event;
+  event.ts_ms = rng.NextDouble() * 1e4;
+  event.id = "e" + std::to_string(rng.NextInt(0, 999));
+  if (rng.NextBernoulli(0.4)) {
+    // Sharded-path routing fields ride together, as in production.
+    event.tenant = "t" + std::to_string(rng.NextInt(0, 99));
+    event.shard = rng.NextInt(0, 7);
+    event.epoch = rng.NextInt(1, 9);
+  }
+  if (rng.NextBernoulli(0.5)) event.solver_req = "BranchAndBound";
+  event.solver = "Fallback";
+  event.m = rng.NextInt(0, 8);
+  if (rng.NextBernoulli(0.5)) event.deadline_ms = rng.NextDouble() * 100;
+  event.num_queries = rng.NextInt(0, 500);
+  event.num_attributes = rng.NextInt(0, 32);
+  event.collapse_ratio = rng.NextDouble();
+  event.queue_ms = rng.NextDouble() * 10;
+  event.solve_ms = rng.NextDouble() * 10;
+  event.total_ms = event.queue_ms + event.solve_ms;
+  if (rng.NextBernoulli(0.3)) event.predicted_ms = rng.NextDouble() * 10;
+  event.outcome = obs::kWideEventOutcomes[rng.NextUint64(
+      std::size(obs::kWideEventOutcomes))];
+  if (event.outcome == "ok") {
+    event.code = StatusCodeToString(StatusCode::kOk);
+    event.satisfied = rng.NextInt(0, 50);
+    if (rng.NextBernoulli(0.3)) {
+      event.degraded = true;
+      event.stop_reason = StopReasonToString(StopReason::kDeadline);
+    }
+    event.fast_path = rng.NextBernoulli(0.2);
+    event.cache_hit = rng.NextBernoulli(0.3);
+    event.breaker_rerouted = rng.NextBernoulli(0.1);
+    event.ladder_downgraded = rng.NextBernoulli(0.1);
+  } else if (event.outcome == "shed") {
+    event.code = StatusCodeToString(StatusCode::kOverloaded);
+    event.shed_reason = obs::kWideEventShedReasons[rng.NextUint64(
+        std::size(obs::kWideEventShedReasons))];
+    if (rng.NextBernoulli(0.7)) event.retry_after_ms = rng.NextDouble() * 50;
+  } else if (event.outcome == "invalid") {
+    event.code = StatusCodeToString(rng.NextBernoulli(0.5)
+                                        ? StatusCode::kInvalidArgument
+                                        : StatusCode::kNotFound);
+  } else {
+    event.code = StatusCodeToString(StatusCode::kInternal);
+  }
+  return obs::WideEventToJsonLine(event);
+}
+
+// Wide-event lines must reach a fixed point after one canonical encode,
+// the same contract the response protocol obeys.
+StatusOr<bool> RunEventInput(const std::string& line) {
+  auto event = obs::ParseWideEventLine(line);
+  if (!event.ok()) return false;
+  const std::string canonical = obs::WideEventToJsonLine(*event);
+  auto reparsed = obs::ParseWideEventLine(canonical);
+  if (!reparsed.ok()) {
+    return InternalError("accepted wide event did not reparse: " +
+                         reparsed.status().ToString() + " in " + canonical);
+  }
+  if (obs::WideEventToJsonLine(*reparsed) != canonical) {
+    return InternalError("wide event round trip changed the encoding: " +
+                         canonical);
+  }
+  return true;
+}
+
 StatusOr<FuzzReport> RunMutationLoop(
     const FuzzOptions& options,
     const std::function<std::string(Rng&)>& generate,
@@ -345,6 +426,10 @@ StatusOr<FuzzReport> FuzzInstanceText(const FuzzOptions& options) {
         return InstanceToText(GenerateInstance(rng.Next(), small));
       },
       &RunInstanceInput);
+}
+
+StatusOr<FuzzReport> FuzzWideEvent(const FuzzOptions& options) {
+  return RunMutationLoop(options, &ValidWideEventLine, &RunEventInput);
 }
 
 Status FuzzServe(const ServeFuzzOptions& options) {
@@ -771,6 +856,43 @@ Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options) {
     }
     return Status::OK();
   };
+  // Observability v2 rides the storm: every request becomes a wide
+  // event (drained and re-parsed afterwards) and an SLO outcome. Hot
+  // (even-index) tenants get a latency threshold of 0 ms so every
+  // served request burns their budget and they must alert; cold tenants
+  // keep the default objective, whose 0.5 availability target caps
+  // burn at bad_fraction / 0.5 <= 2.0 — never strictly above the 2.0
+  // fast threshold — so they must not alert no matter what the chaos
+  // injection does to them.
+  obs::EventLog event_log;
+  event_log.set_enabled(true);
+  obs::SloEngineOptions slo_options;
+  slo_options.default_objective.latency_threshold_ms = 1e9;
+  slo_options.default_objective.availability_target = 0.5;
+  // Storm-length windows (the storm runs in far under an hour), so the
+  // windowed totals the burn rates see equal the cumulative ledgers the
+  // audit recomputes.
+  slo_options.fast_window_s = 3600;
+  slo_options.slow_window_s = 3600;
+  slo_options.fast_burn_threshold = 2.0;
+  slo_options.slow_burn_threshold = 1.0;
+  obs::SloEngine slo_engine(slo_options);
+  obs::SloObjective hot_objective;
+  hot_objective.latency_threshold_ms = 0;
+  hot_objective.availability_target = 0.9;
+  std::map<std::string, double> latency_threshold_ms;
+  for (int t = 0; t < num_tenants; ++t) {
+    if (t % 2 == 0) {
+      slo_engine.SetObjective(tenant_ids[static_cast<std::size_t>(t)],
+                              hot_objective);
+    }
+    latency_threshold_ms[tenant_ids[static_cast<std::size_t>(t)]] =
+        t % 2 == 0 ? hot_objective.latency_threshold_ms
+                   : slo_options.default_objective.latency_threshold_ms;
+  }
+  service_options.shard.event_log = &event_log;
+  service_options.shard.slo_engine = &slo_engine;
+
   tenant::ShardedService service(service_options);
   for (int t = 0; t < num_tenants; ++t) {
     SOC_RETURN_IF_ERROR(service.CreateTenant(tenant_ids[t], initial_logs[t]));
@@ -916,6 +1038,10 @@ Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options) {
 
   std::int64_t ok_responses = 0;
   std::int64_t cache_hit_responses = 0;
+  // Tenant -> (good, bad): the SLO outcomes the responses imply, built
+  // with the shard's own classification (serve/event_builder.h) so the
+  // engine's ledgers can be audited exactly.
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> expected_slo;
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const Plan& plan = plans[i];
     if (!futures[i].valid()) {
@@ -932,6 +1058,22 @@ Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options) {
         response.shed_reason.empty()) {
       return InternalError("request " + plan.request.id +
                            ": overloaded response without shed_reason");
+    }
+    if (serve::CountsTowardSlo(response.status)) {
+      const std::string& tenant = response.tenant_id.empty()
+                                      ? plan.request.tenant_id
+                                      : response.tenant_id;
+      const auto threshold_it = latency_threshold_ms.find(tenant);
+      const double threshold =
+          threshold_it == latency_threshold_ms.end()
+              ? slo_options.default_objective.latency_threshold_ms
+              : threshold_it->second;
+      const double latency = response.queue_ms + response.solve_ms;
+      auto& [good, bad] = expected_slo[tenant.empty() ? "default" : tenant];
+      (response.status.ok() && std::isfinite(latency) &&
+               latency <= threshold
+           ? good
+           : bad) += 1;
     }
     if (!response.status.ok()) continue;
     ++ok_responses;
@@ -1042,6 +1184,89 @@ Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options) {
                          std::to_string(expected_publishes));
   }
 
+  // Wide-event audit (before the probes below add their own events):
+  // every storm request settled through exactly one RecordOutcome, so
+  // recorded plus ring drops must equal submitted, and every drained
+  // event must re-parse canonically.
+  if (event_log.events_recorded() + event_log.events_dropped() !=
+      static_cast<std::int64_t>(plans.size())) {
+    return InternalError(
+        "wide events recorded " + std::to_string(event_log.events_recorded()) +
+        " + dropped " + std::to_string(event_log.events_dropped()) +
+        " != requests " + std::to_string(plans.size()));
+  }
+  std::vector<obs::WideEvent> events;
+  event_log.Drain(&events);
+  if (static_cast<std::int64_t>(events.size()) !=
+      event_log.events_recorded()) {
+    return InternalError("drained " + std::to_string(events.size()) +
+                         " wide events but " +
+                         std::to_string(event_log.events_recorded()) +
+                         " were recorded");
+  }
+  for (const obs::WideEvent& event : events) {
+    const std::string line = obs::WideEventToJsonLine(event);
+    const StatusOr<bool> replay = RunEventInput(line);
+    SOC_RETURN_IF_ERROR(replay.status());
+    if (!*replay) {
+      return InternalError("storm produced an unparseable wide event: " +
+                           line);
+    }
+  }
+
+  // SLO engine audit: every per-tenant ledger must match the counts the
+  // responses imply, the alert state must match the burn rates those
+  // counts produce, at least one hot tenant must be alerting and no
+  // cold tenant may be.
+  const obs::SloReport slo_report = slo_engine.Report();
+  std::size_t audited_tenants = 0;
+  std::int64_t alerting_hot = 0;
+  for (const auto& [tenant, state] : slo_report.tenants) {
+    const auto expected_it = expected_slo.find(tenant);
+    const std::int64_t want_good =
+        expected_it == expected_slo.end() ? 0 : expected_it->second.first;
+    const std::int64_t want_bad =
+        expected_it == expected_slo.end() ? 0 : expected_it->second.second;
+    if (expected_it != expected_slo.end()) ++audited_tenants;
+    if (state.good != want_good || state.bad != want_bad) {
+      return InternalError(
+          "tenant '" + tenant + "' SLO ledger (good " +
+          std::to_string(state.good) + ", bad " + std::to_string(state.bad) +
+          ") != responses (good " + std::to_string(want_good) + ", bad " +
+          std::to_string(want_bad) + ")");
+    }
+    const std::int64_t total = want_good + want_bad;
+    const double burn =
+        total == 0 ? 0
+                   : (static_cast<double>(want_bad) /
+                      static_cast<double>(total)) /
+                         (1.0 - state.objective.availability_target);
+    const bool want_alerting = burn > slo_options.fast_burn_threshold &&
+                               burn > slo_options.slow_burn_threshold;
+    if (state.alerting != want_alerting) {
+      return InternalError("tenant '" + tenant + "' alerting=" +
+                           std::to_string(state.alerting) +
+                           " does not match burn " + std::to_string(burn));
+    }
+    const bool hot = state.objective.latency_threshold_ms ==
+                     hot_objective.latency_threshold_ms;
+    if (!hot && state.alerting) {
+      return InternalError("cold tenant '" + tenant +
+                           "' is alerting; its 0.5 target caps burn at the "
+                           "fast threshold");
+    }
+    if (hot && state.alerting) ++alerting_hot;
+  }
+  if (audited_tenants != expected_slo.size()) {
+    return InternalError("SLO report covers " +
+                         std::to_string(audited_tenants) + " of " +
+                         std::to_string(expected_slo.size()) +
+                         " tenants with recorded outcomes");
+  }
+  if (alerting_hot == 0) {
+    return InternalError("no hot tenant alerted under the storm");
+  }
+
   // Cache determinism tail: with the storm over and epochs quiescent, an
   // identical back-to-back pair per tenant must produce one solve and
   // one cache hit with the same objective.
@@ -1096,9 +1321,12 @@ Status ReplayCorpusInput(const std::string& kind, const std::string& payload) {
     accepted = RunCsvInput(payload);
   } else if (kind == "instance") {
     accepted = RunInstanceInput(payload);
+  } else if (kind == "event") {
+    accepted = RunEventInput(payload);
   } else {
-    return InvalidArgumentError("unknown corpus kind '" + kind +
-                                "'; want protocol, response, csv or instance");
+    return InvalidArgumentError(
+        "unknown corpus kind '" + kind +
+        "'; want protocol, response, csv, instance or event");
   }
   return accepted.status();
 }

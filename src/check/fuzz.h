@@ -56,6 +56,12 @@ StatusOr<FuzzReport> FuzzQueryLogCsv(const FuzzOptions& options = {});
 // round-trip InstanceToText -> InstanceFromText bit-identically.
 StatusOr<FuzzReport> FuzzInstanceText(const FuzzOptions& options = {});
 
+// Wide-event JSONL lines through obs::ParseWideEventLine; accepted
+// lines must reach a fixed point after one canonical re-encode
+// (encode(parse(line)) re-parses to an identical re-encoding), the
+// contract --events-out readers depend on.
+StatusOr<FuzzReport> FuzzWideEvent(const FuzzOptions& options = {});
+
 struct ServeFuzzOptions {
   int requests = 200;
   std::uint64_t seed = 1;
@@ -114,7 +120,13 @@ Status FuzzServeChaos(const ChaosServeOptions& options = {});
 //    and the per-tenant accepted counters sum to the service total;
 //  * cache determinism — after the storm, an identical back-to-back
 //    resubmission per tenant is answered from the cache with the same
-//    objective.
+//    objective;
+//  * observability — every request the storm submitted became exactly
+//    one wide event (recorded + ring drops == submitted) and every
+//    drained event re-parses canonically; the SLO engine's per-tenant
+//    good/bad ledgers match the counts recomputed from the responses,
+//    hot tenants (impossible latency threshold) alert and cold tenants
+//    (whose 0.5 target caps burn at the alert threshold) never do.
 struct MultiTenantChaosOptions {
   int requests = 400;
   std::uint64_t seed = 1;
@@ -134,8 +146,8 @@ struct MultiTenantChaosOptions {
 };
 Status FuzzMultiTenantChaos(const MultiTenantChaosOptions& options = {});
 
-// Replays one corpus input. `kind` is "protocol", "response", "csv" or
-// "instance" (the corpus file name prefix).
+// Replays one corpus input. `kind` is "protocol", "response", "csv",
+// "instance" or "event" (the corpus file name prefix).
 Status ReplayCorpusInput(const std::string& kind, const std::string& payload);
 
 }  // namespace soc::check

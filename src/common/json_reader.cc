@@ -1,9 +1,9 @@
-#include "serve/json_reader.h"
+#include "common/json_reader.h"
 
 #include <cctype>
 #include <cstdlib>
 
-namespace soc::serve {
+namespace soc {
 
 namespace {
 
@@ -191,4 +191,4 @@ StatusOr<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
   return object;
 }
 
-}  // namespace soc::serve
+}  // namespace soc

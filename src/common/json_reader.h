@@ -1,4 +1,5 @@
-// A minimal JSON reader for the serve JSONL protocol: parses one *flat*
+// A minimal JSON reader for line-oriented telemetry (the serve JSONL
+// protocol, wide-event logs): parses one *flat*
 // JSON object (string / number / bool / null values; no nested arrays or
 // objects) per line. The write side is common/json_writer.h; this is the
 // matching read side, deliberately scoped to what the protocol needs
@@ -8,15 +9,15 @@
 // including surrogate pairs, decoded to UTF-8). Raw multi-byte UTF-8 in
 // string values passes through unmodified.
 
-#ifndef SOC_SERVE_JSON_READER_H_
-#define SOC_SERVE_JSON_READER_H_
+#ifndef SOC_COMMON_JSON_READER_H_
+#define SOC_COMMON_JSON_READER_H_
 
 #include <map>
 #include <string>
 
 #include "common/status.h"
 
-namespace soc::serve {
+namespace soc {
 
 struct JsonScalar {
   enum class Kind { kNull, kBool, kNumber, kString };
@@ -32,6 +33,6 @@ struct JsonScalar {
 StatusOr<std::map<std::string, JsonScalar>> ParseFlatJsonObject(
     const std::string& text);
 
-}  // namespace soc::serve
+}  // namespace soc
 
-#endif  // SOC_SERVE_JSON_READER_H_
+#endif  // SOC_COMMON_JSON_READER_H_

@@ -85,8 +85,14 @@ inline constexpr LockRank kRetryBudget{76, "serve.retry"};
 inline constexpr LockRank kWatchdog{78, "serve.watchdog"};
 inline constexpr LockRank kMetricsExporter{80, "serve.metrics_exporter"};
 
+// ---- observability v2: SLO accounting and the wide-event pipeline ----
+inline constexpr LockRank kSloEngine{82, "obs.slo_engine"};
+inline constexpr LockRank kEventPump{84, "obs.event_pump"};
+
 // ---- leaf utilities: anything above may hold a lock while entering ----
 inline constexpr LockRank kServeMetrics{85, "serve.metrics"};
+inline constexpr LockRank kEventLog{86, "obs.event_log"};
+inline constexpr LockRank kProfiler{88, "obs.profiler"};
 inline constexpr LockRank kTraceRecorder{90, "obs.trace_recorder"};
 inline constexpr LockRank kThreadPool{95, "common.thread_pool"};
 

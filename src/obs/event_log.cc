@@ -1,0 +1,212 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace soc::obs {
+
+namespace {
+
+// Process-unique log ids; id 0 is reserved so a zero-initialized
+// thread-local cache can never falsely hit (same scheme as
+// TraceRecorder).
+std::atomic<std::uint64_t> next_event_log_id{1};
+
+}  // namespace
+
+EventLog::EventLog(EventLogOptions options)
+    : id_(next_event_log_id.fetch_add(1, std::memory_order_relaxed)),
+      options_([&options] {
+        options.per_thread_capacity =
+            std::max<std::size_t>(1, options.per_thread_capacity);
+        options.sample_every = std::max<std::int64_t>(1, options.sample_every);
+        return options;
+      }()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+EventLog::~EventLog() = default;
+
+double EventLog::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+EventLog::ThreadBuffer* EventLog::BufferForThisThread() {
+  struct TlsCache {
+    std::uint64_t log_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  static thread_local TlsCache cache;
+  if (cache.log_id == id_) return cache.buffer;
+  MutexLock lock(mutex_);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(options_.per_thread_capacity));
+  cache = {id_, buffers_.back().get()};
+  return cache.buffer;
+}
+
+bool EventLog::ShouldRecord() {
+  if (!enabled()) return false;
+  if (options_.sample_every > 1) {
+    const std::int64_t n =
+        sample_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (n % options_.sample_every != 0) {
+      sampled_out_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+void EventLog::Record(WideEvent event) {
+  if (!enabled()) return;
+  event.ts_ms = NowMs();
+  ThreadBuffer* buffer = BufferForThisThread();
+  const std::uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = buffer->tail.load(std::memory_order_acquire);
+  if (head - tail >= buffer->slots.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->slots[head % buffer->slots.size()] = std::move(event);
+  // Publish: the drainer acquires `head` and only touches slots below it.
+  buffer->head.store(head + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t EventLog::Drain(std::vector<WideEvent>* out) {
+  std::size_t drained = 0;
+  MutexLock lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    std::uint64_t tail = buffer->tail.load(std::memory_order_relaxed);
+    while (tail < head) {
+      out->push_back(std::move(buffer->slots[tail % buffer->slots.size()]));
+      ++tail;
+      ++drained;
+    }
+    // Free the consumed slots for the producer (it acquires `tail`).
+    buffer->tail.store(tail, std::memory_order_release);
+  }
+  return drained;
+}
+
+JsonlEventSink::JsonlEventSink(Options options)
+    : options_(std::move(options)) {}
+
+JsonlEventSink::~JsonlEventSink() { IgnoreError(Close(), "sink dtor"); }
+
+Status JsonlEventSink::Open() {
+  if (file_ != nullptr) return Status::OK();
+  file_ = std::fopen(options_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return InternalError("cannot open event log output " + options_.path);
+  }
+  current_bytes_ = 0;
+  return Status::OK();
+}
+
+Status JsonlEventSink::Rotate() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  // Shift path.(n-1) -> path.n oldest-first, then path -> path.1. A
+  // rename of a missing rotation slot is harmless.
+  for (int i = std::max(1, options_.max_rotations) - 1; i >= 1; --i) {
+    const std::string from = options_.path + "." + std::to_string(i);
+    const std::string to = options_.path + "." + std::to_string(i + 1);
+    std::rename(from.c_str(), to.c_str());
+  }
+  std::rename(options_.path.c_str(), (options_.path + ".1").c_str());
+  ++rotations_;
+  return Open();
+}
+
+Status JsonlEventSink::Write(const std::vector<WideEvent>& events) {
+  if (file_ == nullptr) SOC_RETURN_IF_ERROR(Open());
+  for (const WideEvent& event : events) {
+    const std::string line = WideEventToJsonLine(event) + "\n";
+    if (options_.max_bytes > 0 && current_bytes_ > 0 &&
+        current_bytes_ + static_cast<std::int64_t>(line.size()) >
+            options_.max_bytes) {
+      SOC_RETURN_IF_ERROR(Rotate());
+    }
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+      return InternalError("short write to event log " + options_.path);
+    }
+    current_bytes_ += static_cast<std::int64_t>(line.size());
+    bytes_written_ += static_cast<std::int64_t>(line.size());
+  }
+  return Status::OK();
+}
+
+Status JsonlEventSink::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return InternalError("close failed on event log " + options_.path);
+  }
+  return Status::OK();
+}
+
+EventPump::EventPump(Options options) : options_(std::move(options)) {
+  loop_pool_.Submit([this] { Loop(); });
+}
+
+EventPump::~EventPump() { Stop(); }
+
+void EventPump::Stop() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  wake_.NotifyAll();
+  // Joins the cadence task; the final drain has happened when this
+  // returns.
+  loop_pool_.Shutdown();
+}
+
+std::int64_t EventPump::drains() const {
+  MutexLock lock(mutex_);
+  return drains_;
+}
+
+void EventPump::DrainOnce() {
+  scratch_.clear();
+  if (options_.log != nullptr) options_.log->Drain(&scratch_);
+  if (options_.sink && !scratch_.empty()) options_.sink(scratch_);
+  MutexLock lock(mutex_);
+  ++drains_;
+}
+
+void EventPump::Loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration<double>(
+      std::max(0.01, options_.interval_s));
+  auto next = Clock::now() + interval;
+  for (;;) {
+    bool stopping = false;
+    {
+      MutexLock lock(mutex_);
+      while (!stop_ && Clock::now() < next) {
+        const double remaining =
+            std::chrono::duration<double>(next - Clock::now()).count();
+        wake_.WaitFor(mutex_, std::max(0.0, remaining));
+      }
+      stopping = stop_;
+    }
+    DrainOnce();
+    if (stopping) return;
+    next += interval;
+    const auto now = Clock::now();
+    // A drain that overran a full interval re-anchors instead of
+    // bursting to catch up.
+    if (next < now) next = now + interval;
+  }
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,196 @@
+// EventLog: the recording half of the wide-event pipeline — a
+// low-overhead, lock-free-on-the-hot-path collector that serving
+// workers push WideEvents into and a single drainer pulls them out of.
+//
+// Design (mirrors obs/trace_recorder.h, which proved the shape):
+//  * the enabled check is one relaxed atomic load, so a disabled log
+//    costs a branch per request;
+//  * sampling is one relaxed fetch_add + modulo (record every Nth
+//    submission), decided *before* the event is even built so sampled-
+//    out requests never pay for field assembly;
+//  * each producer thread owns a fixed-capacity SPSC ring registered on
+//    first use: the producer publishes `head` with a release store, the
+//    single drainer reads it with acquire and advances `tail` with a
+//    release store the producer acquires — no locks on either side of a
+//    record/drain pair (the registry mutex guards only thread
+//    registration and buffer enumeration);
+//  * a full ring drops (counted) instead of blocking: under overload
+//    the event log degrades exactly like the rest of the system —
+//    sheds load, never adds latency.
+//
+// The drain side: JsonlEventSink appends one WideEventToJsonLine per
+// event to a file, rotating by size (path → path.1 → path.2 ...), and
+// EventPump runs Drain→sink on an absolute-deadline cadence (same
+// drift-free scheduling as the fixed MetricsExporter loop) with a final
+// flush on Stop.
+
+#ifndef SOC_OBS_EVENT_LOG_H_
+#define SOC_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "obs/wide_event.h"
+
+namespace soc::obs {
+
+struct EventLogOptions {
+  // Ring slots per producer thread; a full ring drops.
+  std::size_t per_thread_capacity = 4096;
+  // Record every Nth submission (1 = every request). Sampling is
+  // global, not per-thread, so the effective rate is exact.
+  std::int64_t sample_every = 1;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogOptions options = {});
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // The hot-path gate: false when disabled or this submission is
+  // sampled out. Callers skip building the event entirely on false.
+  bool ShouldRecord();
+
+  // Stamps event.ts_ms (steady ms since construction) and publishes the
+  // event into this thread's ring. Drops (counted) when the ring is
+  // full. Callers pair this with a prior ShouldRecord().
+  void Record(WideEvent event);
+
+  // Steady-clock ms since this log was constructed.
+  double NowMs() const;
+
+  // Moves every published-but-undrained event into `out` (appending),
+  // in per-thread order. Single logical consumer: callers serialize
+  // drains themselves (EventPump does).
+  std::size_t Drain(std::vector<WideEvent>* out);
+
+  std::int64_t events_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::int64_t events_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::int64_t events_sampled_out() const {
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One producer thread's ring. head is only written by the owner
+  // (release) and read by the drainer (acquire); tail the reverse.
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity) : slots(capacity) {}
+    std::vector<WideEvent> slots;
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> tail{0};
+  };
+
+  ThreadBuffer* BufferForThisThread() SOC_EXCLUDES(mutex_);
+
+  const std::uint64_t id_;  // Process-unique; keys the thread-local cache.
+  const EventLogOptions options_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> sample_counter_{0};
+  std::atomic<std::int64_t> recorded_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> sampled_out_{0};
+
+  mutable Mutex mutex_{lock_rank::kEventLog};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SOC_GUARDED_BY(mutex_);
+};
+
+// Appends wide events as JSONL, rotating by size: when the current file
+// would exceed max_bytes, it is closed and renamed path -> path.1
+// (shifting existing rotations up, dropping the oldest past
+// max_rotations) and a fresh file is opened at `path`.
+class JsonlEventSink {
+ public:
+  struct Options {
+    std::string path;
+    std::int64_t max_bytes = 64 * 1024 * 1024;
+    int max_rotations = 3;
+  };
+
+  explicit JsonlEventSink(Options options);
+  ~JsonlEventSink();
+
+  JsonlEventSink(const JsonlEventSink&) = delete;
+  JsonlEventSink& operator=(const JsonlEventSink&) = delete;
+
+  Status Open();
+  Status Write(const std::vector<WideEvent>& events);
+  Status Close();
+
+  std::int64_t bytes_written() const { return bytes_written_; }
+  int rotations() const { return rotations_; }
+
+ private:
+  Status Rotate();
+
+  const Options options_;
+  std::FILE* file_ = nullptr;
+  std::int64_t current_bytes_ = 0;
+  std::int64_t bytes_written_ = 0;
+  int rotations_ = 0;
+};
+
+// Drains an EventLog into a callback on a fixed cadence. Scheduling is
+// by absolute next-deadline (next += interval), so slow sinks delay
+// individual drains without compounding drift; a drain that overruns a
+// whole interval skips the missed ticks rather than bursting.
+class EventPump {
+ public:
+  using Sink = std::function<void(const std::vector<WideEvent>&)>;
+
+  struct Options {
+    double interval_s = 0.25;  // Clamped to >= 0.01.
+    EventLog* log = nullptr;   // Non-owning; must outlive the pump.
+    Sink sink;
+  };
+
+  explicit EventPump(Options options);
+  ~EventPump();
+
+  EventPump(const EventPump&) = delete;
+  EventPump& operator=(const EventPump&) = delete;
+
+  // Stops the cadence after one final drain+flush; idempotent.
+  void Stop();
+
+  std::int64_t drains() const;
+
+ private:
+  void Loop();
+  void DrainOnce();
+
+  const Options options_;
+  mutable Mutex mutex_{lock_rank::kEventPump};
+  CondVar wake_;
+  bool stop_ SOC_GUARDED_BY(mutex_) = false;
+  std::int64_t drains_ SOC_GUARDED_BY(mutex_) = 0;
+  std::vector<WideEvent> scratch_;  // Loop-thread only.
+  ThreadPool loop_pool_{1};  // Last member: the loop dies first.
+};
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_EVENT_LOG_H_

@@ -1,0 +1,235 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#if defined(__linux__) && __has_include(<execinfo.h>)
+#define SOC_PROFILER_SUPPORTED 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#else
+#define SOC_PROFILER_SUPPORTED 0
+#endif
+
+namespace soc::obs {
+
+#if SOC_PROFILER_SUPPORTED
+
+namespace {
+
+// All handler-visible state is process-global and preallocated by
+// Start(); the handler itself touches nothing else. kMaxDepthLimit caps
+// the per-sample frame array so storage is a flat preallocated block.
+constexpr int kMaxDepthLimit = 128;
+
+struct RawSample {
+  void* pcs[kMaxDepthLimit];
+  int depth = 0;
+};
+
+std::atomic<bool> g_active{false};
+std::atomic<std::int64_t> g_cursor{0};
+std::atomic<std::int64_t> g_dropped{0};
+// Owned by Profiler::Start/Stop; the handler only indexes into it.
+std::vector<RawSample>* g_samples = nullptr;
+int g_max_depth = 64;
+std::size_t g_max_samples = 0;
+
+void ProfilerSignalHandler(int) {
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  const std::int64_t slot =
+      g_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot < 0 || static_cast<std::size_t>(slot) >= g_max_samples) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  RawSample& sample = (*g_samples)[static_cast<std::size_t>(slot)];
+  // backtrace(3) is primed at Start so the libgcc unwinder is already
+  // loaded; after that it is self-contained frame walking.
+  sample.depth = backtrace(sample.pcs, g_max_depth);
+}
+
+std::string SymbolizePc(void* pc, std::map<void*, std::string>* cache) {
+  const auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int demangle_status = 0;
+    char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr,
+                                          &demangle_status);
+    if (demangle_status == 0 && demangled != nullptr) {
+      name = demangled;
+    } else {
+      name = info.dli_sname;
+    }
+    std::free(demangled);
+    // Flamegraph separators are ';'; scrub them out of symbol names.
+    std::replace(name.begin(), name.end(), ';', ',');
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%zx",
+                  reinterpret_cast<std::size_t>(pc));
+    name = buffer;
+  }
+  (*cache)[pc] = name;
+  return name;
+}
+
+struct sigaction g_previous_action;
+itimerval g_previous_timer;
+
+}  // namespace
+
+Profiler& Profiler::Instance() {
+  static Profiler* instance = new Profiler;
+  return *instance;
+}
+
+Status Profiler::Start(ProfilerOptions options) {
+  options.sample_hz = std::clamp(options.sample_hz, 1, 10000);
+  options.max_samples = std::max<std::size_t>(64, options.max_samples);
+  options.max_depth = std::clamp(options.max_depth, 2, kMaxDepthLimit);
+  MutexLock lock(mutex_);
+  if (running_) {
+    return FailedPreconditionError("profiler already running");
+  }
+  options_ = options;
+
+  // Prime the unwinder outside the signal path (first call may dlopen).
+  void* prime[2];
+  backtrace(prime, 2);
+
+  if (g_samples == nullptr) g_samples = new std::vector<RawSample>;
+  g_samples->assign(options.max_samples, RawSample{});
+  g_max_depth = options.max_depth;
+  g_max_samples = options.max_samples;
+  g_cursor.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+
+  struct sigaction action = {};
+  action.sa_handler = &ProfilerSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, &g_previous_action) != 0) {
+    g_active.store(false, std::memory_order_relaxed);
+    return InternalError("sigaction(SIGPROF) failed");
+  }
+
+  itimerval timer = {};
+  const long interval_us = 1000000L / options.sample_hz;
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, &g_previous_timer) != 0) {
+    g_active.store(false, std::memory_order_relaxed);
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    return InternalError("setitimer(ITIMER_PROF) failed");
+  }
+
+  running_ = true;
+  return Status::OK();
+}
+
+Status Profiler::Stop() {
+  MutexLock lock(mutex_);
+  if (!running_) return Status::OK();
+
+  // Disarm before restoring the handler so no tick lands in between.
+  setitimer(ITIMER_PROF, &g_previous_timer, nullptr);
+  g_active.store(false, std::memory_order_release);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  running_ = false;
+
+  // Offline symbolization: fold identical stacks, outermost frame
+  // first. The innermost two frames are the handler and the signal
+  // trampoline — profiling noise, skipped.
+  const std::int64_t captured = std::min<std::int64_t>(
+      g_cursor.load(std::memory_order_relaxed),
+      static_cast<std::int64_t>(g_max_samples));
+  std::map<void*, std::string> symbol_cache;
+  std::map<std::string, std::int64_t> folded;
+  constexpr int kSkipInnermost = 2;
+  for (std::int64_t i = 0; i < captured; ++i) {
+    const RawSample& sample = (*g_samples)[static_cast<std::size_t>(i)];
+    if (sample.depth <= kSkipInnermost) continue;
+    std::string stack;
+    for (int frame = sample.depth - 1; frame >= kSkipInnermost; --frame) {
+      if (!stack.empty()) stack.push_back(';');
+      stack += SymbolizePc(sample.pcs[frame], &symbol_cache);
+    }
+    folded[stack] += 1;
+  }
+  collapsed_.assign(folded.begin(), folded.end());
+  return Status::OK();
+}
+
+bool Profiler::running() const {
+  MutexLock lock(mutex_);
+  return running_;
+}
+
+std::int64_t Profiler::samples() const {
+  return std::min<std::int64_t>(g_cursor.load(std::memory_order_relaxed),
+                                static_cast<std::int64_t>(g_max_samples));
+}
+
+std::int64_t Profiler::dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+#else  // !SOC_PROFILER_SUPPORTED
+
+Profiler& Profiler::Instance() {
+  static Profiler* instance = new Profiler;
+  return *instance;
+}
+
+Status Profiler::Start(ProfilerOptions) {
+  return UnimplementedError(
+      "sampling profiler requires linux with <execinfo.h>");
+}
+
+Status Profiler::Stop() { return Status::OK(); }
+
+bool Profiler::running() const {
+  MutexLock lock(mutex_);
+  return running_;
+}
+
+std::int64_t Profiler::samples() const { return 0; }
+std::int64_t Profiler::dropped() const { return 0; }
+
+#endif  // SOC_PROFILER_SUPPORTED
+
+std::vector<std::pair<std::string, std::int64_t>> Profiler::CollapsedStacks()
+    const {
+  MutexLock lock(mutex_);
+  return collapsed_;
+}
+
+Status Profiler::WriteCollapsed(const std::string& path) const {
+  const auto stacks = CollapsedStacks();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot open profile output " + path);
+  }
+  for (const auto& [stack, count] : stacks) {
+    std::fprintf(file, "%s %lld\n", stack.c_str(),
+                 static_cast<long long>(count));
+  }
+  if (std::fclose(file) != 0) {
+    return InternalError("short write to profile output " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,96 @@
+// A SIGPROF sampling profiler with collapsed-stack (flamegraph) output
+// (observability v2, DESIGN.md §15): answers "where does CPU go?" for
+// in-repo binaries — socvis_serve, socvis_solve and the benches grow a
+// --profile-out flag — without an external profiler attached.
+//
+// How it samples. Start() arms ITIMER_PROF, which delivers SIGPROF to
+// the process every 1/sample_hz seconds of *CPU* time (so idle threads
+// are never sampled, and a multi-worker solve is sampled in proportion
+// to the CPU it burns). The handler is held to the async-signal-safety
+// rules:
+//   * all sample storage is preallocated at Start — the handler never
+//     allocates, locks, or calls the libc I/O layer;
+//   * the one library call it makes, backtrace(3), is primed at Start
+//     (the first backtrace() call may dlopen libgcc, which is unsafe
+//     in a handler; priming forces that load up front);
+//   * slots are claimed with a relaxed fetch_add; when the buffer is
+//     full, samples are dropped and counted, never blocked on.
+//
+// Symbolization (dladdr + __cxa_demangle) runs offline in Stop(), off
+// the signal path entirely. CollapsedStacks() folds the raw PC stacks
+// into "outermost;...;innermost count" lines — the exact input format
+// of flamegraph.pl / inferno / speedscope. Executables that want
+// symbol names (not hex addresses) must export their symbols:
+// CMake `ENABLE_EXPORTS TRUE` (-rdynamic), already set on the binaries
+// that expose --profile-out.
+//
+// SIGPROF and the interval timer are process-global, so the profiler is
+// a singleton; a second concurrent Start() fails. Non-Linux platforms
+// (or builds without <execinfo.h>) get kUnimplemented from Start().
+
+#ifndef SOC_OBS_PROFILER_H_
+#define SOC_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace soc::obs {
+
+struct ProfilerOptions {
+  int sample_hz = 99;            // Odd rate: avoids lockstep with 100Hz work.
+  std::size_t max_samples = 1 << 16;
+  int max_depth = 64;            // Frames kept per sample.
+};
+
+class Profiler {
+ public:
+  // The process-wide instance (SIGPROF cannot be scoped narrower).
+  static Profiler& Instance();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Arms the timer and installs the SIGPROF handler. Fails with
+  // kFailedPrecondition when already running, kUnimplemented when the
+  // platform has no backtrace support.
+  Status Start(ProfilerOptions options = {}) SOC_EXCLUDES(mutex_);
+
+  // Disarms the timer, restores the previous handler, and symbolizes
+  // the captured samples. Idempotent once stopped.
+  Status Stop() SOC_EXCLUDES(mutex_);
+
+  bool running() const SOC_EXCLUDES(mutex_);
+  std::int64_t samples() const;  // Captured (post-Start, live counter).
+  std::int64_t dropped() const;
+
+  // Folded stacks from the last Start/Stop session:
+  // ("frameA;frameB;frameC", count), outermost frame first, sorted by
+  // stack string. Empty before the first completed session.
+  std::vector<std::pair<std::string, std::int64_t>> CollapsedStacks() const
+      SOC_EXCLUDES(mutex_);
+
+  // Writes CollapsedStacks() as "stack count\n" lines — feed directly
+  // to flamegraph.pl.
+  Status WriteCollapsed(const std::string& path) const SOC_EXCLUDES(mutex_);
+
+ private:
+  Profiler() = default;
+
+  mutable Mutex mutex_{lock_rank::kProfiler};
+  bool running_ SOC_GUARDED_BY(mutex_) = false;
+  ProfilerOptions options_ SOC_GUARDED_BY(mutex_);
+  // Collapsed (symbolized) stacks of the last finished session.
+  std::vector<std::pair<std::string, std::int64_t>> collapsed_
+      SOC_GUARDED_BY(mutex_);
+};
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_PROFILER_H_

@@ -1,0 +1,189 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace soc::obs {
+
+namespace {
+
+constexpr char kOverflowTenant[] = "other";
+
+double BurnRate(std::int64_t good, std::int64_t bad, double target) {
+  const std::int64_t total = good + bad;
+  if (total == 0) return 0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  const double budget = 1.0 - target;
+  return bad_fraction / budget;
+}
+
+SloEngineOptions Normalize(SloEngineOptions options) {
+  options.fast_window_s = std::max(1.0, options.fast_window_s);
+  options.slow_window_s =
+      std::max(options.fast_window_s, options.slow_window_s);
+  options.max_tenants = std::max<std::size_t>(1, options.max_tenants);
+  auto clamp_target = [](SloObjective* objective) {
+    objective->availability_target =
+        std::clamp(objective->availability_target, 0.0, 0.9999);
+    objective->latency_threshold_ms =
+        std::max(0.0, objective->latency_threshold_ms);
+  };
+  clamp_target(&options.default_objective);
+  if (!options.clock) {
+    options.clock = [epoch = std::chrono::steady_clock::now()] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - epoch)
+          .count();
+    };
+  }
+  return options;
+}
+
+}  // namespace
+
+void SloEngine::Window::Advance(std::int64_t second) {
+  if (newest_second < 0) {
+    newest_second = second;
+    return;
+  }
+  if (second <= newest_second) return;  // Backwards step: clamp.
+  const std::int64_t span = static_cast<std::int64_t>(good.size());
+  const std::int64_t steps = std::min(second - newest_second, span);
+  for (std::int64_t i = 1; i <= steps; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>((newest_second + i) % span);
+    good[slot] = 0;
+    bad[slot] = 0;
+  }
+  newest_second = second;
+}
+
+void SloEngine::Window::Add(std::int64_t second, bool is_good) {
+  Advance(second);
+  const std::size_t slot = static_cast<std::size_t>(
+      newest_second % static_cast<std::int64_t>(good.size()));
+  (is_good ? good : bad)[slot] += 1;
+}
+
+void SloEngine::Window::Totals(std::int64_t now_s, int span_s,
+                               std::int64_t* good_total,
+                               std::int64_t* bad_total) const {
+  *good_total = 0;
+  *bad_total = 0;
+  if (newest_second < 0) return;
+  const std::int64_t ring = static_cast<std::int64_t>(good.size());
+  const std::int64_t end = std::max(now_s, newest_second);
+  // Buckets newer than newest_second are empty by construction; buckets
+  // older than newest_second - ring + 1 have been overwritten. Seconds
+  // are never negative (RecordOutcome floors the clock at 0), so the
+  // window also never reaches below bucket 0 — without that clamp a
+  // negative s would take C++'s negative remainder and index off the
+  // ring.
+  const std::int64_t oldest_valid = newest_second - ring + 1;
+  const std::int64_t start =
+      std::max({end - span_s + 1, oldest_valid, std::int64_t{0}});
+  for (std::int64_t s = start; s <= std::min(end, newest_second); ++s) {
+    const std::size_t slot = static_cast<std::size_t>(s % ring);
+    *good_total += good[slot];
+    *bad_total += bad[slot];
+  }
+}
+
+SloEngine::SloEngine(SloEngineOptions options)
+    : options_(Normalize(std::move(options))) {}
+
+SloEngine::Tenant& SloEngine::TenantFor(const std::string& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second;
+  std::string key = tenant;
+  if (tenants_.size() >= options_.max_tenants &&
+      tenants_.count(kOverflowTenant) == 0) {
+    key = kOverflowTenant;
+  } else if (tenants_.size() >= options_.max_tenants) {
+    return tenants_.at(kOverflowTenant);
+  }
+  return tenants_
+      .emplace(key, Tenant(options_.default_objective,
+                           static_cast<int>(options_.slow_window_s)))
+      .first->second;
+}
+
+void SloEngine::SetObjective(const std::string& tenant,
+                             SloObjective objective) {
+  objective.availability_target =
+      std::clamp(objective.availability_target, 0.0, 0.9999);
+  objective.latency_threshold_ms =
+      std::max(0.0, objective.latency_threshold_ms);
+  MutexLock lock(mutex_);
+  TenantFor(tenant).objective = objective;
+}
+
+void SloEngine::RecordOutcome(const std::string& tenant, bool ok,
+                              double latency_ms) {
+  const double now = options_.clock();
+  const std::int64_t second =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, now)));
+  MutexLock lock(mutex_);
+  Tenant& state = TenantFor(tenant);
+  const bool good =
+      ok && std::isfinite(latency_ms) &&
+      latency_ms <= state.objective.latency_threshold_ms;
+  state.window.Add(second, good);
+  (good ? state.good : state.bad) += 1;
+}
+
+TenantSlo SloEngine::StateOf(const Tenant& tenant,
+                             std::int64_t now_s) const {
+  TenantSlo state;
+  state.objective = tenant.objective;
+  state.good = tenant.good;
+  state.bad = tenant.bad;
+  std::int64_t good = 0, bad = 0;
+  tenant.window.Totals(now_s, static_cast<int>(options_.fast_window_s),
+                       &good, &bad);
+  state.burn_fast =
+      BurnRate(good, bad, tenant.objective.availability_target);
+  tenant.window.Totals(now_s, static_cast<int>(options_.slow_window_s),
+                       &good, &bad);
+  state.burn_slow =
+      BurnRate(good, bad, tenant.objective.availability_target);
+  state.alerting = state.burn_fast > options_.fast_burn_threshold &&
+                   state.burn_slow > options_.slow_burn_threshold;
+  return state;
+}
+
+SloReport SloEngine::Report() const {
+  const double now = options_.clock();
+  const std::int64_t now_s =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, now)));
+  SloReport report;
+  MutexLock lock(mutex_);
+  report.tenants.reserve(tenants_.size());
+  for (const auto& [id, tenant] : tenants_) {
+    report.tenants.emplace_back(id, StateOf(tenant, now_s));
+  }
+  return report;
+}
+
+JsonValue SloReport::ToJson() const {
+  JsonValue object = JsonValue::Object();
+  for (const auto& [id, state] : tenants) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("latency_threshold_ms",
+              JsonValue::Number(state.objective.latency_threshold_ms))
+        .Set("availability_target",
+             JsonValue::Number(state.objective.availability_target))
+        .Set("good", JsonValue::Int(state.good))
+        .Set("bad", JsonValue::Int(state.bad))
+        .Set("burn_fast", JsonValue::Number(state.burn_fast))
+        .Set("burn_slow", JsonValue::Number(state.burn_slow))
+        .Set("alerting", JsonValue::Bool(state.alerting));
+    object.Set(id, std::move(entry));
+  }
+  return object;
+}
+
+}  // namespace soc::obs

@@ -1,0 +1,142 @@
+// Per-tenant SLO burn-rate engine (observability v2, DESIGN.md §15).
+//
+// Each tenant declares an objective: a latency threshold and an
+// availability target. Every finished (or shed) request is recorded as
+// *good* — status OK and total latency within threshold — or *bad*,
+// into per-second ring buckets. Burn rate over a window is the
+// SRE-handbook definition:
+//
+//   burn = (bad / (good + bad)) / (1 - availability_target)
+//
+// i.e. the speed at which the tenant's error budget is being spent:
+// burn 1 spends exactly the budget, burn N exhausts it N× too fast.
+// Alerting is multi-window: a tenant alerts only while BOTH the fast
+// window (~5 min: reacts quickly) and the slow window (~1 h: suppresses
+// blips) burn above their thresholds — the standard fast+slow pairing
+// that keeps alerts both prompt and low-noise.
+//
+// The engine is thread-safe (one leaf mutex, rank kSloEngine), bounds
+// tenant cardinality the same way ServeMetrics bounds labels (beyond
+// max_tenants new tenants fold into "other"), and takes an injectable
+// clock so tests can step time across bucket boundaries, wraparound and
+// backwards steps deterministically.
+
+#ifndef SOC_OBS_SLO_H_
+#define SOC_OBS_SLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/lock_rank.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace soc::obs {
+
+struct SloObjective {
+  // A request slower than this is bad even when it succeeds.
+  double latency_threshold_ms = 1000;
+  // Fraction of requests that must be good, in [0, 0.9999]; the error
+  // budget is 1 - availability_target.
+  double availability_target = 0.999;
+};
+
+struct SloEngineOptions {
+  SloObjective default_objective;
+  double fast_window_s = 300;    // ~5 min.
+  double slow_window_s = 3600;   // ~1 h.
+  // Alert while burn_fast > fast AND burn_slow > slow. The defaults are
+  // the SRE-handbook page-severity pair for a 30-day budget.
+  double fast_burn_threshold = 14.4;
+  double slow_burn_threshold = 6.0;
+  // Distinct tenants tracked; later tenants fold into "other".
+  std::size_t max_tenants = 256;
+  // Seconds on a monotonic clock; injectable for tests. Defaults to
+  // steady_clock anchored at engine construction.
+  std::function<double()> clock;
+};
+
+// One tenant's point-in-time SLO state.
+struct TenantSlo {
+  SloObjective objective;
+  std::int64_t good = 0;  // Cumulative, not windowed.
+  std::int64_t bad = 0;
+  double burn_fast = 0;
+  double burn_slow = 0;
+  bool alerting = false;
+};
+
+struct SloReport {
+  // Tenant id -> state, sorted by id ("other" holds the overflow).
+  std::vector<std::pair<std::string, TenantSlo>> tenants;
+  // {"objectives":..,"tenants":{id:{...}}}; stable field order.
+  JsonValue ToJson() const;
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(SloEngineOptions options = {});
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  // Declares/overrides one tenant's objective. Tenants without an
+  // explicit objective get the default on first Record.
+  void SetObjective(const std::string& tenant, SloObjective objective)
+      SOC_EXCLUDES(mutex_);
+
+  // Records one outcome: good iff `ok` and latency_ms is within the
+  // tenant's threshold. Admission sheds record as (ok=false, 0).
+  void RecordOutcome(const std::string& tenant, bool ok, double latency_ms)
+      SOC_EXCLUDES(mutex_);
+
+  // Point-in-time burn rates and alert state for every known tenant.
+  SloReport Report() const SOC_EXCLUDES(mutex_);
+
+  const SloEngineOptions& options() const { return options_; }
+
+ private:
+  // Per-second (good, bad) ring sized to the slow window. now_s beyond
+  // the newest bucket clears the skipped range; a backwards clock step
+  // clamps into the newest bucket (monotonic clocks only step forward,
+  // but an injected test clock may not).
+  struct Window {
+    explicit Window(int seconds)
+        : good(seconds, 0), bad(seconds, 0) {}
+    std::vector<std::int64_t> good;
+    std::vector<std::int64_t> bad;
+    std::int64_t newest_second = -1;  // -1 = empty.
+
+    void Advance(std::int64_t second);
+    void Add(std::int64_t second, bool is_good);
+    // Totals over the trailing `span_s` seconds ending at
+    // max(newest_second, now_s).
+    void Totals(std::int64_t now_s, int span_s, std::int64_t* good_total,
+                std::int64_t* bad_total) const;
+  };
+
+  struct Tenant {
+    explicit Tenant(SloObjective objective, int slow_window_s)
+        : objective(objective), window(slow_window_s) {}
+    SloObjective objective;
+    Window window;
+    std::int64_t good = 0;
+    std::int64_t bad = 0;
+  };
+
+  Tenant& TenantFor(const std::string& tenant) SOC_REQUIRES(mutex_);
+  TenantSlo StateOf(const Tenant& tenant, std::int64_t now_s) const
+      SOC_REQUIRES(mutex_);
+
+  const SloEngineOptions options_;
+  mutable Mutex mutex_{lock_rank::kSloEngine};
+  std::map<std::string, Tenant> tenants_ SOC_GUARDED_BY(mutex_);
+};
+
+}  // namespace soc::obs
+
+#endif  // SOC_OBS_SLO_H_

@@ -1,0 +1,268 @@
+#include "obs/wide_event.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "common/solve_context.h"
+
+namespace soc::obs {
+
+namespace {
+
+bool InTable(const std::string& value, const char* const* table,
+             std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    if (value == table[i]) return true;
+  }
+  return false;
+}
+
+// A latency/hint field: finite and nonnegative.
+Status CheckMs(const char* field, double value) {
+  if (!std::isfinite(value) || value < 0) {
+    return InvalidArgumentError(std::string("wide event field '") + field +
+                                "' must be finite and nonnegative");
+  }
+  return Status::OK();
+}
+
+// Shared between the encoder's input contract and the parser, so a
+// struct that violates the schema cannot encode to an accepted line.
+Status Validate(const WideEvent& event) {
+  SOC_RETURN_IF_ERROR(CheckMs("ts_ms", event.ts_ms));
+  SOC_RETURN_IF_ERROR(CheckMs("queue_ms", event.queue_ms));
+  SOC_RETURN_IF_ERROR(CheckMs("solve_ms", event.solve_ms));
+  SOC_RETURN_IF_ERROR(CheckMs("total_ms", event.total_ms));
+  SOC_RETURN_IF_ERROR(CheckMs("retry_after_ms", event.retry_after_ms));
+  if (!std::isfinite(event.deadline_ms) ||
+      !std::isfinite(event.predicted_ms) ||
+      !std::isfinite(event.collapse_ratio) || event.collapse_ratio < 0) {
+    return InvalidArgumentError(
+        "wide event numeric fields must be finite (collapse_ratio >= 0)");
+  }
+  if (event.m < -1 || event.num_queries < 0 || event.num_attributes < 0 ||
+      event.satisfied < -1 || event.shard < -1 || event.epoch < 0) {
+    return InvalidArgumentError("wide event count field out of range");
+  }
+  if (!IsWideEventOutcome(event.outcome)) {
+    return InvalidArgumentError("wide event outcome '" + event.outcome +
+                                "' is not in the schema vocabulary");
+  }
+  if (!event.shed_reason.empty() &&
+      !IsWideEventShedReason(event.shed_reason)) {
+    return InvalidArgumentError("wide event shed_reason '" +
+                                event.shed_reason +
+                                "' is not in the schema vocabulary");
+  }
+  StatusCode code;
+  if (!StatusCodeFromString(event.code, &code)) {
+    return InvalidArgumentError("wide event code '" + event.code +
+                                "' is not a status code name");
+  }
+  if (!event.stop_reason.empty()) {
+    StopReason reason;
+    if (!StopReasonFromString(event.stop_reason, &reason) ||
+        reason == StopReason::kNone) {
+      return InvalidArgumentError("wide event stop_reason '" +
+                                  event.stop_reason + "' is not a reason");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsWideEventOutcome(const std::string& outcome) {
+  return InTable(outcome, kWideEventOutcomes,
+                 std::size(kWideEventOutcomes));
+}
+
+bool IsWideEventShedReason(const std::string& reason) {
+  return InTable(reason, kWideEventShedReasons,
+                 std::size(kWideEventShedReasons));
+}
+
+std::string WideEventToJsonLine(const WideEvent& event) {
+  JsonValue object = JsonValue::Object();
+  object.Set("v", JsonValue::Int(kWideEventSchemaVersion))
+      .Set("ts_ms", JsonValue::Number(event.ts_ms))
+      .Set("id", JsonValue::String(event.id));
+  if (!event.tenant.empty()) {
+    object.Set("tenant", JsonValue::String(event.tenant));
+  }
+  if (event.shard >= 0) object.Set("shard", JsonValue::Int(event.shard));
+  if (event.epoch > 0) object.Set("epoch", JsonValue::Int(event.epoch));
+  object.Set("solver_req", JsonValue::String(event.solver_req))
+      .Set("solver", JsonValue::String(event.solver))
+      .Set("m", JsonValue::Int(event.m));
+  if (event.deadline_ms > 0) {
+    object.Set("deadline_ms", JsonValue::Number(event.deadline_ms));
+  }
+  object.Set("num_queries", JsonValue::Int(event.num_queries))
+      .Set("num_attributes", JsonValue::Int(event.num_attributes))
+      .Set("collapse_ratio", JsonValue::Number(event.collapse_ratio))
+      .Set("queue_ms", JsonValue::Number(event.queue_ms))
+      .Set("solve_ms", JsonValue::Number(event.solve_ms))
+      .Set("total_ms", JsonValue::Number(event.total_ms));
+  if (event.predicted_ms > 0) {
+    object.Set("predicted_ms", JsonValue::Number(event.predicted_ms));
+  }
+  object.Set("outcome", JsonValue::String(event.outcome))
+      .Set("code", JsonValue::String(event.code));
+  if (!event.shed_reason.empty()) {
+    object.Set("shed_reason", JsonValue::String(event.shed_reason));
+  }
+  if (!event.stop_reason.empty()) {
+    object.Set("stop_reason", JsonValue::String(event.stop_reason));
+  }
+  if (event.degraded) object.Set("degraded", JsonValue::Bool(true));
+  if (event.fast_path) object.Set("fast_path", JsonValue::Bool(true));
+  if (event.cache_hit) object.Set("cache_hit", JsonValue::Bool(true));
+  if (event.breaker_rerouted) {
+    object.Set("breaker_rerouted", JsonValue::Bool(true));
+  }
+  if (event.ladder_downgraded) {
+    object.Set("ladder_downgraded", JsonValue::Bool(true));
+  }
+  if (event.satisfied >= 0) {
+    object.Set("satisfied", JsonValue::Int(event.satisfied));
+  }
+  if (event.retry_after_ms > 0) {
+    object.Set("retry_after_ms", JsonValue::Number(event.retry_after_ms));
+  }
+  return object.ToString();
+}
+
+StatusOr<WideEvent> ParseWideEventLine(const std::string& line) {
+  SOC_ASSIGN_OR_RETURN(auto object, ParseFlatJsonObject(line));
+
+  auto take = [&object](const char* key) -> const JsonScalar* {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  };
+  auto read_string = [&take](const char* key, std::string* out,
+                             bool required) -> Status {
+    const JsonScalar* scalar = take(key);
+    if (scalar == nullptr) {
+      if (required) {
+        return InvalidArgumentError(
+            std::string("wide event missing required field '") + key + "'");
+      }
+      return Status::OK();
+    }
+    if (scalar->kind != JsonScalar::Kind::kString) {
+      return InvalidArgumentError(std::string("wide event field '") + key +
+                                  "' must be a string");
+    }
+    *out = scalar->string_value;
+    return Status::OK();
+  };
+  auto read_number = [&take](const char* key, double* out,
+                             bool required) -> Status {
+    const JsonScalar* scalar = take(key);
+    if (scalar == nullptr) {
+      if (required) {
+        return InvalidArgumentError(
+            std::string("wide event missing required field '") + key + "'");
+      }
+      return Status::OK();
+    }
+    if (scalar->kind != JsonScalar::Kind::kNumber) {
+      return InvalidArgumentError(std::string("wide event field '") + key +
+                                  "' must be a number");
+    }
+    *out = scalar->number_value;
+    return Status::OK();
+  };
+  auto read_int = [&read_number](const char* key, auto* out,
+                                 bool required) -> Status {
+    double value = static_cast<double>(*out);
+    SOC_RETURN_IF_ERROR(read_number(key, &value, required));
+    if (value != std::floor(value) ||
+        std::abs(value) > 9007199254740992.0 /* 2^53 */) {
+      return InvalidArgumentError(std::string("wide event field '") + key +
+                                  "' must be an integer");
+    }
+    *out = static_cast<std::remove_pointer_t<decltype(out)>>(value);
+    return Status::OK();
+  };
+  auto read_bool = [&take](const char* key, bool* out) -> Status {
+    const JsonScalar* scalar = take(key);
+    if (scalar == nullptr) return Status::OK();
+    if (scalar->kind != JsonScalar::Kind::kBool) {
+      return InvalidArgumentError(std::string("wide event field '") + key +
+                                  "' must be a bool");
+    }
+    *out = scalar->bool_value;
+    return Status::OK();
+  };
+
+  WideEvent event;
+  int version = 0;
+  SOC_RETURN_IF_ERROR(read_int("v", &version, /*required=*/true));
+  if (version != kWideEventSchemaVersion) {
+    return InvalidArgumentError("unsupported wide event schema version " +
+                                std::to_string(version));
+  }
+  SOC_RETURN_IF_ERROR(read_number("ts_ms", &event.ts_ms, true));
+  SOC_RETURN_IF_ERROR(read_string("id", &event.id, true));
+  SOC_RETURN_IF_ERROR(read_string("tenant", &event.tenant, false));
+  SOC_RETURN_IF_ERROR(read_int("shard", &event.shard, false));
+  SOC_RETURN_IF_ERROR(read_int("epoch", &event.epoch, false));
+  SOC_RETURN_IF_ERROR(read_string("solver_req", &event.solver_req, true));
+  SOC_RETURN_IF_ERROR(read_string("solver", &event.solver, true));
+  SOC_RETURN_IF_ERROR(read_int("m", &event.m, true));
+  SOC_RETURN_IF_ERROR(read_number("deadline_ms", &event.deadline_ms, false));
+  SOC_RETURN_IF_ERROR(read_int("num_queries", &event.num_queries, true));
+  SOC_RETURN_IF_ERROR(
+      read_int("num_attributes", &event.num_attributes, true));
+  SOC_RETURN_IF_ERROR(
+      read_number("collapse_ratio", &event.collapse_ratio, true));
+  SOC_RETURN_IF_ERROR(read_number("queue_ms", &event.queue_ms, true));
+  SOC_RETURN_IF_ERROR(read_number("solve_ms", &event.solve_ms, true));
+  SOC_RETURN_IF_ERROR(read_number("total_ms", &event.total_ms, true));
+  SOC_RETURN_IF_ERROR(
+      read_number("predicted_ms", &event.predicted_ms, false));
+  SOC_RETURN_IF_ERROR(read_string("outcome", &event.outcome, true));
+  SOC_RETURN_IF_ERROR(read_string("code", &event.code, true));
+  SOC_RETURN_IF_ERROR(read_string("shed_reason", &event.shed_reason, false));
+  SOC_RETURN_IF_ERROR(read_string("stop_reason", &event.stop_reason, false));
+  SOC_RETURN_IF_ERROR(read_bool("degraded", &event.degraded));
+  SOC_RETURN_IF_ERROR(read_bool("fast_path", &event.fast_path));
+  SOC_RETURN_IF_ERROR(read_bool("cache_hit", &event.cache_hit));
+  SOC_RETURN_IF_ERROR(
+      read_bool("breaker_rerouted", &event.breaker_rerouted));
+  SOC_RETURN_IF_ERROR(
+      read_bool("ladder_downgraded", &event.ladder_downgraded));
+  SOC_RETURN_IF_ERROR(read_int("satisfied", &event.satisfied, false));
+  SOC_RETURN_IF_ERROR(
+      read_number("retry_after_ms", &event.retry_after_ms, false));
+
+  static constexpr const char* kKnownFields[] = {
+      "v",           "ts_ms",          "id",
+      "tenant",      "shard",          "epoch",
+      "solver_req",  "solver",         "m",
+      "deadline_ms", "num_queries",    "num_attributes",
+      "collapse_ratio", "queue_ms",    "solve_ms",
+      "total_ms",    "predicted_ms",   "outcome",
+      "code",        "shed_reason",    "stop_reason",
+      "degraded",    "fast_path",      "cache_hit",
+      "breaker_rerouted", "ladder_downgraded", "satisfied",
+      "retry_after_ms"};
+  for (const auto& [key, value] : object) {
+    if (!InTable(key, kKnownFields, std::size(kKnownFields))) {
+      return InvalidArgumentError("wide event has unknown field '" + key +
+                                  "'");
+    }
+  }
+
+  // Optional fields present at their "omitted" value would re-encode
+  // without them; that is still one canonical event, so accept it.
+  SOC_RETURN_IF_ERROR(Validate(event));
+  return event;
+}
+
+}  // namespace soc::obs

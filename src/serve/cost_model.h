@@ -81,6 +81,10 @@ class CostModel {
   // half the current backlog to drain, floored at 1ms.
   double RetryAfterMs() const;
 
+  // The static instance features the model was built from; the wide-
+  // event log stamps these onto every request record.
+  const CostFeatures& features() const { return features_; }
+
  private:
   struct Ewma {
     double value_ms = 0;

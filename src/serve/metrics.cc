@@ -15,6 +15,19 @@ std::size_t BucketIndex(double ms) {
   return kLatencyBucketUpperMs.size();  // Overflow bucket.
 }
 
+constexpr char kTenantPrefix[] = "tenant.";
+constexpr char kTenantOther[] = "other";
+
+// The `<id>` of a `tenant.<id>.<rest>` counter name; empty when the name
+// is not tenant-labelled (no prefix, or no `.<rest>` after the id).
+std::string TenantLabelOf(const std::string& name) {
+  const std::size_t prefix_len = sizeof(kTenantPrefix) - 1;
+  if (name.compare(0, prefix_len, kTenantPrefix) != 0) return {};
+  const std::size_t dot = name.find('.', prefix_len);
+  if (dot == std::string::npos || dot == prefix_len) return {};
+  return name.substr(prefix_len, dot - prefix_len);
+}
+
 }  // namespace
 
 double HistogramData::Quantile(double q) const {
@@ -107,7 +120,48 @@ JsonValue MetricsSnapshot::ToJson() const {
 void ServeMetrics::Increment(const std::string& name, std::int64_t delta) {
   SOC_CHECK_GE(delta, 0);
   MutexLock lock(mutex_);
+  const std::string tenant = TenantLabelOf(name);
+  if (!tenant.empty() && tenant != kTenantOther) {
+    TouchTenantLabel(tenant);
+    // The label may have been folded away by its own arrival only if
+    // capacity were zero; TouchTenantLabel never evicts the label it
+    // just touched, so the write below lands on the live name.
+  }
   counters_[name] += delta;
+}
+
+void ServeMetrics::set_tenant_label_capacity(std::size_t capacity) {
+  MutexLock lock(mutex_);
+  tenant_label_capacity_ = std::max<std::size_t>(1, capacity);
+}
+
+void ServeMetrics::TouchTenantLabel(const std::string& tenant) {
+  const auto it = tenant_index_.find(tenant);
+  if (it != tenant_index_.end()) {
+    tenant_lru_.splice(tenant_lru_.begin(), tenant_lru_, it->second);
+    return;
+  }
+  tenant_lru_.push_front(tenant);
+  tenant_index_[tenant] = tenant_lru_.begin();
+  if (tenant_lru_.size() <= tenant_label_capacity_) return;
+
+  // Fold the coldest tenant's counters into `tenant.other.*`: per-name
+  // sums move buckets but the total over all tenants is unchanged.
+  const std::string victim = tenant_lru_.back();
+  tenant_index_.erase(victim);
+  tenant_lru_.pop_back();
+  const std::string victim_prefix =
+      std::string(kTenantPrefix) + victim + ".";
+  const std::string other_prefix =
+      std::string(kTenantPrefix) + kTenantOther + ".";
+  auto counter = counters_.lower_bound(victim_prefix);
+  while (counter != counters_.end() &&
+         counter->first.compare(0, victim_prefix.size(), victim_prefix) ==
+             0) {
+    counters_[other_prefix + counter->first.substr(victim_prefix.size())] +=
+        counter->second;
+    counter = counters_.erase(counter);
+  }
 }
 
 std::int64_t ServeMetrics::Get(const std::string& name) const {

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <string>
 
@@ -71,6 +72,15 @@ struct MetricsSnapshot {
 class ServeMetrics {
  public:
   // Adds `delta` (>= 0) to the named counter, creating it at zero.
+  //
+  // Tenant-label cardinality bound: counters named `tenant.<id>.<rest>`
+  // are tracked against an LRU of distinct tenant labels (default
+  // capacity 64). When a new label would exceed the capacity, the
+  // least-recently-incremented tenant's counters are folded into the
+  // `tenant.other.<rest>` bucket — sums over all tenant counters are
+  // preserved exactly, so a hostile or buggy client minting unbounded
+  // tenant ids cannot grow the registry (or the exporter page) without
+  // bound. `other` itself is never evicted.
   void Increment(const std::string& name, std::int64_t delta = 1)
       SOC_EXCLUDES(mutex_);
 
@@ -87,11 +97,25 @@ class ServeMetrics {
 
   MetricsSnapshot Snapshot() const SOC_EXCLUDES(mutex_);
 
+  // Maximum distinct `tenant.<id>.*` labels before LRU folding (see
+  // Increment); clamped to >= 1. Intended for construction-time setup.
+  void set_tenant_label_capacity(std::size_t capacity) SOC_EXCLUDES(mutex_);
+
  private:
+  // Marks `tenant` as most-recently used and evicts the coldest label
+  // into `tenant.other.*` if the capacity is now exceeded.
+  void TouchTenantLabel(const std::string& tenant)
+      SOC_REQUIRES(mutex_);
+
   mutable Mutex mutex_{lock_rank::kServeMetrics};
   std::map<std::string, std::int64_t> counters_ SOC_GUARDED_BY(mutex_);
   std::map<std::string, double> gauges_ SOC_GUARDED_BY(mutex_);
   std::map<std::string, HistogramData> histograms_ SOC_GUARDED_BY(mutex_);
+  std::size_t tenant_label_capacity_ SOC_GUARDED_BY(mutex_) = 64;
+  // Most-recent first; the index maps tenant label -> list position.
+  std::list<std::string> tenant_lru_ SOC_GUARDED_BY(mutex_);
+  std::map<std::string, std::list<std::string>::iterator> tenant_index_
+      SOC_GUARDED_BY(mutex_);
 };
 
 }  // namespace soc::serve

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace soc::serve {
 
@@ -66,6 +67,18 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+void AppendSloMetrics(const obs::SloReport& report,
+                      MetricsSnapshot* snapshot) {
+  for (const auto& [tenant, state] : report.tenants) {
+    const std::string prefix = "slo." + tenant + ".";
+    snapshot->counters[prefix + "good"] += state.good;
+    snapshot->counters[prefix + "bad"] += state.bad;
+    snapshot->gauges[prefix + "burn_fast"] = state.burn_fast;
+    snapshot->gauges[prefix + "burn_slow"] = state.burn_slow;
+    snapshot->gauges[prefix + "alerting"] = state.alerting ? 1 : 0;
+  }
+}
+
 MetricsExporter::MetricsExporter(Options options)
     : options_(std::move(options)) {
   loop_pool_.Submit([this] { Loop(); });
@@ -98,17 +111,30 @@ std::int64_t MetricsExporter::exports() const {
 
 void MetricsExporter::Loop() {
   const double interval_s = std::max(0.01, options_.interval_s);
+  // Absolute next-deadline scheduling: each cycle targets `next`, not
+  // "interval after the previous export finished", so snapshot/sink time
+  // does not accumulate as cadence drift. A sink slower than the interval
+  // re-anchors instead of bursting to catch up.
+  const WallTimer timer;
+  double next_s = timer.ElapsedSeconds() + interval_s;
   for (;;) {
     bool stopping = false;
     {
       MutexLock lock(mutex_);
-      // One bounded sleep per cycle; the only notification is Stop's, so
-      // a wakeup of either kind just means "export now and re-check".
-      if (!stop_) wake_.WaitFor(mutex_, interval_s);
+      // The only notification is Stop's, so a wakeup of either kind just
+      // means "re-check the deadline / export now".
+      while (!stop_) {
+        const double remaining_s = next_s - timer.ElapsedSeconds();
+        if (remaining_s <= 0) break;
+        wake_.WaitFor(mutex_, remaining_s);
+      }
       stopping = stop_;
     }
     ExportOnce();
     if (stopping) return;
+    next_s += interval_s;
+    const double now_s = timer.ElapsedSeconds();
+    if (next_s < now_s) next_s = now_s + interval_s;
   }
 }
 

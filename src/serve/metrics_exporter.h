@@ -5,8 +5,9 @@
 // callback (socvis_serve appends it to --metrics-out, tests capture it
 // in memory). The cadence loop runs on a one-thread ThreadPool — the
 // repo bans naked std::thread outside the pool — and sleeps on a timed
-// condition wait, so Stop() interrupts a sleep immediately and always
-// flushes one final export before returning.
+// condition wait toward an absolute next-export deadline (so snapshot
+// and sink time do not drift the cadence); Stop() interrupts a sleep
+// immediately and always flushes one final export before returning.
 //
 // ToPrometheusText is exposed separately so callers can render a
 // snapshot on demand (end-of-run dumps, tests) without an exporter.
@@ -22,6 +23,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "obs/slo.h"
 #include "serve/metrics.h"
 
 namespace soc::serve {
@@ -33,6 +35,13 @@ namespace soc::serve {
 // Metric names are prefixed with `soc_` and non-alphanumeric characters
 // become underscores.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// Folds a per-tenant SLO report (obs/slo.h) into a snapshot, so the SLO
+// state rides the same exporter page as the serving counters:
+// `slo.<tenant>.good` / `slo.<tenant>.bad` cumulative counters plus
+// `slo.<tenant>.burn_fast` / `burn_slow` / `alerting` gauges.
+void AppendSloMetrics(const obs::SloReport& report,
+                      MetricsSnapshot* snapshot);
 
 class MetricsExporter {
  public:

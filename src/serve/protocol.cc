@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "common/solve_context.h"
-#include "serve/json_reader.h"
+#include "common/json_reader.h"
 
 namespace soc::serve {
 
@@ -138,18 +138,24 @@ StatusOr<AdminRequest> ParseAdminRequestLine(const std::string& line) {
     }
   }
 
-  if (request.action != "create_tenant" && request.action != "publish_epoch") {
+  const bool is_slo = request.action == "slo";
+  if (request.action != "create_tenant" &&
+      request.action != "publish_epoch" && !is_slo) {
     return InvalidArgumentError(
-        "admin action must be 'create_tenant' or 'publish_epoch'");
+        "admin action must be 'create_tenant', 'publish_epoch' or 'slo'");
   }
-  if (request.tenant_id.empty()) {
+  if (!is_slo && request.tenant_id.empty()) {
     return InvalidArgumentError("tenant_id must be non-empty");
   }
   if (static_cast<int>(request.tenant_id.size()) > kMaxTenantIdBytes) {
     return InvalidArgumentError("tenant_id exceeds " +
                                 std::to_string(kMaxTenantIdBytes) + " bytes");
   }
-  if (request.log_path.empty()) {
+  if (is_slo) {
+    if (!request.log_path.empty()) {
+      return InvalidArgumentError("admin 'slo' takes no 'log'");
+    }
+  } else if (request.log_path.empty()) {
     return InvalidArgumentError("missing field 'log'");
   }
   return request;

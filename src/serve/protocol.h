@@ -66,15 +66,19 @@ StatusOr<SolveRequest> ParseSolveRequestLine(const std::string& line,
 JsonValue ResponseToJson(const SolveResponse& response);
 
 // An admin-path line on the multi-tenant socvis_serve: tenant lifecycle
-// commands interleaved with solve requests on the same stream.
+// commands and observability queries interleaved with solve requests on
+// the same stream.
 //   {"admin":"create_tenant","tenant_id":"acme","log":"acme.csv"}
 //   {"admin":"publish_epoch","tenant_id":"acme","log":"acme_v2.csv"}
+//   {"admin":"slo"}                    — SLO report for every tenant
+//   {"admin":"slo","tenant_id":"acme"} — one tenant's SLO state
 // `log` names a query-log CSV the server loads; the response line echoes
-// the action plus the resulting epoch.
+// the action plus the resulting epoch. `slo` takes no log and replies
+// with the burn-rate report (obs/slo.h) as one JSON line.
 struct AdminRequest {
-  std::string action;     // "create_tenant" or "publish_epoch".
-  std::string tenant_id;  // Non-empty, <= kMaxTenantIdBytes.
-  std::string log_path;   // Non-empty.
+  std::string action;     // "create_tenant", "publish_epoch" or "slo".
+  std::string tenant_id;  // <= kMaxTenantIdBytes; optional for "slo".
+  std::string log_path;   // Non-empty except for "slo" (must be absent).
 };
 
 // Cheap routing test: true iff the line carries an "admin" key. Callers

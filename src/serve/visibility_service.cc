@@ -9,6 +9,7 @@
 #include "core/mfi_solver.h"
 #include "core/solver_registry.h"
 #include "obs/context_tracer.h"
+#include "serve/event_builder.h"
 
 namespace soc::serve {
 
@@ -119,6 +120,7 @@ std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
     response.status = std::move(status);
     if (shed_reason != nullptr) response.shed_reason = shed_reason;
     response.retry_after_ms = retry_after_ms;
+    RecordOutcome(request, response, request.deadline_ms, 0);
     queued->promise.set_value(std::move(response));
     return std::move(future);
   };
@@ -231,6 +233,8 @@ std::future<SolveResponse> VisibilityService::Submit(SolveRequest request) {
       response.solver = victim->request.solver;
       response.status = OverloadedError("service shutting down");
       response.shed_reason = kShedReasonShutdown;
+      RecordOutcome(victim->request, response,
+                    victim->effective_deadline_ms, victim->predicted_ms);
       victim->promise.set_value(std::move(response));
       {
         MutexLock lock(inflight_mutex_);
@@ -330,6 +334,7 @@ SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
       DegradationLadder::ApplyLevel(ladder_.level(), solver_name);
   if (laddered != solver_name) {
     metrics_.Increment(kLadderDowngraded);
+    response.ladder_downgraded = true;
     solver_name = laddered;
   }
 
@@ -339,6 +344,7 @@ SolveResponse VisibilityService::Execute(QueuedRequest& queued) {
     CircuitBreaker* breaker = breakers_.Get(solver_name);
     if (breaker != nullptr && !breaker->Allow()) {
       metrics_.Increment(kBreakerRerouted);
+      response.breaker_rerouted = true;
       solver_name = "Fallback";
     }
   }
@@ -435,6 +441,12 @@ void VisibilityService::Finish(std::shared_ptr<QueuedRequest> queued,
   metrics_.RecordLatency("solve", response.solve_ms);
   metrics_.RecordLatency("total", response.queue_ms + response.solve_ms);
 
+  // Recorded before the promise resolves (like the trace spans below): a
+  // caller that drains the event log right after Drain() must see every
+  // request's event.
+  RecordOutcome(queued->request, response, queued->effective_deadline_ms,
+                queued->predicted_ms);
+
   // Recorded before the promise resolves: a caller that exports the trace
   // right after Drain() must see every request's spans.
   if (tracing) {
@@ -455,6 +467,25 @@ void VisibilityService::Finish(std::shared_ptr<QueuedRequest> queued,
     --inflight_;
   }
   inflight_cv_.NotifyAll();
+}
+
+void VisibilityService::RecordOutcome(const SolveRequest& request,
+                                      const SolveResponse& response,
+                                      double deadline_ms,
+                                      double predicted_ms) {
+  obs::EventLog* const log = options_.event_log;
+  if (log != nullptr && log->ShouldRecord()) {
+    log->Record(BuildWideEvent(request, response, cost_model_.features(),
+                               deadline_ms, predicted_ms));
+  }
+  obs::SloEngine* const slo = options_.slo_engine;
+  if (slo != nullptr && CountsTowardSlo(response.status)) {
+    const std::string& tenant =
+        response.tenant_id.empty() ? request.tenant_id : response.tenant_id;
+    slo->RecordOutcome(tenant.empty() ? "default" : tenant,
+                       response.status.ok(),
+                       response.queue_ms + response.solve_ms);
+  }
 }
 
 MetricsSnapshot VisibilityService::Metrics() const {

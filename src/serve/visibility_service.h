@@ -67,6 +67,8 @@
 #include "common/timer.h"
 #include "core/mfi_solver.h"
 #include "core/solver.h"
+#include "obs/event_log.h"
+#include "obs/slo.h"
 #include "obs/trace_recorder.h"
 #include "serve/circuit_breaker.h"
 #include "serve/cost_model.h"
@@ -119,6 +121,11 @@ struct SolveResponse {
   std::string tenant_id;
   std::int64_t epoch = 0;
   bool cache_hit = false;
+  // Observability-only outcome bits (wide-event log; never on the wire
+  // protocol): whether a tripped breaker or the degradation ladder
+  // changed the solver this request ran on.
+  bool breaker_rerouted = false;
+  bool ladder_downgraded = false;
 };
 
 // Chaos/test injection point, invoked on the worker thread after the
@@ -161,6 +168,15 @@ struct VisibilityServiceOptions {
   // (plus solver-internal phases via the context's PhaseListener).
   // nullptr disables tracing entirely.
   obs::TraceRecorder* trace_recorder = nullptr;
+  // Non-owning; must outlive the service. When set and enabled, every
+  // request outcome (completions, sheds, rejects) is recorded as one
+  // wide event (obs/wide_event.h) carrying the request's features,
+  // latencies and outcome bits. nullptr disables event logging.
+  obs::EventLog* event_log = nullptr;
+  // Non-owning; must outlive the service. When set, every non-invalid
+  // outcome is recorded against the request's tenant ("default" when
+  // the request carries no tenant_id) for burn-rate evaluation.
+  obs::SloEngine* slo_engine = nullptr;
   // See WorkerHookContext; empty disables the hook.
   WorkerHook worker_hook;
 };
@@ -201,6 +217,11 @@ class VisibilityService {
   void Finish(std::shared_ptr<QueuedRequest> queued, SolveResponse response)
       SOC_EXCLUDES(inflight_mutex_);
   std::size_t QueueSize() const SOC_EXCLUDES(queue_mutex_);
+  // Records the wide event and SLO outcome for one resolved request;
+  // called on every path that resolves a promise.
+  void RecordOutcome(const SolveRequest& request,
+                     const SolveResponse& response, double deadline_ms,
+                     double predicted_ms);
 
   const QueryLog log_;
   const VisibilityServiceOptions options_;

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "core/solver_registry.h"
 #include "obs/context_tracer.h"
+#include "serve/event_builder.h"
 
 namespace soc::tenant {
 
@@ -105,6 +106,7 @@ std::future<serve::SolveResponse> TenantShard::Submit(
     response.status = std::move(status);
     if (shed_reason != nullptr) response.shed_reason = shed_reason;
     response.retry_after_ms = retry_after_ms;
+    RecordOutcome(request, response, request.deadline_ms, 0);
     queued->promise.set_value(std::move(response));
     return std::move(future);
   };
@@ -226,6 +228,8 @@ std::future<serve::SolveResponse> TenantShard::Submit(
       response.tenant_id = victim->request.tenant_id;
       response.status = OverloadedError("service shutting down");
       response.shed_reason = serve::kShedReasonShutdown;
+      RecordOutcome(victim->request, response,
+                    victim->effective_deadline_ms, victim->predicted_ms);
       victim->promise.set_value(std::move(response));
       {
         MutexLock lock(inflight_mutex_);
@@ -367,6 +371,7 @@ serve::SolveResponse TenantShard::Execute(QueuedRequest& queued) {
       serve::DegradationLadder::ApplyLevel(ladder_.level(), solver_name);
   if (laddered != solver_name) {
     metrics_.Increment(kLadderDowngraded);
+    response.ladder_downgraded = true;
     solver_name = laddered;
   }
 
@@ -374,6 +379,7 @@ serve::SolveResponse TenantShard::Execute(QueuedRequest& queued) {
     serve::CircuitBreaker* breaker = breakers_.Get(solver_name);
     if (breaker != nullptr && !breaker->Allow()) {
       metrics_.Increment(kBreakerRerouted);
+      response.breaker_rerouted = true;
       solver_name = "Fallback";
     }
   }
@@ -479,6 +485,12 @@ void TenantShard::Finish(std::shared_ptr<QueuedRequest> queued,
                            response.solve_ms);
   }
 
+  // Recorded before the promise resolves (like the trace spans below):
+  // a caller that drains the event log right after Drain() must see
+  // every request's event.
+  RecordOutcome(queued->request, response, queued->effective_deadline_ms,
+                queued->predicted_ms);
+
   if (tracing) {
     const std::int64_t now_ns = recorder->NowNanos();
     recorder->RecordComplete("response", "serve", response_start_ns,
@@ -496,6 +508,27 @@ void TenantShard::Finish(std::shared_ptr<QueuedRequest> queued,
     --inflight_;
   }
   inflight_cv_.NotifyAll();
+}
+
+void TenantShard::RecordOutcome(const serve::SolveRequest& request,
+                                const serve::SolveResponse& response,
+                                double deadline_ms, double predicted_ms) {
+  obs::EventLog* const log = options_.event_log;
+  if (log != nullptr && log->ShouldRecord()) {
+    obs::WideEvent event =
+        serve::BuildWideEvent(request, response, options_.cost_features,
+                              deadline_ms, predicted_ms);
+    event.shard = shard_index_;
+    log->Record(std::move(event));
+  }
+  obs::SloEngine* const slo = options_.slo_engine;
+  if (slo != nullptr && serve::CountsTowardSlo(response.status)) {
+    const std::string& tenant =
+        response.tenant_id.empty() ? request.tenant_id : response.tenant_id;
+    slo->RecordOutcome(tenant.empty() ? "default" : tenant,
+                       response.status.ok(),
+                       response.queue_ms + response.solve_ms);
+  }
 }
 
 serve::MetricsSnapshot TenantShard::Metrics() const {

@@ -40,6 +40,8 @@
 #include "common/thread_pool.h"
 #include "core/mfi_solver.h"
 #include "core/solver.h"
+#include "obs/event_log.h"
+#include "obs/slo.h"
 #include "obs/trace_recorder.h"
 #include "serve/circuit_breaker.h"
 #include "serve/cost_model.h"
@@ -74,6 +76,14 @@ struct TenantShardOptions {
   serve::WatchdogOptions watchdog;
   // Non-owning; must outlive the shard. nullptr disables tracing.
   obs::TraceRecorder* trace_recorder = nullptr;
+  // Non-owning; must outlive the shard. Every outcome is recorded as a
+  // wide event stamped with this shard's index and the pinned epoch.
+  // Typically shared across all shards of one ShardedService.
+  obs::EventLog* event_log = nullptr;
+  // Non-owning; must outlive the shard. Receives every non-invalid
+  // outcome keyed by tenant; shared across shards so burn rates are
+  // service-wide per tenant.
+  obs::SloEngine* slo_engine = nullptr;
   // Chaos/test injection, identical contract to VisibilityService's.
   serve::WorkerHook worker_hook;
 };
@@ -118,6 +128,12 @@ class TenantShard {
   std::size_t QueueSize() const SOC_EXCLUDES(queue_mutex_);
   // Bumps both `name` and `tenant.<id>.<name>`.
   void CountTenant(const std::string& tenant_id, const char* name);
+  // Records the wide event (stamped with this shard's index) and SLO
+  // outcome for one resolved request; called on every path that
+  // resolves a promise.
+  void RecordOutcome(const serve::SolveRequest& request,
+                     const serve::SolveResponse& response,
+                     double deadline_ms, double predicted_ms);
 
   const int shard_index_;
   const TenantRegistry* const registry_;

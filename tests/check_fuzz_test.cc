@@ -55,12 +55,31 @@ TEST(FuzzInstanceTextTest, SeededRunIsCleanAndCoversBothOutcomes) {
   EXPECT_GT(report->rejected, 0);
 }
 
-TEST(ReplayCorpusInputTest, AcceptsAllThreeKinds) {
+TEST(FuzzWideEventTest, SeededRunIsCleanAndCoversBothOutcomes) {
+  FuzzOptions options;
+  options.iterations = 150;
+  options.seed = 1;
+  auto report = FuzzWideEvent(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted + report->rejected, 150);
+  EXPECT_GT(report->accepted, 0);
+  EXPECT_GT(report->rejected, 0);
+}
+
+TEST(ReplayCorpusInputTest, AcceptsEveryKind) {
   EXPECT_TRUE(ReplayCorpusInput("csv", "a0,a1\n10\n01\n").ok());
   EXPECT_TRUE(ReplayCorpusInput("instance", "tuple=101\nm=1\na0,a1,a2\n")
                   .ok());
   EXPECT_TRUE(
       ReplayCorpusInput("protocol", "{\"tuple\": \"110101\", \"m\": 2}")
+          .ok());
+  EXPECT_TRUE(
+      ReplayCorpusInput(
+          "event",
+          "{\"v\":1,\"ts_ms\":1,\"id\":\"r1\",\"solver_req\":\"\","
+          "\"solver\":\"Fallback\",\"m\":0,\"num_queries\":1,"
+          "\"num_attributes\":1,\"collapse_ratio\":1,\"queue_ms\":0,"
+          "\"solve_ms\":0,\"total_ms\":0,\"outcome\":\"ok\",\"code\":\"OK\"}")
           .ok());
 }
 

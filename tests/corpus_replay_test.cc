@@ -1,8 +1,9 @@
 // Replays the checked-in minimized corpus under tests/corpus/ so that any
 // input which once broke a parser stays handled forever. Each file name is
 // <kind>-<slug>.txt where <kind> selects the parser ("protocol",
-// "response", "csv", "instance"); the payload is fed back verbatim. A replay fails only on an
-// invariant violation (or a sanitizer report) — clean rejection is fine.
+// "response", "csv", "instance", "event"); the payload is fed back
+// verbatim. A replay fails only on an invariant violation (or a
+// sanitizer report) — clean rejection is fine.
 
 #include <gtest/gtest.h>
 
@@ -41,18 +42,20 @@ std::string ReadFile(const std::filesystem::path& path) {
 
 TEST(CorpusReplayTest, CorpusIsNonEmptyAndCoversEveryKind) {
   bool saw_protocol = false, saw_response = false;
-  bool saw_csv = false, saw_instance = false;
+  bool saw_csv = false, saw_instance = false, saw_event = false;
   for (const auto& path : CorpusFiles()) {
     const std::string name = path.filename().string();
     saw_protocol |= name.rfind("protocol-", 0) == 0;
     saw_response |= name.rfind("response-", 0) == 0;
     saw_csv |= name.rfind("csv-", 0) == 0;
     saw_instance |= name.rfind("instance-", 0) == 0;
+    saw_event |= name.rfind("event-", 0) == 0;
   }
   EXPECT_TRUE(saw_protocol);
   EXPECT_TRUE(saw_response);
   EXPECT_TRUE(saw_csv);
   EXPECT_TRUE(saw_instance);
+  EXPECT_TRUE(saw_event);
 }
 
 TEST(CorpusReplayTest, EveryInputReplaysCleanly) {

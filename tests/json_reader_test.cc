@@ -1,8 +1,8 @@
-#include "serve/json_reader.h"
+#include "common/json_reader.h"
 
 #include <gtest/gtest.h>
 
-namespace soc::serve {
+namespace soc {
 namespace {
 
 using Kind = JsonScalar::Kind;
@@ -94,4 +94,4 @@ TEST(JsonReaderTest, RejectsBadEscapes) {
 }
 
 }  // namespace
-}  // namespace soc::serve
+}  // namespace soc

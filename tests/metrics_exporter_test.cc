@@ -4,7 +4,9 @@
 
 #include "serve/metrics_exporter.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -124,6 +126,25 @@ TEST(MetricsExporterTest, CountersAreMonotonicAcrossExportedSnapshots) {
   for (std::size_t i = 1; i < completed_series.size(); ++i) {
     EXPECT_LE(completed_series[i - 1], completed_series[i]);
   }
+}
+
+TEST(MetricsExporterTest, SlowSinkDoesNotStretchTheCadence) {
+  // Drift regression: scheduling is by absolute next-deadline, so a
+  // sink that eats most of the interval still yields one export per
+  // interval. A relative sleep-after-work loop would run at interval +
+  // sink time (80ms here) and manage only ~7 exports in 600ms.
+  ServeMetrics metrics;
+  metrics.Increment("completed");
+  MetricsExporter::Options options;
+  options.interval_s = 0.05;
+  options.snapshot_provider = [&metrics] { return metrics.Snapshot(); };
+  options.sink = [](const std::string&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  MetricsExporter exporter(std::move(options));
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  exporter.Stop();
+  EXPECT_GE(exporter.exports(), 9);
 }
 
 }  // namespace

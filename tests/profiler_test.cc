@@ -1,0 +1,90 @@
+// Sampling profiler tests. SIGPROF is process-global and the profiler
+// is a singleton, so the lifecycle (start → concurrent-start rejected →
+// busy loop → stop → collapsed output) runs as one ordered test; on
+// platforms without backtrace support Start() reports kUnimplemented
+// and the test skips.
+
+#include "obs/profiler.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace soc::obs {
+namespace {
+
+// Burns CPU the profiler can see; returns a value so the loop cannot be
+// optimized away.
+volatile std::uint64_t burn_sink = 0;
+void BurnCpuMs(double budget_ms) {
+  // ITIMER_PROF counts CPU time, so the loop must actually compute.
+  const std::int64_t rounds = static_cast<std::int64_t>(budget_ms) * 40000;
+  std::uint64_t x = 1469598103934665603ull;
+  for (std::int64_t i = 0; i < rounds; ++i) {
+    x ^= static_cast<std::uint64_t>(i);
+    x *= 1099511628211ull;
+  }
+  burn_sink = x;
+}
+
+TEST(ProfilerTest, LifecycleStartBusyStopProducesStacks) {
+  Profiler& profiler = Profiler::Instance();
+  ASSERT_FALSE(profiler.running());
+
+  ProfilerOptions options;
+  options.sample_hz = 997;  // Fast sampling keeps the test short.
+  const Status started = profiler.Start(options);
+  if (started.code() == StatusCode::kUnimplemented) {
+    GTEST_SKIP() << "no backtrace support on this platform";
+  }
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_TRUE(profiler.running());
+
+  // The timer is process-global: a second concurrent Start must fail
+  // without disturbing the running session.
+  const Status again = profiler.Start(options);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(profiler.running());
+
+  BurnCpuMs(200);
+
+  ASSERT_TRUE(profiler.Stop().ok());
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GT(profiler.samples(), 0);
+
+  const auto stacks = profiler.CollapsedStacks();
+  ASSERT_FALSE(stacks.empty());
+  std::int64_t total = 0;
+  for (const auto& [stack, count] : stacks) {
+    EXPECT_FALSE(stack.empty());
+    EXPECT_GT(count, 0);
+    total += count;
+  }
+  // Folding skips trampoline-only stacks, so the folded total is
+  // bounded by (not necessarily equal to) the captured count.
+  EXPECT_GT(total, 0);
+  EXPECT_LE(total, profiler.samples());
+
+  // WriteCollapsed emits "stack count" lines, one per folded stack.
+  const std::string path = testing::TempDir() + "/profile_collapsed.txt";
+  ASSERT_TRUE(profiler.WriteCollapsed(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  EXPECT_GT(std::ftell(file), 0);
+  std::fclose(file);
+
+  // Stop is idempotent once stopped.
+  EXPECT_TRUE(profiler.Stop().ok());
+
+  // A second session is allowed after the first finishes.
+  const Status restarted = profiler.Start(options);
+  ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+  ASSERT_TRUE(profiler.Stop().ok());
+}
+
+}  // namespace
+}  // namespace soc::obs

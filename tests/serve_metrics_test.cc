@@ -169,5 +169,71 @@ TEST(ServeMetricsTest, ConcurrentIncrementsAreNotLost) {
             kThreads * kPerThread);
 }
 
+TEST(ServeMetricsTest, TenantLabelLruFoldsColdestIntoOther) {
+  ServeMetrics metrics;
+  metrics.set_tenant_label_capacity(2);
+  metrics.Increment("tenant.a.completed", 3);
+  metrics.Increment("tenant.b.completed", 5);
+  // Touch `a` so `b` is now the coldest label.
+  metrics.Increment("tenant.a.shed", 1);
+  // A third distinct label evicts `b` into `other`.
+  metrics.Increment("tenant.c.completed", 7);
+
+  EXPECT_EQ(metrics.Get("tenant.a.completed"), 3);
+  EXPECT_EQ(metrics.Get("tenant.a.shed"), 1);
+  EXPECT_EQ(metrics.Get("tenant.b.completed"), 0);
+  EXPECT_EQ(metrics.Get("tenant.other.completed"), 5);
+  EXPECT_EQ(metrics.Get("tenant.c.completed"), 7);
+}
+
+TEST(ServeMetricsTest, TenantFoldingPreservesSums) {
+  ServeMetrics metrics;
+  metrics.set_tenant_label_capacity(2);
+  constexpr int kTenants = 20;
+  for (int i = 0; i < kTenants; ++i) {
+    metrics.Increment("tenant.t" + std::to_string(i) + ".completed", i + 1);
+  }
+  // However labels folded, the total over all tenant counters is exact.
+  std::int64_t total = 0;
+  int live_labels = 0;
+  for (const auto& [name, value] : metrics.Snapshot().counters) {
+    if (name.rfind("tenant.", 0) == 0) {
+      total += value;
+      if (name.find(".other.") == std::string::npos) ++live_labels;
+    }
+  }
+  EXPECT_EQ(total, kTenants * (kTenants + 1) / 2);
+  EXPECT_LE(live_labels, 2);
+}
+
+TEST(ServeMetricsTest, OtherBucketIsNeverEvicted) {
+  ServeMetrics metrics;
+  metrics.set_tenant_label_capacity(1);
+  metrics.Increment("tenant.a.completed", 2);
+  metrics.Increment("tenant.b.completed", 3);  // Folds a -> other.
+  EXPECT_EQ(metrics.Get("tenant.other.completed"), 2);
+  // Many more distinct labels; `other` only ever grows.
+  for (int i = 0; i < 10; ++i) {
+    metrics.Increment("tenant.x" + std::to_string(i) + ".completed", 1);
+  }
+  EXPECT_GE(metrics.Get("tenant.other.completed"), 2);
+  std::int64_t total = 0;
+  for (const auto& [name, value] : metrics.Snapshot().counters) {
+    if (name.rfind("tenant.", 0) == 0) total += value;
+  }
+  EXPECT_EQ(total, 2 + 3 + 10);
+}
+
+TEST(ServeMetricsTest, NonTenantCountersBypassTheLru) {
+  ServeMetrics metrics;
+  metrics.set_tenant_label_capacity(1);
+  for (int i = 0; i < 50; ++i) {
+    metrics.Increment("solver.S" + std::to_string(i) + ".completed");
+  }
+  // No folding outside the tenant.* namespace.
+  EXPECT_EQ(metrics.Get("solver.S49.completed"), 1);
+  EXPECT_EQ(metrics.Get("tenant.other.completed"), 0);
+}
+
 }  // namespace
 }  // namespace soc::serve

@@ -1,0 +1,207 @@
+// SloEngine tests: burn-rate arithmetic against the SRE-handbook
+// definition, the fast+slow multi-window alert gate, latency-threshold
+// classification, window wraparound, clock edge cases (records near
+// t=0, backwards steps from an injected clock), and tenant-cardinality
+// folding into "other".
+
+#include "obs/slo.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace soc::obs {
+namespace {
+
+// Finds one tenant's state in a report; fails the test when absent.
+TenantSlo StateOf(const SloReport& report, const std::string& tenant) {
+  for (const auto& [id, state] : report.tenants) {
+    if (id == tenant) return state;
+  }
+  ADD_FAILURE() << "tenant " << tenant << " not in report";
+  return {};
+}
+
+SloEngineOptions TestOptions(double* now) {
+  SloEngineOptions options;
+  options.fast_window_s = 10;
+  options.slow_window_s = 100;
+  options.fast_burn_threshold = 2.0;
+  options.slow_burn_threshold = 1.0;
+  options.clock = [now] { return *now; };
+  return options;
+}
+
+TEST(SloEngineTest, BurnRateMatchesTheHandbookDefinition) {
+  double now = 0;
+  SloEngineOptions options = TestOptions(&now);
+  options.default_objective.availability_target = 0.9;  // Budget 0.1.
+  SloEngine engine(options);
+
+  for (int i = 0; i < 5; ++i) engine.RecordOutcome("acme", true, 1);
+  for (int i = 0; i < 5; ++i) engine.RecordOutcome("acme", false, 0);
+
+  const TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_EQ(state.good, 5);
+  EXPECT_EQ(state.bad, 5);
+  // bad_frac 0.5 over budget 0.1 -> burning 5x too fast, both windows.
+  EXPECT_DOUBLE_EQ(state.burn_fast, 5.0);
+  EXPECT_DOUBLE_EQ(state.burn_slow, 5.0);
+}
+
+TEST(SloEngineTest, AlertRequiresBothWindowsToBurn) {
+  double now = 0;
+  SloEngineOptions options = TestOptions(&now);
+  options.default_objective.availability_target = 0.5;  // Budget 0.5.
+  // With budget 0.5 the burn tops out at 2.0 (all-bad), so thresholds
+  // sit below that ceiling.
+  options.fast_burn_threshold = 1.5;
+  options.slow_burn_threshold = 1.2;
+  SloEngine engine(options);
+
+  // A long good history fills the slow window.
+  for (now = 0; now < 95; now += 1) engine.RecordOutcome("acme", true, 1);
+
+  // A heavy bad burst saturates the fast window: 50 bads against the 4
+  // goods still inside it burn at (50/54)/0.5 = 1.85 > 1.5.
+  for (now = 95; now < 100; now += 1) {
+    for (int i = 0; i < 10; ++i) engine.RecordOutcome("acme", false, 0);
+  }
+  TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_GT(state.burn_fast, options.fast_burn_threshold);
+  // The slow window still remembers the good history: no alert yet.
+  EXPECT_LE(state.burn_slow, options.slow_burn_threshold);
+  EXPECT_FALSE(state.alerting);
+
+  // Sustain the outage until the slow window burns too.
+  for (now = 100; now < 200; now += 1) {
+    engine.RecordOutcome("acme", false, 0);
+  }
+  state = StateOf(engine.Report(), "acme");
+  EXPECT_GT(state.burn_fast, options.fast_burn_threshold);
+  EXPECT_GT(state.burn_slow, options.slow_burn_threshold);
+  EXPECT_TRUE(state.alerting);
+}
+
+TEST(SloEngineTest, SlowSuccessCountsAsBad) {
+  double now = 0;
+  SloEngineOptions options = TestOptions(&now);
+  SloEngine engine(options);
+  SloObjective strict;
+  strict.latency_threshold_ms = 10;
+  strict.availability_target = 0.5;
+  engine.SetObjective("acme", strict);
+
+  engine.RecordOutcome("acme", true, 5);    // Good: ok and fast.
+  engine.RecordOutcome("acme", true, 50);   // Bad: ok but slow.
+  engine.RecordOutcome("acme", false, 1);   // Bad: failed.
+
+  const TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_EQ(state.good, 1);
+  EXPECT_EQ(state.bad, 2);
+  EXPECT_DOUBLE_EQ(state.objective.latency_threshold_ms, 10);
+}
+
+TEST(SloEngineTest, EmptyEngineAndZeroTrafficTenantsDoNotAlert) {
+  double now = 0;
+  SloEngine engine(TestOptions(&now));
+  EXPECT_TRUE(engine.Report().tenants.empty());
+
+  SloObjective objective;
+  engine.SetObjective("idle", objective);
+  const TenantSlo state = StateOf(engine.Report(), "idle");
+  EXPECT_EQ(state.good, 0);
+  EXPECT_EQ(state.bad, 0);
+  EXPECT_DOUBLE_EQ(state.burn_fast, 0);
+  EXPECT_DOUBLE_EQ(state.burn_slow, 0);
+  EXPECT_FALSE(state.alerting);
+}
+
+TEST(SloEngineTest, WindowedBurnForgetsWhatTheLedgerRemembers) {
+  double now = 0;
+  SloEngineOptions options = TestOptions(&now);
+  options.default_objective.availability_target = 0.5;
+  SloEngine engine(options);
+
+  // An all-bad spike...
+  for (int i = 0; i < 10; ++i) engine.RecordOutcome("acme", false, 0);
+  TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_GT(state.burn_slow, 0);
+
+  // ...slides out of both windows after 200 idle seconds.
+  now = 250;
+  for (int i = 0; i < 10; ++i) engine.RecordOutcome("acme", true, 1);
+  state = StateOf(engine.Report(), "acme");
+  EXPECT_DOUBLE_EQ(state.burn_fast, 0);
+  EXPECT_DOUBLE_EQ(state.burn_slow, 0);
+  EXPECT_FALSE(state.alerting);
+  // The cumulative ledger keeps the whole history.
+  EXPECT_EQ(state.good, 10);
+  EXPECT_EQ(state.bad, 10);
+}
+
+TEST(SloEngineTest, RecordsNearTimeZeroStayInBounds) {
+  // Regression: a report taken when now_s < slow_window_s used to index
+  // ring buckets with a negative start second.
+  double now = 1;
+  SloEngineOptions options = TestOptions(&now);
+  options.default_objective.availability_target = 0.5;
+  SloEngine engine(options);
+  engine.RecordOutcome("acme", false, 0);
+  const TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_EQ(state.bad, 1);
+  EXPECT_DOUBLE_EQ(state.burn_fast, 2.0);
+  EXPECT_DOUBLE_EQ(state.burn_slow, 2.0);
+}
+
+TEST(SloEngineTest, BackwardsClockStepClampsIntoNewestBucket) {
+  double now = 50;
+  SloEngineOptions options = TestOptions(&now);
+  options.default_objective.availability_target = 0.5;
+  SloEngine engine(options);
+  engine.RecordOutcome("acme", false, 0);
+
+  now = 20;  // An injected clock may step backwards; steady ones don't.
+  engine.RecordOutcome("acme", false, 0);
+  engine.RecordOutcome("acme", true, 1);
+
+  const TenantSlo state = StateOf(engine.Report(), "acme");
+  EXPECT_EQ(state.good, 1);
+  EXPECT_EQ(state.bad, 2);
+  // All three land in the newest bucket's window: nothing lost.
+  EXPECT_DOUBLE_EQ(state.burn_slow, (2.0 / 3.0) / 0.5);
+}
+
+TEST(SloEngineTest, TenantOverflowFoldsIntoOther) {
+  double now = 0;
+  SloEngineOptions options = TestOptions(&now);
+  options.max_tenants = 2;
+  SloEngine engine(options);
+
+  engine.RecordOutcome("a", true, 1);
+  engine.RecordOutcome("b", true, 1);
+  engine.RecordOutcome("c", false, 0);  // Third distinct tenant.
+  engine.RecordOutcome("d", false, 0);  // Fourth shares the bucket.
+  engine.RecordOutcome("a", true, 1);   // Known tenants keep recording.
+
+  const SloReport report = engine.Report();
+  EXPECT_EQ(report.tenants.size(), 3u);  // a, b, other.
+  EXPECT_EQ(StateOf(report, "a").good, 2);
+  EXPECT_EQ(StateOf(report, "b").good, 1);
+  EXPECT_EQ(StateOf(report, "other").bad, 2);
+}
+
+TEST(SloEngineTest, ReportJsonCarriesEveryTenant) {
+  double now = 0;
+  SloEngine engine(TestOptions(&now));
+  engine.RecordOutcome("acme", true, 1);
+  engine.RecordOutcome("zeta", false, 0);
+  const std::string json = engine.Report().ToJson().ToString();
+  EXPECT_NE(json.find("\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"zeta\""), std::string::npos);
+  EXPECT_NE(json.find("\"burn_fast\""), std::string::npos);
+  EXPECT_NE(json.find("\"alerting\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soc::obs

@@ -19,22 +19,22 @@
 #include "common/thread_pool.h"
 #include "obs/context_tracer.h"
 #include "obs/span_names.h"
-#include "serve/json_reader.h"
+#include "common/json_reader.h"
 
 namespace soc::obs {
 namespace {
 
 // The exported event lines, one flat JSON object per event (the
 // surrounding array/footer lines are dropped; trailing commas stripped).
-std::vector<std::map<std::string, serve::JsonScalar>> ParseEventLines(
+std::vector<std::map<std::string, JsonScalar>> ParseEventLines(
     const std::string& json) {
-  std::vector<std::map<std::string, serve::JsonScalar>> events;
+  std::vector<std::map<std::string, JsonScalar>> events;
   for (const std::string& raw : Split(json, '\n')) {
     std::string line = raw;
     if (!line.empty() && line.back() == ',') line.pop_back();
     if (line.empty() || line.front() != '{') continue;
     if (line.find("\"ph\"") == std::string::npos) continue;  // Header/footer.
-    auto parsed = serve::ParseFlatJsonObject(line);
+    auto parsed = ParseFlatJsonObject(line);
     // Lines carrying an args object are not flat; tests that need args
     // assert on the raw text instead.
     if (!parsed.ok()) continue;

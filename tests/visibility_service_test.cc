@@ -17,7 +17,10 @@
 #include <gtest/gtest.h>
 
 #include "datagen/workload.h"
+#include "obs/event_log.h"
+#include "obs/slo.h"
 #include "obs/trace_recorder.h"
+#include "obs/wide_event.h"
 #include "serve/batch_engine.h"
 
 namespace soc::serve {
@@ -520,6 +523,71 @@ TEST(BatchEngineTest, RetryBudgetBoundsAmplification) {
     }
   }
   EXPECT_GT(overloaded, 0);
+}
+
+TEST(VisibilityServiceTest, EmitsOneWideEventPerOutcomeAndFeedsTheSlo) {
+  obs::EventLog event_log;
+  event_log.set_enabled(true);
+  obs::SloEngine slo_engine;
+
+  QueryLog log = MakeLog();
+  VisibilityServiceOptions options;
+  options.num_workers = 2;
+  options.event_log = &event_log;
+  options.slo_engine = &slo_engine;
+  VisibilityService service(log, options);
+
+  SolveRequest ok_request = MakeRequest(service.log(), 0xEDBu, 3);
+  ok_request.id = "good";
+  SolveResponse ok_response = service.Submit(std::move(ok_request)).get();
+  ASSERT_TRUE(ok_response.status.ok());
+
+  SolveRequest invalid_request = MakeRequest(service.log(), 0xEDBu, -4);
+  invalid_request.id = "hostile";
+  SolveResponse invalid_response =
+      service.Submit(std::move(invalid_request)).get();
+  ASSERT_FALSE(invalid_response.status.ok());
+  service.Drain();
+
+  // One event per submitted request, each re-encoding through the
+  // strict schema parser.
+  std::vector<obs::WideEvent> events;
+  event_log.Drain(&events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(event_log.events_dropped(), 0);
+  for (const obs::WideEvent& event : events) {
+    const std::string line = obs::WideEventToJsonLine(event);
+    EXPECT_TRUE(obs::ParseWideEventLine(line).ok()) << line;
+  }
+  EXPECT_EQ(events[0].id, "good");
+  EXPECT_EQ(events[0].outcome, "ok");
+  EXPECT_GT(events[0].total_ms, 0);
+  EXPECT_GT(events[0].satisfied, 0);
+  EXPECT_EQ(events[1].id, "hostile");
+  EXPECT_EQ(events[1].outcome, "invalid");
+  EXPECT_EQ(events[1].m, -1);  // Negative budgets fold to the sentinel.
+
+  // The SLO engine saw the good request under "default" (no tenant id)
+  // and never saw the client error.
+  const obs::SloReport report = slo_engine.Report();
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_EQ(report.tenants[0].first, "default");
+  EXPECT_EQ(report.tenants[0].second.good, 1);
+  EXPECT_EQ(report.tenants[0].second.bad, 0);
+}
+
+TEST(VisibilityServiceTest, DisabledEventLogCostsNothingAndRecordsNothing) {
+  obs::EventLog event_log;  // Never enabled.
+  QueryLog log = MakeLog();
+  VisibilityServiceOptions options;
+  options.event_log = &event_log;
+  VisibilityService service(log, options);
+  for (int i = 0; i < 4; ++i) {
+    service.Submit(MakeRequest(service.log(), 0xEDBu, 3)).get();
+  }
+  service.Drain();
+  EXPECT_EQ(event_log.events_recorded(), 0);
+  EXPECT_EQ(event_log.events_dropped(), 0);
 }
 
 }  // namespace

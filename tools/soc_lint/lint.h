@@ -41,6 +41,14 @@
 //                      pop_back) has a counter bump nearby — so cache
 //                      behavior stays visible in the serving metrics the
 //                      same way load-shedding does.
+//   event-field-parity — the shed_reason vocabulary lives twice by
+//                      design (the serve layer's kShedReason* constants
+//                      in src/serve/visibility_service.h and the
+//                      wide-event schema's kWideEventShedReasons[] table
+//                      in src/obs/wide_event.h, which cannot include
+//                      serve headers); the two lists must carry exactly
+//                      the same string values in both directions, or
+//                      recorded events would fail their own schema.
 //   span-name        — every trace span or phase constructed in src/core,
 //                      src/lp, src/itemsets, src/serve or src/tenant
 //                      (PhaseScope, TraceSpan, RecordComplete,
@@ -115,6 +123,13 @@ void CheckPropertyParity(const std::vector<SourceFile>& files,
 // canonical table in src/obs/span_names.h.
 void CheckSpanNameParity(const std::vector<SourceFile>& files,
                          std::vector<Finding>* findings);
+
+// Cross-file rule: the serve layer's kShedReason* constant values vs.
+// the wide-event schema's kWideEventShedReasons[] vocabulary (both
+// directions: a reason the schema cannot encode and a schema entry no
+// serve path produces are each findings).
+void CheckEventFieldParity(const std::vector<SourceFile>& files,
+                           std::vector<Finding>* findings);
 
 // The pass table: every registered pass with its stable rule ids, so
 // output formats and docs enumerate rules from one place.

@@ -164,6 +164,7 @@ int main(int argc, char** argv) {
         {"response", &FuzzResponseProtocol},
         {"csv", &FuzzQueryLogCsv},
         {"instance", &FuzzInstanceText},
+        {"event", &FuzzWideEvent},
     };
     for (const auto& fuzzer : fuzzers) {
       const auto report = fuzzer.run(fuzz_options);

@@ -33,6 +33,24 @@
 //   --metrics-out=PATH       destination for the periodic pages
 //                            (default: stderr)
 //
+// Observability v2 (DESIGN.md §15, both modes):
+//   --events-out=PATH        wide-event request log: one JSON line per
+//                            request outcome (schema: src/obs/wide_event.h),
+//                            size-rotated at --events-max-bytes
+//   --events-sample=N        record every Nth request (default 1)
+//   --events-max-bytes=N     rotate the event log past N bytes
+//                            (default 64MiB)
+//   --profile-out=PATH       sample the process with SIGPROF while the
+//                            batch runs; write collapsed stacks
+//                            (flamegraph.pl input) on exit
+//   --slo-latency-ms=T       default SLO: a request slower than T ms is
+//                            bad (enables the SLO engine)
+//   --slo-target=A           default availability target (default 0.999)
+//   --slo=TENANT:MS:A        per-tenant objective override (repeatable)
+// When the SLO engine is enabled the run ends with one {"slo":{...}}
+// line of per-tenant burn rates, and multi-tenant streams may query it
+// live with {"admin":"slo"}.
+//
 // Multi-tenant mode (selected by any --tenant flag):
 //   socvis_serve --tenant=acme:acme.csv --tenant=beta:beta.csv
 //       --requests=reqs.jsonl [--shards=N]
@@ -66,6 +84,9 @@
 #include "boolean/query_log.h"
 #include "common/string_util.h"
 #include "core/solver_registry.h"
+#include "obs/event_log.h"
+#include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace_recorder.h"
 #include "serve/batch_engine.h"
 #include "serve/metrics_exporter.h"
@@ -116,7 +137,9 @@ int Usage() {
       "[--reject-late] [--no-shed] [--retries=N] [--retry-budget=R] "
       "[--cache-capacity=N] [--no-metrics] "
       "[--trace-out=PATH] [--metrics-interval-ms=T] "
-      "[--metrics-out=PATH]\n"
+      "[--metrics-out=PATH] [--events-out=PATH] [--events-sample=N] "
+      "[--events-max-bytes=N] [--profile-out=PATH] "
+      "[--slo-latency-ms=T] [--slo-target=A] [--slo=TENANT:MS:A]\n"
       "   or: socvis_serve --tenant=NAME:PATH [--tenant=...] "
       "--requests=reqs.jsonl|- [--shards=N] "
       "[--result-cache-capacity=N] (plus the flags above; --workers is "
@@ -132,6 +155,133 @@ soc::StatusOr<soc::QueryLog> LoadCsvLog(const std::string& path) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return soc::QueryLog::FromCsv(buffer.str());
+}
+
+// Observability v2 wiring shared by both serving modes: the wide-event
+// pipeline (--events-out), the sampling profiler (--profile-out) and
+// the per-tenant SLO engine (--slo-latency-ms / --slo-target / --slo).
+// Declared before the service so members outlive every worker record;
+// destruction order (pump, then sink, then log) is the member reverse.
+struct ObsStack {
+  std::unique_ptr<soc::obs::EventLog> event_log;
+  std::unique_ptr<soc::obs::JsonlEventSink> sink;
+  std::unique_ptr<soc::obs::EventPump> pump;
+  std::unique_ptr<soc::obs::SloEngine> slo;
+  std::string profile_path;
+  bool profiling = false;
+};
+
+// Parses the observability flags into `obs` and starts the event pump /
+// profiler. Returns a non-empty error message on bad flags.
+std::string SetUpObs(int argc, char** argv, ObsStack* obs) {
+  using namespace soc;
+
+  const std::string events_path = GetFlag(argc, argv, "events-out", "");
+  if (!events_path.empty()) {
+    obs::EventLogOptions log_options;
+    log_options.sample_every =
+        std::atoll(GetFlag(argc, argv, "events-sample", "1").c_str());
+    if (log_options.sample_every < 1) return "--events-sample must be >= 1";
+    obs->event_log = std::make_unique<obs::EventLog>(log_options);
+    obs->event_log->set_enabled(true);
+
+    obs::JsonlEventSink::Options sink_options;
+    sink_options.path = events_path;
+    sink_options.max_bytes = std::atoll(
+        GetFlag(argc, argv, "events-max-bytes", "67108864").c_str());
+    if (sink_options.max_bytes < 1) return "--events-max-bytes must be >= 1";
+    obs->sink = std::make_unique<obs::JsonlEventSink>(sink_options);
+    const Status opened = obs->sink->Open();
+    if (!opened.ok()) return opened.ToString();
+
+    obs::EventPump::Options pump_options;
+    pump_options.log = obs->event_log.get();
+    pump_options.sink = [sink = obs->sink.get()](
+                            const std::vector<obs::WideEvent>& events) {
+      IgnoreError(sink->Write(events), "event sink write");
+    };
+    obs->pump = std::make_unique<obs::EventPump>(pump_options);
+  }
+
+  const std::string slo_latency = GetFlag(argc, argv, "slo-latency-ms", "");
+  const std::string slo_target = GetFlag(argc, argv, "slo-target", "");
+  const std::vector<std::string> slo_specs = GetFlagValues(argc, argv, "slo");
+  if (!slo_latency.empty() || !slo_target.empty() || !slo_specs.empty()) {
+    obs::SloEngineOptions slo_options;
+    if (!slo_latency.empty()) {
+      slo_options.default_objective.latency_threshold_ms =
+          std::atof(slo_latency.c_str());
+      if (slo_options.default_objective.latency_threshold_ms <= 0) {
+        return "--slo-latency-ms must be > 0";
+      }
+    }
+    if (!slo_target.empty()) {
+      slo_options.default_objective.availability_target =
+          std::atof(slo_target.c_str());
+      if (slo_options.default_objective.availability_target <= 0 ||
+          slo_options.default_objective.availability_target >= 1) {
+        return "--slo-target must be in (0, 1)";
+      }
+    }
+    obs->slo = std::make_unique<obs::SloEngine>(slo_options);
+    for (const std::string& spec : slo_specs) {
+      // TENANT:MS:TARGET, splitting from the right so tenant ids may
+      // contain colons.
+      const std::size_t target_colon = spec.rfind(':');
+      const std::size_t ms_colon = target_colon == std::string::npos
+                                       ? std::string::npos
+                                       : spec.rfind(':', target_colon - 1);
+      if (ms_colon == std::string::npos || ms_colon == 0) {
+        return "--slo wants TENANT:MS:TARGET, got '" + spec + "'";
+      }
+      obs::SloObjective objective;
+      objective.latency_threshold_ms =
+          std::atof(spec.substr(ms_colon + 1, target_colon - ms_colon - 1)
+                        .c_str());
+      objective.availability_target =
+          std::atof(spec.substr(target_colon + 1).c_str());
+      if (objective.latency_threshold_ms <= 0 ||
+          objective.availability_target <= 0 ||
+          objective.availability_target >= 1) {
+        return "--slo wants MS > 0 and TARGET in (0, 1), got '" + spec + "'";
+      }
+      obs->slo->SetObjective(spec.substr(0, ms_colon), objective);
+    }
+  }
+
+  obs->profile_path = GetFlag(argc, argv, "profile-out", "");
+  if (!obs->profile_path.empty()) {
+    const Status started = obs::Profiler::Instance().Start();
+    if (!started.ok()) return started.ToString();
+    obs->profiling = true;
+  }
+  return "";
+}
+
+// Stops the pump (final flush) and profiler, writes the collapsed
+// stacks, and prints the end-of-run SLO report line. Returns a
+// non-empty error message on I/O failure.
+std::string FinishObs(ObsStack* obs) {
+  using namespace soc;
+
+  if (obs->pump != nullptr) obs->pump->Stop();
+  if (obs->sink != nullptr) {
+    const Status closed = obs->sink->Close();
+    if (!closed.ok()) return closed.ToString();
+  }
+  if (obs->profiling) {
+    obs::Profiler& profiler = obs::Profiler::Instance();
+    const Status stopped = profiler.Stop();
+    if (!stopped.ok()) return stopped.ToString();
+    const Status written = profiler.WriteCollapsed(obs->profile_path);
+    if (!written.ok()) return written.ToString();
+  }
+  if (obs->slo != nullptr) {
+    JsonValue line = JsonValue::Object();
+    line.Set("slo", obs->slo->Report().ToJson());
+    std::cout << line.ToString() << "\n";
+  }
+  return "";
 }
 
 // One response line per admin line, echoing the action. On success the
@@ -150,6 +300,37 @@ std::string AdminResponseLine(const soc::serve::AdminRequest& admin,
   } else {
     json.Set("error", soc::JsonValue::String(epoch.status().message()));
   }
+  return json.ToString();
+}
+
+// {"admin":"slo"} response: the live burn-rate report, optionally
+// filtered to one tenant.
+std::string SloAdminResponseLine(const soc::serve::AdminRequest& admin,
+                                 const soc::obs::SloEngine* slo) {
+  soc::JsonValue json = soc::JsonValue::Object();
+  json.Set("admin", soc::JsonValue::String("slo"));
+  if (!admin.tenant_id.empty()) {
+    json.Set("tenant_id", soc::JsonValue::String(admin.tenant_id));
+  }
+  if (slo == nullptr) {
+    json.Set("status",
+             soc::JsonValue::String(soc::StatusCodeToString(
+                 soc::StatusCode::kFailedPrecondition)));
+    json.Set("error",
+             soc::JsonValue::String(
+                 "SLO engine not enabled; pass --slo-latency-ms, "
+                 "--slo-target or --slo"));
+    return json.ToString();
+  }
+  soc::obs::SloReport report = slo->Report();
+  if (!admin.tenant_id.empty()) {
+    std::erase_if(report.tenants, [&](const auto& entry) {
+      return entry.first != admin.tenant_id;
+    });
+  }
+  json.Set("status", soc::JsonValue::String(
+                         soc::StatusCodeToString(soc::StatusCode::kOk)));
+  json.Set("slo", report.ToJson());
   return json.ToString();
 }
 
@@ -198,6 +379,14 @@ int RunMultiTenant(int argc, char** argv) {
     recorder.set_enabled(true);
     options.shard.trace_recorder = &recorder;
   }
+
+  // Declared before the service: shards record into these from worker
+  // threads until the service is destroyed.
+  ObsStack obs;
+  const std::string obs_error = SetUpObs(argc, argv, &obs);
+  if (!obs_error.empty()) return Fail(obs_error);
+  options.shard.event_log = obs.event_log.get();
+  options.shard.slo_engine = obs.slo.get();
 
   tenant::ShardedService service(options);
   for (const std::string& spec : GetFlagValues(argc, argv, "tenant")) {
@@ -256,6 +445,8 @@ int RunMultiTenant(int argc, char** argv) {
       std::string out;
       if (!admin.ok()) {
         out = AdminResponseLine(serve::AdminRequest{}, admin.status());
+      } else if (admin->action == "slo") {
+        out = SloAdminResponseLine(*admin, obs.slo.get());
       } else {
         StatusOr<std::int64_t> epoch(0);
         auto log = LoadCsvLog(admin->log_path);
@@ -313,6 +504,9 @@ int RunMultiTenant(int argc, char** argv) {
     metrics.Set("metrics", service.Metrics().ToJson());
     std::cout << metrics.ToString() << "\n";
   }
+
+  const std::string finish_error = FinishObs(&obs);
+  if (!finish_error.empty()) return Fail(finish_error);
 
   if (!trace_path.empty()) {
     const Status status = recorder.WriteChromeTrace(trace_path);
@@ -379,6 +573,14 @@ int main(int argc, char** argv) {
     recorder.set_enabled(true);
     options.trace_recorder = &recorder;
   }
+
+  // Declared before the service: workers record into these until the
+  // service is destroyed.
+  ObsStack obs;
+  const std::string obs_error = SetUpObs(argc, argv, &obs);
+  if (!obs_error.empty()) return Fail(obs_error);
+  options.event_log = obs.event_log.get();
+  options.slo_engine = obs.slo.get();
 
   serve::VisibilityService service(std::move(log).value(), options);
   serve::BatchEngine engine(service, retry);
@@ -462,6 +664,9 @@ int main(int argc, char** argv) {
     }
     std::cout << metrics.ToString() << "\n";
   }
+
+  const std::string finish_error = FinishObs(&obs);
+  if (!finish_error.empty()) return Fail(finish_error);
 
   if (!trace_path.empty()) {
     const Status status = recorder.WriteChromeTrace(trace_path);

@@ -23,6 +23,7 @@
 #include "core/solver_registry.h"
 #include "core/variants.h"
 #include "obs/context_tracer.h"
+#include "obs/profiler.h"
 #include "obs/trace_recorder.h"
 
 namespace {
@@ -56,6 +57,7 @@ int Usage() {
       "(--tuple=BITSTRING | --dataset=cars.csv --tuple-row=R) "
       "[--solver=NAME] [--all] [--stats] "
       "[--time-limit-ms=T] [--tick-budget=N] [--trace-out=PATH] "
+      "[--profile-out=PATH] "
       "[--variant=conjunctive|per-attribute|disjunctive]\n  solvers: " +
       soc::Join(soc::RegisteredSolverNames(), ", ") +
       "\n  per-attribute ignores --m; disjunctive supports solver "
@@ -173,6 +175,13 @@ int main(int argc, char** argv) {
   const bool tracing = !trace_path.empty();
   if (tracing) recorder.set_enabled(true);
 
+  // CPU sampling across every solver run; collapsed stacks on exit.
+  const std::string profile_path = GetFlag(argc, argv, "profile-out", "");
+  if (!profile_path.empty()) {
+    const Status started = obs::Profiler::Instance().Start();
+    if (!started.ok()) return Fail(started.ToString());
+  }
+
   const bool as_json = HasFlag(argc, argv, "json");
   if (!as_json) {
     std::printf("log: %d queries over %d attributes; |t| = %d; m = %d\n",
@@ -248,6 +257,13 @@ int main(int argc, char** argv) {
         .Set("m", JsonValue::Int(m))
         .Set("results", JsonValue::Array(std::move(json_results)));
     std::printf("%s\n", report.ToString().c_str());
+  }
+  if (!profile_path.empty()) {
+    obs::Profiler& profiler = obs::Profiler::Instance();
+    const Status stopped = profiler.Stop();
+    if (!stopped.ok()) return Fail(stopped.ToString());
+    const Status written = profiler.WriteCollapsed(profile_path);
+    if (!written.ok()) return Fail(written.ToString());
   }
   if (tracing) {
     const Status status = recorder.WriteChromeTrace(trace_path);
