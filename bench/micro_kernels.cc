@@ -1,14 +1,33 @@
 // Microbenchmarks of the library's hot kernels: bitset algebra, the
-// conjunctive evaluator, tidset support counting, and the simplex solver.
+// conjunctive evaluator, tidset support counting, the simplex solver, and
+// the batch coverage kernels in their dispatch tiers.
+//
+// Besides the google-benchmark entries, `--kernels-json=PATH` runs a
+// self-timed kernel trajectory (per-kernel GB/s for every available tier,
+// plus end-to-end per-request solve cost scalar vs. best tier) and writes
+// it as one JSON object — the pinned BENCH_kernels.json artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "boolean/evaluator.h"
 #include "common/bitset.h"
+#include "common/json_writer.h"
 #include "common/random.h"
+#include "common/timer.h"
+#include "core/greedy.h"
 #include "datagen/car_dataset.h"
 #include "datagen/workload.h"
 #include "itemsets/transaction_db.h"
+#include "kernels/kernels.h"
 #include "lp/simplex.h"
 
 namespace soc {
@@ -119,7 +138,294 @@ void BM_CarDatasetGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CarDatasetGeneration)->Arg(1000)->Arg(15211);
 
+// ------------------------------------------------ batch coverage kernels
+
+// The canonical kernel workload: a wide collapsed log (multiple words per
+// query) against a mid-density selection, so subset tests exercise every
+// word and a realistic fraction of queries pass.
+struct KernelWorkload {
+  std::vector<DynamicBitset> queries;
+  std::vector<long long> weights;
+  DynamicBitset selection;
+  int num_attrs = 0;
+};
+
+KernelWorkload MakeKernelWorkload(int num_attrs, int num_queries,
+                                  unsigned seed = 17) {
+  Rng rng(seed);
+  KernelWorkload wl;
+  wl.num_attrs = num_attrs;
+  wl.selection = RandomBitset(rng, num_attrs, 0.5);
+  for (int i = 0; i < num_queries; ++i) {
+    // Half the queries are drawn from the selection (likely covered),
+    // half from the full attribute space (mostly not).
+    DynamicBitset q(num_attrs);
+    const bool inside = rng.NextBernoulli(0.5);
+    for (int a = 0; a < num_attrs; ++a) {
+      if (inside && !wl.selection.Test(a)) continue;
+      if (rng.NextBernoulli(0.04)) q.Set(a);
+    }
+    wl.queries.push_back(std::move(q));
+    wl.weights.push_back(1 + static_cast<long long>(rng.NextUint64(8)));
+  }
+  return wl;
+}
+
+void BM_KernelCountCovered(benchmark::State& state) {
+  const auto tier = static_cast<kernels::Tier>(state.range(0));
+  const kernels::KernelOps* ops = kernels::GetOps(tier);
+  if (ops == nullptr) {
+    state.SkipWithError("tier unavailable on this host");
+    return;
+  }
+  const KernelWorkload wl = MakeKernelWorkload(256, 16384);
+  const kernels::CoverageBlockSet blocks(
+      wl.queries, static_cast<std::size_t>(wl.num_attrs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::CountCoveredWith(*ops, blocks, wl.selection));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * wl.queries.size() *
+      blocks.words_per_query() * 8);
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelCountCovered)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelCoverageGain(benchmark::State& state) {
+  const auto tier = static_cast<kernels::Tier>(state.range(0));
+  const kernels::KernelOps* ops = kernels::GetOps(tier);
+  if (ops == nullptr) {
+    state.SkipWithError("tier unavailable on this host");
+    return;
+  }
+  const KernelWorkload wl = MakeKernelWorkload(256, 16384);
+  const kernels::CoverageBlockSet blocks(
+      wl.queries, static_cast<std::size_t>(wl.num_attrs));
+  Rng rng(23);
+  const DynamicBitset sel = RandomBitset(rng, wl.num_attrs, 0.02);
+  std::vector<long long> gains(wl.num_attrs, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::CoverageGainWith(
+        *ops, blocks, sel, gains.data(), /*context=*/nullptr));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * wl.queries.size() *
+      blocks.words_per_query() * 8);
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelCoverageGain)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_KernelCoverageBound(benchmark::State& state) {
+  const auto tier = static_cast<kernels::Tier>(state.range(0));
+  const kernels::KernelOps* ops = kernels::GetOps(tier);
+  if (ops == nullptr) {
+    state.SkipWithError("tier unavailable on this host");
+    return;
+  }
+  const KernelWorkload wl = MakeKernelWorkload(256, 16384);
+  const kernels::CoverageBlockSet blocks(
+      wl.queries, static_cast<std::size_t>(wl.num_attrs));
+  Rng rng(29);
+  const DynamicBitset chosen = RandomBitset(rng, wl.num_attrs, 0.1);
+  const DynamicBitset rejected = RandomBitset(rng, wl.num_attrs, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::CoverageBoundWith(*ops, blocks, chosen, rejected, 4));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * wl.queries.size() *
+      blocks.words_per_query() * 8);
+  state.SetLabel(kernels::TierName(tier));
+}
+BENCHMARK(BM_KernelCoverageBound)->Arg(0)->Arg(1)->Arg(2);
+
+// ----------------------------------------- --kernels-json trajectory mode
+
+// Calls `f` until ~0.25s elapses (min 5 calls) and returns seconds/call.
+template <typename F>
+double SecondsPerCall(F&& f) {
+  f();  // Warmup (page in the blocks, settle the scratch arena).
+  WallTimer timer;
+  int calls = 0;
+  do {
+    f();
+    ++calls;
+  } while (timer.ElapsedSeconds() < 0.25 || calls < 5);
+  return timer.ElapsedSeconds() / calls;
+}
+
+struct TierTiming {
+  kernels::Tier tier;
+  double seconds_per_call = 0;
+  double gb_per_sec = 0;
+};
+
+JsonValue TierTimingsToJson(const std::vector<TierTiming>& timings,
+                            double* best_speedup) {
+  const double scalar_seconds = timings.front().seconds_per_call;
+  *best_speedup = 1.0;
+  std::vector<JsonValue> rows;
+  for (const TierTiming& t : timings) {
+    const double speedup = scalar_seconds / t.seconds_per_call;
+    *best_speedup = std::max(*best_speedup, speedup);
+    rows.push_back(JsonValue::Object()
+                       .Set("tier", JsonValue::String(kernels::TierName(t.tier)))
+                       .Set("seconds_per_call", JsonValue::Number(t.seconds_per_call))
+                       .Set("gb_per_sec", JsonValue::Number(t.gb_per_sec))
+                       .Set("speedup_vs_scalar", JsonValue::Number(speedup)));
+  }
+  return JsonValue::Array(std::move(rows));
+}
+
+int RunKernelsJson(const std::string& path) {
+  const int kAttrs = 256;
+  const int kQueries = 16384;
+  const KernelWorkload wl = MakeKernelWorkload(kAttrs, kQueries);
+  const kernels::CoverageBlockSet blocks(
+      wl.queries, static_cast<std::size_t>(kAttrs));
+  const kernels::CoverageBlockSet weighted(
+      wl.queries, static_cast<std::size_t>(kAttrs), wl.weights.data(),
+      /*arena=*/nullptr);
+  const double pass_bytes = static_cast<double>(wl.queries.size()) *
+                            blocks.words_per_query() * 8.0;
+  const std::vector<kernels::Tier> tiers = kernels::AvailableTiers();
+
+  Rng rng(31);
+  const DynamicBitset gain_sel = RandomBitset(rng, kAttrs, 0.02);
+  const DynamicBitset chosen = RandomBitset(rng, kAttrs, 0.1);
+  const DynamicBitset rejected = RandomBitset(rng, kAttrs, 0.05);
+  std::vector<long long> gains(kAttrs, 0);
+
+  std::vector<JsonValue> kernel_rows;
+  struct KernelCase {
+    const char* name;
+    std::function<void(const kernels::KernelOps&)> run;
+  };
+  const std::vector<KernelCase> cases = {
+      {"count_covered",
+       [&](const kernels::KernelOps& ops) {
+         benchmark::DoNotOptimize(
+             kernels::CountCoveredWith(ops, blocks, wl.selection));
+       }},
+      {"accumulate_weighted",
+       [&](const kernels::KernelOps& ops) {
+         benchmark::DoNotOptimize(
+             kernels::AccumulateWeightedWith(ops, weighted, wl.selection));
+       }},
+      {"coverage_gain",
+       [&](const kernels::KernelOps& ops) {
+         benchmark::DoNotOptimize(kernels::CoverageGainWith(
+             ops, blocks, gain_sel, gains.data(), nullptr));
+       }},
+      {"coverage_bound",
+       [&](const kernels::KernelOps& ops) {
+         benchmark::DoNotOptimize(
+             kernels::CoverageBoundWith(ops, blocks, chosen, rejected, 4));
+       }},
+  };
+  double subset_best_speedup = 1.0;
+  for (const KernelCase& kc : cases) {
+    std::vector<TierTiming> timings;
+    for (const kernels::Tier tier : tiers) {
+      const kernels::KernelOps* ops = kernels::GetOps(tier);
+      TierTiming t;
+      t.tier = tier;
+      t.seconds_per_call = SecondsPerCall([&] { kc.run(*ops); });
+      t.gb_per_sec = pass_bytes / t.seconds_per_call / 1e9;
+      timings.push_back(t);
+    }
+    double best_speedup = 1.0;
+    JsonValue rows = TierTimingsToJson(timings, &best_speedup);
+    if (std::string(kc.name) == "count_covered") {
+      subset_best_speedup = best_speedup;
+    }
+    kernel_rows.push_back(
+        JsonValue::Object()
+            .Set("kernel", JsonValue::String(kc.name))
+            .Set("tiers", std::move(rows))
+            .Set("best_speedup_vs_scalar", JsonValue::Number(best_speedup)));
+  }
+
+  // End-to-end per-request solve cost: the ConsumeAttrCumul greedy over a
+  // serving-scale synthetic log, dispatch pinned to scalar vs. the best
+  // available tier.
+  const AttributeSchema schema = AttributeSchema::Anonymous(64);
+  datagen::SyntheticWorkloadOptions wl_options;
+  wl_options.num_queries = 20000;
+  wl_options.seed = 37;
+  const QueryLog log = datagen::MakeSyntheticWorkload(schema, wl_options);
+  Rng solve_rng(41);
+  const DynamicBitset tuple = RandomBitset(solve_rng, 64, 0.5);
+  const GreedySolver greedy(GreedyKind::kConsumeAttrCumul);
+  const auto solve_once = [&] {
+    auto solution = greedy.Solve(log, tuple, 8);
+    benchmark::DoNotOptimize(solution);
+  };
+  kernels::ForceTier(kernels::Tier::kScalar);
+  const double scalar_solve = SecondsPerCall(solve_once);
+  kernels::ClearForcedTier();
+  const kernels::Tier best_tier = kernels::ActiveTier();
+  const double best_solve = SecondsPerCall(solve_once);
+
+  JsonValue doc =
+      JsonValue::Object()
+          .Set("bench", JsonValue::String("micro_kernels"))
+          .Set("schema_version", JsonValue::Int(1))
+          .Set("hardware_concurrency",
+               JsonValue::Int(std::thread::hardware_concurrency()))
+          .Set("simd_available", JsonValue::Bool(tiers.size() > 1))
+          .Set("active_tier",
+               JsonValue::String(kernels::TierName(kernels::ActiveTier())));
+  std::vector<JsonValue> tier_names;
+  for (const kernels::Tier tier : tiers) {
+    tier_names.push_back(JsonValue::String(kernels::TierName(tier)));
+  }
+  doc.Set("available_tiers", JsonValue::Array(std::move(tier_names)))
+      .Set("workload", JsonValue::Object()
+                           .Set("num_queries", JsonValue::Int(kQueries))
+                           .Set("num_attributes", JsonValue::Int(kAttrs))
+                           .Set("words_per_query",
+                                JsonValue::Int(static_cast<long long>(
+                                    blocks.words_per_query()))))
+      .Set("kernels", JsonValue::Array(std::move(kernel_rows)))
+      .Set("batch_subset_best_speedup", JsonValue::Number(subset_best_speedup))
+      .Set("request_solve",
+           JsonValue::Object()
+               .Set("solver", JsonValue::String("ConsumeAttrCumul"))
+               .Set("num_queries", JsonValue::Int(wl_options.num_queries))
+               .Set("num_attributes", JsonValue::Int(64))
+               .Set("m", JsonValue::Int(8))
+               .Set("scalar_ms", JsonValue::Number(scalar_solve * 1e3))
+               .Set("best_tier", JsonValue::String(kernels::TierName(best_tier)))
+               .Set("best_ms", JsonValue::Number(best_solve * 1e3))
+               .Set("speedup", JsonValue::Number(scalar_solve / best_solve)));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "micro_kernels: cannot open " << path << "\n";
+    return 1;
+  }
+  out << doc.ToString() << "\n";
+  std::cout << "micro_kernels: wrote " << path << " (subset best speedup "
+            << subset_best_speedup << "x, tiers " << tiers.size() << ")\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace soc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--kernels-json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return soc::RunKernelsJson(arg.substr(prefix.size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "boolean/evaluator.h"
 
+#include "kernels/kernels.h"
+
 namespace soc {
 
 bool QueryRetrieves(const DynamicBitset& q, const DynamicBitset& tuple,
@@ -40,14 +42,12 @@ SatisfiableQueryView::SatisfiableQueryView(const QueryLog& log,
       original_indices_.push_back(i);
     }
   }
+  blocks_ = kernels::CoverageBlockSet(
+      queries_, static_cast<std::size_t>(log.num_attributes()));
 }
 
 int SatisfiableQueryView::CountSatisfied(const DynamicBitset& candidate) const {
-  int count = 0;
-  for (const DynamicBitset& q : queries_) {
-    if (q.IsSubsetOf(candidate)) ++count;
-  }
-  return count;
+  return static_cast<int>(kernels::CountCovered(blocks_, candidate));
 }
 
 }  // namespace soc

@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "core/solver_registry.h"
 #include "core/weighted.h"
+#include "kernels/kernels.h"
 
 namespace soc::check {
 
@@ -382,6 +383,65 @@ Status CheckConsumeAttrSpec(const Instance& instance, const SocSolver& solver) {
   return Status::OK();
 }
 
+Status CheckKernelDiff(const Instance& instance, const SocSolver& solver) {
+  // One kernel check per instance is enough; anchor it to ConsumeAttrCumul
+  // (its solve exercises the superset/gain direction end to end).
+  if (solver.name() != "ConsumeAttrCumul") return Status::OK();
+  const int num_attrs = instance.log.num_attributes();
+  const std::size_t width = static_cast<std::size_t>(num_attrs);
+  const kernels::CoverageBlockSet blocks(instance.log.queries(), width);
+
+  // Probe selections: empty, the tuple, and the solver's own pick.
+  std::vector<DynamicBitset> probes;
+  probes.emplace_back(width);
+  probes.push_back(instance.tuple);
+  SOC_ASSIGN_OR_RETURN(
+      const SocSolution solution,
+      SolveOrExplain(solver, instance.log, instance.tuple, instance.m));
+  probes.push_back(solution.selected);
+
+  std::vector<long long> gains(width, 0);
+  for (const kernels::Tier tier : kernels::AvailableTiers()) {
+    const kernels::KernelOps* ops = kernels::GetOps(tier);
+    const std::string label =
+        std::string("kernel tier ") + kernels::TierName(tier);
+    for (const DynamicBitset& sel : probes) {
+      // Subset (coverage) direction vs. a per-query recount.
+      long long covered_ref = 0;
+      for (const DynamicBitset& q : instance.log.queries()) {
+        if (q.IsSubsetOf(sel)) ++covered_ref;
+      }
+      const long long covered = kernels::CountCoveredWith(*ops, blocks, sel);
+      if (covered != covered_ref) {
+        return Violation(label + ": CountCovered " + std::to_string(covered) +
+                             " != reference " + std::to_string(covered_ref),
+                         instance);
+      }
+      // Superset (gain) direction vs. the query log's own joint counter.
+      const kernels::GainScan scan = kernels::CoverageGainWith(
+          *ops, blocks, sel, gains.data(), /*context=*/nullptr);
+      if (!scan.completed) {
+        return Violation(label + ": context-free gain scan did not complete",
+                         instance);
+      }
+      for (int attr = 0; attr < num_attrs; ++attr) {
+        if (sel.Test(attr)) continue;
+        DynamicBitset with_attr = sel;
+        with_attr.Set(attr);
+        const long long joint =
+            instance.log.CountQueriesContainingAll(with_attr);
+        if (gains[attr] != joint) {
+          return Violation(label + ": gain[" + std::to_string(attr) + "] = " +
+                               std::to_string(gains[attr]) +
+                               " != joint count " + std::to_string(joint),
+                           instance);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const std::vector<PropertyCheck>& PropertyCatalog() {
@@ -417,6 +477,10 @@ const std::vector<PropertyCheck>& PropertyCatalog() {
            "ConsumeAttr's selection equals the independently recomputed "
            "frequency ranking",
            &CheckConsumeAttrSpec},
+          {"kernel-diff",
+           "every available kernel tier matches per-query recounts for "
+           "coverage and marginal gains (runs on ConsumeAttrCumul only)",
+           &CheckKernelDiff},
       };
   return *kCatalog;
 }

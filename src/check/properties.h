@@ -29,6 +29,10 @@
 //   consume-attr-spec ConsumeAttr's selection equals the independently
 //                     recomputed top-m_eff attributes of t by (query-log
 //                     frequency desc, index asc) — the documented spec
+//   kernel-diff       every kernel dispatch tier available on this host
+//                     (scalar, AVX2, AVX-512) reproduces per-query
+//                     recounts of coverage and marginal gains on the
+//                     instance's log (runs on ConsumeAttrCumul only)
 //
 // kPropertyCheckedSolvers lists the registry solvers the suite exercises;
 // soc_lint's property-parity rule keeps it in sync with kRegistry.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/greedy.h"
+#include "kernels/kernels.h"
 
 namespace soc {
 
@@ -10,10 +11,10 @@ namespace {
 
 class BnbSearch {
  public:
-  BnbSearch(std::vector<DynamicBitset> queries, std::vector<int> candidates,
-            int num_attrs, int budget, std::int64_t max_nodes,
-            SolveContext* context)
-      : queries_(std::move(queries)),
+  BnbSearch(const kernels::CoverageBlockSet* queries,
+            std::vector<int> candidates, int num_attrs, int budget,
+            std::int64_t max_nodes, SolveContext* context)
+      : queries_(queries),
         candidates_(std::move(candidates)),
         budget_(budget),
         max_nodes_(max_nodes),
@@ -46,19 +47,14 @@ class BnbSearch {
       return;
     }
 
-    // Bound: queries already satisfied plus queries that still fit.
-    int satisfied = 0;
-    int potential = 0;
+    // Bound: queries already satisfied plus queries that still fit
+    // (|q \ chosen| ≤ slack and q avoids every rejected attribute), in
+    // one batch kernel pass over the blocked layout.
     const int slack = budget_ - num_chosen;
-    for (const DynamicBitset& q : queries_) {
-      if (q.IsSubsetOf(chosen_)) {
-        ++satisfied;
-      } else if (!q.Intersects(rejected_) &&
-                 static_cast<int>(q.Count() - q.IntersectionCount(chosen_)) <=
-                     slack) {
-        ++potential;
-      }
-    }
+    const kernels::BoundScan bound =
+        kernels::CoverageBound(*queries_, chosen_, rejected_, slack);
+    const int satisfied = static_cast<int>(bound.satisfied);
+    const int potential = static_cast<int>(bound.potential);
     if (satisfied > best_count_) {
       best_count_ = satisfied;
       best_selection_ = chosen_;
@@ -78,7 +74,7 @@ class BnbSearch {
     rejected_.Reset(attr);
   }
 
-  const std::vector<DynamicBitset> queries_;
+  const kernels::CoverageBlockSet* const queries_;
   const std::vector<int> candidates_;
   const int budget_;
   const std::int64_t max_nodes_;
@@ -119,8 +115,12 @@ StatusOr<SocSolution> BnbSocSolver::SolveWithContext(
     return a < b;
   });
 
-  BnbSearch search(std::move(relevant), std::move(candidates), num_attrs,
-                   m_eff, options_.max_nodes, context);
+  kernels::ScratchScope scratch;
+  const kernels::CoverageBlockSet blocks(
+      relevant, static_cast<std::size_t>(num_attrs), /*weights=*/nullptr,
+      &scratch.arena());
+  BnbSearch search(&blocks, std::move(candidates), num_attrs, m_eff,
+                   options_.max_nodes, context);
 
   // Greedy incumbent (restricted to candidate attributes for a valid seed);
   // run context-free so an already-stopped context still yields a usable

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "kernels/kernels.h"
+
 namespace soc {
 
 namespace {
@@ -27,17 +29,30 @@ DynamicBitset ConsumeAttrCumul(const QueryLog& log, const DynamicBitset& tuple,
   DynamicBitset selected(log.num_attributes());
   std::vector<int> remaining = tuple.SetBits();
 
+  // One blocked layout of the full log per solve (the co-occurrence
+  // statistic counts every query, not just q ⊆ t). A single CoverageGain
+  // scan per step then yields every candidate's joint count at once:
+  // gains[a] = #{q : selected ∪ {a} ⊆ q} — exactly the
+  // CountQueriesContainingAll value the per-candidate loop used to
+  // recompute from scratch.
+  kernels::ScratchScope scratch;
+  const kernels::CoverageBlockSet blocks(
+      log.queries(), static_cast<std::size_t>(log.num_attributes()),
+      /*weights=*/nullptr, &scratch.arena());
+  long long* gains = scratch.arena().AllocateWeights(
+      static_cast<std::size_t>(log.num_attributes()));
+
   for (int step = 0; step < m_eff; ++step) {
+    // Ticks once per 64-query block (the expensive unit of work here);
+    // on stop the partial selection is padded by the caller.
+    const kernels::GainScan scan =
+        kernels::CoverageGain(blocks, selected, gains, context);
+    if (!scan.completed) return selected;
     int best_attr = -1;
-    int best_cooccur = -1;
+    long long best_cooccur = -1;
     int best_freq = -1;
     for (int attr : remaining) {
-      // A tick per co-occurrence count, the expensive unit of work here;
-      // on stop the partial selection is padded by the caller.
-      if (internal::ShouldStop(context)) return selected;
-      DynamicBitset with_attr = selected;
-      with_attr.Set(attr);
-      const int cooccur = log.CountQueriesContainingAll(with_attr);
+      const long long cooccur = gains[attr];
       if (cooccur > best_cooccur ||
           (cooccur == best_cooccur && freq[attr] > best_freq)) {
         best_attr = attr;

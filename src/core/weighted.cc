@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/combinatorics.h"
+#include "kernels/kernels.h"
 
 namespace soc {
 
@@ -94,18 +95,26 @@ StatusOr<WeightedSolution> SolveWeightedBruteForce(
     return ResourceExhaustedError("weighted brute force too large");
   }
 
+  // Blocked layout over the relevant queries with their multiplicities;
+  // each enumerated combination costs one batch kernel pass.
+  std::vector<DynamicBitset> relevant_queries;
+  std::vector<long long> relevant_weights;
+  for (int i : relevant) {
+    relevant_queries.push_back(instance.queries.query(i));
+    relevant_weights.push_back(instance.weights[i]);
+  }
+  kernels::ScratchScope scratch;
+  const kernels::CoverageBlockSet blocks(
+      relevant_queries, static_cast<std::size_t>(num_attrs),
+      relevant_weights.data(), &scratch.arena());
+
   DynamicBitset best(num_attrs);
   long long best_weight = -1;
   DynamicBitset candidate(num_attrs);
   ForEachCombination(pool, pick, [&](const std::vector<int>& combo) {
     candidate.ResetAll();
     for (int attr : combo) candidate.Set(attr);
-    long long weight = 0;
-    for (int i : relevant) {
-      if (instance.queries.query(i).IsSubsetOf(candidate)) {
-        weight += instance.weights[i];
-      }
-    }
+    const long long weight = kernels::AccumulateWeighted(blocks, candidate);
     if (weight > best_weight) {
       best_weight = weight;
       best = candidate;
@@ -119,11 +128,10 @@ namespace {
 
 class WeightedBnb {
  public:
-  WeightedBnb(std::vector<DynamicBitset> queries, std::vector<long long> w,
+  WeightedBnb(const kernels::CoverageBlockSet* queries,
               std::vector<int> candidates, int num_attrs, int budget,
               std::int64_t max_nodes)
-      : queries_(std::move(queries)),
-        weights_(std::move(w)),
+      : queries_(queries),
         candidates_(std::move(candidates)),
         budget_(budget),
         max_nodes_(max_nodes),
@@ -139,19 +147,11 @@ class WeightedBnb {
     if (max_nodes_ > 0 && ++nodes_ > max_nodes_) {
       return ResourceExhaustedError("weighted B&B node budget exhausted");
     }
-    long long satisfied = 0;
-    long long potential = 0;
     const int slack = budget_ - num_chosen;
-    for (std::size_t i = 0; i < queries_.size(); ++i) {
-      const DynamicBitset& q = queries_[i];
-      if (q.IsSubsetOf(chosen_)) {
-        satisfied += weights_[i];
-      } else if (!q.Intersects(rejected_) &&
-                 static_cast<int>(q.Count() - q.IntersectionCount(chosen_)) <=
-                     slack) {
-        potential += weights_[i];
-      }
-    }
+    const kernels::BoundScan bound =
+        kernels::CoverageBound(*queries_, chosen_, rejected_, slack);
+    const long long satisfied = bound.satisfied;
+    const long long potential = bound.potential;
     if (satisfied > best_weight_) {
       best_weight_ = satisfied;
       best_selection_ = chosen_;
@@ -170,8 +170,7 @@ class WeightedBnb {
     return Status::OK();
   }
 
-  const std::vector<DynamicBitset> queries_;
-  const std::vector<long long> weights_;
+  const kernels::CoverageBlockSet* const queries_;
   const std::vector<int> candidates_;
   const int budget_;
   const std::int64_t max_nodes_;
@@ -209,8 +208,11 @@ StatusOr<WeightedSolution> SolveWeightedBnb(
     return a < b;
   });
 
-  WeightedBnb search(std::move(relevant), std::move(relevant_weights),
-                     std::move(candidates), num_attrs, m_eff,
+  kernels::ScratchScope scratch;
+  const kernels::CoverageBlockSet blocks(
+      relevant, static_cast<std::size_t>(num_attrs), relevant_weights.data(),
+      &scratch.arena());
+  WeightedBnb search(&blocks, std::move(candidates), num_attrs, m_eff,
                      options.max_nodes);
   SOC_RETURN_IF_ERROR(search.Run());
   return Finish(instance, tuple, m_eff, search.best_selection(),
@@ -234,19 +236,24 @@ StatusOr<WeightedSolution> SolveWeightedGreedy(
     for (int i = 0; i < m_eff; ++i) selected.Set(attrs[i]);
   } else if (kind == GreedyKind::kConsumeAttrCumul) {
     std::vector<int> remaining = tuple.SetBits();
+    // One weighted CoverageGain scan per step: gains[a] is the summed
+    // weight of queries containing selected ∪ {a}, the joint count the
+    // per-candidate loop used to recompute query by query.
+    std::vector<long long> weights64(instance.weights.begin(),
+                                     instance.weights.end());
+    kernels::ScratchScope scratch;
+    const kernels::CoverageBlockSet blocks(
+        instance.queries.queries(), static_cast<std::size_t>(num_attrs),
+        weights64.data(), &scratch.arena());
+    long long* gains =
+        scratch.arena().AllocateWeights(static_cast<std::size_t>(num_attrs));
     for (int step = 0; step < m_eff; ++step) {
+      kernels::CoverageGain(blocks, selected, gains, /*context=*/nullptr);
       int best_attr = -1;
       long long best_joint = -1;
       long long best_freq = -1;
       for (int attr : remaining) {
-        DynamicBitset with_attr = selected;
-        with_attr.Set(attr);
-        long long joint = 0;
-        for (int i = 0; i < instance.queries.size(); ++i) {
-          if (with_attr.IsSubsetOf(instance.queries.query(i))) {
-            joint += instance.weights[i];
-          }
-        }
+        const long long joint = gains[attr];
         if (joint > best_joint ||
             (joint == best_joint && freq[attr] > best_freq)) {
           best_attr = attr;

@@ -1,0 +1,107 @@
+#include "kernels/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+// ASan interface: poison freed arena regions so stale pointers fault in
+// sanitizer builds. No-ops everywhere else.
+#if defined(__SANITIZE_ADDRESS__)
+#define SOC_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SOC_ARENA_ASAN 1
+#endif
+#endif
+
+#if defined(SOC_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#define SOC_ARENA_POISON(ptr, size) ASAN_POISON_MEMORY_REGION(ptr, size)
+#define SOC_ARENA_UNPOISON(ptr, size) ASAN_UNPOISON_MEMORY_REGION(ptr, size)
+#else
+#define SOC_ARENA_POISON(ptr, size) ((void)(ptr), (void)(size))
+#define SOC_ARENA_UNPOISON(ptr, size) ((void)(ptr), (void)(size))
+#endif
+
+namespace soc::kernels {
+
+namespace {
+
+std::atomic<std::int64_t> g_total_blocks_created{0};
+
+std::size_t RoundUp(std::size_t bytes) {
+  return (bytes + Arena::kAlignment - 1) & ~(Arena::kAlignment - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(RoundUp(
+          first_block_bytes < kAlignment ? kAlignment : first_block_bytes)) {}
+
+Arena::~Arena() {
+  for (Block& block : blocks_) {
+    // ASan forbids freeing memory while part of it is poisoned.
+    SOC_ARENA_UNPOISON(block.data, block.capacity);
+    std::free(block.data);
+  }
+}
+
+void Arena::AddBlock(std::size_t min_bytes) {
+  Block block;
+  block.capacity = RoundUp(min_bytes > next_block_bytes_ ? min_bytes
+                                                         : next_block_bytes_);
+  block.data =
+      static_cast<char*>(std::aligned_alloc(kAlignment, block.capacity));
+  SOC_CHECK(block.data != nullptr);
+  SOC_ARENA_POISON(block.data, block.capacity);
+  blocks_.push_back(block);
+  // Geometric growth caps the number of blocks (and thus the wasted tail
+  // space) at O(log total bytes).
+  next_block_bytes_ *= 2;
+  ++stats_.blocks_created;
+  stats_.bytes_reserved += static_cast<std::int64_t>(block.capacity);
+  g_total_blocks_created.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* Arena::Allocate(std::size_t bytes) {
+  const std::size_t rounded = RoundUp(bytes);
+  ++stats_.allocations;
+  // Advance through retained blocks first (they survive Reset); only
+  // malloc when nothing retained fits.
+  while (active_ < blocks_.size() &&
+         blocks_[active_].used + rounded > blocks_[active_].capacity) {
+    ++active_;
+  }
+  if (active_ == blocks_.size()) AddBlock(rounded);
+  Block& block = blocks_[active_];
+  char* ptr = block.data + block.used;
+  block.used += rounded;
+  SOC_ARENA_UNPOISON(ptr, rounded);
+  return ptr;
+}
+
+void Arena::Rewind(const Mark& mark) {
+  SOC_CHECK_LE(mark.block, blocks_.size());
+  for (std::size_t b = mark.block; b < blocks_.size(); ++b) {
+    const std::size_t keep = (b == mark.block) ? mark.used : 0;
+    Block& block = blocks_[b];
+    if (block.used > keep) {
+      SOC_ARENA_POISON(block.data + keep, block.used - keep);
+      block.used = keep;
+    }
+  }
+  active_ = mark.block;
+}
+
+std::int64_t Arena::TotalBlocksCreated() {
+  return g_total_blocks_created.load(std::memory_order_relaxed);
+}
+
+Arena& ThreadScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace soc::kernels

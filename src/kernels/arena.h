@@ -1,0 +1,114 @@
+// A 64-byte-aligned bump allocator backing the blocked coverage layout
+// and per-request kernel scratch space.
+//
+// The serving fast path used to copy a whole DynamicBitset per request;
+// the arena replaces that churn with pointer bumps into blocks that are
+// allocated once per thread and reused forever. Every allocation is
+// aligned to kAlignment (64 bytes) so AVX-512 loads of kernel operands
+// are always aligned. Freed regions (Rewind/Reset) are poisoned under
+// AddressSanitizer, so a consumer holding a pointer across a Reset trips
+// ASan instead of silently reading recycled memory.
+//
+// Not thread-safe; use ThreadScratchArena() / ScratchScope for the
+// per-thread scratch instance.
+
+#ifndef SOC_KERNELS_ARENA_H_
+#define SOC_KERNELS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace soc::kernels {
+
+class Arena {
+ public:
+  // Every allocation is aligned to this many bytes (one cache line; the
+  // widest vector load the kernels issue).
+  static constexpr std::size_t kAlignment = 64;
+
+  explicit Arena(std::size_t first_block_bytes = 1 << 14);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns kAlignment-aligned storage for `bytes` bytes (uninitialized).
+  // Valid until the enclosing Rewind/Reset. Allocate(0) is legal.
+  void* Allocate(std::size_t bytes);
+
+  // Typed helpers for the two element kinds the kernels use.
+  std::uint64_t* AllocateWords(std::size_t count) {
+    return static_cast<std::uint64_t*>(
+        Allocate(count * sizeof(std::uint64_t)));
+  }
+  long long* AllocateWeights(std::size_t count) {
+    return static_cast<long long*>(Allocate(count * sizeof(long long)));
+  }
+
+  // A position in the arena; Rewind(mark) frees everything allocated
+  // after mark() was taken (LIFO discipline, checked under ASan only).
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+  Mark mark() const { return Mark{active_, Used(active_)}; }
+  void Rewind(const Mark& mark);
+
+  // Frees every allocation; the blocks themselves are kept for reuse.
+  void Reset() { Rewind(Mark{}); }
+
+  struct Stats {
+    std::int64_t blocks_created = 0;  // malloc calls over the lifetime
+    std::int64_t bytes_reserved = 0;  // sum of block capacities
+    std::int64_t allocations = 0;     // Allocate() calls
+  };
+  Stats stats() const { return stats_; }
+
+  // Process-wide count of arena blocks ever created (all Arena
+  // instances). The serve tests assert this stays flat across warm
+  // batches: a steady state allocates nothing.
+  static std::int64_t TotalBlocksCreated();
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t Used(std::size_t block_index) const {
+    return block_index < blocks_.size() ? blocks_[block_index].used : 0;
+  }
+  void AddBlock(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // bump target; blocks before it are full
+  std::size_t next_block_bytes_;
+  Stats stats_;
+};
+
+// The calling thread's scratch arena (created on first use, reused for
+// the thread's lifetime).
+Arena& ThreadScratchArena();
+
+// RAII mark/rewind on the thread scratch arena: allocations made through
+// the scope die (and are ASan-poisoned) when it closes. Scopes nest.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(ThreadScratchArena()), mark_(arena_.mark()) {}
+  ~ScratchScope() { arena_.Rewind(mark_); }
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  Arena& arena() const { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace soc::kernels
+
+#endif  // SOC_KERNELS_ARENA_H_

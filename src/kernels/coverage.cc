@@ -1,0 +1,56 @@
+#include "kernels/coverage.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace soc::kernels {
+
+CoverageBlockSet::CoverageBlockSet(const std::vector<DynamicBitset>& queries,
+                                   std::size_t num_bits,
+                                   const long long* weights, Arena* arena) {
+  num_queries_ = static_cast<int>(queries.size());
+  num_bits_ = num_bits;
+  words_per_query_ = static_cast<int>((num_bits + 63) / 64);
+  num_blocks_ = (num_queries_ + kBlockQueries - 1) / kBlockQueries;
+  block_stride_ =
+      static_cast<std::size_t>(words_per_query_) * kBlockQueries;
+
+  if (arena == nullptr) {
+    owned_ = std::make_unique<Arena>();
+    arena = owned_.get();
+  }
+
+  const std::size_t total_words =
+      static_cast<std::size_t>(num_blocks_) * block_stride_;
+  std::uint64_t* words = arena->AllocateWords(total_words);
+  std::memset(words, 0, total_words * sizeof(std::uint64_t));
+  for (int i = 0; i < num_queries_; ++i) {
+    const DynamicBitset& q = queries[static_cast<std::size_t>(i)];
+    SOC_CHECK_EQ(q.size(), num_bits);
+    std::uint64_t* block =
+        words + static_cast<std::size_t>(i / kBlockQueries) * block_stride_;
+    const int slot = i % kBlockQueries;
+    const std::uint64_t* q_words = q.words();
+    for (int w = 0; w < words_per_query_; ++w) {
+      block[static_cast<std::size_t>(w) * kBlockQueries + slot] = q_words[w];
+    }
+  }
+  words_ = words;
+
+  if (weights != nullptr) {
+    const std::size_t padded =
+        static_cast<std::size_t>(num_blocks_) * kBlockQueries;
+    long long* padded_weights = arena->AllocateWeights(padded);
+    std::memset(padded_weights, 0, padded * sizeof(long long));
+    for (int i = 0; i < num_queries_; ++i) {
+      padded_weights[i] = weights[i];
+      total_weight_ += weights[i];
+    }
+    weights_ = padded_weights;
+  } else {
+    total_weight_ = num_queries_;
+  }
+}
+
+}  // namespace soc::kernels

@@ -1,0 +1,95 @@
+// CoverageBlockSet: the collapsed weighted query log re-laid-out for
+// batch kernels.
+//
+// Queries are grouped into blocks of 64 and stored word-major
+// (transposed / structure-of-arrays): within a block, word w of query j
+// lives at words[w * 64 + j]. A batch subset test then streams 64
+// contiguous queries per attribute word and produces one 64-bit result
+// mask per block — one bit per query — which the kernels popcount or use
+// to gather weights. The tail block's unused slots hold all-zero queries
+// (which would falsely pass every subset test), so each block carries a
+// valid_mask the kernels AND into every result.
+//
+// The layout is built from plain DynamicBitset vectors (not QueryLog) so
+// the library sits below soc_boolean and every consumer — solvers, the
+// BnB bound, the serving fast path — can link it.
+
+#ifndef SOC_KERNELS_COVERAGE_H_
+#define SOC_KERNELS_COVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitset.h"
+#include "kernels/arena.h"
+
+namespace soc::kernels {
+
+class CoverageBlockSet {
+ public:
+  // Queries per block: one result-mask bit per query.
+  static constexpr int kBlockQueries = 64;
+
+  CoverageBlockSet() = default;
+
+  // Builds the blocked layout over `queries` (each of width `num_bits`).
+  // `weights` is either nullptr (unit weights) or one entry per query.
+  // Storage comes from `arena` when given (the arena must outlive the
+  // set); otherwise the set owns its storage.
+  CoverageBlockSet(const std::vector<DynamicBitset>& queries,
+                   std::size_t num_bits, const long long* weights,
+                   Arena* arena);
+
+  // Convenience: unit weights, owned storage.
+  CoverageBlockSet(const std::vector<DynamicBitset>& queries,
+                   std::size_t num_bits)
+      : CoverageBlockSet(queries, num_bits, nullptr, nullptr) {}
+
+  CoverageBlockSet(CoverageBlockSet&&) = default;
+  CoverageBlockSet& operator=(CoverageBlockSet&&) = default;
+
+  int num_queries() const { return num_queries_; }
+  int num_blocks() const { return num_blocks_; }
+  // Words per query == words per attribute bitset of width num_bits.
+  int words_per_query() const { return words_per_query_; }
+  std::size_t num_bits() const { return num_bits_; }
+  bool unit_weights() const { return weights_ == nullptr; }
+  long long total_weight() const { return total_weight_; }
+
+  // Word-major storage of block b: word w of in-block query j is at
+  // block_words(b)[w * kBlockQueries + j]. 64-byte aligned.
+  const std::uint64_t* block_words(int b) const {
+    return words_ + static_cast<std::size_t>(b) * block_stride_;
+  }
+  // Bit j set iff in-block slot j holds a real query.
+  std::uint64_t valid_mask(int b) const {
+    const int tail = num_queries_ - b * kBlockQueries;
+    return tail >= kBlockQueries ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << tail) - 1;
+  }
+  // Weights of block b's queries (64 entries, unused slots zero);
+  // nullptr for unit-weight sets.
+  const long long* block_weights(int b) const {
+    return weights_ == nullptr
+               ? nullptr
+               : weights_ + static_cast<std::size_t>(b) * kBlockQueries;
+  }
+
+ private:
+  int num_queries_ = 0;
+  int num_blocks_ = 0;
+  int words_per_query_ = 0;
+  std::size_t num_bits_ = 0;
+  std::size_t block_stride_ = 0;  // words per block
+  long long total_weight_ = 0;
+  const std::uint64_t* words_ = nullptr;
+  const long long* weights_ = nullptr;
+  // Backing storage when no arena was supplied.
+  std::unique_ptr<Arena> owned_;
+};
+
+}  // namespace soc::kernels
+
+#endif  // SOC_KERNELS_COVERAGE_H_

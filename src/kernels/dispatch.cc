@@ -1,0 +1,113 @@
+// Runtime tier dispatch: CPUID feature detection, the SOC_FORCE_SCALAR
+// escape hatches (compile definition and environment variable), and the
+// test/bench ForceTier override. The scalar fallback is always
+// registered; a SIMD tier is only handed out when its TU was compiled
+// with the ISA *and* the CPU reports it.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "kernels/kernels.h"
+
+namespace soc::kernels {
+
+namespace {
+
+// ForceTier override; -1 = none.
+std::atomic<int> g_forced_tier{-1};
+
+bool ForcedScalarByEnv() {
+  const char* value = std::getenv("SOC_FORCE_SCALAR");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+bool SimdAllowed() {
+#if defined(SOC_FORCE_SCALAR)
+  return false;
+#else
+  static const bool allowed = !ForcedScalarByEnv();
+  return allowed;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+Tier DetectTier() {
+  if (SimdAllowed()) {
+    if (internal::Avx512Ops() != nullptr && CpuHasAvx512()) {
+      return Tier::kAvx512;
+    }
+    if (internal::Avx2Ops() != nullptr && CpuHasAvx2()) return Tier::kAvx2;
+  }
+  return Tier::kScalar;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+const KernelOps* GetOps(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return internal::ScalarOps();
+    case Tier::kAvx2:
+      return SimdAllowed() && CpuHasAvx2() ? internal::Avx2Ops() : nullptr;
+    case Tier::kAvx512:
+      return SimdAllowed() && CpuHasAvx512() ? internal::Avx512Ops()
+                                             : nullptr;
+  }
+  return nullptr;
+}
+
+std::vector<Tier> AvailableTiers() {
+  std::vector<Tier> tiers = {Tier::kScalar};
+  if (GetOps(Tier::kAvx2) != nullptr) tiers.push_back(Tier::kAvx2);
+  if (GetOps(Tier::kAvx512) != nullptr) tiers.push_back(Tier::kAvx512);
+  return tiers;
+}
+
+Tier ActiveTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  // CPUID and the environment cannot change mid-process.
+  static const Tier detected = DetectTier();
+  return detected;
+}
+
+void ForceTier(Tier tier) {
+  SOC_CHECK(GetOps(tier) != nullptr);
+  g_forced_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void ClearForcedTier() {
+  g_forced_tier.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace soc::kernels

@@ -1,0 +1,175 @@
+// Tier-independent driver loops. Only the per-block mask primitives
+// (KernelOps) differ between dispatch tiers, so bit-exactness across
+// tiers reduces to mask equality — which the differential battery and
+// the nightly property fuzz check directly.
+
+#include "kernels/kernels.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace soc::kernels {
+
+namespace {
+
+// Stack scratch for the complemented selection; wide instances
+// (num_bits > 64 * kStackWords = 8192) fall back to the heap.
+constexpr int kStackWords = 128;
+
+struct WordBuf {
+  std::uint64_t stack[kStackWords];
+  std::vector<std::uint64_t> heap;
+
+  std::uint64_t* Get(int words) {
+    if (words <= kStackWords) return stack;
+    heap.resize(static_cast<std::size_t>(words));
+    return heap.data();
+  }
+};
+
+// ~sel into `out`. Trailing bits of the last word become ones, which is
+// harmless: query trailing bits are zero by DynamicBitset invariant.
+void ComplementInto(const DynamicBitset& sel, int words, std::uint64_t* out) {
+  const std::uint64_t* sel_words = sel.words();
+  for (int w = 0; w < words; ++w) out[w] = ~sel_words[w];
+}
+
+long long MaskedWeight(const CoverageBlockSet& set, int block,
+                       std::uint64_t mask) {
+  if (set.unit_weights()) return std::popcount(mask);
+  const long long* weights = set.block_weights(block);
+  long long sum = 0;
+  while (mask != 0) {
+    sum += weights[std::countr_zero(mask)];
+    mask &= mask - 1;
+  }
+  return sum;
+}
+
+}  // namespace
+
+long long CountCoveredWith(const KernelOps& ops, const CoverageBlockSet& set,
+                           const DynamicBitset& sel) {
+  SOC_CHECK(set.unit_weights());
+  SOC_CHECK_EQ(sel.size(), set.num_bits());
+  const int words = set.words_per_query();
+  WordBuf buf;
+  std::uint64_t* not_sel = buf.Get(words);
+  ComplementInto(sel, words, not_sel);
+  long long count = 0;
+  for (int b = 0; b < set.num_blocks(); ++b) {
+    const std::uint64_t mask =
+        ops.subset_mask(set.block_words(b), words, not_sel) &
+        set.valid_mask(b);
+    count += std::popcount(mask);
+  }
+  return count;
+}
+
+long long CountCovered(const CoverageBlockSet& set, const DynamicBitset& sel) {
+  return CountCoveredWith(*GetOps(ActiveTier()), set, sel);
+}
+
+long long AccumulateWeightedWith(const KernelOps& ops,
+                                 const CoverageBlockSet& set,
+                                 const DynamicBitset& sel) {
+  SOC_CHECK_EQ(sel.size(), set.num_bits());
+  const int words = set.words_per_query();
+  WordBuf buf;
+  std::uint64_t* not_sel = buf.Get(words);
+  ComplementInto(sel, words, not_sel);
+  long long total = 0;
+  for (int b = 0; b < set.num_blocks(); ++b) {
+    const std::uint64_t mask =
+        ops.subset_mask(set.block_words(b), words, not_sel) &
+        set.valid_mask(b);
+    total += MaskedWeight(set, b, mask);
+  }
+  return total;
+}
+
+long long AccumulateWeighted(const CoverageBlockSet& set,
+                             const DynamicBitset& sel) {
+  return AccumulateWeightedWith(*GetOps(ActiveTier()), set, sel);
+}
+
+GainScan CoverageGainWith(const KernelOps& ops, const CoverageBlockSet& set,
+                          const DynamicBitset& sel, long long* gains,
+                          SolveContext* context) {
+  SOC_CHECK_EQ(sel.size(), set.num_bits());
+  const int words = set.words_per_query();
+  std::memset(gains, 0, set.num_bits() * sizeof(long long));
+  GainScan scan;
+  for (int b = 0; b < set.num_blocks(); ++b) {
+    // One tick per 64-query block: cancellation at block granularity.
+    if (context != nullptr && context->Checkpoint()) {
+      scan.completed = false;
+      return scan;
+    }
+    const std::uint64_t* block = set.block_words(b);
+    std::uint64_t mask =
+        ops.superset_mask(block, words, sel.words()) & set.valid_mask(b);
+    const long long* weights = set.block_weights(b);
+    while (mask != 0) {
+      const int slot = std::countr_zero(mask);
+      mask &= mask - 1;
+      const long long weight = weights == nullptr ? 1 : weights[slot];
+      scan.base += weight;
+      // Scatter the matched query's attributes into the gains table.
+      // Scalar on purpose (and identical across tiers): queries are
+      // sparse, so the vectorized part is the superset mask above.
+      for (int w = 0; w < words; ++w) {
+        std::uint64_t q_word =
+            block[static_cast<std::size_t>(w) * CoverageBlockSet::kBlockQueries +
+                  slot];
+        while (q_word != 0) {
+          gains[w * 64 + std::countr_zero(q_word)] += weight;
+          q_word &= q_word - 1;
+        }
+      }
+    }
+  }
+  return scan;
+}
+
+GainScan CoverageGain(const CoverageBlockSet& set, const DynamicBitset& sel,
+                      long long* gains, SolveContext* context) {
+  return CoverageGainWith(*GetOps(ActiveTier()), set, sel, gains, context);
+}
+
+BoundScan CoverageBoundWith(const KernelOps& ops, const CoverageBlockSet& set,
+                            const DynamicBitset& chosen,
+                            const DynamicBitset& rejected, int slack) {
+  SOC_CHECK_EQ(chosen.size(), set.num_bits());
+  SOC_CHECK_EQ(rejected.size(), set.num_bits());
+  SOC_CHECK_GE(slack, 0);
+  const int words = set.words_per_query();
+  WordBuf buf;
+  std::uint64_t* not_chosen = buf.Get(words);
+  ComplementInto(chosen, words, not_chosen);
+  BoundScan scan;
+  for (int b = 0; b < set.num_blocks(); ++b) {
+    const std::uint64_t* block = set.block_words(b);
+    std::uint64_t eq0 = 0;
+    std::uint64_t le = 0;
+    ops.missing_le_mask(block, words, not_chosen,
+                        static_cast<std::uint64_t>(slack), &eq0, &le);
+    const std::uint64_t inter =
+        ops.intersect_mask(block, words, rejected.words());
+    const std::uint64_t valid = set.valid_mask(b);
+    scan.satisfied += MaskedWeight(set, b, eq0 & valid);
+    scan.potential += MaskedWeight(set, b, le & ~eq0 & ~inter & valid);
+  }
+  return scan;
+}
+
+BoundScan CoverageBound(const CoverageBlockSet& set,
+                        const DynamicBitset& chosen,
+                        const DynamicBitset& rejected, int slack) {
+  return CoverageBoundWith(*GetOps(ActiveTier()), set, chosen, rejected,
+                           slack);
+}
+
+}  // namespace soc::kernels

@@ -1,0 +1,141 @@
+// Batch coverage kernels over the CoverageBlockSet layout, in three
+// dispatch tiers (portable scalar, AVX2, AVX-512) selected at runtime
+// by CPUID.
+//
+// Contract: every tier is bit-identical to the scalar reference — same
+// result masks, same counts, same gains — on every width, remainder and
+// alignment (tests/kernel_diff_test.cc sweeps the edges; the property
+// catalog fuzzes it nightly). The tiers only differ in the per-block
+// mask primitives (KernelOps); the drivers below share one tier-
+// independent loop, so exactness reduces to mask equality.
+//
+// Escape hatches: build with -DSOC_FORCE_SCALAR=ON or set the
+// SOC_FORCE_SCALAR environment variable (any non-empty value but "0")
+// to pin dispatch to the scalar tier; tests and benches can also pin a
+// specific tier with ForceTier().
+//
+// SolveContext cancellation is honored at block granularity: drivers
+// taking a context tick once per 64-query block and return partial
+// results flagged completed=false on stop.
+
+#ifndef SOC_KERNELS_KERNELS_H_
+#define SOC_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/solve_context.h"
+#include "kernels/coverage.h"
+
+namespace soc::kernels {
+
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+const char* TierName(Tier tier);
+
+// The per-block primitives a tier implements. `block` is one
+// CoverageBlockSet block (word-major, 64 queries); `words` is
+// words_per_query. Each returns/fills 64-bit masks with bit j describing
+// in-block query j. Callers mask the result with the block's valid_mask.
+struct KernelOps {
+  const char* name;
+  // Bit j set iff query j ⊆ sel, i.e. (q & not_sel) == 0 for all words
+  // (`not_sel` is the complement of the selection, trailing bits set —
+  // harmless because query trailing bits are zero).
+  std::uint64_t (*subset_mask)(const std::uint64_t* block, int words,
+                               const std::uint64_t* not_sel);
+  // Bit j set iff sel ⊆ query j, i.e. (sel & ~q) == 0 for all words.
+  std::uint64_t (*superset_mask)(const std::uint64_t* block, int words,
+                                 const std::uint64_t* sel);
+  // Bit j set iff query j ∩ other ≠ ∅.
+  std::uint64_t (*intersect_mask)(const std::uint64_t* block, int words,
+                                  const std::uint64_t* other);
+  // Per-query popcount(q & not_sel) (attributes of q missing from sel):
+  // *eq0 gets the mask of queries with zero missing (⟺ q ⊆ sel), *le
+  // the mask with at most `limit` missing.
+  void (*missing_le_mask)(const std::uint64_t* block, int words,
+                          const std::uint64_t* not_sel, std::uint64_t limit,
+                          std::uint64_t* eq0, std::uint64_t* le);
+};
+
+// Tiers usable on this host (scalar always; SIMD tiers only when
+// compiled in and reported by CPUID). Forcing scalar shrinks this to
+// {kScalar}.
+std::vector<Tier> AvailableTiers();
+
+// The tier dispatch resolves to: the best available one, unless pinned
+// by SOC_FORCE_SCALAR or ForceTier().
+Tier ActiveTier();
+
+// Ops table for an explicitly chosen tier; nullptr when the tier is not
+// available on this host. GetOps(Tier::kScalar) never fails.
+const KernelOps* GetOps(Tier tier);
+
+// Pins ActiveTier() for tests/benches; pass ForceTier(std::nullopt)-style
+// ClearForcedTier() to restore CPUID dispatch. The tier must be
+// available. Not thread-safe; call from single-threaded setup only.
+void ForceTier(Tier tier);
+void ClearForcedTier();
+
+// ---- Drivers (tier-independent loops over the block set) ----
+
+// Number of set queries q with q ⊆ sel. Requires a unit-weight set.
+long long CountCovered(const CoverageBlockSet& set, const DynamicBitset& sel);
+long long CountCoveredWith(const KernelOps& ops, const CoverageBlockSet& set,
+                           const DynamicBitset& sel);
+
+// Σ weight(q) over q ⊆ sel (weighted sets; unit sets count queries).
+long long AccumulateWeighted(const CoverageBlockSet& set,
+                             const DynamicBitset& sel);
+long long AccumulateWeightedWith(const KernelOps& ops,
+                                 const CoverageBlockSet& set,
+                                 const DynamicBitset& sel);
+
+// Per-candidate-attribute marginal gain for the ConsumeAttrCumul
+// greedies (co-occurrence direction): over queries q ⊇ sel,
+//   base     = Σ weight(q)
+//   gains[a] = Σ weight(q) over q ⊇ sel with a ∈ q
+// so gains[a] is exactly the joint count of sel ∪ {a} for any a ∉ sel.
+// `gains` must hold set.num_bits() entries; the driver zeroes it. Ticks
+// `context` per block; on stop returns completed=false (gains partial).
+struct GainScan {
+  long long base = 0;
+  bool completed = true;
+};
+GainScan CoverageGain(const CoverageBlockSet& set, const DynamicBitset& sel,
+                      long long* gains, SolveContext* context);
+GainScan CoverageGainWith(const KernelOps& ops, const CoverageBlockSet& set,
+                          const DynamicBitset& sel, long long* gains,
+                          SolveContext* context);
+
+// The branch-and-bound counting bound, one pass:
+//   satisfied = Σ weight(q) over q ⊆ chosen
+//   potential = Σ weight(q) over q ⊄ chosen, q ∩ rejected = ∅,
+//               |q \ chosen| ≤ slack
+struct BoundScan {
+  long long satisfied = 0;
+  long long potential = 0;
+};
+BoundScan CoverageBound(const CoverageBlockSet& set,
+                        const DynamicBitset& chosen,
+                        const DynamicBitset& rejected, int slack);
+BoundScan CoverageBoundWith(const KernelOps& ops, const CoverageBlockSet& set,
+                            const DynamicBitset& chosen,
+                            const DynamicBitset& rejected, int slack);
+
+namespace internal {
+// Per-tier ops tables. The SIMD ones return nullptr when their TU was
+// compiled without the ISA (non-x86 hosts).
+const KernelOps* ScalarOps();
+const KernelOps* Avx2Ops();
+const KernelOps* Avx512Ops();
+}  // namespace internal
+
+}  // namespace soc::kernels
+
+#endif  // SOC_KERNELS_KERNELS_H_

@@ -1,0 +1,150 @@
+// AVX2 tier: 4 queries per vector, 16 vectors per 64-query block.
+//
+// This TU is compiled with -mavx2 (see src/kernels/CMakeLists.txt) and
+// its contents are fenced by the ISA macro, so on compilers/targets
+// without AVX2 it collapses to the nullptr registration below and the
+// dispatcher falls back to scalar (lint rule "kernel-dispatch" enforces
+// exactly this structure).
+
+#include "kernels/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace soc::kernels {
+
+namespace {
+
+constexpr int kBlock = CoverageBlockSet::kBlockQueries;
+constexpr int kLanes = 4;  // 64-bit lanes per __m256i
+
+// Per-lane popcount of 64-bit lanes: nibble-LUT PSHUFB then SAD against
+// zero to sum the 8 byte-counts of each lane.
+inline __m256i Popcount64x4(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nibble = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_nibble);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nibble);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+// 4-bit mask of lanes that are all-zero.
+inline unsigned ZeroLaneMask(__m256i v) {
+  const __m256i eq = _mm256_cmpeq_epi64(v, _mm256_setzero_si256());
+  return static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+}
+
+std::uint64_t Avx2SubsetMask(const std::uint64_t* block, int words,
+                             const std::uint64_t* not_sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m256i violation = _mm256_setzero_si256();
+    for (int w = 0; w < words; ++w) {
+      const __m256i q = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+          block + static_cast<std::size_t>(w) * kBlock + j));
+      violation = _mm256_or_si256(
+          violation,
+          _mm256_and_si256(q, _mm256_set1_epi64x(
+                                  static_cast<long long>(not_sel[w]))));
+    }
+    mask |= static_cast<std::uint64_t>(ZeroLaneMask(violation)) << j;
+  }
+  return mask;
+}
+
+std::uint64_t Avx2SupersetMask(const std::uint64_t* block, int words,
+                               const std::uint64_t* sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m256i violation = _mm256_setzero_si256();
+    for (int w = 0; w < words; ++w) {
+      const __m256i q = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+          block + static_cast<std::size_t>(w) * kBlock + j));
+      // sel & ~q
+      violation = _mm256_or_si256(
+          violation,
+          _mm256_andnot_si256(
+              q, _mm256_set1_epi64x(static_cast<long long>(sel[w]))));
+    }
+    mask |= static_cast<std::uint64_t>(ZeroLaneMask(violation)) << j;
+  }
+  return mask;
+}
+
+std::uint64_t Avx2IntersectMask(const std::uint64_t* block, int words,
+                                const std::uint64_t* other) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m256i overlap = _mm256_setzero_si256();
+    for (int w = 0; w < words; ++w) {
+      const __m256i q = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+          block + static_cast<std::size_t>(w) * kBlock + j));
+      overlap = _mm256_or_si256(
+          overlap, _mm256_and_si256(q, _mm256_set1_epi64x(
+                                           static_cast<long long>(other[w]))));
+    }
+    const unsigned zero = ZeroLaneMask(overlap);
+    mask |= static_cast<std::uint64_t>(~zero & 0xfu) << j;
+  }
+  return mask;
+}
+
+void Avx2MissingLeMask(const std::uint64_t* block, int words,
+                       const std::uint64_t* not_sel, std::uint64_t limit,
+                       std::uint64_t* eq0, std::uint64_t* le) {
+  std::uint64_t eq0_mask = 0;
+  std::uint64_t le_mask = 0;
+  const __m256i limit_vec =
+      _mm256_set1_epi64x(static_cast<long long>(limit));
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m256i missing = _mm256_setzero_si256();
+    for (int w = 0; w < words; ++w) {
+      const __m256i q = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+          block + static_cast<std::size_t>(w) * kBlock + j));
+      const __m256i masked = _mm256_and_si256(
+          q, _mm256_set1_epi64x(static_cast<long long>(not_sel[w])));
+      missing = _mm256_add_epi64(missing, Popcount64x4(masked));
+    }
+    eq0_mask |= static_cast<std::uint64_t>(ZeroLaneMask(missing)) << j;
+    // Counts and limits are tiny (≤ the attribute width), so the signed
+    // 64-bit compare is exact.
+    const __m256i gt = _mm256_cmpgt_epi64(missing, limit_vec);
+    const unsigned gt_mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(gt)));
+    le_mask |= static_cast<std::uint64_t>(~gt_mask & 0xfu) << j;
+  }
+  *eq0 = eq0_mask;
+  *le = le_mask;
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",
+    &Avx2SubsetMask,
+    &Avx2SupersetMask,
+    &Avx2IntersectMask,
+    &Avx2MissingLeMask,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* Avx2Ops() { return &kAvx2Ops; }
+}  // namespace internal
+
+}  // namespace soc::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace soc::kernels::internal {
+const KernelOps* Avx2Ops() { return nullptr; }
+}  // namespace soc::kernels::internal
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,136 @@
+// AVX-512 tier: 8 queries per vector, 8 vectors per 64-query block.
+// Gated on F (64-bit lane compares to mask registers) + BW (byte
+// shuffles/SAD for the popcount); VPOPCNTDQ is deliberately not assumed
+// so the tier runs on every avx512f+bw machine.
+
+#include "kernels/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace soc::kernels {
+
+namespace {
+
+constexpr int kBlock = CoverageBlockSet::kBlockQueries;
+constexpr int kLanes = 8;  // 64-bit lanes per __m512i
+
+inline __m512i Popcount64x8(__m512i v) {
+  const __m512i lut = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low_nibble = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(v, low_nibble);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_nibble);
+  const __m512i counts = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                                         _mm512_shuffle_epi8(lut, hi));
+  return _mm512_sad_epu8(counts, _mm512_setzero_si512());
+}
+
+std::uint64_t Avx512SubsetMask(const std::uint64_t* block, int words,
+                               const std::uint64_t* not_sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m512i violation = _mm512_setzero_si512();
+    for (int w = 0; w < words; ++w) {
+      const __m512i q = _mm512_load_si512(
+          block + static_cast<std::size_t>(w) * kBlock + j);
+      violation = _mm512_or_si512(
+          violation, _mm512_and_si512(q, _mm512_set1_epi64(static_cast<long long>(
+                                             not_sel[w]))));
+    }
+    // testn: lane mask of (violation & violation) == 0.
+    const __mmask8 zero = _mm512_testn_epi64_mask(violation, violation);
+    mask |= static_cast<std::uint64_t>(zero) << j;
+  }
+  return mask;
+}
+
+std::uint64_t Avx512SupersetMask(const std::uint64_t* block, int words,
+                                 const std::uint64_t* sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m512i violation = _mm512_setzero_si512();
+    for (int w = 0; w < words; ++w) {
+      const __m512i q = _mm512_load_si512(
+          block + static_cast<std::size_t>(w) * kBlock + j);
+      violation = _mm512_or_si512(
+          violation,
+          _mm512_andnot_si512(
+              q, _mm512_set1_epi64(static_cast<long long>(sel[w]))));
+    }
+    const __mmask8 zero = _mm512_testn_epi64_mask(violation, violation);
+    mask |= static_cast<std::uint64_t>(zero) << j;
+  }
+  return mask;
+}
+
+std::uint64_t Avx512IntersectMask(const std::uint64_t* block, int words,
+                                  const std::uint64_t* other) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m512i overlap = _mm512_setzero_si512();
+    for (int w = 0; w < words; ++w) {
+      const __m512i q = _mm512_load_si512(
+          block + static_cast<std::size_t>(w) * kBlock + j);
+      overlap = _mm512_or_si512(
+          overlap, _mm512_and_si512(q, _mm512_set1_epi64(static_cast<long long>(
+                                           other[w]))));
+    }
+    const __mmask8 nonzero =
+        _mm512_test_epi64_mask(overlap, overlap);
+    mask |= static_cast<std::uint64_t>(nonzero) << j;
+  }
+  return mask;
+}
+
+void Avx512MissingLeMask(const std::uint64_t* block, int words,
+                         const std::uint64_t* not_sel, std::uint64_t limit,
+                         std::uint64_t* eq0, std::uint64_t* le) {
+  std::uint64_t eq0_mask = 0;
+  std::uint64_t le_mask = 0;
+  const __m512i limit_vec =
+      _mm512_set1_epi64(static_cast<long long>(limit));
+  for (int j = 0; j < kBlock; j += kLanes) {
+    __m512i missing = _mm512_setzero_si512();
+    for (int w = 0; w < words; ++w) {
+      const __m512i q = _mm512_load_si512(
+          block + static_cast<std::size_t>(w) * kBlock + j);
+      const __m512i masked = _mm512_and_si512(
+          q, _mm512_set1_epi64(static_cast<long long>(not_sel[w])));
+      missing = _mm512_add_epi64(missing, Popcount64x8(masked));
+    }
+    const __mmask8 zero = _mm512_testn_epi64_mask(missing, missing);
+    eq0_mask |= static_cast<std::uint64_t>(zero) << j;
+    const __mmask8 le_lanes = _mm512_cmple_epu64_mask(missing, limit_vec);
+    le_mask |= static_cast<std::uint64_t>(le_lanes) << j;
+  }
+  *eq0 = eq0_mask;
+  *le = le_mask;
+}
+
+constexpr KernelOps kAvx512Ops = {
+    "avx512",
+    &Avx512SubsetMask,
+    &Avx512SupersetMask,
+    &Avx512IntersectMask,
+    &Avx512MissingLeMask,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* Avx512Ops() { return &kAvx512Ops; }
+}  // namespace internal
+
+}  // namespace soc::kernels
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace soc::kernels::internal {
+const KernelOps* Avx512Ops() { return nullptr; }
+}  // namespace soc::kernels::internal
+
+#endif  // defined(__AVX512F__) && defined(__AVX512BW__)

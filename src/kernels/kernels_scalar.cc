@@ -1,0 +1,88 @@
+// Portable scalar tier: the reference the SIMD tiers must match bit for
+// bit. Deliberately straight-line — no manual unrolling or cleverness —
+// so its correctness is auditable by eye.
+
+#include <bit>
+#include <cstdint>
+
+#include "kernels/kernels.h"
+
+namespace soc::kernels {
+
+namespace {
+
+constexpr int kBlock = CoverageBlockSet::kBlockQueries;
+
+std::uint64_t ScalarSubsetMask(const std::uint64_t* block, int words,
+                               const std::uint64_t* not_sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; ++j) {
+    std::uint64_t violation = 0;
+    for (int w = 0; w < words; ++w) {
+      violation |= block[static_cast<std::size_t>(w) * kBlock + j] & not_sel[w];
+    }
+    mask |= static_cast<std::uint64_t>(violation == 0) << j;
+  }
+  return mask;
+}
+
+std::uint64_t ScalarSupersetMask(const std::uint64_t* block, int words,
+                                 const std::uint64_t* sel) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; ++j) {
+    std::uint64_t violation = 0;
+    for (int w = 0; w < words; ++w) {
+      violation |=
+          sel[w] & ~block[static_cast<std::size_t>(w) * kBlock + j];
+    }
+    mask |= static_cast<std::uint64_t>(violation == 0) << j;
+  }
+  return mask;
+}
+
+std::uint64_t ScalarIntersectMask(const std::uint64_t* block, int words,
+                                  const std::uint64_t* other) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < kBlock; ++j) {
+    std::uint64_t overlap = 0;
+    for (int w = 0; w < words; ++w) {
+      overlap |= block[static_cast<std::size_t>(w) * kBlock + j] & other[w];
+    }
+    mask |= static_cast<std::uint64_t>(overlap != 0) << j;
+  }
+  return mask;
+}
+
+void ScalarMissingLeMask(const std::uint64_t* block, int words,
+                         const std::uint64_t* not_sel, std::uint64_t limit,
+                         std::uint64_t* eq0, std::uint64_t* le) {
+  std::uint64_t eq0_mask = 0;
+  std::uint64_t le_mask = 0;
+  for (int j = 0; j < kBlock; ++j) {
+    std::uint64_t missing = 0;
+    for (int w = 0; w < words; ++w) {
+      missing += static_cast<std::uint64_t>(std::popcount(
+          block[static_cast<std::size_t>(w) * kBlock + j] & not_sel[w]));
+    }
+    eq0_mask |= static_cast<std::uint64_t>(missing == 0) << j;
+    le_mask |= static_cast<std::uint64_t>(missing <= limit) << j;
+  }
+  *eq0 = eq0_mask;
+  *le = le_mask;
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",
+    &ScalarSubsetMask,
+    &ScalarSupersetMask,
+    &ScalarIntersectMask,
+    &ScalarMissingLeMask,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* ScalarOps() { return &kScalarOps; }
+}  // namespace internal
+
+}  // namespace soc::kernels

@@ -1,10 +1,13 @@
 #include "serve/preprocessing_cache.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <utility>
 
 #include "itemsets/maximal_dfs.h"
 #include "itemsets/random_walk.h"
+#include "kernels/arena.h"
 
 namespace soc::serve {
 
@@ -207,12 +210,25 @@ int PreprocessingCache::MaxSatisfiableLocked(const DynamicBitset& tuple,
   const int m_eff =
       std::min<int>(std::max(0, m), static_cast<int>(tuple.Count()));
   // Queries with |q| <= m_eff, minus every query mentioning an attribute
-  // the tuple lacks (q ⊆ t ⟺ q avoids ~t).
-  DynamicBitset candidates = size_at_most_[m_eff];
+  // the tuple lacks (q ⊆ t ⟺ q avoids ~t). The working bitmap lives in
+  // the thread's scratch arena: this runs once per request on the serve
+  // fast path, and the old per-request DynamicBitset copy was measurable
+  // allocator churn (tests assert the steady state allocates nothing).
+  const std::size_t words = size_at_most_[m_eff].word_count();
+  const kernels::ScratchScope scratch;
+  std::uint64_t* candidates = scratch.arena().AllocateWords(words);
+  std::memcpy(candidates, size_at_most_[m_eff].words(),
+              words * sizeof(std::uint64_t));
   for (int attr = 0; attr < log_.num_attributes(); ++attr) {
-    if (!tuple.Test(attr)) candidates.AndNot(queries_with_attr_[attr]);
+    if (tuple.Test(attr)) continue;
+    const std::uint64_t* with_attr = queries_with_attr_[attr].words();
+    for (std::size_t w = 0; w < words; ++w) candidates[w] &= ~with_attr[w];
   }
-  return static_cast<int>(candidates.Count());
+  long long count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    count += std::popcount(candidates[w]);
+  }
+  return static_cast<int>(count);
 }
 
 int PreprocessingCache::MaxSatisfiable(const DynamicBitset& tuple, int m) {

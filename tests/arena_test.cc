@@ -1,0 +1,131 @@
+// Arena allocator guarantees the kernels rely on: 64-byte alignment for
+// AVX-512 loads, reset/reuse semantics (steady state creates no blocks),
+// and ASan poisoning of freed regions (verified in the sanitizer CI leg,
+// compiled out elsewhere).
+
+#include "kernels/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SOC_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SOC_TEST_ASAN 1
+#endif
+#endif
+
+#if defined(SOC_TEST_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace soc::kernels {
+namespace {
+
+TEST(ArenaTest, AllocationsAreCacheLineAligned) {
+  Arena arena;
+  // Odd sizes must not knock later allocations off alignment.
+  for (const std::size_t bytes : {1u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    void* ptr = arena.Allocate(bytes);
+    ASSERT_NE(ptr, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % Arena::kAlignment, 0u)
+        << bytes;
+    std::memset(ptr, 0xab, bytes);  // Must be writable end to end.
+  }
+}
+
+TEST(ArenaTest, ResetReusesBlocksWithoutReallocating) {
+  Arena arena(1 << 10);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) arena.Allocate(512);
+    arena.Reset();
+  }
+  const Arena::Stats warm = arena.stats();
+  // Steady state: further identical rounds create zero new blocks.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) arena.Allocate(512);
+    arena.Reset();
+  }
+  EXPECT_EQ(arena.stats().blocks_created, warm.blocks_created);
+  EXPECT_EQ(arena.stats().bytes_reserved, warm.bytes_reserved);
+}
+
+TEST(ArenaTest, RewindFreesOnlyPastTheMark) {
+  Arena arena;
+  std::uint64_t* before = arena.AllocateWords(8);
+  before[0] = 42;
+  const Arena::Mark mark = arena.mark();
+  arena.AllocateWords(1024);
+  arena.Rewind(mark);
+  // The pre-mark allocation survives; post-mark space is reusable.
+  EXPECT_EQ(before[0], 42u);
+  std::uint64_t* again = arena.AllocateWords(1024);
+  EXPECT_NE(again, nullptr);
+}
+
+TEST(ArenaTest, ScratchScopeNestsAndRewinds) {
+  Arena& scratch = ThreadScratchArena();
+  const std::int64_t created_before = Arena::TotalBlocksCreated();
+  {
+    ScratchScope outer;
+    outer.arena().AllocateWords(100);
+    {
+      ScratchScope inner;
+      inner.arena().AllocateWords(100);
+    }
+    outer.arena().AllocateWords(100);
+  }
+  // Warm a second time: the scope reuses what the first pass created.
+  {
+    ScratchScope scope;
+    scope.arena().AllocateWords(300);
+  }
+  const std::int64_t warm = Arena::TotalBlocksCreated();
+  {
+    ScratchScope scope;
+    scope.arena().AllocateWords(300);
+  }
+  EXPECT_EQ(Arena::TotalBlocksCreated(), warm);
+  EXPECT_GE(warm, created_before);
+  (void)scratch;
+}
+
+TEST(ArenaTest, ThreadScratchArenaIsPerThread) {
+  Arena* main_arena = &ThreadScratchArena();
+  Arena* other_arena = nullptr;
+  std::thread worker([&] { other_arena = &ThreadScratchArena(); });
+  worker.join();
+  EXPECT_NE(main_arena, other_arena);
+}
+
+#if defined(SOC_TEST_ASAN)
+TEST(ArenaTest, FreedRegionsArePoisonedUnderAsan)
+{
+  Arena arena;
+  const Arena::Mark mark = arena.mark();
+  char* ptr = static_cast<char*>(arena.Allocate(256));
+  EXPECT_FALSE(__asan_address_is_poisoned(ptr));
+  EXPECT_FALSE(__asan_address_is_poisoned(ptr + 255));
+  arena.Rewind(mark);
+  EXPECT_TRUE(__asan_address_is_poisoned(ptr));
+  EXPECT_TRUE(__asan_address_is_poisoned(ptr + 255));
+  // Reallocation unpoisons exactly the handed-out range again.
+  char* again = static_cast<char*>(arena.Allocate(256));
+  EXPECT_EQ(again, ptr);
+  EXPECT_FALSE(__asan_address_is_poisoned(again));
+}
+
+TEST(ArenaTest, FreshBlockTailStaysPoisonedUnderAsan) {
+  Arena arena(1 << 12);
+  char* ptr = static_cast<char*>(arena.Allocate(64));
+  // Beyond the allocation, the rest of the block is poisoned.
+  EXPECT_TRUE(__asan_address_is_poisoned(ptr + 64));
+}
+#endif  // SOC_TEST_ASAN
+
+}  // namespace
+}  // namespace soc::kernels

@@ -47,8 +47,8 @@ TEST(PropertyTrialsTest, RegistrySolversPassSeededTrials) {
   const TrialReport report = RunTrials(options);
   EXPECT_EQ(report.trials, 25);
   ASSERT_TRUE(report.ok()) << FailureToText(report.failures.front());
-  // 25 instances x 9 solvers x 8 properties.
-  EXPECT_EQ(report.checks, 25 * 9 * 8);
+  // 25 instances x 9 solvers x 9 properties.
+  EXPECT_EQ(report.checks, 25 * 9 * 9);
 }
 
 TEST(PropertyTrialsTest, ReplayInstanceAcceptsCleanInstances) {

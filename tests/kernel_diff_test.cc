@@ -1,0 +1,269 @@
+// Differential battery for the batch coverage kernels: every dispatch
+// tier available on the host must be bit-identical to the scalar tier —
+// and the scalar tier to a naive DynamicBitset reference that never
+// touches the blocked layout — on every width-remainder and
+// block-remainder edge, on empty/full logs, and on randomized instances
+// from the src/check generator.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/instance.h"
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/solve_context.h"
+#include "kernels/arena.h"
+#include "kernels/kernels.h"
+
+namespace soc::kernels {
+namespace {
+
+using ::soc::check::GenerateInstance;
+
+// ---- Naive references (straight DynamicBitset, no blocked layout) ----
+
+long long NaiveCount(const std::vector<DynamicBitset>& queries,
+                     const DynamicBitset& sel) {
+  long long count = 0;
+  for (const DynamicBitset& q : queries) {
+    if (q.IsSubsetOf(sel)) ++count;
+  }
+  return count;
+}
+
+long long NaiveWeight(const std::vector<DynamicBitset>& queries,
+                      const std::vector<long long>& weights,
+                      const DynamicBitset& sel) {
+  long long total = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].IsSubsetOf(sel)) total += weights[i];
+  }
+  return total;
+}
+
+struct NaiveGainResult {
+  long long base = 0;
+  std::vector<long long> gains;
+};
+
+NaiveGainResult NaiveGain(const std::vector<DynamicBitset>& queries,
+                          const std::vector<long long>* weights,
+                          const DynamicBitset& sel) {
+  NaiveGainResult result;
+  result.gains.assign(sel.size(), 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const DynamicBitset& q = queries[i];
+    if (!sel.IsSubsetOf(q)) continue;
+    const long long w = weights == nullptr ? 1 : (*weights)[i];
+    result.base += w;
+    q.ForEachSetBit([&](int attr) { result.gains[attr] += w; });
+  }
+  return result;
+}
+
+BoundScan NaiveBound(const std::vector<DynamicBitset>& queries,
+                     const std::vector<long long>* weights,
+                     const DynamicBitset& chosen,
+                     const DynamicBitset& rejected, int slack) {
+  BoundScan scan;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const DynamicBitset& q = queries[i];
+    const long long w = weights == nullptr ? 1 : (*weights)[i];
+    if (q.IsSubsetOf(chosen)) {
+      scan.satisfied += w;
+    } else if (!q.Intersects(rejected) &&
+               static_cast<int>(q.Count() - q.IntersectionCount(chosen)) <=
+                   slack) {
+      scan.potential += w;
+    }
+  }
+  return scan;
+}
+
+DynamicBitset RandomBitset(Rng& rng, std::size_t bits, double density) {
+  DynamicBitset b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.NextBernoulli(density)) b.Set(i);
+  }
+  return b;
+}
+
+// Runs the full cross-check of one (queries, weights) log against every
+// available tier for a handful of derived selections.
+void CheckLog(const std::vector<DynamicBitset>& queries, std::size_t bits,
+              const std::vector<long long>& weights, Rng& rng,
+              const std::string& label) {
+  const CoverageBlockSet unit(queries, bits);
+  const CoverageBlockSet weighted(queries, bits, weights.data(),
+                                  /*arena=*/nullptr);
+
+  std::vector<DynamicBitset> selections;
+  selections.push_back(DynamicBitset(bits));  // empty
+  DynamicBitset full(bits);
+  if (bits > 0) full.SetAll();
+  selections.push_back(full);  // full
+  for (int trial = 0; trial < 4; ++trial) {
+    selections.push_back(RandomBitset(rng, bits, 0.1 + 0.25 * trial));
+  }
+  // A selection equal to one of the queries exercises exact-match edges.
+  if (!queries.empty()) {
+    selections.push_back(queries[rng.NextUint64(queries.size())]);
+  }
+
+  const std::vector<Tier> tiers = AvailableTiers();
+  ASSERT_FALSE(tiers.empty());
+  ASSERT_EQ(tiers[0], Tier::kScalar);
+
+  for (const DynamicBitset& sel : selections) {
+    const long long ref_count = NaiveCount(queries, sel);
+    const long long ref_weight = NaiveWeight(queries, weights, sel);
+    const NaiveGainResult ref_gain = NaiveGain(queries, &weights, sel);
+    const NaiveGainResult ref_gain_unit =
+        NaiveGain(queries, /*weights=*/nullptr, sel);
+    const DynamicBitset rejected = RandomBitset(rng, bits, 0.15);
+    const int slack = rng.NextInt(0, static_cast<int>(bits) + 1);
+    const BoundScan ref_bound =
+        NaiveBound(queries, &weights, sel, rejected, slack);
+
+    for (const Tier tier : tiers) {
+      const KernelOps* ops = GetOps(tier);
+      ASSERT_NE(ops, nullptr) << TierName(tier);
+      const std::string where = label + " tier=" + TierName(tier);
+
+      EXPECT_EQ(CountCoveredWith(*ops, unit, sel), ref_count) << where;
+      EXPECT_EQ(AccumulateWeightedWith(*ops, weighted, sel), ref_weight)
+          << where;
+      EXPECT_EQ(AccumulateWeightedWith(*ops, unit, sel), ref_count) << where;
+
+      std::vector<long long> gains(bits, -1);
+      const GainScan scan = CoverageGainWith(*ops, weighted, sel,
+                                             gains.data(), nullptr);
+      EXPECT_TRUE(scan.completed) << where;
+      EXPECT_EQ(scan.base, ref_gain.base) << where;
+      EXPECT_EQ(gains, ref_gain.gains) << where;
+
+      std::vector<long long> unit_gains(bits, -1);
+      const GainScan unit_scan = CoverageGainWith(*ops, unit, sel,
+                                                  unit_gains.data(), nullptr);
+      EXPECT_EQ(unit_scan.base, ref_gain_unit.base) << where;
+      EXPECT_EQ(unit_gains, ref_gain_unit.gains) << where;
+
+      const BoundScan bound =
+          CoverageBoundWith(*ops, weighted, sel, rejected, slack);
+      EXPECT_EQ(bound.satisfied, ref_bound.satisfied) << where;
+      EXPECT_EQ(bound.potential, ref_bound.potential) << where;
+    }
+  }
+}
+
+// Width sweep across every word-remainder edge, crossed with query
+// counts around the 64-query block boundary (tail blocks).
+TEST(KernelDiffTest, WidthAndBlockRemainderSweep) {
+  const std::size_t widths[] = {1, 63, 64, 65, 127, 128, 129, 511, 512, 513};
+  const int sizes[] = {0, 1, 5, 63, 64, 65, 200};
+  Rng rng(20260808);
+  for (const std::size_t bits : widths) {
+    for (const int num_queries : sizes) {
+      std::vector<DynamicBitset> queries;
+      std::vector<long long> weights;
+      for (int i = 0; i < num_queries; ++i) {
+        queries.push_back(RandomBitset(rng, bits, 0.05 + 0.4 * rng.NextDouble()));
+        weights.push_back(rng.NextInt(1, 50));
+      }
+      CheckLog(queries, bits, weights, rng,
+               "M=" + std::to_string(bits) + " S=" + std::to_string(num_queries));
+    }
+  }
+}
+
+// Degenerate logs: all-empty queries (subset of everything) and
+// full-width queries (subset only of the full selection).
+TEST(KernelDiffTest, EmptyAndFullQueries) {
+  Rng rng(7);
+  for (const std::size_t bits : {1u, 64u, 65u, 129u}) {
+    std::vector<DynamicBitset> queries;
+    std::vector<long long> weights;
+    for (int i = 0; i < 70; ++i) {
+      DynamicBitset q(bits);
+      if (i % 2 == 0) q.SetAll();
+      queries.push_back(std::move(q));
+      weights.push_back(1 + i % 7);
+    }
+    CheckLog(queries, bits, weights, rng,
+             "degenerate M=" + std::to_string(bits));
+  }
+}
+
+// Randomized instances from the property-catalog generator — the same
+// distribution socvis_check fuzzes nightly.
+TEST(KernelDiffTest, GeneratorInstances) {
+  Rng rng(99);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const check::Instance instance = GenerateInstance(seed);
+    std::vector<long long> weights;
+    for (int i = 0; i < instance.log.size(); ++i) {
+      weights.push_back(rng.NextInt(1, 9));
+    }
+    CheckLog(instance.log.queries(),
+             static_cast<std::size_t>(instance.log.num_attributes()), weights,
+             rng, "gen seed=" + std::to_string(seed));
+  }
+}
+
+// Arena-backed storage must behave identically to owned storage.
+TEST(KernelDiffTest, ArenaBackedBuildMatchesOwned) {
+  Rng rng(11);
+  std::vector<DynamicBitset> queries;
+  std::vector<long long> weights;
+  for (int i = 0; i < 130; ++i) {
+    queries.push_back(RandomBitset(rng, 100, 0.3));
+    weights.push_back(rng.NextInt(1, 5));
+  }
+  const CoverageBlockSet owned(queries, 100, weights.data(), nullptr);
+  ScratchScope scratch;
+  const CoverageBlockSet arena_backed(queries, 100, weights.data(),
+                                      &scratch.arena());
+  for (int trial = 0; trial < 8; ++trial) {
+    const DynamicBitset sel = RandomBitset(rng, 100, 0.4);
+    EXPECT_EQ(AccumulateWeighted(owned, sel),
+              AccumulateWeighted(arena_backed, sel));
+  }
+}
+
+// Block-granularity cancellation: a context that stops mid-scan yields
+// completed=false and never more ticks than blocks.
+TEST(KernelDiffTest, CoverageGainHonorsContext) {
+  Rng rng(13);
+  std::vector<DynamicBitset> queries;
+  for (int i = 0; i < 500; ++i) {
+    queries.push_back(RandomBitset(rng, 64, 0.2));
+  }
+  const CoverageBlockSet set(queries, 64);
+  std::vector<long long> gains(64, 0);
+
+  SolveContext stopped;
+  stopped.InjectFault(StopReason::kCancelled, 1);
+  const GainScan scan =
+      CoverageGain(set, DynamicBitset(64), gains.data(), &stopped);
+  EXPECT_FALSE(scan.completed);
+
+  SolveContext counting;
+  const GainScan full =
+      CoverageGain(set, DynamicBitset(64), gains.data(), &counting);
+  EXPECT_TRUE(full.completed);
+  EXPECT_EQ(counting.ticks(), set.num_blocks());
+}
+
+// The forced-tier override drives dispatch; scalar is always available.
+TEST(KernelDiffTest, ForceTierPinsDispatch) {
+  ForceTier(Tier::kScalar);
+  EXPECT_EQ(ActiveTier(), Tier::kScalar);
+  ClearForcedTier();
+  const std::vector<Tier> tiers = AvailableTiers();
+  EXPECT_EQ(ActiveTier(), tiers.back());
+}
+
+}  // namespace
+}  // namespace soc::kernels

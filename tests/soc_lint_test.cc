@@ -515,6 +515,95 @@ TEST(SocLintTest, EventFieldParitySkipsTreesWithoutSchemaButFlagsBrokenOnes) {
             std::string::npos);
 }
 
+// ------------------------------------------------------- kernel dispatch
+
+constexpr char kFencedAvxTu[] =
+    "#include \"kernels/kernels.h\"\n"
+    "#if defined(__AVX2__)\n"
+    "#include <immintrin.h>\n"
+    "namespace soc::kernels {\n"
+    "std::uint64_t SubsetMask(const std::uint64_t* b) {\n"
+    "  __m256i v = _mm256_load_si256((const __m256i*)b);\n"
+    "  return 0;\n"
+    "}\n"
+    "}\n"
+    "#else\n"
+    "namespace soc::kernels {\n"
+    "const KernelOps* Avx2Ops() { return nullptr; }\n"
+    "}\n"
+    "#endif\n";
+
+constexpr char kGoodDispatchTu[] =
+    "#include \"kernels/kernels.h\"\n"
+    "namespace soc::kernels {\n"
+    "Tier DetectTier() { return Tier::kScalar; }\n"
+    "const KernelOps* GetOps(Tier tier) {\n"
+    "  return internal::ScalarOps();\n"
+    "}\n"
+    "}\n";
+
+TEST(SocLintTest, KernelDispatchPassesForFencedTuAndScalarDispatch) {
+  std::vector<Finding> findings;
+  CheckKernelDispatch({{"src/kernels/kernels_avx2.cc", kFencedAvxTu},
+                       {"src/kernels/dispatch.cc", kGoodDispatchTu},
+                       // Comment mentions of intrinsics do not count.
+                       {"src/core/greedy.cc",
+                        "// The batch path beats _mm256_ era hand loops.\n"
+                        "int x;\n"}},
+                      &findings);
+  EXPECT_TRUE(findings.empty()) << FindingsToJson(findings);
+}
+
+TEST(SocLintTest, KernelDispatchFlagsUnfencedIntrinsics) {
+  std::vector<Finding> findings;
+  CheckKernelDispatch(
+      {{"src/kernels/kernels_avx2.cc",
+        "#include <immintrin.h>\n"
+        "__m256i Load(const void* p) { return _mm256_loadu_si256(p); }\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "kernel-dispatch");
+  EXPECT_NE(findings[0].message.find("fenced"), std::string::npos);
+}
+
+TEST(SocLintTest, KernelDispatchFlagsIntrinsicsOutsideKernels) {
+  std::vector<Finding> findings;
+  CheckKernelDispatch(
+      {{"src/core/greedy.cc",
+        "#if defined(__AVX2__)\n"
+        "#include <immintrin.h>\n"
+        "#endif\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "kernel-dispatch");
+  EXPECT_NE(findings[0].message.find("outside src/kernels"),
+            std::string::npos);
+}
+
+TEST(SocLintTest, KernelDispatchFlagsMissingElseAndScalarlessDispatch) {
+  std::vector<Finding> findings;
+  // Fence without an #else: nothing registers the fallback.
+  CheckKernelDispatch(
+      {{"src/kernels/kernels_avx512.cc",
+        "#if defined(__AVX512F__)\n"
+        "#include <immintrin.h>\n"
+        "int Use() { return (int)_mm512_reduce_add_epi64(__m512i{}); }\n"
+        "#endif\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("#else"), std::string::npos);
+
+  // A dispatch TU that never touches ScalarOps cannot be total.
+  findings.clear();
+  CheckKernelDispatch(
+      {{"src/kernels/dispatch.cc",
+        "Tier DetectTier() { return Tier::kAvx2; }\n"
+        "const KernelOps* GetOps(Tier tier) { return Avx2Ops(); }\n"}},
+      &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("ScalarOps"), std::string::npos);
+}
+
 // ---------------------------------------------------------- cache metrics
 
 constexpr char kCacheHeaderSnippet[] =

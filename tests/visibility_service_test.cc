@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "datagen/workload.h"
+#include "kernels/arena.h"
 #include "obs/event_log.h"
 #include "obs/slo.h"
 #include "obs/trace_recorder.h"
@@ -152,6 +153,33 @@ TEST(VisibilityServiceTest, ZeroVisibilityTupleTakesTheFastPath) {
   EXPECT_TRUE(response.solution.proved_optimal);
   EXPECT_EQ(response.solution.satisfied_queries, 0);
   EXPECT_EQ(service.Metrics().counters.at("fast_path_zero"), 1);
+}
+
+TEST(VisibilityServiceTest, SteadyStateServingCreatesNoArenaBlocks) {
+  // The per-request fast-path bound (MaxSatisfiable) and the kernel-backed
+  // solvers draw scratch from thread-local arenas. A warmup batch may grow
+  // those arenas; after that, serving must not allocate new arena blocks —
+  // this pins the removal of the per-request DynamicBitset copy from the
+  // preprocessing cache. One worker keeps the thread set deterministic.
+  VisibilityServiceOptions options;
+  options.num_workers = 1;
+  VisibilityService service(MakeLog(), options);
+
+  const auto run_batch = [&service] {
+    std::vector<std::future<SolveResponse>> futures;
+    for (unsigned bits : {0xEDBu, 0x3Fu, 0xA5Au, 0xFFFu}) {
+      futures.push_back(service.Submit(MakeRequest(service.log(), bits, 3)));
+    }
+    for (auto& future : futures) {
+      ASSERT_TRUE(future.get().status.ok());
+    }
+  };
+
+  run_batch();  // Warmup: builds bitmaps, grows scratch arenas once.
+  const std::uint64_t blocks_after_warmup = kernels::Arena::TotalBlocksCreated();
+  run_batch();
+  run_batch();
+  EXPECT_EQ(kernels::Arena::TotalBlocksCreated(), blocks_after_warmup);
 }
 
 TEST(VisibilityServiceTest, SharedMfiCacheHitsAcrossRequests) {

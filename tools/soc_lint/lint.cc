@@ -855,6 +855,84 @@ void CheckEventFieldParity(const std::vector<SourceFile>& files,
   }
 }
 
+namespace {
+
+// A '#'-directive line mentioning an AVX ISA macro anywhere in
+// code[0, limit): the fence that keeps intrinsics out of non-x86 builds.
+bool HasIsaFenceBefore(const std::string& code, std::size_t limit) {
+  std::size_t start = 0;
+  while (start < limit && start < code.size()) {
+    std::size_t end = code.find('\n', start);
+    if (end == std::string::npos) end = code.size();
+    std::size_t i = start;
+    while (i < end && (code[i] == ' ' || code[i] == '\t')) ++i;
+    if (i < end && code[i] == '#' &&
+        code.find("__AVX", i) != std::string::npos &&
+        code.find("__AVX", i) < end) {
+      return true;
+    }
+    start = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckKernelDispatch(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings) {
+  // Substring markers, not tokens: every x86 vector intrinsic and vector
+  // type embeds one of these prefixes.
+  static const char* const kIntrinsicMarkers[] = {
+      "immintrin.h", "_mm_", "_mm256_", "_mm512_",
+      "__m128",      "__m256", "__m512"};
+
+  const SourceFile* dispatch_tu = nullptr;
+  for (const SourceFile& file : files) {
+    if (!StartsWith(file.path, "src/")) continue;
+    if (!EndsWith(file.path, ".cc") && !EndsWith(file.path, ".h")) continue;
+    const std::string code = StripCommentsAndStrings(file.content);
+    if (StartsWith(file.path, "src/kernels/") && EndsWith(file.path, ".cc") &&
+        !FindTokens(code, "DetectTier").empty()) {
+      dispatch_tu = &file;
+    }
+    std::size_t first = std::string::npos;
+    for (const char* marker : kIntrinsicMarkers) {
+      const std::size_t pos = code.find(marker);
+      if (pos != std::string::npos && pos < first) first = pos;
+    }
+    if (first == std::string::npos) continue;
+    if (!StartsWith(file.path, "src/kernels/")) {
+      Add(findings, "kernel-dispatch", file.path, LineOf(code, first),
+          "vector intrinsics outside src/kernels; SIMD lives behind the "
+          "kernels dispatch table so every call site keeps a scalar path");
+      continue;
+    }
+    if (!HasIsaFenceBefore(code, first)) {
+      Add(findings, "kernel-dispatch", file.path, LineOf(code, first),
+          "intrinsics are not fenced by an ISA preprocessor guard "
+          "(#if defined(__AVX...)); non-x86 builds would not compile");
+      continue;
+    }
+    if (code.find("#else") == std::string::npos) {
+      Add(findings, "kernel-dispatch", file.path, LineOf(code, first),
+          "ISA-fenced kernel TU has no #else branch; the dispatch table "
+          "needs a registered fallback (nullptr ops) on hosts without "
+          "the ISA");
+    }
+  }
+
+  // The dispatch TU must always register the scalar tier: a host failing
+  // every CPUID probe still has to resolve to working ops.
+  if (dispatch_tu != nullptr) {
+    const std::string code = StripCommentsAndStrings(dispatch_tu->content);
+    if (FindTokens(code, "ScalarOps").empty()) {
+      Add(findings, "kernel-dispatch", dispatch_tu->path, 0,
+          "kernel dispatch (DetectTier) never references ScalarOps; the "
+          "scalar tier must be the unconditional fallback");
+    }
+  }
+}
+
 const std::vector<PassInfo>& Passes() {
   static const std::vector<PassInfo> kPasses = {
       {"include-guard", {"include-guard"}},
@@ -867,6 +945,7 @@ const std::vector<PassInfo>& Passes() {
       {"property-parity", {"property-parity"}},
       {"span-name", {"span-name"}},
       {"event-field-parity", {"event-field-parity"}},
+      {"kernel-dispatch", {"kernel-dispatch"}},
       {"lock-hierarchy",
        {"lock-order", "lock-rank-order", "lock-rank-missing",
         "blocking-under-lock", "condvar-wait-loop"}},
@@ -924,6 +1003,7 @@ std::vector<Finding> LintTree(const std::vector<SourceFile>& files) {
   CheckPropertyParity(files, &findings);
   CheckSpanNameParity(files, &findings);
   CheckEventFieldParity(files, &findings);
+  CheckKernelDispatch(files, &findings);
   CheckLockHierarchy(files, &findings);
 
   std::vector<Finding> kept;

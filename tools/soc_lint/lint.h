@@ -49,6 +49,14 @@
 //                      serve headers); the two lists must carry exactly
 //                      the same string values in both directions, or
 //                      recorded events would fail their own schema.
+//   kernel-dispatch  — x86 vector intrinsics (immintrin.h, _mm*/__m*)
+//                      appear only under src/kernels; every
+//                      intrinsic-bearing kernel TU fences them behind an
+//                      ISA preprocessor guard (#if defined(__AVX...))
+//                      with an #else branch registering the fallback,
+//                      and the dispatch TU always references ScalarOps
+//                      so a host failing every CPUID probe still
+//                      resolves to working ops.
 //   span-name        — every trace span or phase constructed in src/core,
 //                      src/lp, src/itemsets, src/serve or src/tenant
 //                      (PhaseScope, TraceSpan, RecordComplete,
@@ -130,6 +138,13 @@ void CheckSpanNameParity(const std::vector<SourceFile>& files,
 // serve path produces are each findings).
 void CheckEventFieldParity(const std::vector<SourceFile>& files,
                            std::vector<Finding>* findings);
+
+// Cross-file rule: vector intrinsics stay inside src/kernels, every
+// intrinsic-bearing kernel TU is fenced by an ISA preprocessor guard
+// with an #else fallback branch, and the dispatch TU (DetectTier)
+// always registers the scalar tier.
+void CheckKernelDispatch(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings);
 
 // The pass table: every registered pass with its stable rule ids, so
 // output formats and docs enumerate rules from one place.
